@@ -1,0 +1,96 @@
+"""Rule-set ablation (the §7 analysis, quantified).
+
+The paper's detailed p01 analysis: the NRAe-specific rewrites "allow the
+pure NRA rewrites to 'kick in'" — e.g. ``χ⟨In⟩(q) ⇒ q`` never triggers
+on direct-NRA plans.  This bench ablates the rule families on the CAMP
+suite to quantify that interaction:
+
+- full rule set (Fig 13 + Fig 3 + extensions + Fig 12 + classics);
+- without the environment rules (Fig 3 + 13 + extensions removed);
+- without the classic NRA rules (Fig 12 + classics removed).
+
+Run with::
+
+    pytest benchmarks/bench_ablation_rules.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.camp_suite.programs import all_programs
+from repro.optim.camp_specific_rules import figure13_rules
+from repro.optim.defaults import default_nraenv_rules
+from repro.optim.engine import optimize
+from repro.optim.nra_lifted_rules import classic_relational_rules, figure12_rules
+from repro.optim.nraenv_rules import extended_env_rules, figure3_rules
+from repro.translate.camp_to_nraenv import camp_to_nraenv
+
+from tables import emit, format_table
+
+PROGRAM_NAMES = ["p%02d" % i for i in range(1, 15)]
+
+RULE_SETS = {
+    "full": default_nraenv_rules(),
+    "no_env_rules": figure12_rules() + classic_relational_rules(),
+    "no_nra_rules": figure13_rules() + figure3_rules() + extended_env_rules(),
+}
+
+
+@pytest.fixture(scope="module")
+def ablation_data():
+    programs = all_programs()
+    rows = []
+    for name in PROGRAM_NAMES:
+        plan = camp_to_nraenv(programs[name].pattern)
+        sizes = {"raw": plan.size()}
+        for label, rules in RULE_SETS.items():
+            sizes[label] = optimize(plan, rules).plan.size()
+        rows.append((name, sizes))
+    return rows
+
+
+def test_ablation_table(benchmark, ablation_data):
+    def report():
+        table = [
+            (name, sizes["raw"], sizes["full"], sizes["no_env_rules"], sizes["no_nra_rules"])
+            for name, sizes in ablation_data
+        ]
+        emit(
+            "ablation_rules",
+            format_table(
+                "Rule-set ablation — optimized NRAe sizes (CAMP suite)",
+                ["prog", "raw", "full", "no env rules", "no NRA rules"],
+                table,
+            ),
+        )
+        return table
+
+    table = benchmark.pedantic(report, rounds=1, iterations=1)
+    full_total = sum(row[2] for row in table)
+    no_env_total = sum(row[3] for row in table)
+    no_nra_total = sum(row[4] for row in table)
+    # Each family alone is strictly worse than the combination: the env
+    # rewrites and the classic rewrites enable each other (§7).
+    assert full_total < no_env_total
+    assert full_total < no_nra_total
+
+
+def test_env_rules_unlock_nra_rules(benchmark):
+    """map_into_id (χ⟨In⟩(q) ⇒ q) fires with env rules present, not without."""
+
+    def count_fires():
+        programs = all_programs()
+        with_env = 0
+        without_env = 0
+        for name in PROGRAM_NAMES:
+            plan = camp_to_nraenv(programs[name].pattern)
+            with_env += optimize(plan, RULE_SETS["full"]).fired("map_into_id")
+            without_env += optimize(plan, RULE_SETS["no_env_rules"]).fired(
+                "map_into_id"
+            )
+        return with_env, without_env
+
+    with_env, without_env = benchmark.pedantic(count_fires, rounds=1, iterations=1)
+    assert with_env >= without_env
+    assert with_env > 0

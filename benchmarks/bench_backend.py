@@ -1,0 +1,67 @@
+"""Backend benchmark: interpreted NRAe vs generated Python (paper §8).
+
+Not a paper figure, but the backend ablation DESIGN.md calls out: the
+generated code must beat the tree-walking interpreter on query
+execution, which is the reason the paper ships code generation at all.
+
+Run with::
+
+    pytest benchmarks/bench_backend.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backend.python_gen import compile_nnrc_to_callable
+from repro.compiler.pipeline import compile_sql
+from repro.data.model import Record
+from repro.nraenv.eval import eval_nraenv
+from repro.sql.parser import parse_sql
+from repro.sql.to_nraenv import sql_to_nraenv
+from repro.tpch.datagen import SMALL, generate
+from repro.tpch.queries import QUERIES
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate(SMALL, seed=7)
+
+
+@pytest.fixture(scope="module")
+def q1_artifacts(db):
+    plan = sql_to_nraenv(parse_sql(QUERIES["q1"]))
+    result = compile_sql(QUERIES["q1"])
+    fn = compile_nnrc_to_callable(result.final, name="q1")
+    expected = eval_nraenv(plan, Record({}), None, db)
+    return plan, fn, expected
+
+
+def test_q1_interpreted(benchmark, db, q1_artifacts):
+    plan, _, expected = q1_artifacts
+    result = benchmark(eval_nraenv, plan, Record({}), None, db)
+    assert result == expected
+
+
+def test_q1_generated_python(benchmark, db, q1_artifacts):
+    _, fn, expected = q1_artifacts
+    result = benchmark(fn, db)
+    assert result == expected
+
+
+def test_q6_generated_vs_interpreted_agree(db):
+    plan = sql_to_nraenv(parse_sql(QUERIES["q6"]))
+    result = compile_sql(QUERIES["q6"])
+    fn = compile_nnrc_to_callable(result.final, name="q6")
+    assert fn(db) == eval_nraenv(plan, Record({}), None, db)
+
+
+def test_q6_interpreted(benchmark, db):
+    plan = sql_to_nraenv(parse_sql(QUERIES["q6"]))
+    benchmark(eval_nraenv, plan, Record({}), None, db)
+
+
+def test_q6_generated(benchmark, db):
+    result = compile_sql(QUERIES["q6"])
+    fn = compile_nnrc_to_callable(result.final, name="q6")
+    benchmark(fn, db)

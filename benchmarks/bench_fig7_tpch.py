@@ -1,0 +1,152 @@
+"""Figure 7 reproduction: TPC-H through the SQL → NRAe → NNRC pipeline.
+
+- Fig 7a: SQL / NRAe / NRAe-opt / NNRC / NNRC-opt query sizes, q1–q22;
+- Fig 7b: SQL / NRAe / NRAe-opt query depths;
+- Fig 7c: per-stage compilation times.
+
+Run with::
+
+    pytest benchmarks/bench_fig7_tpch.py --benchmark-only -s
+
+Shape expectations from the paper (asserted): plans land in the
+hundreds of operators with no unexpected blow-up, optimization never
+grows a plan, depths stay small (≤ 5), translation time is negligible
+next to optimization, and every query compiles in seconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler.pipeline import compile_sql
+from repro.sql.parser import parse_sql
+from repro.tpch.queries import QUERIES, QUERY_NAMES
+
+from tables import emit, format_table
+
+
+@pytest.fixture(scope="module")
+def fig7_data():
+    """Compile every supported TPC-H query once; collect the metrics."""
+    rows = {}
+    for name in QUERY_NAMES:
+        script = parse_sql(QUERIES[name])
+        result = compile_sql(QUERIES[name])
+        rows[name] = {
+            "sql_size": script.size(),
+            "sql_depth": script.depth(),
+            "nraenv": result.output("to_nraenv"),
+            "nraenv_opt": result.output("nraenv_opt"),
+            "nnrc": result.output("to_nnrc"),
+            "nnrc_opt": result.output("nnrc_opt"),
+            "timings": result.timings(),
+        }
+    return rows
+
+
+def test_fig7a_query_sizes(benchmark, fig7_data):
+    def report():
+        table = []
+        for name in QUERY_NAMES:
+            row = fig7_data[name]
+            table.append(
+                (
+                    name,
+                    row["sql_size"],
+                    row["nraenv"].size(),
+                    row["nraenv_opt"].size(),
+                    row["nnrc"].size(),
+                    row["nnrc_opt"].size(),
+                )
+            )
+        emit(
+            "fig7a_tpch_sizes",
+            format_table(
+                "Figure 7a — TPC-H query sizes",
+                ["query", "SQL", "NRAe", "NRAe opt", "NNRC", "NNRC opt"],
+                table,
+            ),
+        )
+        return table
+
+    table = benchmark.pedantic(report, rounds=1, iterations=1)
+    for name, sql, nraenv, nraenv_opt, nnrc, nnrc_opt in table:
+        # the paper: "relatively large (in the hundreds of operators)"
+        # but "no unexpected blow up".
+        assert nraenv < 60 * sql, name
+        assert nraenv_opt <= nraenv, name
+        assert nnrc_opt <= nnrc, name
+    assert max(row[2] for row in table) < 1000  # hundreds, not thousands
+
+
+def test_fig7b_query_depths(benchmark, fig7_data):
+    def report():
+        table = []
+        for name in QUERY_NAMES:
+            row = fig7_data[name]
+            table.append(
+                (
+                    name,
+                    row["sql_depth"],
+                    row["nraenv"].depth(),
+                    row["nraenv_opt"].depth(),
+                )
+            )
+        emit(
+            "fig7b_tpch_depths",
+            format_table(
+                "Figure 7b — TPC-H query depths",
+                ["query", "SQL", "NRAe", "NRAe opt"],
+                table,
+            ),
+        )
+        return table
+
+    table = benchmark.pedantic(report, rounds=1, iterations=1)
+    for name, sql_depth, nraenv_depth, opt_depth in table:
+        # the paper's Figure 7b tops out around 4.
+        assert sql_depth <= 4, name
+        assert nraenv_depth <= 6, name
+        assert opt_depth <= nraenv_depth + 1, name
+
+
+def test_fig7c_compile_times(benchmark, fig7_data):
+    def report():
+        table = []
+        for name in QUERY_NAMES:
+            timings = fig7_data[name]["timings"]
+            table.append(
+                (
+                    name,
+                    timings["parse"] + timings["to_nraenv"],
+                    timings["nraenv_opt"],
+                    timings["to_nnrc"],
+                    timings["nnrc_opt"],
+                )
+            )
+        emit(
+            "fig7c_tpch_times",
+            format_table(
+                "Figure 7c — TPC-H compilation time (s)",
+                ["query", "SQL→NRAe", "NRAe→NRAe opt", "NRAe opt→NNRC", "NNRC→NNRC opt"],
+                table,
+            ),
+        )
+        return table
+
+    table = benchmark.pedantic(report, rounds=1, iterations=1)
+    total_translate = sum(row[1] + row[3] for row in table)
+    total_optimize = sum(row[2] + row[4] for row in table)
+    # the paper: "most of the time spent on optimization (translation
+    # time is negligible)".
+    assert total_optimize > total_translate
+    # and every query compiles in seconds (paper: < 2 s on their stack).
+    for row in table:
+        assert sum(row[1:]) < 10.0, row[0]
+
+
+@pytest.mark.parametrize("name", ("q1", "q5", "q22"))
+def test_compile_time_per_query(benchmark, name):
+    """Wall-clock benchmark of the full pipeline on representative queries."""
+    result = benchmark(compile_sql, QUERIES[name])
+    assert result.final.size() > 0

@@ -1,0 +1,92 @@
+"""TPC-DS-remark reproduction (§6, substituted — see DESIGN.md).
+
+The paper: 37/99 TPC-DS queries compile (rollup/window unsupported), the
+largest plan is ~2200 operators, compile time grows with plan size but
+stays in seconds, and "most of the compilation time is spent on
+rewriting".  The generated stress family exercises the same two
+properties: compile-time scaling on deeply nested supported queries, and
+graceful rejection of unsupported features.
+
+Run with::
+
+    pytest benchmarks/bench_sql_stress.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.compiler.pipeline import compile_sql
+from repro.sql.lexer import SqlSyntaxError
+from repro.sql.parser import parse_sql
+from repro.sql.stress import supported_query, unsupported_queries
+from repro.sql.to_nraenv import sql_to_nraenv
+
+from tables import emit, format_table
+
+LEVELS = (0, 1, 2, 3, 4)
+
+
+def test_stress_scaling(benchmark):
+    def report():
+        table = []
+        for level in LEVELS:
+            text = supported_query(level)
+            start = time.perf_counter()
+            result = compile_sql(text)
+            elapsed = time.perf_counter() - start
+            plan = result.output("to_nraenv")
+            table.append(
+                (
+                    level,
+                    plan.size(),
+                    plan.depth(),
+                    result.seconds("nraenv_opt"),
+                    elapsed,
+                )
+            )
+        emit(
+            "stress_scaling",
+            format_table(
+                "TPC-DS substitute — compile-time scaling",
+                ["level", "NRAe size", "depth", "optimize (s)", "total (s)"],
+                table,
+            ),
+        )
+        return table
+
+    table = benchmark.pedantic(report, rounds=1, iterations=1)
+    sizes = [row[1] for row in table]
+    assert sizes == sorted(sizes)
+    # the paper's largest TPC-DS plan was ~2200 operators; the family
+    # must reach that regime and still compile in seconds.
+    assert sizes[-1] > 2000
+    assert table[-1][4] < 60.0
+    # "most of the compilation time is spent on rewriting"
+    deepest = table[-1]
+    assert deepest[3] > 0.3 * deepest[4]
+
+
+def test_unsupported_features_rejected(benchmark):
+    def count_rejections():
+        rejected = 0
+        for name, text in unsupported_queries():
+            try:
+                sql_to_nraenv(parse_sql(text))
+            except (SqlSyntaxError, ValueError):
+                rejected += 1
+        return rejected
+
+    rejected = benchmark(count_rejections)
+    # the paper compiled 37/99 TPC-DS queries and *rejected* the rest
+    # gracefully; every unsupported-feature probe must be rejected.
+    assert rejected == len(unsupported_queries())
+
+
+@pytest.mark.parametrize("level", (2, 3))
+def test_stress_compile_time(benchmark, level):
+    text = supported_query(level)
+    result = benchmark(compile_sql, text)
+    assert result.final.size() > 0

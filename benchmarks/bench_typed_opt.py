@@ -1,0 +1,68 @@
+"""Type-directed optimization ablation on TPC-H (paper §8).
+
+The paper's compiler type-checks everything and uses types as rewrite
+preconditions; the untyped rule set alone barely moves TPC-H plans
+(their shapes need schema knowledge).  This bench quantifies the gap:
+optimized sizes with and without the typed pass, under the TPC-H schema
+types.
+
+Run with::
+
+    pytest benchmarks/bench_typed_opt.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.types import TRecord, TUnit
+from repro.optim.defaults import optimize_nraenv
+from repro.optim.typed_rules import optimize_nraenv_typed
+from repro.sql.parser import parse_sql
+from repro.sql.to_nraenv import sql_to_nraenv
+from repro.tpch.queries import QUERIES, QUERY_NAMES
+from repro.tpch.schema import table_types
+
+from tables import emit, format_table
+
+
+@pytest.fixture(scope="module")
+def typed_data():
+    constant_types = table_types()
+    env_t, in_t = TRecord({}), TUnit()
+    rows = []
+    for name in QUERY_NAMES:
+        plan = sql_to_nraenv(parse_sql(QUERIES[name]))
+        untyped = optimize_nraenv(plan).plan
+        typed = optimize_nraenv_typed(plan, env_t, in_t, constant_types).plan
+        rows.append((name, plan.size(), untyped.size(), typed.size()))
+    return rows
+
+
+def test_typed_optimization_table(benchmark, typed_data):
+    def report():
+        emit(
+            "typed_opt_tpch",
+            format_table(
+                "Typed-rewrite ablation — TPC-H NRAe sizes",
+                ["query", "raw", "untyped opt", "typed opt"],
+                typed_data,
+            ),
+        )
+        return typed_data
+
+    table = benchmark.pedantic(report, rounds=1, iterations=1)
+    for name, raw, untyped, typed in table:
+        assert typed <= untyped <= raw, name
+    # The typed pass must find reductions the untyped one cannot.
+    assert sum(row[3] for row in table) < sum(row[2] for row in table)
+
+
+@pytest.mark.parametrize("name", ("q6", "q17"))
+def test_typed_optimize_time(benchmark, name):
+    constant_types = table_types()
+    plan = sql_to_nraenv(parse_sql(QUERIES[name]))
+    result = benchmark(
+        optimize_nraenv_typed, plan, TRecord({}), TUnit(), constant_types
+    )
+    assert result.plan.size() <= plan.size()

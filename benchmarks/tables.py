@@ -1,0 +1,43 @@
+"""Shared helpers for the benchmark harness: ASCII tables + result files.
+
+Every Figure-reproduction bench prints its table (visible with ``-s``)
+and also writes it under ``benchmarks/output/`` so results survive the
+run; EXPERIMENTS.md records the reference numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, List, Sequence
+
+OUTPUT_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "output")
+
+
+def format_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render an aligned ASCII table."""
+    rendered_rows: List[List[str]] = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [title]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines) + "\n"
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return "%.4f" % value
+    return str(value)
+
+
+def emit(name: str, text: str) -> None:
+    """Print a table and persist it under benchmarks/output/."""
+    print()
+    print(text)
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    with open(os.path.join(OUTPUT_DIR, name + ".txt"), "w") as handle:
+        handle.write(text)

@@ -1,0 +1,79 @@
+"""Views live in the environment (paper §6's revenue0 example).
+
+A SQL view compiles to ``q_stmt ∘e (Env ⊕ [revenue0: q_view])``: the
+view is bound into the NRAe environment and referenced as an environment
+access — no plan duplication, and dropping the view is just scoping.
+The same mechanism handles OQL ``define`` and SQL WITH clauses.
+
+Run:  python examples/views_and_environments.py
+"""
+
+from repro.backend.python_gen import compile_nnrc_to_callable
+from repro.compiler.pipeline import compile_oql, compile_sql
+from repro.data.model import to_python
+from repro.nraenv import ast
+from repro.tpch.datagen import MICRO, generate
+from repro.tpch.queries import QUERIES
+
+
+def main() -> None:
+    db = generate(MICRO, seed=7)
+
+    # --- SQL: the paper's §6 example is TPC-H q15 ---------------------
+    result = compile_sql(QUERIES["q15"])
+    plan = result.output("to_nraenv")
+
+    appenvs = sum(1 for node in plan.walk() if isinstance(node, ast.AppEnv))
+    env_reads = sum(1 for node in plan.walk() if isinstance(node, ast.Env))
+    print("q15 (create view revenue0 ... ; select ... from revenue0)")
+    print("    NRAe plan size %d, ∘e nodes %d, Env reads %d" % (plan.size(), appenvs, env_reads))
+    print("    outermost operator: %s  (the view binding)" % type(plan).__name__)
+
+    query = compile_nnrc_to_callable(result.final, name="q15")
+    rows = to_python(query(db))
+    print("    top supplier(s):")
+    for row in rows:
+        print("       ", {k: row[k] for k in ("s_suppkey", "s_name", "total_revenue")})
+
+    # --- same query with WITH instead of a view ------------------------
+    with_query = """
+    with revenue0 (supplier_no, total_revenue) as (
+      select l_suppkey, sum(l_extendedprice * (1 - l_discount))
+      from lineitem
+      where l_shipdate >= date '1996-01-01'
+        and l_shipdate < date '1996-01-01' + interval '3' month
+      group by l_suppkey
+    )
+    select s_suppkey, s_name, total_revenue
+    from supplier, revenue0
+    where s_suppkey = supplier_no
+      and total_revenue = (select max(total_revenue) from revenue0)
+    order by s_suppkey
+    """
+    # WITH syntax: column list via a wrapping subquery is also fine; here
+    # we use the view-style column list directly.
+    try:
+        with_result = compile_sql(with_query)
+        with_rows = to_python(
+            compile_nnrc_to_callable(with_result.final, name="with_q15")(db)
+        )
+        shared = ("s_suppkey", "s_name", "total_revenue")
+        agree = [{k: r[k] for k in shared} for r in with_rows] == [
+            {k: r[k] for k in shared} for r in rows
+        ]
+        print("\nWITH-clause variant agrees:", agree)
+    except Exception as exc:  # pragma: no cover - informational
+        print("\nWITH-clause variant:", exc)
+
+    # --- OQL: define uses the same environment binding ----------------
+    oql = """
+    define heavy as select l from l in lineitem where l.l_quantity >= 45;
+    select distinct h.l_orderkey from h in heavy
+    """
+    oql_result = compile_oql(oql)
+    query = compile_nnrc_to_callable(oql_result.final, name="heavy_orders")
+    print("\nOQL define → orders with a 45+ quantity line:", sorted(to_python(query(db))))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Setuptools entry point (legacy path, so editable installs work offline)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "qcert-py: NRAe (nested relational algebra with environments) and a "
+        "query compiler with a property-verified core, reproducing "
+        "Auerbach et al., SIGMOD 2017"
+    ),
+    license="Apache-2.0",
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    extras_require={"test": ["pytest", "hypothesis", "pytest-benchmark"]},
+)

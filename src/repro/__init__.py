@@ -1,0 +1,54 @@
+"""qcert-py: a query compiler built around NRAe, the nested relational
+algebra with combinators and environments.
+
+A Python reproduction of "Handling Environments in a Nested Relational
+Algebra with Combinators and an Implementation in a Verified Query
+Compiler" (Auerbach, Hirzel, Mandel, Shinnar, Siméon — SIGMOD 2017).
+
+The paper's primary contribution lives in :mod:`repro.nraenv` (the
+algebra) and :mod:`repro.optim` (the rewrite engine and the Figure 3 /
+12 / 13 rule catalogs); everything else is the surrounding compiler:
+frontends (:mod:`repro.sql`, :mod:`repro.oql`, :mod:`repro.lambda_nra`,
+:mod:`repro.camp` + :mod:`repro.rules`), the NNRC calculus and backends,
+and the TPC-H / CAMP experiment substrates.
+
+Quickstart::
+
+    from repro import compile_sql, compile_to_python
+    from repro.tpch import generate, QUERIES
+
+    result = compile_sql(QUERIES["q6"])     # SQL → NRAe → opt → NNRC → opt
+    query = compile_to_python(result.final)
+    print(query(generate()))                # run against the mini TPC-H db
+"""
+
+from repro.compiler.pipeline import (
+    compile_camp,
+    compile_camp_via_nra,
+    compile_lnra,
+    compile_oql,
+    compile_sql,
+    compile_to_python,
+)
+from repro.data.model import Bag, Record, bag, rec
+from repro.nraenv.eval import eval_nraenv
+from repro.optim.defaults import optimize_nnrc, optimize_nra, optimize_nraenv
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Bag",
+    "Record",
+    "bag",
+    "compile_camp",
+    "compile_camp_via_nra",
+    "compile_lnra",
+    "compile_oql",
+    "compile_sql",
+    "compile_to_python",
+    "eval_nraenv",
+    "optimize_nnrc",
+    "optimize_nra",
+    "optimize_nraenv",
+    "rec",
+]

@@ -1,0 +1,22 @@
+"""Code generation backends and their runtime library (paper §8)."""
+
+from repro.backend.js_gen import generate_javascript
+from repro.backend.mapreduce import (
+    MapReduceChain,
+    NotDistributable,
+    distribute,
+    is_distributable,
+    run_chain,
+)
+from repro.backend.python_gen import compile_nnrc_to_callable, generate_python
+
+__all__ = [
+    "MapReduceChain",
+    "NotDistributable",
+    "compile_nnrc_to_callable",
+    "distribute",
+    "generate_javascript",
+    "generate_python",
+    "is_distributable",
+    "run_chain",
+]

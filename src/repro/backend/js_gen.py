@@ -1,0 +1,206 @@
+"""NNRC → JavaScript source emission (paper §8's primary backend).
+
+The original Q*cert emits JavaScript linked against a small JS runtime.
+This emitter produces equivalent JavaScript *text* for documentation and
+interoperability; it is not executed in this repository (no JS engine is
+assumed), so the executable backend of record is
+:mod:`repro.backend.python_gen`.  The structure mirrors the Python
+generator one-to-one: lets become ``const``, comprehensions become
+accumulation loops, and data operations call ``rt.*`` runtime functions.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, List
+
+from repro.data import operators as ops
+from repro.data.foreign import DateValue
+from repro.data.model import Bag, Record
+from repro.nnrc import ast
+
+_INDENT = "  "
+
+
+def _js_value(value: Any) -> str:
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return json.dumps(value)
+    if isinstance(value, str):
+        return json.dumps(value)
+    if isinstance(value, DateValue):
+        return "rt.date(%s)" % json.dumps(value.isoformat())
+    if isinstance(value, Bag):
+        return "[%s]" % ", ".join(_js_value(v) for v in value)
+    if isinstance(value, Record):
+        return "{%s}" % ", ".join(
+            "%s: %s" % (json.dumps(k), _js_value(v)) for k, v in value.fields
+        )
+    raise TypeError("cannot render %r as JavaScript" % (value,))
+
+
+_SIMPLE_UNOPS = {
+    ops.OpNeg: "neg",
+    ops.OpBag: "coll",
+    ops.OpFlatten: "flatten",
+    ops.OpDistinct: "distinct",
+    ops.OpCount: "count",
+    ops.OpSum: "sum",
+    ops.OpAvg: "avg",
+    ops.OpMin: "min",
+    ops.OpMax: "max",
+    ops.OpSingleton: "singleton",
+    ops.OpToString: "toString",
+    ops.OpNumNeg: "numneg",
+    ops.OpDateYear: "dateYear",
+    ops.OpDateMonth: "dateMonth",
+    ops.OpDateDay: "dateDay",
+}
+
+_BINOPS = {
+    ops.OpEq: "equal",
+    ops.OpIn: "member",
+    ops.OpUnion: "union",
+    ops.OpBagDiff: "bagDiff",
+    ops.OpBagInter: "bagInter",
+    ops.OpConcat: "concat",
+    ops.OpMergeConcat: "mergeConcat",
+    ops.OpLt: "lt",
+    ops.OpLe: "le",
+    ops.OpGt: "gt",
+    ops.OpGe: "ge",
+    ops.OpAnd: "and",
+    ops.OpOr: "or",
+    ops.OpAdd: "add",
+    ops.OpSub: "sub",
+    ops.OpMult: "mult",
+    ops.OpDiv: "div",
+    ops.OpStrConcat: "strConcat",
+    ops.OpDatePlusDays: "datePlusDays",
+    ops.OpDateMinusDays: "dateMinusDays",
+    ops.OpDatePlusMonths: "datePlusMonths",
+    ops.OpDateMinusMonths: "dateMinusMonths",
+    ops.OpDatePlusYears: "datePlusYears",
+    ops.OpDateMinusYears: "dateMinusYears",
+}
+
+
+class _JsEmitter:
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self._counter = 0
+
+    def fresh(self, hint: str) -> str:
+        self._counter += 1
+        return "_%s%d" % (hint, self._counter)
+
+    def emit(self, depth: int, line: str) -> None:
+        self.lines.append(_INDENT * depth + line)
+
+
+def _sanitize(name: str) -> str:
+    safe = "".join(ch if (ch.isalnum() or ch == "_") else "_" for ch in name)
+    return "v_" + safe
+
+
+def _compile(expr: ast.NnrcNode, emitter: _JsEmitter, depth: int) -> str:
+    if isinstance(expr, ast.Var):
+        return _sanitize(expr.name)
+    if isinstance(expr, ast.Const):
+        return _js_value(expr.value)
+    if isinstance(expr, ast.GetConstant):
+        return "rt.getConstant(constants, %s)" % json.dumps(expr.cname)
+    if isinstance(expr, ast.Unop):
+        arg = _compile(expr.arg, emitter, depth)
+        op = expr.op
+        if isinstance(op, ops.OpIdentity):
+            return arg
+        if isinstance(op, ops.OpRec):
+            return "rt.rec(%s, %s)" % (json.dumps(op.field), arg)
+        if isinstance(op, ops.OpDot):
+            return "rt.dot(%s, %s)" % (arg, json.dumps(op.field))
+        if isinstance(op, ops.OpRemove):
+            return "rt.remove(%s, %s)" % (arg, json.dumps(op.field))
+        if isinstance(op, ops.OpProject):
+            return "rt.project(%s, %s)" % (arg, json.dumps(list(op.fields)))
+        if isinstance(op, ops.OpSortBy):
+            keys = [[field, desc] for field, desc in op.keys]
+            return "rt.sortBy(%s, %s)" % (arg, json.dumps(keys))
+        if isinstance(op, ops.OpLike):
+            return "rt.like(%s, %s)" % (arg, json.dumps(op.pattern))
+        if isinstance(op, ops.OpSubstring):
+            return "rt.substring(%s, %d, %s)" % (
+                arg,
+                op.start,
+                json.dumps(op.length),
+            )
+        if isinstance(op, ops.OpLimit):
+            return "rt.limit(%s, %d)" % (arg, op.n)
+        fn = _SIMPLE_UNOPS.get(type(op))
+        if fn is None:
+            raise TypeError("no JS codegen for unary op %r" % (op,))
+        return "rt.%s(%s)" % (fn, arg)
+    if isinstance(expr, ast.Binop):
+        fn = _BINOPS.get(type(expr.op))
+        if fn is None:
+            raise TypeError("no JS codegen for binary op %r" % (expr.op,))
+        return "rt.%s(%s, %s)" % (
+            fn,
+            _compile(expr.left, emitter, depth),
+            _compile(expr.right, emitter, depth),
+        )
+    if isinstance(expr, ast.Let):
+        value = _compile(expr.defn, emitter, depth)
+        emitter.emit(depth, "const %s = %s;" % (_sanitize(expr.var), value))
+        return _compile(expr.body, emitter, depth)
+    if isinstance(expr, ast.For):
+        source = _compile(expr.source, emitter, depth)
+        acc = emitter.fresh("acc")
+        emitter.emit(depth, "const %s = [];" % acc)
+        emitter.emit(
+            depth, "for (const %s of rt.bagItems(%s)) {" % (_sanitize(expr.var), source)
+        )
+        body = _compile(expr.body, emitter, depth + 1)
+        emitter.emit(depth + 1, "%s.push(%s);" % (acc, body))
+        emitter.emit(depth, "}")
+        return acc
+    if isinstance(expr, ast.If):
+        cond = _compile(expr.cond, emitter, depth)
+        out = emitter.fresh("ite")
+        emitter.emit(depth, "let %s;" % out)
+        emitter.emit(depth, "if (rt.asBool(%s)) {" % cond)
+        then_value = _compile(expr.then, emitter, depth + 1)
+        emitter.emit(depth + 1, "%s = %s;" % (out, then_value))
+        emitter.emit(depth, "} else {")
+        else_value = _compile(expr.otherwise, emitter, depth + 1)
+        emitter.emit(depth + 1, "%s = %s;" % (out, else_value))
+        emitter.emit(depth, "}")
+        return out
+    raise TypeError("unknown NNRC node %r" % (expr,))
+
+
+def generate_javascript(
+    expr: ast.NnrcNode,
+    name: str = "query",
+    input_var: str = "d0",
+    env_var: str = "e0",
+) -> str:
+    """Generate JavaScript source for an NNRC expression."""
+    from repro.nnrc.freevars import FreshNames, all_names, rename_bound
+
+    names = FreshNames(avoid=all_names(expr) | {input_var, env_var}, prefix="b")
+    expr = rename_bound(expr, names)
+
+    emitter = _JsEmitter()
+    emitter.emit(
+        0,
+        "function %s(rt, constants, %s, %s) {"
+        % (name, _sanitize(input_var), _sanitize(env_var)),
+    )
+    result = _compile(expr, emitter, 1)
+    emitter.emit(1, "return %s;" % result)
+    emitter.emit(0, "}")
+    return "\n".join(emitter.lines) + "\n"

@@ -1,0 +1,234 @@
+"""NNRCMR-lite: a map/reduce view of NNRC (paper §8, Figure 10).
+
+Q*cert lowers NNRC to NNRCMR — "NNRC with Map/Reduce" — on its way to
+Spark and Cloudant.  This module reproduces that architectural element
+at laptop scale: a compiler from a (canonical) subset of NNRC into a
+chain of map/reduce stages, and a simulated distributed engine that
+executes the chain over sharded inputs.
+
+Supported NNRC shapes (exactly the ones the distributed lowering
+targets):
+
+- ``GetConstant(T)`` — a distributed collection;
+- ``{body | x ∈ q}`` — a map stage;
+- ``flatten({body | x ∈ q})`` — a flat-map stage (selections compile to
+  this shape);
+- ``⊙ q`` for an associative-friendly aggregate (count, sum, min, max,
+  avg, distinct) — a reduce stage, which terminates the chain.
+
+Map/flat-map bodies must depend only on their element variable and the
+database constants (no driver-side variables): that is the condition
+for shipping the body to the workers.  Anything else raises
+:class:`NotDistributable`; a real deployment would run the residual
+expression on the driver (as Q*cert does), which callers can do with
+the plain NNRC evaluator.
+
+The headline property (tested): the chain's result is *independent of
+the sharding* and equal to the sequential NNRC semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Mapping, Optional, Sequence
+
+from repro.data import operators as ops
+from repro.data.model import Bag, DataError
+from repro.nnrc import ast
+from repro.nnrc.eval import eval_nnrc
+from repro.nnrc.freevars import free_vars
+from repro.nraenv.eval import EvalError
+
+
+class NotDistributable(ValueError):
+    """The NNRC expression falls outside the map/reduce subset."""
+
+
+class MapStage:
+    """Apply ``body`` to each element (bound to ``var``); one output each."""
+
+    kind = "map"
+
+    def __init__(self, var: str, body: ast.NnrcNode):
+        self.var = var
+        self.body = body
+
+    def __repr__(self) -> str:
+        return "MapStage(%s: %r)" % (self.var, self.body)
+
+
+class FlatMapStage:
+    """Apply ``body`` (bag-valued) to each element and flatten the results."""
+
+    kind = "flatmap"
+
+    def __init__(self, var: str, body: ast.NnrcNode):
+        self.var = var
+        self.body = body
+
+    def __repr__(self) -> str:
+        return "FlatMapStage(%s: %r)" % (self.var, self.body)
+
+
+#: Reduce operators with (parallel combiner, final) semantics.
+_REDUCERS = {
+    "count": ops.OpCount(),
+    "sum": ops.OpSum(),
+    "min": ops.OpMin(),
+    "max": ops.OpMax(),
+    "avg": ops.OpAvg(),
+    "distinct": ops.OpDistinct(),
+    "flatten": ops.OpFlatten(),
+}
+
+
+class ReduceStage:
+    """Reduce the collected bag with an aggregate; ends the chain."""
+
+    kind = "reduce"
+
+    def __init__(self, name: str):
+        if name not in _REDUCERS:
+            raise NotDistributable("unsupported reducer %r" % name)
+        self.name = name
+
+    def __repr__(self) -> str:
+        return "ReduceStage(%s)" % self.name
+
+
+class MapReduceChain:
+    """A distributed collection (``input_table``) piped through stages."""
+
+    def __init__(self, input_table: str, stages: Sequence[Any]):
+        self.input_table = input_table
+        self.stages = list(stages)
+
+    @property
+    def ends_in_reduce(self) -> bool:
+        return bool(self.stages) and isinstance(self.stages[-1], ReduceStage)
+
+    def __repr__(self) -> str:
+        return "MapReduceChain(%s | %s)" % (
+            self.input_table,
+            " → ".join(repr(stage) for stage in self.stages),
+        )
+
+
+_AGG_OPS = {
+    ops.OpCount: "count",
+    ops.OpSum: "sum",
+    ops.OpMin: "min",
+    ops.OpMax: "max",
+    ops.OpAvg: "avg",
+    ops.OpDistinct: "distinct",
+}
+
+
+def nnrc_to_mr(
+    expr: ast.NnrcNode, constant_names: Optional[Sequence[str]] = None
+) -> MapReduceChain:
+    """Compile a canonical NNRC expression into a map/reduce chain.
+
+    ``constant_names`` lists names the stage bodies may reference in
+    addition to their element variable (defaults to: any GetConstant is
+    fine, free *variables* are not).
+    """
+    if isinstance(expr, ast.GetConstant):
+        return MapReduceChain(expr.cname, [])
+    if isinstance(expr, ast.For):
+        chain = nnrc_to_mr(expr.source, constant_names)
+        _require_shippable(expr.body, expr.var)
+        _require_open(chain)
+        chain.stages.append(MapStage(expr.var, expr.body))
+        return chain
+    if isinstance(expr, ast.Unop):
+        if isinstance(expr.op, ops.OpFlatten) and isinstance(expr.arg, ast.For):
+            inner = expr.arg
+            chain = nnrc_to_mr(inner.source, constant_names)
+            _require_shippable(inner.body, inner.var)
+            _require_open(chain)
+            chain.stages.append(FlatMapStage(inner.var, inner.body))
+            return chain
+        agg = _AGG_OPS.get(type(expr.op))
+        if agg is not None:
+            chain = nnrc_to_mr(expr.arg, constant_names)
+            _require_open(chain)
+            chain.stages.append(ReduceStage(agg))
+            return chain
+    raise NotDistributable("no map/reduce shape for %r" % (expr,))
+
+
+def _require_open(chain: MapReduceChain) -> None:
+    if chain.ends_in_reduce:
+        raise NotDistributable("cannot extend a chain past its reduce")
+
+
+def _require_shippable(body: ast.NnrcNode, var: str) -> None:
+    extra = free_vars(body) - {var}
+    if extra:
+        raise NotDistributable(
+            "stage body references driver-side variables %s" % sorted(extra)
+        )
+
+
+def _shard(items: Sequence[Any], shards: int) -> List[List[Any]]:
+    """Round-robin sharding (any partition works; tests sweep counts)."""
+    buckets: List[List[Any]] = [[] for _ in range(max(1, shards))]
+    for index, item in enumerate(items):
+        buckets[index % len(buckets)].append(item)
+    return buckets
+
+
+def run_chain(
+    chain: MapReduceChain,
+    constants: Mapping[str, Any],
+    shards: int = 4,
+) -> Any:
+    """Execute the chain over a simulated cluster with ``shards`` workers.
+
+    Map and flat-map stages run per shard, independently (worker-local);
+    the reduce stage gathers all shards and applies the aggregate.
+    """
+    source = constants.get(chain.input_table)
+    if not isinstance(source, Bag):
+        raise EvalError("input %r is not a bag" % chain.input_table)
+    partitions = _shard(source.items, shards)
+
+    reduce_stage: Optional[ReduceStage] = None
+    for stage in chain.stages:
+        if isinstance(stage, ReduceStage):
+            reduce_stage = stage
+            break
+        new_partitions: List[List[Any]] = []
+        for partition in partitions:  # each iteration = one worker
+            out: List[Any] = []
+            for item in partition:
+                value = eval_nnrc(stage.body, {stage.var: item}, constants)
+                if isinstance(stage, FlatMapStage):
+                    if not isinstance(value, Bag):
+                        raise EvalError("flat-map body must return a bag")
+                    out.extend(value.items)
+                else:
+                    out.append(value)
+            new_partitions.append(out)
+        partitions = new_partitions
+
+    gathered = Bag([item for partition in partitions for item in partition])
+    if reduce_stage is None:
+        return gathered
+    try:
+        return _REDUCERS[reduce_stage.name].apply(gathered)
+    except DataError as exc:
+        raise EvalError(str(exc)) from exc
+
+
+def distribute(expr: ast.NnrcNode) -> MapReduceChain:
+    """Compile, raising :class:`NotDistributable` outside the subset."""
+    return nnrc_to_mr(expr)
+
+
+def is_distributable(expr: ast.NnrcNode) -> bool:
+    try:
+        nnrc_to_mr(expr)
+    except NotDistributable:
+        return False
+    return True

@@ -1,0 +1,227 @@
+"""NNRC → Python source code generation (paper §8's JS backend, in Python).
+
+Generates a self-contained Python function from an (optimized) NNRC
+expression.  The generated code is plain, readable Python: ``let``
+becomes an assignment, comprehensions become accumulation loops, and
+every data operation is a call into :mod:`repro.backend.runtime`.
+Non-trivial constant values (bags, records, dates) are carried in a
+constant pool so the source stays printable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.data import operators as ops
+from repro.data.model import Bag, Record
+from repro.nnrc import ast
+
+_INDENT = "    "
+
+
+class _Emitter:
+    """Accumulates statements and fresh temporaries for one function."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self.pool: List[Any] = []
+        self._counter = 0
+
+    def fresh(self, hint: str = "t") -> str:
+        self._counter += 1
+        return "_%s%d" % (hint, self._counter)
+
+    def emit(self, depth: int, line: str) -> None:
+        self.lines.append(_INDENT * depth + line)
+
+    def pooled(self, value: Any) -> str:
+        self.pool.append(value)
+        return "_pool[%d]" % (len(self.pool) - 1)
+
+
+def _sanitize(name: str) -> str:
+    """Make an NNRC variable a valid Python identifier."""
+    safe = "".join(ch if (ch.isalnum() or ch == "_") else "_" for ch in name)
+    if not safe or safe[0].isdigit():
+        safe = "v_" + safe
+    return "u_" + safe
+
+
+def _const_expr(value: Any, emitter: _Emitter) -> str:
+    if value is None or isinstance(value, (bool, int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        return repr(value)
+    if isinstance(value, Bag) and not value.items:
+        return "_rt.mk_bag(())"
+    if isinstance(value, (Bag, Record)):
+        return emitter.pooled(value)
+    return emitter.pooled(value)
+
+
+#: Unary operators rendered as runtime calls with extra literal arguments.
+def _unop_call(op: ops.UnaryOp, arg: str, emitter: _Emitter) -> str:
+    if isinstance(op, ops.OpIdentity):
+        return arg
+    if isinstance(op, ops.OpRec):
+        return "_rt.brec(%r, %s)" % (op.field, arg)
+    if isinstance(op, ops.OpDot):
+        return "_rt.dot(%s, %r)" % (arg, op.field)
+    if isinstance(op, ops.OpRemove):
+        return "_rt.remove(%s, %r)" % (arg, op.field)
+    if isinstance(op, ops.OpProject):
+        return "_rt.project(%s, %r)" % (arg, op.fields)
+    if isinstance(op, ops.OpSortBy):
+        return "_rt.sort_by(%s, %r)" % (arg, op.keys)
+    if isinstance(op, ops.OpLike):
+        return "_rt.like(%s, %r)" % (arg, op.pattern)
+    if isinstance(op, ops.OpSubstring):
+        return "_rt.substring(%s, %r, %r)" % (arg, op.start, op.length)
+    if isinstance(op, ops.OpLimit):
+        return "_rt.limit(%s, %r)" % (arg, op.n)
+    simple = {
+        ops.OpNeg: "neg",
+        ops.OpBag: "coll",
+        ops.OpFlatten: "flatten",
+        ops.OpDistinct: "distinct",
+        ops.OpCount: "count",
+        ops.OpSum: "agg_sum",
+        ops.OpAvg: "agg_avg",
+        ops.OpMin: "agg_min",
+        ops.OpMax: "agg_max",
+        ops.OpSingleton: "singleton",
+        ops.OpToString: "tostring",
+        ops.OpNumNeg: "numneg",
+        ops.OpDateYear: "date_year",
+        ops.OpDateMonth: "date_month",
+        ops.OpDateDay: "date_day",
+    }
+    fn = simple.get(type(op))
+    if fn is None:
+        raise TypeError("no Python codegen for unary op %r" % (op,))
+    return "_rt.%s(%s)" % (fn, arg)
+
+
+_BINOP_FNS = {
+    ops.OpEq: "eq",
+    ops.OpIn: "member",
+    ops.OpUnion: "union",
+    ops.OpBagDiff: "bag_diff",
+    ops.OpBagInter: "bag_inter",
+    ops.OpConcat: "concat",
+    ops.OpMergeConcat: "merge_concat",
+    ops.OpLt: "lt",
+    ops.OpLe: "le",
+    ops.OpGt: "gt",
+    ops.OpGe: "ge",
+    ops.OpAnd: "and_",
+    ops.OpOr: "or_",
+    ops.OpAdd: "add",
+    ops.OpSub: "sub",
+    ops.OpMult: "mult",
+    ops.OpDiv: "div",
+    ops.OpStrConcat: "str_concat",
+    ops.OpDatePlusDays: "date_plus_days",
+    ops.OpDateMinusDays: "date_minus_days",
+    ops.OpDatePlusMonths: "date_plus_months",
+    ops.OpDateMinusMonths: "date_minus_months",
+    ops.OpDatePlusYears: "date_plus_years",
+    ops.OpDateMinusYears: "date_minus_years",
+}
+
+
+def _compile(expr: ast.NnrcNode, emitter: _Emitter, depth: int) -> str:
+    """Emit statements for ``expr``; return a Python expression string."""
+    if isinstance(expr, ast.Var):
+        return _sanitize(expr.name)
+    if isinstance(expr, ast.Const):
+        return _const_expr(expr.value, emitter)
+    if isinstance(expr, ast.GetConstant):
+        return "_rt.get_constant(constants, %r)" % expr.cname
+    if isinstance(expr, ast.Unop):
+        return _unop_call(expr.op, _compile(expr.arg, emitter, depth), emitter)
+    if isinstance(expr, ast.Binop):
+        fn = _BINOP_FNS.get(type(expr.op))
+        if fn is None:
+            raise TypeError("no Python codegen for binary op %r" % (expr.op,))
+        left = _compile(expr.left, emitter, depth)
+        right = _compile(expr.right, emitter, depth)
+        return "_rt.%s(%s, %s)" % (fn, left, right)
+    if isinstance(expr, ast.Let):
+        value = _compile(expr.defn, emitter, depth)
+        emitter.emit(depth, "%s = %s" % (_sanitize(expr.var), value))
+        return _compile(expr.body, emitter, depth)
+    if isinstance(expr, ast.For):
+        source = _compile(expr.source, emitter, depth)
+        acc = emitter.fresh("acc")
+        emitter.emit(depth, "%s = []" % acc)
+        emitter.emit(depth, "for %s in _rt.bag_items(%s):" % (_sanitize(expr.var), source))
+        body = _compile(expr.body, emitter, depth + 1)
+        emitter.emit(depth + 1, "%s.append(%s)" % (acc, body))
+        return "_rt.mk_bag(%s)" % acc
+    if isinstance(expr, ast.If):
+        cond = _compile(expr.cond, emitter, depth)
+        out = emitter.fresh("if")
+        emitter.emit(depth, "if _rt.bool_(%s):" % cond)
+        then_value = _compile(expr.then, emitter, depth + 1)
+        emitter.emit(depth + 1, "%s = %s" % (out, then_value))
+        emitter.emit(depth, "else:")
+        else_value = _compile(expr.otherwise, emitter, depth + 1)
+        emitter.emit(depth + 1, "%s = %s" % (out, else_value))
+        return out
+    raise TypeError("unknown NNRC node %r" % (expr,))
+
+
+def generate_python(
+    expr: ast.NnrcNode,
+    name: str = "query",
+    input_var: str = "d0",
+    env_var: str = "e0",
+) -> Tuple[str, List[Any]]:
+    """Generate Python source for an NNRC expression.
+
+    Returns ``(source, constant_pool)``.  The generated function has
+    signature ``name(constants, d0=None, e0=<empty record>)`` where ``constants``
+    maps table names to values.
+    """
+    # α-rename binders so shadowed NNRC variables cannot collide in the
+    # flat Python scope of the generated function.
+    from repro.nnrc.freevars import FreshNames, all_names, rename_bound
+
+    names = FreshNames(avoid=all_names(expr) | {input_var, env_var}, prefix="b")
+    expr = rename_bound(expr, names)
+
+    emitter = _Emitter()
+    header = "def %s(constants, %s=None, %s=_rt.EMPTY_RECORD):" % (
+        name,
+        _sanitize(input_var),
+        _sanitize(env_var),
+    )
+    emitter.emit(0, header)
+    body_start = len(emitter.lines)
+    result = _compile(expr, emitter, 1)
+    emitter.emit(1, "return %s" % result)
+    if len(emitter.lines) == body_start:  # pragma: no cover - always has return
+        emitter.emit(1, "pass")
+    return "\n".join(emitter.lines) + "\n", emitter.pool
+
+
+def compile_nnrc_to_callable(
+    expr: ast.NnrcNode,
+    name: str = "query",
+    input_var: str = "d0",
+    env_var: str = "e0",
+) -> Callable[..., Any]:
+    """Generate and load the Python function for an NNRC expression.
+
+    The returned callable has signature ``fn(constants, d0=None,
+    e0=<empty record>)``; its generated source is attached as ``fn.__source__``.
+    """
+    from repro.backend import runtime
+
+    source, pool = generate_python(expr, name, input_var, env_var)
+    namespace: Dict[str, Any] = {"_rt": runtime, "_pool": pool}
+    exec(compile(source, "<nnrc:%s>" % name, "exec"), namespace)
+    fn = namespace[name]
+    fn.__source__ = source
+    return fn

@@ -1,0 +1,239 @@
+"""Runtime library for generated code (paper §8).
+
+"The emitted code has to be linked with a small runtime library which
+implements core operations over the data model (e.g., record
+construction/access, collection operations such as flatten, distinct,
+etc.)" — this is that library for the Python backend.  Generated code
+calls these functions by name; they delegate to the single source of
+operator semantics in :mod:`repro.data.operators`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Sequence, Tuple
+
+from repro.data import operators as ops
+from repro.data.model import Bag, DataError, Record
+
+
+#: Default value for the generated functions' environment parameter.
+EMPTY_RECORD = Record({})
+
+
+def brec(field: str, value: Any) -> Record:
+    """``[field: value]``."""
+    return Record({field: value})
+
+
+def dot(value: Any, field: str) -> Any:
+    return ops.OpDot(field).apply(value)
+
+
+def remove(value: Any, field: str) -> Any:
+    return ops.OpRemove(field).apply(value)
+
+
+def project(value: Any, fields: Sequence[str]) -> Any:
+    return ops.OpProject(fields).apply(value)
+
+
+def coll(value: Any) -> Bag:
+    return Bag([value])
+
+
+def flatten(value: Any) -> Bag:
+    return ops.OpFlatten().apply(value)
+
+
+def distinct(value: Any) -> Bag:
+    return ops.OpDistinct().apply(value)
+
+
+def neg(value: Any) -> bool:
+    return ops.OpNeg().apply(value)
+
+
+def count(value: Any) -> int:
+    return ops.OpCount().apply(value)
+
+
+def agg_sum(value: Any) -> Any:
+    return ops.OpSum().apply(value)
+
+
+def agg_avg(value: Any) -> Any:
+    return ops.OpAvg().apply(value)
+
+
+def agg_min(value: Any) -> Any:
+    return ops.OpMin().apply(value)
+
+
+def agg_max(value: Any) -> Any:
+    return ops.OpMax().apply(value)
+
+
+def singleton(value: Any) -> Any:
+    return ops.OpSingleton().apply(value)
+
+
+def tostring(value: Any) -> str:
+    return ops.OpToString().apply(value)
+
+
+def numneg(value: Any) -> Any:
+    return ops.OpNumNeg().apply(value)
+
+
+def sort_by(value: Any, keys: Sequence[Tuple[str, bool]]) -> Any:
+    return ops.OpSortBy(keys).apply(value)
+
+
+def like(value: Any, pattern: str) -> bool:
+    return ops.OpLike(pattern).apply(value)
+
+
+def substring(value: Any, start: int, length: Any) -> str:
+    return ops.OpSubstring(start, length).apply(value)
+
+
+def date_year(value: Any) -> int:
+    return ops.OpDateYear().apply(value)
+
+
+def date_month(value: Any) -> int:
+    return ops.OpDateMonth().apply(value)
+
+
+def date_day(value: Any) -> int:
+    return ops.OpDateDay().apply(value)
+
+
+# -- binary -------------------------------------------------------------------
+
+
+def eq(left: Any, right: Any) -> bool:
+    return ops.OpEq().apply(left, right)
+
+
+def member(left: Any, right: Any) -> bool:
+    return ops.OpIn().apply(left, right)
+
+
+def union(left: Any, right: Any) -> Bag:
+    return ops.OpUnion().apply(left, right)
+
+
+def bag_diff(left: Any, right: Any) -> Bag:
+    return ops.OpBagDiff().apply(left, right)
+
+
+def bag_inter(left: Any, right: Any) -> Bag:
+    return ops.OpBagInter().apply(left, right)
+
+
+def concat(left: Any, right: Any) -> Record:
+    return ops.OpConcat().apply(left, right)
+
+
+def merge_concat(left: Any, right: Any) -> Bag:
+    return ops.OpMergeConcat().apply(left, right)
+
+
+def lt(left: Any, right: Any) -> bool:
+    return ops.OpLt().apply(left, right)
+
+
+def le(left: Any, right: Any) -> bool:
+    return ops.OpLe().apply(left, right)
+
+
+def gt(left: Any, right: Any) -> bool:
+    return ops.OpGt().apply(left, right)
+
+
+def ge(left: Any, right: Any) -> bool:
+    return ops.OpGe().apply(left, right)
+
+
+def and_(left: Any, right: Any) -> bool:
+    return ops.OpAnd().apply(left, right)
+
+
+def or_(left: Any, right: Any) -> bool:
+    return ops.OpOr().apply(left, right)
+
+
+def add(left: Any, right: Any) -> Any:
+    return ops.OpAdd().apply(left, right)
+
+
+def sub(left: Any, right: Any) -> Any:
+    return ops.OpSub().apply(left, right)
+
+
+def mult(left: Any, right: Any) -> Any:
+    return ops.OpMult().apply(left, right)
+
+
+def div(left: Any, right: Any) -> Any:
+    return ops.OpDiv().apply(left, right)
+
+
+def str_concat(left: Any, right: Any) -> str:
+    return ops.OpStrConcat().apply(left, right)
+
+
+def date_plus_days(left: Any, right: Any) -> Any:
+    return ops.OpDatePlusDays().apply(left, right)
+
+
+def date_minus_days(left: Any, right: Any) -> Any:
+    return ops.OpDateMinusDays().apply(left, right)
+
+
+def date_plus_months(left: Any, right: Any) -> Any:
+    return ops.OpDatePlusMonths().apply(left, right)
+
+
+def date_minus_months(left: Any, right: Any) -> Any:
+    return ops.OpDateMinusMonths().apply(left, right)
+
+
+def date_plus_years(left: Any, right: Any) -> Any:
+    return ops.OpDatePlusYears().apply(left, right)
+
+
+def date_minus_years(left: Any, right: Any) -> Any:
+    return ops.OpDateMinusYears().apply(left, right)
+
+
+def limit(value: Any, n: int) -> Any:
+    return ops.OpLimit(n).apply(value)
+
+
+# -- control helpers used by generated code ----------------------------------
+
+
+def bag_items(value: Any) -> Tuple[Any, ...]:
+    """Iteration source for comprehensions; enforces bagness."""
+    if not isinstance(value, Bag):
+        raise DataError("comprehension source must be a bag, got %r" % (value,))
+    return value.items
+
+
+def mk_bag(items: Iterable[Any]) -> Bag:
+    return Bag(items)
+
+
+def bool_(value: Any) -> bool:
+    if not isinstance(value, bool):
+        raise DataError("condition must be a boolean, got %r" % (value,))
+    return value
+
+
+def get_constant(constants: Any, name: str) -> Any:
+    try:
+        return constants[name]
+    except KeyError:
+        raise DataError("unknown database constant %r" % (name,))

@@ -1,0 +1,37 @@
+"""CAMP: the Calculus for Aggregating Matching Patterns (paper §7)."""
+
+from repro.camp.ast import (
+    CampNode,
+    PAssert,
+    PBinop,
+    PConst,
+    PEnv,
+    PGetConstant,
+    PIt,
+    PLetEnv,
+    PLetIt,
+    PMap,
+    POrElse,
+    PUnop,
+)
+from repro.camp.eval import MatchFail, eval_camp, matches
+from repro.camp.pretty import pretty
+
+__all__ = [
+    "CampNode",
+    "MatchFail",
+    "PAssert",
+    "PBinop",
+    "PConst",
+    "PEnv",
+    "PGetConstant",
+    "PIt",
+    "PLetEnv",
+    "PLetIt",
+    "PMap",
+    "POrElse",
+    "PUnop",
+    "eval_camp",
+    "matches",
+    "pretty",
+]

@@ -1,0 +1,258 @@
+"""Abstract syntax for CAMP (paper §7).
+
+The Calculus for Aggregating Matching Patterns::
+
+    p ::= d | ⊙p | p1 ⊡ p2 | it | env | let it = p1 in p2
+        | let env += p1 in p2 | map p | assert p | p1 || p2
+
+plus ``PGetConstant`` for access to named database constants (the
+working memory / "WORLD" of the rule language), matching Q*cert's CAMP.
+
+A pattern evaluates against an implicit datum (``it``) and an
+environment of bindings (``env``); evaluation may *fail recoverably*
+(match failure) — ``map`` collects only the successes and ``||``
+recovers from failure.  ``let env += p`` *unifies* the bindings computed
+by ``p`` with the current environment (⊗ semantics), the feature the
+paper highlights as awkward for lambda-based representations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Tuple
+
+from repro.data.model import is_value
+from repro.data.operators import BinaryOp, UnaryOp
+
+
+class CampNode:
+    """Base class for CAMP patterns."""
+
+    __slots__ = ()
+
+    def children(self) -> Tuple["CampNode", ...]:
+        raise NotImplementedError
+
+    def rebuild(self, children: Tuple["CampNode", ...]) -> "CampNode":
+        raise NotImplementedError
+
+    def _tag(self) -> Tuple[Any, ...]:
+        return (type(self).__name__,)
+
+    def __eq__(self, other: Any) -> bool:
+        if type(self) is not type(other):
+            return NotImplemented if not isinstance(other, CampNode) else False
+        return self._tag() == other._tag() and self.children() == other.children()
+
+    def __ne__(self, other: Any) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        return hash((self._tag(), self.children()))
+
+    def __repr__(self) -> str:
+        from repro.camp.pretty import pretty
+
+        return pretty(self)
+
+    def size(self) -> int:
+        return 1 + sum(child.size() for child in self.children())
+
+    def walk(self) -> Iterator["CampNode"]:
+        yield self
+        for child in self.children():
+            for node in child.walk():
+                yield node
+
+
+class PConst(CampNode):
+    """``d``: a constant pattern (always matches, returns ``d``)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        assert is_value(value), "PConst requires a data-model value: %r" % (value,)
+        self.value = value
+
+    def children(self) -> Tuple[CampNode, ...]:
+        return ()
+
+    def rebuild(self, children: Tuple[CampNode, ...]) -> CampNode:
+        return self
+
+    def _tag(self) -> Tuple[Any, ...]:
+        from repro.data.model import canonical_key
+
+        return ("PConst", canonical_key(self.value))
+
+
+class PUnop(CampNode):
+    """``⊙ p``."""
+
+    __slots__ = ("op", "arg")
+
+    def __init__(self, op: UnaryOp, arg: CampNode):
+        self.op = op
+        self.arg = arg
+
+    def children(self) -> Tuple[CampNode, ...]:
+        return (self.arg,)
+
+    def rebuild(self, children: Tuple[CampNode, ...]) -> CampNode:
+        return PUnop(self.op, children[0])
+
+    def _tag(self) -> Tuple[Any, ...]:
+        return ("PUnop", self.op)
+
+
+class PBinop(CampNode):
+    """``p1 ⊡ p2``."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: BinaryOp, left: CampNode, right: CampNode):
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def children(self) -> Tuple[CampNode, ...]:
+        return (self.left, self.right)
+
+    def rebuild(self, children: Tuple[CampNode, ...]) -> CampNode:
+        return PBinop(self.op, *children)
+
+    def _tag(self) -> Tuple[Any, ...]:
+        return ("PBinop", self.op)
+
+
+class PIt(CampNode):
+    """``it``: the implicit datum being matched."""
+
+    __slots__ = ()
+
+    def children(self) -> Tuple[CampNode, ...]:
+        return ()
+
+    def rebuild(self, children: Tuple[CampNode, ...]) -> CampNode:
+        return self
+
+
+class PEnv(CampNode):
+    """``env``: the current binding environment (a record)."""
+
+    __slots__ = ()
+
+    def children(self) -> Tuple[CampNode, ...]:
+        return ()
+
+    def rebuild(self, children: Tuple[CampNode, ...]) -> CampNode:
+        return self
+
+
+class PLetIt(CampNode):
+    """``let it = defn in body``: rebind the implicit datum."""
+
+    __slots__ = ("defn", "body")
+
+    def __init__(self, defn: CampNode, body: CampNode):
+        self.defn = defn
+        self.body = body
+
+    def children(self) -> Tuple[CampNode, ...]:
+        return (self.defn, self.body)
+
+    def rebuild(self, children: Tuple[CampNode, ...]) -> CampNode:
+        return PLetIt(*children)
+
+
+class PLetEnv(CampNode):
+    """``let env += defn in body``: unify new bindings into ``env``.
+
+    ``defn`` must produce a record; if it is incompatible with the
+    current environment (⊗ fails) the whole pattern fails recoverably.
+    """
+
+    __slots__ = ("defn", "body")
+
+    def __init__(self, defn: CampNode, body: CampNode):
+        self.defn = defn
+        self.body = body
+
+    def children(self) -> Tuple[CampNode, ...]:
+        return (self.defn, self.body)
+
+    def rebuild(self, children: Tuple[CampNode, ...]) -> CampNode:
+        return PLetEnv(*children)
+
+
+class PMap(CampNode):
+    """``map p``: match ``p`` against each element of ``it`` (a bag).
+
+    Collects the successes; element-level match failures are dropped,
+    so ``map`` itself never fails.
+    """
+
+    __slots__ = ("body",)
+
+    def __init__(self, body: CampNode):
+        self.body = body
+
+    def children(self) -> Tuple[CampNode, ...]:
+        return (self.body,)
+
+    def rebuild(self, children: Tuple[CampNode, ...]) -> CampNode:
+        return PMap(children[0])
+
+
+class PAssert(CampNode):
+    """``assert p``: fail unless ``p`` matches and returns true.
+
+    On success returns the empty record ``[]``.
+    """
+
+    __slots__ = ("body",)
+
+    def __init__(self, body: CampNode):
+        self.body = body
+
+    def children(self) -> Tuple[CampNode, ...]:
+        return (self.body,)
+
+    def rebuild(self, children: Tuple[CampNode, ...]) -> CampNode:
+        return PAssert(children[0])
+
+
+class POrElse(CampNode):
+    """``p1 || p2``: recover from match failure of ``p1`` with ``p2``."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: CampNode, right: CampNode):
+        self.left = left
+        self.right = right
+
+    def children(self) -> Tuple[CampNode, ...]:
+        return (self.left, self.right)
+
+    def rebuild(self, children: Tuple[CampNode, ...]) -> CampNode:
+        return POrElse(*children)
+
+
+class PGetConstant(CampNode):
+    """Access to a named database constant (e.g. the WORLD bag)."""
+
+    __slots__ = ("cname",)
+
+    def __init__(self, cname: str):
+        self.cname = cname
+
+    def children(self) -> Tuple[CampNode, ...]:
+        return ()
+
+    def rebuild(self, children: Tuple[CampNode, ...]) -> CampNode:
+        return self
+
+    def _tag(self) -> Tuple[Any, ...]:
+        return ("PGetConstant", self.cname)

@@ -1,0 +1,114 @@
+"""Operational semantics of CAMP ([34]; paper §7 gives the intuition).
+
+Evaluation is against an implicit datum ``it`` and a binding
+environment ``env`` (a record).  Two failure modes are distinguished:
+
+- :class:`MatchFail` — *recoverable* match failure: ``map`` drops the
+  element, ``||`` falls through to its right operand, failed unification
+  in ``let env +=`` raises it;
+- :class:`~repro.nraenv.eval.EvalError` — terminal error (ill-shaped
+  data), which is never recovered.
+
+This mirrors the paper's translation invariant: translated patterns
+return ∅ for a recoverable failure and ``{v}`` for success.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+from repro.camp import ast
+from repro.data.model import Bag, DataError, Record
+from repro.nraenv.eval import EvalError
+
+
+class MatchFail(Exception):
+    """Recoverable match failure (the ∅ of the translation)."""
+
+
+def eval_camp(
+    pattern: ast.CampNode,
+    datum: Any = None,
+    env: Optional[Record] = None,
+    constants: Optional[Mapping[str, Any]] = None,
+) -> Any:
+    """Evaluate ``pattern`` against ``datum`` with bindings ``env``.
+
+    Raises :class:`MatchFail` on recoverable failure.
+    """
+    if env is None:
+        env = Record({})
+    return _eval(pattern, datum, env, constants or {})
+
+
+def matches(
+    pattern: ast.CampNode,
+    datum: Any = None,
+    env: Optional[Record] = None,
+    constants: Optional[Mapping[str, Any]] = None,
+) -> Optional[Any]:
+    """Like :func:`eval_camp` but returns None on match failure."""
+    try:
+        return eval_camp(pattern, datum, env, constants)
+    except MatchFail:
+        return None
+
+
+def _eval(pattern: ast.CampNode, it: Any, env: Record, constants: Mapping[str, Any]) -> Any:
+    if isinstance(pattern, ast.PConst):
+        return pattern.value
+    if isinstance(pattern, ast.PIt):
+        return it
+    if isinstance(pattern, ast.PEnv):
+        return env
+    if isinstance(pattern, ast.PGetConstant):
+        if pattern.cname not in constants:
+            raise EvalError("unknown database constant %r" % pattern.cname)
+        return constants[pattern.cname]
+    if isinstance(pattern, ast.PUnop):
+        value = _eval(pattern.arg, it, env, constants)
+        try:
+            return pattern.op.apply(value)
+        except DataError as exc:
+            raise EvalError(str(exc)) from exc
+    if isinstance(pattern, ast.PBinop):
+        left = _eval(pattern.left, it, env, constants)
+        right = _eval(pattern.right, it, env, constants)
+        try:
+            return pattern.op.apply(left, right)
+        except DataError as exc:
+            raise EvalError(str(exc)) from exc
+    if isinstance(pattern, ast.PLetIt):
+        new_it = _eval(pattern.defn, it, env, constants)
+        return _eval(pattern.body, new_it, env, constants)
+    if isinstance(pattern, ast.PLetEnv):
+        bindings = _eval(pattern.defn, it, env, constants)
+        if not isinstance(bindings, Record):
+            raise EvalError("let env += expects a record, got %r" % (bindings,))
+        merged = env.merge_concat(bindings)
+        if not merged:
+            raise MatchFail("incompatible bindings %r vs %r" % (env, bindings))
+        return _eval(pattern.body, it, merged.items[0], constants)
+    if isinstance(pattern, ast.PMap):
+        if not isinstance(it, Bag):
+            raise EvalError("map expects the datum to be a bag, got %r" % (it,))
+        out = []
+        for item in it:
+            try:
+                out.append(_eval(pattern.body, item, env, constants))
+            except MatchFail:
+                continue
+        return Bag(out)
+    if isinstance(pattern, ast.PAssert):
+        verdict = _eval(pattern.body, it, env, constants)
+        if not isinstance(verdict, bool):
+            raise EvalError("assert expects a boolean, got %r" % (verdict,))
+        if not verdict:
+            raise MatchFail("assertion failed")
+        return Record({})
+    if isinstance(pattern, ast.POrElse):
+        try:
+            return _eval(pattern.left, it, env, constants)
+        except MatchFail:
+            return _eval(pattern.right, it, env, constants)
+    raise EvalError("unknown CAMP node %r" % (pattern,))

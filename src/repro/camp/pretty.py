@@ -1,0 +1,37 @@
+"""Pretty-printer for CAMP patterns."""
+
+from __future__ import annotations
+
+from repro.camp import ast
+from repro.nraenv.pretty import _BINOP_SYMBOLS, _value
+
+
+def pretty(pattern: ast.CampNode) -> str:
+    if isinstance(pattern, ast.PConst):
+        return _value(pattern.value)
+    if isinstance(pattern, ast.PIt):
+        return "it"
+    if isinstance(pattern, ast.PEnv):
+        return "env"
+    if isinstance(pattern, ast.PGetConstant):
+        return "$%s" % pattern.cname
+    if isinstance(pattern, ast.PUnop):
+        from repro.data import operators as ops
+
+        if isinstance(pattern.op, ops.OpDot):
+            return "%s.%s" % (pretty(pattern.arg), pattern.op.field)
+        return "%s(%s)" % (pattern.op.name, pretty(pattern.arg))
+    if isinstance(pattern, ast.PBinop):
+        symbol = _BINOP_SYMBOLS.get(type(pattern.op), pattern.op.name)
+        return "(%s %s %s)" % (pretty(pattern.left), symbol, pretty(pattern.right))
+    if isinstance(pattern, ast.PLetIt):
+        return "let it = %s in %s" % (pretty(pattern.defn), pretty(pattern.body))
+    if isinstance(pattern, ast.PLetEnv):
+        return "let env += %s in %s" % (pretty(pattern.defn), pretty(pattern.body))
+    if isinstance(pattern, ast.PMap):
+        return "map %s" % pretty(pattern.body)
+    if isinstance(pattern, ast.PAssert):
+        return "assert %s" % pretty(pattern.body)
+    if isinstance(pattern, ast.POrElse):
+        return "(%s || %s)" % (pretty(pattern.left), pretty(pattern.right))
+    return "<%s>" % type(pattern).__name__

@@ -1,0 +1,5 @@
+"""The CAMP experiment suite p01–p14 (paper Figures 8–9)."""
+
+from repro.camp_suite.programs import SAMPLE_WORLD, CampProgram, all_programs
+
+__all__ = ["SAMPLE_WORLD", "CampProgram", "all_programs"]

@@ -1,0 +1,356 @@
+"""The CAMP experiment suite p01–p14 (paper §7, Figures 8–9).
+
+The paper evaluates its CAMP→NRAe path on fourteen programs: "p01 is the
+example given as Figure 6 in [34], p02 is an example of select, p03 is a
+join, p04 and p05 are joins with negation, p06 to p08 are simple
+aggregations, and p09 to p14 are joins with aggregation."  The original
+texts come from JRules tests and are not printed in the paper, so this
+suite reconstructs fourteen programs with the same construct mix (see
+DESIGN.md, substitutions): the Figure 8/9 plan-size and depth shapes
+depend on the constructs exercised, not on the business content.
+
+Each program is a :class:`CampProgram` carrying the pattern, a sample
+working memory, and the expected results (used by correctness tests to
+pin the whole compilation pipeline end to end).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.camp import ast as camp
+from repro.data import operators as ops
+from repro.data.model import Bag, Record, bag, rec
+from repro.rules import macros as m
+
+
+class CampProgram:
+    """A named CAMP program with its sample working memory."""
+
+    def __init__(self, name: str, description: str, pattern: camp.CampNode, world: Bag):
+        self.name = name
+        self.description = description
+        self.pattern = pattern
+        self.world = world
+
+    def run(self) -> Bag:
+        return m.eval_rule(self.pattern, self.world)
+
+    def __repr__(self) -> str:
+        return "CampProgram(%s: %s)" % (self.name, self.description)
+
+
+def _client(ident: int, name: str, status: str, rep: int) -> Record:
+    return rec(klass="Client", id=ident, name=name, status=status, rep=rep)
+
+
+def _marketer(ident: int, name: str) -> Record:
+    return rec(klass="Marketer", id=ident, name=name)
+
+
+def _order(ident: int, client: int, amount: int) -> Record:
+    return rec(klass="Order", id=ident, client=client, amount=amount)
+
+
+#: A mixed working memory shared by most programs.
+SAMPLE_WORLD = bag(
+    _client(1, "ada", "gold", 10),
+    _client(2, "bob", "silver", 10),
+    _client(3, "cyd", "gold", 11),
+    _marketer(10, "mia"),
+    _marketer(11, "noa"),
+    _order(100, 1, 250),
+    _order(101, 1, 40),
+    _order(102, 2, 70),
+    _order(103, 3, 500),
+)
+
+
+def _p01() -> CampProgram:
+    # The [34]-Figure-6 style example: clients paired with their marketer.
+    pattern = m.when(
+        m.bind_class("c", "Client"),
+        m.when(
+            m.bind_class("mk", "Marketer"),
+            m.guard(
+                m.eq(m.dot(m.var("c"), "rep"), m.dot(m.var("mk"), "id")),
+                m.return_(
+                    m.record(
+                        {
+                            "client": m.dot(m.var("c"), "name"),
+                            "rep": m.dot(m.var("mk"), "name"),
+                        }
+                    )
+                ),
+            ),
+        ),
+    )
+    return CampProgram("p01", "two-pattern rule ([34] Fig. 6 style)", pattern, SAMPLE_WORLD)
+
+
+def _p02() -> CampProgram:
+    pattern = m.when(
+        m.bind_class("c", "Client"),
+        m.guard(
+            m.eq(m.dot(m.var("c"), "status"), m.const("gold")),
+            m.return_(m.dot(m.var("c"), "name")),
+        ),
+    )
+    return CampProgram("p02", "select", pattern, SAMPLE_WORLD)
+
+
+def _p03() -> CampProgram:
+    pattern = m.when(
+        m.bind_class("c", "Client"),
+        m.when(
+            m.bind_class("o", "Order"),
+            m.guard(
+                m.eq(m.dot(m.var("o"), "client"), m.dot(m.var("c"), "id")),
+                m.return_(
+                    m.record(
+                        {
+                            "name": m.dot(m.var("c"), "name"),
+                            "amount": m.dot(m.var("o"), "amount"),
+                        }
+                    )
+                ),
+            ),
+        ),
+    )
+    return CampProgram("p03", "join", pattern, SAMPLE_WORLD)
+
+
+def _order_of_client(client_var: str) -> camp.CampNode:
+    """A pattern matching an Order of the already-bound client."""
+    check_class = camp.PAssert(
+        m.eq(m.dot(m.it(), "klass"), m.const("Order"))
+    )
+    check_fk = camp.PAssert(
+        m.eq(m.dot(m.it(), "client"), m.dot(m.var(client_var), "id"))
+    )
+    return camp.PLetEnv(check_class, camp.PLetEnv(check_fk, m.bind("o2")))
+
+
+def _p04() -> CampProgram:
+    # Clients with no order at all.
+    pattern = m.when(
+        m.bind_class("c", "Client"),
+        m.not_(
+            _order_of_client("c"),
+            m.return_(m.dot(m.var("c"), "name")),
+        ),
+    )
+    return CampProgram("p04", "join with negation", pattern, SAMPLE_WORLD)
+
+
+def _p05() -> CampProgram:
+    # Gold clients with no large order.
+    big_order = camp.PLetEnv(
+        camp.PAssert(m.eq(m.dot(m.it(), "klass"), m.const("Order"))),
+        camp.PLetEnv(
+            camp.PAssert(m.eq(m.dot(m.it(), "client"), m.dot(m.var("c"), "id"))),
+            camp.PLetEnv(
+                camp.PAssert(m.gt(m.dot(m.it(), "amount"), m.const(100))),
+                m.bind("o2"),
+            ),
+        ),
+    )
+    pattern = m.when(
+        m.bind_class("c", "Client"),
+        m.guard(
+            m.eq(m.dot(m.var("c"), "status"), m.const("gold")),
+            m.not_(big_order, m.return_(m.dot(m.var("c"), "name"))),
+        ),
+    )
+    return CampProgram("p05", "join with negation and guard", pattern, SAMPLE_WORLD)
+
+
+def _match_order_amount() -> camp.CampNode:
+    """Match an Order element, producing its amount."""
+    return camp.PLetEnv(
+        camp.PAssert(m.eq(m.dot(m.it(), "klass"), m.const("Order"))),
+        m.dot(m.it(), "amount"),
+    )
+
+
+def _p06() -> CampProgram:
+    pattern = m.global_(
+        m.aggregate(_match_order_amount(), ops.OpSum(), "total"),
+        m.return_(m.var("total")),
+    )
+    return CampProgram("p06", "aggregation (sum)", pattern, SAMPLE_WORLD)
+
+
+def _p07() -> CampProgram:
+    pattern = m.global_(
+        m.aggregate(_match_order_amount(), ops.OpCount(), "n"),
+        m.return_(m.var("n")),
+    )
+    return CampProgram("p07", "aggregation (count)", pattern, SAMPLE_WORLD)
+
+
+def _p08() -> CampProgram:
+    pattern = m.global_(
+        m.aggregate(_match_order_amount(), ops.OpMax(), "biggest"),
+        m.return_(m.var("biggest")),
+    )
+    return CampProgram("p08", "aggregation (max)", pattern, SAMPLE_WORLD)
+
+
+def _sum_orders_of(client_var: str, bind_as: str) -> camp.CampNode:
+    """Aggregate binder: total order amount of the bound client."""
+    match = camp.PLetEnv(
+        camp.PAssert(m.eq(m.dot(m.it(), "klass"), m.const("Order"))),
+        camp.PLetEnv(
+            camp.PAssert(
+                m.eq(m.dot(m.it(), "client"), m.dot(m.var(client_var), "id"))
+            ),
+            m.dot(m.it(), "amount"),
+        ),
+    )
+    return m.aggregate(match, ops.OpSum(), bind_as)
+
+
+def _p09() -> CampProgram:
+    pattern = m.when(
+        m.bind_class("c", "Client"),
+        m.global_(
+            _sum_orders_of("c", "total"),
+            m.return_(
+                m.record({"name": m.dot(m.var("c"), "name"), "total": m.var("total")})
+            ),
+        ),
+    )
+    return CampProgram("p09", "join with aggregation", pattern, SAMPLE_WORLD)
+
+
+def _p10() -> CampProgram:
+    pattern = m.when(
+        m.bind_class("c", "Client"),
+        m.global_(
+            _sum_orders_of("c", "total"),
+            m.guard(
+                m.gt(m.var("total"), m.const(100)),
+                m.return_(m.dot(m.var("c"), "name")),
+            ),
+        ),
+    )
+    return CampProgram("p10", "join with aggregation and guard", pattern, SAMPLE_WORLD)
+
+
+def _p11() -> CampProgram:
+    count_orders = m.aggregate(
+        camp.PLetEnv(
+            camp.PAssert(m.eq(m.dot(m.it(), "klass"), m.const("Order"))),
+            camp.PLetEnv(
+                camp.PAssert(
+                    m.eq(m.dot(m.it(), "client"), m.dot(m.var("c"), "id"))
+                ),
+                m.it(),
+            ),
+        ),
+        ops.OpCount(),
+        "n",
+    )
+    pattern = m.when(
+        m.bind_class("c", "Client"),
+        m.global_(
+            count_orders,
+            m.return_(
+                m.record({"name": m.dot(m.var("c"), "name"), "orders": m.var("n")})
+            ),
+        ),
+    )
+    return CampProgram("p11", "join with count aggregation", pattern, SAMPLE_WORLD)
+
+
+def _p12() -> CampProgram:
+    # Marketer → client join with per-client order totals.
+    pattern = m.when(
+        m.bind_class("mk", "Marketer"),
+        m.when(
+            m.bind_class("c", "Client"),
+            m.guard(
+                m.eq(m.dot(m.var("c"), "rep"), m.dot(m.var("mk"), "id")),
+                m.global_(
+                    _sum_orders_of("c", "total"),
+                    m.return_(
+                        m.record(
+                            {
+                                "rep": m.dot(m.var("mk"), "name"),
+                                "client": m.dot(m.var("c"), "name"),
+                                "total": m.var("total"),
+                            }
+                        )
+                    ),
+                ),
+            ),
+        ),
+    )
+    return CampProgram("p12", "two-way join with aggregation", pattern, SAMPLE_WORLD)
+
+
+def _p13() -> CampProgram:
+    pattern = m.when(
+        m.bind_class("c", "Client"),
+        m.global_(
+            _sum_orders_of("c", "total"),
+            m.global_(
+                m.aggregate(_match_order_amount(), ops.OpSum(), "grand"),
+                m.guard(
+                    m.gt(
+                        camp.PBinop(ops.OpMult(), m.var("total"), m.const(2)),
+                        m.var("grand"),
+                    ),
+                    m.return_(m.dot(m.var("c"), "name")),
+                ),
+            ),
+        ),
+    )
+    return CampProgram(
+        "p13", "join with two aggregations (share of total)", pattern, SAMPLE_WORLD
+    )
+
+
+def _p14() -> CampProgram:
+    # Negation + aggregation: gold clients, their totals, only when no
+    # other client outspends them.
+    bigger_spender = camp.PLetEnv(
+        camp.PAssert(m.eq(m.dot(m.it(), "klass"), m.const("Order"))),
+        camp.PLetEnv(
+            camp.PAssert(m.gt(m.dot(m.it(), "amount"), m.var("total"))),
+            m.bind("spoiler"),
+        ),
+    )
+    pattern = m.when(
+        m.bind_class("c", "Client"),
+        m.guard(
+            m.eq(m.dot(m.var("c"), "status"), m.const("gold")),
+            m.global_(
+                _sum_orders_of("c", "total"),
+                m.not_(
+                    bigger_spender,
+                    m.return_(
+                        m.record(
+                            {"name": m.dot(m.var("c"), "name"), "total": m.var("total")}
+                        )
+                    ),
+                ),
+            ),
+        ),
+    )
+    return CampProgram(
+        "p14", "join with aggregation and negation", pattern, SAMPLE_WORLD
+    )
+
+
+_BUILDERS: List[Callable[[], CampProgram]] = [
+    _p01, _p02, _p03, _p04, _p05, _p06, _p07,
+    _p08, _p09, _p10, _p11, _p12, _p13, _p14,
+]
+
+
+def all_programs() -> Dict[str, CampProgram]:
+    """The full suite, keyed by name (p01–p14)."""
+    programs = [build() for build in _BUILDERS]
+    return {program.name: program for program in programs}

@@ -1,0 +1,154 @@
+"""Command-line interface: compile, inspect, and run queries.
+
+::
+
+    python -m repro compile --language sql --query "select a from t" --show all
+    python -m repro compile --language oql --file q.oql --run --data db.json
+    python -m repro tpch q6 --run
+
+``--data`` takes a JSON file mapping table names to rows (arrays of
+objects; dates as ``{"$date": "YYYY-MM-DD"}`` — see
+:mod:`repro.data.json_io`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, List, Optional
+
+from repro.backend.js_gen import generate_javascript
+from repro.backend.python_gen import compile_nnrc_to_callable, generate_python
+from repro.compiler.pipeline import (
+    CompilationResult,
+    compile_lnra,
+    compile_oql,
+    compile_sql,
+)
+from repro.data import json_io
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="qcert-py: a query compiler built around NRAe (SIGMOD 2017)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compile_cmd = sub.add_parser("compile", help="compile a query")
+    compile_cmd.add_argument(
+        "--language",
+        choices=("sql", "oql", "lnra"),
+        default="sql",
+        help="source language (lnra = the lambda algebra, e.g. map(\\x -> x.a)(t))",
+    )
+    source = compile_cmd.add_mutually_exclusive_group(required=True)
+    source.add_argument("--query", help="query text")
+    source.add_argument("--file", help="file containing the query")
+    compile_cmd.add_argument(
+        "--show",
+        choices=("plan", "opt", "nnrc", "python", "js", "metrics", "all"),
+        default="metrics",
+        help="what to print",
+    )
+    compile_cmd.add_argument("--run", action="store_true", help="execute the query")
+    compile_cmd.add_argument("--data", help="JSON file with the database constants")
+
+    tpch_cmd = sub.add_parser("tpch", help="compile/run a bundled TPC-H query")
+    tpch_cmd.add_argument("name", help="query name, e.g. q6")
+    tpch_cmd.add_argument("--run", action="store_true", help="run on the mini database")
+    tpch_cmd.add_argument(
+        "--show",
+        choices=("plan", "opt", "nnrc", "python", "js", "metrics", "all"),
+        default="metrics",
+    )
+    return parser
+
+
+def _load_query(args: argparse.Namespace) -> str:
+    if args.query is not None:
+        return args.query
+    with open(args.file) as handle:
+        return handle.read()
+
+
+def _load_data(path: Optional[str]) -> dict:
+    if path is None:
+        return {}
+    with open(path) as handle:
+        value = json_io.loads(handle.read())
+    from repro.data.model import Record
+
+    if not isinstance(value, Record):
+        raise SystemExit("--data must be a JSON object mapping tables to rows")
+    return {name: value[name] for name in value.domain()}
+
+
+def _print_result(result: CompilationResult, show: str, out) -> None:
+    plan = result.output("to_nraenv")
+    optimized = result.output("nraenv_opt")
+    nnrc = result.final
+    if show in ("plan", "all"):
+        print("NRAe:", plan, file=out)
+    if show in ("opt", "all"):
+        print("NRAe optimized:", optimized, file=out)
+    if show in ("nnrc", "all"):
+        print("NNRC:", nnrc, file=out)
+    if show in ("python", "all"):
+        source, _ = generate_python(nnrc)
+        print(source, file=out)
+    if show in ("js", "all"):
+        print(generate_javascript(nnrc), file=out)
+    if show in ("metrics", "all"):
+        print(
+            "sizes: NRAe %d → optimized %d → NNRC %d"
+            % (plan.size(), optimized.size(), nnrc.size()),
+            file=out,
+        )
+        print(
+            "depths: NRAe %d → optimized %d" % (plan.depth(), optimized.depth()),
+            file=out,
+        )
+        print(
+            "times: " + "  ".join("%s %.4fs" % (k, v) for k, v in result.timings().items()),
+            file=out,
+        )
+
+
+def _run_query(result: CompilationResult, constants: dict, out) -> None:
+    query = compile_nnrc_to_callable(result.final)
+    value = query(constants)
+    print(json_io.dumps(value, indent=2), file=out)
+
+
+def main(argv: Optional[List[str]] = None, out: Any = None) -> int:
+    out = out or sys.stdout
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "compile":
+        text = _load_query(args)
+        compilers = {"sql": compile_sql, "oql": compile_oql, "lnra": compile_lnra}
+        result = compilers[args.language](text)
+        _print_result(result, args.show, out)
+        if args.run:
+            _run_query(result, _load_data(args.data), out)
+        return 0
+
+    if args.command == "tpch":
+        from repro.tpch.datagen import MICRO, generate
+        from repro.tpch.queries import QUERIES
+
+        if args.name not in QUERIES:
+            print("unknown TPC-H query %r (have %s)" % (args.name, sorted(QUERIES)), file=out)
+            return 2
+        result = compile_sql(QUERIES[args.name])
+        _print_result(result, args.show, out)
+        if args.run:
+            _run_query(result, generate(MICRO, seed=7), out)
+        return 0
+
+    return 2  # pragma: no cover - argparse enforces subcommands
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Compilation pipelines with per-stage timing (paper §8)."""
+
+from repro.compiler.metrics import describe, query_depth, query_size
+from repro.compiler.pipeline import (
+    CompilationResult,
+    compile_camp,
+    compile_camp_to_nra_via_nraenv,
+    compile_camp_via_nra,
+    compile_lnra,
+    compile_oql,
+    compile_sql,
+    compile_to_python,
+    run_pipeline,
+)
+
+__all__ = [
+    "CompilationResult",
+    "compile_camp",
+    "compile_camp_to_nra_via_nraenv",
+    "compile_camp_via_nra",
+    "compile_lnra",
+    "compile_oql",
+    "compile_sql",
+    "compile_to_python",
+    "describe",
+    "query_depth",
+    "query_size",
+    "run_pipeline",
+]

@@ -1,0 +1,25 @@
+"""Query metrics (size, depth) across all intermediate languages.
+
+Figures 7–9 plot "query size" and "query depth" for SQL, NRAe, NRA, and
+NNRC; every AST in this repository exposes ``size()``/``depth()`` with
+the conventions documented on each class, and this module provides the
+uniform accessors the benchmark harness uses.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+
+def query_size(node: Any) -> int:
+    """Number of AST/plan nodes."""
+    return node.size()
+
+
+def query_depth(node: Any) -> int:
+    """Nesting depth (iterator nesting for plans, block nesting for SQL)."""
+    return node.depth()
+
+
+def describe(node: Any) -> Dict[str, int]:
+    return {"size": query_size(node), "depth": query_depth(node)}

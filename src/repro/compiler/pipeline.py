@@ -1,0 +1,190 @@
+"""Compilation pipelines with per-stage timing (paper §8, Figures 7c/8c).
+
+A pipeline is a sequence of named stages; the driver records each
+stage's wall-clock time and output, which is exactly the data Figures
+7c and 8c plot (SQL→NRAe, NRAe→NRAe-opt, NRAe-opt→NNRC, NNRC→NNRC-opt).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.optim.defaults import optimize_nnrc, optimize_nra, optimize_nraenv
+from repro.translate.camp_to_nra import camp_to_nra
+from repro.translate.camp_to_nraenv import camp_to_nraenv
+from repro.translate.lambda_nra_to_nraenv import lnra_to_nraenv
+from repro.translate.nraenv_to_nnrc import nra_to_nnrc, nraenv_to_nnrc
+from repro.translate.nraenv_to_nra import nraenv_to_nra
+
+
+class Stage:
+    """One executed pipeline stage."""
+
+    def __init__(self, name: str, output: Any, seconds: float):
+        self.name = name
+        self.output = output
+        self.seconds = seconds
+
+    def __repr__(self) -> str:
+        return "Stage(%s, %.4fs)" % (self.name, self.seconds)
+
+
+class CompilationResult:
+    """The outcome of running a pipeline: stage outputs and timings."""
+
+    def __init__(self, source: Any, stages: List[Stage]):
+        self.source = source
+        self.stages = stages
+
+    def stage(self, name: str) -> Stage:
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise KeyError("no stage named %r (have %s)" % (name, [s.name for s in self.stages]))
+
+    def output(self, name: str) -> Any:
+        return self.stage(name).output
+
+    def seconds(self, name: str) -> float:
+        return self.stage(name).seconds
+
+    @property
+    def final(self) -> Any:
+        return self.stages[-1].output
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(stage.seconds for stage in self.stages)
+
+    def timings(self) -> Dict[str, float]:
+        return {stage.name: stage.seconds for stage in self.stages}
+
+    def __repr__(self) -> str:
+        return "CompilationResult(%s)" % " → ".join(s.name for s in self.stages)
+
+
+def run_pipeline(
+    source: Any, stages: Sequence[Tuple[str, Callable[[Any], Any]]]
+) -> CompilationResult:
+    """Run ``stages`` in order, timing each."""
+    executed: List[Stage] = []
+    current = source
+    for name, fn in stages:
+        start = time.perf_counter()
+        current = fn(current)
+        elapsed = time.perf_counter() - start
+        executed.append(Stage(name, current, elapsed))
+    return CompilationResult(source, executed)
+
+
+def _opt_plan(optimizer: Callable[[Any], Any]) -> Callable[[Any], Any]:
+    return lambda plan: optimizer(plan).plan
+
+
+#: Canonical stage names (shared with the benchmarks).
+TO_NRAENV = "to_nraenv"
+NRAENV_OPT = "nraenv_opt"
+TO_NNRC = "to_nnrc"
+NNRC_OPT = "nnrc_opt"
+TO_NRA = "to_nra"
+NRA_OPT = "nra_opt"
+
+
+def compile_camp(pattern) -> CompilationResult:
+    """CAMP → NRAe → NRAe-opt → NNRC → NNRC-opt (the paper's main path)."""
+    return run_pipeline(
+        pattern,
+        [
+            (TO_NRAENV, camp_to_nraenv),
+            (NRAENV_OPT, _opt_plan(optimize_nraenv)),
+            (TO_NNRC, nraenv_to_nnrc),
+            (NNRC_OPT, _opt_plan(optimize_nnrc)),
+        ],
+    )
+
+
+def compile_camp_via_nra(pattern) -> CompilationResult:
+    """CAMP → NRA → NRA-opt → NNRC → NNRC-opt (the Figure 9 baseline)."""
+    return run_pipeline(
+        pattern,
+        [
+            (TO_NRA, camp_to_nra),
+            (NRA_OPT, _opt_plan(optimize_nra)),
+            (TO_NNRC, nra_to_nnrc),
+            (NNRC_OPT, _opt_plan(optimize_nnrc)),
+        ],
+    )
+
+
+def compile_camp_to_nra_via_nraenv(pattern) -> CompilationResult:
+    """CAMP → NRAe → opt → NRA → opt (Figure 9's "through NRAe" path)."""
+    return run_pipeline(
+        pattern,
+        [
+            (TO_NRAENV, camp_to_nraenv),
+            (NRAENV_OPT, _opt_plan(optimize_nraenv)),
+            (TO_NRA, nraenv_to_nra),
+            (NRA_OPT, _opt_plan(optimize_nra)),
+        ],
+    )
+
+
+def compile_lnra(expr) -> CompilationResult:
+    """NRAλ → NRAe → NRAe-opt → NNRC → NNRC-opt.
+
+    Accepts either an NRAλ AST or concrete syntax (a string), e.g.
+    ``compile_lnra(r"map(\\p -> p.name)(Persons)")``.
+    """
+    stages = [
+        (TO_NRAENV, lnra_to_nraenv),
+        (NRAENV_OPT, _opt_plan(optimize_nraenv)),
+        (TO_NNRC, nraenv_to_nnrc),
+        (NNRC_OPT, _opt_plan(optimize_nnrc)),
+    ]
+    if isinstance(expr, str):
+        from repro.lambda_nra.parser import parse_lnra
+
+        stages = [("parse", parse_lnra)] + stages
+    return run_pipeline(expr, stages)
+
+
+def compile_sql(text: str) -> CompilationResult:
+    """SQL text → AST → NRAe → NRAe-opt → NNRC → NNRC-opt."""
+    from repro.sql.parser import parse_sql
+    from repro.sql.to_nraenv import sql_to_nraenv
+
+    return run_pipeline(
+        text,
+        [
+            ("parse", parse_sql),
+            (TO_NRAENV, sql_to_nraenv),
+            (NRAENV_OPT, _opt_plan(optimize_nraenv)),
+            (TO_NNRC, nraenv_to_nnrc),
+            (NNRC_OPT, _opt_plan(optimize_nnrc)),
+        ],
+    )
+
+
+def compile_oql(text: str) -> CompilationResult:
+    """OQL text → AST → NRAe → NRAe-opt → NNRC → NNRC-opt."""
+    from repro.oql.parser import parse_oql
+    from repro.oql.to_nraenv import oql_to_nraenv
+
+    return run_pipeline(
+        text,
+        [
+            ("parse", parse_oql),
+            (TO_NRAENV, oql_to_nraenv),
+            (NRAENV_OPT, _opt_plan(optimize_nraenv)),
+            (TO_NNRC, nraenv_to_nnrc),
+            (NNRC_OPT, _opt_plan(optimize_nnrc)),
+        ],
+    )
+
+
+def compile_to_python(nnrc_expr, name: str = "query"):
+    """NNRC → executable Python (the paper's JS backend, in Python)."""
+    from repro.backend.python_gen import compile_nnrc_to_callable
+
+    return compile_nnrc_to_callable(nnrc_expr, name)

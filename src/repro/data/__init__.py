@@ -1,0 +1,32 @@
+"""The data model shared by every language in the compiler."""
+
+from repro.data.foreign import DateValue, register_foreign
+from repro.data.model import (
+    Bag,
+    DataError,
+    Record,
+    bag,
+    canonical_key,
+    flatten,
+    from_python,
+    is_value,
+    rec,
+    to_python,
+    values_equal,
+)
+
+__all__ = [
+    "Bag",
+    "DataError",
+    "DateValue",
+    "Record",
+    "bag",
+    "canonical_key",
+    "flatten",
+    "from_python",
+    "is_value",
+    "rec",
+    "register_foreign",
+    "to_python",
+    "values_equal",
+]

@@ -1,0 +1,133 @@
+"""Foreign types: values beyond the core data model (paper section 8).
+
+The paper parameterises the mechanisation over "foreign" types and
+operators (dates are the canonical example, needed by TPC-H).  Here a
+foreign type is any class registered through :func:`register_foreign`,
+providing a canonical-order key so that the generic machinery (bag
+equality, ``distinct``, sorting) works uniformly.
+
+The one foreign type shipped with the library is :class:`DateValue`,
+a calendar date with day-precision arithmetic.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Any, Callable, Dict, Optional, Tuple, Type
+
+
+_FOREIGN_KEYS: Dict[type, Callable[[Any], tuple]] = {}
+
+
+def register_foreign(cls: Type[Any], key_fn: Callable[[Any], tuple]) -> None:
+    """Register ``cls`` as a foreign data-model type.
+
+    ``key_fn`` must return a tuple that totally orders instances of the
+    class; the class name is prepended automatically so distinct foreign
+    types never compare equal.
+    """
+    _FOREIGN_KEYS[cls] = key_fn
+
+
+def canonical_key_or_none(value: Any) -> Optional[tuple]:
+    """The foreign canonical key for ``value``, or None if not foreign."""
+    key_fn = _FOREIGN_KEYS.get(type(value))
+    if key_fn is None:
+        return None
+    return (type(value).__name__,) + key_fn(value)
+
+
+class DateValue:
+    """A calendar date (the TPC-H workload's only foreign type).
+
+    Supports comparison, day-granularity addition/subtraction, and
+    year/month/day extraction.
+    """
+
+    __slots__ = ("date",)
+
+    def __init__(self, year: int, month: int, day: int):
+        self.date = datetime.date(year, month, day)
+
+    @classmethod
+    def parse(cls, text: str) -> "DateValue":
+        """Parse ``YYYY-MM-DD``."""
+        parsed = datetime.date.fromisoformat(text)
+        return cls(parsed.year, parsed.month, parsed.day)
+
+    @classmethod
+    def from_date(cls, date: datetime.date) -> "DateValue":
+        return cls(date.year, date.month, date.day)
+
+    @property
+    def year(self) -> int:
+        return self.date.year
+
+    @property
+    def month(self) -> int:
+        return self.date.month
+
+    @property
+    def day(self) -> int:
+        return self.date.day
+
+    def plus_days(self, days: int) -> "DateValue":
+        return DateValue.from_date(self.date + datetime.timedelta(days=days))
+
+    def minus_days(self, days: int) -> "DateValue":
+        return self.plus_days(-days)
+
+    def plus_months(self, months: int) -> "DateValue":
+        """Calendar month arithmetic; clamps the day to the month's end."""
+        total = (self.date.year * 12 + self.date.month - 1) + months
+        year, month = divmod(total, 12)
+        month += 1
+        day = min(self.date.day, _days_in_month(year, month))
+        return DateValue(year, month, day)
+
+    def minus_months(self, months: int) -> "DateValue":
+        return self.plus_months(-months)
+
+    def plus_years(self, years: int) -> "DateValue":
+        return self.plus_months(12 * years)
+
+    def minus_years(self, years: int) -> "DateValue":
+        return self.plus_months(-12 * years)
+
+    def days_until(self, other: "DateValue") -> int:
+        return (other.date - self.date).days
+
+    def isoformat(self) -> str:
+        return self.date.isoformat()
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, DateValue):
+            return NotImplemented
+        return self.date == other.date
+
+    def __lt__(self, other: "DateValue") -> bool:
+        return self.date < other.date
+
+    def __le__(self, other: "DateValue") -> bool:
+        return self.date <= other.date
+
+    def __hash__(self) -> int:
+        return hash(("DateValue", self.date))
+
+    def __repr__(self) -> str:
+        return "DateValue(%r)" % self.date.isoformat()
+
+
+def _days_in_month(year: int, month: int) -> int:
+    if month == 12:
+        following = datetime.date(year + 1, 1, 1)
+    else:
+        following = datetime.date(year, month + 1, 1)
+    return (following - datetime.date(year, month, 1)).days
+
+
+def _date_key(value: DateValue) -> Tuple[int, int, int]:
+    return (value.date.year, value.date.month, value.date.day)
+
+
+register_foreign(DateValue, _date_key)

@@ -1,0 +1,51 @@
+"""JSON (de)serialisation of data-model values.
+
+Bags become JSON arrays, records become JSON objects, and foreign date
+values are tagged as ``{"$date": "YYYY-MM-DD"}`` so round-tripping is
+loss-free.  This is the wire format used by the examples and by the
+generated-code runtime when exchanging data with the outside world.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.data.foreign import DateValue
+from repro.data.model import Bag, DataError, Record
+
+
+def to_jsonable(value: Any) -> Any:
+    """Convert a data-model value to JSON-encodable Python data."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, DateValue):
+        return {"$date": value.isoformat()}
+    if isinstance(value, Bag):
+        return [to_jsonable(v) for v in value]
+    if isinstance(value, Record):
+        return {k: to_jsonable(v) for k, v in value.fields}
+    raise DataError("cannot serialise %r" % (value,))
+
+
+def from_jsonable(value: Any) -> Any:
+    """Convert JSON-decoded Python data into a data-model value."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, list):
+        return Bag(from_jsonable(v) for v in value)
+    if isinstance(value, dict):
+        if set(value) == {"$date"}:
+            return DateValue.parse(value["$date"])
+        return Record({k: from_jsonable(v) for k, v in value.items()})
+    raise DataError("cannot deserialise %r" % (value,))
+
+
+def dumps(value: Any, indent: Any = None) -> str:
+    """Serialise a data-model value to a JSON string."""
+    return json.dumps(to_jsonable(value), indent=indent, sort_keys=True)
+
+
+def loads(text: str) -> Any:
+    """Deserialise a JSON string into a data-model value."""
+    return from_jsonable(json.loads(text))

@@ -1,0 +1,339 @@
+"""Data model for the NRAe family of languages (paper section 3.1).
+
+Values ``d`` are::
+
+    d ::= c | {} | {d1, ..., dn} | [] | [A1: d1, ..., An: dn]
+
+Constants ``c`` are null, booleans, integers, floats, strings, and
+"foreign" values (dates; see :mod:`repro.data.foreign`).  Bags are
+multisets of values, records map attribute names to values.
+
+Atoms are represented by the corresponding Python values (``None``,
+``bool``, ``int``, ``float``, ``str``); bags and records get dedicated
+immutable wrapper classes so that multiset equality and right-favoring
+record concatenation have one well-defined meaning across the whole
+compiler.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+
+class DataError(Exception):
+    """Raised when a data-model operation is applied to ill-shaped values.
+
+    The paper's operational semantics (Figure 2) is partial: a judgment
+    ``γ ⊢ q @ d ⇓ d'`` may simply not hold (e.g. record access on an
+    integer).  In this implementation "the judgment does not hold" is
+    modelled by raising :class:`DataError` (or its subclass
+    :class:`repro.nraenv.eval.EvalError`).
+    """
+
+
+class Bag:
+    """An immutable multiset of values.
+
+    The internal item order is preserved for reproducibility of printing
+    and iteration, but equality is *multiset* equality: two bags are
+    equal iff they contain the same values with the same multiplicities,
+    regardless of order.
+    """
+
+    __slots__ = ("_items", "_key")
+
+    def __init__(self, items: Iterable[Any] = ()):
+        self._items: Tuple[Any, ...] = tuple(items)
+        self._key: Optional[tuple] = None
+
+    @property
+    def items(self) -> Tuple[Any, ...]:
+        return self._items
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, Bag):
+            return NotImplemented
+        if len(self._items) != len(other._items):
+            return False
+        return canonical_key(self) == canonical_key(other)
+
+    def __ne__(self, other: Any) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        return hash(canonical_key(self))
+
+    def __repr__(self) -> str:
+        return "Bag([%s])" % ", ".join(repr(v) for v in self._items)
+
+    def union(self, other: "Bag") -> "Bag":
+        """Multiset (additive) union: ``{1} ∪ {1}`` is ``{1, 1}``."""
+        return Bag(self._items + other._items)
+
+    def minus(self, other: "Bag") -> "Bag":
+        """Multiset difference: removes one occurrence per match."""
+        remaining = list(other._items)
+        kept: List[Any] = []
+        for item in self._items:
+            for i, candidate in enumerate(remaining):
+                if values_equal(item, candidate):
+                    del remaining[i]
+                    break
+            else:
+                kept.append(item)
+        return Bag(kept)
+
+    def intersection(self, other: "Bag") -> "Bag":
+        """Multiset intersection (minimum of multiplicities)."""
+        remaining = list(other._items)
+        kept: List[Any] = []
+        for item in self._items:
+            for i, candidate in enumerate(remaining):
+                if values_equal(item, candidate):
+                    del remaining[i]
+                    kept.append(item)
+                    break
+        return Bag(kept)
+
+    def contains(self, value: Any) -> bool:
+        return any(values_equal(value, item) for item in self._items)
+
+    def distinct(self) -> "Bag":
+        """Duplicate elimination; keeps the first occurrence of each value."""
+        seen: List[tuple] = []
+        kept: List[Any] = []
+        for item in self._items:
+            key = canonical_key(item)
+            if key not in seen:
+                seen.append(key)
+                kept.append(item)
+        return Bag(kept)
+
+    def sorted(self) -> "Bag":
+        """A bag with the same contents in canonical order."""
+        return Bag(sorted(self._items, key=canonical_key))
+
+
+class Record:
+    """An immutable record: a finite mapping from attribute names to values.
+
+    Attribute order is normalised (sorted by name) so that two records
+    with the same field/value pairs are interchangeable everywhere.
+    """
+
+    __slots__ = ("_fields",)
+
+    def __init__(self, fields: Optional[Mapping[str, Any]] = None, **kwargs: Any):
+        merged: Dict[str, Any] = {}
+        if fields:
+            merged.update(fields)
+        merged.update(kwargs)
+        self._fields: Tuple[Tuple[str, Any], ...] = tuple(
+            sorted(merged.items(), key=lambda kv: kv[0])
+        )
+
+    @property
+    def fields(self) -> Tuple[Tuple[str, Any], ...]:
+        return self._fields
+
+    def domain(self) -> Tuple[str, ...]:
+        """``dom(r)``: the attribute names, sorted."""
+        return tuple(name for name, _ in self._fields)
+
+    def __contains__(self, name: str) -> bool:
+        return any(field == name for field, _ in self._fields)
+
+    def __getitem__(self, name: str) -> Any:
+        for field, value in self._fields:
+            if field == name:
+                return value
+        raise DataError("record has no attribute %r (has %r)" % (name, self.domain()))
+
+    def get(self, name: str, default: Any = None) -> Any:
+        for field, value in self._fields:
+            if field == name:
+                return value
+        return default
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.domain())
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, Record):
+            return NotImplemented
+        return canonical_key(self) == canonical_key(other)
+
+    def __ne__(self, other: Any) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        return hash(canonical_key(self))
+
+    def __repr__(self) -> str:
+        body = ", ".join("%s: %r" % (k, v) for k, v in self._fields)
+        return "[%s]" % body
+
+    def concat(self, other: "Record") -> "Record":
+        """Record concatenation ``⊕``, favoring ``other`` on overlap."""
+        merged = dict(self._fields)
+        merged.update(dict(other._fields))
+        return Record(merged)
+
+    def remove(self, name: str) -> "Record":
+        """``d − A``: the record without attribute ``name``.
+
+        Removing an absent attribute is a no-op, matching Q*cert's
+        ``rremove``.
+        """
+        return Record({k: v for k, v in self._fields if k != name})
+
+    def project(self, names: Iterable[str]) -> "Record":
+        """``π_{Ai}(d)``: restriction to the given attribute names.
+
+        Projection on absent attributes silently drops them (Q*cert's
+        ``rproject`` behaviour over the untyped model).
+        """
+        wanted = set(names)
+        return Record({k: v for k, v in self._fields if k in wanted})
+
+    def compatible_with(self, other: "Record") -> bool:
+        """True iff common attributes agree (natural-join compatibility)."""
+        mine = dict(self._fields)
+        for name, value in other._fields:
+            if name in mine and not values_equal(mine[name], value):
+                return False
+        return True
+
+    def merge_concat(self, other: "Record") -> Bag:
+        """``⊗``: singleton bag of the concatenation if compatible, else ∅."""
+        if self.compatible_with(other):
+            return Bag([self.concat(other)])
+        return Bag([])
+
+
+# Type ranks used to build a total order across heterogeneous values.
+_RANK_NULL = 0
+_RANK_BOOL = 1
+_RANK_NUMBER = 2
+_RANK_STRING = 3
+_RANK_FOREIGN = 4
+_RANK_BAG = 5
+_RANK_RECORD = 6
+
+
+def canonical_key(value: Any) -> tuple:
+    """A total-order key for any data-model value.
+
+    Used to canonicalise bags for multiset equality and for the
+    ``distinct``/``sort`` operators.  The key embeds a type rank so that
+    values of different kinds never compare equal (in particular
+    ``True`` is distinct from ``1``, unlike plain Python equality).
+    Ints and floats share a rank so ``1`` and ``1.0`` denote the same
+    number, as in most query data models.
+    """
+    if value is None:
+        return (_RANK_NULL,)
+    if isinstance(value, bool):
+        return (_RANK_BOOL, value)
+    if isinstance(value, (int, float)):
+        return (_RANK_NUMBER, float(value))
+    if isinstance(value, str):
+        return (_RANK_STRING, value)
+    if isinstance(value, Bag):
+        key = value._key
+        if key is None:
+            key = (_RANK_BAG, tuple(sorted(canonical_key(v) for v in value.items)))
+            value._key = key
+        return key
+    if isinstance(value, Record):
+        return (
+            _RANK_RECORD,
+            tuple((name, canonical_key(v)) for name, v in value.fields),
+        )
+    foreign_key = _foreign_canonical_key(value)
+    if foreign_key is not None:
+        return (_RANK_FOREIGN,) + foreign_key
+    raise DataError("not a data-model value: %r" % (value,))
+
+
+def _foreign_canonical_key(value: Any) -> Optional[tuple]:
+    # Imported lazily to avoid a circular import at module load time.
+    from repro.data import foreign
+
+    return foreign.canonical_key_or_none(value)
+
+
+def values_equal(a: Any, b: Any) -> bool:
+    """Data-model equality (the ``=`` binary operator)."""
+    return canonical_key(a) == canonical_key(b)
+
+
+def is_value(value: Any) -> bool:
+    """True iff ``value`` is a well-formed data-model value."""
+    try:
+        canonical_key(value)
+    except DataError:
+        return False
+    return True
+
+
+def bag(*items: Any) -> Bag:
+    """Convenience constructor: ``bag(1, 2, 3)``."""
+    return Bag(items)
+
+
+def rec(**fields: Any) -> Record:
+    """Convenience constructor: ``rec(name="x", age=3)``."""
+    return Record(fields)
+
+
+def flatten(value: Any) -> Bag:
+    """Flatten one level of a bag of bags."""
+    if not isinstance(value, Bag):
+        raise DataError("flatten expects a bag, got %r" % (value,))
+    out: List[Any] = []
+    for inner in value:
+        if not isinstance(inner, Bag):
+            raise DataError("flatten expects a bag of bags, got element %r" % (inner,))
+        out.extend(inner.items)
+    return Bag(out)
+
+
+def from_python(value: Any) -> Any:
+    """Convert plain Python lists/dicts into data-model values.
+
+    Lists become bags and dicts become records, recursively.  Atoms and
+    already-converted values pass through.
+    """
+    if isinstance(value, (list, tuple)):
+        return Bag(from_python(v) for v in value)
+    if isinstance(value, dict):
+        return Record({k: from_python(v) for k, v in value.items()})
+    return value
+
+
+def to_python(value: Any) -> Any:
+    """Convert data-model values back into plain Python lists/dicts."""
+    if isinstance(value, Bag):
+        return [to_python(v) for v in value]
+    if isinstance(value, Record):
+        return {k: to_python(v) for k, v in value.fields}
+    return value

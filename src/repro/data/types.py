@@ -1,0 +1,197 @@
+"""Types for the data model (paper sections 4.1 and 8).
+
+The paper omits the formal treatment of its type system but uses typing
+pervasively: typed rewrites (Definition 4) only promise equivalence on
+*well-typed* plans, and several rewrite preconditions are type-based.
+This module provides the lattice of types used by the type checkers in
+:mod:`repro.typing`:
+
+- atoms: ``TUnit`` (null), ``TBool``, ``TNat`` (ints), ``TFloat``,
+  ``TString``, ``TDate`` (foreign);
+- ``TBag(element)``;
+- ``TRecord(fields)`` with closed-record width+depth subtyping;
+- ``TTop`` / ``TBottom`` completing the lattice.
+
+``join``/``meet`` compute least upper / greatest lower bounds, and
+``type_of_value`` infers the (most precise) type of a value.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.data.foreign import DateValue
+from repro.data.model import Bag, DataError, Record
+
+
+class QType:
+    """Base class for data-model types."""
+
+    def _params(self) -> Tuple[Any, ...]:
+        return ()
+
+    def __eq__(self, other: Any) -> bool:
+        return type(self) is type(other) and self._params() == other._params()
+
+    def __ne__(self, other: Any) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__,) + self._params())
+
+    def __repr__(self) -> str:
+        return type(self).__name__
+
+
+class TTop(QType):
+    """Supertype of every type."""
+
+
+class TBottom(QType):
+    """Subtype of every type (type of expressions that never produce)."""
+
+
+class TUnit(QType):
+    """The type of ``null``."""
+
+
+class TBool(QType):
+    pass
+
+
+class TNat(QType):
+    """Integers (Q*cert's Nat)."""
+
+
+class TFloat(QType):
+    """Floating-point numbers; TNat is a subtype for convenience."""
+
+
+class TString(QType):
+    pass
+
+
+class TDate(QType):
+    """The foreign date type."""
+
+
+class TBag(QType):
+    """Bags, covariant in the element type."""
+
+    def __init__(self, element: QType):
+        self.element = element
+
+    def _params(self) -> Tuple[Any, ...]:
+        return (self.element,)
+
+    def __repr__(self) -> str:
+        return "TBag(%r)" % (self.element,)
+
+
+class TRecord(QType):
+    """Closed records: width and depth subtyping.
+
+    ``TRecord({"a": TNat()})`` is a supertype of
+    ``TRecord({"a": TNat(), "b": TBool()})`` only under *open* records;
+    we use closed records (same field set required) plus depth subtyping
+    on field types, which is what the rewrites need.
+    """
+
+    def __init__(self, fields: Mapping[str, QType]):
+        self.fields: Tuple[Tuple[str, QType], ...] = tuple(
+            sorted(fields.items(), key=lambda kv: kv[0])
+        )
+
+    def _params(self) -> Tuple[Any, ...]:
+        return (self.fields,)
+
+    def field_map(self) -> Dict[str, QType]:
+        return dict(self.fields)
+
+    def __repr__(self) -> str:
+        body = ", ".join("%s: %r" % (k, v) for k, v in self.fields)
+        return "TRecord({%s})" % body
+
+
+def is_subtype(sub: QType, sup: QType) -> bool:
+    """Structural subtyping over the lattice."""
+    if isinstance(sub, TBottom) or isinstance(sup, TTop):
+        return True
+    if isinstance(sub, TTop) or isinstance(sup, TBottom):
+        return False
+    if isinstance(sub, TNat) and isinstance(sup, TFloat):
+        return True
+    if type(sub) is type(sup) and not sub._params() and not sup._params():
+        return True
+    if isinstance(sub, TBag) and isinstance(sup, TBag):
+        return is_subtype(sub.element, sup.element)
+    if isinstance(sub, TRecord) and isinstance(sup, TRecord):
+        sub_fields = sub.field_map()
+        sup_fields = sup.field_map()
+        if set(sub_fields) != set(sup_fields):
+            return False
+        return all(is_subtype(sub_fields[k], sup_fields[k]) for k in sup_fields)
+    return False
+
+
+def join(a: QType, b: QType) -> QType:
+    """Least upper bound of two types."""
+    if is_subtype(a, b):
+        return b
+    if is_subtype(b, a):
+        return a
+    if isinstance(a, TBag) and isinstance(b, TBag):
+        return TBag(join(a.element, b.element))
+    if isinstance(a, TRecord) and isinstance(b, TRecord):
+        a_fields = a.field_map()
+        b_fields = b.field_map()
+        if set(a_fields) == set(b_fields):
+            return TRecord({k: join(a_fields[k], b_fields[k]) for k in a_fields})
+    if {type(a), type(b)} <= {TNat, TFloat}:
+        return TFloat()
+    return TTop()
+
+
+def meet(a: QType, b: QType) -> QType:
+    """Greatest lower bound of two types."""
+    if is_subtype(a, b):
+        return a
+    if is_subtype(b, a):
+        return b
+    if isinstance(a, TBag) and isinstance(b, TBag):
+        return TBag(meet(a.element, b.element))
+    if isinstance(a, TRecord) and isinstance(b, TRecord):
+        a_fields = a.field_map()
+        b_fields = b.field_map()
+        if set(a_fields) == set(b_fields):
+            return TRecord({k: meet(a_fields[k], b_fields[k]) for k in a_fields})
+    return TBottom()
+
+
+def type_of_value(value: Any) -> QType:
+    """The most precise type of a data-model value."""
+    if value is None:
+        return TUnit()
+    if isinstance(value, bool):
+        return TBool()
+    if isinstance(value, int):
+        return TNat()
+    if isinstance(value, float):
+        return TFloat()
+    if isinstance(value, str):
+        return TString()
+    if isinstance(value, DateValue):
+        return TDate()
+    if isinstance(value, Bag):
+        element: QType = TBottom()
+        for item in value:
+            element = join(element, type_of_value(item))
+        return TBag(element)
+    if isinstance(value, Record):
+        return TRecord({k: type_of_value(v) for k, v in value.fields})
+    raise DataError("not a data-model value: %r" % (value,))
+
+
+def value_has_type(value: Any, expected: QType) -> bool:
+    """True iff ``value`` inhabits ``expected``."""
+    return is_subtype(type_of_value(value), expected)

@@ -1,0 +1,35 @@
+"""NRAλ: the nested relational algebra with explicit lambdas (paper §6)."""
+
+from repro.lambda_nra.ast import (
+    Lambda,
+    LBinop,
+    LConst,
+    LDJoin,
+    LFilter,
+    LMap,
+    LnraNode,
+    LProduct,
+    LTable,
+    LUnop,
+    LVar,
+)
+from repro.lambda_nra.eval import eval_lnra
+from repro.lambda_nra.parser import parse_lnra
+from repro.lambda_nra.pretty import pretty
+
+__all__ = [
+    "LBinop",
+    "LConst",
+    "LDJoin",
+    "LFilter",
+    "LMap",
+    "LProduct",
+    "LTable",
+    "LUnop",
+    "LVar",
+    "Lambda",
+    "LnraNode",
+    "eval_lnra",
+    "parse_lnra",
+    "pretty",
+]

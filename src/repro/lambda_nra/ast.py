@@ -1,0 +1,271 @@
+"""Abstract syntax for NRAλ, the NRA with explicit lambdas (paper §6).
+
+::
+
+    l ::= x | d | ⊙l | l1 ⊡ l2 | map (f) l
+        | d-join (f) l | l1 × l2 | filter (f) l
+    f ::= λx.l
+
+plus ``LTable`` for named database constants.  This is the
+"traditional" variable-based algebra the paper contrasts with NRAe; the
+translation in :mod:`repro.translate.lambda_nra_to_nraenv` (Figure 6)
+eliminates its binders.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Tuple
+
+from repro.data.model import is_value
+from repro.data.operators import BinaryOp, UnaryOp
+
+
+class LnraNode:
+    """Base class for NRAλ expressions."""
+
+    __slots__ = ()
+
+    def children(self) -> Tuple["LnraNode", ...]:
+        raise NotImplementedError
+
+    def rebuild(self, children: Tuple["LnraNode", ...]) -> "LnraNode":
+        raise NotImplementedError
+
+    def _tag(self) -> Tuple[Any, ...]:
+        return (type(self).__name__,)
+
+    def __eq__(self, other: Any) -> bool:
+        if type(self) is not type(other):
+            return NotImplemented if not isinstance(other, LnraNode) else False
+        return self._tag() == other._tag() and self.children() == other.children()
+
+    def __ne__(self, other: Any) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        return hash((self._tag(), self.children()))
+
+    def __repr__(self) -> str:
+        from repro.lambda_nra.pretty import pretty
+
+        return pretty(self)
+
+    def size(self) -> int:
+        return 1 + sum(child.size() for child in self.children())
+
+    def walk(self) -> Iterator["LnraNode"]:
+        yield self
+        for child in self.children():
+            for node in child.walk():
+                yield node
+
+
+class LVar(LnraNode):
+    """``x``: a variable occurrence."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def children(self) -> Tuple[LnraNode, ...]:
+        return ()
+
+    def rebuild(self, children: Tuple[LnraNode, ...]) -> LnraNode:
+        return self
+
+    def _tag(self) -> Tuple[Any, ...]:
+        return ("LVar", self.name)
+
+
+class LConst(LnraNode):
+    """``d``: a constant."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        assert is_value(value), "LConst requires a data-model value: %r" % (value,)
+        self.value = value
+
+    def children(self) -> Tuple[LnraNode, ...]:
+        return ()
+
+    def rebuild(self, children: Tuple[LnraNode, ...]) -> LnraNode:
+        return self
+
+    def _tag(self) -> Tuple[Any, ...]:
+        from repro.data.model import canonical_key
+
+        return ("LConst", canonical_key(self.value))
+
+
+class LTable(LnraNode):
+    """A named database constant (a table)."""
+
+    __slots__ = ("cname",)
+
+    def __init__(self, cname: str):
+        self.cname = cname
+
+    def children(self) -> Tuple[LnraNode, ...]:
+        return ()
+
+    def rebuild(self, children: Tuple[LnraNode, ...]) -> LnraNode:
+        return self
+
+    def _tag(self) -> Tuple[Any, ...]:
+        return ("LTable", self.cname)
+
+
+class LUnop(LnraNode):
+    """``⊙ l``."""
+
+    __slots__ = ("op", "arg")
+
+    def __init__(self, op: UnaryOp, arg: LnraNode):
+        self.op = op
+        self.arg = arg
+
+    def children(self) -> Tuple[LnraNode, ...]:
+        return (self.arg,)
+
+    def rebuild(self, children: Tuple[LnraNode, ...]) -> LnraNode:
+        return LUnop(self.op, children[0])
+
+    def _tag(self) -> Tuple[Any, ...]:
+        return ("LUnop", self.op)
+
+
+class LBinop(LnraNode):
+    """``l1 ⊡ l2``."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: BinaryOp, left: LnraNode, right: LnraNode):
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def children(self) -> Tuple[LnraNode, ...]:
+        return (self.left, self.right)
+
+    def rebuild(self, children: Tuple[LnraNode, ...]) -> LnraNode:
+        return LBinop(self.op, *children)
+
+    def _tag(self) -> Tuple[Any, ...]:
+        return ("LBinop", self.op)
+
+
+class Lambda:
+    """``λx.l``: the dependent-operator argument (not itself a plan)."""
+
+    __slots__ = ("var", "body")
+
+    def __init__(self, var: str, body: LnraNode):
+        self.var = var
+        self.body = body
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, Lambda):
+            return NotImplemented
+        return self.var == other.var and self.body == other.body
+
+    def __ne__(self, other: Any) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        return hash(("Lambda", self.var, self.body))
+
+    def __repr__(self) -> str:
+        return "λ%s.(%r)" % (self.var, self.body)
+
+    def size(self) -> int:
+        return 1 + self.body.size()
+
+
+class LMap(LnraNode):
+    """``map (f) l``."""
+
+    __slots__ = ("fn", "arg")
+
+    def __init__(self, fn: Lambda, arg: LnraNode):
+        self.fn = fn
+        self.arg = arg
+
+    def children(self) -> Tuple[LnraNode, ...]:
+        return (self.arg,)
+
+    def rebuild(self, children: Tuple[LnraNode, ...]) -> LnraNode:
+        return LMap(self.fn, children[0])
+
+    def _tag(self) -> Tuple[Any, ...]:
+        return ("LMap", self.fn)
+
+    def size(self) -> int:
+        return 1 + self.fn.size() + self.arg.size()
+
+
+class LFilter(LnraNode):
+    """``filter (f) l``."""
+
+    __slots__ = ("fn", "arg")
+
+    def __init__(self, fn: Lambda, arg: LnraNode):
+        self.fn = fn
+        self.arg = arg
+
+    def children(self) -> Tuple[LnraNode, ...]:
+        return (self.arg,)
+
+    def rebuild(self, children: Tuple[LnraNode, ...]) -> LnraNode:
+        return LFilter(self.fn, children[0])
+
+    def _tag(self) -> Tuple[Any, ...]:
+        return ("LFilter", self.fn)
+
+    def size(self) -> int:
+        return 1 + self.fn.size() + self.arg.size()
+
+
+class LDJoin(LnraNode):
+    """``d-join (f) l``: dependent join with an explicit lambda."""
+
+    __slots__ = ("fn", "arg")
+
+    def __init__(self, fn: Lambda, arg: LnraNode):
+        self.fn = fn
+        self.arg = arg
+
+    def children(self) -> Tuple[LnraNode, ...]:
+        return (self.arg,)
+
+    def rebuild(self, children: Tuple[LnraNode, ...]) -> LnraNode:
+        return LDJoin(self.fn, children[0])
+
+    def _tag(self) -> Tuple[Any, ...]:
+        return ("LDJoin", self.fn)
+
+    def size(self) -> int:
+        return 1 + self.fn.size() + self.arg.size()
+
+
+class LProduct(LnraNode):
+    """``l1 × l2``."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: LnraNode, right: LnraNode):
+        self.left = left
+        self.right = right
+
+    def children(self) -> Tuple[LnraNode, ...]:
+        return (self.left, self.right)
+
+    def rebuild(self, children: Tuple[LnraNode, ...]) -> LnraNode:
+        return LProduct(*children)

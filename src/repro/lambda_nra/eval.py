@@ -1,0 +1,99 @@
+"""Operational semantics of NRAλ (paper §6, "unsurprising").
+
+Lambdas close over the lexical environment (standard scoping rules); the
+dependent operators apply their lambda to each bag element.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+from repro.data.model import Bag, DataError, Record
+from repro.lambda_nra import ast
+from repro.nraenv.eval import EvalError
+
+
+def eval_lnra(
+    expr: ast.LnraNode,
+    env: Optional[Mapping[str, Any]] = None,
+    constants: Optional[Mapping[str, Any]] = None,
+) -> Any:
+    """Evaluate an NRAλ expression under a variable environment."""
+    return _eval(expr, dict(env or {}), constants or {})
+
+
+def _eval(expr: ast.LnraNode, env: dict, constants: Mapping[str, Any]) -> Any:
+    if isinstance(expr, ast.LVar):
+        if expr.name not in env:
+            raise EvalError("unbound NRAλ variable %r" % expr.name)
+        return env[expr.name]
+    if isinstance(expr, ast.LConst):
+        return expr.value
+    if isinstance(expr, ast.LTable):
+        if expr.cname not in constants:
+            raise EvalError("unknown database constant %r" % expr.cname)
+        return constants[expr.cname]
+    if isinstance(expr, ast.LUnop):
+        try:
+            return expr.op.apply(_eval(expr.arg, env, constants))
+        except DataError as exc:
+            raise EvalError(str(exc)) from exc
+    if isinstance(expr, ast.LBinop):
+        left = _eval(expr.left, env, constants)
+        right = _eval(expr.right, env, constants)
+        try:
+            return expr.op.apply(left, right)
+        except DataError as exc:
+            raise EvalError(str(exc)) from exc
+    if isinstance(expr, ast.LMap):
+        source = _bag(_eval(expr.arg, env, constants), "map")
+        return Bag(
+            _apply(expr.fn, item, env, constants) for item in source
+        )
+    if isinstance(expr, ast.LFilter):
+        source = _bag(_eval(expr.arg, env, constants), "filter")
+        kept = []
+        for item in source:
+            verdict = _apply(expr.fn, item, env, constants)
+            if not isinstance(verdict, bool):
+                raise EvalError("filter lambda returned non-boolean %r" % (verdict,))
+            if verdict:
+                kept.append(item)
+        return Bag(kept)
+    if isinstance(expr, ast.LDJoin):
+        source = _bag(_eval(expr.arg, env, constants), "d-join")
+        out = []
+        for item in source:
+            if not isinstance(item, Record):
+                raise EvalError("d-join expects records, got %r" % (item,))
+            dependent = _bag(_apply(expr.fn, item, env, constants), "d-join body")
+            for other in dependent:
+                if not isinstance(other, Record):
+                    raise EvalError("d-join body expects records, got %r" % (other,))
+                out.append(item.concat(other))
+        return Bag(out)
+    if isinstance(expr, ast.LProduct):
+        left = _bag(_eval(expr.left, env, constants), "×")
+        right = _bag(_eval(expr.right, env, constants), "×")
+        out = []
+        for a in left:
+            if not isinstance(a, Record):
+                raise EvalError("× expects records, got %r" % (a,))
+            for b in right:
+                if not isinstance(b, Record):
+                    raise EvalError("× expects records, got %r" % (b,))
+                out.append(a.concat(b))
+        return Bag(out)
+    raise EvalError("unknown NRAλ node %r" % (expr,))
+
+
+def _apply(fn: ast.Lambda, argument: Any, env: dict, constants: Mapping[str, Any]) -> Any:
+    inner = dict(env)
+    inner[fn.var] = argument
+    return _eval(fn.body, inner, constants)
+
+
+def _bag(value: Any, op: str) -> Bag:
+    if not isinstance(value, Bag):
+        raise EvalError("%s expects a bag, got %r" % (op, value))
+    return value

@@ -1,0 +1,228 @@
+r"""Parser for NRAλ (paper §8: "the system includes a parser for OQL and NRAλ").
+
+Concrete syntax (λ written ``\``)::
+
+    expr ::= map(\x -> expr)(expr)
+           | filter(\x -> expr)(expr)
+           | djoin(\x -> expr)(expr)
+           | product(expr, expr)
+           | flatten(expr) | distinct(expr) | count(expr) | sum(expr)
+           | avg(expr) | min(expr) | max(expr)
+           | bag(expr, ...) | struct(a: expr, ...)
+           | expr.field | expr BINOP expr | - expr | not expr
+           | ( expr ) | literal | name          -- variable or $table
+
+    e.g.  map(\p -> p.name)(filter(\p -> p.age < 30)(Persons))
+
+Free names are parsed as table references (``LTable``) unless bound by
+an enclosing lambda, mirroring how the paper's examples write ``P``.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Tuple
+
+from repro.data import operators as ops
+from repro.lambda_nra import ast
+from repro.sql.lexer import SqlSyntaxError, TokenStream, tokenize
+
+_AGGREGATES = {
+    "count": ops.OpCount,
+    "sum": ops.OpSum,
+    "avg": ops.OpAvg,
+    "min": ops.OpMin,
+    "max": ops.OpMax,
+    "flatten": ops.OpFlatten,
+    "distinct": ops.OpDistinct,
+}
+
+_DEPENDENT = ("map", "filter", "djoin")
+
+
+def parse_lnra(text: str) -> ast.LnraNode:
+    """Parse an NRAλ expression."""
+    stream = TokenStream(tokenize(text.replace("\\", " lambda ")))
+    expr = _parse_expr(stream, frozenset())
+    if not stream.exhausted:
+        token = stream.peek()
+        raise SqlSyntaxError(
+            "trailing NRAλ input at position %d: %r" % (token.position, token.value)
+        )
+    return expr
+
+
+def _parse_expr(stream: TokenStream, scope: FrozenSet[str]) -> ast.LnraNode:
+    return _parse_or(stream, scope)
+
+
+def _parse_or(stream: TokenStream, scope: FrozenSet[str]) -> ast.LnraNode:
+    left = _parse_and(stream, scope)
+    while stream.accept_keyword("or"):
+        left = ast.LBinop(ops.OpOr(), left, _parse_and(stream, scope))
+    return left
+
+
+def _parse_and(stream: TokenStream, scope: FrozenSet[str]) -> ast.LnraNode:
+    left = _parse_not(stream, scope)
+    while stream.accept_keyword("and"):
+        left = ast.LBinop(ops.OpAnd(), left, _parse_not(stream, scope))
+    return left
+
+
+def _parse_not(stream: TokenStream, scope: FrozenSet[str]) -> ast.LnraNode:
+    if stream.accept_keyword("not"):
+        return ast.LUnop(ops.OpNeg(), _parse_not(stream, scope))
+    return _parse_comparison(stream, scope)
+
+
+_COMPARISONS: Tuple[Tuple[str, type], ...] = (
+    ("<=", ops.OpLe),
+    (">=", ops.OpGe),
+    ("<", ops.OpLt),
+    (">", ops.OpGt),
+    ("=", ops.OpEq),
+)
+
+
+def _parse_comparison(stream: TokenStream, scope: FrozenSet[str]) -> ast.LnraNode:
+    left = _parse_additive(stream, scope)
+    for symbol, op_cls in _COMPARISONS:
+        if stream.at_symbol(symbol):
+            stream.next()
+            return ast.LBinop(op_cls(), left, _parse_additive(stream, scope))
+    if stream.accept_keyword("in"):
+        return ast.LBinop(ops.OpIn(), left, _parse_additive(stream, scope))
+    if stream.accept_keyword("union"):
+        return ast.LBinop(ops.OpUnion(), left, _parse_additive(stream, scope))
+    return left
+
+
+def _parse_additive(stream: TokenStream, scope: FrozenSet[str]) -> ast.LnraNode:
+    left = _parse_multiplicative(stream, scope)
+    while stream.at_symbol("+", "-"):
+        op = stream.next().value
+        op_obj = ops.OpAdd() if op == "+" else ops.OpSub()
+        left = ast.LBinop(op_obj, left, _parse_multiplicative(stream, scope))
+    return left
+
+
+def _parse_multiplicative(stream: TokenStream, scope: FrozenSet[str]) -> ast.LnraNode:
+    left = _parse_unary(stream, scope)
+    while stream.at_symbol("*", "/"):
+        op = stream.next().value
+        op_obj = ops.OpMult() if op == "*" else ops.OpDiv()
+        left = ast.LBinop(op_obj, left, _parse_unary(stream, scope))
+    return left
+
+
+def _parse_unary(stream: TokenStream, scope: FrozenSet[str]) -> ast.LnraNode:
+    if stream.accept_symbol("-"):
+        return ast.LUnop(ops.OpNumNeg(), _parse_unary(stream, scope))
+    return _parse_postfix(stream, scope)
+
+
+def _parse_postfix(stream: TokenStream, scope: FrozenSet[str]) -> ast.LnraNode:
+    expr = _parse_primary(stream, scope)
+    while stream.accept_symbol("."):
+        expr = ast.LUnop(ops.OpDot(stream.expect_ident()), expr)
+    return expr
+
+
+def _parse_lambda(stream: TokenStream, scope: FrozenSet[str]) -> ast.Lambda:
+    stream.expect_symbol("(")
+    stream.expect_keyword("lambda")
+    var = stream.expect_ident()
+    stream.expect_symbol("-")
+    stream.expect_symbol(">")
+    body = _parse_expr(stream, scope | {var})
+    stream.expect_symbol(")")
+    return ast.Lambda(var, body)
+
+
+def _parse_primary(stream: TokenStream, scope: FrozenSet[str]) -> ast.LnraNode:
+    token = stream.peek()
+    if token.kind == "number":
+        stream.next()
+        return ast.LConst(float(token.value) if "." in token.value else int(token.value))
+    if token.kind == "string":
+        stream.next()
+        return ast.LConst(token.value)
+    if stream.accept_symbol("("):
+        expr = _parse_expr(stream, scope)
+        stream.expect_symbol(")")
+        return expr
+    if token.kind != "ident":
+        raise SqlSyntaxError(
+            "unexpected NRAλ token %r at position %d" % (token.value, token.position)
+        )
+    word = token.value
+    if word == "true":
+        stream.next()
+        return ast.LConst(True)
+    if word == "false":
+        stream.next()
+        return ast.LConst(False)
+    if word in _DEPENDENT:
+        stream.next()
+        fn = _parse_lambda(stream, scope)
+        stream.expect_symbol("(")
+        arg = _parse_expr(stream, scope)
+        stream.expect_symbol(")")
+        node = {"map": ast.LMap, "filter": ast.LFilter, "djoin": ast.LDJoin}[word]
+        return node(fn, arg)
+    if word == "product":
+        stream.next()
+        stream.expect_symbol("(")
+        left = _parse_expr(stream, scope)
+        stream.expect_symbol(",")
+        right = _parse_expr(stream, scope)
+        stream.expect_symbol(")")
+        return ast.LProduct(left, right)
+    if word == "bag":
+        stream.next()
+        stream.expect_symbol("(")
+        items: List[ast.LnraNode] = []
+        if not stream.at_symbol(")"):
+            items.append(_parse_expr(stream, scope))
+            while stream.accept_symbol(","):
+                items.append(_parse_expr(stream, scope))
+        stream.expect_symbol(")")
+        from repro.data.model import Bag
+
+        expr: ast.LnraNode = ast.LConst(Bag([]))
+        for item in items:
+            singleton = ast.LUnop(ops.OpBag(), item)
+            expr = (
+                singleton
+                if expr == ast.LConst(Bag([]))
+                else ast.LBinop(ops.OpUnion(), expr, singleton)
+            )
+        return expr
+    if word == "struct":
+        stream.next()
+        stream.expect_symbol("(")
+        fields: List[Tuple[str, ast.LnraNode]] = []
+        if not stream.at_symbol(")"):
+            while True:
+                name = stream.expect_ident()
+                stream.expect_symbol(":")
+                fields.append((name, _parse_expr(stream, scope)))
+                if not stream.accept_symbol(","):
+                    break
+        stream.expect_symbol(")")
+        from repro.data.model import Record
+
+        expr = ast.LConst(Record({}))
+        for name, sub in fields:
+            expr = ast.LBinop(ops.OpConcat(), expr, ast.LUnop(ops.OpRec(name), sub))
+        return expr
+    if word in _AGGREGATES and stream.peek(1).kind == "symbol" and stream.peek(1).value == "(":
+        stream.next()
+        stream.expect_symbol("(")
+        arg = _parse_expr(stream, scope)
+        stream.expect_symbol(")")
+        return ast.LUnop(_AGGREGATES[word](), arg)
+    stream.next()
+    if word in scope:
+        return ast.LVar(word)
+    return ast.LTable(word)

@@ -1,0 +1,37 @@
+"""Pretty-printer for NRAλ expressions."""
+
+from __future__ import annotations
+
+from repro.lambda_nra import ast
+from repro.nraenv.pretty import _BINOP_SYMBOLS, _value
+
+
+def pretty(expr: ast.LnraNode) -> str:
+    if isinstance(expr, ast.LVar):
+        return expr.name
+    if isinstance(expr, ast.LConst):
+        return _value(expr.value)
+    if isinstance(expr, ast.LTable):
+        return "$%s" % expr.cname
+    if isinstance(expr, ast.LUnop):
+        from repro.data import operators as ops
+
+        if isinstance(expr.op, ops.OpDot):
+            return "%s.%s" % (pretty(expr.arg), expr.op.field)
+        return "%s(%s)" % (expr.op.name, pretty(expr.arg))
+    if isinstance(expr, ast.LBinop):
+        symbol = _BINOP_SYMBOLS.get(type(expr.op), expr.op.name)
+        return "(%s %s %s)" % (pretty(expr.left), symbol, pretty(expr.right))
+    if isinstance(expr, ast.LMap):
+        return "map (%s) %s" % (_lambda(expr.fn), pretty(expr.arg))
+    if isinstance(expr, ast.LFilter):
+        return "filter (%s) %s" % (_lambda(expr.fn), pretty(expr.arg))
+    if isinstance(expr, ast.LDJoin):
+        return "d-join (%s) %s" % (_lambda(expr.fn), pretty(expr.arg))
+    if isinstance(expr, ast.LProduct):
+        return "(%s × %s)" % (pretty(expr.left), pretty(expr.right))
+    return "<%s>" % type(expr).__name__
+
+
+def _lambda(fn: ast.Lambda) -> str:
+    return "λ%s.(%s)" % (fn.var, pretty(fn.body))

@@ -1,0 +1,37 @@
+"""NNRC: the Named Nested Relational Calculus (paper §5).
+
+The calculus with variables that the algebra compiles into on its way to
+code generation.
+"""
+
+from repro.nnrc.ast import (
+    Binop,
+    Const,
+    For,
+    GetConstant,
+    If,
+    Let,
+    NnrcNode,
+    Unop,
+    Var,
+)
+from repro.nnrc.eval import eval_nnrc
+from repro.nnrc.freevars import FreshNames, free_vars, substitute
+from repro.nnrc.pretty import pretty
+
+__all__ = [
+    "Binop",
+    "Const",
+    "For",
+    "FreshNames",
+    "GetConstant",
+    "If",
+    "Let",
+    "NnrcNode",
+    "Unop",
+    "Var",
+    "eval_nnrc",
+    "free_vars",
+    "pretty",
+    "substitute",
+]

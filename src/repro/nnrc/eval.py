@@ -1,0 +1,69 @@
+"""Operational semantics of NNRC with bag semantics ([34], used in §5)."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+from repro.data.model import Bag, DataError
+from repro.nnrc import ast
+from repro.nraenv.eval import EvalError
+
+
+def eval_nnrc(
+    expr: ast.NnrcNode,
+    env: Optional[Mapping[str, Any]] = None,
+    constants: Optional[Mapping[str, Any]] = None,
+) -> Any:
+    """Evaluate an NNRC expression under a variable environment.
+
+    ``env`` maps variable names to values; ``constants`` maps database
+    constant names (tables) to values.
+    """
+    return _eval(expr, dict(env or {}), constants or {})
+
+
+def _eval(expr: ast.NnrcNode, env: dict, constants: Mapping[str, Any]) -> Any:
+    if isinstance(expr, ast.Var):
+        if expr.name not in env:
+            raise EvalError("unbound NNRC variable %r" % expr.name)
+        return env[expr.name]
+    if isinstance(expr, ast.Const):
+        return expr.value
+    if isinstance(expr, ast.GetConstant):
+        if expr.cname not in constants:
+            raise EvalError("unknown database constant %r" % expr.cname)
+        return constants[expr.cname]
+    if isinstance(expr, ast.Unop):
+        try:
+            return expr.op.apply(_eval(expr.arg, env, constants))
+        except DataError as exc:
+            raise EvalError(str(exc)) from exc
+    if isinstance(expr, ast.Binop):
+        left = _eval(expr.left, env, constants)
+        right = _eval(expr.right, env, constants)
+        try:
+            return expr.op.apply(left, right)
+        except DataError as exc:
+            raise EvalError(str(exc)) from exc
+    if isinstance(expr, ast.Let):
+        value = _eval(expr.defn, env, constants)
+        inner = dict(env)
+        inner[expr.var] = value
+        return _eval(expr.body, inner, constants)
+    if isinstance(expr, ast.For):
+        source = _eval(expr.source, env, constants)
+        if not isinstance(source, Bag):
+            raise EvalError("comprehension source must be a bag, got %r" % (source,))
+        out = []
+        inner = dict(env)
+        for item in source:
+            inner[expr.var] = item
+            out.append(_eval(expr.body, inner, constants))
+        return Bag(out)
+    if isinstance(expr, ast.If):
+        verdict = _eval(expr.cond, env, constants)
+        if not isinstance(verdict, bool):
+            raise EvalError("if condition returned non-boolean %r" % (verdict,))
+        branch = expr.then if verdict else expr.otherwise
+        return _eval(branch, env, constants)
+    raise EvalError("unknown NNRC node %r" % (expr,))

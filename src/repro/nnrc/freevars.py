@@ -1,0 +1,132 @@
+"""Free variables, substitution, and fresh-name generation for NNRC.
+
+Substitution is capture-avoiding: binders whose variable would capture a
+free variable of the payload are renamed on the fly.  These utilities
+back both the NRAe→NNRC translation (fresh-name discipline, Figure 5's
+"x is fresh" side conditions) and the NNRC optimizer (let inlining).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import FrozenSet, Iterable, Iterator, Set
+
+from repro.nnrc import ast
+
+
+def free_vars(expr: ast.NnrcNode) -> FrozenSet[str]:
+    """The free variables of ``expr``."""
+    if isinstance(expr, ast.Var):
+        return frozenset([expr.name])
+    if isinstance(expr, ast.Let):
+        return free_vars(expr.defn) | (free_vars(expr.body) - {expr.var})
+    if isinstance(expr, ast.For):
+        return free_vars(expr.source) | (free_vars(expr.body) - {expr.var})
+    out: Set[str] = set()
+    for child in expr.children():
+        out |= free_vars(child)
+    return frozenset(out)
+
+
+def bound_vars(expr: ast.NnrcNode) -> FrozenSet[str]:
+    """Every variable bound anywhere in ``expr``."""
+    out: Set[str] = set()
+    for node in expr.walk():
+        if isinstance(node, (ast.Let, ast.For)):
+            out.add(node.var)
+    return frozenset(out)
+
+
+class FreshNames:
+    """A generator of names avoiding a given set (Figure 5's "fresh")."""
+
+    def __init__(self, avoid: Iterable[str] = (), prefix: str = "x"):
+        self._avoid: Set[str] = set(avoid)
+        self._prefix = prefix
+        self._counter = itertools.count()
+
+    def avoid(self, names: Iterable[str]) -> None:
+        self._avoid.update(names)
+
+    def fresh(self, hint: str = "") -> str:
+        base = hint or self._prefix
+        while True:
+            name = "%s%d" % (base, next(self._counter))
+            if name not in self._avoid:
+                self._avoid.add(name)
+                return name
+
+
+def _fresh_like(name: str, avoid: Set[str]) -> str:
+    for i in itertools.count():
+        candidate = "%s_%d" % (name, i)
+        if candidate not in avoid:
+            return candidate
+    raise AssertionError("unreachable")
+
+
+def substitute(expr: ast.NnrcNode, var: str, payload: ast.NnrcNode) -> ast.NnrcNode:
+    """``expr[payload/var]``, capture-avoiding."""
+    payload_free = free_vars(payload)
+
+    def go(node: ast.NnrcNode) -> ast.NnrcNode:
+        if isinstance(node, ast.Var):
+            return payload if node.name == var else node
+        if isinstance(node, ast.Let):
+            defn = go(node.defn)
+            if node.var == var:
+                return ast.Let(node.var, defn, node.body)
+            if node.var in payload_free and var in free_vars(node.body):
+                avoid = payload_free | free_vars(node.body) | {var}
+                renamed = _fresh_like(node.var, set(avoid))
+                body = substitute(node.body, node.var, ast.Var(renamed))
+                return ast.Let(renamed, defn, go(body))
+            return ast.Let(node.var, defn, go(node.body))
+        if isinstance(node, ast.For):
+            source = go(node.source)
+            if node.var == var:
+                return ast.For(node.var, source, node.body)
+            if node.var in payload_free and var in free_vars(node.body):
+                avoid = payload_free | free_vars(node.body) | {var}
+                renamed = _fresh_like(node.var, set(avoid))
+                body = substitute(node.body, node.var, ast.Var(renamed))
+                return ast.For(renamed, source, go(body))
+            return ast.For(node.var, source, go(node.body))
+        children = tuple(go(child) for child in node.children())
+        if children == node.children():
+            return node
+        return node.rebuild(children)
+
+    return go(expr)
+
+
+def rename_bound(expr: ast.NnrcNode, names: FreshNames) -> ast.NnrcNode:
+    """α-rename every binder to a fresh name (normalises for comparison)."""
+    if isinstance(expr, ast.Let):
+        fresh = names.fresh(expr.var)
+        body = substitute(expr.body, expr.var, ast.Var(fresh))
+        return ast.Let(fresh, rename_bound(expr.defn, names), rename_bound(body, names))
+    if isinstance(expr, ast.For):
+        fresh = names.fresh(expr.var)
+        body = substitute(expr.body, expr.var, ast.Var(fresh))
+        return ast.For(fresh, rename_bound(expr.source, names), rename_bound(body, names))
+    children = tuple(rename_bound(child, names) for child in expr.children())
+    if children == expr.children():
+        return expr
+    return expr.rebuild(children)
+
+
+def count_occurrences(expr: ast.NnrcNode, var: str) -> int:
+    """Number of *free* occurrences of ``var`` in ``expr``."""
+    if isinstance(expr, ast.Var):
+        return 1 if expr.name == var else 0
+    if isinstance(expr, (ast.Let, ast.For)):
+        source_or_defn = expr.children()[0]
+        inner = 0 if expr.var == var else count_occurrences(expr.children()[1], var)
+        return count_occurrences(source_or_defn, var) + inner
+    return sum(count_occurrences(child, var) for child in expr.children())
+
+
+def all_names(expr: ast.NnrcNode) -> FrozenSet[str]:
+    """Every variable name appearing anywhere (free or bound)."""
+    return free_vars(expr) | bound_vars(expr)

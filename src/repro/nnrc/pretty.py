@@ -1,0 +1,39 @@
+"""Pretty-printer for NNRC expressions, in the paper's notation."""
+
+from __future__ import annotations
+
+from repro.nnrc import ast
+from repro.nraenv.pretty import _BINOP_SYMBOLS, _value
+
+
+def pretty(expr: ast.NnrcNode) -> str:
+    if isinstance(expr, ast.Var):
+        return expr.name
+    if isinstance(expr, ast.Const):
+        return _value(expr.value)
+    if isinstance(expr, ast.GetConstant):
+        return "$%s" % expr.cname
+    if isinstance(expr, ast.Unop):
+        from repro.data import operators as ops
+
+        if isinstance(expr.op, ops.OpDot):
+            return "%s.%s" % (pretty(expr.arg), expr.op.field)
+        if isinstance(expr.op, ops.OpRec):
+            return "[%s: %s]" % (expr.op.field, pretty(expr.arg))
+        if isinstance(expr.op, ops.OpBag):
+            return "{%s}" % pretty(expr.arg)
+        return "%s(%s)" % (expr.op.name, pretty(expr.arg))
+    if isinstance(expr, ast.Binop):
+        symbol = _BINOP_SYMBOLS.get(type(expr.op), expr.op.name)
+        return "(%s %s %s)" % (pretty(expr.left), symbol, pretty(expr.right))
+    if isinstance(expr, ast.Let):
+        return "let %s = %s in %s" % (expr.var, pretty(expr.defn), pretty(expr.body))
+    if isinstance(expr, ast.For):
+        return "{%s | %s ∈ %s}" % (pretty(expr.body), expr.var, pretty(expr.source))
+    if isinstance(expr, ast.If):
+        return "(%s ? %s : %s)" % (
+            pretty(expr.cond),
+            pretty(expr.then),
+            pretty(expr.otherwise),
+        )
+    return "<%s>" % type(expr).__name__

@@ -1,0 +1,11 @@
+"""NRA: the combinator-based nested relational algebra (paper §3.2).
+
+The syntax is the environment-free fragment of NRAe (shared node
+classes); the semantics here is the independent, environment-free
+judgment ``⊢ q @ d ⇓n d'`` used by Theorem 2.
+"""
+
+from repro.nra.ast import NraNode, check_nra, is_nra
+from repro.nra.eval import eval_nra
+
+__all__ = ["NraNode", "check_nra", "eval_nra", "is_nra"]

@@ -1,0 +1,39 @@
+"""The combinator-based NRA (paper Definition 1).
+
+NRA is the fragment of NRAe without ``Env``, ``∘e`` and ``χe``; the node
+classes are shared with :mod:`repro.nraenv.ast` (the paper defines NRA
+as the set of NRAe plans satisfying the ``NRA(q)`` predicate).  This
+module re-exports the fragment's constructors and provides
+:func:`check_nra` to assert membership.
+"""
+
+from __future__ import annotations
+
+from repro.nraenv.ast import (  # noqa: F401  (re-exports)
+    App,
+    Binop,
+    Const,
+    Default,
+    DepJoin,
+    GetConstant,
+    ID,
+    Map,
+    NRA_NODE_TYPES,
+    NraeNode,
+    Product,
+    Select,
+    Unop,
+    is_nra,
+    project,
+    unnest,
+)
+
+#: Alias: NRA plans are NRAe nodes restricted by :func:`is_nra`.
+NraNode = NraeNode
+
+
+def check_nra(plan: NraeNode) -> NraeNode:
+    """Return ``plan`` if it is a pure-NRA plan, else raise ValueError."""
+    if not is_nra(plan):
+        raise ValueError("plan uses NRAe environment operators: %r" % (plan,))
+    return plan

@@ -1,0 +1,102 @@
+"""Environment-free operational semantics of NRA: ``⊢ q @ d ⇓n d'``.
+
+This is an *independent* implementation of the NRA judgment used by
+Theorem 2 (NRAe→NRA correctness): it shares no code with the NRAe
+evaluator, so the translation round-trip property tests have a genuinely
+separate oracle, the same way the Coq development keeps ``nra_eval`` and
+``cnraenv_eval`` distinct.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+from repro.data.model import Bag, DataError, Record
+from repro.nraenv import ast
+from repro.nraenv.eval import EvalError
+
+
+def eval_nra(
+    plan: ast.NraeNode,
+    datum: Any = None,
+    constants: Optional[Mapping[str, Any]] = None,
+) -> Any:
+    """Evaluate a pure-NRA plan against ``datum`` (no environment)."""
+    return _eval(plan, datum, constants or {})
+
+
+def _eval(plan: ast.NraeNode, datum: Any, constants: Mapping[str, Any]) -> Any:
+    if isinstance(plan, ast.Const):
+        return plan.value
+    if isinstance(plan, ast.ID):
+        return datum
+    if isinstance(plan, ast.GetConstant):
+        if plan.cname not in constants:
+            raise EvalError("unknown database constant %r" % plan.cname)
+        return constants[plan.cname]
+    if isinstance(plan, ast.App):
+        return _eval(plan.after, _eval(plan.before, datum, constants), constants)
+    if isinstance(plan, ast.Unop):
+        try:
+            return plan.op.apply(_eval(plan.arg, datum, constants))
+        except DataError as exc:
+            raise EvalError(str(exc)) from exc
+    if isinstance(plan, ast.Binop):
+        left = _eval(plan.left, datum, constants)
+        right = _eval(plan.right, datum, constants)
+        try:
+            return plan.op.apply(left, right)
+        except DataError as exc:
+            raise EvalError(str(exc)) from exc
+    if isinstance(plan, ast.Map):
+        source = _bag(_eval(plan.input, datum, constants), "χ")
+        return Bag(_eval(plan.body, item, constants) for item in source)
+    if isinstance(plan, ast.Select):
+        source = _bag(_eval(plan.input, datum, constants), "σ")
+        kept = []
+        for item in source:
+            verdict = _eval(plan.pred, item, constants)
+            if not isinstance(verdict, bool):
+                raise EvalError("σ predicate returned non-boolean %r" % (verdict,))
+            if verdict:
+                kept.append(item)
+        return Bag(kept)
+    if isinstance(plan, ast.Product):
+        left = _bag(_eval(plan.left, datum, constants), "×")
+        if not left:
+            return Bag([])
+        right = _bag(_eval(plan.right, datum, constants), "×")
+        return _product(left, right)
+    if isinstance(plan, ast.DepJoin):
+        source = _bag(_eval(plan.input, datum, constants), "⋈d")
+        out = []
+        for item in source:
+            dependent = _bag(_eval(plan.body, item, constants), "⋈d body")
+            out.extend(_product(Bag([item]), dependent).items)
+        return Bag(out)
+    if isinstance(plan, ast.Default):
+        left = _eval(plan.left, datum, constants)
+        if isinstance(left, Bag) and not left:
+            return _eval(plan.right, datum, constants)
+        return left
+    if isinstance(plan, (ast.Env, ast.AppEnv, ast.MapEnv)):
+        raise EvalError("NRA semantics has no rule for %s" % type(plan).__name__)
+    raise EvalError("unknown NRA node %r" % (plan,))
+
+
+def _bag(value: Any, op: str) -> Bag:
+    if not isinstance(value, Bag):
+        raise EvalError("%s expects a bag, got %r" % (op, value))
+    return value
+
+
+def _product(left: Bag, right: Bag) -> Bag:
+    out = []
+    for a in left:
+        if not isinstance(a, Record):
+            raise EvalError("× expects bags of records, got %r" % (a,))
+        for b in right:
+            if not isinstance(b, Record):
+                raise EvalError("× expects bags of records, got %r" % (b,))
+            out.append(a.concat(b))
+    return Bag(out)

@@ -1,0 +1,61 @@
+"""NRAe: the nested relational algebra with environments (paper §3).
+
+This package is the paper's primary contribution: the algebra's syntax
+(:mod:`~repro.nraenv.ast`), its operational semantics
+(:mod:`~repro.nraenv.eval`), the ``Ie``/``Ii`` ignore predicates
+(:mod:`~repro.nraenv.ignores`), parametric plans and the lifting-theorem
+machinery (:mod:`~repro.nraenv.context`), and convenient plan builders
+(:mod:`~repro.nraenv.builders`).
+"""
+
+from repro.nraenv.ast import (
+    App,
+    AppEnv,
+    Binop,
+    Const,
+    Default,
+    DepJoin,
+    Env,
+    GetConstant,
+    ID,
+    Map,
+    MapEnv,
+    NraeNode,
+    Product,
+    Select,
+    Unop,
+    is_nra,
+    project,
+    unnest,
+)
+from repro.nraenv.eval import EvalError, eval_nraenv
+from repro.nraenv.exec import eval_fast
+from repro.nraenv.ignores import ignores_env, ignores_id
+from repro.nraenv.pretty import pretty
+
+__all__ = [
+    "App",
+    "AppEnv",
+    "Binop",
+    "Const",
+    "Default",
+    "DepJoin",
+    "Env",
+    "EvalError",
+    "GetConstant",
+    "ID",
+    "Map",
+    "MapEnv",
+    "NraeNode",
+    "Product",
+    "Select",
+    "Unop",
+    "eval_fast",
+    "eval_nraenv",
+    "ignores_env",
+    "ignores_id",
+    "is_nra",
+    "pretty",
+    "project",
+    "unnest",
+]

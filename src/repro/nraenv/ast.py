@@ -1,0 +1,429 @@
+"""Abstract syntax for NRAe, the combinator NRA with environments.
+
+Paper, Definition 2::
+
+    q ::= d | In | q2 ∘ q1 | ⊙ q | q1 ⊡ q2 | χ⟨q2⟩(q1)
+        | σ⟨q2⟩(q1) | q1 × q2 | ⋈d⟨q2⟩(q1) | q1 || q2        (NRA, Def. 1)
+        | Env | q2 ∘e q1 | χe⟨q⟩                              (the extension)
+
+plus ``GetConstant(name)`` for access to named database constants
+(tables).  The paper's examples write a table simply as ``P``; in
+Q*cert this is the "constant environment" (``cNRAEnvGetConstant``),
+kept separate from ``Env`` so that environment manipulation by views
+and lambdas cannot shadow the database by accident.
+
+The *same* node classes serve both NRA and NRAe: the paper defines
+``NRA(q)`` as the predicate "q uses none of the new operators", and
+:func:`is_nra` implements exactly that.  :mod:`repro.nra` exposes the
+NRA view of this syntax with its own (environment-free) semantics.
+
+Nodes are immutable and structurally comparable/hashable, which is what
+the rewrite engine pattern-matches on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Tuple
+
+from repro.data.model import is_value
+from repro.data.operators import BinaryOp, UnaryOp
+
+
+class NraeNode:
+    """Base class for NRAe plan nodes."""
+
+    __slots__ = ()
+
+    def children(self) -> Tuple["NraeNode", ...]:
+        """Sub-plans, left to right."""
+        raise NotImplementedError
+
+    def rebuild(self, children: Tuple["NraeNode", ...]) -> "NraeNode":
+        """A copy of this node with its sub-plans replaced."""
+        raise NotImplementedError
+
+    def _tag(self) -> Tuple[Any, ...]:
+        """Node identity beyond children (operator payloads, constants)."""
+        return (type(self).__name__,)
+
+    # -- structural equality ------------------------------------------------
+
+    def __eq__(self, other: Any) -> bool:
+        if type(self) is not type(other):
+            return NotImplemented if not isinstance(other, NraeNode) else False
+        return self._tag() == other._tag() and self.children() == other.children()
+
+    def __ne__(self, other: Any) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        return hash((self._tag(), self.children()))
+
+    def __repr__(self) -> str:
+        from repro.nraenv.pretty import pretty
+
+        return pretty(self)
+
+    # -- metrics (the quantities Figures 7-9 report) -------------------------
+
+    def size(self) -> int:
+        """Number of operators in the plan (paper's "query size")."""
+        return 1 + sum(child.size() for child in self.children())
+
+    def depth(self) -> int:
+        """Operator nesting depth of the plan (paper's "query depth").
+
+        Mirrors the paper's notion of depth as the level of *iterator*
+        nesting: dependent constructs (map/select/dep-join bodies and
+        the χe body) add a level; plain composition does not.
+        """
+        raise NotImplementedError
+
+    # -- traversal helpers ----------------------------------------------------
+
+    def walk(self) -> Iterator["NraeNode"]:
+        """Yield this node and all descendants, pre-order."""
+        yield self
+        for child in self.children():
+            for node in child.walk():
+                yield node
+
+    def transform_bottom_up(
+        self, fn: Callable[["NraeNode"], "NraeNode"]
+    ) -> "NraeNode":
+        """Rebuild the plan applying ``fn`` to every node, children first."""
+        new_children = tuple(child.transform_bottom_up(fn) for child in self.children())
+        node = self if new_children == self.children() else self.rebuild(new_children)
+        return fn(node)
+
+
+def _max_child_depth(node: NraeNode) -> int:
+    depths = [child.depth() for child in node.children()]
+    return max(depths) if depths else 0
+
+
+class Const(NraeNode):
+    """``d``: a constant value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        assert is_value(value), "Const requires a data-model value: %r" % (value,)
+        self.value = value
+
+    def children(self) -> Tuple[NraeNode, ...]:
+        return ()
+
+    def rebuild(self, children: Tuple[NraeNode, ...]) -> NraeNode:
+        return self
+
+    def _tag(self) -> Tuple[Any, ...]:
+        from repro.data.model import canonical_key
+
+        return ("Const", canonical_key(self.value))
+
+    def depth(self) -> int:
+        return 0
+
+
+class ID(NraeNode):
+    """``In``: the implicit input value."""
+
+    __slots__ = ()
+
+    def children(self) -> Tuple[NraeNode, ...]:
+        return ()
+
+    def rebuild(self, children: Tuple[NraeNode, ...]) -> NraeNode:
+        return self
+
+    def depth(self) -> int:
+        return 0
+
+
+class GetConstant(NraeNode):
+    """Access to a named database constant (a table)."""
+
+    __slots__ = ("cname",)
+
+    def __init__(self, cname: str):
+        self.cname = cname
+
+    def children(self) -> Tuple[NraeNode, ...]:
+        return ()
+
+    def rebuild(self, children: Tuple[NraeNode, ...]) -> NraeNode:
+        return self
+
+    def _tag(self) -> Tuple[Any, ...]:
+        return ("GetConstant", self.cname)
+
+    def depth(self) -> int:
+        return 0
+
+
+class App(NraeNode):
+    """``q2 ∘ q1``: evaluate ``q2`` with the result of ``q1`` as input."""
+
+    __slots__ = ("after", "before")
+
+    def __init__(self, after: NraeNode, before: NraeNode):
+        self.after = after
+        self.before = before
+
+    def children(self) -> Tuple[NraeNode, ...]:
+        return (self.after, self.before)
+
+    def rebuild(self, children: Tuple[NraeNode, ...]) -> NraeNode:
+        return App(*children)
+
+    def depth(self) -> int:
+        return _max_child_depth(self)
+
+
+class Unop(NraeNode):
+    """``⊙ q``: apply a unary data operator to the result of ``q``."""
+
+    __slots__ = ("op", "arg")
+
+    def __init__(self, op: UnaryOp, arg: NraeNode):
+        self.op = op
+        self.arg = arg
+
+    def children(self) -> Tuple[NraeNode, ...]:
+        return (self.arg,)
+
+    def rebuild(self, children: Tuple[NraeNode, ...]) -> NraeNode:
+        return Unop(self.op, children[0])
+
+    def _tag(self) -> Tuple[Any, ...]:
+        return ("Unop", self.op)
+
+    def depth(self) -> int:
+        return _max_child_depth(self)
+
+
+class Binop(NraeNode):
+    """``q1 ⊡ q2``: apply a binary data operator to two results."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: BinaryOp, left: NraeNode, right: NraeNode):
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def children(self) -> Tuple[NraeNode, ...]:
+        return (self.left, self.right)
+
+    def rebuild(self, children: Tuple[NraeNode, ...]) -> NraeNode:
+        return Binop(self.op, *children)
+
+    def _tag(self) -> Tuple[Any, ...]:
+        return ("Binop", self.op)
+
+    def depth(self) -> int:
+        return _max_child_depth(self)
+
+
+class Map(NraeNode):
+    """``χ⟨body⟩(input)``: map ``body`` over the bag produced by ``input``."""
+
+    __slots__ = ("body", "input")
+
+    def __init__(self, body: NraeNode, input: NraeNode):
+        self.body = body
+        self.input = input
+
+    def children(self) -> Tuple[NraeNode, ...]:
+        return (self.body, self.input)
+
+    def rebuild(self, children: Tuple[NraeNode, ...]) -> NraeNode:
+        return Map(*children)
+
+    def depth(self) -> int:
+        return max(1 + self.body.depth(), self.input.depth())
+
+
+class Select(NraeNode):
+    """``σ⟨pred⟩(input)``: keep elements on which ``pred`` is true."""
+
+    __slots__ = ("pred", "input")
+
+    def __init__(self, pred: NraeNode, input: NraeNode):
+        self.pred = pred
+        self.input = input
+
+    def children(self) -> Tuple[NraeNode, ...]:
+        return (self.pred, self.input)
+
+    def rebuild(self, children: Tuple[NraeNode, ...]) -> NraeNode:
+        return Select(*children)
+
+    def depth(self) -> int:
+        return max(1 + self.pred.depth(), self.input.depth())
+
+
+class Product(NraeNode):
+    """``q1 × q2``: Cartesian product of two bags of records (⊕ pairwise)."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: NraeNode, right: NraeNode):
+        self.left = left
+        self.right = right
+
+    def children(self) -> Tuple[NraeNode, ...]:
+        return (self.left, self.right)
+
+    def rebuild(self, children: Tuple[NraeNode, ...]) -> NraeNode:
+        return Product(*children)
+
+    def depth(self) -> int:
+        return _max_child_depth(self)
+
+
+class DepJoin(NraeNode):
+    """``⋈d⟨body⟩(input)``: dependent join.
+
+    For each record ``d1`` of ``input``, evaluate ``body`` with input
+    ``d1`` and pair ``d1`` with every record it returns (⊕).
+    """
+
+    __slots__ = ("body", "input")
+
+    def __init__(self, body: NraeNode, input: NraeNode):
+        self.body = body
+        self.input = input
+
+    def children(self) -> Tuple[NraeNode, ...]:
+        return (self.body, self.input)
+
+    def rebuild(self, children: Tuple[NraeNode, ...]) -> NraeNode:
+        return DepJoin(*children)
+
+    def depth(self) -> int:
+        return max(1 + self.body.depth(), self.input.depth())
+
+
+class Default(NraeNode):
+    """``q1 || q2``: value of ``q1`` unless it is ∅, else value of ``q2``."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: NraeNode, right: NraeNode):
+        self.left = left
+        self.right = right
+
+    def children(self) -> Tuple[NraeNode, ...]:
+        return (self.left, self.right)
+
+    def rebuild(self, children: Tuple[NraeNode, ...]) -> NraeNode:
+        return Default(*children)
+
+    def depth(self) -> int:
+        return _max_child_depth(self)
+
+
+class Env(NraeNode):
+    """``Env``: the implicit reified environment."""
+
+    __slots__ = ()
+
+    def children(self) -> Tuple[NraeNode, ...]:
+        return ()
+
+    def rebuild(self, children: Tuple[NraeNode, ...]) -> NraeNode:
+        return self
+
+    def depth(self) -> int:
+        return 0
+
+
+class AppEnv(NraeNode):
+    """``q2 ∘e q1``: evaluate ``q2`` with environment set by ``q1``."""
+
+    __slots__ = ("after", "before")
+
+    def __init__(self, after: NraeNode, before: NraeNode):
+        self.after = after
+        self.before = before
+
+    def children(self) -> Tuple[NraeNode, ...]:
+        return (self.after, self.before)
+
+    def rebuild(self, children: Tuple[NraeNode, ...]) -> NraeNode:
+        return AppEnv(*children)
+
+    def depth(self) -> int:
+        return _max_child_depth(self)
+
+
+class MapEnv(NraeNode):
+    """``χe⟨body⟩``: map ``body`` over the bag in the environment."""
+
+    __slots__ = ("body",)
+
+    def __init__(self, body: NraeNode):
+        self.body = body
+
+    def children(self) -> Tuple[NraeNode, ...]:
+        return (self.body,)
+
+    def rebuild(self, children: Tuple[NraeNode, ...]) -> NraeNode:
+        return MapEnv(children[0])
+
+    def depth(self) -> int:
+        return 1 + self.body.depth()
+
+
+#: Node classes belonging to the NRA fragment (Definition 1 + GetConstant).
+NRA_NODE_TYPES = (
+    Const,
+    ID,
+    GetConstant,
+    App,
+    Unop,
+    Binop,
+    Map,
+    Select,
+    Product,
+    DepJoin,
+    Default,
+)
+
+#: The environment extension (Definition 2).
+ENV_NODE_TYPES = (Env, AppEnv, MapEnv)
+
+
+def is_nra(plan: NraeNode) -> bool:
+    """The paper's ``NRA(q)``: q uses none of the environment operators."""
+    return all(not isinstance(node, ENV_NODE_TYPES) for node in plan.walk())
+
+
+# ---------------------------------------------------------------------------
+# Derived operators (paper section 3.2)
+# ---------------------------------------------------------------------------
+
+
+def project(fields: Any, plan: NraeNode) -> NraeNode:
+    """Relational projection ``Π_{Ai}(q) = χ⟨π_{Ai}⟩(q)``."""
+    from repro.data.operators import OpProject
+
+    return Map(Unop(OpProject(fields), ID()), plan)
+
+
+def unnest(b: str, a: str, plan: NraeNode) -> NraeNode:
+    """``ρ_{B/{A}}(q)``: unnest the bag under attribute A into field B.
+
+    Defined (paper section 3.2) as::
+
+        ρ_{B/{A}}(q) = χ⟨In−A⟩( ⋈d⟨χ⟨[B:In]⟩(In.A)⟩(q) )
+    """
+    from repro.data.operators import OpDot, OpRec, OpRemove
+
+    inner = Map(Unop(OpRec(b), ID()), Unop(OpDot(a), ID()))
+    return Map(Unop(OpRemove(a), ID()), DepJoin(inner, plan))

@@ -1,0 +1,237 @@
+"""Concise constructors for NRAe plans.
+
+Translations and tests build a lot of algebra; these helpers keep that
+code close to the paper's notation::
+
+    chi(dot(env(), "p"), P)          # χ⟨Env.p⟩(P)
+    appenv(q, concat(env(), rec_field("x", id_())))   # q ∘e (Env ⊕ [x:In])
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Tuple
+
+from repro.data import operators as ops
+from repro.nraenv import ast
+
+
+def const(value: Any) -> ast.Const:
+    return ast.Const(value)
+
+
+def id_() -> ast.ID:
+    return ast.ID()
+
+
+def env() -> ast.Env:
+    return ast.Env()
+
+
+def table(name: str) -> ast.GetConstant:
+    return ast.GetConstant(name)
+
+
+def comp(after: ast.NraeNode, before: ast.NraeNode) -> ast.App:
+    """``after ∘ before``."""
+    return ast.App(after, before)
+
+
+def appenv(after: ast.NraeNode, before: ast.NraeNode) -> ast.AppEnv:
+    """``after ∘e before``."""
+    return ast.AppEnv(after, before)
+
+
+def chi(body: ast.NraeNode, input: ast.NraeNode) -> ast.Map:
+    """``χ⟨body⟩(input)``."""
+    return ast.Map(body, input)
+
+
+def chie(body: ast.NraeNode) -> ast.MapEnv:
+    """``χe⟨body⟩``."""
+    return ast.MapEnv(body)
+
+
+def sigma(pred: ast.NraeNode, input: ast.NraeNode) -> ast.Select:
+    """``σ⟨pred⟩(input)``."""
+    return ast.Select(pred, input)
+
+
+def product(left: ast.NraeNode, right: ast.NraeNode) -> ast.Product:
+    return ast.Product(left, right)
+
+
+def djoin(body: ast.NraeNode, input: ast.NraeNode) -> ast.DepJoin:
+    """``⋈d⟨body⟩(input)``."""
+    return ast.DepJoin(body, input)
+
+
+def default(left: ast.NraeNode, right: ast.NraeNode) -> ast.Default:
+    """``left || right``."""
+    return ast.Default(left, right)
+
+
+def unop(op: ops.UnaryOp, arg: ast.NraeNode) -> ast.Unop:
+    return ast.Unop(op, arg)
+
+
+def binop(op: ops.BinaryOp, left: ast.NraeNode, right: ast.NraeNode) -> ast.Binop:
+    return ast.Binop(op, left, right)
+
+
+# -- unary shorthands -------------------------------------------------------
+
+
+def dot(plan: ast.NraeNode, field: str) -> ast.Unop:
+    """``plan.field``."""
+    return ast.Unop(ops.OpDot(field), plan)
+
+
+def dots(plan: ast.NraeNode, *fields: str) -> ast.NraeNode:
+    """``plan.f1.f2...``."""
+    for field in fields:
+        plan = dot(plan, field)
+    return plan
+
+
+def rec_field(field: str, plan: ast.NraeNode) -> ast.Unop:
+    """``[field: plan]``."""
+    return ast.Unop(ops.OpRec(field), plan)
+
+
+def record(fields: Mapping[str, ast.NraeNode]) -> ast.NraeNode:
+    """``[A1: q1, ..., An: qn]`` via ⊕ of one-field records."""
+    items: Tuple[Tuple[str, ast.NraeNode], ...] = tuple(fields.items())
+    if not items:
+        from repro.data.model import Record
+
+        return ast.Const(Record({}))
+    plan: ast.NraeNode = rec_field(items[0][0], items[0][1])
+    for name, sub in items[1:]:
+        plan = concat(plan, rec_field(name, sub))
+    return plan
+
+
+def coll(plan: ast.NraeNode) -> ast.Unop:
+    """``{plan}``: singleton bag."""
+    return ast.Unop(ops.OpBag(), plan)
+
+
+def flatten_(plan: ast.NraeNode) -> ast.Unop:
+    return ast.Unop(ops.OpFlatten(), plan)
+
+
+def neg(plan: ast.NraeNode) -> ast.Unop:
+    return ast.Unop(ops.OpNeg(), plan)
+
+
+def remove(plan: ast.NraeNode, field: str) -> ast.Unop:
+    return ast.Unop(ops.OpRemove(field), plan)
+
+
+def distinct(plan: ast.NraeNode) -> ast.Unop:
+    return ast.Unop(ops.OpDistinct(), plan)
+
+
+def count(plan: ast.NraeNode) -> ast.Unop:
+    return ast.Unop(ops.OpCount(), plan)
+
+
+def elem(plan: ast.NraeNode) -> ast.Unop:
+    """Extract the element of a singleton bag."""
+    return ast.Unop(ops.OpSingleton(), plan)
+
+
+# -- binary shorthands ------------------------------------------------------
+
+
+def eq(left: ast.NraeNode, right: ast.NraeNode) -> ast.Binop:
+    return ast.Binop(ops.OpEq(), left, right)
+
+
+def member(left: ast.NraeNode, right: ast.NraeNode) -> ast.Binop:
+    """``left ∈ right``."""
+    return ast.Binop(ops.OpIn(), left, right)
+
+
+def union(left: ast.NraeNode, right: ast.NraeNode) -> ast.Binop:
+    return ast.Binop(ops.OpUnion(), left, right)
+
+
+def concat(left: ast.NraeNode, right: ast.NraeNode) -> ast.Binop:
+    """``left ⊕ right``."""
+    return ast.Binop(ops.OpConcat(), left, right)
+
+
+def merge(left: ast.NraeNode, right: ast.NraeNode) -> ast.Binop:
+    """``left ⊗ right``."""
+    return ast.Binop(ops.OpMergeConcat(), left, right)
+
+
+def and_(left: ast.NraeNode, right: ast.NraeNode) -> ast.Binop:
+    return ast.Binop(ops.OpAnd(), left, right)
+
+
+def or_(left: ast.NraeNode, right: ast.NraeNode) -> ast.Binop:
+    return ast.Binop(ops.OpOr(), left, right)
+
+
+def lt(left: ast.NraeNode, right: ast.NraeNode) -> ast.Binop:
+    return ast.Binop(ops.OpLt(), left, right)
+
+
+def gt(left: ast.NraeNode, right: ast.NraeNode) -> ast.Binop:
+    return ast.Binop(ops.OpGt(), left, right)
+
+
+def add(left: ast.NraeNode, right: ast.NraeNode) -> ast.Binop:
+    return ast.Binop(ops.OpAdd(), left, right)
+
+
+def group_by(
+    key_fields: Iterable[str],
+    plan: ast.NraeNode,
+    partition_field: str = "partition",
+    key_env_field: str = "__key",
+) -> ast.NraeNode:
+    """Group a bag of records by field values (paper §3.2's derived group-by).
+
+    Produces one record per distinct key: the key fields plus
+    ``partition_field`` holding the bag of matching rows.  The encoding
+    showcases the environment: the group key is stashed under
+    ``key_env_field`` (``∘e (Env ⊕ [__key: In])``) so the partition's
+    selection can compare row keys against it without a dependent join::
+
+        χ⟨(In ⊕ [partition: σ⟨key(In) = Env.__key⟩(q)]) ∘e (Env ⊕ [__key: In])⟩(
+            ♯distinct(χ⟨key(In)⟩(q)) )
+    """
+    fields = list(key_fields)
+    if not fields:
+        return coll(rec_field(partition_field, plan))
+    key_record = record({name: dot(id_(), name) for name in fields})
+    groups = distinct(chi(key_record, plan))
+    partition = sigma(eq(key_record, dot(env(), key_env_field)), plan)
+    body = appenv(
+        concat(id_(), rec_field(partition_field, partition)),
+        concat(env(), rec_field(key_env_field, id_())),
+    )
+    return chi(body, groups)
+
+
+def if_then_else(
+    cond: ast.NraeNode, then: ast.NraeNode, otherwise: ast.NraeNode
+) -> ast.NraeNode:
+    """Conditional, encoded in the core algebra (used by SQL CASE).
+
+    ::
+
+        elem( χ⟨then ∘ In.d⟩( σ⟨In.c⟩( {[c: cond, d: In]} ) ) || {otherwise} )
+
+    The original input is stashed under field ``d`` so the ``then``
+    branch runs against it; ``||`` only evaluates its right operand when
+    the left one is ∅ (rule Default∅), so the untaken branch is never
+    evaluated — exactly SQL CASE's laziness.  Note ``{∅} ≠ ∅``: a taken
+    then-branch that *returns* an empty bag still suppresses the else.
+    """
+    pair = coll(record({"c": cond, "d": id_()}))
+    taken = chi(comp(then, dot(id_(), "d")), sigma(dot(id_(), "c"), pair))
+    return elem(default(taken, coll(otherwise)))

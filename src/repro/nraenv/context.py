@@ -1,0 +1,177 @@
+"""Parametric plans and plan instantiation (paper Definitions 5–7).
+
+A *parametric plan* is a plan over plan variables ``$q0 … $qn``
+(:class:`PlanVar` nodes).  *Instantiation* substitutes concrete plans
+for the variables.  Two parametric plans are *parametric equivalent*
+(``≡c`` for NRA, ``≡ec`` for NRAe) when every instantiation yields
+equivalent plans.
+
+Theorem 1 (equivalence lifting) states that every parametric NRA
+equivalence is also a parametric NRAe equivalence.  Because this
+implementation shares node classes between NRA and NRAe, the *lift* of a
+parametric plan is the identity — which is exactly the paper's point:
+"every NRA operator is also an NRAe operator".  What the theorem adds is
+that instantiation with *environment-using* plans preserves equivalence;
+:func:`repro.optim.verify.check_parametric_equivalence` tests that by
+instantiating with random NRAe plans (env operators included).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Sequence, Tuple
+
+from repro.nraenv import ast
+
+
+class PlanVar(ast.NraeNode):
+    """A plan variable ``$qi`` inside a parametric plan."""
+
+    __slots__ = ("index",)
+
+    def __init__(self, index: int):
+        self.index = index
+
+    def children(self) -> Tuple[ast.NraeNode, ...]:
+        return ()
+
+    def rebuild(self, children: Tuple[ast.NraeNode, ...]) -> ast.NraeNode:
+        return self
+
+    def _tag(self) -> Tuple[Any, ...]:
+        return ("PlanVar", self.index)
+
+    def depth(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:
+        return "$q%d" % self.index
+
+
+def plan_vars(plan: ast.NraeNode) -> Tuple[int, ...]:
+    """The sorted indices of plan variables occurring in ``plan``."""
+    indices = sorted({node.index for node in plan.walk() if isinstance(node, PlanVar)})
+    return tuple(indices)
+
+
+def instantiate(plan: ast.NraeNode, args: Sequence[ast.NraeNode]) -> ast.NraeNode:
+    """``c[q0, …, qn]``: substitute ``args[i]`` for ``$qi`` (Definition 6)."""
+
+    def subst(node: ast.NraeNode) -> ast.NraeNode:
+        if isinstance(node, PlanVar):
+            if node.index >= len(args):
+                raise ValueError("no instantiation for $q%d" % node.index)
+            return args[node.index]
+        return node
+
+    return plan.transform_bottom_up(subst)
+
+
+def is_parametric(plan: ast.NraeNode) -> bool:
+    """True iff the plan contains at least one plan variable."""
+    return bool(plan_vars(plan))
+
+
+class ParametricEquivalence:
+    """A directed or undirected equivalence between two parametric plans.
+
+    This is the Python counterpart of the Coq statements like
+    ``ctxt_select_union_distr``: a pair of parametric plans asserted to
+    be ``≡c``/``≡ec``-equivalent.  ``is_nra_equivalence`` records whether
+    both sides live in the NRA fragment (so Theorem 1 applies).
+    """
+
+    #: Variable sorts, for the empirical checker: "bag" (a plan producing
+    #: a bag of records), "pred" (a boolean over a record input), "elem"
+    #: (a record→value transformer), "any".
+    def __init__(
+        self,
+        name: str,
+        lhs: ast.NraeNode,
+        rhs: ast.NraeNode,
+        var_sorts: Sequence[str] = (),
+    ):
+        self.name = name
+        self.lhs = lhs
+        self.rhs = rhs
+        self.var_sorts: Tuple[str, ...] = tuple(var_sorts)
+
+    def sort_of(self, index: int) -> str:
+        if index < len(self.var_sorts):
+            return self.var_sorts[index]
+        return "any"
+
+    @property
+    def arity(self) -> int:
+        indices = set(plan_vars(self.lhs)) | set(plan_vars(self.rhs))
+        return (max(indices) + 1) if indices else 0
+
+    @property
+    def is_nra_equivalence(self) -> bool:
+        return ast.is_nra(self.lhs) and ast.is_nra(self.rhs)
+
+    def instantiate(
+        self, args: Sequence[ast.NraeNode]
+    ) -> Tuple[ast.NraeNode, ast.NraeNode]:
+        return instantiate(self.lhs, args), instantiate(self.rhs, args)
+
+    def lift(self) -> "ParametricEquivalence":
+        """Theorem 1: view an NRA parametric equivalence as an NRAe one.
+
+        The embedding of syntax is the identity; lifting merely asserts
+        the equivalence is now quantified over NRAe instantiations.
+        """
+        if not self.is_nra_equivalence:
+            raise ValueError("%s is not a pure-NRA equivalence" % self.name)
+        return ParametricEquivalence(
+            self.name + "_lifted", self.lhs, self.rhs, self.var_sorts
+        )
+
+    def __repr__(self) -> str:
+        return "ParametricEquivalence(%s: %r ≡ %r)" % (self.name, self.lhs, self.rhs)
+
+
+def q(index: int) -> PlanVar:
+    """Shorthand for ``$q`` plan variables: ``q(0), q(1), …``."""
+    return PlanVar(index)
+
+
+#: A small catalog of classic parametric NRA equivalences, used to
+#: exercise Theorem 1 empirically (and reused by the optimizer tests).
+def classic_nra_equivalences() -> Dict[str, ParametricEquivalence]:
+    from repro.nraenv import builders as b
+
+    catalog = {}
+
+    def register(
+        name: str, lhs: ast.NraeNode, rhs: ast.NraeNode, var_sorts: Sequence[str]
+    ) -> None:
+        catalog[name] = ParametricEquivalence(name, lhs, rhs, var_sorts)
+
+    # σ⟨q0⟩(q1 ∪ q2) ≡ σ⟨q0⟩(q1) ∪ σ⟨q0⟩(q2)
+    register(
+        "select_union_distr",
+        b.sigma(q(0), b.union(q(1), q(2))),
+        b.union(b.sigma(q(0), q(1)), b.sigma(q(0), q(2))),
+        ("pred", "bag", "bag"),
+    )
+    # χ⟨q0⟩(χ⟨q1⟩(q2)) ≡ χ⟨q0 ∘ q1⟩(q2)   (map fusion)
+    register(
+        "map_fusion",
+        b.chi(q(0), b.chi(q(1), q(2))),
+        b.chi(b.comp(q(0), q(1)), q(2)),
+        ("elem", "elem", "bag"),
+    )
+    # σ⟨q0⟩(σ⟨q1⟩(q2)) ≡ σ⟨q1⟩(σ⟨q0⟩(q2))   (selection commutativity)
+    register(
+        "select_commute",
+        b.sigma(q(0), b.sigma(q(1), q(2))),
+        b.sigma(q(1), b.sigma(q(0), q(2))),
+        ("pred", "pred", "bag"),
+    )
+    # χ⟨In⟩(q0) ≡ q0   (on bag-typed q0; a typed rewrite in the paper)
+    register("map_id", b.chi(b.id_(), q(0)), q(0), ("bag",))
+    # q1 ∪ q2 ≡ q2 ∪ q1   (union commutativity, multiset)
+    register("union_commute", b.union(q(0), q(1)), b.union(q(1), q(0)), ("bag", "bag"))
+    # flatten({q0}) ≡ q0   (on bag-typed q0)
+    register("flatten_coll", b.flatten_(b.coll(q(0))), q(0), ("bag",))
+    return catalog

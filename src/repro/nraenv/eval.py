@@ -1,0 +1,142 @@
+"""Operational semantics of NRAe (paper Figure 2).
+
+Implements the judgment ``γ ⊢ q @ d ⇓a d'``: in environment ``γ``,
+query ``q`` evaluated against input ``d`` produces ``d'``.
+
+The semantics is partial — when no derivation exists (e.g. mapping over
+a non-bag), :class:`EvalError` is raised.  Equivalence (Definition 3)
+treats "both sides have no derivation" as agreement, and the
+property-test harness in :mod:`repro.optim.verify` does the same.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+from repro.data.model import Bag, DataError, Record
+from repro.nraenv import ast
+
+
+class EvalError(DataError):
+    """No evaluation derivation exists for the given plan and inputs."""
+
+
+def eval_nraenv(
+    plan: ast.NraeNode,
+    env: Any = None,
+    datum: Any = None,
+    constants: Optional[Mapping[str, Any]] = None,
+) -> Any:
+    """Evaluate ``plan`` with environment ``env`` and input ``datum``.
+
+    ``constants`` maps database constant names (tables) to values for
+    :class:`~repro.nraenv.ast.GetConstant` nodes.
+    """
+    if env is None:
+        env = Record({})
+    constants = constants or {}
+    return _eval(plan, env, datum, constants)
+
+
+def _eval(plan: ast.NraeNode, env: Any, datum: Any, constants: Mapping[str, Any]) -> Any:
+    # (Constant)
+    if isinstance(plan, ast.Const):
+        return plan.value
+    # (ID)
+    if isinstance(plan, ast.ID):
+        return datum
+    if isinstance(plan, ast.GetConstant):
+        if plan.cname not in constants:
+            raise EvalError("unknown database constant %r" % plan.cname)
+        return constants[plan.cname]
+    # (Comp)
+    if isinstance(plan, ast.App):
+        intermediate = _eval(plan.before, env, datum, constants)
+        return _eval(plan.after, env, intermediate, constants)
+    # (Unary)
+    if isinstance(plan, ast.Unop):
+        value = _eval(plan.arg, env, datum, constants)
+        try:
+            return plan.op.apply(value)
+        except DataError as exc:
+            raise EvalError(str(exc)) from exc
+    # (Binary)
+    if isinstance(plan, ast.Binop):
+        left = _eval(plan.left, env, datum, constants)
+        right = _eval(plan.right, env, datum, constants)
+        try:
+            return plan.op.apply(left, right)
+        except DataError as exc:
+            raise EvalError(str(exc)) from exc
+    # (Map, Map∅)
+    if isinstance(plan, ast.Map):
+        source = _eval(plan.input, env, datum, constants)
+        _require_bag(source, "χ")
+        return Bag(_eval(plan.body, env, item, constants) for item in source)
+    # (SelT, SelF, Sel∅)
+    if isinstance(plan, ast.Select):
+        source = _eval(plan.input, env, datum, constants)
+        _require_bag(source, "σ")
+        kept = []
+        for item in source:
+            verdict = _eval(plan.pred, env, item, constants)
+            if not isinstance(verdict, bool):
+                raise EvalError("σ predicate returned non-boolean %r" % (verdict,))
+            if verdict:
+                kept.append(item)
+        return Bag(kept)
+    # (Prod, Prodˡ∅, Prodʳ∅)
+    if isinstance(plan, ast.Product):
+        left = _eval(plan.left, env, datum, constants)
+        _require_bag(left, "×")
+        if not left:
+            return Bag([])
+        right = _eval(plan.right, env, datum, constants)
+        _require_bag(right, "×")
+        return _product(left, right)
+    # (DJ, DJ∅)
+    if isinstance(plan, ast.DepJoin):
+        source = _eval(plan.input, env, datum, constants)
+        _require_bag(source, "⋈d")
+        out = []
+        for item in source:
+            dependent = _eval(plan.body, env, item, constants)
+            _require_bag(dependent, "⋈d body")
+            out.extend(_product(Bag([item]), dependent).items)
+        return Bag(out)
+    # (Default¬∅, Default∅)
+    if isinstance(plan, ast.Default):
+        left = _eval(plan.left, env, datum, constants)
+        if isinstance(left, Bag) and not left:
+            return _eval(plan.right, env, datum, constants)
+        return left
+    # (Env)
+    if isinstance(plan, ast.Env):
+        return env
+    # (Compᵉ)
+    if isinstance(plan, ast.AppEnv):
+        new_env = _eval(plan.before, env, datum, constants)
+        return _eval(plan.after, new_env, datum, constants)
+    # (Mapᵉ, Mapᵉ∅)
+    if isinstance(plan, ast.MapEnv):
+        if not isinstance(env, Bag):
+            raise EvalError("χe requires the environment to be a bag, got %r" % (env,))
+        return Bag(_eval(plan.body, item, datum, constants) for item in env)
+    raise EvalError("unknown NRAe node %r" % (plan,))
+
+
+def _require_bag(value: Any, op: str) -> None:
+    if not isinstance(value, Bag):
+        raise EvalError("%s expects a bag, got %r" % (op, value))
+
+
+def _product(left: Bag, right: Bag) -> Bag:
+    out = []
+    for a in left:
+        if not isinstance(a, Record):
+            raise EvalError("× expects bags of records, got %r" % (a,))
+        for b in right:
+            if not isinstance(b, Record):
+                raise EvalError("× expects bags of records, got %r" % (b,))
+            out.append(a.concat(b))
+    return Bag(out)

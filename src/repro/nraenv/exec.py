@@ -1,0 +1,529 @@
+"""An execution engine for NRAe plans: hash joins over σ-×-chains.
+
+:mod:`repro.nraenv.eval` is the *semantics* — a direct transcription of
+Figure 2, where ``σ⟨p⟩(q1 × q2)`` materialises the full Cartesian
+product.  This module is the *engine*: same language, same answers, but
+``Select`` over a (nested) ``Product`` is executed as a multi-way join:
+
+1. the product tree is flattened into factors and the predicate into
+   conjuncts;
+2. each conjunct is analysed for the input fields it reads (sound,
+   syntactic: every ``In`` must occur as ``In.f``);
+3. factors are joined greedily — hash joins on available equality
+   conjuncts, smallest-first Cartesian products otherwise — applying
+   each residual conjunct as soon as its fields are available.
+
+When the shape analysis fails (a conjunct reads ``In`` whole, a factor
+is not a bag of records, …) the engine falls back to the reference
+semantics for that node, so the engine is *total* on whatever the
+semantics accepts.
+
+Correctness contract (property-tested): on any plan and inputs where
+the reference evaluator succeeds, the engine returns the same bag.  On
+ill-typed inputs the engine may fail where the semantics succeeds or
+vice versa (it reorders and skips predicate evaluations, as any real
+executor does); the typed-plans caveat is the same one Definition 4
+makes for rewrites.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from repro.data import operators as ops
+from repro.data.model import Bag, Record, canonical_key
+from repro.nraenv import ast
+from repro.nraenv.eval import EvalError, eval_nraenv
+
+
+def eval_fast(
+    plan: ast.NraeNode,
+    env: Any = None,
+    datum: Any = None,
+    constants: Optional[Mapping[str, Any]] = None,
+) -> Any:
+    """Evaluate like :func:`~repro.nraenv.eval.eval_nraenv`, with joins."""
+    if env is None:
+        env = Record({})
+    constants = constants or {}
+    return _eval(plan, env, datum, constants)
+
+
+# ---------------------------------------------------------------------------
+# Predicate analysis
+# ---------------------------------------------------------------------------
+
+
+def _conjuncts(pred: ast.NraeNode) -> List[ast.NraeNode]:
+    if isinstance(pred, ast.Binop) and isinstance(pred.op, ops.OpAnd):
+        return _conjuncts(pred.left) + _conjuncts(pred.right)
+    return [pred]
+
+
+def _analyse_conjunct(
+    pred: ast.NraeNode, env_mode: bool = False
+) -> Tuple[FrozenSet[str], bool]:
+    """(row fields read, reads-whole-row?) for a conjunct.
+
+    Tracks two visibilities while walking: whether ``In`` still denotes
+    the product row (rebound by χ/σ/⋈d bodies and by ∘'s left operand)
+    and — in env-mode, where the row is also in the environment as
+    ``γ ⊕ row`` — whether ``Env`` still denotes it (rebound by ∘e's left
+    operand and by χe bodies).  A bare ``In``/``Env`` occurrence while
+    visible means the conjunct depends on the row as a whole: it is
+    still executable, but only on fully assembled rows (no pushdown).
+    """
+    fields: set = set()
+    whole_row = False
+
+    def walk(node: ast.NraeNode, in_visible: bool, env_visible: bool) -> None:
+        nonlocal whole_row
+        if isinstance(node, ast.ID):
+            if in_visible:
+                whole_row = True
+            return
+        if isinstance(node, ast.Env):
+            if env_visible:
+                whole_row = True
+            return
+        if isinstance(node, ast.Unop) and isinstance(node.op, ops.OpDot):
+            if in_visible and isinstance(node.arg, ast.ID):
+                fields.add(node.op.field)
+                return
+            if env_visible and isinstance(node.arg, ast.Env):
+                fields.add(node.op.field)
+                return
+            walk(node.arg, in_visible, env_visible)
+            return
+        if isinstance(node, (ast.Map, ast.Select, ast.DepJoin)):
+            body, source = node.children()[0], node.children()[1]
+            walk(source, in_visible, env_visible)
+            walk(body, False, env_visible)
+            return
+        if isinstance(node, ast.App):
+            walk(node.before, in_visible, env_visible)
+            walk(node.after, False, env_visible)
+            return
+        if isinstance(node, ast.AppEnv):
+            walk(node.before, in_visible, env_visible)
+            walk(node.after, in_visible, False)
+            return
+        if isinstance(node, ast.MapEnv):
+            if env_visible:
+                # χe over γ ⊕ row (a record) would be a type error in the
+                # reference semantics; treat as whole-row to stay exact.
+                whole_row = True
+                return
+            walk(node.body, in_visible, False)
+            return
+        for child in node.children():
+            walk(child, in_visible, env_visible)
+
+    walk(pred, True, env_mode)
+    return frozenset(fields), whole_row
+
+
+#: A join-key side: a field path of length 1 (``row.f``) or 2
+#: (``row.t.f`` — a qualified alias access).
+Path = Tuple[str, ...]
+
+
+def _row_path(node: ast.NraeNode, env_mode: bool) -> Optional[Path]:
+    """Match ``In.f`` / ``Env.f`` / ``Env.t.f`` (env-mode); return the path."""
+    if isinstance(node, ast.Unop) and isinstance(node.op, ops.OpDot):
+        if isinstance(node.arg, ast.ID):
+            return (node.op.field,)
+        if env_mode and isinstance(node.arg, ast.Env):
+            return (node.op.field,)
+        inner = node.arg
+        if (
+            isinstance(inner, ast.Unop)
+            and isinstance(inner.op, ops.OpDot)
+            and (
+                isinstance(inner.arg, ast.ID)
+                or (env_mode and isinstance(inner.arg, ast.Env))
+            )
+        ):
+            return (inner.op.field, node.op.field)
+    return None
+
+
+def _equality_key(
+    pred: ast.NraeNode, env_mode: bool = False
+) -> Optional[Tuple[Path, Path]]:
+    """Match ``path1 = path2`` (an equi-join conjunct over row paths)."""
+    if isinstance(pred, ast.Binop) and isinstance(pred.op, ops.OpEq):
+        left = _row_path(pred.left, env_mode)
+        right = _row_path(pred.right, env_mode)
+        if left is not None and right is not None:
+            return (left, right)
+    return None
+
+
+class _Conjunct:
+    def __init__(self, pred: ast.NraeNode, env_mode: bool):
+        self.pred = pred
+        self.fields, self.whole_row = _analyse_conjunct(pred, env_mode)
+        self.equality = _equality_key(pred, env_mode)
+        self.applied = False
+
+
+# ---------------------------------------------------------------------------
+# The join executor
+# ---------------------------------------------------------------------------
+
+
+def _flatten_product(plan: ast.NraeNode) -> List[ast.NraeNode]:
+    if isinstance(plan, ast.Product):
+        return _flatten_product(plan.left) + _flatten_product(plan.right)
+    return [plan]
+
+
+class _Relation:
+    """A materialised factor: rows + certain (∩) and possible (∪) fields."""
+
+    def __init__(
+        self, rows: List[Record], domain: FrozenSet[str], union_domain: FrozenSet[str]
+    ):
+        self.rows = rows
+        self.domain = domain
+        self.union_domain = union_domain
+
+
+def _materialise(
+    plan: ast.NraeNode, env: Any, datum: Any, constants: Mapping[str, Any]
+) -> Optional[_Relation]:
+    value = _eval(plan, env, datum, constants)
+    if not isinstance(value, Bag):
+        raise EvalError("× expects a bag, got %r" % (value,))
+    rows: List[Record] = []
+    domain: Optional[FrozenSet[str]] = None
+    union_domain: FrozenSet[str] = frozenset()
+    for row in value:
+        if not isinstance(row, Record):
+            raise EvalError("× expects bags of records, got %r" % (row,))
+        row_domain = frozenset(row.domain())
+        domain = row_domain if domain is None else (domain & row_domain)
+        union_domain = union_domain | row_domain
+        rows.append(row)
+    if domain is None:
+        domain = frozenset()
+    return _Relation(rows, domain, union_domain)
+
+
+def _check(
+    pred: ast.NraeNode, row: Record, env: Any, constants, env_mode: bool
+) -> bool:
+    if env_mode:
+        if not isinstance(env, Record):
+            raise EvalError("row environment requires a record env, got %r" % (env,))
+        verdict = _eval(pred, env.concat(row), row, constants)
+    else:
+        verdict = _eval(pred, env, row, constants)
+    if not isinstance(verdict, bool):
+        raise EvalError("σ predicate returned non-boolean %r" % (verdict,))
+    return verdict
+
+
+class _Partial:
+    """A partial join result: per-factor rows, keyed by factor index.
+
+    Assembling the visible record concatenates the factor rows in
+    *original factor order*, reproducing ⊕'s right bias exactly — which
+    is what makes self-joins (duplicate field names across factors)
+    safe.
+    """
+
+    __slots__ = ("indices", "rows")
+
+    def __init__(self, indices: Tuple[int, ...], rows: List[Tuple[Record, ...]]):
+        self.indices = indices  # sorted factor indices
+        self.rows = rows        # tuples aligned with ``indices``
+
+
+def _assemble(indices: Tuple[int, ...], row: Tuple[Record, ...]) -> Record:
+    record = row[0]
+    for part in row[1:]:
+        record = record.concat(part)
+    return record
+
+
+def _owner_map(relations: List[_Relation]) -> Dict[str, int]:
+    """field → the *last* factor providing it (⊕ favors the right)."""
+    owners: Dict[str, int] = {}
+    for index, relation in enumerate(relations):
+        for field in relation.domain:
+            owners[field] = index
+    return owners
+
+
+def _execute_join(
+    select: ast.Select, env: Any, datum: Any, constants: Mapping[str, Any]
+) -> Optional[Bag]:
+    """Execute ``σ⟨p⟩(q1 × … × qk)`` as a join, or None to fall back."""
+    factors = _flatten_product(select.input)
+    if len(factors) < 2:
+        return None
+    predicate = select.pred
+    env_mode = False
+    if (
+        isinstance(predicate, ast.AppEnv)
+        and isinstance(predicate.before, ast.Binop)
+        and isinstance(predicate.before.op, ops.OpConcat)
+        and isinstance(predicate.before.left, ast.Env)
+        and isinstance(predicate.before.right, ast.ID)
+    ):
+        # the SQL translator's row shape: p ∘e (Env ⊕ In)
+        env_mode = True
+        predicate = predicate.after
+        if not isinstance(env, Record):
+            return None
+    conjuncts = [_Conjunct(pred, env_mode) for pred in _conjuncts(predicate)]
+
+    relations = [_materialise(f, env, datum, constants) for f in factors]
+    owners = _owner_map(relations)
+    union_fields = frozenset().union(*(r.union_domain for r in relations))
+    outer_fields = frozenset(env.domain()) if isinstance(env, Record) else frozenset()
+    for conjunct in conjuncts:
+        if conjunct.whole_row:
+            # runs on fully assembled rows — exactly like the reference
+            continue
+        for field in conjunct.fields:
+            if field in owners:
+                # certainly provided by a factor; but another factor
+                # might sometimes provide it too (heterogeneous rows):
+                if any(
+                    field in relations[i].union_domain
+                    and field not in relations[i].domain
+                    for i in range(len(relations))
+                ):
+                    return None
+            elif env_mode and field in outer_fields and field not in union_fields:
+                # an outer-environment read, constant across rows — fine
+                pass
+            else:
+                return None
+        if conjunct.equality is not None:
+            f_path, g_path = conjunct.equality
+            if f_path[0] not in owners or g_path[0] not in owners:
+                conjunct.equality = None  # outer-env side: plain filter
+
+    def check_rows(partial: _Partial, conjunct: _Conjunct) -> _Partial:
+        kept = [
+            row
+            for row in partial.rows
+            if _check(
+                conjunct.pred,
+                _assemble(partial.indices, row),
+                env,
+                constants,
+                env_mode,
+            )
+        ]
+        return _Partial(partial.indices, kept)
+
+    def apply_ready(partial: _Partial) -> _Partial:
+        joined = set(partial.indices)
+        for conjunct in conjuncts:
+            if conjunct.applied:
+                continue
+            # A conjunct is safe once, for each *factor-owned* field it
+            # reads, the field's *last* owner is joined: the partial's
+            # ⊕-assembled value then equals the full row's value.
+            # (Outer-environment fields are constants — always ready;
+            # whole-row conjuncts wait for the complete row.)
+            if conjunct.whole_row:
+                ready = len(joined) == len(relations)
+            else:
+                ready = all(
+                    owners[field] in joined
+                    for field in conjunct.fields
+                    if field in owners
+                )
+            if ready:
+                partial = check_rows(partial, conjunct)
+                conjunct.applied = True
+        return partial
+
+    partials: Dict[int, _Partial] = {
+        index: apply_ready(
+            _Partial((index,), [(row,) for row in relation.rows])
+        )
+        for index, relation in enumerate(relations)
+    }
+
+    def field_value(partial: _Partial, row: Tuple[Record, ...], path: Path):
+        # value the full row will have: the last joined factor's value
+        # (readiness guarantees the global last owner is joined).
+        position = partial.indices.index(owners[path[0]])
+        value = row[position][path[0]]
+        for step in path[1:]:
+            if not isinstance(value, Record):
+                raise EvalError("join key %r is not a record" % (path,))
+            value = value[step]
+        return value
+
+    def merge(left: _Partial, right: _Partial, rows) -> _Partial:
+        # interleave the two index tuples, keeping original order
+        indices = tuple(sorted(left.indices + right.indices))
+        # mapping from combined sorted order to (side, position)
+        slots = sorted(
+            [(idx, 0, pos) for pos, idx in enumerate(left.indices)]
+            + [(idx, 1, pos) for pos, idx in enumerate(right.indices)]
+        )
+        merged_rows = []
+        for l_row, r_row in rows:
+            sides = (l_row, r_row)
+            merged_rows.append(tuple(sides[side][pos] for _, side, pos in slots))
+        return _Partial(indices, merged_rows)
+
+    def hash_join(left: _Partial, right: _Partial, keys) -> _Partial:
+        index: Dict[tuple, List[Tuple[Record, ...]]] = {}
+        for row in right.rows:
+            key = tuple(canonical_key(field_value(right, row, g)) for _, g in keys)
+            index.setdefault(key, []).append(row)
+        pairs = []
+        for row in left.rows:
+            key = tuple(canonical_key(field_value(left, row, f)) for f, _ in keys)
+            for match in index.get(key, ()):
+                pairs.append((row, match))
+        return merge(left, right, pairs)
+
+    remaining = set(partials)
+    start = min(remaining, key=lambda i: len(partials[i].rows))
+    current = partials[start]
+    remaining.discard(start)
+
+    while remaining:
+        joined = set(current.indices)
+        best_index: Optional[int] = None
+        best_keys: List[Tuple[str, str]] = []
+        for index in remaining:
+            candidate = set(partials[index].indices)
+            keys: List[Tuple[Path, Path]] = []
+            for conjunct in conjuncts:
+                if conjunct.applied or conjunct.equality is None:
+                    continue
+                f, g = conjunct.equality
+                if owners[f[0]] in joined and owners[g[0]] in candidate:
+                    keys.append((f, g))
+                elif owners[g[0]] in joined and owners[f[0]] in candidate:
+                    keys.append((g, f))
+            if keys and (best_index is None or len(keys) > len(best_keys)):
+                best_index, best_keys = index, keys
+        if best_index is None:
+            best_index = min(remaining, key=lambda i: len(partials[i].rows))
+            other = partials[best_index]
+            pairs = [(l, r) for l in current.rows for r in other.rows]
+            current = merge(current, other, pairs)
+        else:
+            for key_pair in best_keys:
+                for conjunct in conjuncts:
+                    if conjunct.equality in (key_pair, (key_pair[1], key_pair[0])):
+                        conjunct.applied = True
+            current = hash_join(current, partials[best_index], best_keys)
+        remaining.discard(best_index)
+        current = apply_ready(current)
+
+    records = [_assemble(current.indices, row) for row in current.rows]
+    for conjunct in conjuncts:
+        if not conjunct.applied:
+            records = [
+                row
+                for row in records
+                if _check(conjunct.pred, row, env, constants, env_mode)
+            ]
+    return Bag(records)
+
+
+# ---------------------------------------------------------------------------
+# The evaluator: reference semantics + the join fast path
+# ---------------------------------------------------------------------------
+
+
+def _eval(plan: ast.NraeNode, env: Any, datum: Any, constants: Mapping[str, Any]) -> Any:
+    if isinstance(plan, ast.Select) and isinstance(plan.input, ast.Product):
+        result = _execute_join(plan, env, datum, constants)
+        if result is not None:
+            return result
+    # Structural recursion mirroring the reference semantics but looping
+    # through this evaluator (so nested σ-× shapes also get the engine).
+    if isinstance(plan, ast.App):
+        return _eval(plan.after, env, _eval(plan.before, env, datum, constants), constants)
+    if isinstance(plan, ast.AppEnv):
+        return _eval(plan.after, _eval(plan.before, env, datum, constants), datum, constants)
+    if isinstance(plan, ast.Unop):
+        value = _eval(plan.arg, env, datum, constants)
+        try:
+            return plan.op.apply(value)
+        except Exception as exc:  # DataError
+            raise EvalError(str(exc)) from exc
+    if isinstance(plan, ast.Binop):
+        left = _eval(plan.left, env, datum, constants)
+        right = _eval(plan.right, env, datum, constants)
+        try:
+            return plan.op.apply(left, right)
+        except Exception as exc:
+            raise EvalError(str(exc)) from exc
+    if isinstance(plan, ast.Map):
+        source = _eval(plan.input, env, datum, constants)
+        if not isinstance(source, Bag):
+            raise EvalError("χ expects a bag, got %r" % (source,))
+        return Bag(_eval(plan.body, env, item, constants) for item in source)
+    if isinstance(plan, ast.Select):
+        source = _eval(plan.input, env, datum, constants)
+        if not isinstance(source, Bag):
+            raise EvalError("σ expects a bag, got %r" % (source,))
+        kept = []
+        for item in source:
+            verdict = _eval(plan.pred, env, item, constants)
+            if not isinstance(verdict, bool):
+                raise EvalError("σ predicate returned non-boolean %r" % (verdict,))
+            if verdict:
+                kept.append(item)
+        return Bag(kept)
+    if isinstance(plan, ast.Product):
+        left = _eval(plan.left, env, datum, constants)
+        if not isinstance(left, Bag):
+            raise EvalError("× expects a bag, got %r" % (left,))
+        if not left:
+            return Bag([])
+        right = _eval(plan.right, env, datum, constants)
+        if not isinstance(right, Bag):
+            raise EvalError("× expects a bag, got %r" % (right,))
+        out = []
+        for a in left:
+            if not isinstance(a, Record):
+                raise EvalError("× expects bags of records, got %r" % (a,))
+            for b_item in right:
+                if not isinstance(b_item, Record):
+                    raise EvalError("× expects bags of records, got %r" % (b_item,))
+                out.append(a.concat(b_item))
+        return Bag(out)
+    if isinstance(plan, ast.DepJoin):
+        source = _eval(plan.input, env, datum, constants)
+        if not isinstance(source, Bag):
+            raise EvalError("⋈d expects a bag, got %r" % (source,))
+        out = []
+        for item in source:
+            if not isinstance(item, Record):
+                raise EvalError("⋈d expects records, got %r" % (item,))
+            dependent = _eval(plan.body, env, item, constants)
+            if not isinstance(dependent, Bag):
+                raise EvalError("⋈d body expects a bag, got %r" % (dependent,))
+            for other in dependent:
+                if not isinstance(other, Record):
+                    raise EvalError("⋈d expects records, got %r" % (other,))
+                out.append(item.concat(other))
+        return Bag(out)
+    if isinstance(plan, ast.Default):
+        left = _eval(plan.left, env, datum, constants)
+        if isinstance(left, Bag) and not left:
+            return _eval(plan.right, env, datum, constants)
+        return left
+    if isinstance(plan, ast.MapEnv):
+        if not isinstance(env, Bag):
+            raise EvalError("χe requires a bag environment, got %r" % (env,))
+        return Bag(_eval(plan.body, item, datum, constants) for item in env)
+    # leaves: delegate to the reference evaluator
+    return eval_nraenv(plan, env, datum, constants)

@@ -1,0 +1,53 @@
+"""The ``Ie``/``Ii`` predicates (paper section 3.3).
+
+``ignores_env(q)`` (the paper's ``Ie(q)``) holds when the evaluation of
+``q`` cannot depend on the environment ``γ``; ``ignores_id(q)`` (the
+paper's ``Ii(q)``) holds when it cannot depend on the input datum ``d``.
+
+Both are *syntactic approximations*, sound but not complete, exactly as
+in Q*cert (``cnraenv_ignores_env`` / ``cnraenv_ignores_id``): they are
+used as preconditions of optimizer rewrites, so soundness is what
+matters.  The key subtle cases:
+
+- ``q2 ∘e q1`` ignores the environment as soon as ``q1`` does, because
+  ``q2`` only ever sees the environment produced by ``q1``;
+- ``q2 ∘ q1`` ignores the input as soon as ``q1`` does, because ``q2``
+  only ever sees the value produced by ``q1``;
+- ``χ⟨q2⟩(q1)`` (and σ, ⋈d) ignores the input as soon as ``q1`` does,
+  because the body's input is the bag elements, not ``d``.
+"""
+
+from __future__ import annotations
+
+from repro.nraenv import ast
+
+
+def ignores_env(plan: ast.NraeNode) -> bool:
+    """``Ie(q)``: the plan provably never reads the environment."""
+    if isinstance(plan, (ast.Const, ast.ID, ast.GetConstant)):
+        return True
+    if isinstance(plan, ast.Env):
+        return False
+    if isinstance(plan, ast.MapEnv):
+        return False
+    if isinstance(plan, ast.AppEnv):
+        # ``after`` runs in the environment computed by ``before``.
+        return ignores_env(plan.before)
+    return all(ignores_env(child) for child in plan.children())
+
+
+def ignores_id(plan: ast.NraeNode) -> bool:
+    """``Ii(q)``: the plan provably never reads the input datum."""
+    if isinstance(plan, (ast.Const, ast.GetConstant, ast.Env)):
+        return True
+    if isinstance(plan, ast.ID):
+        return False
+    if isinstance(plan, ast.App):
+        # ``after`` runs on the value computed by ``before``.
+        return ignores_id(plan.before)
+    if isinstance(plan, (ast.Map, ast.Select, ast.DepJoin)):
+        # The body's input is the bag elements, not the outer datum.
+        return ignores_id(plan.input)
+    if isinstance(plan, ast.MapEnv):
+        return ignores_id(plan.body)
+    return all(ignores_id(child) for child in plan.children())

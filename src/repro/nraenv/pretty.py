@@ -1,0 +1,116 @@
+"""Pretty-printer for NRAe plans, in the paper's notation.
+
+``χ⟨Env.p.addr ∘e [p:In]⟩(P)`` prints exactly in that style, which makes
+test failures and optimizer traces directly comparable with the paper's
+figures.
+"""
+
+from __future__ import annotations
+
+from repro.data import operators as ops
+from repro.nraenv import ast
+
+
+def pretty(plan: ast.NraeNode) -> str:
+    """Render a plan as a single-line string in paper notation."""
+    if isinstance(plan, ast.Const):
+        return _value(plan.value)
+    if isinstance(plan, ast.ID):
+        return "In"
+    if isinstance(plan, ast.Env):
+        return "Env"
+    if isinstance(plan, ast.GetConstant):
+        return "$%s" % plan.cname
+    if isinstance(plan, ast.App):
+        return "(%s ∘ %s)" % (pretty(plan.after), pretty(plan.before))
+    if isinstance(plan, ast.AppEnv):
+        return "(%s ∘e %s)" % (pretty(plan.after), pretty(plan.before))
+    if isinstance(plan, ast.Unop):
+        return _unop(plan)
+    if isinstance(plan, ast.Binop):
+        return _binop(plan)
+    if isinstance(plan, ast.Map):
+        return "χ⟨%s⟩(%s)" % (pretty(plan.body), pretty(plan.input))
+    if isinstance(plan, ast.MapEnv):
+        return "χe⟨%s⟩" % pretty(plan.body)
+    if isinstance(plan, ast.Select):
+        return "σ⟨%s⟩(%s)" % (pretty(plan.pred), pretty(plan.input))
+    if isinstance(plan, ast.Product):
+        return "(%s × %s)" % (pretty(plan.left), pretty(plan.right))
+    if isinstance(plan, ast.DepJoin):
+        return "⋈d⟨%s⟩(%s)" % (pretty(plan.body), pretty(plan.input))
+    if isinstance(plan, ast.Default):
+        return "(%s || %s)" % (pretty(plan.left), pretty(plan.right))
+    return "<%s>" % type(plan).__name__
+
+
+_BINOP_SYMBOLS = {
+    ops.OpEq: "=",
+    ops.OpIn: "∈",
+    ops.OpUnion: "∪",
+    ops.OpConcat: "⊕",
+    ops.OpMergeConcat: "⊗",
+    ops.OpBagDiff: "\\",
+    ops.OpBagInter: "∩",
+    ops.OpLt: "<",
+    ops.OpLe: "<=",
+    ops.OpGt: ">",
+    ops.OpGe: ">=",
+    ops.OpAnd: "∧",
+    ops.OpOr: "∨",
+    ops.OpAdd: "+",
+    ops.OpSub: "-",
+    ops.OpMult: "*",
+    ops.OpDiv: "/",
+    ops.OpStrConcat: "++",
+}
+
+
+def _binop(plan: ast.Binop) -> str:
+    symbol = _BINOP_SYMBOLS.get(type(plan.op))
+    left, right = pretty(plan.left), pretty(plan.right)
+    if symbol is not None:
+        return "(%s %s %s)" % (left, symbol, right)
+    return "%s(%s, %s)" % (plan.op.name, left, right)
+
+
+def _unop(plan: ast.Unop) -> str:
+    op = plan.op
+    arg = pretty(plan.arg)
+    if isinstance(op, ops.OpIdentity):
+        return "ident(%s)" % arg
+    if isinstance(op, ops.OpNeg):
+        return "¬%s" % arg
+    if isinstance(op, ops.OpBag):
+        return "{%s}" % arg
+    if isinstance(op, ops.OpFlatten):
+        return "flatten(%s)" % arg
+    if isinstance(op, ops.OpRec):
+        return "[%s:%s]" % (op.field, arg)
+    if isinstance(op, ops.OpDot):
+        return "%s.%s" % (arg, op.field)
+    if isinstance(op, ops.OpRemove):
+        return "(%s − %s)" % (arg, op.field)
+    if isinstance(op, ops.OpProject):
+        return "π[%s](%s)" % (",".join(op.fields), arg)
+    if isinstance(op, ops.OpDistinct):
+        return "♯distinct(%s)" % arg
+    return "%s(%s)" % (op.name, arg)
+
+
+def _value(value: object) -> str:
+    from repro.data.model import Bag, Record
+
+    if isinstance(value, Bag):
+        return "{%s}" % ", ".join(_value(v) for v in value)
+    if isinstance(value, Record):
+        return "[%s]" % ", ".join("%s:%s" % (k, _value(v)) for k, v in value.fields)
+    if isinstance(value, str):
+        return '"%s"' % value
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if value is None:
+        return "null"
+    return repr(value)

@@ -1,0 +1,31 @@
+"""The optimizer: rewrite engine, rule catalogs, verification (paper §4, §8)."""
+
+from repro.optim.cost import depth_cost, size_cost, size_depth_cost
+from repro.optim.defaults import (
+    default_nnrc_rules,
+    default_nra_rules,
+    default_nraenv_rules,
+    optimize_nnrc,
+    optimize_nra,
+    optimize_nraenv,
+)
+from repro.optim.engine import OptimizeResult, Rewrite, optimize, rewrite_once
+from repro.optim.typed_rules import optimize_nraenv_typed, typed_rewrite_pass
+
+__all__ = [
+    "OptimizeResult",
+    "Rewrite",
+    "default_nnrc_rules",
+    "default_nra_rules",
+    "default_nraenv_rules",
+    "depth_cost",
+    "optimize",
+    "optimize_nnrc",
+    "optimize_nra",
+    "optimize_nraenv",
+    "optimize_nraenv_typed",
+    "rewrite_once",
+    "typed_rewrite_pass",
+    "size_cost",
+    "size_depth_cost",
+]

@@ -1,0 +1,55 @@
+"""Plan analyses used as rewrite preconditions (paper §1, "Code Fragments").
+
+The paper's third challenge is using *code fragments* as rewrite
+preconditions; its example is the distinct-elimination law::
+
+    Lemma tdup_elim q : nodupA q -> ♯distinct(q) ⇒ q.
+
+where ``nodupA q`` holds when the plan always returns a
+duplicate-free collection.  In Coq the predicate is itself written and
+proved in Coq; here it is a Python function with its own soundness
+property test (``tests/optim/test_analysis.py``) — same architecture,
+different assurance mechanism.
+
+Like ``Ie``/``Ii``, the analysis is a sound syntactic approximation.
+"""
+
+from __future__ import annotations
+
+from repro.data import operators as ops
+from repro.nraenv import ast
+
+
+def nodup(plan: ast.NraeNode) -> bool:
+    """True when ``plan`` provably returns a bag without duplicates.
+
+    Cases (each sound):
+
+    - ``♯distinct(q)`` — by definition;
+    - ``{q}`` — singletons have no duplicates;
+    - a constant bag whose value is duplicate-free;
+    - ``σ⟨p⟩(q)`` — selection cannot introduce duplicates;
+    - ``q1 || q2`` — returns one operand's value unchanged;
+    - ``q2 ∘ q1`` / ``q2 ∘e q1`` — the result is ``q2``'s;
+    - ``limit``/``sort`` of a duplicate-free bag.
+    """
+    if isinstance(plan, ast.Unop):
+        if isinstance(plan.op, ops.OpDistinct):
+            return True
+        if isinstance(plan.op, ops.OpBag):
+            return True
+        if isinstance(plan.op, (ops.OpSortBy, ops.OpLimit)):
+            return nodup(plan.arg)
+        return False
+    if isinstance(plan, ast.Const):
+        from repro.data.model import Bag
+
+        value = plan.value
+        return isinstance(value, Bag) and len(value.distinct()) == len(value)
+    if isinstance(plan, ast.Select):
+        return nodup(plan.input)
+    if isinstance(plan, ast.Default):
+        return nodup(plan.left) and nodup(plan.right)
+    if isinstance(plan, (ast.App, ast.AppEnv)):
+        return nodup(plan.after)
+    return False

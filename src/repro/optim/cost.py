@@ -1,0 +1,28 @@
+"""Cost functions for the optimizer (paper §8).
+
+"The cost is currently based on the size and depth of the query" — we
+implement exactly that, plus the individual components for metrics
+reporting.  The cost function is a parameter of the engine, so richer
+models can be plugged in (the paper notes the same).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+Cost = Callable[[Any], int]
+
+
+def size_cost(plan: Any) -> int:
+    """Number of operators in the plan."""
+    return plan.size()
+
+
+def depth_cost(plan: Any) -> int:
+    """Nesting depth of the plan."""
+    return plan.depth()
+
+
+def size_depth_cost(plan: Any) -> int:
+    """The paper's default: size plus depth."""
+    return plan.size() + plan.depth()

@@ -1,0 +1,155 @@
+"""The rewrite engine (paper §8, "Optimizer").
+
+"The optimization infrastructure is parameterized by a list of rewrites
+and a cost function.  All possible rewrites are applied through a
+depth-first AST traversal and optimization proceeds as long as the cost
+is decreasing."
+
+A :class:`Rewrite` is a named pattern-match-based transformation: a
+function from plan to plan that returns the input unchanged when it does
+not apply (exactly the shape of the Coq ``*_fun`` definitions in the
+paper's introduction).  The engine runs passes of depth-first (bottom-up)
+application over the whole AST and keeps iterating while the plan's cost
+decreases, collecting per-rule fire counts for the experiment analyses.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generic, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.optim.cost import Cost, size_depth_cost
+
+Plan = TypeVar("Plan")
+
+
+class Rewrite:
+    """A single named rewrite rule.
+
+    ``fn`` returns either a new plan (the rewrite fired) or the input
+    plan itself / ``None`` (it did not apply).  ``typed`` records
+    whether correctness relies on well-typedness (Definition 4) rather
+    than holding for all values (Definition 3) — informational, mirrored
+    from the Coq lemma statements, and used by the verification harness
+    to pick the right checking mode.
+    """
+
+    __slots__ = ("name", "fn", "typed", "description")
+
+    def __init__(
+        self,
+        name: str,
+        fn: Callable[[Any], Optional[Any]],
+        typed: bool = True,
+        description: str = "",
+    ):
+        self.name = name
+        self.fn = fn
+        self.typed = typed
+        self.description = description
+
+    def apply(self, plan: Any) -> Optional[Any]:
+        """The rewritten plan if the rule fires at the root, else None."""
+        result = self.fn(plan)
+        if result is None or result == plan:
+            return None
+        return result
+
+    def __repr__(self) -> str:
+        return "Rewrite(%s)" % self.name
+
+
+class OptimizeResult(Generic[Plan]):
+    """Outcome of an optimization run: final plan plus statistics."""
+
+    def __init__(
+        self,
+        plan: Plan,
+        initial_cost: int,
+        final_cost: int,
+        passes: int,
+        fire_counts: Dict[str, int],
+    ):
+        self.plan = plan
+        self.initial_cost = initial_cost
+        self.final_cost = final_cost
+        self.passes = passes
+        self.fire_counts = fire_counts
+
+    def fired(self, rule_name: str) -> int:
+        return self.fire_counts.get(rule_name, 0)
+
+    def __repr__(self) -> str:
+        return "OptimizeResult(cost %d → %d in %d passes)" % (
+            self.initial_cost,
+            self.final_cost,
+            self.passes,
+        )
+
+
+#: Local (per-node) rewrite-loop bound; a safety net against rule sets
+#: that cycle at a single node.
+_MAX_LOCAL_STEPS = 64
+#: Global pass bound; the cost guard normally terminates far earlier.
+_MAX_PASSES = 64
+
+
+def rewrite_once(
+    plan: Any, rules: Sequence[Rewrite], fire_counts: Optional[Dict[str, int]] = None
+) -> Any:
+    """One depth-first pass: at every node, apply rules to fixpoint."""
+    counts = fire_counts if fire_counts is not None else {}
+
+    def at_node(node: Any) -> Any:
+        for _ in range(_MAX_LOCAL_STEPS):
+            for rule in rules:
+                result = rule.apply(node)
+                if result is not None:
+                    counts[rule.name] = counts.get(rule.name, 0) + 1
+                    node = result
+                    break
+            else:
+                return node
+        return node
+
+    return plan.transform_bottom_up(at_node)
+
+
+def optimize(
+    plan: Plan,
+    rules: Sequence[Rewrite],
+    cost: Cost = size_depth_cost,
+) -> OptimizeResult:
+    """Optimize ``plan`` with ``rules``, guided by ``cost``.
+
+    Runs depth-first passes and keeps the best-cost plan seen; a pass may
+    temporarily increase the cost (e.g. pushdown rules that duplicate a
+    sub-plan to unlock eliminations), so the run only stops once the
+    plan reaches a fixpoint, revisits a previous state, or fails to
+    improve the best cost for a few consecutive passes — "optimization
+    proceeds as long as the cost is decreasing" (paper §8).
+    """
+    fire_counts: Dict[str, int] = {}
+    initial_cost = cost(plan)
+    current = plan
+    best, best_cost = plan, initial_cost
+    passes = 0
+    stalled = 0
+    seen = {plan}
+    for _ in range(_MAX_PASSES):
+        candidate = rewrite_once(current, rules, fire_counts)
+        passes += 1
+        if candidate == current:
+            break
+        candidate_cost = cost(candidate)
+        if candidate_cost < best_cost:
+            best, best_cost = candidate, candidate_cost
+            stalled = 0
+        else:
+            stalled += 1
+            if stalled >= 8:
+                break
+        if candidate in seen:
+            break
+        seen.add(candidate)
+        current = candidate
+    return OptimizeResult(best, initial_cost, best_cost, passes, fire_counts)

@@ -1,0 +1,221 @@
+"""Type-directed rewriting (paper §8: "type correctness is used
+pervasively as a pre-condition for algebraic rewrites").
+
+The untyped engine applies rules whose side conditions are syntactic
+(``Ie``/``Ii``, ``nodup``).  Some rewrites need *types*: the flagship
+case is resolving a record access through a concatenation,
+
+    (q1 ⊕ q2).a  ⇒  q2.a        when a ∈ dom(type(q2))
+    (q1 ⊕ q2).a  ⇒  q1.a        when a ∈ dom(type(q1)) and a ∉ dom(type(q2))
+
+which is exactly what dissolves the SQL translator's row-environment
+plumbing: after the ∘e pushdown rules rewrite ``Env.col ∘e (Env ⊕ In)``
+to ``(Env ⊕ In).col``, this rule turns it into plain ``In.col``, and the
+plan collapses to the classic relational form.
+
+The engine here threads (environment type, input type) contexts through
+the AST the same way the type checker does, applies type-conditional
+rules at every node, and interleaves with the untyped optimizer until a
+fixpoint.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Mapping, Optional, Tuple
+
+from repro.data import operators as ops
+from repro.data.types import QType, TBag, TBottom, TRecord
+from repro.nraenv import ast
+from repro.typing.nraenv_typing import type_nraenv
+from repro.typing.op_typing import TypingError
+
+#: A typed rule: (node, env_type, input_type, constants) → replacement.
+TypedRule = Callable[
+    [ast.NraeNode, QType, QType, Mapping[str, QType]], Optional[ast.NraeNode]
+]
+
+
+def _type_of(
+    plan: ast.NraeNode, env_t: QType, in_t: QType, constants: Mapping[str, QType]
+) -> Optional[QType]:
+    try:
+        return type_nraenv(plan, env_t, in_t, constants)
+    except TypingError:
+        return None
+
+
+def _record_domain(t: Optional[QType]) -> Optional[Tuple[str, ...]]:
+    if isinstance(t, TRecord):
+        return tuple(name for name, _ in t.fields)
+    return None
+
+
+def dot_over_concat_typed(
+    plan: ast.NraeNode, env_t: QType, in_t: QType, constants: Mapping[str, QType]
+) -> Optional[ast.NraeNode]:
+    """Resolve ``(q1 ⊕ q2).a`` using the operands' record types."""
+    if not (
+        isinstance(plan, ast.Unop)
+        and isinstance(plan.op, ops.OpDot)
+        and isinstance(plan.arg, ast.Binop)
+        and isinstance(plan.arg.op, ops.OpConcat)
+    ):
+        return None
+    field = plan.op.field
+    right_dom = _record_domain(_type_of(plan.arg.right, env_t, in_t, constants))
+    if right_dom is None:
+        return None
+    if field in right_dom:
+        return ast.Unop(plan.op, plan.arg.right)
+    left_dom = _record_domain(_type_of(plan.arg.left, env_t, in_t, constants))
+    if left_dom is not None and field in left_dom:
+        return ast.Unop(plan.op, plan.arg.left)
+    return None
+
+
+def remove_absent_field_typed(
+    plan: ast.NraeNode, env_t: QType, in_t: QType, constants: Mapping[str, QType]
+) -> Optional[ast.NraeNode]:
+    """``q − a ⇒ q`` when the type of ``q`` has no field ``a``."""
+    if not (isinstance(plan, ast.Unop) and isinstance(plan.op, ops.OpRemove)):
+        return None
+    domain = _record_domain(_type_of(plan.arg, env_t, in_t, constants))
+    if domain is not None and plan.op.field not in domain:
+        return plan.arg
+    return None
+
+
+def concat_dead_left_typed(
+    plan: ast.NraeNode, env_t: QType, in_t: QType, constants: Mapping[str, QType]
+) -> Optional[ast.NraeNode]:
+    """``q1 ⊕ q2 ⇒ q2`` when q2's fields cover q1's entirely.
+
+    Every field of q1 is overwritten by q2 (⊕ favors the right), so q1
+    only contributes its evaluation — droppable under Definition 4.
+    """
+    if not (isinstance(plan, ast.Binop) and isinstance(plan.op, ops.OpConcat)):
+        return None
+    left_dom = _record_domain(_type_of(plan.left, env_t, in_t, constants))
+    right_dom = _record_domain(_type_of(plan.right, env_t, in_t, constants))
+    if left_dom is None or right_dom is None:
+        return None
+    if set(left_dom) <= set(right_dom):
+        return plan.right
+    return None
+
+
+def default_typed_rules() -> List[TypedRule]:
+    return [dot_over_concat_typed, remove_absent_field_typed, concat_dead_left_typed]
+
+
+def typed_rewrite_pass(
+    plan: ast.NraeNode,
+    env_t: QType,
+    in_t: QType,
+    constants: Mapping[str, QType],
+    rules: Optional[List[TypedRule]] = None,
+    untyped_rules=None,
+) -> ast.NraeNode:
+    """One bottom-up pass of type-directed rewriting.
+
+    Children are rebuilt under their own (env, input) typing contexts,
+    mirroring the inference rules; nodes whose context cannot be typed
+    are left alone (types are a *pre-condition*, never a requirement).
+    When ``untyped_rules`` are given they run in the same per-node loop,
+    so e.g. the ∘e pushdown's transient duplication is resolved by the
+    typed dot rule immediately instead of tripping the cost guard.
+    """
+    rules = default_typed_rules() if rules is None else rules
+    untyped_rules = untyped_rules or []
+
+    def element(t: Optional[QType]) -> Optional[QType]:
+        if isinstance(t, TBag):
+            return t.element
+        if isinstance(t, TBottom):
+            return TBottom()
+        return None
+
+    def rebuild(node: ast.NraeNode, env_t: QType, in_t: QType) -> ast.NraeNode:
+        # -- recurse with the right child contexts -----------------------
+        if isinstance(node, ast.App):
+            before = rebuild(node.before, env_t, in_t)
+            middle = _type_of(before, env_t, in_t, constants)
+            after = (
+                rebuild(node.after, env_t, middle) if middle is not None else node.after
+            )
+            node = ast.App(after, before)
+        elif isinstance(node, ast.AppEnv):
+            before = rebuild(node.before, env_t, in_t)
+            new_env = _type_of(before, env_t, in_t, constants)
+            after = (
+                rebuild(node.after, new_env, in_t) if new_env is not None else node.after
+            )
+            node = ast.AppEnv(after, before)
+        elif isinstance(node, (ast.Map, ast.Select, ast.DepJoin)):
+            source = rebuild(node.input, env_t, in_t)
+            elem_t = element(_type_of(source, env_t, in_t, constants))
+            dependent = node.children()[0]
+            if elem_t is not None:
+                dependent = rebuild(dependent, env_t, elem_t)
+            node = type(node)(dependent, source)
+        elif isinstance(node, ast.MapEnv):
+            elem_t = element(env_t)
+            body = rebuild(node.body, elem_t, in_t) if elem_t is not None else node.body
+            node = ast.MapEnv(body)
+        else:
+            children = tuple(rebuild(child, env_t, in_t) for child in node.children())
+            if children != node.children():
+                node = node.rebuild(children)
+        # -- apply typed + untyped rules at this node ----------------------
+        for _ in range(32):
+            for rule in rules:
+                replacement = rule(node, env_t, in_t, constants)
+                if replacement is not None and replacement != node:
+                    node = replacement
+                    break
+            else:
+                for untyped in untyped_rules:
+                    replacement = untyped.apply(node)
+                    if replacement is not None:
+                        node = replacement
+                        break
+                else:
+                    break
+                continue
+        return node
+
+    return rebuild(plan, env_t, in_t)
+
+
+def optimize_nraenv_typed(
+    plan: ast.NraeNode,
+    env_t: QType,
+    in_t: QType,
+    constant_types: Mapping[str, QType],
+    max_rounds: int = 4,
+):
+    """Interleave the untyped optimizer with typed passes to a fixpoint.
+
+    Returns the final :class:`~repro.optim.engine.OptimizeResult` of the
+    last untyped round (its plan reflects both kinds of rewriting).
+    """
+    from repro.optim.cost import size_depth_cost
+    from repro.optim.defaults import default_nraenv_rules, optimize_nraenv
+
+    untyped = default_nraenv_rules()
+    result = optimize_nraenv(plan)
+    best = result
+    best_cost = size_depth_cost(result.plan)
+    current = result.plan
+    for _ in range(max_rounds):
+        typed = typed_rewrite_pass(
+            current, env_t, in_t, constant_types, untyped_rules=untyped
+        )
+        if typed == current:
+            break
+        round_result = optimize_nraenv(typed)
+        round_cost = size_depth_cost(round_result.plan)
+        if round_cost < best_cost:
+            best, best_cost = round_result, round_cost
+        current = round_result.plan
+    return best

@@ -1,0 +1,7 @@
+"""The OQL frontend: parser, interpreter, and translation to NRAe (paper §6)."""
+
+from repro.oql.eval import eval_oql
+from repro.oql.parser import parse_oql
+from repro.oql.to_nraenv import OqlTranslationError, oql_to_nraenv
+
+__all__ = ["OqlTranslationError", "eval_oql", "oql_to_nraenv", "parse_oql"]

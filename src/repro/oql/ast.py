@@ -1,0 +1,170 @@
+"""AST for the OQL subset (paper §6).
+
+"That fragment includes select-from-where statements, aggregation,
+object access, casting and object creation, and arbitrary nesting" —
+this AST covers the same fragment over the brand-less data model
+(object creation is ``struct``; class casts need the branded model the
+paper's full implementation has and are out of scope, see DESIGN.md),
+plus ``define`` declarations (OQL's views).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.sql.ast import SqlNode as _Node
+
+
+class OqlNode(_Node):
+    """Base class for OQL AST nodes (reuses the generic node kit)."""
+
+    def depth(self) -> int:
+        child_depths = [child.depth() for child in self.children()]
+        deepest = max(child_depths) if child_depths else 0
+        return deepest + (1 if isinstance(self, SelectFromWhere) else 0)
+
+
+class OLiteral(OqlNode):
+    _fields = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+
+class OVar(OqlNode):
+    """A variable or named collection reference."""
+
+    _fields = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+
+class ODot(OqlNode):
+    """``e.field`` (object access)."""
+
+    _fields = ("expr", "field")
+
+    def __init__(self, expr: OqlNode, field: str):
+        self.expr = expr
+        self.field = field
+
+
+class OStruct(OqlNode):
+    """``struct(a: e1, b: e2)`` (object creation)."""
+
+    _fields = ("fields",)
+
+    def __init__(self, fields: Sequence[Tuple[str, OqlNode]]):
+        self.fields = [tuple(f) for f in fields]
+
+    def children(self) -> List[OqlNode]:
+        return [expr for _, expr in self.fields]
+
+
+class OBagLiteral(OqlNode):
+    """``bag(e1, ..., en)``."""
+
+    _fields = ("items",)
+
+    def __init__(self, items: Sequence[OqlNode]):
+        self.items = list(items)
+
+
+class OUnary(OqlNode):
+    """``-e`` or ``not e``."""
+
+    _fields = ("op", "operand")
+
+    def __init__(self, op: str, operand: OqlNode):
+        self.op = op
+        self.operand = operand
+
+
+class OBinary(OqlNode):
+    """Arithmetic / comparison / boolean / membership binary expression."""
+
+    _fields = ("op", "left", "right")
+
+    def __init__(self, op: str, left: OqlNode, right: OqlNode):
+        self.op = op  # + - * / = != < <= > >= and or in union except intersect
+        self.left = left
+        self.right = right
+
+
+class OAggregate(OqlNode):
+    """``count(q) | sum(q) | avg(q) | min(q) | max(q)`` over a collection."""
+
+    _fields = ("func", "arg")
+
+    def __init__(self, func: str, arg: OqlNode):
+        self.func = func
+        self.arg = arg
+
+
+class OFlatten(OqlNode):
+    """``flatten(q)``."""
+
+    _fields = ("arg",)
+
+    def __init__(self, arg: OqlNode):
+        self.arg = arg
+
+
+class OExists(OqlNode):
+    """``exists x in coll : pred``."""
+
+    _fields = ("var", "coll", "pred")
+
+    def __init__(self, var: str, coll: OqlNode, pred: OqlNode):
+        self.var = var
+        self.coll = coll
+        self.pred = pred
+
+
+class FromBinding(OqlNode):
+    """One ``x in coll`` binding of a FROM clause."""
+
+    _fields = ("var", "coll")
+
+    def __init__(self, var: str, coll: OqlNode):
+        self.var = var
+        self.coll = coll
+
+
+class SelectFromWhere(OqlNode):
+    """``select [distinct] e from x1 in c1, ... [where p]``."""
+
+    _fields = ("projection", "bindings", "where", "distinct")
+
+    def __init__(
+        self,
+        projection: OqlNode,
+        bindings: Sequence[FromBinding],
+        where: Optional[OqlNode] = None,
+        distinct: bool = False,
+    ):
+        self.projection = projection
+        self.bindings = list(bindings)
+        self.where = where
+        self.distinct = distinct
+
+
+class Define(OqlNode):
+    """``define x as query`` — OQL's view declaration."""
+
+    _fields = ("name", "query")
+
+    def __init__(self, name: str, query: OqlNode):
+        self.name = name
+        self.query = query
+
+
+class OqlProgram(OqlNode):
+    """A sequence of defines followed by one main query."""
+
+    _fields = ("defines", "query")
+
+    def __init__(self, defines: Sequence[Define], query: OqlNode):
+        self.defines = list(defines)
+        self.query = query

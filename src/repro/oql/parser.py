@@ -1,0 +1,198 @@
+"""Parser for the OQL subset (reuses the SQL tokenizer)."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.oql import ast
+from repro.sql.lexer import SqlSyntaxError, TokenStream, tokenize
+
+_AGGREGATES = ("count", "sum", "avg", "min", "max")
+_TERMINATORS = ("from", "where", "in", "and", "or", "as", "define", "select")
+
+
+def parse_oql(text: str) -> ast.OqlProgram:
+    """Parse an OQL program: ``define``s followed by one query."""
+    stream = TokenStream(tokenize(text))
+    defines: List[ast.Define] = []
+    while stream.at_keyword("define"):
+        stream.expect_keyword("define")
+        name = stream.expect_ident()
+        stream.expect_keyword("as")
+        defines.append(ast.Define(name, _parse_expr(stream)))
+        stream.accept_symbol(";")
+    query = _parse_expr(stream)
+    stream.accept_symbol(";")
+    if not stream.exhausted:
+        token = stream.peek()
+        raise SqlSyntaxError(
+            "trailing OQL input at position %d: %r" % (token.position, token.value)
+        )
+    return ast.OqlProgram(defines, query)
+
+
+def _parse_expr(stream: TokenStream) -> ast.OqlNode:
+    if stream.at_keyword("select"):
+        return _parse_select(stream)
+    return _parse_or(stream)
+
+
+def _parse_select(stream: TokenStream) -> ast.SelectFromWhere:
+    stream.expect_keyword("select")
+    distinct = bool(stream.accept_keyword("distinct"))
+    projection = _parse_expr(stream)
+    stream.expect_keyword("from")
+    bindings = [_parse_binding(stream)]
+    while stream.accept_symbol(","):
+        bindings.append(_parse_binding(stream))
+    where = None
+    if stream.accept_keyword("where"):
+        where = _parse_expr(stream)
+    return ast.SelectFromWhere(projection, bindings, where, distinct)
+
+
+def _parse_binding(stream: TokenStream) -> ast.FromBinding:
+    var = stream.expect_ident()
+    stream.expect_keyword("in")
+    return ast.FromBinding(var, _parse_unary(stream))
+
+
+def _parse_or(stream: TokenStream) -> ast.OqlNode:
+    left = _parse_and(stream)
+    while stream.accept_keyword("or"):
+        left = ast.OBinary("or", left, _parse_and(stream))
+    return left
+
+
+def _parse_and(stream: TokenStream) -> ast.OqlNode:
+    left = _parse_not(stream)
+    while stream.accept_keyword("and"):
+        left = ast.OBinary("and", left, _parse_not(stream))
+    return left
+
+
+def _parse_not(stream: TokenStream) -> ast.OqlNode:
+    if stream.accept_keyword("not"):
+        return ast.OUnary("not", _parse_not(stream))
+    return _parse_comparison(stream)
+
+
+def _parse_comparison(stream: TokenStream) -> ast.OqlNode:
+    left = _parse_additive(stream)
+    for symbol, op in (
+        ("<=", "<="),
+        (">=", ">="),
+        ("!=", "!="),
+        ("<>", "!="),
+        ("=", "="),
+        ("<", "<"),
+        (">", ">"),
+    ):
+        if stream.at_symbol(symbol):
+            stream.next()
+            return ast.OBinary(op, left, _parse_additive(stream))
+    if stream.accept_keyword("in"):
+        return ast.OBinary("in", left, _parse_additive(stream))
+    for keyword in ("union", "except", "intersect"):
+        if stream.accept_keyword(keyword):
+            return ast.OBinary(keyword, left, _parse_additive(stream))
+    return left
+
+
+def _parse_additive(stream: TokenStream) -> ast.OqlNode:
+    left = _parse_multiplicative(stream)
+    while stream.at_symbol("+", "-"):
+        op = stream.next().value
+        left = ast.OBinary(op, left, _parse_multiplicative(stream))
+    return left
+
+
+def _parse_multiplicative(stream: TokenStream) -> ast.OqlNode:
+    left = _parse_unary(stream)
+    while stream.at_symbol("*", "/"):
+        op = stream.next().value
+        left = ast.OBinary(op, left, _parse_unary(stream))
+    return left
+
+
+def _parse_unary(stream: TokenStream) -> ast.OqlNode:
+    if stream.accept_symbol("-"):
+        return ast.OUnary("-", _parse_unary(stream))
+    return _parse_postfix(stream)
+
+
+def _parse_postfix(stream: TokenStream) -> ast.OqlNode:
+    expr = _parse_primary(stream)
+    while stream.accept_symbol("."):
+        expr = ast.ODot(expr, stream.expect_ident())
+    return expr
+
+
+def _parse_primary(stream: TokenStream) -> ast.OqlNode:
+    token = stream.peek()
+    if token.kind == "number":
+        stream.next()
+        return ast.OLiteral(float(token.value) if "." in token.value else int(token.value))
+    if token.kind == "string":
+        stream.next()
+        return ast.OLiteral(token.value)
+    if stream.accept_symbol("("):
+        expr = _parse_expr(stream)
+        stream.expect_symbol(")")
+        return expr
+    if token.kind != "ident":
+        raise SqlSyntaxError(
+            "unexpected OQL token %r at position %d" % (token.value, token.position)
+        )
+    word = token.value
+    if word == "true":
+        stream.next()
+        return ast.OLiteral(True)
+    if word == "false":
+        stream.next()
+        return ast.OLiteral(False)
+    if word == "struct":
+        stream.next()
+        stream.expect_symbol("(")
+        fields: List[Tuple[str, ast.OqlNode]] = []
+        if not stream.at_symbol(")"):
+            while True:
+                name = stream.expect_ident()
+                stream.expect_symbol(":")
+                fields.append((name, _parse_expr(stream)))
+                if not stream.accept_symbol(","):
+                    break
+        stream.expect_symbol(")")
+        return ast.OStruct(fields)
+    if word == "bag":
+        stream.next()
+        stream.expect_symbol("(")
+        items: List[ast.OqlNode] = []
+        if not stream.at_symbol(")"):
+            items.append(_parse_expr(stream))
+            while stream.accept_symbol(","):
+                items.append(_parse_expr(stream))
+        stream.expect_symbol(")")
+        return ast.OBagLiteral(items)
+    if word == "flatten":
+        stream.next()
+        stream.expect_symbol("(")
+        arg = _parse_expr(stream)
+        stream.expect_symbol(")")
+        return ast.OFlatten(arg)
+    if word == "exists":
+        stream.next()
+        var = stream.expect_ident()
+        stream.expect_keyword("in")
+        coll = _parse_unary(stream)
+        stream.expect_symbol(":")
+        pred = _parse_expr(stream)
+        return ast.OExists(var, coll, pred)
+    if word in _AGGREGATES and stream.peek(1).kind == "symbol" and stream.peek(1).value == "(":
+        stream.next()
+        stream.expect_symbol("(")
+        arg = _parse_expr(stream)
+        stream.expect_symbol(")")
+        return ast.OAggregate(word, arg)
+    stream.next()
+    return ast.OVar(word)

@@ -1,0 +1,157 @@
+"""OQL → NRAe translation (paper §6, the "classic" translation of [14]).
+
+Select-from-where becomes nested maps over the FROM collections, with
+each binding pushed into the environment (``∘e (Env ⊕ [x: In])``), and
+``define`` declarations use the same view mechanism as SQL: the main
+query is composed over an extended environment.  The paper notes "most
+of the translation for OQL does not use environment operators... at the
+discretion of the compiler developer" — here we do use them for
+variables, which keeps the translation one page (the NRAλ story of
+Figure 6 applied to OQL).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List
+
+from repro.data import operators as ops
+from repro.data.model import Bag, Record
+from repro.nraenv import ast as nra
+from repro.nraenv import builders as b
+from repro.oql import ast
+
+#: Environment-field prefix for ``define`` bindings (see the SQL
+#: translator for the rationale).
+REL_PREFIX = "__rel_"
+
+
+class OqlTranslationError(ValueError):
+    """Raised on constructs outside the supported subset."""
+
+
+def oql_to_nraenv(program: ast.OqlNode) -> nra.NraeNode:
+    """Translate an OQL program (or bare expression) to an NRAe plan."""
+    if isinstance(program, ast.OqlProgram):
+        defines = [d.name for d in program.defines]
+        plan = _compile(program.query, frozenset(), frozenset(defines))
+        seen: List[str] = []
+        for define in reversed(program.defines):
+            visible = frozenset(defines[: defines.index(define.name)])
+            define_plan = _compile(define.query, frozenset(), visible)
+            plan = b.appenv(
+                plan, b.concat(b.env(), b.rec_field(REL_PREFIX + define.name, define_plan))
+            )
+            seen.append(define.name)
+        return plan
+    return _compile(program, frozenset(), frozenset())
+
+
+def _compile(
+    expr: ast.OqlNode, variables: FrozenSet[str], defines: FrozenSet[str]
+) -> nra.NraeNode:
+    if isinstance(expr, ast.OLiteral):
+        return b.const(expr.value)
+    if isinstance(expr, ast.OVar):
+        if expr.name in variables:
+            return b.dot(b.env(), expr.name)
+        if expr.name in defines:
+            return b.dot(b.env(), REL_PREFIX + expr.name)
+        return b.table(expr.name)
+    if isinstance(expr, ast.ODot):
+        return b.dot(_compile(expr.expr, variables, defines), expr.field)
+    if isinstance(expr, ast.OStruct):
+        return b.record(
+            {name: _compile(sub, variables, defines) for name, sub in expr.fields}
+        )
+    if isinstance(expr, ast.OBagLiteral):
+        if not expr.items:
+            return b.const(Bag([]))
+        plan = b.coll(_compile(expr.items[0], variables, defines))
+        for item in expr.items[1:]:
+            plan = b.union(plan, b.coll(_compile(item, variables, defines)))
+        return plan
+    if isinstance(expr, ast.OFlatten):
+        return b.flatten_(_compile(expr.arg, variables, defines))
+    if isinstance(expr, ast.OUnary):
+        operand = _compile(expr.operand, variables, defines)
+        if expr.op == "-":
+            return b.unop(ops.OpNumNeg(), operand)
+        if expr.op == "not":
+            return b.neg(operand)
+        raise OqlTranslationError("unknown unary op %r" % expr.op)
+    if isinstance(expr, ast.OBinary):
+        table = {
+            "+": ops.OpAdd(),
+            "-": ops.OpSub(),
+            "*": ops.OpMult(),
+            "/": ops.OpDiv(),
+            "=": ops.OpEq(),
+            "<": ops.OpLt(),
+            "<=": ops.OpLe(),
+            ">": ops.OpGt(),
+            ">=": ops.OpGe(),
+            "and": ops.OpAnd(),
+            "or": ops.OpOr(),
+            "in": ops.OpIn(),
+            "union": ops.OpUnion(),
+            "except": ops.OpBagDiff(),
+            "intersect": ops.OpBagInter(),
+        }
+        left = _compile(expr.left, variables, defines)
+        right = _compile(expr.right, variables, defines)
+        if expr.op == "!=":
+            return b.neg(b.eq(left, right))
+        if expr.op in table:
+            return b.binop(table[expr.op], left, right)
+        raise OqlTranslationError("unknown binary op %r" % expr.op)
+    if isinstance(expr, ast.OAggregate):
+        arg = _compile(expr.arg, variables, defines)
+        table = {
+            "count": ops.OpCount(),
+            "sum": ops.OpSum(),
+            "avg": ops.OpAvg(),
+            "min": ops.OpMin(),
+            "max": ops.OpMax(),
+        }
+        return b.unop(table[expr.func], arg)
+    if isinstance(expr, ast.OExists):
+        coll = _compile(expr.coll, variables, defines)
+        pred = _compile(expr.pred, variables | {expr.var}, defines)
+        bound_pred = b.appenv(pred, b.concat(b.env(), b.rec_field(expr.var, b.id_())))
+        count = b.count(b.sigma(bound_pred, coll))
+        return b.neg(b.eq(count, b.const(0)))
+    if isinstance(expr, ast.SelectFromWhere):
+        return _compile_sfw(expr, variables, defines)
+    raise OqlTranslationError("unknown OQL node %r" % (expr,))
+
+
+def _compile_sfw(
+    sfw: ast.SelectFromWhere, variables: FrozenSet[str], defines: FrozenSet[str]
+) -> nra.NraeNode:
+    """``select e from x1 in c1, ..., xn in cn where p``::
+
+        flattenⁿ⁻¹( χ⟨ … χ⟨ base ∘e (Env ⊕ [xn: In]) ⟩(cn) … ⟩(c1) )
+
+    where ``base`` is ``{e}`` filtered by the predicate (evaluated over a
+    unit singleton so the result is ∅ or ``{e}``), and each level's
+    collection may reference the variables bound by outer levels.
+    """
+    scope = set(variables)
+    levels: List[nra.NraeNode] = []  # compiled collections, outermost first
+    for binding in sfw.bindings:
+        levels.append(_compile(binding.coll, frozenset(scope), defines))
+        scope.add(binding.var)
+    projection = _compile(sfw.projection, frozenset(scope), defines)
+    if sfw.where is not None:
+        predicate = _compile(sfw.where, frozenset(scope), defines)
+        unit = b.coll(b.const(Record({})))
+        base = b.chi(projection, b.sigma(predicate, unit))
+    else:
+        base = b.coll(projection)
+    plan = base
+    for binding, coll in zip(reversed(sfw.bindings), reversed(levels)):
+        body = b.appenv(plan, b.concat(b.env(), b.rec_field(binding.var, b.id_())))
+        plan = b.flatten_(b.chi(body, coll))
+    if sfw.distinct:
+        plan = b.distinct(plan)
+    return plan

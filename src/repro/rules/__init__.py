@@ -1,0 +1,28 @@
+"""The rule-macro frontend (JRules stand-in), compiled to CAMP (paper §7)."""
+
+from repro.rules.macros import (
+    WORLD,
+    aggregate,
+    bind,
+    bind_class,
+    const,
+    dot,
+    eq,
+    eval_rule,
+    global_,
+    guard,
+    gt,
+    it,
+    lt,
+    not_,
+    record,
+    return_,
+    var,
+    when,
+)
+
+__all__ = [
+    "WORLD", "aggregate", "bind", "bind_class", "const", "dot", "eq",
+    "eval_rule", "global_", "guard", "gt", "it", "lt", "not_", "record",
+    "return_", "var", "when",
+]

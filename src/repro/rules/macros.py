@@ -1,0 +1,192 @@
+"""Rule macros: the JRules-like frontend, compiled to CAMP (paper §7).
+
+The paper's original motivation is a query DSL for a production rule
+language (JRules); Q*cert models it as "Rule", a thin macro layer over
+CAMP.  A rule is a chain of clauses::
+
+    when(binder, ...)    match one working-memory element, bind variables
+    not_(pattern, ...)   require that no working-memory element matches
+    global_(binder, ...) match against the whole working memory (aggregates)
+    return_(expr)        produce one result per surviving binding
+
+The working memory is the database constant ``WORLD`` (a bag).  Every
+clause composes CAMP patterns whose value is a *bag of results*: ``when``
+flattens per-element continuations, ``return_`` yields a singleton.
+
+Example (a join)::
+
+    rule = when(bind_class("c", "Client"),
+           when(bind_class("o", "Order"),
+           guard(eq(dot(var("o"), "client"), dot(var("c"), "id")),
+           return_(record({"name": dot(var("c"), "name")})))))
+    results = eval_rule(rule, world_bag)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+from repro.camp import ast as camp
+from repro.camp.eval import eval_camp
+from repro.data import operators as ops
+from repro.data.model import Bag, Record
+
+#: The database constant holding the working memory.
+WORLD = "WORLD"
+
+
+# -- expression helpers (plain CAMP constructors with rule-ish names) --------
+
+
+def var(name: str) -> camp.CampNode:
+    """Read a rule variable from the environment: ``env.name``."""
+    return camp.PUnop(ops.OpDot(name), camp.PEnv())
+
+
+def it() -> camp.CampNode:
+    return camp.PIt()
+
+
+def const(value: Any) -> camp.CampNode:
+    return camp.PConst(value)
+
+
+def dot(pattern: camp.CampNode, field: str) -> camp.CampNode:
+    return camp.PUnop(ops.OpDot(field), pattern)
+
+
+def record(fields: Mapping[str, camp.CampNode]) -> camp.CampNode:
+    """``[A1: p1, ..., An: pn]`` via ⊕ of one-field records."""
+    items = list(fields.items())
+    if not items:
+        return camp.PConst(Record({}))
+    pattern: camp.CampNode = camp.PUnop(ops.OpRec(items[0][0]), items[0][1])
+    for name, sub in items[1:]:
+        pattern = camp.PBinop(
+            ops.OpConcat(), pattern, camp.PUnop(ops.OpRec(name), sub)
+        )
+    return pattern
+
+
+def eq(left: camp.CampNode, right: camp.CampNode) -> camp.CampNode:
+    return camp.PBinop(ops.OpEq(), left, right)
+
+
+def lt(left: camp.CampNode, right: camp.CampNode) -> camp.CampNode:
+    return camp.PBinop(ops.OpLt(), left, right)
+
+
+def gt(left: camp.CampNode, right: camp.CampNode) -> camp.CampNode:
+    return camp.PBinop(ops.OpGt(), left, right)
+
+
+def and_(left: camp.CampNode, right: camp.CampNode) -> camp.CampNode:
+    return camp.PBinop(ops.OpAnd(), left, right)
+
+
+# -- binder patterns ----------------------------------------------------------
+
+
+def bind(name: str) -> camp.CampNode:
+    """Bind the current working-memory element to ``name``: ``[name: it]``."""
+    return camp.PUnop(ops.OpRec(name), camp.PIt())
+
+
+def bind_class(name: str, klass: str, klass_field: str = "klass") -> camp.CampNode:
+    """Bind the element to ``name`` if its class tag matches ``klass``.
+
+    Working-memory elements are records carrying their class under
+    ``klass_field`` (the stand-in for JRules/Q*cert brands)::
+
+        let it = it.klass_check in assert(...); [name: it]
+    """
+    check = camp.PAssert(
+        camp.PBinop(
+            ops.OpEq(),
+            camp.PUnop(ops.OpDot(klass_field), camp.PIt()),
+            camp.PConst(klass),
+        )
+    )
+    # assert returns []; merge it into env (a no-op) and bind.
+    return camp.PLetEnv(check, bind(name))
+
+
+# -- rule clauses -------------------------------------------------------------
+
+
+def when(binder: camp.CampNode, rest: camp.CampNode) -> camp.CampNode:
+    """Match ``binder`` against each working-memory element.
+
+    ``binder`` produces a record of new bindings (or fails); ``rest``
+    runs once per match with the bindings unified into the environment.
+    The results (bags) of all matches are flattened together.
+    """
+    per_element = camp.PLetEnv(binder, rest)
+    return camp.PUnop(
+        ops.OpFlatten(),
+        camp.PLetIt(camp.PGetConstant(WORLD), camp.PMap(per_element)),
+    )
+
+
+def not_(pattern: camp.CampNode, rest: camp.CampNode) -> camp.CampNode:
+    """Succeed only when *no* working-memory element matches ``pattern``."""
+    matches = camp.PLetIt(
+        camp.PGetConstant(WORLD), camp.PMap(camp.PLetEnv(pattern, camp.PConst(True)))
+    )
+    none_matched = camp.PLetIt(
+        matches,
+        camp.PAssert(
+            camp.PBinop(ops.OpEq(), camp.PUnop(ops.OpCount(), camp.PIt()), camp.PConst(0))
+        ),
+    )
+    # assert yields the empty record: unifying it into env is a no-op,
+    # which makes PLetEnv a clean sequencing construct.
+    return camp.PLetEnv(none_matched, rest)
+
+
+def global_(binder: camp.CampNode, rest: camp.CampNode) -> camp.CampNode:
+    """Match ``binder`` against the whole working memory (aggregations)."""
+    bound = camp.PLetIt(camp.PGetConstant(WORLD), binder)
+    return camp.PLetEnv(bound, rest)
+
+
+def aggregate(
+    match: camp.CampNode, agg_op: ops.UnaryOp, bind_as: str
+) -> camp.CampNode:
+    """A ``global_`` binder: reduce all matches of ``match`` with ``agg_op``.
+
+    ``match`` is applied to every element of the current datum (the
+    working memory under ``global_``); successes are collected and
+    reduced, and the result is bound as ``bind_as``.
+    """
+    return camp.PUnop(
+        ops.OpRec(bind_as), camp.PUnop(agg_op, camp.PMap(match))
+    )
+
+
+def guard(condition: camp.CampNode, rest: camp.CampNode) -> camp.CampNode:
+    """Proceed only when ``condition`` holds (a filter clause)."""
+    return camp.PLetEnv(camp.PAssert(condition), rest)
+
+
+def return_(result: camp.CampNode) -> camp.CampNode:
+    """Terminal clause: one result for the current bindings."""
+    return camp.PUnop(ops.OpBag(), result)
+
+
+# -- evaluation ---------------------------------------------------------------
+
+
+def eval_rule(
+    rule: camp.CampNode,
+    world: Bag,
+    env: Optional[Record] = None,
+    constants: Optional[Mapping[str, Any]] = None,
+) -> Bag:
+    """Run a rule against a working memory; returns the bag of results."""
+    merged = dict(constants or {})
+    merged[WORLD] = world
+    result = eval_camp(rule, world, env or Record({}), merged)
+    if not isinstance(result, Bag):
+        raise TypeError("a rule must produce a bag, got %r" % (result,))
+    return result

@@ -1,0 +1,13 @@
+"""The SQL frontend: lexer, parser, AST, and translation to NRAe (paper §6)."""
+
+from repro.sql.lexer import SqlSyntaxError
+from repro.sql.parser import parse_query, parse_sql
+from repro.sql.to_nraenv import SqlTranslationError, sql_to_nraenv
+
+__all__ = [
+    "SqlSyntaxError",
+    "SqlTranslationError",
+    "parse_query",
+    "parse_sql",
+    "sql_to_nraenv",
+]

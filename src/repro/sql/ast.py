@@ -1,0 +1,401 @@
+"""AST for the SQL subset (paper §6).
+
+The paper's compiler "supports full select-from-where blocks including
+group by and order by, nested queries, set operations (union, intersect,
+except), exists, between, view definitions, with clauses, case
+expressions, comparisons, aggregations, and essential operators on
+atomic types, including dates" — enough for 21 of the 22 TPC-H queries
+(everything but q13's left outer join).  This AST covers exactly that
+subset.
+
+Nodes expose ``size()``/``depth()`` so Figure 7 can report SQL query
+size and depth alongside the algebra's.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+
+class SqlNode:
+    """Base class for SQL AST nodes.
+
+    ``_fields`` names the attributes holding children (single nodes,
+    lists of nodes, or non-node payloads — non-nodes are skipped when
+    traversing).
+    """
+
+    _fields: Tuple[str, ...] = ()
+
+    def children(self) -> List["SqlNode"]:
+        out: List[SqlNode] = []
+        for field in self._fields:
+            value = getattr(self, field)
+            if isinstance(value, SqlNode):
+                out.append(value)
+            elif isinstance(value, (list, tuple)):
+                out.extend(v for v in value if isinstance(v, SqlNode))
+        return out
+
+    def size(self) -> int:
+        """Number of AST nodes (Figure 7a's "SQL size")."""
+        return 1 + sum(child.size() for child in self.children())
+
+    def depth(self) -> int:
+        """Query-block nesting depth (Figure 7b's "SQL query depth")."""
+        child_depths = [child.depth() for child in self.children()]
+        deepest = max(child_depths) if child_depths else 0
+        return deepest + (1 if isinstance(self, Query) else 0)
+
+    def __eq__(self, other: Any) -> bool:
+        if type(self) is not type(other):
+            return NotImplemented if not isinstance(other, SqlNode) else False
+        return all(
+            getattr(self, field) == getattr(other, field) for field in self._fields
+        )
+
+    def __ne__(self, other: Any) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __repr__(self) -> str:
+        body = ", ".join("%s=%r" % (f, getattr(self, f)) for f in self._fields)
+        return "%s(%s)" % (type(self).__name__, body)
+
+
+# -- expressions ---------------------------------------------------------------
+
+
+class Literal(SqlNode):
+    """A number, string, boolean, date, or interval literal."""
+
+    _fields = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+
+class Interval(SqlNode):
+    """``interval 'n' day|month|year`` (normalised to days for day/…)."""
+
+    _fields = ("amount", "unit")
+
+    def __init__(self, amount: int, unit: str):
+        self.amount = amount
+        self.unit = unit  # "day" | "month" | "year"
+
+
+class Column(SqlNode):
+    """A column reference, possibly qualified: ``l_extendedprice``, ``s.id``."""
+
+    _fields = ("table", "name")
+
+    def __init__(self, name: str, table: Optional[str] = None):
+        self.table = table
+        self.name = name
+
+
+class Star(SqlNode):
+    """``*`` in a select list or ``count(*)``."""
+
+    _fields = ()
+
+
+class UnaryExpr(SqlNode):
+    """``-e`` or ``not e``."""
+
+    _fields = ("op", "operand")
+
+    def __init__(self, op: str, operand: SqlNode):
+        self.op = op  # "-" | "not"
+        self.operand = operand
+
+
+class BinaryExpr(SqlNode):
+    """Arithmetic, comparison, or boolean binary expression."""
+
+    _fields = ("op", "left", "right")
+
+    def __init__(self, op: str, left: SqlNode, right: SqlNode):
+        self.op = op  # + - * / || = <> < <= > >= and or
+        self.left = left
+        self.right = right
+
+
+class Between(SqlNode):
+    """``e between lo and hi`` (optionally negated)."""
+
+    _fields = ("expr", "low", "high", "negated")
+
+    def __init__(self, expr: SqlNode, low: SqlNode, high: SqlNode, negated: bool = False):
+        self.expr = expr
+        self.low = low
+        self.high = high
+        self.negated = negated
+
+
+class InList(SqlNode):
+    """``e in (v1, ..., vn)`` (optionally negated)."""
+
+    _fields = ("expr", "items", "negated")
+
+    def __init__(self, expr: SqlNode, items: Sequence[SqlNode], negated: bool = False):
+        self.expr = expr
+        self.items = list(items)
+        self.negated = negated
+
+
+class InQuery(SqlNode):
+    """``e in (select ...)`` (optionally negated)."""
+
+    _fields = ("expr", "query", "negated")
+
+    def __init__(self, expr: SqlNode, query: "Query", negated: bool = False):
+        self.expr = expr
+        self.query = query
+        self.negated = negated
+
+
+class Exists(SqlNode):
+    """``exists (select ...)`` (optionally negated)."""
+
+    _fields = ("query", "negated")
+
+    def __init__(self, query: "Query", negated: bool = False):
+        self.query = query
+        self.negated = negated
+
+
+class Like(SqlNode):
+    """``e like 'pattern'`` (optionally negated)."""
+
+    _fields = ("expr", "pattern", "negated")
+
+    def __init__(self, expr: SqlNode, pattern: str, negated: bool = False):
+        self.expr = expr
+        self.pattern = pattern
+        self.negated = negated
+
+
+class Case(SqlNode):
+    """``case when c1 then e1 ... [else e] end``."""
+
+    _fields = ("branches", "otherwise")
+
+    def __init__(
+        self,
+        branches: Sequence[Tuple[SqlNode, SqlNode]],
+        otherwise: Optional[SqlNode] = None,
+    ):
+        self.branches = [tuple(branch) for branch in branches]
+        self.otherwise = otherwise
+
+    def children(self) -> List[SqlNode]:
+        out: List[SqlNode] = []
+        for cond, value in self.branches:
+            out.extend([cond, value])
+        if self.otherwise is not None:
+            out.append(self.otherwise)
+        return out
+
+
+class Aggregate(SqlNode):
+    """``count(*) | count(e) | sum(e) | avg(e) | min(e) | max(e)``.
+
+    ``distinct`` covers ``count(distinct e)``.
+    """
+
+    _fields = ("func", "arg", "distinct")
+
+    def __init__(self, func: str, arg: Optional[SqlNode], distinct: bool = False):
+        self.func = func
+        self.arg = arg
+        self.distinct = distinct
+
+
+class Extract(SqlNode):
+    """``extract(year|month|day from e)``."""
+
+    _fields = ("part", "expr")
+
+    def __init__(self, part: str, expr: SqlNode):
+        self.part = part
+        self.expr = expr
+
+
+class Substring(SqlNode):
+    """``substring(e from i [for j])``."""
+
+    _fields = ("expr", "start", "length")
+
+    def __init__(self, expr: SqlNode, start: int, length: Optional[int]):
+        self.expr = expr
+        self.start = start
+        self.length = length
+
+
+class ScalarQuery(SqlNode):
+    """A subquery in scalar position: ``(select max(x) from t)``."""
+
+    _fields = ("query",)
+
+    def __init__(self, query: "Query"):
+        self.query = query
+
+
+# -- query structure -----------------------------------------------------------
+
+
+class SelectItem(SqlNode):
+    """One select-list entry: an expression with an optional alias."""
+
+    _fields = ("expr", "alias")
+
+    def __init__(self, expr: SqlNode, alias: Optional[str] = None):
+        self.expr = expr
+        self.alias = alias
+
+
+class TableRef(SqlNode):
+    """A FROM item: a base table or view, with an optional alias."""
+
+    _fields = ("name", "alias")
+
+    def __init__(self, name: str, alias: Optional[str] = None):
+        self.name = name
+        self.alias = alias or name
+
+
+class SubqueryRef(SqlNode):
+    """A FROM item that is a parenthesised subquery with an alias."""
+
+    _fields = ("query", "alias")
+
+    def __init__(self, query: "Query", alias: str):
+        self.query = query
+        self.alias = alias
+
+
+class OrderItem(SqlNode):
+    """One ORDER BY key: an output column (or select alias) + direction."""
+
+    _fields = ("expr", "descending")
+
+    def __init__(self, expr: SqlNode, descending: bool = False):
+        self.expr = expr
+        self.descending = descending
+
+
+class Select(SqlNode):
+    """A select-from-where block."""
+
+    _fields = (
+        "items",
+        "from_items",
+        "where",
+        "group_by",
+        "having",
+        "order_by",
+        "distinct",
+        "limit",
+    )
+
+    def __init__(
+        self,
+        items: Sequence[SelectItem],
+        from_items: Sequence[SqlNode],
+        where: Optional[SqlNode] = None,
+        group_by: Sequence[SqlNode] = (),
+        having: Optional[SqlNode] = None,
+        order_by: Sequence[OrderItem] = (),
+        distinct: bool = False,
+        limit: Optional[int] = None,
+    ):
+        self.items = list(items)
+        self.from_items = list(from_items)
+        self.where = where
+        self.group_by = list(group_by)
+        self.having = having
+        self.order_by = list(order_by)
+        self.distinct = distinct
+        self.limit = limit
+
+
+class SetOp(SqlNode):
+    """``q1 UNION [ALL] q2 | q1 INTERSECT q2 | q1 EXCEPT q2``."""
+
+    _fields = ("op", "left", "right", "all")
+
+    def __init__(self, op: str, left: "Query", right: "Query", all: bool = False):
+        self.op = op  # "union" | "intersect" | "except"
+        self.left = left
+        self.right = right
+        self.all = all
+
+
+class Query(SqlNode):
+    """A full query: optional WITH bindings around a Select or SetOp.
+
+    Each CTE is a ``(name, query, columns)`` triple; ``columns`` is the
+    optional positional column list (``with v (a, b) as (...)``).
+    """
+
+    _fields = ("ctes", "body")
+
+    def __init__(self, body: SqlNode, ctes: Sequence[Tuple] = ()):
+        self.body = body
+        normalised = []
+        for cte in ctes:
+            if len(cte) == 2:
+                name, query = cte
+                columns: Tuple[str, ...] = ()
+            else:
+                name, query, columns = cte
+            normalised.append((name, query, tuple(columns)))
+        self.ctes = normalised
+
+    def children(self) -> List[SqlNode]:
+        out: List[SqlNode] = [query for _, query, _ in self.ctes]
+        out.append(self.body)
+        return out
+
+
+# -- statements / scripts --------------------------------------------------------
+
+
+class CreateView(SqlNode):
+    """``create view name [(col, ...)] as query``."""
+
+    _fields = ("name", "columns", "query")
+
+    def __init__(self, name: str, columns: Sequence[str], query: Query):
+        self.name = name
+        self.columns = list(columns)
+        self.query = query
+
+
+class DropView(SqlNode):
+    """``drop view name``."""
+
+    _fields = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+
+class Script(SqlNode):
+    """A ';'-separated sequence of statements (views + one main query)."""
+
+    _fields = ("statements",)
+
+    def __init__(self, statements: Sequence[SqlNode]):
+        self.statements = list(statements)
+
+    def main_query(self) -> Query:
+        """The (single) top-level SELECT of the script."""
+        queries = [s for s in self.statements if isinstance(s, Query)]
+        if len(queries) != 1:
+            raise ValueError("script must contain exactly one top-level query")
+        return queries[0]

@@ -1,0 +1,178 @@
+"""Tokenizer for the SQL subset."""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional
+
+
+class SqlSyntaxError(ValueError):
+    """Raised on malformed SQL input."""
+
+
+class Token(NamedTuple):
+    kind: str  # "ident" | "number" | "string" | "symbol" | "end"
+    value: str
+    position: int
+
+
+_SYMBOLS = [
+    "<=",
+    ">=",
+    "<>",
+    "!=",
+    "||",
+    "(",
+    ")",
+    ",",
+    ";",
+    ":",
+    "+",
+    "-",
+    "*",
+    "/",
+    "=",
+    "<",
+    ">",
+    ".",
+]
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split SQL text into tokens; identifiers are lower-cased."""
+    tokens: List[Token] = []
+    i = 0
+    length = len(text)
+    while i < length:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if text.startswith("--", i):
+            end = text.find("\n", i)
+            i = length if end == -1 else end + 1
+            continue
+        if ch == "'":
+            j = i + 1
+            parts: List[str] = []
+            while True:
+                if j >= length:
+                    raise SqlSyntaxError("unterminated string literal at %d" % i)
+                if text[j] == "'":
+                    if j + 1 < length and text[j + 1] == "'":
+                        parts.append("'")
+                        j += 2
+                        continue
+                    break
+                parts.append(text[j])
+                j += 1
+            tokens.append(Token("string", "".join(parts), i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < length and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < length and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    # a dot not followed by a digit is a qualifier, not a decimal
+                    if j + 1 >= length or not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            tokens.append(Token("number", text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < length and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            tokens.append(Token("ident", text[i:j].lower(), i))
+            i = j
+            continue
+        for symbol in _SYMBOLS:
+            if text.startswith(symbol, i):
+                tokens.append(Token("symbol", symbol, i))
+                i += len(symbol)
+                break
+        else:
+            raise SqlSyntaxError("unexpected character %r at %d" % (ch, i))
+    tokens.append(Token("end", "", length))
+    return tokens
+
+
+class TokenStream:
+    """A cursor over a token list with the usual peek/expect helpers."""
+
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._index = 0
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token.kind != "end":
+            self._index += 1
+        return token
+
+    def at_keyword(self, *keywords: str) -> bool:
+        token = self.peek()
+        return token.kind == "ident" and token.value in keywords
+
+    def at_symbol(self, *symbols: str) -> bool:
+        token = self.peek()
+        return token.kind == "symbol" and token.value in symbols
+
+    def accept_keyword(self, *keywords: str) -> Optional[str]:
+        if self.at_keyword(*keywords):
+            return self.next().value
+        return None
+
+    def accept_symbol(self, *symbols: str) -> Optional[str]:
+        if self.at_symbol(*symbols):
+            return self.next().value
+        return None
+
+    def expect_keyword(self, keyword: str) -> None:
+        if not self.accept_keyword(keyword):
+            raise SqlSyntaxError(
+                "expected %r at position %d, found %r"
+                % (keyword, self.peek().position, self.peek().value)
+            )
+
+    def expect_symbol(self, symbol: str) -> None:
+        if not self.accept_symbol(symbol):
+            raise SqlSyntaxError(
+                "expected %r at position %d, found %r"
+                % (symbol, self.peek().position, self.peek().value)
+            )
+
+    def expect_ident(self) -> str:
+        token = self.peek()
+        if token.kind != "ident":
+            raise SqlSyntaxError(
+                "expected identifier at position %d, found %r"
+                % (token.position, token.value)
+            )
+        return self.next().value
+
+    def expect_number(self) -> str:
+        token = self.peek()
+        if token.kind != "number":
+            raise SqlSyntaxError(
+                "expected number at position %d, found %r" % (token.position, token.value)
+            )
+        return self.next().value
+
+    def expect_string(self) -> str:
+        token = self.peek()
+        if token.kind != "string":
+            raise SqlSyntaxError(
+                "expected string at position %d, found %r" % (token.position, token.value)
+            )
+        return self.next().value
+
+    @property
+    def exhausted(self) -> bool:
+        return self.peek().kind == "end"

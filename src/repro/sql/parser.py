@@ -1,0 +1,415 @@
+"""Recursive-descent parser for the SQL subset (paper §6).
+
+Covers the grammar needed by 21 of the 22 TPC-H queries: select-from-
+where with group by / having / order by / distinct / limit, nested and
+correlated subqueries, set operations, exists / in / between / like /
+case, aggregates, date and interval literals, extract and substring,
+with-as clauses, and create/drop view statements.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.data.foreign import DateValue
+from repro.sql import ast
+from repro.sql.lexer import SqlSyntaxError, Token, TokenStream, tokenize
+
+_AGGREGATES = ("count", "sum", "avg", "min", "max")
+_QUERY_TERMINATORS = (
+    "from",
+    "where",
+    "group",
+    "having",
+    "order",
+    "limit",
+    "union",
+    "intersect",
+    "except",
+    "then",
+    "else",
+    "when",
+    "end",
+    "and",
+    "or",
+    "on",
+    "as",
+    "asc",
+    "desc",
+)
+
+
+def parse_sql(text: str) -> ast.Script:
+    """Parse a SQL script (view statements + queries) into an AST."""
+    stream = TokenStream(tokenize(text))
+    statements: List[ast.SqlNode] = []
+    while not stream.exhausted:
+        statements.append(_parse_statement(stream))
+        while stream.accept_symbol(";"):
+            pass
+    if not statements:
+        raise SqlSyntaxError("empty SQL input")
+    return ast.Script(statements)
+
+
+def parse_query(text: str) -> ast.Query:
+    """Parse a single SQL query (no view statements)."""
+    stream = TokenStream(tokenize(text))
+    query = _parse_query(stream)
+    stream.accept_symbol(";")
+    if not stream.exhausted:
+        token = stream.peek()
+        raise SqlSyntaxError(
+            "trailing input at position %d: %r" % (token.position, token.value)
+        )
+    return query
+
+
+def _parse_statement(stream: TokenStream) -> ast.SqlNode:
+    if stream.at_keyword("create"):
+        return _parse_create_view(stream)
+    if stream.at_keyword("drop"):
+        stream.expect_keyword("drop")
+        stream.expect_keyword("view")
+        return ast.DropView(stream.expect_ident())
+    return _parse_query(stream)
+
+
+def _parse_create_view(stream: TokenStream) -> ast.CreateView:
+    stream.expect_keyword("create")
+    stream.expect_keyword("view")
+    name = stream.expect_ident()
+    columns: List[str] = []
+    if stream.accept_symbol("("):
+        columns.append(stream.expect_ident())
+        while stream.accept_symbol(","):
+            columns.append(stream.expect_ident())
+        stream.expect_symbol(")")
+    stream.expect_keyword("as")
+    query = _parse_query(stream)
+    return ast.CreateView(name, columns, query)
+
+
+def _parse_query(stream: TokenStream) -> ast.Query:
+    ctes: List[Tuple[str, ast.Query]] = []
+    if stream.accept_keyword("with"):
+        while True:
+            name = stream.expect_ident()
+            columns: List[str] = []
+            if stream.accept_symbol("("):
+                columns.append(stream.expect_ident())
+                while stream.accept_symbol(","):
+                    columns.append(stream.expect_ident())
+                stream.expect_symbol(")")
+            stream.expect_keyword("as")
+            stream.expect_symbol("(")
+            ctes.append((name, _parse_query(stream), columns))
+            stream.expect_symbol(")")
+            if not stream.accept_symbol(","):
+                break
+    body = _parse_set_expr(stream)
+    return ast.Query(body, ctes)
+
+
+def _parse_set_expr(stream: TokenStream) -> ast.SqlNode:
+    left = _parse_select_operand(stream)
+    while stream.at_keyword("union", "intersect", "except"):
+        op = stream.next().value
+        all_flag = bool(stream.accept_keyword("all"))
+        right = _parse_select_operand(stream)
+        left = ast.SetOp(op, _as_query(left), _as_query(right), all_flag)
+    return left
+
+
+def _as_query(node: ast.SqlNode) -> ast.Query:
+    return node if isinstance(node, ast.Query) else ast.Query(node)
+
+
+def _parse_select_operand(stream: TokenStream) -> ast.SqlNode:
+    if stream.accept_symbol("("):
+        inner = _parse_query(stream)
+        stream.expect_symbol(")")
+        return inner
+    return _parse_select(stream)
+
+
+def _parse_select(stream: TokenStream) -> ast.Select:
+    stream.expect_keyword("select")
+    distinct = bool(stream.accept_keyword("distinct"))
+    stream.accept_keyword("all")
+    items = [_parse_select_item(stream)]
+    while stream.accept_symbol(","):
+        items.append(_parse_select_item(stream))
+    from_items: List[ast.SqlNode] = []
+    if stream.accept_keyword("from"):
+        from_items.append(_parse_from_item(stream))
+        while stream.accept_symbol(","):
+            from_items.append(_parse_from_item(stream))
+    where = None
+    if stream.accept_keyword("where"):
+        where = _parse_expr(stream)
+    group_by: List[ast.SqlNode] = []
+    if stream.accept_keyword("group"):
+        stream.expect_keyword("by")
+        group_by.append(_parse_expr(stream))
+        while stream.accept_symbol(","):
+            group_by.append(_parse_expr(stream))
+    having = None
+    if stream.accept_keyword("having"):
+        having = _parse_expr(stream)
+    order_by: List[ast.OrderItem] = []
+    if stream.accept_keyword("order"):
+        stream.expect_keyword("by")
+        order_by.append(_parse_order_item(stream))
+        while stream.accept_symbol(","):
+            order_by.append(_parse_order_item(stream))
+    limit = None
+    if stream.accept_keyword("limit"):
+        limit = int(stream.expect_number())
+    return ast.Select(
+        items,
+        from_items,
+        where=where,
+        group_by=group_by,
+        having=having,
+        order_by=order_by,
+        distinct=distinct,
+        limit=limit,
+    )
+
+
+def _parse_select_item(stream: TokenStream) -> ast.SelectItem:
+    if stream.at_symbol("*"):
+        stream.next()
+        return ast.SelectItem(ast.Star())
+    expr = _parse_expr(stream)
+    alias = None
+    if stream.accept_keyword("as"):
+        alias = stream.expect_ident()
+    elif stream.peek().kind == "ident" and not stream.at_keyword(*_QUERY_TERMINATORS):
+        alias = stream.expect_ident()
+    return ast.SelectItem(expr, alias)
+
+
+def _parse_from_item(stream: TokenStream) -> ast.SqlNode:
+    if stream.accept_symbol("("):
+        query = _parse_query(stream)
+        stream.expect_symbol(")")
+        stream.accept_keyword("as")
+        alias = stream.expect_ident()
+        return ast.SubqueryRef(query, alias)
+    name = stream.expect_ident()
+    alias = None
+    if stream.accept_keyword("as"):
+        alias = stream.expect_ident()
+    elif stream.peek().kind == "ident" and not stream.at_keyword(*_QUERY_TERMINATORS):
+        alias = stream.expect_ident()
+    return ast.TableRef(name, alias)
+
+
+def _parse_order_item(stream: TokenStream) -> ast.OrderItem:
+    expr = _parse_expr(stream)
+    descending = False
+    if stream.accept_keyword("desc"):
+        descending = True
+    else:
+        stream.accept_keyword("asc")
+    return ast.OrderItem(expr, descending)
+
+
+# -- expressions ---------------------------------------------------------------
+
+
+def _parse_expr(stream: TokenStream) -> ast.SqlNode:
+    return _parse_or(stream)
+
+
+def _parse_or(stream: TokenStream) -> ast.SqlNode:
+    left = _parse_and(stream)
+    while stream.accept_keyword("or"):
+        left = ast.BinaryExpr("or", left, _parse_and(stream))
+    return left
+
+
+def _parse_and(stream: TokenStream) -> ast.SqlNode:
+    left = _parse_not(stream)
+    while stream.accept_keyword("and"):
+        left = ast.BinaryExpr("and", left, _parse_not(stream))
+    return left
+
+
+def _parse_not(stream: TokenStream) -> ast.SqlNode:
+    if stream.accept_keyword("not"):
+        return ast.UnaryExpr("not", _parse_not(stream))
+    return _parse_predicate(stream)
+
+
+def _parse_predicate(stream: TokenStream) -> ast.SqlNode:
+    left = _parse_additive(stream)
+    negated = bool(stream.accept_keyword("not"))
+    if stream.accept_keyword("between"):
+        low = _parse_additive(stream)
+        stream.expect_keyword("and")
+        high = _parse_additive(stream)
+        return ast.Between(left, low, high, negated)
+    if stream.accept_keyword("in"):
+        stream.expect_symbol("(")
+        if stream.at_keyword("select", "with"):
+            query = _parse_query(stream)
+            stream.expect_symbol(")")
+            return ast.InQuery(left, query, negated)
+        items = [_parse_expr(stream)]
+        while stream.accept_symbol(","):
+            items.append(_parse_expr(stream))
+        stream.expect_symbol(")")
+        return ast.InList(left, items, negated)
+    if stream.accept_keyword("like"):
+        pattern = stream.expect_string()
+        return ast.Like(left, pattern, negated)
+    if negated:
+        raise SqlSyntaxError(
+            "expected BETWEEN/IN/LIKE after NOT at position %d" % stream.peek().position
+        )
+    for symbol, op in (
+        ("<=", "<="),
+        (">=", ">="),
+        ("<>", "<>"),
+        ("!=", "<>"),
+        ("=", "="),
+        ("<", "<"),
+        (">", ">"),
+    ):
+        if stream.at_symbol(symbol):
+            stream.next()
+            return ast.BinaryExpr(op, left, _parse_additive(stream))
+    return left
+
+
+def _parse_additive(stream: TokenStream) -> ast.SqlNode:
+    left = _parse_multiplicative(stream)
+    while True:
+        if stream.at_symbol("+", "-"):
+            op = stream.next().value
+            left = ast.BinaryExpr(op, left, _parse_multiplicative(stream))
+        elif stream.at_symbol("||"):
+            stream.next()
+            left = ast.BinaryExpr("||", left, _parse_multiplicative(stream))
+        else:
+            return left
+
+
+def _parse_multiplicative(stream: TokenStream) -> ast.SqlNode:
+    left = _parse_unary(stream)
+    while stream.at_symbol("*", "/"):
+        op = stream.next().value
+        left = ast.BinaryExpr(op, left, _parse_unary(stream))
+    return left
+
+
+def _parse_unary(stream: TokenStream) -> ast.SqlNode:
+    if stream.accept_symbol("-"):
+        return ast.UnaryExpr("-", _parse_unary(stream))
+    if stream.accept_symbol("+"):
+        return _parse_unary(stream)
+    return _parse_primary(stream)
+
+
+def _parse_primary(stream: TokenStream) -> ast.SqlNode:
+    token = stream.peek()
+    if token.kind == "number":
+        stream.next()
+        text = token.value
+        return ast.Literal(float(text) if "." in text else int(text))
+    if token.kind == "string":
+        stream.next()
+        return ast.Literal(token.value)
+    if stream.accept_symbol("("):
+        if stream.at_keyword("select", "with"):
+            query = _parse_query(stream)
+            stream.expect_symbol(")")
+            return ast.ScalarQuery(query)
+        expr = _parse_expr(stream)
+        stream.expect_symbol(")")
+        return expr
+    if token.kind != "ident":
+        raise SqlSyntaxError(
+            "unexpected token %r at position %d" % (token.value, token.position)
+        )
+    word = token.value
+    if word == "date":
+        stream.next()
+        return ast.Literal(DateValue.parse(stream.expect_string()))
+    if word == "interval":
+        stream.next()
+        amount = int(stream.expect_string())
+        unit = stream.expect_ident()
+        if unit.endswith("s"):
+            unit = unit[:-1]
+        if unit not in ("day", "month", "year"):
+            raise SqlSyntaxError("unsupported interval unit %r" % unit)
+        return ast.Interval(amount, unit)
+    if word == "true":
+        stream.next()
+        return ast.Literal(True)
+    if word == "false":
+        stream.next()
+        return ast.Literal(False)
+    if word == "case":
+        return _parse_case(stream)
+    if word == "exists":
+        stream.next()
+        stream.expect_symbol("(")
+        query = _parse_query(stream)
+        stream.expect_symbol(")")
+        return ast.Exists(query)
+    if word == "extract":
+        stream.next()
+        stream.expect_symbol("(")
+        part = stream.expect_ident()
+        stream.expect_keyword("from")
+        expr = _parse_expr(stream)
+        stream.expect_symbol(")")
+        return ast.Extract(part, expr)
+    if word == "substring":
+        stream.next()
+        stream.expect_symbol("(")
+        expr = _parse_expr(stream)
+        stream.expect_keyword("from")
+        start = int(stream.expect_number())
+        length = None
+        if stream.accept_keyword("for"):
+            length = int(stream.expect_number())
+        stream.expect_symbol(")")
+        return ast.Substring(expr, start, length)
+    if word in _AGGREGATES and stream.peek(1).kind == "symbol" and stream.peek(1).value == "(":
+        stream.next()
+        stream.expect_symbol("(")
+        distinct = bool(stream.accept_keyword("distinct"))
+        if stream.accept_symbol("*"):
+            arg: Optional[ast.SqlNode] = None
+        else:
+            arg = _parse_expr(stream)
+        stream.expect_symbol(")")
+        return ast.Aggregate(word, arg, distinct)
+    stream.next()
+    if stream.accept_symbol("."):
+        column = stream.expect_ident()
+        return ast.Column(column, table=word)
+    return ast.Column(word)
+
+
+def _parse_case(stream: TokenStream) -> ast.Case:
+    stream.expect_keyword("case")
+    branches: List[Tuple[ast.SqlNode, ast.SqlNode]] = []
+    while stream.accept_keyword("when"):
+        cond = _parse_expr(stream)
+        stream.expect_keyword("then")
+        value = _parse_expr(stream)
+        branches.append((cond, value))
+    otherwise = None
+    if stream.accept_keyword("else"):
+        otherwise = _parse_expr(stream)
+    stream.expect_keyword("end")
+    if not branches:
+        raise SqlSyntaxError("CASE requires at least one WHEN branch")
+    return ast.Case(branches, otherwise)

@@ -1,0 +1,78 @@
+"""A generated SQL stress family (the TPC-DS substitute; see DESIGN.md).
+
+The paper additionally tried TPC-DS: 37/99 queries compiled (rollup and
+windowing are unsupported), the largest plan was ~2200 operators and
+took ~11 s, "most of the compilation time is spent on rewriting".  The
+TPC-DS texts are not available offline, so this module generates a
+family with the same two properties the paper's remark is about:
+
+- ``supported_query(n)`` — deeply nested/unioned select towers whose
+  compiled plans grow into the thousands of operators, to measure how
+  compile time scales with plan size;
+- ``unsupported_queries()`` — queries using rollup, windowing, and outer
+  joins, to measure graceful rejection of unsupported features.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+def supported_query(levels: int) -> str:
+    """A select tower with ``levels`` of nesting, unions, and subqueries.
+
+    Each level wraps the previous in a FROM-subquery, adds a correlated
+    EXISTS, a CASE, and a UNION arm — the construct mix that makes
+    TPC-DS plans large.
+    """
+    query = (
+        "select l_orderkey, l_extendedprice as price0, l_quantity as qty0 "
+        "from lineitem where l_quantity < 50"
+    )
+    for level in range(1, levels + 1):
+        previous_price = "price%d" % (level - 1)
+        previous_qty = "qty%d" % (level - 1)
+        query = (
+            "select l_orderkey, "
+            "case when {prev_price} > {threshold} then {prev_price} * 1.1 "
+            "else {prev_price} end as price{level}, "
+            "{prev_qty} as qty{level} "
+            "from ( {inner} ) as t{level} "
+            "where exists (select * from orders "
+            "where o_orderkey = l_orderkey and o_totalprice > {threshold}) "
+            "union all "
+            "select l_orderkey, {threshold}.0 as price{level}, 0 as qty{level} "
+            "from ( {inner} ) as u{level} where {prev_qty} > {threshold}"
+        ).format(
+            inner=query,
+            level=level,
+            prev_price=previous_price,
+            prev_qty=previous_qty,
+            threshold=level * 10,
+        )
+    return query
+
+
+def unsupported_queries() -> List[Tuple[str, str]]:
+    """(name, text) pairs using features outside the supported subset."""
+    return [
+        (
+            "rollup",
+            "select l_returnflag, sum(l_quantity) from lineitem "
+            "group by rollup (l_returnflag)",
+        ),
+        (
+            "window",
+            "select l_orderkey, rank() over (order by l_quantity) from lineitem",
+        ),
+        (
+            "left_outer_join",
+            "select c_custkey, o_orderkey from customer "
+            "left outer join orders on c_custkey = o_custkey",
+        ),
+        (
+            "grouping_sets",
+            "select l_returnflag, l_linestatus, count(*) from lineitem "
+            "group by grouping sets ((l_returnflag), (l_linestatus))",
+        ),
+    ]

@@ -1,0 +1,530 @@
+"""SQL → NRAe translation (paper §6).
+
+The translation leans on NRAe's environment exactly the way the paper
+advertises:
+
+- **row scoping**: a select block extends the environment with the
+  current row's fields (``… ∘e (Env ⊕ In)``), so column references are
+  plain environment accesses and *correlated subqueries work with no
+  extra machinery* — the inner query simply reads the outer bindings
+  from ``Env``;
+- **views and with-as**: ``create view v as q`` compiles to
+  ``q_stmt ∘e (Env ⊕ [v: q_view])`` (the structure shown in §6), and a
+  view reference is just ``Env.v``;
+- **grouping**: the group's key is stashed in the environment
+  (``∘e (Env ⊕ [__key: In])``) so the partition's selection can compare
+  row keys against it without dependent joins.
+
+Row representation: the environment extension record for a row over
+``FROM t1 a1, t2 a2`` is ``r1 ⊕ [__t_a1: r1] ⊕ r2 ⊕ [__t_a2: r2]`` —
+unqualified columns resolve as ``Env.col``, qualified ones as
+``Env.__t_alias.col`` (the prefix keeps aliases from shadowing columns;
+TPC-H's globally-unique column names keep unqualified access unambiguous,
+see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.data import operators as ops
+from repro.data.model import Bag, Record
+from repro.nraenv import ast as nra
+from repro.nraenv import builders as b
+from repro.sql import ast as sql
+
+#: Reserved field names used by the grouping encoding.
+GROUP_KEY_FIELD = "__key"
+PARTITION_FIELD = "partition"
+#: Environment-field prefix for view/CTE bindings, so that a FROM alias
+#: named like a view cannot shadow the view itself.
+REL_PREFIX = "__rel_"
+#: Environment-field prefix for row (table-alias) bindings, so a table
+#: or alias named like a column cannot shadow the column.
+ALIAS_PREFIX = "__t_"
+#: Output-field prefix for ORDER BY keys that are not output columns.
+SORT_PREFIX = "__sort_"
+
+
+class SqlTranslationError(ValueError):
+    """Raised when a construct falls outside the supported subset."""
+
+
+class _Context:
+    """Tracks which relation names are environment-bound (views/CTEs)."""
+
+    def __init__(self, env_relations: Optional[Dict[str, Optional[List[str]]]] = None):
+        # name → output field names (None when unknown)
+        self.env_relations: Dict[str, Optional[List[str]]] = dict(env_relations or {})
+
+    def child(self) -> "_Context":
+        return _Context(self.env_relations)
+
+
+def sql_to_nraenv(script: sql.SqlNode) -> nra.NraeNode:
+    """Translate a parsed SQL script (or single query) to an NRAe plan."""
+    if isinstance(script, sql.Query):
+        plan, _ = _compile_query(script, _Context())
+        return plan
+    if isinstance(script, sql.Select):
+        plan, _ = _compile_select(script, _Context())
+        return plan
+    if not isinstance(script, sql.Script):
+        raise SqlTranslationError("expected a Script/Query, got %r" % (script,))
+
+    context = _Context()
+    view_bindings: List[Tuple[str, nra.NraeNode]] = []
+    main_plan: Optional[nra.NraeNode] = None
+    for statement in script.statements:
+        if isinstance(statement, sql.CreateView):
+            view_plan, fields = _compile_query(statement.query, context)
+            if statement.columns:
+                view_plan, fields = _rename_columns(view_plan, fields, statement.columns)
+            context.env_relations[statement.name] = fields
+            view_bindings.append((statement.name, view_plan))
+        elif isinstance(statement, sql.DropView):
+            context.env_relations.pop(statement.name, None)
+        elif isinstance(statement, sql.Query):
+            if main_plan is not None:
+                raise SqlTranslationError("script has more than one top-level query")
+            main_plan, _ = _compile_query(statement, context)
+        else:
+            raise SqlTranslationError("unsupported statement %r" % (statement,))
+    if main_plan is None:
+        raise SqlTranslationError("script has no top-level query")
+    # q_stmt ∘e (Env ⊕ [v: q_view]), innermost binding first (§6).
+    for name, view_plan in reversed(view_bindings):
+        main_plan = b.appenv(
+            main_plan, b.concat(b.env(), b.rec_field(REL_PREFIX + name, view_plan))
+        )
+    return main_plan
+
+
+def _rename_columns(
+    plan: nra.NraeNode, fields: Optional[List[str]], new_names: Sequence[str]
+) -> Tuple[nra.NraeNode, List[str]]:
+    """Apply a CREATE VIEW column list positionally."""
+    if fields is None or len(fields) != len(new_names):
+        raise SqlTranslationError(
+            "view column list %r does not match query output %r" % (new_names, fields)
+        )
+    mapping = {new: b.dot(b.id_(), old) for new, old in zip(new_names, fields)}
+    return b.chi(b.record(mapping), plan), list(new_names)
+
+
+def _compile_query(
+    query: sql.Query, context: _Context
+) -> Tuple[nra.NraeNode, Optional[List[str]]]:
+    inner = context.child()
+    bindings: List[Tuple[str, nra.NraeNode]] = []
+    for name, cte, columns in query.ctes:
+        cte_plan, cte_fields = _compile_query(cte, inner)
+        if columns:
+            cte_plan, cte_fields = _rename_columns(cte_plan, cte_fields, columns)
+        inner.env_relations[name] = cte_fields
+        bindings.append((name, cte_plan))
+    plan, fields = _compile_body(query.body, inner)
+    for name, cte_plan in reversed(bindings):
+        plan = b.appenv(
+            plan, b.concat(b.env(), b.rec_field(REL_PREFIX + name, cte_plan))
+        )
+    return plan, fields
+
+
+def _compile_body(
+    body: sql.SqlNode, context: _Context
+) -> Tuple[nra.NraeNode, Optional[List[str]]]:
+    if isinstance(body, sql.Select):
+        return _compile_select(body, context)
+    if isinstance(body, sql.Query):
+        return _compile_query(body, context)
+    if isinstance(body, sql.SetOp):
+        left, left_fields = _compile_body(body.left, context)
+        right, _ = _compile_body(body.right, context)
+        if body.op == "union":
+            plan = b.union(left, right)
+            if not body.all:
+                plan = b.distinct(plan)
+            return plan, left_fields
+        if body.op == "intersect":
+            return (
+                b.binop(ops.OpBagInter(), b.distinct(left), b.distinct(right)),
+                left_fields,
+            )
+        if body.op == "except":
+            return (
+                b.binop(ops.OpBagDiff(), b.distinct(left), b.distinct(right)),
+                left_fields,
+            )
+        raise SqlTranslationError("unknown set operation %r" % body.op)
+    raise SqlTranslationError("unsupported query body %r" % (body,))
+
+
+# -- select blocks --------------------------------------------------------------
+
+
+def _compile_select(
+    select: sql.Select, context: _Context
+) -> Tuple[nra.NraeNode, Optional[List[str]]]:
+    stream, aliases = _compile_from(select.from_items, context)
+    if select.where is not None:
+        predicate = _compile_expr(select.where, context, grouped=False)
+        stream = b.sigma(_with_row_env(predicate), stream)
+
+    grouped = bool(select.group_by) or _items_have_aggregates(select.items) or (
+        select.having is not None
+    )
+    if grouped:
+        stream = _compile_grouping(stream, select.group_by, context)
+        if select.having is not None:
+            having = _compile_expr(select.having, context, grouped=True)
+            stream = b.sigma(_with_row_env(having), stream)
+
+    hidden, sort_names = _hidden_sort_items(select, context, grouped)
+    plan, fields = _compile_projection(
+        select.items, stream, aliases, context, grouped, hidden
+    )
+
+    if select.distinct:
+        plan = b.distinct(plan)
+    if select.order_by:
+        keys = [
+            (name, item.descending)
+            for name, item in zip(sort_names, select.order_by)
+        ]
+        plan = b.unop(ops.OpSortBy(keys), plan)
+        if hidden:
+            # strip the hidden sort keys from the output rows
+            strip: nra.NraeNode = b.id_()
+            for name in hidden:
+                strip = b.remove(strip, name)
+            plan = b.chi(strip, plan)
+    if select.limit is not None:
+        plan = b.unop(ops.OpLimit(select.limit), plan)
+    return plan, fields
+
+
+def _hidden_sort_items(
+    select: sql.Select, context: _Context, grouped: bool
+) -> Tuple[Dict[str, nra.NraeNode], List[str]]:
+    """Resolve ORDER BY keys to output field names, adding hidden ones.
+
+    ``select name from emp order by sal`` sorts on a column that is not
+    in the output; the projection carries it along under a reserved
+    ``__sort_`` name, the sort uses it, and a final map strips it.
+    Returns ``(hidden projections, sort field name per ORDER BY item)``.
+    """
+    if not select.order_by:
+        return {}, []
+    output_names = set()
+    star = False
+    for index, item in enumerate(select.items):
+        if isinstance(item.expr, sql.Star):
+            star = True
+            continue
+        output_names.add(item.alias or _implied_name(item.expr, index))
+    hidden: Dict[str, nra.NraeNode] = {}
+    sort_names: List[str] = []
+    for item in select.order_by:
+        if isinstance(item.expr, sql.Column) and item.expr.table is None and (
+            star or item.expr.name in output_names
+        ):
+            sort_names.append(item.expr.name)
+            continue
+        if star:
+            raise SqlTranslationError(
+                "ORDER BY with SELECT * supports plain output columns only"
+            )
+        hidden_name = SORT_PREFIX + str(len(hidden))
+        hidden[hidden_name] = _compile_expr(item.expr, context, grouped)
+        sort_names.append(hidden_name)
+    return hidden, sort_names
+
+
+def _compile_from(
+    from_items: Sequence[sql.SqlNode], context: _Context
+) -> Tuple[nra.NraeNode, List[str]]:
+    """The bag of per-row environment-extension records."""
+    if not from_items:
+        return b.coll(b.const(Record({}))), []
+    plans: List[nra.NraeNode] = []
+    aliases: List[str] = []
+    for item in from_items:
+        if isinstance(item, sql.TableRef):
+            if item.name in context.env_relations:
+                source: nra.NraeNode = b.dot(b.env(), REL_PREFIX + item.name)
+            else:
+                source = b.table(item.name)
+            alias = item.alias
+        elif isinstance(item, sql.SubqueryRef):
+            source, _ = _compile_query(item.query, context)
+            alias = item.alias
+        else:
+            raise SqlTranslationError("unsupported FROM item %r" % (item,))
+        plans.append(
+            b.chi(b.concat(b.id_(), b.rec_field(ALIAS_PREFIX + alias, b.id_())), source)
+        )
+        aliases.append(alias)
+    plan = plans[0]
+    for extra in plans[1:]:
+        plan = b.product(plan, extra)
+    return plan, aliases
+
+
+def _with_row_env(expr_plan: nra.NraeNode) -> nra.NraeNode:
+    """``expr ∘e (Env ⊕ In)``: evaluate an expression under the row."""
+    return b.appenv(expr_plan, b.concat(b.env(), b.id_()))
+
+
+def _compile_grouping(
+    stream: nra.NraeNode, group_by: Sequence[sql.SqlNode], context: _Context
+) -> nra.NraeNode:
+    """Group a row stream; output records are ``key ⊕ [partition: rows]``.
+
+    With an empty key list the whole stream is one group.  Uses the
+    environment-based group-by of :func:`repro.nraenv.builders.group_by`.
+    """
+    key_names = [_group_key_name(item) for item in group_by]
+    return b.group_by(
+        key_names,
+        stream,
+        partition_field=PARTITION_FIELD,
+        key_env_field=GROUP_KEY_FIELD,
+    )
+
+
+def _group_key_name(item: sql.SqlNode) -> str:
+    if isinstance(item, sql.Column):
+        return item.name
+    raise SqlTranslationError(
+        "GROUP BY supports column references only, got %r (alias the "
+        "expression in a subquery first)" % (item,)
+    )
+
+
+def _items_have_aggregates(items: Sequence[sql.SelectItem]) -> bool:
+    def has_aggregate(node: sql.SqlNode) -> bool:
+        if isinstance(node, sql.Aggregate):
+            return True
+        if isinstance(node, (sql.ScalarQuery, sql.Exists, sql.InQuery, sql.Query)):
+            return False  # aggregates inside subqueries are theirs
+        return any(has_aggregate(child) for child in node.children())
+
+    return any(
+        item.expr is not None and has_aggregate(item.expr)
+        for item in items
+        if not isinstance(item.expr, sql.Star)
+    )
+
+
+def _compile_projection(
+    items: Sequence[sql.SelectItem],
+    stream: nra.NraeNode,
+    aliases: List[str],
+    context: _Context,
+    grouped: bool,
+    hidden: Optional[Dict[str, nra.NraeNode]] = None,
+) -> Tuple[nra.NraeNode, Optional[List[str]]]:
+    if len(items) == 1 and isinstance(items[0].expr, sql.Star):
+        # select *: the row record without the alias bookkeeping fields.
+        body: nra.NraeNode = b.id_()
+        for alias in aliases:
+            body = b.remove(body, ALIAS_PREFIX + alias)
+        return b.chi(body, stream), None
+    fields: List[str] = []
+    exprs: Dict[str, nra.NraeNode] = {}
+    for index, item in enumerate(items):
+        if isinstance(item.expr, sql.Star):
+            raise SqlTranslationError("* must be the only select item")
+        name = item.alias or _implied_name(item.expr, index)
+        if name in exprs:
+            raise SqlTranslationError("duplicate output column %r" % name)
+        fields.append(name)
+        exprs[name] = _compile_expr(item.expr, context, grouped)
+    exprs.update(hidden or {})
+    return b.chi(_with_row_env(b.record(exprs)), stream), fields
+
+
+def _implied_name(expr: sql.SqlNode, index: int) -> str:
+    if isinstance(expr, sql.Column):
+        return expr.name
+    return "col%d" % (index + 1)
+
+
+# -- expressions -----------------------------------------------------------------
+
+_COMPARISONS = {
+    "=": ops.OpEq,
+    "<": ops.OpLt,
+    "<=": ops.OpLe,
+    ">": ops.OpGt,
+    ">=": ops.OpGe,
+}
+
+_ARITHMETIC = {
+    "+": ops.OpAdd,
+    "-": ops.OpSub,
+    "*": ops.OpMult,
+    "/": ops.OpDiv,
+}
+
+_DATE_SHIFT = {
+    ("+", "day"): ops.OpDatePlusDays,
+    ("-", "day"): ops.OpDateMinusDays,
+    ("+", "month"): ops.OpDatePlusMonths,
+    ("-", "month"): ops.OpDateMinusMonths,
+    ("+", "year"): ops.OpDatePlusYears,
+    ("-", "year"): ops.OpDateMinusYears,
+}
+
+
+def _compile_expr(
+    expr: sql.SqlNode, context: _Context, grouped: bool
+) -> nra.NraeNode:
+    """Compile an expression to a plan reading the environment only."""
+    if isinstance(expr, sql.Literal):
+        return b.const(expr.value)
+    if isinstance(expr, sql.Interval):
+        raise SqlTranslationError("interval literal outside date arithmetic")
+    if isinstance(expr, sql.Column):
+        if expr.table is not None:
+            return b.dot(b.dot(b.env(), ALIAS_PREFIX + expr.table), expr.name)
+        return b.dot(b.env(), expr.name)
+    if isinstance(expr, sql.UnaryExpr):
+        operand = _compile_expr(expr.operand, context, grouped)
+        if expr.op == "-":
+            return b.unop(ops.OpNumNeg(), operand)
+        if expr.op == "not":
+            return b.neg(operand)
+        raise SqlTranslationError("unknown unary operator %r" % expr.op)
+    if isinstance(expr, sql.BinaryExpr):
+        return _compile_binary(expr, context, grouped)
+    if isinstance(expr, sql.Between):
+        value = _compile_expr(expr.expr, context, grouped)
+        low = _compile_expr(expr.low, context, grouped)
+        high = _compile_expr(expr.high, context, grouped)
+        inside = b.and_(
+            b.binop(ops.OpLe(), low, value), b.binop(ops.OpLe(), value, high)
+        )
+        return b.neg(inside) if expr.negated else inside
+    if isinstance(expr, sql.InList):
+        value = _compile_expr(expr.expr, context, grouped)
+        items = [_compile_expr(item, context, grouped) for item in expr.items]
+        if all(isinstance(item, nra.Const) for item in items):
+            bag_plan: nra.NraeNode = b.const(Bag([item.value for item in items]))
+        else:
+            bag_plan = b.coll(items[0])
+            for item in items[1:]:
+                bag_plan = b.union(bag_plan, b.coll(item))
+        membership = b.member(value, bag_plan)
+        return b.neg(membership) if expr.negated else membership
+    if isinstance(expr, sql.InQuery):
+        value = _compile_expr(expr.expr, context, grouped)
+        values_plan = _compile_query_values(expr.query, context)
+        membership = b.member(value, values_plan)
+        return b.neg(membership) if expr.negated else membership
+    if isinstance(expr, sql.Exists):
+        sub, _ = _compile_query(expr.query, context)
+        empty = b.eq(b.count(sub), b.const(0))
+        return empty if expr.negated else b.neg(empty)
+    if isinstance(expr, sql.Like):
+        value = _compile_expr(expr.expr, context, grouped)
+        match = b.unop(ops.OpLike(expr.pattern), value)
+        return b.neg(match) if expr.negated else match
+    if isinstance(expr, sql.Case):
+        return _compile_case(expr, context, grouped)
+    if isinstance(expr, sql.Aggregate):
+        return _compile_aggregate(expr, context, grouped)
+    if isinstance(expr, sql.Extract):
+        arg = _compile_expr(expr.expr, context, grouped)
+        part_ops = {
+            "year": ops.OpDateYear,
+            "month": ops.OpDateMonth,
+            "day": ops.OpDateDay,
+        }
+        if expr.part not in part_ops:
+            raise SqlTranslationError("unsupported extract part %r" % expr.part)
+        return b.unop(part_ops[expr.part](), arg)
+    if isinstance(expr, sql.Substring):
+        arg = _compile_expr(expr.expr, context, grouped)
+        return b.unop(ops.OpSubstring(expr.start, expr.length), arg)
+    if isinstance(expr, sql.ScalarQuery):
+        return b.elem(_compile_query_values(expr.query, context))
+    raise SqlTranslationError("unsupported expression %r" % (expr,))
+
+
+def _compile_binary(
+    expr: sql.BinaryExpr, context: _Context, grouped: bool
+) -> nra.NraeNode:
+    # date ± interval
+    if expr.op in ("+", "-") and isinstance(expr.right, sql.Interval):
+        op_cls = _DATE_SHIFT[(expr.op, expr.right.unit)]
+        left = _compile_expr(expr.left, context, grouped)
+        return b.binop(op_cls(), left, b.const(expr.right.amount))
+    left = _compile_expr(expr.left, context, grouped)
+    right = _compile_expr(expr.right, context, grouped)
+    if expr.op == "<>":
+        return b.neg(b.eq(left, right))
+    if expr.op in _COMPARISONS:
+        return b.binop(_COMPARISONS[expr.op](), left, right)
+    if expr.op in _ARITHMETIC:
+        return b.binop(_ARITHMETIC[expr.op](), left, right)
+    if expr.op == "and":
+        return b.and_(left, right)
+    if expr.op == "or":
+        return b.or_(left, right)
+    if expr.op == "||":
+        return b.binop(ops.OpStrConcat(), left, right)
+    raise SqlTranslationError("unknown binary operator %r" % expr.op)
+
+
+def _compile_case(expr: sql.Case, context: _Context, grouped: bool) -> nra.NraeNode:
+    otherwise: nra.NraeNode
+    if expr.otherwise is not None:
+        otherwise = _compile_expr(expr.otherwise, context, grouped)
+    else:
+        otherwise = b.const(None)
+    plan = otherwise
+    for cond, value in reversed(expr.branches):
+        plan = b.if_then_else(
+            _compile_expr(cond, context, grouped),
+            _compile_expr(value, context, grouped),
+            plan,
+        )
+    return plan
+
+
+def _compile_aggregate(
+    expr: sql.Aggregate, context: _Context, grouped: bool
+) -> nra.NraeNode:
+    if not grouped:
+        raise SqlTranslationError(
+            "aggregate %r outside a grouped select" % expr.func
+        )
+    partition = b.dot(b.env(), PARTITION_FIELD)
+    if expr.func == "count" and expr.arg is None:
+        return b.count(partition)
+    if expr.arg is None:
+        raise SqlTranslationError("%s(*) is only valid for count" % expr.func)
+    arg = _compile_expr(expr.arg, context, grouped=False)
+    values = b.chi(_with_row_env(arg), partition)
+    if expr.distinct:
+        values = b.distinct(values)
+    agg_ops = {
+        "count": ops.OpCount,
+        "sum": ops.OpSum,
+        "avg": ops.OpAvg,
+        "min": ops.OpMin,
+        "max": ops.OpMax,
+    }
+    return b.unop(agg_ops[expr.func](), values)
+
+
+def _compile_query_values(query: sql.Query, context: _Context) -> nra.NraeNode:
+    """A subquery in value position: the bag of its single output column."""
+    plan, fields = _compile_query(query, context)
+    if fields is None or len(fields) != 1:
+        raise SqlTranslationError(
+            "subquery in value position must produce one column, got %r" % (fields,)
+        )
+    return b.chi(b.dot(b.id_(), fields[0]), plan)

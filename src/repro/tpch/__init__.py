@@ -1,0 +1,10 @@
+"""The TPC-H substrate: schema, mini generator, queries, references (§6)."""
+
+from repro.tpch.datagen import MICRO, SMALL, TpchScale, generate
+from repro.tpch.queries import EXECUTABLE, QUERIES, QUERY_NAMES
+from repro.tpch.reference import REFERENCES
+
+__all__ = [
+    "EXECUTABLE", "MICRO", "QUERIES", "QUERY_NAMES", "REFERENCES",
+    "SMALL", "TpchScale", "generate",
+]

@@ -1,0 +1,131 @@
+"""TPC-H schema (the 8 tables), used by the data generator and docs."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+#: table → (column, kind) pairs; kinds are informal ("int", "float",
+#: "str", "date") and drive the reference data generator.
+TABLES: Dict[str, Tuple[Tuple[str, str], ...]] = {
+    "region": (
+        ("r_regionkey", "int"),
+        ("r_name", "str"),
+        ("r_comment", "str"),
+    ),
+    "nation": (
+        ("n_nationkey", "int"),
+        ("n_name", "str"),
+        ("n_regionkey", "int"),
+        ("n_comment", "str"),
+    ),
+    "supplier": (
+        ("s_suppkey", "int"),
+        ("s_name", "str"),
+        ("s_address", "str"),
+        ("s_nationkey", "int"),
+        ("s_phone", "str"),
+        ("s_acctbal", "float"),
+        ("s_comment", "str"),
+    ),
+    "part": (
+        ("p_partkey", "int"),
+        ("p_name", "str"),
+        ("p_mfgr", "str"),
+        ("p_brand", "str"),
+        ("p_type", "str"),
+        ("p_size", "int"),
+        ("p_container", "str"),
+        ("p_retailprice", "float"),
+        ("p_comment", "str"),
+    ),
+    "partsupp": (
+        ("ps_partkey", "int"),
+        ("ps_suppkey", "int"),
+        ("ps_availqty", "int"),
+        ("ps_supplycost", "float"),
+        ("ps_comment", "str"),
+    ),
+    "customer": (
+        ("c_custkey", "int"),
+        ("c_name", "str"),
+        ("c_address", "str"),
+        ("c_nationkey", "int"),
+        ("c_phone", "str"),
+        ("c_acctbal", "float"),
+        ("c_mktsegment", "str"),
+        ("c_comment", "str"),
+    ),
+    "orders": (
+        ("o_orderkey", "int"),
+        ("o_custkey", "int"),
+        ("o_orderstatus", "str"),
+        ("o_totalprice", "float"),
+        ("o_orderdate", "date"),
+        ("o_orderpriority", "str"),
+        ("o_clerk", "str"),
+        ("o_shippriority", "int"),
+        ("o_comment", "str"),
+    ),
+    "lineitem": (
+        ("l_orderkey", "int"),
+        ("l_partkey", "int"),
+        ("l_suppkey", "int"),
+        ("l_linenumber", "int"),
+        ("l_quantity", "int"),
+        ("l_extendedprice", "float"),
+        ("l_discount", "float"),
+        ("l_tax", "float"),
+        ("l_returnflag", "str"),
+        ("l_linestatus", "str"),
+        ("l_shipdate", "date"),
+        ("l_commitdate", "date"),
+        ("l_receiptdate", "date"),
+        ("l_shipinstruct", "str"),
+        ("l_shipmode", "str"),
+        ("l_comment", "str"),
+    ),
+}
+
+def table_types():
+    """The schema as data-model types: table → TBag(TRecord(...)).
+
+    Feeds the type-directed optimizer (``repro.optim.typed_rules``).
+    """
+    from repro.data.types import TBag, TDate, TFloat, TNat, TRecord, TString
+
+    kind_types = {
+        "int": TNat,
+        "float": TFloat,
+        "str": TString,
+        "date": TDate,
+    }
+    return {
+        table: TBag(TRecord({name: kind_types[kind]() for name, kind in columns}))
+        for table, columns in TABLES.items()
+    }
+
+
+REGIONS = ("AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST")
+
+NATIONS = (
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+)
+
+SEGMENTS = ("AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD")
+PRIORITIES = ("1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW")
+SHIP_MODES = ("REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB")
+SHIP_INSTRUCTS = ("DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN")
+CONTAINERS = (
+    "SM CASE", "SM BOX", "SM PACK", "SM PKG",
+    "MED BAG", "MED BOX", "MED PKG", "MED PACK",
+    "LG CASE", "LG BOX", "LG PACK", "LG PKG",
+)
+TYPE_SYLLABLES_1 = ("STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO")
+TYPE_SYLLABLES_2 = ("ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED")
+TYPE_SYLLABLES_3 = ("TIN", "NICKEL", "BRASS", "STEEL", "COPPER")

@@ -1,0 +1,21 @@
+"""Translations between the compiler's intermediate languages (paper §5–§7).
+
+Every translation is accompanied by property tests asserting the
+correctness statement of the corresponding paper figure or theorem.
+"""
+
+from repro.translate.camp_to_nra import camp_to_nra
+from repro.translate.camp_to_nraenv import camp_to_nraenv
+from repro.translate.lambda_nra_to_nraenv import lnra_to_nraenv
+from repro.translate.nraenv_to_nnrc import nra_to_nnrc, nraenv_to_nnrc
+from repro.translate.nraenv_to_nra import encode_input, nraenv_to_nra
+
+__all__ = [
+    "camp_to_nra",
+    "camp_to_nraenv",
+    "encode_input",
+    "lnra_to_nraenv",
+    "nra_to_nnrc",
+    "nraenv_to_nnrc",
+    "nraenv_to_nra",
+]

@@ -1,0 +1,107 @@
+"""CAMP → NRA direct translation (paper Figure 11, left column; from [34]).
+
+This is the *baseline* path that Figure 9 compares against: without
+environment support in the algebra, the two CAMP inputs must be encoded
+in the single NRA input as a record ``[E: environment, D: datum]``, and
+every construct that touches ``it`` or ``env`` pays for packing and
+unpacking that record with unnests (``ρ``).  The result is the plan-size
+blow-up the paper reports (e.g. p01: 417 operators via NRA vs 78 via
+NRAe, before optimization).
+"""
+
+from __future__ import annotations
+
+from repro.camp import ast as camp
+from repro.data.model import Record
+from repro.nraenv import ast as nraenv
+from repro.nraenv import builders as b
+from repro.nraenv.ast import unnest
+
+DATA_FIELD = "D"
+ENV_FIELD = "E"
+_T = "T"
+_T1 = "T1"
+_T2 = "T2"
+_E1 = "E1"
+_E2 = "E2"
+
+
+def _in_d() -> nraenv.NraeNode:
+    return b.dot(b.id_(), DATA_FIELD)
+
+
+def _in_e() -> nraenv.NraeNode:
+    return b.dot(b.id_(), ENV_FIELD)
+
+
+def camp_to_nra(pattern: camp.CampNode) -> nraenv.NraeNode:
+    """Translate a CAMP pattern to a pure-NRA plan.
+
+    The plan expects input ``[E: γ, D: d]`` and returns ∅ on match
+    failure or ``{v}`` on success, like the NRAe translation.
+    """
+    if isinstance(pattern, camp.PConst):
+        return b.coll(nraenv.Const(pattern.value))
+    if isinstance(pattern, camp.PIt):
+        return b.coll(_in_d())
+    if isinstance(pattern, camp.PEnv):
+        return b.coll(_in_e())
+    if isinstance(pattern, camp.PGetConstant):
+        return b.coll(nraenv.GetConstant(pattern.cname))
+    if isinstance(pattern, camp.PUnop):
+        return b.chi(nraenv.Unop(pattern.op, b.id_()), camp_to_nra(pattern.arg))
+    if isinstance(pattern, camp.PBinop):
+        left = b.chi(b.rec_field(_T1, b.id_()), camp_to_nra(pattern.left))
+        right = b.chi(b.rec_field(_T2, b.id_()), camp_to_nra(pattern.right))
+        body = nraenv.Binop(pattern.op, b.dot(b.id_(), _T1), b.dot(b.id_(), _T2))
+        return b.chi(body, b.product(left, right))
+    if isinstance(pattern, camp.PMap):
+        # {flatten(χ⟨JpK⟩( ρ_{D/{T}}( {[E: In.E] ⊕ [T: In.D]} ) ))}
+        seed = b.coll(
+            b.concat(b.rec_field(ENV_FIELD, _in_e()), b.rec_field(_T, _in_d()))
+        )
+        return b.coll(
+            b.flatten_(b.chi(camp_to_nra(pattern.body), unnest(DATA_FIELD, _T, seed)))
+        )
+    if isinstance(pattern, camp.PAssert):
+        empty_rec = nraenv.Const(Record({}))
+        return b.chi(empty_rec, b.sigma(b.id_(), camp_to_nra(pattern.body)))
+    if isinstance(pattern, camp.POrElse):
+        return b.default(camp_to_nra(pattern.left), camp_to_nra(pattern.right))
+    if isinstance(pattern, camp.PLetIt):
+        # flatten(χ⟨Jp2K⟩( ρ_{D/{T}}( {[E: In.E] ⊕ [T: Jp1K]} ) ))
+        seed = b.coll(
+            b.concat(
+                b.rec_field(ENV_FIELD, _in_e()),
+                b.rec_field(_T, camp_to_nra(pattern.defn)),
+            )
+        )
+        return b.flatten_(
+            b.chi(camp_to_nra(pattern.body), unnest(DATA_FIELD, _T, seed))
+        )
+    if isinstance(pattern, camp.PLetEnv):
+        # flatten(χ⟨Jp2K⟩(
+        #   χ⟨[E: In.E2] ⊕ [D: In.D]⟩(
+        #     ρ_{E2/{T2}}( χ⟨In ⊕ [T2: In.E ⊗ In.E1]⟩(
+        #       ρ_{E1/{T1}}( {In ⊕ [T1: Jp1K]} ) ) ) ) ))
+        seed = b.coll(b.concat(b.id_(), b.rec_field(_T1, camp_to_nra(pattern.defn))))
+        with_bindings = unnest(_E1, _T1, seed)
+        merged = b.chi(
+            b.concat(b.id_(), b.rec_field(_T2, b.merge(_in_e(), b.dot(b.id_(), _E1)))),
+            with_bindings,
+        )
+        spread = unnest(_E2, _T2, merged)
+        repacked = b.chi(
+            b.concat(
+                b.rec_field(ENV_FIELD, b.dot(b.id_(), _E2)),
+                b.rec_field(DATA_FIELD, _in_d()),
+            ),
+            spread,
+        )
+        return b.flatten_(b.chi(camp_to_nra(pattern.body), repacked))
+    raise TypeError("unknown CAMP node %r" % (pattern,))
+
+
+def encode_input(env_value, datum):
+    """Build the encoded NRA input record ``[E: γ, D: d]``."""
+    return Record({ENV_FIELD: env_value, DATA_FIELD: datum})

@@ -1,0 +1,68 @@
+"""CAMP → NRAe translation (paper Figure 11, right column).
+
+The translation invariant from [34] is kept: the output of a translated
+pattern is always a bag, either ∅ (recoverable match failure) or a
+singleton ``{v}`` (success with value ``v``).  The two CAMP inputs map
+*directly* onto the two NRAe inputs — the simplification the paper's
+Section 7 is about::
+
+    J it K  = {In}          J env K = {Env}
+
+    J d K                 = {d}
+    J ⊙p K                = χ⟨⊙In⟩(JpK)
+    J p1 ⊡ p2 K           = χ⟨In.T1 ⊡ In.T2⟩(χ⟨[T1:In]⟩(Jp1K) × χ⟨[T2:In]⟩(Jp2K))
+    J map p K             = { flatten(χ⟨JpK⟩(In)) }
+    J assert p K          = χ⟨[]⟩(σ⟨In⟩(JpK))
+    J p1 || p2 K          = Jp1K || Jp2K
+    J let it = p1 in p2 K = flatten(χ⟨Jp2K⟩(Jp1K))
+    J let env += p1 in p2 K
+                          = flatten( χe⟨Jp2K⟩ ∘e flatten(χ⟨In ⊗ Env⟩(Jp1K)) )
+"""
+
+from __future__ import annotations
+
+from repro.camp import ast as camp
+from repro.data.model import Record
+from repro.nraenv import ast as nraenv
+from repro.nraenv import builders as b
+
+_T1 = "T1"
+_T2 = "T2"
+
+
+def camp_to_nraenv(pattern: camp.CampNode) -> nraenv.NraeNode:
+    """Translate a CAMP pattern to an NRAe plan returning ∅ or ``{v}``."""
+    if isinstance(pattern, camp.PConst):
+        return b.coll(nraenv.Const(pattern.value))
+    if isinstance(pattern, camp.PIt):
+        return b.coll(b.id_())
+    if isinstance(pattern, camp.PEnv):
+        return b.coll(b.env())
+    if isinstance(pattern, camp.PGetConstant):
+        return b.coll(nraenv.GetConstant(pattern.cname))
+    if isinstance(pattern, camp.PUnop):
+        return b.chi(nraenv.Unop(pattern.op, b.id_()), camp_to_nraenv(pattern.arg))
+    if isinstance(pattern, camp.PBinop):
+        left = b.chi(b.rec_field(_T1, b.id_()), camp_to_nraenv(pattern.left))
+        right = b.chi(b.rec_field(_T2, b.id_()), camp_to_nraenv(pattern.right))
+        body = nraenv.Binop(pattern.op, b.dot(b.id_(), _T1), b.dot(b.id_(), _T2))
+        return b.chi(body, b.product(left, right))
+    if isinstance(pattern, camp.PMap):
+        return b.coll(b.flatten_(b.chi(camp_to_nraenv(pattern.body), b.id_())))
+    if isinstance(pattern, camp.PAssert):
+        empty_rec = nraenv.Const(Record({}))
+        return b.chi(empty_rec, b.sigma(b.id_(), camp_to_nraenv(pattern.body)))
+    if isinstance(pattern, camp.POrElse):
+        return b.default(camp_to_nraenv(pattern.left), camp_to_nraenv(pattern.right))
+    if isinstance(pattern, camp.PLetIt):
+        return b.flatten_(
+            b.chi(camp_to_nraenv(pattern.body), camp_to_nraenv(pattern.defn))
+        )
+    if isinstance(pattern, camp.PLetEnv):
+        merged_envs = b.flatten_(
+            b.chi(b.merge(b.id_(), b.env()), camp_to_nraenv(pattern.defn))
+        )
+        return b.flatten_(
+            b.appenv(b.chie(camp_to_nraenv(pattern.body)), merged_envs)
+        )
+    raise TypeError("unknown CAMP node %r" % (pattern,))

@@ -1,0 +1,64 @@
+"""NRAλ → NRAe translation (paper Figure 6).
+
+::
+
+    J x K            = Env.x
+    J d K            = d
+    J ⊙l K           = ⊙JlK
+    J l1 ⊡ l2 K      = Jl1K ⊡ Jl2K
+    J map (f) l K    = χ⟨JfK⟩(JlK)
+    J d-join (f) l K = ⋈d⟨JfK⟩(JlK)
+    J l1 × l2 K      = Jl1K × Jl2K
+    J filter (f) l K = σ⟨JfK⟩(JlK)
+    J λx.l K         = JlK ∘e (Env ⊕ [x: In])
+
+Lambdas become an environment extension: the argument is pushed into the
+reified environment under the variable's name, and variable occurrences
+read it back with ``Env.x``.  Record concatenation's right bias gives
+exactly lexical shadowing.
+"""
+
+from __future__ import annotations
+
+from repro.lambda_nra import ast as lnra
+from repro.nraenv import ast as nraenv
+from repro.nraenv import builders as b
+
+
+def lnra_to_nraenv(expr: lnra.LnraNode) -> nraenv.NraeNode:
+    """Translate an NRAλ expression to an equivalent NRAe plan.
+
+    Correctness (tested in ``tests/translate``): for every variable
+    environment ρ, ``eval_lnra(l, ρ) == eval_nraenv(JlK, record(ρ), d)``
+    for any input datum ``d`` (the translated plan ignores its input
+    until a lambda binds it).
+    """
+    if isinstance(expr, lnra.LVar):
+        return b.dot(b.env(), expr.name)
+    if isinstance(expr, lnra.LConst):
+        return nraenv.Const(expr.value)
+    if isinstance(expr, lnra.LTable):
+        return nraenv.GetConstant(expr.cname)
+    if isinstance(expr, lnra.LUnop):
+        return nraenv.Unop(expr.op, lnra_to_nraenv(expr.arg))
+    if isinstance(expr, lnra.LBinop):
+        return nraenv.Binop(
+            expr.op, lnra_to_nraenv(expr.left), lnra_to_nraenv(expr.right)
+        )
+    if isinstance(expr, lnra.LMap):
+        return nraenv.Map(_lambda(expr.fn), lnra_to_nraenv(expr.arg))
+    if isinstance(expr, lnra.LFilter):
+        return nraenv.Select(_lambda(expr.fn), lnra_to_nraenv(expr.arg))
+    if isinstance(expr, lnra.LDJoin):
+        return nraenv.DepJoin(_lambda(expr.fn), lnra_to_nraenv(expr.arg))
+    if isinstance(expr, lnra.LProduct):
+        return nraenv.Product(
+            lnra_to_nraenv(expr.left), lnra_to_nraenv(expr.right)
+        )
+    raise TypeError("unknown NRAλ node %r" % (expr,))
+
+
+def _lambda(fn: lnra.Lambda) -> nraenv.NraeNode:
+    """``Jλx.lK = JlK ∘e (Env ⊕ [x: In])``."""
+    body = lnra_to_nraenv(fn.body)
+    return b.appenv(body, b.concat(b.env(), b.rec_field(fn.var, b.id_())))

@@ -1,0 +1,155 @@
+"""NRAe → NNRC translation (paper Figure 5).
+
+The translation function ``JqK_{xd,xe}`` is parameterized by two
+variables encoding the input value (``xd``) and the environment
+(``xe``); unlike the NRA translation, no record packing is needed —
+NRAe's two implicit inputs map directly onto two NNRC variables::
+
+    J In K          = xd
+    J Env K         = xe
+    J q2 ∘ q1 K     = let x = Jq1K_{xd,xe} in Jq2K_{x,xe}      (x fresh)
+    J q2 ∘e q1 K    = let x = Jq1K_{xd,xe} in Jq2K_{xd,x}      (x fresh)
+    J χ⟨q2⟩(q1) K   = { Jq2K_{x,xe} | x ∈ Jq1K_{xd,xe} }       (x fresh)
+    J χe⟨q2⟩ K      = { Jq2K_{xd,x} | x ∈ xe }                 (x fresh)
+    ...
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.data import operators as ops
+from repro.data.model import Bag
+from repro.nnrc import ast as nnrc
+from repro.nnrc.freevars import FreshNames
+from repro.nraenv import ast as nraenv
+
+#: Default variable names for the top-level input and environment.
+INPUT_VAR = "d0"
+ENV_VAR = "e0"
+
+
+def nraenv_to_nnrc(
+    plan: nraenv.NraeNode,
+    input_var: str = INPUT_VAR,
+    env_var: str = ENV_VAR,
+) -> nnrc.NnrcNode:
+    """Translate an NRAe plan to an equivalent NNRC expression.
+
+    Correctness: ``eval_nraenv(q, γ, d) == eval_nnrc(JqK, {xd: d, xe: γ})``
+    (checked by property tests).
+    """
+    names = FreshNames(avoid=[input_var, env_var])
+    return _translate(plan, input_var, env_var, names)
+
+
+def _translate(
+    plan: nraenv.NraeNode, xd: str, xe: str, names: FreshNames
+) -> nnrc.NnrcNode:
+    if isinstance(plan, nraenv.Const):
+        return nnrc.Const(plan.value)
+    if isinstance(plan, nraenv.ID):
+        return nnrc.Var(xd)
+    if isinstance(plan, nraenv.Env):
+        return nnrc.Var(xe)
+    if isinstance(plan, nraenv.GetConstant):
+        return nnrc.GetConstant(plan.cname)
+    if isinstance(plan, nraenv.Unop):
+        return nnrc.Unop(plan.op, _translate(plan.arg, xd, xe, names))
+    if isinstance(plan, nraenv.Binop):
+        return nnrc.Binop(
+            plan.op,
+            _translate(plan.left, xd, xe, names),
+            _translate(plan.right, xd, xe, names),
+        )
+    if isinstance(plan, nraenv.App):
+        fresh = names.fresh("t")
+        return nnrc.Let(
+            fresh,
+            _translate(plan.before, xd, xe, names),
+            _translate(plan.after, fresh, xe, names),
+        )
+    if isinstance(plan, nraenv.AppEnv):
+        fresh = names.fresh("e")
+        return nnrc.Let(
+            fresh,
+            _translate(plan.before, xd, xe, names),
+            _translate(plan.after, xd, fresh, names),
+        )
+    if isinstance(plan, nraenv.Map):
+        fresh = names.fresh("x")
+        return nnrc.For(
+            fresh,
+            _translate(plan.input, xd, xe, names),
+            _translate(plan.body, fresh, xe, names),
+        )
+    if isinstance(plan, nraenv.MapEnv):
+        fresh = names.fresh("g")
+        return nnrc.For(fresh, nnrc.Var(xe), _translate(plan.body, xd, fresh, names))
+    if isinstance(plan, nraenv.Select):
+        # flatten({ Jq2K ? {x} : ∅ | x ∈ Jq1K })
+        fresh = names.fresh("x")
+        keep = nnrc.If(
+            _translate(plan.pred, fresh, xe, names),
+            nnrc.Unop(ops.OpBag(), nnrc.Var(fresh)),
+            nnrc.Const(Bag([])),
+        )
+        return nnrc.Unop(
+            ops.OpFlatten(),
+            nnrc.For(fresh, _translate(plan.input, xd, xe, names), keep),
+        )
+    if isinstance(plan, nraenv.Product):
+        # flatten({ {x1 ⊕ x2 | x2 ∈ Jq2K} | x1 ∈ Jq1K })
+        x1 = names.fresh("x")
+        x2 = names.fresh("y")
+        inner = nnrc.For(
+            x2,
+            _translate(plan.right, xd, xe, names),
+            nnrc.Binop(ops.OpConcat(), nnrc.Var(x1), nnrc.Var(x2)),
+        )
+        return nnrc.Unop(
+            ops.OpFlatten(),
+            nnrc.For(x1, _translate(plan.left, xd, xe, names), inner),
+        )
+    if isinstance(plan, nraenv.DepJoin):
+        # flatten({ {x1 ⊕ x2 | x2 ∈ Jq2K_{x1}} | x1 ∈ Jq1K })
+        x1 = names.fresh("x")
+        x2 = names.fresh("y")
+        inner = nnrc.For(
+            x2,
+            _translate(plan.body, x1, xe, names),
+            nnrc.Binop(ops.OpConcat(), nnrc.Var(x1), nnrc.Var(x2)),
+        )
+        return nnrc.Unop(
+            ops.OpFlatten(),
+            nnrc.For(x1, _translate(plan.input, xd, xe, names), inner),
+        )
+    if isinstance(plan, nraenv.Default):
+        # let x = Jq1K in ((x = ∅) ? Jq2K : x)
+        fresh = names.fresh("t")
+        return nnrc.Let(
+            fresh,
+            _translate(plan.left, xd, xe, names),
+            nnrc.If(
+                nnrc.Binop(ops.OpEq(), nnrc.Var(fresh), nnrc.Const(Bag([]))),
+                _translate(plan.right, xd, xe, names),
+                nnrc.Var(fresh),
+            ),
+        )
+    raise TypeError("unknown NRAe node %r" % (plan,))
+
+
+def nra_to_nnrc(plan: nraenv.NraeNode, input_var: str = INPUT_VAR) -> nnrc.NnrcNode:
+    """NRA → NNRC ([34]): the environment-free restriction of Figure 5.
+
+    Translates a pure-NRA plan; used by the Figure 9 comparison path
+    (CAMP → NRA → NNRC).
+    """
+    from repro.nraenv.ast import is_nra
+
+    if not is_nra(plan):
+        raise ValueError("nra_to_nnrc requires a pure-NRA plan")
+    # The translation never consults xe on NRA nodes, so reuse Figure 5
+    # with a dummy environment variable.
+    names = FreshNames(avoid=[input_var, "_no_env"])
+    return _translate(plan, input_var, "_no_env", names)

@@ -1,0 +1,110 @@
+"""NRAe → NRA translation (paper Figure 4).
+
+The two implicit inputs of NRAe (``In`` and ``Env``) are encoded as one
+NRA input record with fields ``D`` (datum) and ``E`` (environment)::
+
+    J In K        = In.D
+    J Env K       = In.E
+    J q2 ∘ q1 K   = Jq2K ∘ ([E: In.E] ⊕ [D: Jq1K])
+    J q2 ∘e q1 K  = Jq2K ∘ ([E: Jq1K] ⊕ [D: In.D])
+    J χ⟨q2⟩(q1) K = χ⟨Jq2K⟩( ρ_{D/{T1}}( {[E: In.E] ⊕ [T1: Jq1K]} ) )
+    ...
+
+(one figure entry, ``Jχe⟨q2⟩K``, writes ``[D : In]`` where the input
+datum must be preserved; we implement ``[D : In.D]``, which is what the
+correctness statement of Theorem 2 requires).
+
+Theorem 2 states the round-trip correctness::
+
+    γ ⊢ q @ d ⇓a d'   ⇔   ⊢ JqK @ ([E: γ] ⊕ [D: d]) ⇓n d'
+
+and is checked empirically by the property tests.
+"""
+
+from __future__ import annotations
+
+from repro.nraenv import ast
+from repro.nraenv import builders as b
+from repro.nraenv.ast import unnest
+
+#: Field names of the Figure 4 encoding.
+DATA_FIELD = "D"
+ENV_FIELD = "E"
+_T1 = "T1"
+_T2 = "T2"
+
+
+def _in_d() -> ast.NraeNode:
+    return b.dot(b.id_(), DATA_FIELD)
+
+
+def _in_e() -> ast.NraeNode:
+    return b.dot(b.id_(), ENV_FIELD)
+
+
+def _paired(env_part: ast.NraeNode, data_part: ast.NraeNode) -> ast.NraeNode:
+    """``[E: env_part] ⊕ [D: data_part]``."""
+    return b.concat(b.rec_field(ENV_FIELD, env_part), b.rec_field(DATA_FIELD, data_part))
+
+
+def _spread(translated_input: ast.NraeNode) -> ast.NraeNode:
+    """``ρ_{D/{T1}}({[E: In.E] ⊕ [T1: Jq1K]})``.
+
+    Produces one ``[E: γ, D: dᵢ]`` record per element ``dᵢ`` of the
+    translated input's bag — the per-element encoded inputs that the
+    translated body consumes.
+    """
+    seed = b.coll(b.concat(b.rec_field(ENV_FIELD, _in_e()), b.rec_field(_T1, translated_input)))
+    return unnest(DATA_FIELD, _T1, seed)
+
+
+def nraenv_to_nra(plan: ast.NraeNode) -> ast.NraeNode:
+    """Translate an NRAe plan to an equivalent pure-NRA plan (Figure 4)."""
+    if isinstance(plan, ast.Const):
+        return plan
+    if isinstance(plan, ast.ID):
+        return _in_d()
+    if isinstance(plan, ast.Env):
+        return _in_e()
+    if isinstance(plan, ast.GetConstant):
+        return plan
+    if isinstance(plan, ast.App):
+        return b.comp(
+            nraenv_to_nra(plan.after), _paired(_in_e(), nraenv_to_nra(plan.before))
+        )
+    if isinstance(plan, ast.AppEnv):
+        return b.comp(
+            nraenv_to_nra(plan.after), _paired(nraenv_to_nra(plan.before), _in_d())
+        )
+    if isinstance(plan, ast.Unop):
+        return ast.Unop(plan.op, nraenv_to_nra(plan.arg))
+    if isinstance(plan, ast.Binop):
+        return ast.Binop(plan.op, nraenv_to_nra(plan.left), nraenv_to_nra(plan.right))
+    if isinstance(plan, ast.Map):
+        return ast.Map(nraenv_to_nra(plan.body), _spread(nraenv_to_nra(plan.input)))
+    if isinstance(plan, ast.Select):
+        selected = ast.Select(
+            nraenv_to_nra(plan.pred), _spread(nraenv_to_nra(plan.input))
+        )
+        return ast.Map(_in_d(), selected)
+    if isinstance(plan, ast.Product):
+        return ast.Product(nraenv_to_nra(plan.left), nraenv_to_nra(plan.right))
+    if isinstance(plan, ast.DepJoin):
+        inner = ast.Map(b.rec_field(_T2, b.id_()), nraenv_to_nra(plan.body))
+        joined = ast.DepJoin(inner, _spread(nraenv_to_nra(plan.input)))
+        return ast.Map(b.concat(_in_d(), b.dot(b.id_(), _T2)), joined)
+    if isinstance(plan, ast.Default):
+        return ast.Default(nraenv_to_nra(plan.left), nraenv_to_nra(plan.right))
+    if isinstance(plan, ast.MapEnv):
+        seed = b.coll(
+            b.concat(b.rec_field(_T1, _in_e()), b.rec_field(DATA_FIELD, _in_d()))
+        )
+        return ast.Map(nraenv_to_nra(plan.body), unnest(ENV_FIELD, _T1, seed))
+    raise TypeError("unknown NRAe node %r" % (plan,))
+
+
+def encode_input(env_value, datum):
+    """Build the encoded NRA input ``[E: γ] ⊕ [D: d]`` of Theorem 2."""
+    from repro.data.model import Record
+
+    return Record({ENV_FIELD: env_value, DATA_FIELD: datum})

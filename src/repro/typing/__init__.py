@@ -1,0 +1,7 @@
+"""Type checking for the intermediate languages (paper §4.1, §8)."""
+
+from repro.typing.nnrc_typing import type_nnrc
+from repro.typing.nraenv_typing import type_nraenv
+from repro.typing.op_typing import TypingError
+
+__all__ = ["TypingError", "type_nnrc", "type_nraenv"]

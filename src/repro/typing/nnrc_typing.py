@@ -1,0 +1,78 @@
+"""Type inference for NNRC expressions (paper §8).
+
+The calculus-side counterpart of :mod:`repro.typing.nraenv_typing`,
+with a variable-type environment instead of (env, input) types.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.data.types import QType, TBag, TBool, TBottom, TTop, is_subtype, join
+from repro.nnrc import ast
+from repro.typing.op_typing import TypingError, type_binop, type_unop
+
+
+def type_nnrc(
+    expr: ast.NnrcNode,
+    var_types: Optional[Mapping[str, QType]] = None,
+    constant_types: Optional[Mapping[str, QType]] = None,
+) -> QType:
+    """Infer the type of ``expr`` under ``var_types``."""
+    return _infer(expr, dict(var_types or {}), constant_types or {})
+
+
+def _infer(
+    expr: ast.NnrcNode, vars: Dict[str, QType], constants: Mapping[str, QType]
+) -> QType:
+    if isinstance(expr, ast.Var):
+        if expr.name not in vars:
+            raise TypingError("unbound variable %r" % expr.name)
+        return vars[expr.name]
+    if isinstance(expr, ast.Const):
+        from repro.data.types import type_of_value
+
+        return type_of_value(expr.value)
+    if isinstance(expr, ast.GetConstant):
+        if expr.cname not in constants:
+            raise TypingError("unknown database constant %r" % expr.cname)
+        return constants[expr.cname]
+    if isinstance(expr, ast.Unop):
+        return type_unop(expr.op, _infer(expr.arg, vars, constants))
+    if isinstance(expr, ast.Binop):
+        return type_binop(
+            expr.op,
+            _infer(expr.left, vars, constants),
+            _infer(expr.right, vars, constants),
+        )
+    if isinstance(expr, ast.Let):
+        defn = _infer(expr.defn, vars, constants)
+        inner = dict(vars)
+        inner[expr.var] = defn
+        return _infer(expr.body, inner, constants)
+    if isinstance(expr, ast.For):
+        source = _infer(expr.source, vars, constants)
+        if isinstance(source, TBottom):
+            element: QType = TBottom()
+        elif isinstance(source, TBag):
+            element = source.element
+        else:
+            raise TypingError("comprehension source must be a bag, got %r" % (source,))
+        inner = dict(vars)
+        inner[expr.var] = element
+        return TBag(_infer(expr.body, inner, constants))
+    if isinstance(expr, ast.If):
+        cond = _infer(expr.cond, vars, constants)
+        if not is_subtype(cond, TBool()):
+            raise TypingError("if condition must be boolean, got %r" % (cond,))
+        left = _infer(expr.then, vars, constants)
+        right = _infer(expr.otherwise, vars, constants)
+        result = join(left, right)
+        if isinstance(result, TTop) and not (
+            isinstance(left, TTop) or isinstance(right, TTop)
+        ):
+            raise TypingError(
+                "if branches have incompatible types: %r vs %r" % (left, right)
+            )
+        return result
+    raise TypingError("unknown NNRC node %r" % (expr,))

@@ -1,0 +1,118 @@
+"""Type inference for NRAe plans (paper §4.1, §8).
+
+Implements the judgment behind Definition 4 (typed rewrites): given
+types for the environment, the input, and the database constants, infer
+the plan's output type or fail with :class:`TypingError`.  Used by the
+typed-rewrite property tests: a rewrite ``q1 ⇒ q2`` must map well-typed
+``q1`` to well-typed ``q2`` *at a subtype of the same type*, and agree
+on all values of those types.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.data.types import QType, TBag, TBool, TBottom, TRecord, TTop, is_subtype
+from repro.nraenv import ast
+from repro.typing.op_typing import TypingError, type_binop, type_unop
+
+
+def type_nraenv(
+    plan: ast.NraeNode,
+    env_type: QType,
+    input_type: QType,
+    constant_types: Optional[Mapping[str, QType]] = None,
+) -> QType:
+    """Infer the output type of ``plan`` (raises TypingError if ill-typed)."""
+    constant_types = constant_types or {}
+    return _infer(plan, env_type, input_type, constant_types)
+
+
+def _element(t: QType, what: str) -> QType:
+    if isinstance(t, TBottom):
+        return TBottom()
+    if not isinstance(t, TBag):
+        raise TypingError("%s expects a bag, got %r" % (what, t))
+    return t.element
+
+
+def _infer(
+    plan: ast.NraeNode,
+    env_type: QType,
+    input_type: QType,
+    constants: Mapping[str, QType],
+) -> QType:
+    if isinstance(plan, ast.Const):
+        from repro.data.types import type_of_value
+
+        return type_of_value(plan.value)
+    if isinstance(plan, ast.ID):
+        return input_type
+    if isinstance(plan, ast.Env):
+        return env_type
+    if isinstance(plan, ast.GetConstant):
+        if plan.cname not in constants:
+            raise TypingError("unknown database constant %r" % plan.cname)
+        return constants[plan.cname]
+    if isinstance(plan, ast.App):
+        middle = _infer(plan.before, env_type, input_type, constants)
+        return _infer(plan.after, env_type, middle, constants)
+    if isinstance(plan, ast.AppEnv):
+        new_env = _infer(plan.before, env_type, input_type, constants)
+        return _infer(plan.after, new_env, input_type, constants)
+    if isinstance(plan, ast.Unop):
+        return type_unop(plan.op, _infer(plan.arg, env_type, input_type, constants))
+    if isinstance(plan, ast.Binop):
+        left = _infer(plan.left, env_type, input_type, constants)
+        right = _infer(plan.right, env_type, input_type, constants)
+        return type_binop(plan.op, left, right)
+    if isinstance(plan, ast.Map):
+        element = _element(
+            _infer(plan.input, env_type, input_type, constants), "χ"
+        )
+        return TBag(_infer(plan.body, env_type, element, constants))
+    if isinstance(plan, ast.Select):
+        source = _infer(plan.input, env_type, input_type, constants)
+        element = _element(source, "σ")
+        pred = _infer(plan.pred, env_type, element, constants)
+        if not is_subtype(pred, TBool()):
+            raise TypingError("σ predicate must be boolean, got %r" % (pred,))
+        return source
+    if isinstance(plan, (ast.Product, ast.DepJoin)):
+        if isinstance(plan, ast.Product):
+            left_el = _element(
+                _infer(plan.left, env_type, input_type, constants), "×"
+            )
+            right_el = _element(
+                _infer(plan.right, env_type, input_type, constants), "×"
+            )
+        else:
+            left_el = _element(
+                _infer(plan.input, env_type, input_type, constants), "⋈d"
+            )
+            right_el = _element(
+                _infer(plan.body, env_type, left_el, constants), "⋈d body"
+            )
+        fields = {}
+        for element in (left_el, right_el):
+            if isinstance(element, TBottom):
+                continue
+            if not isinstance(element, TRecord):
+                raise TypingError("product elements must be records, got %r" % (element,))
+            fields.update(element.field_map())
+        return TBag(TRecord(fields))
+    if isinstance(plan, ast.Default):
+        from repro.data.types import join
+
+        left = _infer(plan.left, env_type, input_type, constants)
+        right = _infer(plan.right, env_type, input_type, constants)
+        result = join(left, right)
+        if isinstance(result, TTop) and not (
+            isinstance(left, TTop) or isinstance(right, TTop)
+        ):
+            raise TypingError("|| branches have incompatible types: %r vs %r" % (left, right))
+        return result
+    if isinstance(plan, ast.MapEnv):
+        element = _element(env_type, "χe")
+        return TBag(_infer(plan.body, element, input_type, constants))
+    raise TypingError("unknown NRAe node %r" % (plan,))

@@ -1,0 +1,185 @@
+"""Typing of the unary/binary data operators (paper §8, "type system").
+
+Shared by the NRAe and NNRC type checkers.  Typing is partial:
+:class:`TypingError` means "no typing derivation" — the analog of the
+Coq development's failing typing judgment.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.data import operators as ops
+from repro.data.types import (
+    QType,
+    TBag,
+    TBool,
+    TBottom,
+    TDate,
+    TFloat,
+    TNat,
+    TRecord,
+    TString,
+    TTop,
+    TUnit,
+    is_subtype,
+    join,
+)
+
+
+class TypingError(TypeError):
+    """No typing derivation exists."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise TypingError(message)
+
+
+def _element(t: QType, what: str) -> QType:
+    if isinstance(t, TBottom):
+        return TBottom()
+    _require(isinstance(t, TBag), "%s expects a bag, got %r" % (what, t))
+    return t.element
+
+
+def _numeric(t: QType, what: str) -> QType:
+    if isinstance(t, TBottom):
+        return TBottom()
+    _require(
+        is_subtype(t, TFloat()), "%s expects a number, got %r" % (what, t)
+    )
+    return t
+
+
+def _record_fields(t: QType, what: str) -> dict:
+    if isinstance(t, TBottom):
+        return {}
+    _require(isinstance(t, TRecord), "%s expects a record, got %r" % (what, t))
+    return t.field_map()
+
+
+def type_unop(op: ops.UnaryOp, t: QType) -> QType:
+    """The result type of ``op`` applied to a value of type ``t``."""
+    if isinstance(op, ops.OpIdentity):
+        return t
+    if isinstance(op, ops.OpNeg):
+        _require(is_subtype(t, TBool()), "¬ expects a boolean, got %r" % (t,))
+        return TBool()
+    if isinstance(op, ops.OpBag):
+        return TBag(t)
+    if isinstance(op, ops.OpFlatten):
+        inner = _element(t, "flatten")
+        return TBag(_element(inner, "flatten (inner)"))
+    if isinstance(op, ops.OpRec):
+        return TRecord({op.field: t})
+    if isinstance(op, ops.OpDot):
+        fields = _record_fields(t, ".%s" % op.field)
+        if isinstance(t, TBottom):
+            return TBottom()
+        _require(op.field in fields, "record %r has no field %r" % (t, op.field))
+        return fields[op.field]
+    if isinstance(op, ops.OpRemove):
+        fields = _record_fields(t, "−%s" % op.field)
+        fields.pop(op.field, None)
+        return TRecord(fields)
+    if isinstance(op, ops.OpProject):
+        fields = _record_fields(t, "π")
+        return TRecord({k: v for k, v in fields.items() if k in op.fields})
+    if isinstance(op, ops.OpDistinct):
+        return TBag(_element(t, "distinct"))
+    if isinstance(op, ops.OpCount):
+        _element(t, "count")
+        return TNat()
+    if isinstance(op, ops.OpSum):
+        element = _numeric(_element(t, "sum"), "sum")
+        return TNat() if isinstance(element, (TNat, TBottom)) else TFloat()
+    if isinstance(op, ops.OpAvg):
+        _numeric(_element(t, "avg"), "avg")
+        return TFloat()
+    if isinstance(op, (ops.OpMin, ops.OpMax)):
+        return _element(t, op.name)
+    if isinstance(op, ops.OpSingleton):
+        return _element(t, "elem")
+    if isinstance(op, ops.OpToString):
+        return TString()
+    if isinstance(op, ops.OpNumNeg):
+        return _numeric(t, "negate")
+    if isinstance(op, (ops.OpSortBy, ops.OpLimit)):
+        return TBag(_element(t, op.name))
+    if isinstance(op, ops.OpLike):
+        _require(is_subtype(t, TString()), "like expects a string, got %r" % (t,))
+        return TBool()
+    if isinstance(op, ops.OpSubstring):
+        _require(is_subtype(t, TString()), "substring expects a string")
+        return TString()
+    if isinstance(op, (ops.OpDateYear, ops.OpDateMonth, ops.OpDateDay)):
+        _require(is_subtype(t, TDate()), "%s expects a date, got %r" % (op.name, t))
+        return TNat()
+    raise TypingError("no typing rule for unary op %r" % (op,))
+
+
+def type_binop(op: ops.BinaryOp, left: QType, right: QType) -> QType:
+    """The result type of ``op`` applied to values of the given types."""
+    if isinstance(op, ops.OpEq):
+        return TBool()
+    if isinstance(op, ops.OpIn):
+        _element(right, "∈")
+        return TBool()
+    if isinstance(op, (ops.OpUnion, ops.OpBagDiff, ops.OpBagInter)):
+        return TBag(join(_element(left, op.name), _element(right, op.name)))
+    if isinstance(op, ops.OpConcat):
+        fields = _record_fields(left, "⊕")
+        fields.update(_record_fields(right, "⊕"))
+        return TRecord(fields)
+    if isinstance(op, ops.OpMergeConcat):
+        fields = _record_fields(left, "⊗")
+        fields.update(_record_fields(right, "⊗"))
+        return TBag(TRecord(fields))
+    if isinstance(op, (ops.OpLt, ops.OpLe, ops.OpGt, ops.OpGe)):
+        comparable = (
+            (is_subtype(left, TFloat()) and is_subtype(right, TFloat()))
+            or (is_subtype(left, TString()) and is_subtype(right, TString()))
+            or (is_subtype(left, TDate()) and is_subtype(right, TDate()))
+            or isinstance(left, TBottom)
+            or isinstance(right, TBottom)
+        )
+        _require(comparable, "%s on %r and %r" % (op.name, left, right))
+        return TBool()
+    if isinstance(op, (ops.OpAnd, ops.OpOr)):
+        _require(
+            is_subtype(left, TBool()) and is_subtype(right, TBool()),
+            "%s expects booleans" % op.name,
+        )
+        return TBool()
+    if isinstance(op, (ops.OpAdd, ops.OpSub, ops.OpMult)):
+        _numeric(left, op.name)
+        _numeric(right, op.name)
+        if isinstance(left, TNat) and isinstance(right, TNat):
+            return TNat()
+        return TFloat()
+    if isinstance(op, ops.OpDiv):
+        _numeric(left, "/")
+        _numeric(right, "/")
+        return TFloat()
+    if isinstance(op, ops.OpStrConcat):
+        _require(
+            is_subtype(left, TString()) and is_subtype(right, TString()),
+            "|| expects strings",
+        )
+        return TString()
+    if isinstance(
+        op,
+        (
+            ops.OpDatePlusDays,
+            ops.OpDateMinusDays,
+            ops.OpDatePlusMonths,
+            ops.OpDateMinusMonths,
+            ops.OpDatePlusYears,
+            ops.OpDateMinusYears,
+        ),
+    ):
+        _require(is_subtype(left, TDate()), "%s expects a date" % op.name)
+        _require(is_subtype(right, TNat()), "%s expects an int amount" % op.name)
+        return TDate()
+    raise TypingError("no typing rule for binary op %r" % (op,))

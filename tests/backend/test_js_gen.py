@@ -1,0 +1,67 @@
+"""Tests for the JavaScript emitter (text-level; see module docstring)."""
+
+from repro.backend.js_gen import generate_javascript
+from repro.data.foreign import DateValue
+from repro.data.model import bag, rec
+from repro.data.operators import OpAdd, OpDot, OpFlatten, OpLike, OpSortBy
+from repro.nnrc import ast
+
+
+class TestEmission:
+    def test_function_shape(self):
+        js = generate_javascript(ast.Const(1), name="q")
+        assert js.startswith("function q(rt, constants, ")
+        assert "return 1;" in js
+
+    def test_deterministic(self):
+        expr = ast.For("x", ast.GetConstant("T"), ast.Unop(OpDot("a"), ast.Var("x")))
+        assert generate_javascript(expr) == generate_javascript(expr)
+
+    def test_for_becomes_loop(self):
+        expr = ast.For("x", ast.GetConstant("T"), ast.Var("x"))
+        js = generate_javascript(expr)
+        assert "for (const" in js
+        assert "rt.bagItems" in js
+        assert ".push(" in js
+
+    def test_if_else(self):
+        expr = ast.If(ast.Const(True), ast.Const(1), ast.Const(2))
+        js = generate_javascript(expr)
+        assert "if (rt.asBool(true))" in js
+        assert "} else {" in js
+
+    def test_values_rendered_as_json(self):
+        expr = ast.Const(bag(rec(a=1, b="x")))
+        js = generate_javascript(expr)
+        assert '[{"a": 1, "b": "x"}]' in js
+
+    def test_dates_rendered_via_runtime(self):
+        js = generate_javascript(ast.Const(DateValue(1994, 1, 1)))
+        assert 'rt.date("1994-01-01")' in js
+
+    def test_string_escaping(self):
+        js = generate_javascript(ast.Const('say "hi"\n'))
+        assert '"say \\"hi\\"\\n"' in js
+
+    def test_operator_dispatch(self):
+        expr = ast.Binop(OpAdd(), ast.Const(1), ast.Const(2))
+        assert "rt.add(1, 2)" in generate_javascript(expr)
+        expr2 = ast.Unop(OpLike("%a%"), ast.Const("abc"))
+        assert 'rt.like("abc", "%a%")' in generate_javascript(expr2)
+
+    def test_sort_keys_serialised(self):
+        expr = ast.Unop(OpSortBy([("a", True)]), ast.GetConstant("T"))
+        assert 'rt.sortBy' in generate_javascript(expr)
+
+    def test_let_becomes_const(self):
+        expr = ast.Let("x", ast.Const(1), ast.Var("x"))
+        js = generate_javascript(expr)
+        assert "const v_" in js
+
+    def test_shadowing_renamed(self):
+        inner = ast.For("x", ast.Const(bag(1)), ast.Var("x"))
+        expr = ast.Let("x", ast.Const(2), ast.Binop(OpAdd(), ast.Unop(OpFlatten(), ast.Unop(__import__("repro.data.operators", fromlist=["OpBag"]).OpBag(), inner)), ast.Unop(__import__("repro.data.operators", fromlist=["OpBag"]).OpBag(), ast.Var("x"))))
+        js = generate_javascript(expr)
+        # two distinct sanitised binder names
+        names = {line.split("const ")[1].split(" ")[0] for line in js.splitlines() if "const v_" in line}
+        assert len(names) >= 2

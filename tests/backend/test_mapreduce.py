@@ -1,0 +1,207 @@
+"""Tests for NNRCMR-lite: sharding-invariance and NNRC agreement."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backend.mapreduce import (
+    FlatMapStage,
+    MapStage,
+    NotDistributable,
+    ReduceStage,
+    distribute,
+    is_distributable,
+    nnrc_to_mr,
+    run_chain,
+)
+from repro.data.model import Bag, bag, rec
+from repro.data.operators import (
+    OpAdd,
+    OpBag,
+    OpCount,
+    OpDot,
+    OpFlatten,
+    OpGt,
+    OpSum,
+)
+from repro.nnrc import ast
+from repro.nnrc.eval import eval_nnrc
+
+DB = {"T": bag(rec(a=1), rec(a=2), rec(a=3), rec(a=4), rec(a=5))}
+
+
+def for_(var, source, body):
+    return ast.For(var, source, body)
+
+
+def table(name):
+    return ast.GetConstant(name)
+
+
+def dot(expr, field):
+    return ast.Unop(OpDot(field), expr)
+
+
+class TestCompilation:
+    def test_table_is_empty_chain(self):
+        chain = nnrc_to_mr(table("T"))
+        assert chain.input_table == "T"
+        assert chain.stages == []
+
+    def test_map_stage(self):
+        chain = nnrc_to_mr(for_("x", table("T"), dot(ast.Var("x"), "a")))
+        assert isinstance(chain.stages[0], MapStage)
+
+    def test_selection_is_flatmap(self):
+        body = ast.If(
+            ast.Binop(OpGt(), dot(ast.Var("x"), "a"), ast.Const(2)),
+            ast.Unop(OpBag(), ast.Var("x")),
+            ast.Const(Bag([])),
+        )
+        expr = ast.Unop(OpFlatten(), for_("x", table("T"), body))
+        chain = nnrc_to_mr(expr)
+        assert isinstance(chain.stages[0], FlatMapStage)
+
+    def test_aggregate_is_reduce(self):
+        expr = ast.Unop(OpSum(), for_("x", table("T"), dot(ast.Var("x"), "a")))
+        chain = nnrc_to_mr(expr)
+        assert isinstance(chain.stages[-1], ReduceStage)
+        assert chain.stages[-1].name == "sum"
+
+    def test_driver_variables_rejected(self):
+        body = ast.Binop(OpAdd(), dot(ast.Var("x"), "a"), ast.Var("y"))
+        with pytest.raises(NotDistributable):
+            nnrc_to_mr(for_("x", table("T"), body))
+
+    def test_chain_cannot_extend_past_reduce(self):
+        reduced = ast.Unop(OpCount(), table("T"))
+        with pytest.raises(NotDistributable):
+            nnrc_to_mr(for_("x", reduced, ast.Var("x")))
+
+    def test_let_is_not_distributable(self):
+        expr = ast.Let("x", table("T"), ast.Var("x"))
+        assert not is_distributable(expr)
+        assert is_distributable(table("T"))
+
+
+class TestExecution:
+    @pytest.mark.parametrize("shards", (1, 2, 3, 7, 16))
+    def test_map_matches_nnrc_for_any_sharding(self, shards):
+        expr = for_("x", table("T"), dot(ast.Var("x"), "a"))
+        chain = distribute(expr)
+        assert run_chain(chain, DB, shards=shards) == eval_nnrc(expr, {}, DB)
+
+    @pytest.mark.parametrize("shards", (1, 2, 5))
+    def test_aggregate_matches_nnrc(self, shards):
+        expr = ast.Unop(OpSum(), for_("x", table("T"), dot(ast.Var("x"), "a")))
+        chain = distribute(expr)
+        assert run_chain(chain, DB, shards=shards) == 15 == eval_nnrc(expr, {}, DB)
+
+    def test_pipeline_map_filter_reduce(self):
+        keep = ast.If(
+            ast.Binop(OpGt(), dot(ast.Var("x"), "a"), ast.Const(2)),
+            ast.Unop(OpBag(), dot(ast.Var("x"), "a")),
+            ast.Const(Bag([])),
+        )
+        expr = ast.Unop(
+            OpCount(), ast.Unop(OpFlatten(), for_("x", table("T"), keep))
+        )
+        chain = distribute(expr)
+        assert len(chain.stages) == 2
+        assert run_chain(chain, DB, shards=3) == 3
+
+    def test_distinct_reduce(self):
+        db = {"T": bag(1, 2, 2, 3, 3, 3)}
+        expr = ast.Unop(
+            __import__("repro.data.operators", fromlist=["OpDistinct"]).OpDistinct(),
+            for_("x", table("T"), ast.Var("x")),
+        )
+        chain = distribute(expr)
+        assert run_chain(chain, db, shards=4) == bag(1, 2, 3)
+
+    def test_missing_table(self):
+        from repro.nraenv.eval import EvalError
+
+        with pytest.raises(EvalError):
+            run_chain(distribute(table("nope")), DB)
+
+
+class TestRealQueries:
+    def test_tpch_q6_shape_through_mapreduce(self, tpch_db):
+        """A q6-equivalent built in canonical shape runs distributed."""
+        from repro.data.foreign import DateValue
+        from repro.data.operators import OpAnd, OpGe, OpLe, OpLt, OpMult
+
+        x = ast.Var("l")
+        start = ast.Const(DateValue(1994, 1, 1))
+        end = ast.Const(DateValue(1995, 1, 1))
+        pred = ast.Binop(
+            OpAnd(),
+            ast.Binop(
+                OpAnd(),
+                ast.Binop(OpGe(), dot(x, "l_shipdate"), start),
+                ast.Binop(OpLt(), dot(x, "l_shipdate"), end),
+            ),
+            ast.Binop(
+                OpAnd(),
+                ast.Binop(
+                    OpAnd(),
+                    ast.Binop(OpGe(), dot(x, "l_discount"), ast.Const(0.05)),
+                    ast.Binop(OpLe(), dot(x, "l_discount"), ast.Const(0.07)),
+                ),
+                ast.Binop(OpLt(), dot(x, "l_quantity"), ast.Const(24)),
+            ),
+        )
+        revenue = ast.Binop(OpMult(), dot(x, "l_extendedprice"), dot(x, "l_discount"))
+        keep = ast.If(pred, ast.Unop(OpBag(), revenue), ast.Const(Bag([])))
+        expr = ast.Unop(
+            OpSum(), ast.Unop(OpFlatten(), for_("l", table("lineitem"), keep))
+        )
+        chain = distribute(expr)
+        sequential = eval_nnrc(expr, {}, tpch_db)
+        for shards in (1, 4, 9):
+            assert run_chain(chain, tpch_db, shards=shards) == pytest.approx(sequential)
+
+
+@given(
+    st.integers(min_value=0, max_value=100_000),
+    st.integers(min_value=1, max_value=12),
+)
+@settings(max_examples=60, deadline=None)
+def test_sharding_invariance_property(seed, shards):
+    """For random supported chains: result independent of shard count
+    and equal to sequential NNRC evaluation."""
+    rng = random.Random(seed)
+    x = ast.Var("x")
+    body_choices = [
+        dot(x, "a"),
+        ast.Binop(OpAdd(), dot(x, "a"), ast.Const(rng.randint(0, 3))),
+        x,
+    ]
+    expr: ast.NnrcNode = for_("x", table("T"), rng.choice(body_choices))
+    if rng.random() < 0.5:
+        keep = ast.If(
+            ast.Binop(OpGt(), dot(x, "a"), ast.Const(rng.randint(0, 5))),
+            ast.Unop(OpBag(), dot(x, "a")),
+            ast.Const(Bag([])),
+        )
+        expr = ast.Unop(OpFlatten(), for_("x", table("T"), keep))
+    if rng.random() < 0.5:
+        expr = ast.Unop(rng.choice((OpSum(), OpCount())), expr)
+    db = {"T": Bag([rec(a=rng.randint(0, 9)) for _ in range(rng.randint(0, 12))])}
+    chain = distribute(expr)
+    from repro.nraenv.eval import EvalError
+
+    failed = object()
+
+    def outcome(fn):
+        try:
+            return fn()
+        except EvalError:
+            return failed
+
+    expected = outcome(lambda: eval_nnrc(expr, {}, db))
+    assert outcome(lambda: run_chain(chain, db, shards=shards)) == expected
+    assert outcome(lambda: run_chain(chain, db, shards=1)) == expected

@@ -1,0 +1,118 @@
+"""Unit tests for CAMP semantics (paper §7): matching, failure, unification."""
+
+import pytest
+
+from repro.camp import (
+    MatchFail,
+    PAssert,
+    PBinop,
+    PConst,
+    PEnv,
+    PGetConstant,
+    PIt,
+    PLetEnv,
+    PLetIt,
+    PMap,
+    POrElse,
+    PUnop,
+    eval_camp,
+    matches,
+)
+from repro.data.model import Bag, Record, bag, rec
+from repro.data.operators import OpDot, OpEq, OpLt, OpRec
+from repro.nraenv.eval import EvalError
+
+
+class TestBasics:
+    def test_const(self):
+        assert eval_camp(PConst(5), None) == 5
+
+    def test_it(self):
+        assert eval_camp(PIt(), 42) == 42
+
+    def test_env(self):
+        assert eval_camp(PEnv(), None, rec(x=1)) == rec(x=1)
+
+    def test_get_constant(self):
+        assert eval_camp(PGetConstant("W"), None, None, {"W": bag(1)}) == bag(1)
+
+    def test_let_it(self):
+        pattern = PLetIt(PConst(rec(a=7)), PUnop(OpDot("a"), PIt()))
+        assert eval_camp(pattern, None) == 7
+
+
+class TestUnification:
+    def test_let_env_merges_compatible_bindings(self):
+        pattern = PLetEnv(PConst(rec(y=2)), PEnv())
+        assert eval_camp(pattern, None, rec(x=1)) == rec(x=1, y=2)
+
+    def test_let_env_same_binding_unifies(self):
+        # Re-binding x to the same value succeeds (unification, not shadowing).
+        pattern = PLetEnv(PConst(rec(x=1)), PEnv())
+        assert eval_camp(pattern, None, rec(x=1)) == rec(x=1)
+
+    def test_let_env_conflicting_binding_fails(self):
+        pattern = PLetEnv(PConst(rec(x=2)), PEnv())
+        with pytest.raises(MatchFail):
+            eval_camp(pattern, None, rec(x=1))
+
+    def test_let_env_requires_record(self):
+        with pytest.raises(EvalError):
+            eval_camp(PLetEnv(PConst(5), PEnv()), None)
+
+
+class TestFailureHandling:
+    def test_assert_true_returns_empty_record(self):
+        assert eval_camp(PAssert(PConst(True)), None) == Record({})
+
+    def test_assert_false_fails(self):
+        with pytest.raises(MatchFail):
+            eval_camp(PAssert(PConst(False)), None)
+
+    def test_assert_non_boolean_is_terminal(self):
+        with pytest.raises(EvalError):
+            eval_camp(PAssert(PConst(3)), None)
+
+    def test_orelse_recovers_from_match_failure(self):
+        pattern = POrElse(PAssert(PConst(False)), PConst("saved"))
+        assert eval_camp(pattern, None) == "saved"
+
+    def test_orelse_does_not_recover_terminal_errors(self):
+        pattern = POrElse(PUnop(OpDot("a"), PConst(5)), PConst("saved"))
+        with pytest.raises(EvalError):
+            eval_camp(pattern, None)
+
+    def test_map_collects_successes_only(self):
+        # keep elements > 2, returning them
+        keep = PLetIt(
+            PBinop(OpLt(), PConst(2), PIt()),
+            PLetIt(PAssert(PIt()), PConst(None)),
+        )
+        # simpler: assert it > 2 then return it
+        keep = PLetEnv(PAssert(PBinop(OpLt(), PConst(2), PIt())), PIt())
+        assert eval_camp(PMap(keep), bag(1, 2, 3, 4)) == bag(3, 4)
+
+    def test_map_never_fails_itself(self):
+        always_fail = PAssert(PConst(False))
+        assert eval_camp(PMap(always_fail), bag(1, 2)) == Bag([])
+
+    def test_map_requires_bag(self):
+        with pytest.raises(EvalError):
+            eval_camp(PMap(PIt()), 5)
+
+    def test_matches_returns_none_on_failure(self):
+        assert matches(PAssert(PConst(False)), None) is None
+        assert matches(PConst(1), None) == 1
+
+
+class TestAggregationIdiom:
+    def test_sum_over_matches(self):
+        from repro.data.operators import OpSum
+
+        keep = PLetEnv(PAssert(PBinop(OpLt(), PConst(1), PIt())), PIt())
+        pattern = PUnop(OpSum(), PMap(keep))
+        assert eval_camp(pattern, bag(1, 2, 3)) == 5
+
+    def test_pretty(self):
+        pattern = PLetEnv(PUnop(OpRec("x"), PIt()), PEnv())
+        assert repr(pattern) == "let env += rec(it) in env"

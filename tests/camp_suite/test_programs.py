@@ -1,0 +1,100 @@
+"""Pins for the p01–p14 experiment suite: exact expected results."""
+
+import pytest
+
+from repro.camp_suite.programs import SAMPLE_WORLD, all_programs
+from repro.data.model import Bag, bag, rec
+
+
+@pytest.fixture(scope="module")
+def programs():
+    return all_programs()
+
+
+class TestSuiteShape:
+    def test_fourteen_programs(self, programs):
+        assert sorted(programs) == ["p%02d" % i for i in range(1, 15)]
+
+    def test_descriptions_match_paper_mix(self, programs):
+        assert "select" in programs["p02"].description
+        assert "join" in programs["p03"].description
+        assert "negation" in programs["p04"].description
+        assert "negation" in programs["p05"].description
+        for name in ("p06", "p07", "p08"):
+            assert "aggregation" in programs[name].description
+        for name in ("p09", "p10", "p11", "p12", "p13", "p14"):
+            assert "aggregation" in programs[name].description
+
+
+class TestExpectedResults:
+    def test_p01_pairs_clients_with_reps(self, programs):
+        assert programs["p01"].run() == bag(
+            rec(client="ada", rep="mia"),
+            rec(client="bob", rep="mia"),
+            rec(client="cyd", rep="noa"),
+        )
+
+    def test_p02_selects_gold_clients(self, programs):
+        assert programs["p02"].run() == bag("ada", "cyd")
+
+    def test_p03_join_client_orders(self, programs):
+        assert programs["p03"].run() == bag(
+            rec(name="ada", amount=250),
+            rec(name="ada", amount=40),
+            rec(name="bob", amount=70),
+            rec(name="cyd", amount=500),
+        )
+
+    def test_p04_no_orderless_clients_in_sample(self, programs):
+        assert programs["p04"].run() == Bag([])
+
+    def test_p05_every_gold_client_has_a_big_order(self, programs):
+        assert programs["p05"].run() == Bag([])
+
+    def test_p06_total(self, programs):
+        assert programs["p06"].run() == bag(860)
+
+    def test_p07_count(self, programs):
+        assert programs["p07"].run() == bag(4)
+
+    def test_p08_max(self, programs):
+        assert programs["p08"].run() == bag(500)
+
+    def test_p09_totals_per_client(self, programs):
+        assert programs["p09"].run() == bag(
+            rec(name="ada", total=290),
+            rec(name="bob", total=70),
+            rec(name="cyd", total=500),
+        )
+
+    def test_p10_guard_on_total(self, programs):
+        assert programs["p10"].run() == bag("ada", "cyd")
+
+    def test_p11_counts(self, programs):
+        assert programs["p11"].run() == bag(
+            rec(name="ada", orders=2),
+            rec(name="bob", orders=1),
+            rec(name="cyd", orders=1),
+        )
+
+    def test_p12_rep_join(self, programs):
+        assert programs["p12"].run() == bag(
+            rec(rep="mia", client="ada", total=290),
+            rec(rep="mia", client="bob", total=70),
+            rec(rep="noa", client="cyd", total=500),
+        )
+
+    def test_p13_share_of_total(self, programs):
+        # 2*total > grand(860): ada 580 no, cyd 1000 yes
+        assert programs["p13"].run() == bag("cyd")
+
+    def test_p14_negation_with_aggregate(self, programs):
+        assert programs["p14"].run() == bag(rec(name="cyd", total=500))
+
+
+class TestWorldIsStable:
+    def test_sample_world_shape(self):
+        klasses = {}
+        for item in SAMPLE_WORLD:
+            klasses[item["klass"]] = klasses.get(item["klass"], 0) + 1
+        assert klasses == {"Client": 3, "Marketer": 2, "Order": 4}

@@ -1,0 +1,103 @@
+"""Tests for the command-line interface."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestCompile:
+    def test_metrics_default(self):
+        code, output = run_cli(
+            ["compile", "--language", "sql", "--query", "select a from t"]
+        )
+        assert code == 0
+        assert "sizes: NRAe" in output
+        assert "times:" in output
+
+    def test_show_all(self):
+        code, output = run_cli(
+            ["compile", "--query", "select a from t where a > 1", "--show", "all"]
+        )
+        assert code == 0
+        assert "NRAe:" in output
+        assert "NNRC:" in output
+        assert "def query(" in output
+        assert "function query(" in output
+
+    def test_lnra(self):
+        code, output = run_cli(
+            [
+                "compile",
+                "--language",
+                "lnra",
+                "--query",
+                r"map(\p -> p.a)(t)",
+                "--show",
+                "opt",
+            ]
+        )
+        assert code == 0
+        assert "χ⟨In.a⟩($t)" in output
+
+    def test_oql(self):
+        code, output = run_cli(
+            ["compile", "--language", "oql", "--query", "select p.a from p in t", "--show", "opt"]
+        )
+        assert code == 0
+        assert "NRAe optimized:" in output
+
+    def test_run_with_data_file(self, tmp_path):
+        data = tmp_path / "db.json"
+        data.write_text(json.dumps({"t": [{"a": 1}, {"a": 5}]}))
+        code, output = run_cli(
+            [
+                "compile",
+                "--query",
+                "select a from t where a > 2",
+                "--run",
+                "--data",
+                str(data),
+            ]
+        )
+        assert code == 0
+        assert '"a": 5' in output
+
+    def test_query_from_file(self, tmp_path):
+        query_file = tmp_path / "q.sql"
+        query_file.write_text("select a from t")
+        code, output = run_cli(["compile", "--file", str(query_file)])
+        assert code == 0
+
+    def test_bad_data_shape(self, tmp_path):
+        data = tmp_path / "db.json"
+        data.write_text("[1, 2]")
+        with pytest.raises(SystemExit):
+            run_cli(
+                ["compile", "--query", "select a from t", "--run", "--data", str(data)]
+            )
+
+
+class TestTpch:
+    def test_metrics(self):
+        code, output = run_cli(["tpch", "q6"])
+        assert code == 0
+        assert "sizes: NRAe" in output
+
+    def test_run(self):
+        code, output = run_cli(["tpch", "q6", "--run"])
+        assert code == 0
+        assert "revenue" in output
+
+    def test_unknown_query(self):
+        code, output = run_cli(["tpch", "q99"])
+        assert code == 2
+        assert "unknown TPC-H query" in output

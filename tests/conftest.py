@@ -1,0 +1,31 @@
+"""Shared fixtures: the mini TPC-H database, the CAMP suite, sample data."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.camp_suite.programs import all_programs
+from repro.data.model import Bag, Record, bag, rec
+from repro.tpch.datagen import MICRO, generate
+
+
+@pytest.fixture(scope="session")
+def tpch_db():
+    """The deterministic micro TPC-H database (seed 7)."""
+    return generate(MICRO, seed=7)
+
+
+@pytest.fixture(scope="session")
+def camp_programs():
+    """The p01–p14 suite."""
+    return all_programs()
+
+
+@pytest.fixture
+def people():
+    """A small bag of person records used across frontend tests."""
+    return bag(
+        rec(name="ann", age=40, city="NY"),
+        rec(name="bob", age=20, city="SF"),
+        rec(name="cyd", age=31, city="NY"),
+    )

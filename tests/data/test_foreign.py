@@ -1,0 +1,56 @@
+"""Unit tests for foreign types (dates)."""
+
+import pytest
+
+from repro.data.foreign import DateValue, register_foreign
+from repro.data.model import bag, canonical_key, values_equal
+
+
+class TestDateValue:
+    def test_parse_and_iso(self):
+        assert DateValue.parse("1998-12-01").isoformat() == "1998-12-01"
+
+    def test_ordering(self):
+        assert DateValue(1998, 1, 1) < DateValue(1998, 1, 2)
+        assert DateValue(1998, 1, 1) <= DateValue(1998, 1, 1)
+
+    def test_day_arithmetic_crosses_months(self):
+        assert DateValue(1998, 12, 1).minus_days(90) == DateValue(1998, 9, 2)
+
+    def test_month_arithmetic_clamps_day(self):
+        assert DateValue(1994, 1, 31).plus_months(1) == DateValue(1994, 2, 28)
+        assert DateValue(1996, 1, 31).plus_months(1) == DateValue(1996, 2, 29)  # leap
+
+    def test_year_arithmetic(self):
+        assert DateValue(1994, 6, 15).plus_years(1) == DateValue(1995, 6, 15)
+        assert DateValue(1994, 6, 15).minus_years(2) == DateValue(1992, 6, 15)
+
+    def test_days_until(self):
+        assert DateValue(1994, 1, 1).days_until(DateValue(1994, 1, 31)) == 30
+
+    def test_dates_in_bags(self):
+        left = bag(DateValue(1994, 1, 1), DateValue(1995, 1, 1))
+        right = bag(DateValue(1995, 1, 1), DateValue(1994, 1, 1))
+        assert left == right
+
+    def test_dates_vs_other_values(self):
+        assert not values_equal(DateValue(1994, 1, 1), "1994-01-01")
+
+
+class TestForeignRegistry:
+    def test_custom_foreign_type(self):
+        class Point:
+            def __init__(self, x, y):
+                self.x, self.y = x, y
+
+        register_foreign(Point, lambda p: (p.x, p.y))
+        assert values_equal(Point(1, 2), Point(1, 2))
+        assert not values_equal(Point(1, 2), Point(1, 3))
+        assert canonical_key(Point(0, 0))[0] == 4  # foreign rank
+
+    def test_unregistered_class_is_not_a_value(self):
+        class Mystery:
+            pass
+
+        with pytest.raises(Exception):
+            canonical_key(Mystery())

@@ -1,0 +1,30 @@
+"""Unit tests for JSON round-tripping."""
+
+import pytest
+
+from repro.data.foreign import DateValue
+from repro.data.json_io import dumps, from_jsonable, loads, to_jsonable
+from repro.data.model import DataError, bag, rec
+
+
+class TestJsonIo:
+    def test_round_trip_nested(self):
+        value = rec(xs=bag(1, rec(d=DateValue(1994, 5, 6)), "s"), ok=True)
+        assert loads(dumps(value)) == value
+
+    def test_dates_are_tagged(self):
+        assert to_jsonable(DateValue(1994, 5, 6)) == {"$date": "1994-05-06"}
+        assert from_jsonable({"$date": "1994-05-06"}) == DateValue(1994, 5, 6)
+
+    def test_bags_to_arrays(self):
+        assert to_jsonable(bag(1, 2)) == [1, 2]
+
+    def test_plain_object_is_record(self):
+        assert from_jsonable({"a": 1}) == rec(a=1)
+
+    def test_dumps_deterministic(self):
+        assert dumps(rec(b=2, a=1)) == dumps(rec(a=1, b=2))
+
+    def test_unserialisable_raises(self):
+        with pytest.raises(DataError):
+            to_jsonable(object())

@@ -1,0 +1,147 @@
+"""Unit tests for the data model (paper §3.1)."""
+
+import pytest
+
+from repro.data.model import (
+    Bag,
+    DataError,
+    Record,
+    bag,
+    canonical_key,
+    flatten,
+    from_python,
+    is_value,
+    rec,
+    to_python,
+    values_equal,
+)
+
+
+class TestBag:
+    def test_multiset_equality_ignores_order(self):
+        assert bag(1, 2, 3) == bag(3, 1, 2)
+
+    def test_multiset_equality_counts_multiplicity(self):
+        assert bag(1, 1, 2) != bag(1, 2, 2)
+        assert bag(1, 1) != bag(1)
+
+    def test_union_is_additive(self):
+        assert bag(1).union(bag(1)) == bag(1, 1)
+
+    def test_union_preserves_all_elements(self):
+        assert bag(1, 2).union(bag(2, 3)) == bag(1, 2, 2, 3)
+
+    def test_minus_removes_one_occurrence_per_match(self):
+        assert bag(1, 1, 2).minus(bag(1)) == bag(1, 2)
+
+    def test_minus_of_absent_value_is_noop(self):
+        assert bag(1, 2).minus(bag(5)) == bag(1, 2)
+
+    def test_intersection_takes_minimum_multiplicity(self):
+        assert bag(1, 1, 2).intersection(bag(1, 2, 2)) == bag(1, 2)
+
+    def test_contains_uses_data_model_equality(self):
+        assert bag(rec(a=1)).contains(rec(a=1))
+        assert not bag(rec(a=1)).contains(rec(a=2))
+
+    def test_distinct_keeps_first_occurrences(self):
+        assert bag(2, 1, 2, 1).distinct() == bag(2, 1)
+
+    def test_empty_bag_is_falsy(self):
+        assert not Bag([])
+        assert bag(1)
+
+    def test_bags_hashable(self):
+        assert hash(bag(1, 2)) == hash(bag(2, 1))
+
+    def test_nested_bag_equality(self):
+        assert bag(bag(1, 2), bag(3)) == bag(bag(3), bag(2, 1))
+
+    def test_sorted_orders_canonically(self):
+        assert bag(3, 1, 2).sorted().items == (1, 2, 3)
+
+
+class TestRecord:
+    def test_field_order_is_normalised(self):
+        assert Record({"b": 2, "a": 1}) == Record({"a": 1, "b": 2})
+        assert Record({"b": 2, "a": 1}).domain() == ("a", "b")
+
+    def test_access(self):
+        assert rec(a=1, b=2)["b"] == 2
+
+    def test_access_missing_field_raises(self):
+        with pytest.raises(DataError):
+            rec(a=1)["z"]
+
+    def test_concat_favors_right(self):
+        assert rec(a=1, b=2).concat(rec(b=9, c=3)) == rec(a=1, b=9, c=3)
+
+    def test_remove(self):
+        assert rec(a=1, b=2).remove("a") == rec(b=2)
+
+    def test_remove_absent_is_noop(self):
+        assert rec(a=1).remove("z") == rec(a=1)
+
+    def test_project(self):
+        assert rec(a=1, b=2, c=3).project(["a", "c"]) == rec(a=1, c=3)
+
+    def test_project_absent_fields_dropped(self):
+        assert rec(a=1).project(["a", "z"]) == rec(a=1)
+
+    def test_compatible_when_common_fields_agree(self):
+        assert rec(a=1, b=2).compatible_with(rec(b=2, c=3))
+
+    def test_incompatible_when_common_fields_disagree(self):
+        assert not rec(a=1, b=2).compatible_with(rec(b=9))
+
+    def test_merge_concat_success_is_singleton(self):
+        assert rec(a=1).merge_concat(rec(b=2)) == bag(rec(a=1, b=2))
+
+    def test_merge_concat_failure_is_empty(self):
+        assert rec(a=1).merge_concat(rec(a=2)) == Bag([])
+
+    def test_records_hashable(self):
+        assert hash(rec(a=1, b=2)) == hash(Record({"b": 2, "a": 1}))
+
+
+class TestCanonicalKey:
+    def test_bool_distinct_from_int(self):
+        # Python's True == 1; the data model keeps them distinct.
+        assert not values_equal(True, 1)
+        assert bag(True) != bag(1)
+
+    def test_int_and_float_same_number(self):
+        assert values_equal(1, 1.0)
+
+    def test_null_distinct_from_zero_and_false(self):
+        assert not values_equal(None, 0)
+        assert not values_equal(None, False)
+
+    def test_total_order_across_kinds(self):
+        values = [rec(a=1), "x", 3, None, True, bag(1)]
+        ordered = sorted(values, key=canonical_key)
+        assert ordered[0] is None  # null ranks first
+
+    def test_rejects_non_values(self):
+        with pytest.raises(DataError):
+            canonical_key(object())
+        assert not is_value(object())
+        assert is_value(bag(rec(a=1)))
+
+
+class TestConversions:
+    def test_from_python_round_trip(self):
+        data = {"xs": [1, 2, {"y": [True, None]}]}
+        value = from_python(data)
+        assert isinstance(value, Record)
+        assert isinstance(value["xs"], Bag)
+        assert to_python(value) == data
+
+    def test_flatten(self):
+        assert flatten(bag(bag(1, 2), bag(), bag(3))) == bag(1, 2, 3)
+
+    def test_flatten_non_bag_raises(self):
+        with pytest.raises(DataError):
+            flatten(5)
+        with pytest.raises(DataError):
+            flatten(bag(1))

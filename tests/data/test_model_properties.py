@@ -1,0 +1,79 @@
+"""Property-based tests of data-model invariants (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.model import Bag, canonical_key, values_equal
+from tests.strategies import element_bags, element_records, values
+
+
+@given(values(), values())
+@settings(max_examples=150)
+def test_equality_agrees_with_canonical_key(left, right):
+    assert values_equal(left, right) == (canonical_key(left) == canonical_key(right))
+
+
+@given(st.lists(values(max_leaves=4), max_size=5))
+def test_bag_equality_invariant_under_permutation(items):
+    assert Bag(items) == Bag(list(reversed(items)))
+
+
+@given(element_bags, element_bags)
+def test_union_commutative_up_to_bag_equality(left, right):
+    assert left.union(right) == right.union(left)
+
+
+@given(element_bags, element_bags, element_bags)
+def test_union_associative(a, b, c):
+    assert a.union(b).union(c) == a.union(b.union(c))
+
+
+@given(element_bags)
+def test_distinct_idempotent(bag_value):
+    assert bag_value.distinct() == bag_value.distinct().distinct()
+
+
+@given(element_bags, element_bags)
+def test_minus_then_union_bounds(a, b):
+    # |a \ b| + |a ∩ b| == |a|
+    assert len(a.minus(b)) + len(a.intersection(b)) == len(a)
+
+
+@given(element_records, element_records, element_records)
+def test_concat_associative(x, y, z):
+    assert x.concat(y).concat(z) == x.concat(y.concat(z))
+
+
+@given(element_records, element_records)
+def test_merge_concat_symmetric_in_success(x, y):
+    # ⊗ succeeds in one order iff it succeeds in the other, with the
+    # same resulting record (common fields agree on success).
+    left = x.merge_concat(y)
+    right = y.merge_concat(x)
+    assert bool(left) == bool(right)
+    if left:
+        assert left == right
+
+
+@given(element_records, element_records)
+def test_compatible_iff_merge_succeeds(x, y):
+    assert x.compatible_with(y) == bool(x.merge_concat(y))
+
+
+@given(element_bags)
+def test_sorted_is_permutation(bag_value):
+    assert bag_value.sorted() == bag_value
+
+
+@given(values(max_leaves=6))
+def test_json_round_trip(value):
+    from repro.data.json_io import dumps, loads
+
+    assert loads(dumps(value)) == value
+
+
+@given(values(max_leaves=6))
+def test_python_round_trip_preserves_equality(value):
+    from repro.data.model import from_python, to_python
+
+    assert from_python(to_python(value)) == value

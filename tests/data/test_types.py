@@ -1,0 +1,108 @@
+"""Unit tests for the type lattice (paper §4.1, §8)."""
+
+import pytest
+
+from repro.data.foreign import DateValue
+from repro.data.model import Bag, bag, rec
+from repro.data.types import (
+    TBag,
+    TBool,
+    TBottom,
+    TDate,
+    TFloat,
+    TNat,
+    TRecord,
+    TString,
+    TTop,
+    TUnit,
+    is_subtype,
+    join,
+    meet,
+    type_of_value,
+    value_has_type,
+)
+
+
+class TestSubtyping:
+    def test_bottom_below_everything(self):
+        for t in (TNat(), TBag(TBool()), TRecord({"a": TString()}), TTop()):
+            assert is_subtype(TBottom(), t)
+
+    def test_top_above_everything(self):
+        for t in (TNat(), TBag(TBool()), TRecord({}), TBottom()):
+            assert is_subtype(t, TTop())
+
+    def test_top_not_below_atoms(self):
+        assert not is_subtype(TTop(), TNat())
+
+    def test_nat_below_float(self):
+        assert is_subtype(TNat(), TFloat())
+        assert not is_subtype(TFloat(), TNat())
+
+    def test_bag_covariance(self):
+        assert is_subtype(TBag(TNat()), TBag(TFloat()))
+        assert not is_subtype(TBag(TFloat()), TBag(TNat()))
+
+    def test_record_depth_subtyping(self):
+        assert is_subtype(TRecord({"a": TNat()}), TRecord({"a": TFloat()}))
+
+    def test_record_width_mismatch_rejected(self):
+        assert not is_subtype(TRecord({"a": TNat(), "b": TNat()}), TRecord({"a": TNat()}))
+
+    def test_reflexivity(self):
+        for t in (TNat(), TBag(TRecord({"a": TDate()})), TUnit()):
+            assert is_subtype(t, t)
+
+
+class TestJoinMeet:
+    def test_join_numeric(self):
+        assert join(TNat(), TFloat()) == TFloat()
+
+    def test_join_unrelated_is_top(self):
+        assert join(TNat(), TString()) == TTop()
+
+    def test_join_bags(self):
+        assert join(TBag(TNat()), TBag(TFloat())) == TBag(TFloat())
+
+    def test_join_records_same_fields(self):
+        left = TRecord({"a": TNat()})
+        right = TRecord({"a": TFloat()})
+        assert join(left, right) == TRecord({"a": TFloat()})
+
+    def test_join_with_bottom(self):
+        assert join(TBottom(), TNat()) == TNat()
+
+    def test_meet_numeric(self):
+        assert meet(TNat(), TFloat()) == TNat()
+
+    def test_meet_unrelated_is_bottom(self):
+        assert meet(TNat(), TString()) == TBottom()
+
+
+class TestTypeOfValue:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (None, TUnit()),
+            (True, TBool()),
+            (3, TNat()),
+            (3.5, TFloat()),
+            ("x", TString()),
+            (DateValue(2020, 1, 1), TDate()),
+        ],
+    )
+    def test_atoms(self, value, expected):
+        assert type_of_value(value) == expected
+
+    def test_empty_bag_is_bag_of_bottom(self):
+        assert type_of_value(Bag([])) == TBag(TBottom())
+
+    def test_bag_joins_element_types(self):
+        assert type_of_value(bag(1, 2.5)) == TBag(TFloat())
+
+    def test_record(self):
+        assert type_of_value(rec(a=1, b="x")) == TRecord({"a": TNat(), "b": TString()})
+
+    def test_value_has_type(self):
+        assert value_has_type(bag(1, 2), TBag(TFloat()))
+        assert not value_has_type(bag(1, "x"), TBag(TFloat()))

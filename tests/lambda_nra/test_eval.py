@@ -1,0 +1,102 @@
+"""Unit tests for NRAλ (paper §6): scoping, closures, the LINQ example."""
+
+import pytest
+
+from repro.data.model import bag, rec
+from repro.data.operators import OpAdd, OpDot, OpLt
+from repro.lambda_nra import (
+    Lambda,
+    LBinop,
+    LConst,
+    LDJoin,
+    LFilter,
+    LMap,
+    LProduct,
+    LTable,
+    LUnop,
+    LVar,
+    eval_lnra,
+)
+from repro.nraenv.eval import EvalError
+
+
+def dot(expr, field):
+    return LUnop(OpDot(field), expr)
+
+
+class TestLambdaSemantics:
+    def test_map(self):
+        expr = LMap(Lambda("x", dot(LVar("x"), "a")), LTable("T"))
+        assert eval_lnra(expr, {}, {"T": bag(rec(a=1), rec(a=2))}) == bag(1, 2)
+
+    def test_filter(self):
+        expr = LFilter(
+            Lambda("x", LBinop(OpLt(), LConst(1), dot(LVar("x"), "a"))), LTable("T")
+        )
+        assert eval_lnra(expr, {}, {"T": bag(rec(a=1), rec(a=2))}) == bag(rec(a=2))
+
+    def test_filter_requires_boolean(self):
+        expr = LFilter(Lambda("x", LConst(3)), LConst(bag(1)))
+        with pytest.raises(EvalError):
+            eval_lnra(expr)
+
+    def test_lambda_closes_over_outer_variables(self):
+        # map(λx. x.a + y) with y from the enclosing scope
+        expr = LMap(
+            Lambda("x", LBinop(OpAdd(), dot(LVar("x"), "a"), LVar("y"))),
+            LTable("T"),
+        )
+        assert eval_lnra(expr, {"y": 10}, {"T": bag(rec(a=1))}) == bag(11)
+
+    def test_shadowing(self):
+        # map(λx. map(λx. x)(bag)) — inner x shadows outer.
+        inner = LMap(Lambda("x", LVar("x")), LConst(bag(7)))
+        expr = LMap(Lambda("x", inner), LConst(bag(1, 2)))
+        assert eval_lnra(expr) == bag(bag(7), bag(7))
+
+    def test_unbound_variable(self):
+        with pytest.raises(EvalError):
+            eval_lnra(LVar("nope"))
+
+    def test_dependent_join(self):
+        expr = LDJoin(
+            Lambda("p", LMap(Lambda("k", LUnop(__import__("repro.data.operators", fromlist=["OpRec"]).OpRec("kid"), LVar("k"))), dot(LVar("p"), "kids"))),
+            LTable("P"),
+        )
+        world = {"P": bag(rec(name="a", kids=bag(1, 2)))}
+        result = eval_lnra(expr, {}, world)
+        assert result == bag(
+            rec(name="a", kids=bag(1, 2), kid=1), rec(name="a", kids=bag(1, 2), kid=2)
+        )
+
+    def test_product(self):
+        expr = LProduct(LConst(bag(rec(a=1))), LConst(bag(rec(b=2))))
+        assert eval_lnra(expr) == bag(rec(a=1, b=2))
+
+    def test_linq_example_from_paper(self):
+        # Persons.Where(p => p.age < 30).Select(p => p.name)
+        expr = LMap(
+            Lambda("p", dot(LVar("p"), "name")),
+            LFilter(
+                Lambda("p", LBinop(OpLt(), dot(LVar("p"), "age"), LConst(30))),
+                LTable("Persons"),
+            ),
+        )
+        persons = bag(rec(name="ann", age=40), rec(name="bob", age=20))
+        assert eval_lnra(expr, {}, {"Persons": persons}) == bag("bob")
+
+
+class TestStructure:
+    def test_size_includes_lambdas(self):
+        expr = LMap(Lambda("x", LVar("x")), LTable("T"))
+        assert expr.size() == 4  # LMap + Lambda + LVar + LTable
+
+    def test_equality(self):
+        left = LMap(Lambda("x", LVar("x")), LTable("T"))
+        right = LMap(Lambda("x", LVar("x")), LTable("T"))
+        assert left == right
+        assert left != LMap(Lambda("y", LVar("y")), LTable("T"))
+
+    def test_pretty(self):
+        expr = LMap(Lambda("p", dot(LVar("p"), "name")), LTable("P"))
+        assert repr(expr) == "map (λp.(p.name)) $P"

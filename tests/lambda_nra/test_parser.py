@@ -1,0 +1,80 @@
+r"""Tests for the NRAλ parser."""
+
+import pytest
+
+from repro.data.model import bag, rec
+from repro.lambda_nra import LFilter, LMap, LTable, LVar, eval_lnra
+from repro.lambda_nra.parser import parse_lnra
+from repro.sql.lexer import SqlSyntaxError
+
+PERSONS = bag(
+    rec(name="ann", age=40, kids=bag(rec(name="k1"))),
+    rec(name="bob", age=20, kids=bag()),
+)
+DB = {"persons": PERSONS}
+
+
+class TestParsing:
+    def test_map_filter(self):
+        expr = parse_lnra(r"map(\p -> p.name)(filter(\p -> p.age < 30)(persons))")
+        assert isinstance(expr, LMap)
+        assert isinstance(expr.arg, LFilter)
+        assert eval_lnra(expr, {}, DB) == bag("bob")
+
+    def test_free_names_are_tables_bound_names_are_vars(self):
+        expr = parse_lnra(r"map(\p -> p)(persons)")
+        assert isinstance(expr.fn.body, LVar)
+        assert isinstance(expr.arg, LTable)
+
+    def test_shadowing(self):
+        expr = parse_lnra(r"map(\x -> map(\x -> x.name)(x.kids))(persons)")
+        assert eval_lnra(expr, {}, DB) == bag(bag("k1"), bag())
+
+    def test_djoin(self):
+        expr = parse_lnra(r"djoin(\p -> map(\k -> struct(kid: k.name))(p.kids))(persons)")
+        result = eval_lnra(expr, {}, DB)
+        assert len(result) == 1
+        assert result.items[0]["kid"] == "k1"
+
+    def test_product_and_struct(self):
+        expr = parse_lnra("product(bag(struct(a: 1)), bag(struct(b: 2)))")
+        assert eval_lnra(expr) == bag(rec(a=1, b=2))
+
+    def test_aggregates(self):
+        assert eval_lnra(parse_lnra(r"sum(map(\p -> p.age)(persons))"), {}, DB) == 60
+        assert eval_lnra(parse_lnra("count(persons)"), {}, DB) == 2
+        assert eval_lnra(parse_lnra(r"max(map(\p -> p.age)(persons))"), {}, DB) == 40
+
+    def test_arithmetic_precedence(self):
+        assert eval_lnra(parse_lnra("1 + 2 * 3")) == 7
+
+    def test_boolean_connectives(self):
+        assert eval_lnra(parse_lnra("1 < 2 and not (2 < 1)")) is True
+
+    def test_bag_literal(self):
+        assert eval_lnra(parse_lnra("bag(1, 2, 2)")) == bag(1, 2, 2)
+        assert eval_lnra(parse_lnra("bag()")) == bag()
+
+    def test_union_and_in(self):
+        assert eval_lnra(parse_lnra("bag(1) union bag(2)")) == bag(1, 2)
+        assert eval_lnra(parse_lnra("2 in bag(1, 2)")) is True
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_lnra("1 2")
+
+
+class TestThroughCompiler:
+    def test_parsed_query_compiles_and_runs(self):
+        from repro.compiler.pipeline import compile_lnra, compile_to_python
+
+        expr = parse_lnra(r"map(\p -> p.name)(filter(\p -> p.age < 30)(persons))")
+        result = compile_lnra(expr)
+        fn = compile_to_python(result.final)
+        assert fn(DB) == bag("bob")
+
+    def test_figure1_t1_from_text(self):
+        left = parse_lnra(r"map(\a -> a.city)(map(\p -> p.addr)(p0))")
+        right = parse_lnra(r"map(\p -> p.addr.city)(p0)")
+        db = {"p0": bag(rec(addr=rec(city="NY")))}
+        assert eval_lnra(left, {}, db) == eval_lnra(right, {}, db) == bag("NY")

@@ -1,0 +1,110 @@
+"""Unit tests for NNRC semantics (paper §5)."""
+
+import pytest
+
+from repro.data.model import Bag, bag, rec
+from repro.data.operators import OpAdd, OpBag, OpDot, OpEq, OpFlatten
+from repro.nnrc import ast
+from repro.nnrc.eval import eval_nnrc
+from repro.nraenv.eval import EvalError
+
+
+class TestBasics:
+    def test_var(self):
+        assert eval_nnrc(ast.Var("x"), {"x": 3}) == 3
+
+    def test_unbound_var(self):
+        with pytest.raises(EvalError):
+            eval_nnrc(ast.Var("x"))
+
+    def test_const(self):
+        assert eval_nnrc(ast.Const(bag(1))) == bag(1)
+
+    def test_get_constant(self):
+        assert eval_nnrc(ast.GetConstant("T"), {}, {"T": 5}) == 5
+
+    def test_unop_binop(self):
+        expr = ast.Binop(OpAdd(), ast.Const(1), ast.Unop(OpDot("a"), ast.Var("r")))
+        assert eval_nnrc(expr, {"r": rec(a=2)}) == 3
+
+
+class TestBinders:
+    def test_let(self):
+        expr = ast.Let("x", ast.Const(2), ast.Binop(OpAdd(), ast.Var("x"), ast.Var("x")))
+        assert eval_nnrc(expr) == 4
+
+    def test_let_shadowing(self):
+        expr = ast.Let("x", ast.Const(1), ast.Let("x", ast.Const(2), ast.Var("x")))
+        assert eval_nnrc(expr) == 2
+
+    def test_let_is_strict(self):
+        failing = ast.Unop(OpDot("a"), ast.Const(5))
+        expr = ast.Let("x", failing, ast.Const(0))
+        with pytest.raises(EvalError):
+            eval_nnrc(expr)
+
+    def test_for_comprehension(self):
+        expr = ast.For("x", ast.Const(bag(1, 2, 3)), ast.Binop(OpAdd(), ast.Var("x"), ast.Const(10)))
+        assert eval_nnrc(expr) == bag(11, 12, 13)
+
+    def test_for_over_empty(self):
+        expr = ast.For("x", ast.Const(Bag([])), ast.Var("x"))
+        assert eval_nnrc(expr) == Bag([])
+
+    def test_for_over_non_bag(self):
+        with pytest.raises(EvalError):
+            eval_nnrc(ast.For("x", ast.Const(5), ast.Var("x")))
+
+    def test_nested_for(self):
+        expr = ast.For(
+            "x",
+            ast.Const(bag(bag(1), bag(2, 3))),
+            ast.For("y", ast.Var("x"), ast.Var("y")),
+        )
+        # {{y | y ∈ x} | x ∈ ...}: the inner comprehension rebuilds each
+        # inner bag, so the result keeps the nesting.
+        assert eval_nnrc(expr) == bag(bag(1), bag(2, 3))
+
+    def test_outer_var_visible_in_for_body(self):
+        expr = ast.Let(
+            "k",
+            ast.Const(10),
+            ast.For("x", ast.Const(bag(1, 2)), ast.Binop(OpAdd(), ast.Var("x"), ast.Var("k"))),
+        )
+        assert eval_nnrc(expr) == bag(11, 12)
+
+
+class TestIf:
+    def test_branches(self):
+        assert eval_nnrc(ast.If(ast.Const(True), ast.Const(1), ast.Const(2))) == 1
+        assert eval_nnrc(ast.If(ast.Const(False), ast.Const(1), ast.Const(2))) == 2
+
+    def test_laziness(self):
+        failing = ast.Unop(OpDot("a"), ast.Const(5))
+        assert eval_nnrc(ast.If(ast.Const(True), ast.Const(1), failing)) == 1
+
+    def test_non_boolean_condition(self):
+        with pytest.raises(EvalError):
+            eval_nnrc(ast.If(ast.Const(3), ast.Const(1), ast.Const(2)))
+
+
+class TestMetrics:
+    def test_size(self):
+        expr = ast.Let("x", ast.Const(1), ast.Var("x"))
+        assert expr.size() == 3
+
+    def test_depth_counts_binders(self):
+        expr = ast.For("x", ast.Const(bag()), ast.Let("y", ast.Var("x"), ast.Var("y")))
+        assert expr.depth() == 2
+        assert ast.Const(1).depth() == 0
+
+    def test_equality_structural(self):
+        left = ast.Let("x", ast.Const(1), ast.Var("x"))
+        right = ast.Let("x", ast.Const(1), ast.Var("x"))
+        other = ast.Let("y", ast.Const(1), ast.Var("y"))
+        assert left == right
+        assert left != other  # equality is literal, not α-equivalence
+
+    def test_pretty(self):
+        expr = ast.For("x", ast.Const(bag(1)), ast.Var("x"))
+        assert repr(expr) == "{x | x ∈ {1}}"

@@ -1,0 +1,102 @@
+"""Unit tests for free variables and capture-avoiding substitution."""
+
+from repro.data.model import bag
+from repro.data.operators import OpAdd, OpBag
+from repro.nnrc import ast
+from repro.nnrc.eval import eval_nnrc
+from repro.nnrc.freevars import (
+    FreshNames,
+    all_names,
+    bound_vars,
+    count_occurrences,
+    free_vars,
+    rename_bound,
+    substitute,
+)
+
+
+def add(left, right):
+    return ast.Binop(OpAdd(), left, right)
+
+
+class TestFreeVars:
+    def test_var_is_free(self):
+        assert free_vars(ast.Var("x")) == {"x"}
+
+    def test_let_binds(self):
+        expr = ast.Let("x", ast.Var("y"), ast.Var("x"))
+        assert free_vars(expr) == {"y"}
+
+    def test_let_defn_not_in_scope(self):
+        expr = ast.Let("x", ast.Var("x"), ast.Var("x"))
+        assert free_vars(expr) == {"x"}  # the defn's x is free
+
+    def test_for_binds(self):
+        expr = ast.For("x", ast.Var("xs"), add(ast.Var("x"), ast.Var("y")))
+        assert free_vars(expr) == {"xs", "y"}
+
+    def test_bound_vars(self):
+        expr = ast.Let("x", ast.Const(1), ast.For("y", ast.Var("x"), ast.Var("y")))
+        assert bound_vars(expr) == {"x", "y"}
+
+
+class TestCountOccurrences:
+    def test_counts_free_only(self):
+        expr = ast.Let("x", ast.Var("x"), ast.Var("x"))
+        assert count_occurrences(expr, "x") == 1  # only the defn occurrence
+
+    def test_counts_multiple(self):
+        expr = add(ast.Var("x"), add(ast.Var("x"), ast.Var("y")))
+        assert count_occurrences(expr, "x") == 2
+
+
+class TestSubstitute:
+    def test_simple(self):
+        assert substitute(ast.Var("x"), "x", ast.Const(1)) == ast.Const(1)
+
+    def test_shadowed_occurrence_untouched(self):
+        expr = ast.Let("x", ast.Var("x"), ast.Var("x"))
+        result = substitute(expr, "x", ast.Const(9))
+        assert result == ast.Let("x", ast.Const(9), ast.Var("x"))
+
+    def test_capture_avoidance(self):
+        # (let y = 1 in x + y)[y/x] must NOT capture the payload's y.
+        expr = ast.Let("y", ast.Const(1), add(ast.Var("x"), ast.Var("y")))
+        result = substitute(expr, "x", ast.Var("y"))
+        # Semantics check with y bound in the outer environment:
+        assert eval_nnrc(result, {"y": 100}) == 101
+
+    def test_capture_avoidance_in_for(self):
+        expr = ast.For("y", ast.Const(bag(1, 2)), add(ast.Var("x"), ast.Var("y")))
+        result = substitute(expr, "x", ast.Var("y"))
+        assert eval_nnrc(result, {"y": 10}) == bag(11, 12)
+
+    def test_substitution_preserves_semantics(self):
+        expr = ast.Let("a", ast.Var("x"), add(ast.Var("a"), ast.Var("x")))
+        result = substitute(expr, "x", ast.Const(5))
+        assert eval_nnrc(result) == eval_nnrc(expr, {"x": 5}) == 10
+
+
+class TestRenameBound:
+    def test_normalises_shadowing(self):
+        expr = ast.Let("x", ast.Const(1), ast.Let("x", ast.Const(2), ast.Var("x")))
+        renamed = rename_bound(expr, FreshNames(avoid=all_names(expr)))
+        assert eval_nnrc(renamed) == eval_nnrc(expr) == 2
+        binders = [n.var for n in renamed.walk() if isinstance(n, ast.Let)]
+        assert len(set(binders)) == 2  # distinct names now
+
+    def test_free_vars_unchanged(self):
+        expr = ast.For("x", ast.Var("xs"), add(ast.Var("x"), ast.Var("y")))
+        renamed = rename_bound(expr, FreshNames(avoid=all_names(expr)))
+        assert free_vars(renamed) == {"xs", "y"}
+
+
+class TestFreshNames:
+    def test_avoids_given_names(self):
+        names = FreshNames(avoid=["x0", "x1"])
+        assert names.fresh("x") == "x2"
+
+    def test_never_repeats(self):
+        names = FreshNames()
+        generated = {names.fresh() for _ in range(50)}
+        assert len(generated) == 50

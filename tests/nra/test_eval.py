@@ -1,0 +1,52 @@
+"""Unit tests for the independent NRA semantics ``⇓n``."""
+
+import pytest
+
+from repro.data.model import Bag, bag, rec
+from repro.nra import check_nra, eval_nra
+from repro.nraenv import builders as b
+from repro.nraenv.eval import EvalError, eval_nraenv
+
+
+class TestNraEval:
+    def test_basic_pipeline(self):
+        plan = b.chi(b.dot(b.id_(), "a"), b.sigma(b.gt(b.dot(b.id_(), "a"), b.const(1)), b.id_()))
+        assert eval_nra(plan, bag(rec(a=1), rec(a=2), rec(a=3))) == bag(2, 3)
+
+    def test_constants(self):
+        assert eval_nra(b.table("T"), None, {"T": bag(1)}) == bag(1)
+
+    def test_env_operators_rejected(self):
+        with pytest.raises(EvalError):
+            eval_nra(b.env(), rec())
+        with pytest.raises(EvalError):
+            eval_nra(b.appenv(b.id_(), b.id_()), 1)
+        with pytest.raises(EvalError):
+            eval_nra(b.chie(b.id_()), bag())
+
+    def test_default_rules(self):
+        assert eval_nra(b.default(b.const(Bag([])), b.const(bag(1))), None) == bag(1)
+        assert eval_nra(b.default(b.const(bag(2)), b.const(bag(1))), None) == bag(2)
+
+    def test_dep_join(self):
+        body = b.chi(b.rec_field("y", b.id_()), b.dot(b.id_(), "xs"))
+        plan = b.djoin(body, b.id_())
+        result = eval_nra(plan, bag(rec(xs=bag(1))))
+        assert result == bag(rec(xs=bag(1), y=1))
+
+    def test_check_nra(self):
+        assert check_nra(b.id_()) == b.id_()
+        with pytest.raises(ValueError):
+            check_nra(b.env())
+
+    def test_agrees_with_nraenv_semantics_on_nra_plans(self):
+        # §3.3: NRA queries behave the same under ⇓n and ⇓a.
+        plans = [
+            b.chi(b.dot(b.id_(), "a"), b.id_()),
+            b.sigma(b.gt(b.dot(b.id_(), "a"), b.const(1)), b.id_()),
+            b.product(b.coll(b.rec_field("x", b.const(1))), b.id_()),
+            b.default(b.sigma(b.const(False), b.id_()), b.const(bag(rec(a=0)))),
+        ]
+        datum = bag(rec(a=1), rec(a=2))
+        for plan in plans:
+            assert eval_nra(plan, datum) == eval_nraenv(plan, rec(), datum)

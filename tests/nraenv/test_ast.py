@@ -1,0 +1,162 @@
+"""Unit tests for NRAe syntax: equality, metrics, traversal, macros."""
+
+import pytest
+
+from repro.data.model import Bag, bag, rec
+from repro.nraenv import ast, builders as b
+from repro.nraenv.ast import is_nra, project, unnest
+from repro.nraenv.eval import eval_nraenv
+
+
+class TestStructuralEquality:
+    def test_equal_plans(self):
+        assert b.chi(b.id_(), b.table("P")) == b.chi(b.id_(), b.table("P"))
+
+    def test_unequal_operators(self):
+        assert b.dot(b.id_(), "a") != b.dot(b.id_(), "b")
+
+    def test_unequal_shapes(self):
+        assert b.chi(b.id_(), b.table("P")) != b.sigma(b.id_(), b.table("P"))
+
+    def test_const_equality_by_value(self):
+        assert b.const(bag(1, 2)) == b.const(bag(2, 1))
+        assert b.const(1) != b.const(True)
+
+    def test_hashable(self):
+        seen = {b.chi(b.id_(), b.table("P"))}
+        assert b.chi(b.id_(), b.table("P")) in seen
+
+    def test_not_equal_to_other_types(self):
+        assert b.id_() != "In"
+
+
+class TestMetrics:
+    def test_size_counts_operators(self):
+        plan = b.chi(b.dot(b.id_(), "a"), b.table("P"))
+        # Map + Unop(dot) + ID + GetConstant
+        assert plan.size() == 4
+
+    def test_depth_counts_iterator_nesting(self):
+        flat = b.chi(b.dot(b.id_(), "a"), b.table("P"))
+        assert flat.depth() == 1
+        nested = b.chi(b.chi(b.id_(), b.dot(b.id_(), "xs")), b.table("P"))
+        assert nested.depth() == 2
+
+    def test_map_pipeline_depth_does_not_accumulate(self):
+        plan = b.chi(b.id_(), b.chi(b.id_(), b.chi(b.id_(), b.table("P"))))
+        assert plan.depth() == 1
+
+    def test_composition_depth_is_max(self):
+        plan = b.comp(b.chi(b.id_(), b.id_()), b.chi(b.id_(), b.id_()))
+        assert plan.depth() == 1
+
+
+class TestTraversal:
+    def test_walk_preorder(self):
+        plan = b.chi(b.dot(b.id_(), "a"), b.table("P"))
+        kinds = [type(node).__name__ for node in plan.walk()]
+        assert kinds == ["Map", "Unop", "ID", "GetConstant"]
+
+    def test_transform_bottom_up_rebuilds(self):
+        plan = b.chi(b.id_(), b.table("P"))
+
+        def swap_table(node):
+            if isinstance(node, ast.GetConstant):
+                return ast.GetConstant("Q")
+            return node
+
+        assert plan.transform_bottom_up(swap_table) == b.chi(b.id_(), b.table("Q"))
+
+    def test_transform_identity_returns_same_nodes(self):
+        plan = b.chi(b.id_(), b.table("P"))
+        assert plan.transform_bottom_up(lambda n: n) is not None
+        assert plan.transform_bottom_up(lambda n: n) == plan
+
+
+class TestNraPredicate:
+    def test_pure_nra_plan(self):
+        assert is_nra(b.chi(b.dot(b.id_(), "a"), b.table("P")))
+
+    def test_env_node_is_not_nra(self):
+        assert not is_nra(b.chi(b.env(), b.table("P")))
+
+    def test_appenv_is_not_nra(self):
+        assert not is_nra(b.appenv(b.id_(), b.id_()))
+
+    def test_mapenv_is_not_nra(self):
+        assert not is_nra(b.chie(b.id_()))
+
+
+class TestDerivedOperators:
+    def test_project_macro(self):
+        plan = project(["a"], b.const(bag(rec(a=1, b=2), rec(a=3, b=4))))
+        assert eval_nraenv(plan, rec(), None) == bag(rec(a=1), rec(a=3))
+
+    def test_unnest_macro(self):
+        # ρ_{B/{A}}: unnest the bag under A into field B.
+        source = b.const(bag(rec(k=1, A=bag(10, 20)), rec(k=2, A=bag())))
+        plan = unnest("B", "A", source)
+        assert eval_nraenv(plan, rec(), None) == bag(
+            rec(k=1, B=10), rec(k=1, B=20)
+        )
+
+    def test_record_builder(self):
+        plan = b.record({"x": b.const(1), "y": b.const(2)})
+        assert eval_nraenv(plan, rec(), None) == rec(x=1, y=2)
+
+    def test_empty_record_builder(self):
+        assert eval_nraenv(b.record({}), rec(), None) == rec()
+
+    def test_dots_builder(self):
+        plan = b.dots(b.id_(), "a", "b")
+        assert eval_nraenv(plan, rec(), rec(a=rec(b=7))) == 7
+
+
+class TestGroupBy:
+    def test_groups_by_key_fields(self):
+        rows = bag(
+            rec(d="eng", s=100), rec(d="eng", s=80), rec(d="ops", s=90)
+        )
+        plan = b.group_by(["d"], b.const(rows))
+        result = eval_nraenv(plan, rec(), None)
+        groups = {group["d"]: group["partition"] for group in result}
+        assert groups["eng"] == bag(rec(d="eng", s=100), rec(d="eng", s=80))
+        assert groups["ops"] == bag(rec(d="ops", s=90))
+
+    def test_empty_keys_is_one_group(self):
+        rows = bag(rec(a=1), rec(a=2))
+        plan = b.group_by([], b.const(rows))
+        result = eval_nraenv(plan, rec(), None)
+        assert result == bag(rec(partition=rows))
+
+    def test_multi_key_grouping(self):
+        rows = bag(rec(a=1, c=1), rec(a=1, c=2), rec(a=1, c=1))
+        plan = b.group_by(["a", "c"], b.const(rows))
+        result = eval_nraenv(plan, rec(), None)
+        assert len(result) == 2
+
+    def test_environment_passes_through(self):
+        # the source may itself read the (outer) environment
+        plan = b.group_by(["a"], b.coll(b.concat(b.env(), b.const(rec(a=1)))))
+        result = eval_nraenv(plan, rec(u=7), None)
+        assert result.items[0]["partition"].items[0]["u"] == 7
+
+    def test_grouping_over_empty_bag(self):
+        from repro.data.model import Bag
+
+        plan = b.group_by(["a"], b.const(Bag([])))
+        assert eval_nraenv(plan, rec(), None) == Bag([])
+
+
+class TestPretty:
+    def test_paper_notation(self):
+        plan = b.chi(b.dots(b.env(), "p", "addr", "city"), b.table("P"))
+        assert repr(plan) == "χ⟨Env.p.addr.city⟩($P)"
+
+    def test_appenv_notation(self):
+        plan = b.appenv(b.id_(), b.concat(b.env(), b.rec_field("x", b.id_())))
+        assert "∘e" in repr(plan)
+        assert "[x:In]" in repr(plan)
+
+    def test_values_in_notation(self):
+        assert repr(b.const(bag(rec(A=1)))) == "{[A:1]}"

@@ -1,0 +1,92 @@
+"""Unit tests for parametric plans and the lifting machinery (§4.2)."""
+
+import pytest
+
+from repro.nraenv import builders as b
+from repro.nraenv.ast import is_nra
+from repro.nraenv.context import (
+    ParametricEquivalence,
+    PlanVar,
+    classic_nra_equivalences,
+    instantiate,
+    is_parametric,
+    plan_vars,
+    q,
+)
+
+
+class TestPlanVars:
+    def test_collects_sorted_indices(self):
+        plan = b.union(q(2), b.sigma(q(0), q(2)))
+        assert plan_vars(plan) == (0, 2)
+
+    def test_no_vars(self):
+        assert plan_vars(b.id_()) == ()
+        assert not is_parametric(b.id_())
+        assert is_parametric(q(0))
+
+    def test_plan_var_equality(self):
+        assert q(1) == PlanVar(1)
+        assert q(1) != q(2)
+
+
+class TestInstantiation:
+    def test_substitutes_each_variable(self):
+        template = b.sigma(q(0), q(1))
+        result = instantiate(template, [b.id_(), b.table("T")])
+        assert result == b.sigma(b.id_(), b.table("T"))
+
+    def test_shared_variable_duplicated(self):
+        template = b.union(q(0), q(0))
+        assert instantiate(template, [b.table("T")]) == b.union(
+            b.table("T"), b.table("T")
+        )
+
+    def test_missing_argument_raises(self):
+        with pytest.raises(ValueError):
+            instantiate(q(3), [b.id_()])
+
+
+class TestParametricEquivalence:
+    def test_arity(self):
+        eq = ParametricEquivalence("e", b.sigma(q(0), q(2)), q(2))
+        assert eq.arity == 3
+
+    def test_is_nra_equivalence(self):
+        eq = ParametricEquivalence("e", b.chi(b.id_(), q(0)), q(0))
+        assert eq.is_nra_equivalence
+        eq_env = ParametricEquivalence("e", b.chi(b.env(), q(0)), q(0))
+        assert not eq_env.is_nra_equivalence
+
+    def test_lift_requires_nra(self):
+        eq_env = ParametricEquivalence("e", b.chi(b.env(), q(0)), q(0))
+        with pytest.raises(ValueError):
+            eq_env.lift()
+
+    def test_lift_preserves_shape_and_sorts(self):
+        eq = ParametricEquivalence(
+            "map_id", b.chi(b.id_(), q(0)), q(0), var_sorts=("bag",)
+        )
+        lifted = eq.lift()
+        assert lifted.lhs == eq.lhs and lifted.rhs == eq.rhs
+        assert lifted.sort_of(0) == "bag"
+        assert lifted.name.endswith("_lifted")
+
+    def test_sort_defaults_to_any(self):
+        eq = ParametricEquivalence("e", q(0), q(0))
+        assert eq.sort_of(0) == "any"
+
+
+class TestClassicCatalog:
+    def test_catalog_is_pure_nra(self):
+        for name, eq in classic_nra_equivalences().items():
+            assert eq.is_nra_equivalence, name
+            assert is_nra(eq.lhs) and is_nra(eq.rhs)
+
+    def test_catalog_contains_the_intro_rule(self):
+        assert "select_union_distr" in classic_nra_equivalences()
+
+    def test_instantiation_of_select_union_distr(self):
+        eq = classic_nra_equivalences()["select_union_distr"]
+        lhs, rhs = eq.instantiate([b.gt(b.dot(b.id_(), "a"), b.const(1)), b.table("T"), b.table("T")])
+        assert "∪" in repr(lhs) and "∪" in repr(rhs)

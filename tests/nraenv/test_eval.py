@@ -1,0 +1,171 @@
+"""Unit tests for the NRAe operational semantics (paper Figure 2)."""
+
+import pytest
+
+from repro.data.model import Bag, Record, bag, rec
+from repro.data.operators import OpAdd, OpDot
+from repro.nraenv import ast, builders as b
+from repro.nraenv.eval import EvalError, eval_nraenv
+
+
+class TestLeaves:
+    def test_constant(self):
+        assert eval_nraenv(b.const(42), rec(), 7) == 42
+
+    def test_id_returns_input(self):
+        assert eval_nraenv(b.id_(), rec(), 7) == 7
+
+    def test_env_returns_environment(self):
+        assert eval_nraenv(b.env(), rec(x=1), 7) == rec(x=1)
+
+    def test_get_constant(self):
+        assert eval_nraenv(b.table("T"), rec(), None, {"T": bag(1)}) == bag(1)
+
+    def test_unknown_constant_fails(self):
+        with pytest.raises(EvalError):
+            eval_nraenv(b.table("nope"), rec(), None, {})
+
+
+class TestComposition:
+    def test_comp_threads_value(self):
+        plan = b.comp(b.dot(b.id_(), "a"), b.const(rec(a=5)))
+        assert eval_nraenv(plan, rec(), None) == 5
+
+    def test_comp_preserves_environment(self):
+        plan = b.comp(b.env(), b.const(1))
+        assert eval_nraenv(plan, rec(x=9), None) == rec(x=9)
+
+    def test_appenv_sets_environment(self):
+        plan = b.appenv(b.env(), b.const(rec(y=2)))
+        assert eval_nraenv(plan, rec(x=1), None) == rec(y=2)
+
+    def test_appenv_preserves_input(self):
+        plan = b.appenv(b.id_(), b.const(rec(y=2)))
+        assert eval_nraenv(plan, rec(x=1), 7) == 7
+
+
+class TestMapSelect:
+    def test_map(self):
+        plan = b.chi(b.dot(b.id_(), "a"), b.const(bag(rec(a=1), rec(a=2))))
+        assert eval_nraenv(plan, rec(), None) == bag(1, 2)
+
+    def test_map_empty(self):
+        plan = b.chi(b.dot(b.id_(), "a"), b.const(Bag([])))
+        assert eval_nraenv(plan, rec(), None) == Bag([])
+
+    def test_map_over_non_bag_fails(self):
+        with pytest.raises(EvalError):
+            eval_nraenv(b.chi(b.id_(), b.const(5)), rec(), None)
+
+    def test_map_body_sees_environment(self):
+        plan = b.chi(b.dot(b.env(), "x"), b.const(bag(1, 2)))
+        assert eval_nraenv(plan, rec(x=9), None) == bag(9, 9)
+
+    def test_select_keeps_true_elements(self):
+        plan = b.sigma(b.gt(b.id_(), b.const(1)), b.const(bag(1, 2, 3)))
+        assert eval_nraenv(plan, rec(), None) == bag(2, 3)
+
+    def test_select_non_boolean_predicate_fails(self):
+        plan = b.sigma(b.id_(), b.const(bag(1)))
+        with pytest.raises(EvalError):
+            eval_nraenv(plan, rec(), None)
+
+
+class TestProductDepJoin:
+    def test_product(self):
+        plan = b.product(
+            b.const(bag(rec(a=1), rec(a=2))), b.const(bag(rec(b=3)))
+        )
+        assert eval_nraenv(plan, rec(), None) == bag(rec(a=1, b=3), rec(a=2, b=3))
+
+    def test_product_right_bias_on_overlap(self):
+        plan = b.product(b.const(bag(rec(a=1))), b.const(bag(rec(a=9))))
+        assert eval_nraenv(plan, rec(), None) == bag(rec(a=9))
+
+    def test_product_empty_left_short_circuits(self):
+        # (Prodˡ∅): the right operand is not evaluated.
+        plan = b.product(b.const(Bag([])), b.chi(b.id_(), b.const(5)))
+        assert eval_nraenv(plan, rec(), None) == Bag([])
+
+    def test_product_non_record_elements_fail(self):
+        plan = b.product(b.const(bag(1)), b.const(bag(rec(a=1))))
+        with pytest.raises(EvalError):
+            eval_nraenv(plan, rec(), None)
+
+    def test_dep_join_body_sees_element(self):
+        # ⋈d⟨χ⟨[b: In]⟩(In.xs)⟩(q): pairs each record with its own xs.
+        body = b.chi(b.rec_field("b", b.id_()), b.dot(b.id_(), "xs"))
+        plan = b.djoin(body, b.const(bag(rec(a=1, xs=bag(10, 20)), rec(a=2, xs=bag()))))
+        assert eval_nraenv(plan, rec(), None) == bag(
+            rec(a=1, xs=bag(10, 20), b=10), rec(a=1, xs=bag(10, 20), b=20)
+        )
+
+
+class TestDefault:
+    def test_default_left_non_empty(self):
+        assert eval_nraenv(b.default(b.const(bag(1)), b.const(bag(2))), rec(), None) == bag(1)
+
+    def test_default_left_empty_takes_right(self):
+        assert eval_nraenv(b.default(b.const(Bag([])), b.const(bag(2))), rec(), None) == bag(2)
+
+    def test_default_right_lazy(self):
+        # Default¬∅ never evaluates the right operand.
+        failing = b.dot(b.const(5), "a")
+        assert eval_nraenv(b.default(b.const(bag(1)), failing), rec(), None) == bag(1)
+
+    def test_default_on_non_bag_left_returns_it(self):
+        assert eval_nraenv(b.default(b.const(7), b.const(bag(2))), rec(), None) == 7
+
+
+class TestEnvironmentOperators:
+    def test_merge_success_example_from_paper(self):
+        # §3.3: χe⟨Env.A + Env.C⟩ ∘e (Env ⊗ [B:3, C:4]) ⇒ {5}
+        body = b.binop(OpAdd(), b.dot(b.env(), "A"), b.dot(b.env(), "C"))
+        plan = b.appenv(b.chie(body), b.merge(b.env(), b.const(rec(B=3, C=4))))
+        assert eval_nraenv(plan, rec(A=1, B=3), None) == bag(5)
+
+    def test_merge_failure_example_from_paper(self):
+        # §3.3: conflicting B ⇒ {}
+        body = b.binop(OpAdd(), b.dot(b.env(), "A"), b.dot(b.env(), "C"))
+        plan = b.appenv(b.chie(body), b.merge(b.env(), b.const(rec(B=2, C=4))))
+        assert eval_nraenv(plan, rec(A=1, B=3), None) == Bag([])
+
+    def test_mapenv_requires_bag_environment(self):
+        with pytest.raises(EvalError):
+            eval_nraenv(b.chie(b.env()), rec(), None)
+
+    def test_mapenv_maps_over_environment(self):
+        plan = b.chie(b.dot(b.env(), "x"))
+        assert eval_nraenv(plan, bag(rec(x=1), rec(x=2)), None) == bag(1, 2)
+
+    def test_mapenv_body_keeps_input(self):
+        plan = b.chie(b.id_())
+        assert eval_nraenv(plan, bag(rec(), rec()), 7) == bag(7, 7)
+
+    def test_env_extension_with_shadowing(self):
+        # q ∘e (Env ⊕ [x: In]) : ⊕ favors the new binding.
+        plan = b.appenv(
+            b.dot(b.env(), "x"), b.concat(b.env(), b.rec_field("x", b.id_()))
+        )
+        assert eval_nraenv(plan, rec(x=1), 99) == 99
+
+
+class TestConditionalEncoding:
+    def test_then_branch(self):
+        assert eval_nraenv(b.if_then_else(b.const(True), b.const(1), b.const(2))) == 1
+
+    def test_else_branch(self):
+        assert eval_nraenv(b.if_then_else(b.const(False), b.const(1), b.const(2))) == 2
+
+    def test_untaken_else_not_evaluated(self):
+        failing = b.dot(b.const(5), "a")
+        plan = b.if_then_else(b.const(True), b.const(1), failing)
+        assert eval_nraenv(plan) == 1
+
+    def test_then_branch_sees_original_input(self):
+        plan = b.if_then_else(b.const(True), b.id_(), b.const(0))
+        assert eval_nraenv(plan, rec(), 42) == 42
+
+    def test_taken_then_returning_empty_bag_suppresses_else(self):
+        plan = b.if_then_else(b.const(True), b.const(Bag([])), b.const(bag(1)))
+        assert eval_nraenv(plan) == Bag([])

@@ -1,0 +1,114 @@
+"""Unit + property tests for the Ie/Ii predicates (paper §3.3).
+
+Soundness is the property that matters: whenever ``ignores_env(q)``
+holds, evaluation must be invariant under the environment (and dually
+for ``ignores_id``).
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.model import bag, rec, values_equal
+from repro.nraenv import builders as b
+from repro.nraenv.eval import EvalError, eval_nraenv
+from repro.nraenv.ignores import ignores_env, ignores_id
+from repro.optim.verify import gen_plan, random_constants, random_datum
+
+
+class TestIgnoresEnv:
+    def test_leaves(self):
+        assert ignores_env(b.id_())
+        assert ignores_env(b.const(1))
+        assert ignores_env(b.table("T"))
+        assert not ignores_env(b.env())
+
+    def test_mapenv_reads_env(self):
+        assert not ignores_env(b.chie(b.const(1)))
+
+    def test_appenv_shields_after(self):
+        # q2 ∘e q1 ignores the env as soon as q1 does — even if q2 reads Env.
+        plan = b.appenv(b.dot(b.env(), "x"), b.const(rec(x=1)))
+        assert ignores_env(plan)
+
+    def test_appenv_with_env_reading_before(self):
+        plan = b.appenv(b.const(1), b.env())
+        assert not ignores_env(plan)
+
+    def test_map_body_env_counts(self):
+        assert not ignores_env(b.chi(b.env(), b.const(bag(1))))
+
+
+class TestIgnoresId:
+    def test_leaves(self):
+        assert not ignores_id(b.id_())
+        assert ignores_id(b.const(1))
+        assert ignores_id(b.env())
+        assert ignores_id(b.table("T"))
+
+    def test_app_shields_after(self):
+        # q1 ∘ q2 ignores the input as soon as q2 does.
+        plan = b.comp(b.dot(b.id_(), "x"), b.const(rec(x=1)))
+        assert ignores_id(plan)
+
+    def test_map_shields_body(self):
+        # The body's In is the bag element, not the outer input.
+        plan = b.chi(b.id_(), b.table("T"))
+        assert ignores_id(plan)
+
+    def test_map_over_id_reads_input(self):
+        assert not ignores_id(b.chi(b.const(1), b.id_()))
+
+    def test_appenv_needs_both(self):
+        assert not ignores_id(b.appenv(b.id_(), b.env()))
+        assert not ignores_id(b.appenv(b.env(), b.id_()))
+        assert ignores_id(b.appenv(b.env(), b.env()))
+
+
+_FAILED = object()
+
+
+def _run(plan, env, datum, constants):
+    try:
+        return eval_nraenv(plan, env, datum, constants)
+    except EvalError:
+        return _FAILED
+
+
+def _same_outcome(first, second) -> bool:
+    if first is _FAILED or second is _FAILED:
+        return first is second
+    return values_equal(first, second)
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=60, deadline=None)
+def test_ignores_env_soundness(seed):
+    """If Ie(q), evaluation does not depend on the environment."""
+    rng = random.Random(seed)
+    plan = gen_plan(rng, "any", depth=2)
+    if not ignores_env(plan):
+        return
+    datum = random_datum(rng)
+    constants = random_constants(rng)
+    environments = [rec(a=0, u=0), rec(a=5, u=5), bag(rec(a=1, u=1)), 42]
+    baseline = _run(plan, environments[0], datum, constants)
+    for env in environments[1:]:
+        assert _same_outcome(baseline, _run(plan, env, datum, constants))
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=60, deadline=None)
+def test_ignores_id_soundness(seed):
+    """If Ii(q), evaluation does not depend on the input datum."""
+    rng = random.Random(seed)
+    plan = gen_plan(rng, "any", depth=2)
+    if not ignores_id(plan):
+        return
+    env = rec(a=1, u=2)
+    constants = random_constants(rng)
+    data = [rec(a=0, b=0), rec(a=5, b=5), bag(), "weird", None]
+    baseline = _run(plan, env, data[0], constants)
+    for datum in data[1:]:
+        assert _same_outcome(baseline, _run(plan, env, datum, constants))

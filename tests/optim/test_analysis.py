@@ -1,0 +1,86 @@
+"""Tests for the nodup analysis and the tdup_elim rewrite (paper §1)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.model import Bag, bag, rec
+from repro.nraenv import builders as b
+from repro.nraenv.eval import EvalError, eval_nraenv
+from repro.optim.analysis import nodup
+from repro.optim.nra_lifted_rules import classic_relational_rules
+from repro.optim.verify import gen_plan, random_constants, random_datum
+from tests.optim.util import assert_rule_sound, bag_plan, pred_plan, rule_by_name
+
+
+class TestNodupPredicate:
+    def test_distinct_is_nodup(self):
+        assert nodup(b.distinct(b.table("T")))
+
+    def test_singleton_is_nodup(self):
+        assert nodup(b.coll(b.id_()))
+
+    def test_duplicate_free_constant(self):
+        assert nodup(b.const(bag(1, 2, 3)))
+        assert not nodup(b.const(bag(1, 1)))
+        assert not nodup(b.const(5))
+
+    def test_select_preserves_nodup(self):
+        assert nodup(b.sigma(b.const(True), b.distinct(b.table("T"))))
+        assert not nodup(b.sigma(b.const(True), b.table("T")))
+
+    def test_table_unknown(self):
+        assert not nodup(b.table("T"))
+
+    def test_composition_uses_after(self):
+        assert nodup(b.comp(b.distinct(b.id_()), b.table("T")))
+        assert nodup(b.appenv(b.coll(b.env()), b.id_()))
+
+    def test_union_not_nodup(self):
+        assert not nodup(b.union(b.distinct(b.table("T")), b.distinct(b.table("T"))))
+
+
+@given(st.integers(min_value=0, max_value=50_000))
+@settings(max_examples=80, deadline=None)
+def test_nodup_soundness(seed):
+    """If nodup(q) holds and q evaluates to a bag, it has no duplicates."""
+    rng = random.Random(seed)
+    plan = gen_plan(rng, "bag", depth=3)
+    if rng.random() < 0.5:
+        plan = b.distinct(plan) if rng.random() < 0.5 else b.sigma(
+            b.gt(b.dot(b.id_(), "a"), b.const(2)), plan
+        )
+    if not nodup(plan):
+        return
+    env = rec(a=rng.randint(0, 5), u=rng.randint(0, 5))
+    try:
+        value = eval_nraenv(plan, env, random_datum(rng), random_constants(rng))
+    except EvalError:
+        return
+    if isinstance(value, Bag):
+        assert len(value.distinct()) == len(value), plan
+
+
+class TestDupElimRewrite:
+    def test_fires_and_is_sound(self):
+        assert_rule_sound(
+            rule_by_name(classic_relational_rules(), "dup_elim"),
+            [
+                lambda rng: b.distinct(b.distinct(bag_plan(rng))),
+                lambda rng: b.distinct(b.sigma(pred_plan(rng), b.distinct(bag_plan(rng)))),
+                lambda rng: b.distinct(b.coll(b.id_())),
+            ],
+        )
+
+    def test_does_not_fire_without_precondition(self):
+        rule = rule_by_name(classic_relational_rules(), "dup_elim")
+        assert rule.apply(b.distinct(b.table("T"))) is None
+
+    def test_in_default_rule_set(self):
+        from repro.optim.defaults import default_nraenv_rules, optimize_nraenv
+
+        assert any(r.name == "dup_elim" for r in default_nraenv_rules())
+        plan = b.distinct(b.distinct(b.table("T")))
+        result = optimize_nraenv(plan)
+        assert result.plan == b.distinct(b.table("T"))

@@ -1,0 +1,118 @@
+"""Tests for the Figure 13 CAMP-targeted NRAe rewrites.
+
+Beyond per-rule soundness, these rules must actually *fire* on plans
+produced by the CAMP→NRAe translation — that is their entire purpose.
+"""
+
+from repro.camp import ast as camp
+from repro.data import operators as ops
+from repro.data.model import Record, bag, rec
+from repro.nraenv import builders as b
+from repro.nraenv.eval import eval_nraenv
+from repro.optim.camp_specific_rules import figure13_rules
+from repro.optim.defaults import optimize_nraenv
+from repro.translate.camp_to_nraenv import camp_to_nraenv
+from tests.optim.util import assert_rule_sound, pred_plan, record_plan, rule_by_name
+
+RULES = figure13_rules()
+
+
+class TestPerRule:
+    def test_compose_selects_in_mapenv(self):
+        # flatten(χe⟨χ⟨Env⟩(σ⟨q1⟩({In}))⟩) ∘e χ⟨Env⟩(σ⟨q2⟩({In}))
+        def maker(rng):
+            return b.appenv(
+                b.flatten_(
+                    b.chie(b.chi(b.env(), b.sigma(pred_plan(rng), b.coll(b.id_()))))
+                ),
+                b.chi(b.env(), b.sigma(pred_plan(rng), b.coll(b.id_()))),
+            )
+
+        assert_rule_sound(rule_by_name(RULES, "compose_selects_in_mapenv"), [maker])
+
+    def test_appenv_mapenv_to_map(self):
+        # (χe⟨q⟩) ∘e (Env ⊗ [a: In])
+        def maker(rng):
+            body = b.coll(b.dot(b.env(), "x"))
+            return b.appenv(
+                b.chie(body), b.merge(b.env(), b.rec_field("x", b.id_()))
+            )
+
+        assert_rule_sound(rule_by_name(RULES, "appenv_mapenv_to_map"), [maker])
+
+    def test_appenv_flatten_mapenv_to_map(self):
+        def maker(rng):
+            body = b.chi(b.dot(b.env(), "x"), b.coll(b.const(1)))
+            return b.appenv(
+                b.flatten_(b.chie(b.coll(body))),
+                b.merge(b.env(), b.rec_field("x", b.id_())),
+            )
+
+        assert_rule_sound(rule_by_name(RULES, "appenv_flatten_mapenv_to_map"), [maker])
+
+    def test_flip_env6(self):
+        # χ⟨Env ⊗ In⟩(σ⟨q1⟩(Env ⊗ q2)) ⇒ χ⟨{In}⟩(σ⟨q1⟩(Env ⊗ q2))
+        def maker(rng):
+            return b.chi(
+                b.merge(b.env(), b.id_()),
+                b.sigma(pred_plan(rng), b.merge(b.env(), record_plan(rng))),
+            )
+
+        assert_rule_sound(rule_by_name(RULES, "flip_env6"), [maker])
+
+
+class TestOnRealCampPlans:
+    def _letenv_pattern(self):
+        # let env += [x: it] in (it = env.x) — the body reads both the
+        # datum and the environment, which is exactly the shape Figure
+        # 13's rule 2 (appenv_mapenv_to_map) exists for.
+        body = camp.PBinop(
+            ops.OpEq(), camp.PIt(), camp.PUnop(ops.OpDot("x"), camp.PEnv())
+        )
+        return camp.PLetEnv(camp.PUnop(ops.OpRec("x"), camp.PIt()), body)
+
+    def test_figure13_rules_fire_during_camp_optimization(self):
+        pattern = self._letenv_pattern()
+        plan = camp_to_nraenv(pattern)
+        result = optimize_nraenv(plan)
+        fired = {
+            name
+            for name in result.fire_counts
+            if name in {rule.name for rule in RULES}
+        }
+        assert fired, "no Figure 13 rule fired on a CAMP plan (counts: %r)" % (
+            result.fire_counts,
+        )
+
+    def test_optimization_preserves_camp_results(self):
+        pattern = self._letenv_pattern()
+        plan = camp_to_nraenv(pattern)
+        optimized = optimize_nraenv(plan).plan
+        for datum in (1, 2, "x"):
+            assert eval_nraenv(plan, Record({}), datum) == eval_nraenv(
+                optimized, Record({}), datum
+            )
+
+    def test_optimization_shrinks_camp_plans(self, camp_programs):
+        for name, program in camp_programs.items():
+            plan = camp_to_nraenv(program.pattern)
+            result = optimize_nraenv(plan)
+            assert result.plan.size() < plan.size(), name
+
+    def test_map_into_id_fires_via_nraenv_not_via_nra(self, camp_programs):
+        """The paper's §7 observation: ``χ⟨In⟩(q) ⇒ q`` is enabled by the
+        NRAe env rewrites but never triggers on the direct NRA plans."""
+        from repro.optim.defaults import optimize_nra
+        from repro.translate.camp_to_nra import camp_to_nra
+
+        via_nraenv_fires = 0
+        via_nra_fires = 0
+        for name, program in camp_programs.items():
+            via_nraenv_fires += optimize_nraenv(
+                camp_to_nraenv(program.pattern)
+            ).fired("map_into_id")
+            via_nra_fires += optimize_nra(camp_to_nra(program.pattern)).fired(
+                "map_into_id"
+            )
+        assert via_nraenv_fires > 0
+        assert via_nraenv_fires > via_nra_fires

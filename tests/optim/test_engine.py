@@ -1,0 +1,101 @@
+"""Unit tests for the rewrite engine (paper §8)."""
+
+from repro.data.model import bag, rec
+from repro.nraenv import ast, builders as b
+from repro.optim.cost import depth_cost, size_cost, size_depth_cost
+from repro.optim.engine import OptimizeResult, Rewrite, optimize, rewrite_once
+
+
+def make_map_id_rule():
+    def fn(plan):
+        if isinstance(plan, ast.Map) and isinstance(plan.body, ast.ID):
+            return plan.input
+        return None
+
+    return Rewrite("test_map_id", fn, typed=True, description="χ⟨In⟩(q) ⇒ q")
+
+
+class TestRewrite:
+    def test_apply_returns_none_when_no_change(self):
+        rule = make_map_id_rule()
+        assert rule.apply(b.table("T")) is None
+
+    def test_apply_returns_rewritten_plan(self):
+        rule = make_map_id_rule()
+        assert rule.apply(b.chi(b.id_(), b.table("T"))) == b.table("T")
+
+    def test_identity_result_counts_as_no_fire(self):
+        rule = Rewrite("noop", lambda plan: plan)
+        assert rule.apply(b.id_()) is None
+
+
+class TestRewriteOnce:
+    def test_applies_everywhere(self):
+        rule = make_map_id_rule()
+        plan = b.union(b.chi(b.id_(), b.table("T")), b.chi(b.id_(), b.table("U")))
+        assert rewrite_once(plan, [rule]) == b.union(b.table("T"), b.table("U"))
+
+    def test_fires_on_redexes_created_by_children(self):
+        rule = make_map_id_rule()
+        plan = b.chi(b.id_(), b.chi(b.id_(), b.table("T")))
+        assert rewrite_once(plan, [rule]) == b.table("T")
+
+    def test_counts_fires(self):
+        rule = make_map_id_rule()
+        counts = {}
+        rewrite_once(b.chi(b.id_(), b.chi(b.id_(), b.table("T"))), [rule], counts)
+        assert counts == {"test_map_id": 2}
+
+
+class TestOptimize:
+    def test_reaches_fixpoint(self):
+        rule = make_map_id_rule()
+        plan = b.chi(b.id_(), b.chi(b.id_(), b.table("T")))
+        result = optimize(plan, [rule])
+        assert result.plan == b.table("T")
+        assert result.final_cost < result.initial_cost
+
+    def test_no_rules_is_identity(self):
+        plan = b.chi(b.id_(), b.table("T"))
+        result = optimize(plan, [])
+        assert result.plan == plan
+        assert result.passes == 1
+
+    def test_keeps_best_plan_under_oscillation(self):
+        # Two rules that flip a plan back and forth; the engine must
+        # terminate and return a no-worse plan.
+        def grow(plan):
+            if plan == b.table("T"):
+                return b.chi(b.id_(), b.table("T"))
+            return None
+
+        def shrink(plan):
+            if isinstance(plan, ast.Map) and isinstance(plan.body, ast.ID):
+                return plan.input
+            return None
+
+        rules = [Rewrite("grow", grow), Rewrite("shrink", shrink)]
+        result = optimize(b.chi(b.id_(), b.table("T")), rules)
+        assert result.final_cost <= result.initial_cost
+
+    def test_fired_accessor(self):
+        rule = make_map_id_rule()
+        result = optimize(b.chi(b.id_(), b.table("T")), [rule])
+        assert result.fired("test_map_id") == 1
+        assert result.fired("unknown") == 0
+
+    def test_repr(self):
+        result = OptimizeResult(b.id_(), 10, 5, 3, {})
+        assert "10 → 5" in repr(result)
+
+
+class TestCostFunctions:
+    def test_size_cost(self):
+        assert size_cost(b.chi(b.id_(), b.table("T"))) == 3
+
+    def test_depth_cost(self):
+        assert depth_cost(b.chi(b.id_(), b.table("T"))) == 1
+
+    def test_size_depth_cost_is_sum(self):
+        plan = b.chi(b.id_(), b.table("T"))
+        assert size_depth_cost(plan) == size_cost(plan) + depth_cost(plan)

@@ -1,0 +1,59 @@
+"""Theorem 1 (equivalence lifting), checked empirically.
+
+Every parametric NRA equivalence remains valid when its plan variables
+are instantiated with NRAe plans that read and write the environment —
+``c1 ≡c c2  ⟹  c1 ≡ec c2``.
+"""
+
+import pytest
+
+from repro.nraenv import builders as b
+from repro.nraenv.context import ParametricEquivalence, classic_nra_equivalences, q
+from repro.optim.verify import (
+    CounterexampleError,
+    check_parametric_equivalence,
+)
+
+
+@pytest.mark.parametrize("name", sorted(classic_nra_equivalences()))
+def test_classic_equivalence_holds_on_nra_instantiations(name):
+    """The ≡c premise: equivalence over pure-NRA instantiations."""
+    equiv = classic_nra_equivalences()[name]
+    checked = check_parametric_equivalence(
+        equiv, instantiations=15, trials_per_instantiation=15, env_using=False
+    )
+    assert checked == 15
+
+
+@pytest.mark.parametrize("name", sorted(classic_nra_equivalences()))
+def test_lifting_to_env_using_instantiations(name):
+    """The ≡ec conclusion: the same equivalence with NRAe instantiations."""
+    equiv = classic_nra_equivalences()[name].lift()
+    checked = check_parametric_equivalence(
+        equiv, instantiations=15, trials_per_instantiation=15, env_using=True
+    )
+    assert checked == 15
+
+
+def test_lifting_checker_catches_bogus_equivalence():
+    """Sanity: the harness rejects a false 'equivalence'."""
+    bogus = ParametricEquivalence(
+        "bogus_select_drop",
+        b.sigma(q(0), q(1)),
+        q(1),  # dropping a selection is not an equivalence
+        var_sorts=("pred", "bag"),
+    )
+    with pytest.raises(CounterexampleError):
+        check_parametric_equivalence(
+            bogus, instantiations=40, trials_per_instantiation=40
+        )
+
+
+def test_select_union_distr_with_env_reading_predicate():
+    """The paper's flagship rule instantiated with an Env-reading q0."""
+    equiv = classic_nra_equivalences()["select_union_distr"]
+    pred = b.lt(b.dot(b.env(), "u"), b.dot(b.id_(), "a"))
+    lhs, rhs = equiv.instantiate([pred, b.table("T"), b.table("T")])
+    from repro.optim.verify import check_plans_equivalent
+
+    assert check_plans_equivalent(lhs, rhs, trials=60, typed=True) > 0

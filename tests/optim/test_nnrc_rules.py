@@ -1,0 +1,165 @@
+"""Per-rule tests for the NNRC optimizer."""
+
+import pytest
+
+from repro.data.model import Bag, bag, rec
+from repro.data.operators import OpAdd, OpBag, OpConcat, OpDot, OpFlatten, OpRec
+from repro.nnrc import ast
+from repro.nnrc.eval import eval_nnrc
+from repro.optim.defaults import optimize_nnrc
+from repro.optim.nnrc_rules import nnrc_rules
+from tests.optim.util import rule_by_name
+
+RULES = nnrc_rules()
+
+
+def apply_rule(name, expr):
+    rule = rule_by_name(RULES, name)
+    result = rule.apply(expr)
+    assert result is not None, "%s did not fire on %r" % (name, expr)
+    return result
+
+
+def add(left, right):
+    return ast.Binop(OpAdd(), left, right)
+
+
+class TestLetRules:
+    def test_dead_let(self):
+        expr = ast.Let("x", ast.Const(1), ast.Const(2))
+        assert apply_rule("nnrc_dead_let", expr) == ast.Const(2)
+
+    def test_dead_let_keeps_used_let(self):
+        expr = ast.Let("x", ast.Const(1), ast.Var("x"))
+        assert rule_by_name(RULES, "nnrc_dead_let").apply(expr) is None
+
+    def test_let_inline_trivial_defn(self):
+        expr = ast.Let("x", ast.Const(1), add(ast.Var("x"), ast.Var("x")))
+        assert apply_rule("nnrc_let_inline", expr) == add(ast.Const(1), ast.Const(1))
+
+    def test_let_inline_single_use(self):
+        defn = add(ast.Var("y"), ast.Const(1))
+        expr = ast.Let("x", defn, add(ast.Var("x"), ast.Const(5)))
+        assert apply_rule("nnrc_let_inline", expr) == add(defn, ast.Const(5))
+
+    def test_let_inline_refuses_duplication_into_loop(self):
+        # x used once but inside a For body: inlining would recompute per
+        # element.
+        defn = add(ast.Var("y"), ast.Const(1))
+        body = ast.For("i", ast.Var("xs"), add(ast.Var("x"), ast.Var("i")))
+        expr = ast.Let("x", defn, body)
+        assert rule_by_name(RULES, "nnrc_let_inline").apply(expr) is None
+
+    def test_let_inline_trivial_into_loop_is_fine(self):
+        body = ast.For("i", ast.Var("xs"), add(ast.Var("x"), ast.Var("i")))
+        expr = ast.Let("x", ast.Var("y"), body)
+        result = apply_rule("nnrc_let_inline", expr)
+        assert eval_nnrc(result, {"y": 1, "xs": bag(1, 2)}) == bag(2, 3)
+
+
+class TestForRules:
+    def test_for_nil(self):
+        expr = ast.For("x", ast.Const(Bag([])), ast.Var("x"))
+        assert apply_rule("nnrc_for_nil", expr) == ast.Const(Bag([]))
+
+    def test_for_singleton(self):
+        expr = ast.For("x", ast.Unop(OpBag(), ast.Const(1)), add(ast.Var("x"), ast.Const(1)))
+        result = apply_rule("nnrc_for_singleton", expr)
+        assert eval_nnrc(result) == eval_nnrc(expr) == bag(2)
+
+    def test_for_for_fusion(self):
+        inner = ast.For("y", ast.Var("xs"), add(ast.Var("y"), ast.Const(1)))
+        expr = ast.For("x", inner, add(ast.Var("x"), ast.Var("x")))
+        result = apply_rule("nnrc_for_for_fusion", expr)
+        env = {"xs": bag(1, 2)}
+        assert eval_nnrc(result, env) == eval_nnrc(expr, env) == bag(4, 6)
+
+    def test_for_for_fusion_respects_capture(self):
+        # Inner binder free in the outer body: must not fuse.
+        inner = ast.For("y", ast.Var("xs"), ast.Var("y"))
+        expr = ast.For("x", inner, add(ast.Var("x"), ast.Var("y")))
+        assert rule_by_name(RULES, "nnrc_for_for_fusion").apply(expr) is None
+
+    def test_for_var_body(self):
+        expr = ast.For("x", ast.Var("xs"), ast.Var("x"))
+        assert apply_rule("nnrc_for_var_body", expr) == ast.Var("xs")
+
+
+class TestIfAndFlatten:
+    def test_if_const_cond(self):
+        assert apply_rule(
+            "nnrc_if_const_cond", ast.If(ast.Const(True), ast.Const(1), ast.Const(2))
+        ) == ast.Const(1)
+        assert apply_rule(
+            "nnrc_if_const_cond", ast.If(ast.Const(False), ast.Const(1), ast.Const(2))
+        ) == ast.Const(2)
+
+    def test_if_same_branches(self):
+        expr = ast.If(ast.Var("c"), ast.Const(1), ast.Const(1))
+        assert apply_rule("nnrc_if_same_branches", expr) == ast.Const(1)
+
+    def test_flatten_coll(self):
+        expr = ast.Unop(OpFlatten(), ast.Unop(OpBag(), ast.Var("xs")))
+        assert apply_rule("nnrc_flatten_coll", expr) == ast.Var("xs")
+
+    def test_flatten_for_coll(self):
+        expr = ast.Unop(
+            OpFlatten(),
+            ast.For("x", ast.Var("xs"), ast.Unop(OpBag(), ast.Var("x"))),
+        )
+        result = apply_rule("nnrc_flatten_for_coll", expr)
+        assert result == ast.For("x", ast.Var("xs"), ast.Var("x"))
+
+
+class TestRecordAndFolding:
+    def test_dot_over_rec(self):
+        expr = ast.Unop(OpDot("a"), ast.Unop(OpRec("a"), ast.Var("v")))
+        assert apply_rule("nnrc_dot_over_rec", expr) == ast.Var("v")
+
+    def test_dot_over_concat_matching_right(self):
+        expr = ast.Unop(
+            OpDot("a"),
+            ast.Binop(OpConcat(), ast.Var("r"), ast.Unop(OpRec("a"), ast.Var("v"))),
+        )
+        assert apply_rule("nnrc_dot_over_concat", expr) == ast.Var("v")
+
+    def test_dot_over_concat_mismatching_right(self):
+        expr = ast.Unop(
+            OpDot("b"),
+            ast.Binop(OpConcat(), ast.Var("r"), ast.Unop(OpRec("a"), ast.Var("v"))),
+        )
+        assert apply_rule("nnrc_dot_over_concat", expr) == ast.Unop(OpDot("b"), ast.Var("r"))
+
+    def test_constant_fold(self):
+        expr = add(ast.Const(2), ast.Const(3))
+        assert apply_rule("nnrc_constant_fold", expr) == ast.Const(5)
+
+    def test_constant_fold_skips_errors(self):
+        expr = ast.Unop(OpDot("a"), ast.Const(5))
+        assert rule_by_name(RULES, "nnrc_constant_fold").apply(expr) is None
+
+
+class TestWholeOptimizer:
+    def test_optimizer_shrinks_translated_plans(self):
+        from repro.nraenv import builders as b
+        from repro.translate.nraenv_to_nnrc import nraenv_to_nnrc
+
+        plan = b.chi(b.dot(b.id_(), "a"), b.chi(b.concat(b.id_(), b.rec_field("a", b.const(1))), b.table("T")))
+        expr = nraenv_to_nnrc(plan)
+        result = optimize_nnrc(expr)
+        assert result.plan.size() < expr.size()
+        env = {"d0": None, "e0": rec()}
+        constants = {"T": bag(rec(b=1), rec(b=2))}
+        assert eval_nnrc(result.plan, env, constants) == eval_nnrc(expr, env, constants)
+
+    def test_optimizer_preserves_semantics_on_camp_pipeline(self, camp_programs):
+        from repro.data.model import Record
+        from repro.translate.camp_to_nraenv import camp_to_nraenv
+        from repro.translate.nraenv_to_nnrc import nraenv_to_nnrc
+
+        program = camp_programs["p03"]
+        expr = nraenv_to_nnrc(camp_to_nraenv(program.pattern))
+        optimized = optimize_nnrc(expr).plan
+        env = {"d0": program.world, "e0": Record({})}
+        constants = {"WORLD": program.world}
+        assert eval_nnrc(optimized, env, constants) == eval_nnrc(expr, env, constants)

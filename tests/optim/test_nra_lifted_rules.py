@@ -1,0 +1,275 @@
+"""Per-rule soundness tests for Figure 12 (classic NRA rules).
+
+Host plans deliberately embed *environment-manipulating* sub-plans where
+the figure's meta-variables allow arbitrary plans — exactly the reuse
+Theorem 1 licenses, so these tests double as lifting checks.
+"""
+
+import random
+
+from repro.data.model import Bag, Record, rec
+from repro.nraenv import builders as b
+from repro.optim.nra_lifted_rules import (
+    classic_relational_rules,
+    figure12_rules,
+    map_over_flatten,
+)
+from repro.optim.engine import Rewrite
+from tests.optim.util import (
+    assert_rule_sound,
+    bag_plan,
+    elem_plan,
+    pred_plan,
+    record_plan,
+    rule_by_name,
+)
+
+RULES = figure12_rules() + classic_relational_rules()
+
+
+def env_elem(rng: random.Random):
+    """An element transformer that *reads the environment*."""
+    return b.concat(b.rec_field("e", b.dot(b.env(), "u")), record_plan(rng))
+
+
+class TestRecordRules:
+    def test_dot_over_rec(self):
+        assert_rule_sound(
+            rule_by_name(RULES, "dot_over_rec"),
+            [lambda rng: b.dot(b.rec_field("a", elem_plan(rng)), "a")],
+        )
+
+    def test_dot_over_concat_eq_r(self):
+        assert_rule_sound(
+            rule_by_name(RULES, "dot_over_concat_eq_r"),
+            [
+                lambda rng: b.dot(
+                    b.concat(record_plan(rng), b.rec_field("z", elem_plan(rng))), "z"
+                )
+            ],
+        )
+
+    def test_dot_over_concat_neq_r(self):
+        assert_rule_sound(
+            rule_by_name(RULES, "dot_over_concat_neq_r"),
+            [
+                lambda rng: b.dot(
+                    b.concat(b.id_(), b.rec_field("z", elem_plan(rng))), "a"
+                )
+            ],
+        )
+
+    def test_dot_over_concat_neq_l(self):
+        assert_rule_sound(
+            rule_by_name(RULES, "dot_over_concat_neq_l"),
+            [
+                lambda rng: b.dot(
+                    b.concat(b.rec_field("z", elem_plan(rng)), b.id_()), "a"
+                )
+            ],
+        )
+
+    def test_merge_empty_rec_l(self):
+        assert_rule_sound(
+            rule_by_name(RULES, "merge_empty_rec_l"),
+            [lambda rng: b.merge(b.const(Record({})), record_plan(rng))],
+        )
+
+    def test_merge_empty_rec_r(self):
+        assert_rule_sound(
+            rule_by_name(RULES, "merge_empty_rec_r"),
+            [lambda rng: b.merge(record_plan(rng), b.const(Record({})))],
+        )
+
+    def test_product_singletons(self):
+        assert_rule_sound(
+            rule_by_name(RULES, "product_singletons"),
+            [
+                lambda rng: b.product(
+                    b.coll(b.rec_field("l", elem_plan(rng))),
+                    b.coll(b.rec_field("r", elem_plan(rng))),
+                )
+            ],
+        )
+
+
+class TestCompositionRules:
+    def test_app_over_id_l(self):
+        assert_rule_sound(
+            rule_by_name(RULES, "app_over_id_l"),
+            [lambda rng: b.comp(b.id_(), elem_plan(rng))],
+        )
+
+    def test_app_over_id_r(self):
+        assert_rule_sound(
+            rule_by_name(RULES, "app_over_id_r"),
+            [lambda rng: b.comp(elem_plan(rng), b.id_())],
+        )
+
+    def test_app_over_unop(self):
+        assert_rule_sound(
+            rule_by_name(RULES, "app_over_unop"),
+            [lambda rng: b.comp(b.coll(elem_plan(rng)), record_plan(rng))],
+        )
+
+    def test_app_over_binop(self):
+        assert_rule_sound(
+            rule_by_name(RULES, "app_over_binop"),
+            [
+                lambda rng: b.comp(
+                    b.concat(b.id_(), record_plan(rng)), record_plan(rng)
+                )
+            ],
+        )
+
+    def test_app_over_ignoreid(self):
+        assert_rule_sound(
+            rule_by_name(RULES, "app_over_ignoreid"),
+            [lambda rng: b.comp(b.table("T"), elem_plan(rng))],
+        )
+
+    def test_app_over_app(self):
+        assert_rule_sound(
+            rule_by_name(RULES, "app_over_app"),
+            [
+                lambda rng: b.comp(
+                    b.comp(elem_plan(rng), elem_plan(rng)), record_plan(rng)
+                )
+            ],
+        )
+
+    def test_app_over_map(self):
+        assert_rule_sound(
+            rule_by_name(RULES, "app_over_map"),
+            [lambda rng: b.comp(b.chi(env_elem(rng), b.id_()), bag_plan(rng))],
+        )
+
+    def test_app_over_select(self):
+        assert_rule_sound(
+            rule_by_name(RULES, "app_over_select"),
+            [lambda rng: b.comp(b.sigma(pred_plan(rng), b.id_()), bag_plan(rng))],
+        )
+
+
+class TestFlattenMapRules:
+    def test_double_flatten_map_coll(self):
+        assert_rule_sound(
+            rule_by_name(RULES, "double_flatten_map_coll"),
+            [
+                lambda rng: b.flatten_(
+                    b.chi(
+                        b.chi(b.coll(env_elem(rng)), b.dot(b.id_(), "xs")),
+                        b.chi(b.rec_field("xs", bag_plan(rng)), bag_plan(rng)),
+                    )
+                )
+            ],
+            trials=20,
+        )
+
+    def test_map_over_flatten_map(self):
+        assert_rule_sound(
+            rule_by_name(RULES, "map_over_flatten_map"),
+            [
+                lambda rng: b.chi(
+                    env_elem(rng),
+                    b.flatten_(b.chi(b.coll(b.id_()), bag_plan(rng))),
+                )
+            ],
+        )
+
+    def test_map_over_flatten_defined_but_not_default(self):
+        # Figure 12 lists it; it is size-increasing so the default set
+        # omits it — still must be sound.
+        rule = Rewrite("map_over_flatten", map_over_flatten, typed=False)
+        assert_rule_sound(
+            rule,
+            [lambda rng: b.chi(env_elem(rng), b.flatten_(b.coll(bag_plan(rng))))],
+        )
+        assert "map_over_flatten" not in {r.name for r in RULES}
+
+    def test_flatten_coll(self):
+        assert_rule_sound(
+            rule_by_name(RULES, "flatten_coll"),
+            [lambda rng: b.flatten_(b.coll(bag_plan(rng)))],
+        )
+
+    def test_flatten_map_coll(self):
+        assert_rule_sound(
+            rule_by_name(RULES, "flatten_map_coll"),
+            [lambda rng: b.flatten_(b.chi(b.coll(env_elem(rng)), bag_plan(rng)))],
+        )
+
+    def test_map_into_id(self):
+        assert_rule_sound(
+            rule_by_name(RULES, "map_into_id"),
+            [lambda rng: b.chi(b.id_(), bag_plan(rng))],
+        )
+
+    def test_map_map_compose(self):
+        assert_rule_sound(
+            rule_by_name(RULES, "map_map_compose"),
+            [lambda rng: b.chi(env_elem(rng), b.chi(env_elem(rng), bag_plan(rng)))],
+        )
+
+    def test_map_singleton(self):
+        assert_rule_sound(
+            rule_by_name(RULES, "map_singleton"),
+            [lambda rng: b.chi(env_elem(rng), b.coll(record_plan(rng)))],
+        )
+
+    def test_map_full_over_select(self):
+        assert_rule_sound(
+            rule_by_name(RULES, "map_full_over_select"),
+            [
+                lambda rng: b.chi(
+                    env_elem(rng), b.sigma(pred_plan(rng), b.coll(record_plan(rng)))
+                )
+            ],
+        )
+
+
+class TestClassicRelationalRules:
+    def test_select_union_distr(self):
+        assert_rule_sound(
+            rule_by_name(RULES, "select_union_distr"),
+            [lambda rng: b.sigma(pred_plan(rng), b.union(bag_plan(rng), bag_plan(rng)))],
+        )
+
+    def test_select_select_and(self):
+        assert_rule_sound(
+            rule_by_name(RULES, "select_select_and"),
+            [lambda rng: b.sigma(pred_plan(rng), b.sigma(pred_plan(rng), bag_plan(rng)))],
+        )
+
+    def test_constant_fold(self):
+        assert_rule_sound(
+            rule_by_name(RULES, "constant_fold"),
+            [
+                lambda rng: b.add(b.const(rng.randint(0, 5)), b.const(2)),
+                lambda rng: b.coll(b.const(rng.randint(0, 3))),
+            ],
+        )
+
+    def test_union_empty(self):
+        assert_rule_sound(
+            rule_by_name(RULES, "union_empty"),
+            [
+                lambda rng: b.union(bag_plan(rng), b.const(Bag([]))),
+                lambda rng: b.union(b.const(Bag([])), bag_plan(rng)),
+            ],
+        )
+
+    def test_map_over_nil(self):
+        assert_rule_sound(
+            rule_by_name(RULES, "map_over_nil"),
+            [
+                lambda rng: b.chi(elem_plan(rng), b.const(Bag([]))),
+                lambda rng: b.sigma(pred_plan(rng), b.const(Bag([]))),
+            ],
+        )
+
+    def test_merge_env_to_left(self):
+        assert_rule_sound(
+            rule_by_name(RULES, "merge_env_to_left"),
+            [lambda rng: b.merge(record_plan(rng), b.env())],
+        )

@@ -1,0 +1,139 @@
+"""Tests for type-directed rewriting (paper §8's typed preconditions)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.model import Record, bag, rec
+from repro.data.types import TBag, TNat, TRecord, TString, TUnit
+from repro.nraenv import builders as b
+from repro.nraenv.eval import eval_nraenv
+from repro.optim.typed_rules import (
+    concat_dead_left_typed,
+    dot_over_concat_typed,
+    optimize_nraenv_typed,
+    remove_absent_field_typed,
+    typed_rewrite_pass,
+)
+from repro.optim.verify import check_plans_equivalent, gen_plan
+
+ELEMENT = TRecord({"a": TNat(), "b": TNat()})
+ENV = TRecord({"a": TNat(), "u": TNat()})
+CONSTS = {"T": TBag(ELEMENT)}
+
+
+class TestDotOverConcatTyped:
+    def test_resolves_to_right_when_field_there(self):
+        plan = b.dot(b.concat(b.env(), b.id_()), "b")
+        result = dot_over_concat_typed(plan, ENV, ELEMENT, CONSTS)
+        assert result == b.dot(b.id_(), "b")
+
+    def test_resolves_to_left_when_absent_on_right(self):
+        plan = b.dot(b.concat(b.env(), b.id_()), "u")
+        result = dot_over_concat_typed(plan, ENV, ELEMENT, CONSTS)
+        assert result == b.dot(b.env(), "u")
+
+    def test_overlapping_field_goes_right(self):
+        # 'a' exists on both sides; ⊕ favors the right.
+        plan = b.dot(b.concat(b.env(), b.id_()), "a")
+        result = dot_over_concat_typed(plan, ENV, ELEMENT, CONSTS)
+        assert result == b.dot(b.id_(), "a")
+
+    def test_no_fire_without_types(self):
+        plan = b.dot(b.concat(b.env(), b.id_()), "a")
+        from repro.data.types import TTop
+
+        assert dot_over_concat_typed(plan, TTop(), TTop(), {}) is None
+
+
+class TestOtherTypedRules:
+    def test_remove_absent_field(self):
+        plan = b.remove(b.id_(), "zzz")
+        assert remove_absent_field_typed(plan, ENV, ELEMENT, CONSTS) == b.id_()
+        present = b.remove(b.id_(), "a")
+        assert remove_absent_field_typed(present, ENV, ELEMENT, CONSTS) is None
+
+    def test_concat_dead_left(self):
+        # Env fields {a, u}; right has {a, u, ...}? Use same-shape record.
+        plan = b.concat(b.env(), b.concat(b.env(), b.rec_field("z", b.const(1))))
+        result = concat_dead_left_typed(plan, ENV, ELEMENT, CONSTS)
+        assert result == b.concat(b.env(), b.rec_field("z", b.const(1)))
+
+    def test_concat_live_left_kept(self):
+        plan = b.concat(b.env(), b.rec_field("z", b.const(1)))
+        assert concat_dead_left_typed(plan, ENV, ELEMENT, CONSTS) is None
+
+
+class TestContextThreading:
+    def test_map_body_typed_with_element(self):
+        # inside χ over T, In is an element; (Env ⊕ In).b resolves to In.b.
+        body = b.dot(b.concat(b.env(), b.id_()), "b")
+        plan = b.chi(body, b.table("T"))
+        rewritten = typed_rewrite_pass(plan, ENV, TUnit(), CONSTS)
+        assert rewritten == b.chi(b.dot(b.id_(), "b"), b.table("T"))
+
+    def test_appenv_rebinds_env_type(self):
+        # after ∘e [x: In], Env has field x.
+        inner = b.dot(b.concat(b.env(), b.rec_field("y", b.const(1))), "x")
+        plan = b.appenv(inner, b.rec_field("x", b.id_()))
+        rewritten = typed_rewrite_pass(plan, ENV, TNat(), CONSTS)
+        assert rewritten == b.appenv(b.dot(b.env(), "x"), b.rec_field("x", b.id_()))
+
+    def test_untypeable_subplans_left_alone(self):
+        plan = b.dot(b.concat(b.dot(b.id_(), "nope"), b.id_()), "a")
+        rewritten = typed_rewrite_pass(plan, ENV, ELEMENT, CONSTS)
+        # the concat's left cannot be typed; still resolvable to right
+        assert rewritten == b.dot(b.id_(), "a")
+
+
+class TestSqlIntegration:
+    def test_row_env_plumbing_dissolves(self):
+        from repro.sql.parser import parse_sql
+        from repro.sql.to_nraenv import sql_to_nraenv
+
+        emp_type = TBag(TRecord({"name": TString(), "sal": TNat()}))
+        plan = sql_to_nraenv(parse_sql("select name from emp where sal > 85"))
+        result = optimize_nraenv_typed(plan, TRecord({}), TUnit(), {"emp": emp_type})
+        assert result.plan.size() < plan.size()
+        emp = bag(rec(name="ann", sal=100), rec(name="bob", sal=80))
+        assert eval_nraenv(result.plan, Record({}), None, {"emp": emp}) == eval_nraenv(
+            plan, Record({}), None, {"emp": emp}
+        )
+
+    @pytest.mark.parametrize("name", ("q6", "q17", "q11"))
+    def test_tpch_typed_optimization_correct(self, name, tpch_db):
+        from repro.sql.parser import parse_sql
+        from repro.sql.to_nraenv import sql_to_nraenv
+        from repro.tpch.queries import QUERIES
+        from repro.tpch.schema import table_types
+
+        plan = sql_to_nraenv(parse_sql(QUERIES[name]))
+        result = optimize_nraenv_typed(plan, TRecord({}), TUnit(), table_types())
+        assert result.plan.size() < plan.size()
+        assert eval_nraenv(result.plan, Record({}), None, tpch_db) == eval_nraenv(
+            plan, Record({}), None, tpch_db
+        )
+
+    def test_never_worse_than_untyped(self):
+        from repro.optim.defaults import optimize_nraenv
+        from repro.sql.parser import parse_sql
+        from repro.sql.to_nraenv import sql_to_nraenv
+        from repro.tpch.queries import QUERIES
+        from repro.tpch.schema import table_types
+
+        for name in ("q1", "q12", "q14"):
+            plan = sql_to_nraenv(parse_sql(QUERIES[name]))
+            typed = optimize_nraenv_typed(plan, TRecord({}), TUnit(), table_types())
+            untyped = optimize_nraenv(plan)
+            assert typed.plan.size() <= untyped.plan.size(), name
+
+
+@given(st.integers(min_value=0, max_value=1_000_000))
+@settings(max_examples=60, deadline=None)
+def test_typed_optimize_preserves_semantics(seed):
+    rng = random.Random(seed)
+    plan = gen_plan(rng, "any", depth=3)
+    result = optimize_nraenv_typed(plan, ENV, ELEMENT, CONSTS)
+    check_plans_equivalent(plan, result.plan, trials=25, typed=True, seed=seed)

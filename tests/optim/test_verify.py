@@ -1,0 +1,90 @@
+"""Tests of the verification harness itself: it must catch bad rewrites."""
+
+import pytest
+
+from repro.data.model import bag
+from repro.nraenv import ast, builders as b
+from repro.optim.engine import Rewrite
+from repro.optim.verify import (
+    CounterexampleError,
+    check_plans_equivalent,
+    check_rewrite,
+    gen_plan,
+    random_plans,
+)
+
+
+class TestCheckPlansEquivalent:
+    def test_identical_plans_pass(self):
+        plan = b.chi(b.dot(b.id_(), "a"), b.table("T"))
+        assert check_plans_equivalent(plan, plan, trials=20) > 0
+
+    def test_detects_value_difference(self):
+        with pytest.raises(CounterexampleError):
+            check_plans_equivalent(b.const(1), b.const(2), trials=5)
+
+    def test_untyped_mode_detects_error_asymmetry(self):
+        # lhs errors on non-record input, rhs never errors.
+        lhs = b.dot(b.id_(), "a")
+        rhs = b.const(0)
+        with pytest.raises(CounterexampleError):
+            check_plans_equivalent(lhs, rhs, trials=50, typed=False)
+
+    def test_typed_mode_skips_failing_trials(self):
+        # σ over the input: ill-typed for non-bag inputs; typed mode
+        # discards those and compares the rest.
+        lhs = b.sigma(b.const(True), b.id_())
+        rhs = b.id_()
+        informative = check_plans_equivalent(lhs, rhs, trials=60, typed=True)
+        assert informative > 0
+
+
+class TestCheckRewrite:
+    def test_sound_rewrite_passes(self):
+        def fn(plan):
+            if isinstance(plan, ast.Map) and isinstance(plan.body, ast.ID):
+                return plan.input
+            return None
+
+        rule = Rewrite("map_id_ok", fn, typed=True)
+        plans = [b.chi(b.id_(), b.table("T")), b.chi(b.id_(), b.const(bag(1, 2)))]
+        assert check_rewrite(rule, plans) == 2
+
+    def test_unsound_rewrite_caught(self):
+        def fn(plan):
+            if isinstance(plan, ast.Select):
+                return plan.input  # dropping selections is wrong
+            return None
+
+        rule = Rewrite("drop_select_bad", fn, typed=True)
+        plans = [
+            b.sigma(b.gt(b.dot(b.id_(), "a"), b.const(2)), b.table("T")),
+        ]
+        with pytest.raises(CounterexampleError):
+            check_rewrite(rule, plans, trials_per_plan=60)
+
+    def test_returns_zero_when_rule_never_fires(self):
+        rule = Rewrite("never", lambda plan: None)
+        assert check_rewrite(rule, random_plans(5)) == 0
+
+
+class TestGenerators:
+    def test_random_plans_deterministic(self):
+        assert random_plans(5, seed=3) == random_plans(5, seed=3)
+
+    def test_sorted_generation_shapes(self):
+        import random
+
+        rng = random.Random(0)
+        for _ in range(20):
+            plan = gen_plan(rng, "bag", depth=2)
+            assert plan is not None
+
+    def test_env_using_plans_are_generated(self):
+        import random
+
+        from repro.nraenv.ast import is_nra
+
+        rng = random.Random(1)
+        plans = [gen_plan(rng, "any", depth=3) for _ in range(60)]
+        assert any(not is_nra(plan) for plan in plans)

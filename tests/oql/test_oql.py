@@ -1,0 +1,130 @@
+"""Tests for the OQL frontend: parsing, evaluation, translation (§6)."""
+
+import pytest
+
+from repro.data.model import Bag, Record, bag, rec, to_python
+from repro.nraenv.eval import eval_nraenv
+from repro.oql import eval_oql, oql_to_nraenv, parse_oql
+from repro.oql import ast
+
+PERSONS = bag(
+    rec(name="ann", age=40, kids=bag(rec(name="k1", age=9), rec(name="k2", age=12))),
+    rec(name="bob", age=20, kids=bag()),
+    rec(name="cyd", age=31, kids=bag(rec(name="k3", age=2))),
+)
+DB = {"persons": PERSONS}
+
+
+def both(text, constants=DB):
+    """Evaluate via the interpreter and via NRAe; assert agreement."""
+    program = parse_oql(text)
+    direct = eval_oql(program, constants)
+    plan = oql_to_nraenv(program)
+    translated = eval_nraenv(plan, Record({}), None, constants)
+    assert direct == translated, text
+    return direct
+
+
+class TestParser:
+    def test_select_from_where(self):
+        program = parse_oql("select p.name from p in persons where p.age > 30")
+        sfw = program.query
+        assert isinstance(sfw, ast.SelectFromWhere)
+        assert sfw.bindings[0].var == "p"
+
+    def test_struct(self):
+        program = parse_oql("struct(a: 1, b: 'x')")
+        assert isinstance(program.query, ast.OStruct)
+
+    def test_defines(self):
+        program = parse_oql("define a as bag(1); define b as a; b")
+        assert [d.name for d in program.defines] == ["a", "b"]
+
+    def test_multiple_bindings(self):
+        program = parse_oql("select k from p in persons, k in p.kids")
+        assert len(program.query.bindings) == 2
+
+    def test_depth_metric(self):
+        nested = parse_oql("select (select k from k in p.kids) from p in persons")
+        assert nested.query.depth() == 2
+
+
+class TestSemantics:
+    def test_simple_select(self):
+        assert both("select p.name from p in persons where p.age > 30") == bag(
+            "ann", "cyd"
+        )
+
+    def test_struct_construction(self):
+        result = both(
+            "select struct(n: p.name, k: count(p.kids)) from p in persons"
+        )
+        assert rec(n="ann", k=2) in result.items
+
+    def test_dependent_binding(self):
+        result = both("select k.name from p in persons, k in p.kids")
+        assert result == bag("k1", "k2", "k3")
+
+    def test_nested_query_in_projection(self):
+        result = both(
+            "select struct(n: p.name, young: (select k from k in p.kids where k.age < 10)) "
+            "from p in persons where p.age > 35"
+        )
+        assert to_python(result) == [
+            {"n": "ann", "young": [{"name": "k1", "age": 9}]}
+        ]
+
+    def test_aggregates(self):
+        assert both("sum(select p.age from p in persons)") == 91
+        assert both("max(select p.age from p in persons)") == 40
+        assert both("avg(select k.age from p in persons, k in p.kids)") == pytest.approx(23 / 3)
+        assert both("count(persons)") == 3
+
+    def test_exists(self):
+        assert both("exists p in persons : p.age > 35") is True
+        assert both("exists p in persons : p.age > 99") is False
+
+    def test_distinct(self):
+        assert both("select distinct count(p.kids) from p in persons") == bag(2, 0, 1)
+
+    def test_bag_ops(self):
+        assert both("bag(1, 2) union bag(2)") == bag(1, 2, 2)
+        assert both("bag(1, 2, 2) except bag(2)") == bag(1, 2)
+        assert both("bag(1, 2) intersect bag(2, 3)") == bag(2)
+        assert both("2 in bag(1, 2)") is True
+
+    def test_flatten(self):
+        assert both("flatten(select p.kids from p in persons where p.age > 35)") == bag(
+            rec(name="k1", age=9), rec(name="k2", age=12)
+        )
+
+    def test_define_views(self):
+        result = both(
+            "define adults as select p from p in persons where p.age >= 21; "
+            "define names as select a.name from a in adults; "
+            "names"
+        )
+        assert result == bag("ann", "cyd")
+
+    def test_arithmetic_and_boolean(self):
+        assert both("1 + 2 * 3") == 7
+        assert both("not (1 = 2)") is True
+        assert both("(1 < 2) and (2 <= 2)") is True
+
+    def test_variable_shadowing(self):
+        # inner p shadows outer p
+        result = both(
+            "select (select p.age from p in p.kids) from p in persons where p.name = 'ann'"
+        )
+        assert result == bag(bag(9, 12))
+
+
+class TestErrors:
+    def test_unbound_name(self):
+        with pytest.raises(Exception):
+            eval_oql(parse_oql("select x.a from x in nowhere"), {})
+
+    def test_translation_unknown_collection_defers_to_runtime(self):
+        plan = oql_to_nraenv(parse_oql("select x from x in nowhere"))
+        with pytest.raises(Exception):
+            eval_nraenv(plan, Record({}), None, {})

@@ -1,0 +1,143 @@
+"""Tests for the rule-macro layer (the JRules stand-in, paper §7)."""
+
+import pytest
+
+from repro.data import operators as ops
+from repro.data.model import Bag, bag, rec
+from repro.rules import macros as m
+
+
+WORLD = bag(
+    rec(klass="Client", id=1, name="ada", status="gold"),
+    rec(klass="Client", id=2, name="bob", status="silver"),
+    rec(klass="Order", id=100, client=1, amount=250),
+    rec(klass="Order", id=101, client=2, amount=40),
+)
+
+
+class TestWhen:
+    def test_single_when_binds_each_match(self):
+        rule = m.when(m.bind_class("c", "Client"), m.return_(m.dot(m.var("c"), "name")))
+        assert m.eval_rule(rule, WORLD) == bag("ada", "bob")
+
+    def test_when_with_guard(self):
+        rule = m.when(
+            m.bind_class("c", "Client"),
+            m.guard(
+                m.eq(m.dot(m.var("c"), "status"), m.const("gold")),
+                m.return_(m.dot(m.var("c"), "name")),
+            ),
+        )
+        assert m.eval_rule(rule, WORLD) == bag("ada")
+
+    def test_nested_when_is_a_join(self):
+        rule = m.when(
+            m.bind_class("c", "Client"),
+            m.when(
+                m.bind_class("o", "Order"),
+                m.guard(
+                    m.eq(m.dot(m.var("o"), "client"), m.dot(m.var("c"), "id")),
+                    m.return_(
+                        m.record(
+                            {"n": m.dot(m.var("c"), "name"), "a": m.dot(m.var("o"), "amount")}
+                        )
+                    ),
+                ),
+            ),
+        )
+        assert m.eval_rule(rule, WORLD) == bag(rec(n="ada", a=250), rec(n="bob", a=40))
+
+    def test_same_binder_unification(self):
+        # Binding c twice requires compatible values: the join degenerates
+        # to a self-match, so each client pairs only with itself.
+        rule = m.when(
+            m.bind_class("c", "Client"),
+            m.when(m.bind_class("c", "Client"), m.return_(m.dot(m.var("c"), "name"))),
+        )
+        assert m.eval_rule(rule, WORLD) == bag("ada", "bob")
+
+
+class TestNot:
+    def test_not_blocks_when_match_exists(self):
+        rule = m.when(
+            m.bind_class("c", "Client"),
+            m.not_(m.bind_class("z", "Order"), m.return_(m.dot(m.var("c"), "name"))),
+        )
+        assert m.eval_rule(rule, WORLD) == Bag([])
+
+    def test_not_passes_when_no_match(self):
+        rule = m.when(
+            m.bind_class("c", "Client"),
+            m.not_(m.bind_class("z", "Nothing"), m.return_(m.dot(m.var("c"), "name"))),
+        )
+        assert m.eval_rule(rule, WORLD) == bag("ada", "bob")
+
+    def test_correlated_not(self):
+        import repro.camp.ast as camp
+
+        # clients with no order above 100
+        big_order = camp.PLetEnv(
+            camp.PAssert(m.eq(m.dot(m.it(), "klass"), m.const("Order"))),
+            camp.PLetEnv(
+                camp.PAssert(
+                    m.eq(m.dot(m.it(), "client"), m.dot(m.var("c"), "id"))
+                ),
+                camp.PLetEnv(
+                    camp.PAssert(m.gt(m.dot(m.it(), "amount"), m.const(100))),
+                    m.bind("o"),
+                ),
+            ),
+        )
+        rule = m.when(
+            m.bind_class("c", "Client"),
+            m.not_(big_order, m.return_(m.dot(m.var("c"), "name"))),
+        )
+        assert m.eval_rule(rule, WORLD) == bag("bob")
+
+
+class TestGlobalAggregate:
+    def test_global_sum(self):
+        import repro.camp.ast as camp
+
+        match_amount = camp.PLetEnv(
+            camp.PAssert(m.eq(m.dot(m.it(), "klass"), m.const("Order"))),
+            m.dot(m.it(), "amount"),
+        )
+        rule = m.global_(
+            m.aggregate(match_amount, ops.OpSum(), "total"),
+            m.return_(m.var("total")),
+        )
+        assert m.eval_rule(rule, WORLD) == bag(290)
+
+    def test_aggregate_inside_when(self):
+        import repro.camp.ast as camp
+
+        my_amounts = camp.PLetEnv(
+            camp.PAssert(m.eq(m.dot(m.it(), "klass"), m.const("Order"))),
+            camp.PLetEnv(
+                camp.PAssert(m.eq(m.dot(m.it(), "client"), m.dot(m.var("c"), "id"))),
+                m.dot(m.it(), "amount"),
+            ),
+        )
+        rule = m.when(
+            m.bind_class("c", "Client"),
+            m.global_(
+                m.aggregate(my_amounts, ops.OpSum(), "total"),
+                m.return_(
+                    m.record({"n": m.dot(m.var("c"), "name"), "t": m.var("total")})
+                ),
+            ),
+        )
+        assert m.eval_rule(rule, WORLD) == bag(rec(n="ada", t=250), rec(n="bob", t=40))
+
+
+class TestEvalRule:
+    def test_requires_bag_result(self):
+        with pytest.raises(TypeError):
+            m.eval_rule(m.const(1), WORLD)
+
+    def test_world_available_as_constant_and_datum(self):
+        rule = m.return_(
+            m.eq(m.it(), __import__("repro.camp.ast", fromlist=["PGetConstant"]).PGetConstant(m.WORLD))
+        )
+        assert m.eval_rule(rule, WORLD) == bag(True)

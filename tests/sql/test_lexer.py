@@ -1,0 +1,73 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.sql.lexer import SqlSyntaxError, TokenStream, tokenize
+
+
+class TestTokenize:
+    def test_keywords_lowercased(self):
+        tokens = tokenize("SELECT Name FROM T")
+        assert [t.value for t in tokens[:-1]] == ["select", "name", "from", "t"]
+
+    def test_string_literal(self):
+        tokens = tokenize("'hello world'")
+        assert tokens[0].kind == "string"
+        assert tokens[0].value == "hello world"
+
+    def test_string_with_escaped_quote(self):
+        assert tokenize("'it''s'")[0].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 0.0001")
+        assert [t.value for t in tokens[:-1]] == ["1", "2.5", "0.0001"]
+
+    def test_qualified_name_is_three_tokens(self):
+        tokens = tokenize("t.col")
+        assert [(t.kind, t.value) for t in tokens[:-1]] == [
+            ("ident", "t"),
+            ("symbol", "."),
+            ("ident", "col"),
+        ]
+
+    def test_two_char_symbols(self):
+        tokens = tokenize("a <= b <> c || d")
+        symbols = [t.value for t in tokens if t.kind == "symbol"]
+        assert symbols == ["<=", "<>", "||"]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("select 1 -- comment\n, 2")
+        assert [t.value for t in tokens[:-1]] == ["select", "1", ",", "2"]
+
+    def test_strings_keep_case_and_hash(self):
+        assert tokenize("'Brand#12'")[0].value == "Brand#12"
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("select @")
+
+
+class TestTokenStream:
+    def test_peek_and_next(self):
+        stream = TokenStream(tokenize("a b"))
+        assert stream.peek().value == "a"
+        assert stream.next().value == "a"
+        assert stream.next().value == "b"
+        assert stream.exhausted
+
+    def test_end_is_sticky(self):
+        stream = TokenStream(tokenize("a"))
+        stream.next()
+        assert stream.next().kind == "end"
+        assert stream.next().kind == "end"
+
+    def test_expectations(self):
+        stream = TokenStream(tokenize("select 1"))
+        stream.expect_keyword("select")
+        assert stream.expect_number() == "1"
+        with pytest.raises(SqlSyntaxError):
+            stream.expect_ident()

@@ -1,0 +1,209 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.data.foreign import DateValue
+from repro.sql import ast
+from repro.sql.lexer import SqlSyntaxError
+from repro.sql.parser import parse_query, parse_sql
+
+
+class TestSelectBasics:
+    def test_simple_select(self):
+        query = parse_query("select a, b from t")
+        select = query.body
+        assert isinstance(select, ast.Select)
+        assert [item.expr.name for item in select.items] == ["a", "b"]
+        assert select.from_items[0].name == "t"
+
+    def test_aliases(self):
+        select = parse_query("select a as x, b y from t u").body
+        assert select.items[0].alias == "x"
+        assert select.items[1].alias == "y"
+        assert select.from_items[0].alias == "u"
+
+    def test_star(self):
+        select = parse_query("select * from t").body
+        assert isinstance(select.items[0].expr, ast.Star)
+
+    def test_distinct(self):
+        assert parse_query("select distinct a from t").body.distinct
+
+    def test_where_group_having_order_limit(self):
+        select = parse_query(
+            "select a, count(*) as n from t where a > 1 "
+            "group by a having count(*) > 2 order by n desc, a limit 5"
+        ).body
+        assert select.where is not None
+        assert len(select.group_by) == 1
+        assert select.having is not None
+        assert select.order_by[0].descending
+        assert not select.order_by[1].descending
+        assert select.limit == 5
+
+    def test_from_subquery(self):
+        select = parse_query("select a from (select a from t) as s").body
+        assert isinstance(select.from_items[0], ast.SubqueryRef)
+        assert select.from_items[0].alias == "s"
+
+
+class TestExpressions:
+    def test_precedence_or_and(self):
+        select = parse_query("select a from t where x = 1 or y = 2 and z = 3").body
+        assert select.where.op == "or"
+        assert select.where.right.op == "and"
+
+    def test_arithmetic_precedence(self):
+        select = parse_query("select a + b * c from t").body
+        expr = select.items[0].expr
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parentheses(self):
+        select = parse_query("select (a + b) * c from t").body
+        assert select.items[0].expr.op == "*"
+
+    def test_between(self):
+        select = parse_query("select a from t where a between 1 and 3").body
+        assert isinstance(select.where, ast.Between)
+
+    def test_not_between(self):
+        select = parse_query("select a from t where a not between 1 and 3").body
+        assert select.where.negated
+
+    def test_in_list(self):
+        select = parse_query("select a from t where a in (1, 2, 3)").body
+        assert isinstance(select.where, ast.InList)
+        assert len(select.where.items) == 3
+
+    def test_in_subquery(self):
+        select = parse_query("select a from t where a in (select b from u)").body
+        assert isinstance(select.where, ast.InQuery)
+
+    def test_not_in_subquery(self):
+        select = parse_query("select a from t where a not in (select b from u)").body
+        assert select.where.negated
+
+    def test_like_and_not_like(self):
+        select = parse_query("select a from t where a like 'x%' and b not like '%y'").body
+        assert isinstance(select.where.left, ast.Like)
+        assert select.where.right.negated
+
+    def test_exists(self):
+        select = parse_query("select a from t where exists (select * from u)").body
+        assert isinstance(select.where, ast.Exists)
+
+    def test_not_exists(self):
+        select = parse_query("select a from t where not exists (select * from u)").body
+        assert isinstance(select.where, ast.UnaryExpr)
+        assert select.where.op == "not"
+
+    def test_case(self):
+        select = parse_query(
+            "select case when a = 1 then 'x' when a = 2 then 'y' else 'z' end from t"
+        ).body
+        case = select.items[0].expr
+        assert isinstance(case, ast.Case)
+        assert len(case.branches) == 2
+        assert case.otherwise is not None
+
+    def test_case_without_else(self):
+        case = parse_query("select case when a = 1 then 2 end from t").body.items[0].expr
+        assert case.otherwise is None
+
+    def test_aggregates(self):
+        select = parse_query(
+            "select count(*), count(distinct a), sum(b), avg(c), min(d), max(e) from t"
+        ).body
+        aggs = [item.expr for item in select.items]
+        assert aggs[0].arg is None
+        assert aggs[1].distinct
+        assert [a.func for a in aggs] == ["count", "count", "sum", "avg", "min", "max"]
+
+    def test_date_and_interval(self):
+        select = parse_query(
+            "select a from t where d <= date '1998-12-01' - interval '90' day"
+        ).body
+        comparison = select.where
+        assert comparison.right.op == "-"
+        assert comparison.right.left.value == DateValue(1998, 12, 1)
+        assert isinstance(comparison.right.right, ast.Interval)
+        assert comparison.right.right.amount == 90
+        assert comparison.right.right.unit == "day"
+
+    def test_extract(self):
+        expr = parse_query("select extract(year from d) from t").body.items[0].expr
+        assert isinstance(expr, ast.Extract)
+        assert expr.part == "year"
+
+    def test_substring(self):
+        expr = parse_query("select substring(p from 1 for 2) from t").body.items[0].expr
+        assert isinstance(expr, ast.Substring)
+        assert (expr.start, expr.length) == (1, 2)
+
+    def test_scalar_subquery(self):
+        select = parse_query("select a from t where a = (select max(b) from u)").body
+        assert isinstance(select.where.right, ast.ScalarQuery)
+
+    def test_qualified_columns(self):
+        select = parse_query("select t1.a from t t1 where t1.b = 2").body
+        assert select.items[0].expr.table == "t1"
+
+    def test_unary_minus(self):
+        expr = parse_query("select -a from t").body.items[0].expr
+        assert isinstance(expr, ast.UnaryExpr) and expr.op == "-"
+
+
+class TestSetOpsAndCtes:
+    def test_union(self):
+        query = parse_query("select a from t union select a from u")
+        assert isinstance(query.body, ast.SetOp)
+        assert query.body.op == "union"
+        assert not query.body.all
+
+    def test_union_all(self):
+        assert parse_query("select a from t union all select a from u").body.all
+
+    def test_intersect_except(self):
+        assert parse_query("select a from t intersect select a from u").body.op == "intersect"
+        assert parse_query("select a from t except select a from u").body.op == "except"
+
+    def test_with_clause(self):
+        query = parse_query("with c as (select a from t) select a from c")
+        assert query.ctes[0][0] == "c"
+
+
+class TestScripts:
+    def test_create_view_with_columns(self):
+        script = parse_sql(
+            "create view v (x, y) as select a, b from t; select x from v"
+        )
+        view = script.statements[0]
+        assert isinstance(view, ast.CreateView)
+        assert view.columns == ["x", "y"]
+        assert isinstance(script.statements[1], ast.Query)
+
+    def test_drop_view(self):
+        script = parse_sql("select a from t; drop view v")
+        assert isinstance(script.statements[1], ast.DropView)
+
+    def test_main_query_accessor(self):
+        script = parse_sql("create view v as select a from t; select a from v")
+        assert isinstance(script.main_query(), ast.Query)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("   ")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_query("select a from t banana nonsense extra")
+
+
+class TestMetrics:
+    def test_size_and_depth(self):
+        flat = parse_query("select a from t")
+        nested = parse_query("select a from (select a from t) as s")
+        assert nested.size() > flat.size()
+        assert flat.depth() == 1
+        assert nested.depth() == 2

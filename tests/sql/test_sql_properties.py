@@ -1,0 +1,135 @@
+"""Property tests over randomly generated SQL queries.
+
+A generator produces small well-formed queries over a fixed two-table
+schema; for each query the pipeline must be internally consistent:
+interpreted NRAe == optimized NRAe == generated Python.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backend.python_gen import compile_nnrc_to_callable
+from repro.data.model import Record, bag, rec
+from repro.nraenv.eval import EvalError, eval_nraenv
+from repro.optim.defaults import optimize_nnrc, optimize_nraenv
+from repro.sql.parser import parse_sql
+from repro.sql.to_nraenv import sql_to_nraenv
+from repro.translate.nraenv_to_nnrc import nraenv_to_nnrc
+
+EMP = bag(
+    rec(name="ann", dept="eng", sal=100, years=5),
+    rec(name="bob", dept="eng", sal=80, years=2),
+    rec(name="cyd", dept="ops", sal=90, years=9),
+    rec(name="dan", dept="ops", sal=90, years=1),
+    rec(name="eve", dept="hr", sal=70, years=4),
+)
+DEPT = bag(
+    rec(dname="eng", floor=1),
+    rec(dname="ops", floor=2),
+    rec(dname="hr", floor=2),
+)
+DB = {"emp": EMP, "dept": DEPT}
+
+_NUM_COLS = ("sal", "years")
+_STR_COLS = ("name", "dept")
+
+
+def _gen_predicate(rng: random.Random, depth: int = 1) -> str:
+    choices = [
+        lambda: "%s %s %d" % (
+            rng.choice(_NUM_COLS), rng.choice(("<", "<=", ">", ">=", "=", "<>")),
+            rng.randint(60, 110),
+        ),
+        lambda: "dept %s '%s'" % (rng.choice(("=", "<>")), rng.choice(("eng", "ops", "hr"))),
+        lambda: "%s between %d and %d" % (rng.choice(_NUM_COLS), rng.randint(0, 80), rng.randint(80, 120)),
+        lambda: "name like '%%%s%%'" % rng.choice("anbo"),
+        lambda: "dept in ('eng', 'hr')",
+        lambda: "sal > (select avg(sal) from emp)",
+        lambda: "exists (select * from dept where dname = dept)",
+        lambda: "dept in (select dname from dept where floor = %d)" % rng.randint(1, 2),
+    ]
+    pred = rng.choice(choices)()
+    if depth > 0 and rng.random() < 0.4:
+        connective = rng.choice(("and", "or"))
+        return "(%s %s %s)" % (pred, connective, _gen_predicate(rng, depth - 1))
+    if rng.random() < 0.15:
+        return "not (%s)" % pred
+    return pred
+
+
+def _gen_query(rng: random.Random) -> str:
+    style = rng.random()
+    where = " where %s" % _gen_predicate(rng) if rng.random() < 0.8 else ""
+    if style < 0.45:
+        columns = rng.sample(("name", "dept", "sal", "years"), rng.randint(1, 3))
+        distinct = "distinct " if rng.random() < 0.3 else ""
+        order = ""
+        if rng.random() < 0.5:
+            order = " order by %s%s" % (
+                rng.choice(columns),
+                " desc" if rng.random() < 0.5 else "",
+            )
+        return "select %s%s from emp%s%s" % (distinct, ", ".join(columns), where, order)
+    if style < 0.75:
+        agg = rng.choice(
+            ("count(*) as n", "sum(sal) as t", "avg(sal) as a", "min(sal) as lo", "max(sal) as hi")
+        )
+        having = ""
+        if rng.random() < 0.4:
+            having = " having count(*) >= %d" % rng.randint(1, 2)
+        return "select dept, %s from emp%s group by dept%s" % (agg, where, having)
+    if style < 0.9:
+        return (
+            "select name, floor from emp, dept where dept = dname%s"
+            % ((" and " + _gen_predicate(rng)) if rng.random() < 0.6 else "")
+        )
+    return (
+        "select dept, count(*) as n from (select dept, sal from emp%s) as s group by dept"
+        % where
+    )
+
+
+_FAILED = object()
+
+
+def _outcome(fn):
+    try:
+        return fn()
+    except (EvalError, ZeroDivisionError):
+        return _FAILED
+
+
+@given(st.integers(min_value=0, max_value=1_000_000))
+@settings(max_examples=120, deadline=None)
+def test_sql_pipeline_internally_consistent(seed):
+    rng = random.Random(seed)
+    text = _gen_query(rng)
+    plan = sql_to_nraenv(parse_sql(text))
+    base = _outcome(lambda: eval_nraenv(plan, Record({}), None, DB))
+
+    optimized = optimize_nraenv(plan).plan
+    opt_result = _outcome(lambda: eval_nraenv(optimized, Record({}), None, DB))
+    assert opt_result == base or (opt_result is _FAILED and base is _FAILED), text
+
+    nnrc = optimize_nnrc(nraenv_to_nnrc(plan)).plan
+    nnrc_result = _outcome(
+        lambda: __import__("repro.nnrc.eval", fromlist=["eval_nnrc"]).eval_nnrc(
+            nnrc, {"d0": None, "e0": Record({})}, DB
+        )
+    )
+    assert nnrc_result == base or (nnrc_result is _FAILED and base is _FAILED), text
+
+    fn = compile_nnrc_to_callable(nnrc)
+    generated = _outcome(lambda: fn(DB))
+    assert generated == base or (generated is _FAILED and base is _FAILED), text
+
+
+@given(st.integers(min_value=0, max_value=1_000_000))
+@settings(max_examples=120, deadline=None)
+def test_generated_sql_always_parses_and_translates(seed):
+    rng = random.Random(seed)
+    text = _gen_query(rng)
+    plan = sql_to_nraenv(parse_sql(text))
+    assert plan.size() > 0

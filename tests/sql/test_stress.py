@@ -1,0 +1,40 @@
+"""Tests for the SQL stress family (the TPC-DS substitute)."""
+
+import pytest
+
+from repro.sql.lexer import SqlSyntaxError
+from repro.sql.parser import parse_sql
+from repro.sql.stress import supported_query, unsupported_queries
+from repro.sql.to_nraenv import sql_to_nraenv
+
+
+class TestSupportedFamily:
+    def test_levels_grow_plan_size(self):
+        sizes = []
+        for level in (1, 2, 3):
+            plan = sql_to_nraenv(parse_sql(supported_query(level)))
+            sizes.append(plan.size())
+        assert sizes[0] < sizes[1] < sizes[2]
+        assert sizes[2] > 500  # the TPC-DS-like "large plan" regime
+
+    def test_level_zero_is_plain_select(self):
+        plan = sql_to_nraenv(parse_sql(supported_query(0)))
+        assert plan.size() < 100
+
+    def test_deep_query_executes(self):
+        from repro.data.model import Record, to_python
+        from repro.nraenv.eval import eval_nraenv
+        from repro.tpch.datagen import MICRO, generate
+
+        db = generate(MICRO, seed=7)
+        plan = sql_to_nraenv(parse_sql(supported_query(1)))
+        rows = to_python(eval_nraenv(plan, Record({}), None, db))
+        assert isinstance(rows, list)
+
+
+class TestUnsupportedFamily:
+    @pytest.mark.parametrize("name,text", unsupported_queries())
+    def test_rejected_gracefully(self, name, text):
+        """Unsupported features fail with a diagnostic, not a crash."""
+        with pytest.raises((SqlSyntaxError, ValueError)):
+            sql_to_nraenv(parse_sql(text))

@@ -1,0 +1,257 @@
+"""Semantics tests for the SQL → NRAe translation (paper §6)."""
+
+import pytest
+
+from repro.data.model import Bag, Record, bag, rec, to_python
+from repro.nraenv.eval import eval_nraenv
+from repro.sql.parser import parse_sql
+from repro.sql.to_nraenv import SqlTranslationError, sql_to_nraenv
+
+
+EMP = bag(
+    rec(name="ann", dept="eng", sal=100),
+    rec(name="bob", dept="eng", sal=80),
+    rec(name="cyd", dept="ops", sal=90),
+    rec(name="dan", dept="ops", sal=90),
+)
+DEPT = bag(
+    rec(dname="eng", floor=1),
+    rec(dname="ops", floor=2),
+)
+DB = {"emp": EMP, "dept": DEPT}
+
+
+def run(sql_text, constants=DB):
+    plan = sql_to_nraenv(parse_sql(sql_text))
+    return to_python(eval_nraenv(plan, Record({}), None, constants))
+
+
+class TestSelectFromWhere:
+    def test_projection(self):
+        rows = run("select name from emp where sal > 85")
+        assert sorted(r["name"] for r in rows) == ["ann", "cyd", "dan"]
+
+    def test_select_star_removes_alias_bookkeeping(self):
+        rows = run("select * from emp e where sal = 100")
+        assert rows == [{"name": "ann", "dept": "eng", "sal": 100}]
+
+    def test_expression_columns(self):
+        rows = run("select name, sal * 2 as double from emp where name = 'bob'")
+        assert rows == [{"name": "bob", "double": 160}]
+
+    def test_join_via_product(self):
+        rows = run(
+            "select name, floor from emp, dept where dept = dname and sal > 95"
+        )
+        assert rows == [{"name": "ann", "floor": 1}]
+
+    def test_qualified_columns_and_self_join(self):
+        rows = run(
+            "select a.name as x, b.name as y from emp a, emp b "
+            "where a.sal < b.sal and a.dept = b.dept"
+        )
+        assert rows == [{"x": "bob", "y": "ann"}]
+
+    def test_no_from(self):
+        assert run("select 1 as one") == [{"one": 1}]
+
+
+class TestPredicates:
+    def test_between(self):
+        rows = run("select name from emp where sal between 85 and 95")
+        assert sorted(r["name"] for r in rows) == ["cyd", "dan"]
+
+    def test_in_list(self):
+        rows = run("select name from emp where dept in ('ops', 'hr')")
+        assert sorted(r["name"] for r in rows) == ["cyd", "dan"]
+
+    def test_not_in_subquery(self):
+        rows = run(
+            "select name from emp where dept not in "
+            "(select dname from dept where floor = 1)"
+        )
+        assert sorted(r["name"] for r in rows) == ["cyd", "dan"]
+
+    def test_like(self):
+        rows = run("select name from emp where name like '%n%'")
+        assert sorted(r["name"] for r in rows) == ["ann", "dan"]
+
+    def test_exists_correlated(self):
+        rows = run(
+            "select dname from dept where exists "
+            "(select * from emp where dept = dname and sal > 95)"
+        )
+        assert rows == [{"dname": "eng"}]
+
+    def test_not_exists_correlated(self):
+        rows = run(
+            "select dname from dept where not exists "
+            "(select * from emp where dept = dname and sal > 95)"
+        )
+        assert rows == [{"dname": "ops"}]
+
+    def test_scalar_subquery_correlated(self):
+        rows = run(
+            "select name from emp e where sal = "
+            "(select max(sal) from emp where dept = e.dept)"
+        )
+        assert sorted(r["name"] for r in rows) == ["ann", "cyd", "dan"]
+
+
+class TestGroupingAndAggregates:
+    def test_group_by(self):
+        rows = run(
+            "select dept, sum(sal) as total, count(*) as n from emp group by dept "
+            "order by dept"
+        )
+        assert rows == [
+            {"dept": "eng", "total": 180, "n": 2},
+            {"dept": "ops", "total": 180, "n": 2},
+        ]
+
+    def test_having(self):
+        rows = run(
+            "select dept, avg(sal) as a from emp group by dept having min(sal) > 85"
+        )
+        assert rows == [{"dept": "ops", "a": 90.0}]
+
+    def test_aggregate_without_group_by(self):
+        assert run("select count(*) as n, max(sal) as top from emp") == [
+            {"n": 4, "top": 100}
+        ]
+
+    def test_count_distinct(self):
+        assert run("select count(distinct dept) as n from emp") == [{"n": 2}]
+
+    def test_having_with_scalar_subquery(self):
+        # q11's shape: a correlated-free aggregate threshold.
+        rows = run(
+            "select dept, sum(sal) as total from emp group by dept "
+            "having sum(sal) > (select sum(sal) * 0.4 from emp)"
+        )
+        assert sorted(r["dept"] for r in rows) == ["eng", "ops"]
+
+    def test_in_subquery_with_group_and_having(self):
+        # q18's shape.
+        rows = run(
+            "select name from emp where dept in "
+            "(select dept from emp group by dept having sum(sal) > 100)"
+        )
+        assert len(rows) == 4
+
+
+class TestOrderDistinctLimit:
+    def test_order_by_desc(self):
+        rows = run("select name, sal from emp order by sal desc, name")
+        assert [r["name"] for r in rows] == ["ann", "cyd", "dan", "bob"]
+
+    def test_distinct(self):
+        rows = run("select distinct dept from emp")
+        assert sorted(r["dept"] for r in rows) == ["eng", "ops"]
+
+    def test_limit(self):
+        rows = run("select name, sal from emp order by sal desc limit 2")
+        assert [r["name"] for r in rows] == ["ann", "cyd"]
+
+    def test_order_by_non_output_column(self):
+        rows = run("select name from emp order by sal desc, name")
+        assert [r["name"] for r in rows] == ["ann", "cyd", "dan", "bob"]
+        assert all(set(r) == {"name"} for r in rows)
+
+    def test_order_by_expression(self):
+        rows = run("select name from emp order by sal * -1, name")
+        assert [r["name"] for r in rows] == ["ann", "cyd", "dan", "bob"]
+
+
+class TestCase:
+    def test_case_with_else(self):
+        rows = run(
+            "select name, case when sal >= 90 then 'hi' else 'lo' end as band "
+            "from emp order by name"
+        )
+        assert [r["band"] for r in rows] == ["hi", "lo", "hi", "hi"]
+
+    def test_case_multiple_branches(self):
+        rows = run(
+            "select name, case when sal >= 100 then 'a' when sal >= 90 then 'b' "
+            "else 'c' end as band from emp order by name"
+        )
+        assert [r["band"] for r in rows] == ["a", "c", "b", "b"]
+
+    def test_case_in_aggregate(self):
+        rows = run(
+            "select sum(case when dept = 'eng' then sal else 0 end) as engtotal from emp"
+        )
+        assert rows == [{"engtotal": 180}]
+
+
+class TestSetOperations:
+    def test_union_dedupes(self):
+        rows = run("select dept from emp union select dname as dept from dept")
+        assert sorted(r["dept"] for r in rows) == ["eng", "ops"]
+
+    def test_union_all_keeps_duplicates(self):
+        rows = run("select dept from emp union all select dname as dept from dept")
+        assert len(rows) == 6
+
+    def test_intersect(self):
+        rows = run(
+            "select dept from emp intersect select dname as dept from dept where floor = 1"
+        )
+        assert rows == [{"dept": "eng"}]
+
+    def test_except(self):
+        rows = run("select dname as d from dept except select dept as d from emp where sal > 95")
+        assert rows == [{"d": "ops"}]
+
+
+class TestViewsAndCtes:
+    def test_view_with_column_rename(self):
+        rows = run(
+            "create view rich (who, amount) as select name, sal from emp where sal >= 90;"
+            "select who from rich where amount = (select max(amount) from rich)"
+        )
+        assert rows == [{"who": "ann"}]
+
+    def test_view_on_view(self):
+        rows = run(
+            "create view a_view as select name, sal from emp where sal > 85;"
+            "create view b_view as select name from a_view where sal < 95;"
+            "select count(*) as n from b_view"
+        )
+        assert rows == [{"n": 2}]
+
+    def test_alias_does_not_shadow_view(self):
+        rows = run(
+            "create view v as select name from emp where sal > 95;"
+            "select count(*) as n from v where exists (select * from v)"
+        )
+        assert rows == [{"n": 1}]
+
+    def test_with_clause(self):
+        rows = run(
+            "with big as (select name, sal from emp where sal > 85) "
+            "select count(*) as n from big"
+        )
+        assert rows == [{"n": 3}]
+
+    def test_drop_view_removes_binding(self):
+        with pytest.raises(Exception):
+            run(
+                "create view v as select name from emp; drop view v;"
+                "select * from v"
+            )
+
+
+class TestUnsupported:
+    def test_group_by_expression_rejected(self):
+        with pytest.raises(SqlTranslationError):
+            run("select sal + 1, count(*) from emp group by sal + 1")
+
+    def test_order_by_star_with_expression_rejected(self):
+        with pytest.raises(SqlTranslationError):
+            run("select * from emp order by sal + 1")
+
+    def test_aggregate_outside_group_context(self):
+        with pytest.raises(SqlTranslationError):
+            run("select name from emp where sum(sal) > 1")

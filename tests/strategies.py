@@ -1,0 +1,55 @@
+"""Hypothesis strategies for data-model values and NRAe plans."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.data.foreign import DateValue
+from repro.data.model import Bag, Record
+
+atoms = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-50, max_value=50),
+    st.floats(min_value=-50, max_value=50, allow_nan=False, allow_infinity=False),
+    st.text(alphabet="abcxyz", max_size=4),
+    st.builds(
+        DateValue,
+        st.integers(min_value=1992, max_value=1998),
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=28),
+    ),
+)
+
+
+def values(max_leaves: int = 12):
+    """Arbitrary data-model values (atoms, bags, records, nested)."""
+    return st.recursive(
+        atoms,
+        lambda children: st.one_of(
+            st.lists(children, max_size=3).map(Bag),
+            st.dictionaries(
+                st.sampled_from(["a", "b", "c"]), children, max_size=3
+            ).map(Record),
+        ),
+        max_leaves=max_leaves,
+    )
+
+
+#: Flat records over a small fixed schema (the "element" shape used by
+#: plan-equivalence properties).
+element_records = st.builds(
+    lambda a, b: Record({"a": a, "b": b}),
+    st.integers(min_value=0, max_value=5),
+    st.integers(min_value=0, max_value=5),
+)
+
+element_bags = st.lists(element_records, max_size=5).map(Bag)
+
+#: Environment records sharing field "a" with elements (so ⊗ both
+#: succeeds and fails).
+env_records = st.builds(
+    lambda a, u: Record({"a": a, "u": u}),
+    st.integers(min_value=0, max_value=5),
+    st.integers(min_value=0, max_value=5),
+)

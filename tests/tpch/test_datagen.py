@@ -1,0 +1,98 @@
+"""Tests for the TPC-H mini data generator."""
+
+from repro.data.foreign import DateValue
+from repro.data.model import Bag, Record
+from repro.tpch import schema
+from repro.tpch.datagen import MICRO, SMALL, TpchScale, generate
+
+
+class TestDeterminism:
+    def test_same_seed_same_database(self):
+        assert generate(MICRO, seed=7) == generate(MICRO, seed=7)
+
+    def test_different_seed_different_database(self):
+        assert generate(MICRO, seed=7) != generate(MICRO, seed=8)
+
+
+class TestSchemaConformance:
+    def test_all_tables_present(self, tpch_db):
+        assert set(tpch_db) == set(schema.TABLES)
+
+    def test_rows_have_exact_columns(self, tpch_db):
+        for table, columns in schema.TABLES.items():
+            expected = {name for name, _ in columns}
+            for row in tpch_db[table]:
+                assert isinstance(row, Record)
+                assert set(row.domain()) == expected, table
+
+    def test_column_kinds(self, tpch_db):
+        kind_checks = {
+            "int": lambda v: isinstance(v, int) and not isinstance(v, bool),
+            "float": lambda v: isinstance(v, float),
+            "str": lambda v: isinstance(v, str),
+            "date": lambda v: isinstance(v, DateValue),
+        }
+        for table, columns in schema.TABLES.items():
+            for row in tpch_db[table]:
+                for name, kind in columns:
+                    assert kind_checks[kind](row[name]), (table, name, row[name])
+
+    def test_reference_tables_fixed_size(self, tpch_db):
+        assert len(tpch_db["region"]) == 5
+        assert len(tpch_db["nation"]) == 25
+
+
+class TestReferentialIntegrity:
+    def test_foreign_keys(self, tpch_db):
+        nations = {n["n_nationkey"] for n in tpch_db["nation"]}
+        regions = {r["r_regionkey"] for r in tpch_db["region"]}
+        suppliers = {s["s_suppkey"] for s in tpch_db["supplier"]}
+        parts = {p["p_partkey"] for p in tpch_db["part"]}
+        customers = {c["c_custkey"] for c in tpch_db["customer"]}
+        orders = {o["o_orderkey"] for o in tpch_db["orders"]}
+        assert all(n["n_regionkey"] in regions for n in tpch_db["nation"])
+        assert all(s["s_nationkey"] in nations for s in tpch_db["supplier"])
+        assert all(c["c_nationkey"] in nations for c in tpch_db["customer"])
+        assert all(o["o_custkey"] in customers for o in tpch_db["orders"])
+        for ps in tpch_db["partsupp"]:
+            assert ps["ps_partkey"] in parts
+            assert ps["ps_suppkey"] in suppliers
+        for line in tpch_db["lineitem"]:
+            assert line["l_orderkey"] in orders
+            assert line["l_partkey"] in parts
+            assert line["l_suppkey"] in suppliers
+
+    def test_line_dates_consistent(self, tpch_db):
+        orders = {o["o_orderkey"]: o for o in tpch_db["orders"]}
+        for line in tpch_db["lineitem"]:
+            order = orders[line["l_orderkey"]]
+            assert order["o_orderdate"] <= line["l_shipdate"]
+            assert line["l_shipdate"] <= line["l_receiptdate"]
+
+
+class TestCoverageGuarantees:
+    """The distribution pins that keep every executed query non-trivial."""
+
+    def test_heavy_order_for_q18(self, tpch_db):
+        totals = {}
+        for line in tpch_db["lineitem"]:
+            totals[line["l_orderkey"]] = totals.get(line["l_orderkey"], 0) + line["l_quantity"]
+        assert max(totals.values()) > 300
+
+    def test_orderless_customers_for_q22(self, tpch_db):
+        with_orders = {o["o_custkey"] for o in tpch_db["orders"]}
+        all_customers = {c["c_custkey"] for c in tpch_db["customer"]}
+        assert all_customers - with_orders
+
+    def test_every_segment_present_for_q3(self, tpch_db):
+        segments = {c["c_mktsegment"] for c in tpch_db["customer"]}
+        assert segments == set(schema.SEGMENTS)
+
+    def test_q16_sizes_present(self, tpch_db):
+        assert any(p["p_size"] == 14 for p in tpch_db["part"])
+
+    def test_scales(self):
+        small = generate(SMALL, seed=7)
+        assert len(small["lineitem"]) > len(generate(MICRO, seed=7)["lineitem"])
+        custom = generate(TpchScale(suppliers=2, parts=3, customers=2, orders=4), seed=1)
+        assert len(custom["supplier"]) == 2

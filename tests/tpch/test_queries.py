@@ -1,0 +1,91 @@
+"""TPC-H end-to-end tests (paper §6).
+
+- All 21 supported queries parse, translate, optimize, and reach NNRC
+  (the paper's compilation claim; q13 is excluded there too).
+- The executable subset runs against the micro database and matches the
+  straight-Python reference implementations — through the interpreter
+  *and* through generated Python code.
+"""
+
+import pytest
+
+from repro.backend.python_gen import compile_nnrc_to_callable
+from repro.compiler.pipeline import compile_sql
+from repro.data.foreign import DateValue
+from repro.data.model import Record, to_python
+from repro.nraenv.eval import eval_nraenv
+from repro.sql.parser import parse_sql
+from repro.sql.to_nraenv import sql_to_nraenv
+from repro.tpch.queries import EXECUTABLE, QUERIES, QUERY_NAMES
+from repro.tpch.reference import REFERENCES
+
+
+def normalise(rows):
+    def convert(value):
+        if isinstance(value, DateValue):
+            return value.isoformat()
+        if isinstance(value, float):
+            return round(value, 4)
+        return value
+
+    return sorted(
+        tuple(sorted((key, convert(value)) for key, value in row.items()))
+        for row in rows
+    )
+
+
+@pytest.mark.parametrize("name", QUERY_NAMES)
+def test_query_compiles_through_full_pipeline(name):
+    result = compile_sql(QUERIES[name])
+    nraenv_plan = result.output("to_nraenv")
+    optimized = result.output("nraenv_opt")
+    nnrc = result.output("nnrc_opt")
+    assert nraenv_plan.size() > 0
+    assert optimized.size() <= nraenv_plan.size()
+    assert nnrc.size() > 0
+
+
+def test_query13_is_not_supported():
+    """The paper: 'all TPC-H queries with the exception of one' (q13)."""
+    assert "q13" not in QUERIES
+    assert len(QUERY_NAMES) == 21
+
+
+@pytest.mark.parametrize("name", EXECUTABLE)
+def test_executable_query_matches_reference(name, tpch_db):
+    plan = sql_to_nraenv(parse_sql(QUERIES[name]))
+    rows = to_python(eval_nraenv(plan, Record({}), None, tpch_db))
+    assert normalise(rows) == normalise(REFERENCES[name](tpch_db)), name
+
+
+@pytest.mark.parametrize("name", ("q1", "q6", "q14", "q15", "q22"))
+def test_optimized_and_codegen_agree_with_reference(name, tpch_db):
+    result = compile_sql(QUERIES[name])
+    # optimized NRAe
+    rows_opt = to_python(
+        eval_nraenv(result.output("nraenv_opt"), Record({}), None, tpch_db)
+    )
+    assert normalise(rows_opt) == normalise(REFERENCES[name](tpch_db))
+    # generated Python from optimized NNRC
+    fn = compile_nnrc_to_callable(result.final, name=name)
+    rows_gen = to_python(fn(tpch_db))
+    assert normalise(rows_gen) == normalise(REFERENCES[name](tpch_db))
+
+
+def test_ordered_output_order_is_respected(tpch_db):
+    """q1's ORDER BY: rows come out sorted, not just set-equal."""
+    plan = sql_to_nraenv(parse_sql(QUERIES["q1"]))
+    rows = to_python(eval_nraenv(plan, Record({}), None, tpch_db))
+    keys = [(r["l_returnflag"], r["l_linestatus"]) for r in rows]
+    assert keys == sorted(keys)
+
+
+def test_compile_times_are_modest():
+    """The paper: 'compilation time is under two seconds for all queries'.
+
+    Absolute numbers differ (CPython vs extracted OCaml); we assert the
+    same order of magnitude per query on this substrate.
+    """
+    for name in ("q1", "q5", "q21"):
+        result = compile_sql(QUERIES[name])
+        assert result.total_seconds < 10.0, (name, result.total_seconds)

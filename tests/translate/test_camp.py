@@ -1,0 +1,192 @@
+"""Correctness of both CAMP translations (Figure 11).
+
+Invariant from [34]: a translated pattern evaluates to ∅ exactly when
+CAMP evaluation raises a recoverable match failure, and to ``{v}`` when
+it succeeds with ``v`` — for the same environment and datum, on both the
+NRAe path (right column) and the direct NRA path (left column).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.camp import ast as camp
+from repro.camp.eval import MatchFail, eval_camp
+from repro.data import operators as ops
+from repro.data.model import Bag, Record, bag, rec
+from repro.nra import eval_nra, is_nra
+from repro.nraenv.eval import EvalError, eval_nraenv
+from repro.translate.camp_to_nra import camp_to_nra, encode_input
+from repro.translate.camp_to_nraenv import camp_to_nraenv
+
+_FAILED = object()
+_MATCH_FAIL = object()
+
+CONSTANTS = {"W": bag(1, 2, 3)}
+
+
+def camp_outcome(pattern, datum, env):
+    try:
+        return eval_camp(pattern, datum, env, CONSTANTS)
+    except MatchFail:
+        return _MATCH_FAIL
+    except EvalError:
+        return _FAILED
+
+
+def check_both_paths(pattern, datum=None, env=None):
+    env = env if env is not None else Record({})
+    expected = camp_outcome(pattern, datum, env)
+
+    plan_e = camp_to_nraenv(pattern)
+    try:
+        via_nraenv = eval_nraenv(plan_e, env, datum, CONSTANTS)
+    except EvalError:
+        via_nraenv = _FAILED
+
+    plan_a = camp_to_nra(pattern)
+    assert is_nra(plan_a)
+    try:
+        via_nra = eval_nra(plan_a, encode_input(env, datum), CONSTANTS)
+    except EvalError:
+        via_nra = _FAILED
+
+    for label, actual in (("NRAe", via_nraenv), ("NRA", via_nra)):
+        if expected is _FAILED:
+            assert actual is _FAILED, "%s: expected terminal error" % label
+        elif expected is _MATCH_FAIL:
+            assert actual == Bag([]), "%s: expected ∅ for match failure" % label
+        else:
+            assert actual == bag(expected), "%s: expected {%r}, got %r" % (
+                label,
+                expected,
+                actual,
+            )
+
+
+class TestPerConstructor:
+    def test_const(self):
+        check_both_paths(camp.PConst(5))
+
+    def test_it_env(self):
+        check_both_paths(camp.PIt(), datum=7)
+        check_both_paths(camp.PEnv(), env=rec(x=1))
+
+    def test_get_constant(self):
+        check_both_paths(camp.PGetConstant("W"))
+
+    def test_unop_and_binop(self):
+        check_both_paths(camp.PUnop(ops.OpRec("a"), camp.PIt()), datum=1)
+        check_both_paths(
+            camp.PBinop(ops.OpAdd(), camp.PConst(1), camp.PConst(2))
+        )
+
+    def test_binop_failure_propagates(self):
+        failing = camp.PAssert(camp.PConst(False))
+        check_both_paths(camp.PBinop(ops.OpAdd(), failing, camp.PConst(2)))
+
+    def test_let_it(self):
+        check_both_paths(
+            camp.PLetIt(camp.PConst(rec(a=1)), camp.PUnop(ops.OpDot("a"), camp.PIt()))
+        )
+
+    def test_let_env_success_and_failure(self):
+        bind = camp.PLetEnv(camp.PUnop(ops.OpRec("x"), camp.PIt()), camp.PEnv())
+        check_both_paths(bind, datum=9, env=rec())
+        check_both_paths(bind, datum=9, env=rec(x=1))  # conflicting x ⇒ fail
+
+    def test_let_env_unification_same_value(self):
+        bind = camp.PLetEnv(camp.PConst(rec(x=1)), camp.PEnv())
+        check_both_paths(bind, env=rec(x=1))
+
+    def test_map(self):
+        keep_big = camp.PLetEnv(
+            camp.PAssert(camp.PBinop(ops.OpLt(), camp.PConst(1), camp.PIt())),
+            camp.PIt(),
+        )
+        check_both_paths(camp.PMap(keep_big), datum=bag(1, 2, 3))
+
+    def test_assert(self):
+        check_both_paths(camp.PAssert(camp.PConst(True)))
+        check_both_paths(camp.PAssert(camp.PConst(False)))
+
+    def test_orelse(self):
+        check_both_paths(
+            camp.POrElse(camp.PAssert(camp.PConst(False)), camp.PConst("b"))
+        )
+        check_both_paths(camp.POrElse(camp.PConst("a"), camp.PConst("b")))
+
+    def test_terminal_error(self):
+        check_both_paths(camp.PUnop(ops.OpDot("a"), camp.PConst(5)))
+
+
+def _random_pattern(rng: random.Random, depth: int) -> camp.CampNode:
+    leaves = [
+        lambda: camp.PConst(rng.randint(0, 3)),
+        lambda: camp.PConst(rec(x=rng.randint(0, 2))),
+        lambda: camp.PIt(),
+        lambda: camp.PEnv(),
+        lambda: camp.PGetConstant("W"),
+    ]
+    if depth <= 0:
+        return rng.choice(leaves)()
+    combinators = [
+        lambda: camp.PUnop(ops.OpRec(rng.choice("xy")), _random_pattern(rng, depth - 1)),
+        lambda: camp.PBinop(
+            rng.choice([ops.OpEq(), ops.OpLt()]),
+            _random_pattern(rng, depth - 1),
+            _random_pattern(rng, depth - 1),
+        ),
+        lambda: camp.PLetIt(
+            _random_pattern(rng, depth - 1), _random_pattern(rng, depth - 1)
+        ),
+        lambda: camp.PLetEnv(
+            camp.PUnop(ops.OpRec(rng.choice("xy")), _random_pattern(rng, depth - 1)),
+            _random_pattern(rng, depth - 1),
+        ),
+        lambda: camp.PMap(_random_pattern(rng, depth - 1)),
+        lambda: camp.PAssert(
+            camp.PBinop(
+                ops.OpLt(),
+                camp.PConst(rng.randint(0, 3)),
+                _random_pattern(rng, depth - 1),
+            )
+        ),
+        lambda: camp.POrElse(
+            _random_pattern(rng, depth - 1), _random_pattern(rng, depth - 1)
+        ),
+    ]
+    return rng.choice(combinators + leaves)()
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=80, deadline=None)
+def test_figure11_on_random_patterns(seed):
+    rng = random.Random(seed)
+    pattern = _random_pattern(rng, depth=3)
+    datum = rng.choice([1, rec(x=1), bag(1, 2), bag(rec(x=0), rec(x=1))])
+    env = rng.choice([rec(), rec(x=1), rec(y=2)])
+    check_both_paths(pattern, datum=datum, env=env)
+
+
+def test_camp_suite_via_both_paths(camp_programs):
+    """Every p01–p14 program agrees across CAMP, NRAe, and NRA."""
+    for name, program in camp_programs.items():
+        constants = {"WORLD": program.world}
+        expected = program.run()
+        plan_e = camp_to_nraenv(program.pattern)
+        got_e = eval_nraenv(plan_e, Record({}), program.world, constants)
+        assert got_e == bag(expected), name
+        plan_a = camp_to_nra(program.pattern)
+        got_a = eval_nra(plan_a, encode_input(Record({}), program.world), constants)
+        assert got_a == bag(expected), name
+
+
+def test_nraenv_plans_much_smaller_than_nra(camp_programs):
+    """The §7 claim: direct NRA plans blow up vs NRAe (pre-optimization)."""
+    for name, program in camp_programs.items():
+        size_e = camp_to_nraenv(program.pattern).size()
+        size_a = camp_to_nra(program.pattern).size()
+        assert size_a > 2 * size_e, (name, size_a, size_e)

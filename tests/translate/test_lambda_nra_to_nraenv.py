@@ -1,0 +1,133 @@
+"""Correctness of the NRAλ → NRAe translation (paper Figure 6)."""
+
+from repro.data.model import Record, bag, rec
+from repro.data.operators import OpAdd, OpDot, OpLt, OpRec
+from repro.lambda_nra import (
+    Lambda,
+    LBinop,
+    LConst,
+    LDJoin,
+    LFilter,
+    LMap,
+    LProduct,
+    LTable,
+    LUnop,
+    LVar,
+    eval_lnra,
+)
+from repro.nraenv.eval import eval_nraenv
+from repro.translate.lambda_nra_to_nraenv import lnra_to_nraenv
+
+
+def dot(expr, field):
+    return LUnop(OpDot(field), expr)
+
+
+PERSONS = bag(
+    rec(name="ann", age=40, addr=rec(city="NY"), kids=bag(rec(name="k", age=9))),
+    rec(name="bob", age=20, addr=rec(city="SF"), kids=bag()),
+)
+CONSTANTS = {"P": PERSONS}
+
+
+def assert_translation_correct(expr, env=None):
+    """eval_lnra(l, ρ) == eval_nraenv(JlK, ρ-as-record, ·)."""
+    env = env or {}
+    expected = eval_lnra(expr, env, CONSTANTS)
+    plan = lnra_to_nraenv(expr)
+    actual = eval_nraenv(plan, Record(env), None, CONSTANTS)
+    assert actual == expected, "%r:\n  expected %r\n  got %r" % (expr, expected, actual)
+
+
+class TestTranslation:
+    def test_variable_becomes_env_access(self):
+        assert repr(lnra_to_nraenv(LVar("x"))) == "Env.x"
+
+    def test_lambda_becomes_env_extension(self):
+        plan = lnra_to_nraenv(LMap(Lambda("x", LVar("x")), LTable("P")))
+        assert repr(plan) == "χ⟨(Env.x ∘e (Env ⊕ [x:In]))⟩($P)"
+
+    def test_map(self):
+        assert_translation_correct(LMap(Lambda("p", dot(LVar("p"), "name")), LTable("P")))
+
+    def test_filter(self):
+        assert_translation_correct(
+            LFilter(Lambda("p", LBinop(OpLt(), dot(LVar("p"), "age"), LConst(30))), LTable("P"))
+        )
+
+    def test_closure_over_outer_variable(self):
+        expr = LMap(
+            Lambda("p", LBinop(OpAdd(), dot(LVar("p"), "age"), LVar("y"))), LTable("P")
+        )
+        assert_translation_correct(expr, {"y": 100})
+
+    def test_shadowing(self):
+        inner = LMap(Lambda("x", LVar("x")), LConst(bag(7)))
+        assert_translation_correct(LMap(Lambda("x", inner), LConst(bag(1, 2))))
+
+    def test_nested_map_over_field(self):
+        expr = LMap(
+            Lambda("p", LMap(Lambda("k", dot(LVar("k"), "name")), dot(LVar("p"), "kids"))),
+            LTable("P"),
+        )
+        assert_translation_correct(expr)
+
+    def test_dependent_join(self):
+        expr = LDJoin(
+            Lambda("p", LMap(Lambda("k", LUnop(OpRec("kid"), dot(LVar("k"), "name"))), dot(LVar("p"), "kids"))),
+            LTable("P"),
+        )
+        assert_translation_correct(expr)
+
+    def test_product(self):
+        expr = LProduct(
+            LMap(Lambda("p", LUnop(OpRec("l"), dot(LVar("p"), "name"))), LTable("P")),
+            LConst(bag(rec(r=1))),
+        )
+        assert_translation_correct(expr)
+
+    def test_linq_example(self):
+        expr = LMap(
+            Lambda("p", dot(LVar("p"), "name")),
+            LFilter(Lambda("p", LBinop(OpLt(), dot(LVar("p"), "age"), LConst(30))), LTable("P")),
+        )
+        assert_translation_correct(expr)
+
+
+class TestFigure1:
+    """The paper's Figure 1: T1 and A4 in NRAλ vs NRAe."""
+
+    def test_t1_lambda_forms_equivalent(self):
+        # map(λa.a.city)(map(λp.p.addr)(P)) ≡ map(λp.p.addr.city)(P)
+        fused = LMap(Lambda("p", dot(dot(LVar("p"), "addr"), "city")), LTable("P"))
+        unfused = LMap(
+            Lambda("a", dot(LVar("a"), "city")),
+            LMap(Lambda("p", dot(LVar("p"), "addr")), LTable("P")),
+        )
+        assert eval_lnra(fused, {}, CONSTANTS) == eval_lnra(unfused, {}, CONSTANTS)
+        # ... and their NRAe translations agree too (T1e).
+        assert eval_nraenv(lnra_to_nraenv(fused), Record({}), None, CONSTANTS) == eval_nraenv(
+            lnra_to_nraenv(unfused), Record({}), None, CONSTANTS
+        )
+
+    def test_a4(self):
+        # map(λp.[person: p, kids: filter(λc.p.age > 25)(p.kids)])(P)
+        from repro.data.operators import OpConcat, OpGt
+
+        body = LBinop(
+            OpConcat(),
+            LUnop(OpRec("person"), LVar("p")),
+            LUnop(
+                OpRec("kids"),
+                LFilter(
+                    Lambda("c", LBinop(OpGt(), dot(LVar("p"), "age"), LConst(25))),
+                    dot(LVar("p"), "kids"),
+                ),
+            ),
+        )
+        expr = LMap(Lambda("p", body), LTable("P"))
+        result = eval_lnra(expr, {}, CONSTANTS)
+        assert_translation_correct(expr)
+        # ann (age 40 > 25) keeps her kids; bob's filter never runs (empty).
+        people = {person["person"]["name"]: person["kids"] for person in result}
+        assert people["ann"] == bag(rec(name="k", age=9))

@@ -1,0 +1,117 @@
+"""Correctness of NRAe → NNRC (Figure 5) and NRA → NNRC.
+
+    eval_nraenv(q, γ, d) == eval_nnrc(JqK_{xd,xe}, {xd: d, xe: γ})
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.model import Bag, bag, rec
+from repro.nnrc import ast as nnrc
+from repro.nnrc.eval import eval_nnrc
+from repro.nraenv import builders as b
+from repro.nraenv.eval import EvalError, eval_nraenv
+from repro.optim.verify import (
+    gen_plan,
+    random_constants,
+    random_datum,
+    random_environment,
+)
+from repro.translate.nraenv_to_nnrc import nra_to_nnrc, nraenv_to_nnrc
+
+_FAILED = object()
+
+
+def roundtrip(plan, env, datum, constants):
+    try:
+        expected = eval_nraenv(plan, env, datum, constants)
+    except EvalError:
+        expected = _FAILED
+    expr = nraenv_to_nnrc(plan)
+    try:
+        actual = eval_nnrc(expr, {"d0": datum, "e0": env}, constants)
+    except EvalError:
+        actual = _FAILED
+    if expected is _FAILED:
+        assert actual is _FAILED
+    else:
+        assert actual == expected, "plan %r -> %r" % (plan, expr)
+
+
+TABLE = {"T": bag(rec(a=1, b=2), rec(a=3, b=4))}
+
+
+class TestPerConstructor:
+    def test_in_and_env_map_to_variables(self):
+        assert nraenv_to_nnrc(b.id_()) == nnrc.Var("d0")
+        assert nraenv_to_nnrc(b.env()) == nnrc.Var("e0")
+
+    def test_comp_becomes_let(self):
+        expr = nraenv_to_nnrc(b.comp(b.id_(), b.const(1)))
+        assert isinstance(expr, nnrc.Let)
+
+    def test_map_becomes_comprehension(self):
+        expr = nraenv_to_nnrc(b.chi(b.id_(), b.table("T")))
+        assert isinstance(expr, nnrc.For)
+
+    def test_map(self):
+        roundtrip(b.chi(b.dot(b.id_(), "a"), b.table("T")), rec(), None, TABLE)
+
+    def test_select(self):
+        plan = b.sigma(b.gt(b.dot(b.id_(), "a"), b.const(1)), b.table("T"))
+        roundtrip(plan, rec(), None, TABLE)
+
+    def test_product(self):
+        plan = b.product(b.table("T"), b.coll(b.rec_field("z", b.const(9))))
+        roundtrip(plan, rec(), None, TABLE)
+
+    def test_dep_join(self):
+        body = b.coll(b.rec_field("c", b.dot(b.id_(), "a")))
+        roundtrip(b.djoin(body, b.table("T")), rec(), None, TABLE)
+
+    def test_default_empty_and_nonempty(self):
+        roundtrip(b.default(b.const(Bag([])), b.table("T")), rec(), None, TABLE)
+        roundtrip(b.default(b.table("T"), b.const(Bag([]))), rec(), None, TABLE)
+
+    def test_appenv(self):
+        plan = b.appenv(b.dot(b.env(), "y"), b.const(rec(y=3)))
+        roundtrip(plan, rec(x=1), None, {})
+
+    def test_mapenv(self):
+        plan = b.appenv(b.chie(b.dot(b.env(), "u")), b.const(bag(rec(u=1), rec(u=2))))
+        roundtrip(plan, rec(), None, {})
+
+    def test_environment_visible_inside_map_body(self):
+        plan = b.chi(b.dot(b.env(), "x"), b.table("T"))
+        roundtrip(plan, rec(x=7), None, TABLE)
+
+    def test_failure_preserved(self):
+        roundtrip(b.dot(b.id_(), "nope"), rec(), 5, {})
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=80, deadline=None)
+def test_figure5_on_random_plans(seed):
+    rng = random.Random(seed)
+    plan = gen_plan(rng, "any", depth=3)
+    env = random_environment(rng, bag_env=rng.random() < 0.2)
+    datum = random_datum(rng)
+    constants = random_constants(rng)
+    roundtrip(plan, env, datum, constants)
+
+
+class TestNraToNnrc:
+    def test_requires_pure_nra(self):
+        with pytest.raises(ValueError):
+            nra_to_nnrc(b.env())
+
+    def test_agrees_with_nra_eval(self):
+        from repro.nra import eval_nra
+
+        plan = b.chi(b.dot(b.id_(), "a"), b.sigma(b.gt(b.dot(b.id_(), "a"), b.const(1)), b.id_()))
+        datum = bag(rec(a=1), rec(a=2))
+        expr = nra_to_nnrc(plan)
+        assert eval_nnrc(expr, {"d0": datum}) == eval_nra(plan, datum)

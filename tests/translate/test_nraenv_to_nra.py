@@ -1,0 +1,120 @@
+"""Theorem 2: correctness of the NRAe → NRA translation (Figure 4).
+
+    γ ⊢ q @ d ⇓a d'  ⇔  ⊢ JqK @ ([E: γ] ⊕ [D: d]) ⇓n d'
+
+checked on hand-written plans covering every constructor and on random
+plans, against the *independent* NRA evaluator.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.model import Bag, bag, rec
+from repro.nra import eval_nra, is_nra
+from repro.nraenv import builders as b
+from repro.nraenv.eval import EvalError, eval_nraenv
+from repro.optim.verify import (
+    gen_plan,
+    random_constants,
+    random_datum,
+    random_environment,
+)
+from repro.translate.nraenv_to_nra import encode_input, nraenv_to_nra
+
+_FAILED = object()
+
+
+def roundtrip(plan, env, datum, constants):
+    try:
+        expected = eval_nraenv(plan, env, datum, constants)
+    except EvalError:
+        expected = _FAILED
+    translated = nraenv_to_nra(plan)
+    assert is_nra(translated), "translation must produce pure NRA"
+    try:
+        actual = eval_nra(translated, encode_input(env, datum), constants)
+    except EvalError:
+        actual = _FAILED
+    if expected is _FAILED:
+        assert actual is _FAILED
+    else:
+        assert actual == expected, "plan %r" % (plan,)
+
+
+TABLE = {"T": bag(rec(a=1, b=2), rec(a=3, b=4))}
+
+
+class TestPerConstructor:
+    def test_env(self):
+        roundtrip(b.env(), rec(x=1), 7, {})
+
+    def test_id(self):
+        roundtrip(b.id_(), rec(x=1), 7, {})
+
+    def test_appenv(self):
+        plan = b.appenv(b.dot(b.env(), "y"), b.const(rec(y=9)))
+        roundtrip(plan, rec(x=1), None, {})
+
+    def test_comp_preserves_env(self):
+        plan = b.comp(b.env(), b.const(5))
+        roundtrip(plan, rec(x=1), None, {})
+
+    def test_map_with_env_in_body(self):
+        plan = b.chi(b.dot(b.env(), "x"), b.table("T"))
+        roundtrip(plan, rec(x=9), None, TABLE)
+
+    def test_select_with_env_in_pred(self):
+        plan = b.sigma(b.eq(b.dot(b.id_(), "a"), b.dot(b.env(), "x")), b.table("T"))
+        roundtrip(plan, rec(x=1), None, TABLE)
+
+    def test_product(self):
+        plan = b.product(b.table("T"), b.coll(b.rec_field("z", b.dot(b.env(), "x"))))
+        roundtrip(plan, rec(x=5), None, TABLE)
+
+    def test_dep_join(self):
+        body = b.coll(b.rec_field("c", b.dot(b.id_(), "a")))
+        plan = b.djoin(body, b.table("T"))
+        roundtrip(plan, rec(), None, TABLE)
+
+    def test_default(self):
+        plan = b.default(b.sigma(b.const(False), b.table("T")), b.coll(b.env()))
+        roundtrip(plan, rec(x=1), None, TABLE)
+
+    def test_mapenv(self):
+        plan = b.appenv(b.chie(b.dot(b.env(), "u")), b.const(bag(rec(u=1), rec(u=2))))
+        roundtrip(plan, rec(), 7, {})
+
+    def test_mapenv_body_keeps_input(self):
+        plan = b.appenv(b.chie(b.id_()), b.const(bag(rec(), rec())))
+        roundtrip(plan, rec(), 42, {})
+
+    def test_merge_example(self):
+        from repro.data.operators import OpAdd
+
+        body = b.binop(OpAdd(), b.dot(b.env(), "A"), b.dot(b.env(), "C"))
+        plan = b.appenv(b.chie(body), b.merge(b.env(), b.const(rec(B=3, C=4))))
+        roundtrip(plan, rec(A=1, B=3), None, {})
+
+    def test_failure_translates_to_failure(self):
+        plan = b.dot(b.id_(), "nope")
+        roundtrip(plan, rec(), 5, {})
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=80, deadline=None)
+def test_theorem2_on_random_plans(seed):
+    rng = random.Random(seed)
+    plan = gen_plan(rng, "any", depth=3)
+    env = random_environment(rng, bag_env=rng.random() < 0.2)
+    datum = random_datum(rng)
+    constants = random_constants(rng)
+    roundtrip(plan, env, datum, constants)
+
+
+def test_translation_blow_up_is_visible():
+    """The Figure 4 encoding re-introduces the nesting NRAe avoids."""
+    plan = b.chi(b.dot(b.env(), "x"), b.table("T"))
+    assert nraenv_to_nra(plan).size() > 3 * plan.size()

@@ -1,0 +1,78 @@
+"""Tests for NNRC type inference."""
+
+import pytest
+
+from repro.data.model import Bag, bag, rec
+from repro.data.operators import OpAdd, OpBag, OpCount, OpDot, OpEq
+from repro.data.types import TBag, TBool, TBottom, TNat, TRecord, TString
+from repro.nnrc import ast
+from repro.typing.nnrc_typing import type_nnrc
+from repro.typing.op_typing import TypingError
+
+
+class TestInference:
+    def test_var(self):
+        assert type_nnrc(ast.Var("x"), {"x": TNat()}) == TNat()
+
+    def test_unbound_var(self):
+        with pytest.raises(TypingError):
+            type_nnrc(ast.Var("x"))
+
+    def test_const(self):
+        assert type_nnrc(ast.Const(bag(1, 2))) == TBag(TNat())
+
+    def test_let(self):
+        expr = ast.Let("x", ast.Const(1), ast.Binop(OpAdd(), ast.Var("x"), ast.Var("x")))
+        assert type_nnrc(expr) == TNat()
+
+    def test_let_shadowing(self):
+        expr = ast.Let("x", ast.Const("s"), ast.Let("x", ast.Const(1), ast.Var("x")))
+        assert type_nnrc(expr) == TNat()
+
+    def test_for(self):
+        expr = ast.For("x", ast.Var("xs"), ast.Unop(OpDot("a"), ast.Var("x")))
+        xs_type = TBag(TRecord({"a": TString()}))
+        assert type_nnrc(expr, {"xs": xs_type}) == TBag(TString())
+
+    def test_for_over_non_bag(self):
+        with pytest.raises(TypingError):
+            type_nnrc(ast.For("x", ast.Const(5), ast.Var("x")))
+
+    def test_for_over_empty_bag(self):
+        expr = ast.For("x", ast.Const(Bag([])), ast.Var("x"))
+        assert type_nnrc(expr) == TBag(TBottom())
+
+    def test_if(self):
+        expr = ast.If(ast.Const(True), ast.Const(1), ast.Const(2.5))
+        assert type_nnrc(expr).__class__.__name__ == "TFloat"
+
+    def test_if_non_boolean_cond(self):
+        with pytest.raises(TypingError):
+            type_nnrc(ast.If(ast.Const(1), ast.Const(1), ast.Const(2)))
+
+    def test_if_incompatible_branches(self):
+        with pytest.raises(TypingError):
+            type_nnrc(ast.If(ast.Const(True), ast.Const(1), ast.Const("x")))
+
+    def test_get_constant(self):
+        expr = ast.Unop(OpCount(), ast.GetConstant("T"))
+        assert type_nnrc(expr, {}, {"T": TBag(TNat())}) == TNat()
+
+
+class TestPipelineTyping:
+    def test_translated_plan_types_match(self):
+        """NRAe inference and NNRC inference agree across Figure 5."""
+        from repro.nraenv import builders as b
+        from repro.translate.nraenv_to_nnrc import nraenv_to_nnrc
+        from repro.typing.nraenv_typing import type_nraenv
+
+        element = TRecord({"a": TNat(), "b": TNat()})
+        consts = {"T": TBag(element)}
+        env_t = TRecord({"u": TNat()})
+        plan = b.chi(
+            b.concat(b.id_(), b.rec_field("s", b.dot(b.env(), "u"))), b.table("T")
+        )
+        plan_type = type_nraenv(plan, env_t, TNat(), consts)
+        expr = nraenv_to_nnrc(plan)
+        expr_type = type_nnrc(expr, {"d0": TNat(), "e0": env_t}, consts)
+        assert plan_type == expr_type

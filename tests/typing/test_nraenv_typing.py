@@ -1,0 +1,129 @@
+"""Tests for NRAe type inference and its soundness.
+
+Soundness: if the plan typechecks at (env_type, input_type) and the
+runtime inputs inhabit those types, evaluation succeeds and produces a
+value of the inferred type — the type-soundness theorem the Coq
+development proves, checked on random plans here.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.model import bag, rec
+from repro.data.types import (
+    TBag,
+    TBool,
+    TNat,
+    TRecord,
+    TString,
+    type_of_value,
+    value_has_type,
+)
+from repro.nraenv import builders as b
+from repro.nraenv.eval import EvalError, eval_nraenv
+from repro.optim.verify import gen_plan, random_element_bag, random_env_record
+from repro.typing.nraenv_typing import type_nraenv
+from repro.typing.op_typing import TypingError
+
+ELEMENT = TRecord({"a": TNat(), "b": TNat()})
+ENV = TRecord({"a": TNat(), "u": TNat()})
+CONSTS = {"T": TBag(ELEMENT)}
+
+
+class TestInference:
+    def test_id_env(self):
+        assert type_nraenv(b.id_(), ENV, ELEMENT) == ELEMENT
+        assert type_nraenv(b.env(), ENV, ELEMENT) == ENV
+
+    def test_map(self):
+        plan = b.chi(b.dot(b.id_(), "a"), b.table("T"))
+        assert type_nraenv(plan, ENV, TNat(), CONSTS) == TBag(TNat())
+
+    def test_select_preserves_source_type(self):
+        plan = b.sigma(b.gt(b.dot(b.id_(), "a"), b.const(1)), b.table("T"))
+        assert type_nraenv(plan, ENV, TNat(), CONSTS) == TBag(ELEMENT)
+
+    def test_select_requires_boolean_pred(self):
+        plan = b.sigma(b.dot(b.id_(), "a"), b.table("T"))
+        with pytest.raises(TypingError):
+            type_nraenv(plan, ENV, TNat(), CONSTS)
+
+    def test_product_concats_fields(self):
+        plan = b.product(b.table("T"), b.coll(b.rec_field("z", b.const("s"))))
+        result = type_nraenv(plan, ENV, TNat(), CONSTS)
+        assert result == TBag(TRecord({"a": TNat(), "b": TNat(), "z": TString()}))
+
+    def test_appenv_changes_env_type(self):
+        plan = b.appenv(b.dot(b.env(), "z"), b.const(rec(z=1)))
+        assert type_nraenv(plan, ENV, TNat()) == TNat()
+
+    def test_mapenv_requires_bag_env(self):
+        with pytest.raises(TypingError):
+            type_nraenv(b.chie(b.env()), ENV, TNat())
+        assert type_nraenv(b.chie(b.env()), TBag(ENV), TNat()) == TBag(ENV)
+
+    def test_dep_join(self):
+        body = b.coll(b.rec_field("c", b.dot(b.id_(), "a")))
+        plan = b.djoin(body, b.table("T"))
+        result = type_nraenv(plan, ENV, TNat(), CONSTS)
+        assert result == TBag(TRecord({"a": TNat(), "b": TNat(), "c": TNat()}))
+
+    def test_default_joins(self):
+        plan = b.default(b.table("T"), b.const(bag(rec(a=1, b=2))))
+        assert type_nraenv(plan, ENV, TNat(), CONSTS) == TBag(ELEMENT)
+
+    def test_default_incompatible_rejected(self):
+        plan = b.default(b.const(1), b.const("x"))
+        with pytest.raises(TypingError):
+            type_nraenv(plan, ENV, TNat())
+
+    def test_unknown_constant(self):
+        with pytest.raises(TypingError):
+            type_nraenv(b.table("missing"), ENV, TNat(), {})
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=100, deadline=None)
+def test_type_soundness_on_random_plans(seed):
+    rng = random.Random(seed)
+    plan = gen_plan(rng, "any", depth=2)
+    try:
+        inferred = type_nraenv(plan, ENV, ELEMENT, CONSTS)
+    except TypingError:
+        return  # ill-typed plans are out of scope
+    env = random_env_record(rng)
+    datum = rec(a=rng.randint(0, 5), b=rng.randint(0, 5))
+    constants = {"T": random_element_bag(rng)}
+    # Well-typed plans do not go wrong:
+    value = eval_nraenv(plan, env, datum, constants)
+    assert value_has_type(value, inferred), (
+        "inferred %r but got %r of type %r for %r"
+        % (inferred, value, type_of_value(value), plan)
+    )
+
+
+def test_typed_rewrites_preserve_typing():
+    """Definition 4's typing half: on well-typed plans the default rule
+    set produces plans that still typecheck, at a subtype."""
+    from repro.data.types import is_subtype
+    from repro.optim.defaults import optimize_nraenv
+
+    rng = random.Random(5)
+    checked = 0
+    for _ in range(120):
+        plan = gen_plan(rng, "any", depth=3)
+        try:
+            before = type_nraenv(plan, ENV, ELEMENT, CONSTS)
+        except TypingError:
+            continue
+        optimized = optimize_nraenv(plan).plan
+        after = type_nraenv(optimized, ENV, ELEMENT, CONSTS)  # must not raise
+        assert is_subtype(after, before) or is_subtype(before, after), (
+            plan,
+            optimized,
+        )
+        checked += 1
+    assert checked > 20

@@ -1,0 +1,109 @@
+"""Unit tests for operator typing."""
+
+import pytest
+
+from repro.data import operators as ops
+from repro.data.types import (
+    TBag,
+    TBool,
+    TBottom,
+    TDate,
+    TFloat,
+    TNat,
+    TRecord,
+    TString,
+)
+from repro.typing.op_typing import TypingError, type_binop, type_unop
+
+
+class TestUnopTyping:
+    def test_rec_and_dot(self):
+        rec_t = type_unop(ops.OpRec("a"), TNat())
+        assert rec_t == TRecord({"a": TNat()})
+        assert type_unop(ops.OpDot("a"), rec_t) == TNat()
+
+    def test_dot_missing_field(self):
+        with pytest.raises(TypingError):
+            type_unop(ops.OpDot("z"), TRecord({"a": TNat()}))
+
+    def test_dot_on_non_record(self):
+        with pytest.raises(TypingError):
+            type_unop(ops.OpDot("a"), TNat())
+
+    def test_flatten(self):
+        assert type_unop(ops.OpFlatten(), TBag(TBag(TNat()))) == TBag(TNat())
+        with pytest.raises(TypingError):
+            type_unop(ops.OpFlatten(), TBag(TNat()))
+
+    def test_sum_types(self):
+        assert type_unop(ops.OpSum(), TBag(TNat())) == TNat()
+        assert type_unop(ops.OpSum(), TBag(TFloat())) == TFloat()
+        with pytest.raises(TypingError):
+            type_unop(ops.OpSum(), TBag(TString()))
+
+    def test_avg_always_float(self):
+        assert type_unop(ops.OpAvg(), TBag(TNat())) == TFloat()
+
+    def test_count(self):
+        assert type_unop(ops.OpCount(), TBag(TString())) == TNat()
+
+    def test_singleton(self):
+        assert type_unop(ops.OpSingleton(), TBag(TDate())) == TDate()
+
+    def test_remove_project(self):
+        record = TRecord({"a": TNat(), "b": TBool()})
+        assert type_unop(ops.OpRemove("a"), record) == TRecord({"b": TBool()})
+        assert type_unop(ops.OpProject(["a"]), record) == TRecord({"a": TNat()})
+
+    def test_bottom_propagates(self):
+        assert type_unop(ops.OpDot("a"), TBottom()) == TBottom()
+
+    def test_like_substring(self):
+        assert type_unop(ops.OpLike("%a%"), TString()) == TBool()
+        assert type_unop(ops.OpSubstring(1, 2), TString()) == TString()
+
+    def test_date_parts(self):
+        assert type_unop(ops.OpDateYear(), TDate()) == TNat()
+        with pytest.raises(TypingError):
+            type_unop(ops.OpDateYear(), TNat())
+
+
+class TestBinopTyping:
+    def test_eq_any(self):
+        assert type_binop(ops.OpEq(), TNat(), TString()) == TBool()
+
+    def test_union(self):
+        assert type_binop(ops.OpUnion(), TBag(TNat()), TBag(TFloat())) == TBag(TFloat())
+        with pytest.raises(TypingError):
+            type_binop(ops.OpUnion(), TNat(), TBag(TNat()))
+
+    def test_concat_right_bias(self):
+        left = TRecord({"a": TNat()})
+        right = TRecord({"a": TString(), "b": TBool()})
+        assert type_binop(ops.OpConcat(), left, right) == TRecord(
+            {"a": TString(), "b": TBool()}
+        )
+
+    def test_merge_concat_returns_bag(self):
+        left = TRecord({"a": TNat()})
+        right = TRecord({"b": TBool()})
+        assert type_binop(ops.OpMergeConcat(), left, right) == TBag(
+            TRecord({"a": TNat(), "b": TBool()})
+        )
+
+    def test_comparisons(self):
+        assert type_binop(ops.OpLt(), TNat(), TFloat()) == TBool()
+        assert type_binop(ops.OpLt(), TString(), TString()) == TBool()
+        assert type_binop(ops.OpLt(), TDate(), TDate()) == TBool()
+        with pytest.raises(TypingError):
+            type_binop(ops.OpLt(), TString(), TNat())
+
+    def test_arithmetic(self):
+        assert type_binop(ops.OpAdd(), TNat(), TNat()) == TNat()
+        assert type_binop(ops.OpAdd(), TNat(), TFloat()) == TFloat()
+        assert type_binop(ops.OpDiv(), TNat(), TNat()) == TFloat()
+
+    def test_date_shift(self):
+        assert type_binop(ops.OpDatePlusDays(), TDate(), TNat()) == TDate()
+        with pytest.raises(TypingError):
+            type_binop(ops.OpDatePlusDays(), TDate(), TFloat())
