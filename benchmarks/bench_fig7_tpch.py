@@ -22,25 +22,26 @@ from repro.compiler.pipeline import compile_sql
 from repro.sql.parser import parse_sql
 from repro.tpch.queries import QUERIES, QUERY_NAMES
 
-from tables import emit, format_table
+from tables import emit, format_table, maybe_observe
 
 
 @pytest.fixture(scope="module")
 def fig7_data():
     """Compile every supported TPC-H query once; collect the metrics."""
     rows = {}
-    for name in QUERY_NAMES:
-        script = parse_sql(QUERIES[name])
-        result = compile_sql(QUERIES[name])
-        rows[name] = {
-            "sql_size": script.size(),
-            "sql_depth": script.depth(),
-            "nraenv": result.output("to_nraenv"),
-            "nraenv_opt": result.output("nraenv_opt"),
-            "nnrc": result.output("to_nnrc"),
-            "nnrc_opt": result.output("nnrc_opt"),
-            "timings": result.timings(),
-        }
+    with maybe_observe("fig7_tpch"):
+        for name in QUERY_NAMES:
+            script = parse_sql(QUERIES[name])
+            result = compile_sql(QUERIES[name])
+            rows[name] = {
+                "sql_size": script.size(),
+                "sql_depth": script.depth(),
+                "nraenv": result.output("to_nraenv"),
+                "nraenv_opt": result.output("nraenv_opt"),
+                "nnrc": result.output("to_nnrc"),
+                "nnrc_opt": result.output("nnrc_opt"),
+                "timings": result.timings(),
+            }
     return rows
 
 

@@ -21,7 +21,7 @@ import pytest
 from repro.camp_suite.programs import all_programs
 from repro.compiler.pipeline import compile_camp
 
-from tables import emit, format_table
+from tables import emit, format_table, maybe_observe
 
 PROGRAM_NAMES = ["p%02d" % i for i in range(1, 15)]
 
@@ -30,15 +30,16 @@ PROGRAM_NAMES = ["p%02d" % i for i in range(1, 15)]
 def fig8_data():
     programs = all_programs()
     rows = {}
-    for name in PROGRAM_NAMES:
-        result = compile_camp(programs[name].pattern)
-        rows[name] = {
-            "nraenv": result.output("to_nraenv"),
-            "nraenv_opt": result.output("nraenv_opt"),
-            "nnrc": result.output("to_nnrc"),
-            "nnrc_opt": result.output("nnrc_opt"),
-            "timings": result.timings(),
-        }
+    with maybe_observe("fig8_camp"):
+        for name in PROGRAM_NAMES:
+            result = compile_camp(programs[name].pattern)
+            rows[name] = {
+                "nraenv": result.output("to_nraenv"),
+                "nraenv_opt": result.output("nraenv_opt"),
+                "nnrc": result.output("to_nnrc"),
+                "nnrc_opt": result.output("nnrc_opt"),
+                "timings": result.timings(),
+            }
     return rows
 
 

@@ -3,14 +3,41 @@
 Every Figure-reproduction bench prints its table (visible with ``-s``)
 and also writes it under ``benchmarks/output/`` so results survive the
 run; EXPERIMENTS.md records the reference numbers.
+
+Set ``REPRO_BENCH_TRACE=1`` to additionally capture a Chrome
+``trace_event`` profile of each instrumented bench's compile phase,
+written next to the tables as ``benchmarks/output/<name>.trace.json``
+(see :mod:`repro.obs`).  Off by default so the published timing tables
+measure the uninstrumented compiler.
 """
 
 from __future__ import annotations
 
 import os
+from contextlib import contextmanager
 from typing import Any, List, Sequence
 
 OUTPUT_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "output")
+
+#: Trace-artifact opt-in (environment: ``REPRO_BENCH_TRACE=1``).
+TRACE_ENABLED = os.environ.get("REPRO_BENCH_TRACE", "") not in ("", "0")
+
+
+@contextmanager
+def maybe_observe(name: str):
+    """Observe the block and emit ``output/<name>.trace.json`` if opted in."""
+    if not TRACE_ENABLED:
+        yield None
+        return
+    from repro.obs import observe
+    from repro.obs.export import write_chrome_trace
+
+    with observe() as session:
+        yield session
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    path = os.path.join(OUTPUT_DIR, name + ".trace.json")
+    write_chrome_trace(path, session.tracer, session.metrics)
+    print("trace artifact: %s" % path)
 
 
 def format_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:

@@ -237,3 +237,60 @@ def get_constant(constants: Any, name: str) -> Any:
         return constants[name]
     except KeyError:
         raise DataError("unknown database constant %r" % (name,))
+
+
+# -- observability (see repro.obs) --------------------------------------------
+#
+# Generated code resolves these functions through the module object
+# (``_rt.dot(...)``) at call time, so observation is implemented by
+# *swapping the module globals* for counting wrappers while an observer
+# is installed: the default path runs the original functions with zero
+# added work.
+
+#: name → original function, non-empty only while an observer is installed.
+_WRAPPED = {}
+
+
+def install_observer(metrics) -> None:
+    """Wrap every runtime operation to count applications into ``metrics``.
+
+    Counters are named ``runtime.calls.<fn>``; :func:`bag_items`
+    additionally feeds the ``runtime.bag_size`` histogram with the size
+    of every comprehension source the generated code iterates.
+    """
+    if _WRAPPED:
+        uninstall_observer()
+    module_globals = globals()
+    bag_hist = metrics.histogram("runtime.bag_size")
+    for name, fn in sorted(module_globals.items()):
+        if name.startswith("_") or not callable(fn):
+            continue
+        if getattr(fn, "__module__", None) != __name__:
+            continue
+        if name in ("install_observer", "uninstall_observer"):
+            continue
+        counter = metrics.counter("runtime.calls." + name)
+        if name == "bag_items":
+
+            def wrapped(value, _fn=fn, _counter=counter, _hist=bag_hist):
+                _counter.inc()
+                items = _fn(value)
+                _hist.record(len(items))
+                return items
+
+        else:
+
+            def wrapped(*args, _fn=fn, _counter=counter, **kwargs):
+                _counter.inc()
+                return _fn(*args, **kwargs)
+
+        _WRAPPED[name] = fn
+        module_globals[name] = wrapped
+
+
+def uninstall_observer() -> None:
+    """Restore the bare runtime functions."""
+    module_globals = globals()
+    for name, fn in _WRAPPED.items():
+        module_globals[name] = fn
+    _WRAPPED.clear()

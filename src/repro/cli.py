@@ -1,19 +1,26 @@
-"""Command-line interface: compile, inspect, and run queries.
+"""Command-line interface: compile, inspect, run, and explain queries.
 
 ::
 
     python -m repro compile --language sql --query "select a from t" --show all
     python -m repro compile --language oql --file q.oql --run --data db.json
+    python -m repro compile --query "select a from t" --trace out.json --profile
     python -m repro tpch q6 --run
+    python -m repro explain --query "select a from t where a > 1"
 
 ``--data`` takes a JSON file mapping table names to rows (arrays of
 objects; dates as ``{"$date": "YYYY-MM-DD"}`` — see
-:mod:`repro.data.json_io`).
+:mod:`repro.data.json_io`).  ``--trace`` writes a Chrome
+``trace_event`` JSON file (load it at ``chrome://tracing`` or
+https://ui.perfetto.dev); ``--profile`` prints the span tree and the
+evaluator/runtime metrics; ``explain`` prints the optimizer derivation
+— which rules fired, in what order, with the cost trajectory.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import Any, List, Optional
 
@@ -53,6 +60,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     compile_cmd.add_argument("--run", action="store_true", help="execute the query")
     compile_cmd.add_argument("--data", help="JSON file with the database constants")
+    _add_obs_flags(compile_cmd)
 
     tpch_cmd = sub.add_parser("tpch", help="compile/run a bundled TPC-H query")
     tpch_cmd.add_argument("name", help="query name, e.g. q6")
@@ -62,7 +70,45 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("plan", "opt", "nnrc", "python", "js", "metrics", "all"),
         default="metrics",
     )
+    _add_obs_flags(tpch_cmd)
+
+    explain_cmd = sub.add_parser(
+        "explain", help="show the optimizer derivation (rules fired, cost timeline)"
+    )
+    explain_cmd.add_argument(
+        "--language",
+        choices=("sql", "oql", "lnra"),
+        default="sql",
+        help="source language of --query/--file",
+    )
+    explain_source = explain_cmd.add_mutually_exclusive_group(required=True)
+    explain_source.add_argument("--query", help="query text")
+    explain_source.add_argument("--file", help="file containing the query")
+    explain_source.add_argument("--tpch", help="bundled TPC-H query name, e.g. q6")
+    explain_cmd.add_argument(
+        "--stage",
+        choices=("nraenv", "nnrc", "all"),
+        default="all",
+        help="which optimizer stage to explain",
+    )
+    explain_cmd.add_argument(
+        "--verbose", action="store_true", help="also list per-rule attempt counts and time"
+    )
+    _add_obs_flags(explain_cmd)
     return parser
+
+
+def _add_obs_flags(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a Chrome trace_event JSON file of the compilation (and --run)",
+    )
+    cmd.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the span tree and collected metrics after the command",
+    )
 
 
 def _load_query(args: argparse.Namespace) -> str:
@@ -121,33 +167,130 @@ def _run_query(result: CompilationResult, constants: dict, out) -> None:
     print(json_io.dumps(value, indent=2), file=out)
 
 
+#: (stage name, human label) for the optimizer stages ``explain`` covers.
+_EXPLAIN_STAGES = {
+    "nraenv": [("nraenv_opt", "NRAe optimizer")],
+    "nnrc": [("nnrc_opt", "NNRC optimizer")],
+    "all": [("nraenv_opt", "NRAe optimizer"), ("nnrc_opt", "NNRC optimizer")],
+}
+
+
+def _print_explain(result: CompilationResult, stage_choice: str, verbose: bool, out) -> None:
+    """Render the provenance logs: the optimizer derivation per stage."""
+    for stage_name, label in _EXPLAIN_STAGES[stage_choice]:
+        try:
+            opt = result.optimize_result(stage_name)
+        except KeyError:
+            continue
+        if opt is None or opt.provenance is None:
+            continue
+        prov = opt.provenance
+        print("== %s (stage %s) ==" % (label, stage_name), file=out)
+        print(
+            "cost %d → %d in %d passes (%s)"
+            % (opt.initial_cost, opt.final_cost, opt.passes, prov.termination),
+            file=out,
+        )
+        print("cost trajectory: " + " → ".join(str(c) for c in prov.costs), file=out)
+        if prov.events:
+            print("derivation (%d rewrites):" % len(prov.events), file=out)
+            for index, event in enumerate(prov.events, 1):
+                print(
+                    "  %3d. pass %-2d %-40s size %d → %d"
+                    % (index, event.pass_index, event.rule, event.size_before, event.size_after),
+                    file=out,
+                )
+            print("rule totals:", file=out)
+            for name, count in sorted(prov.rule_counts().items(), key=lambda kv: (-kv[1], kv[0])):
+                print("  %4dx %s" % (count, name), file=out)
+        else:
+            print("derivation: no rule fired (plan already normal)", file=out)
+        if verbose and prov.rule_attempts:
+            print("rule attempts (time):", file=out)
+            ranked = sorted(prov.rule_seconds.items(), key=lambda kv: -kv[1])
+            for name, seconds in ranked[:15]:
+                print(
+                    "  %-40s %8d attempts  %8.3f ms"
+                    % (name, prov.rule_attempts.get(name, 0), seconds * 1e3),
+                    file=out,
+                )
+        print("", file=out)
+
+
+def _tpch_query(name: str, out) -> Optional[str]:
+    from repro.tpch.queries import QUERIES
+
+    if name not in QUERIES:
+        print("unknown TPC-H query %r (have %s)" % (name, sorted(QUERIES)), file=out)
+        return None
+    return QUERIES[name]
+
+
 def main(argv: Optional[List[str]] = None, out: Any = None) -> int:
     out = out or sys.stdout
     args = _build_parser().parse_args(argv)
 
-    if args.command == "compile":
-        text = _load_query(args)
-        compilers = {"sql": compile_sql, "oql": compile_oql, "lnra": compile_lnra}
-        result = compilers[args.language](text)
-        _print_result(result, args.show, out)
-        if args.run:
-            _run_query(result, _load_data(args.data), out)
-        return 0
+    # explain always needs the provenance machinery; compile/tpch only
+    # pay for it when --trace/--profile asks.
+    observing = args.command == "explain" or args.trace or args.profile
+    if observing:
+        from repro.obs import observe
 
-    if args.command == "tpch":
-        from repro.tpch.datagen import MICRO, generate
-        from repro.tpch.queries import QUERIES
+        session_cm = observe()
+    else:
+        session_cm = contextlib.nullcontext(None)
 
-        if args.name not in QUERIES:
-            print("unknown TPC-H query %r (have %s)" % (args.name, sorted(QUERIES)), file=out)
+    with session_cm as session:
+        if args.command == "compile":
+            text = _load_query(args)
+            compilers = {"sql": compile_sql, "oql": compile_oql, "lnra": compile_lnra}
+            result = compilers[args.language](text)
+            _print_result(result, args.show, out)
+            if args.run:
+                _run_query(result, _load_data(args.data), out)
+            code = 0
+
+        elif args.command == "tpch":
+            from repro.tpch.datagen import MICRO, generate
+
+            query_text = _tpch_query(args.name, out)
+            if query_text is None:
+                return 2
+            result = compile_sql(query_text)
+            _print_result(result, args.show, out)
+            if args.run:
+                _run_query(result, generate(MICRO, seed=7), out)
+            code = 0
+
+        elif args.command == "explain":
+            if args.tpch is not None:
+                text = _tpch_query(args.tpch, out)
+                if text is None:
+                    return 2
+                result = compile_sql(text)
+            else:
+                text = _load_query(args)
+                compilers = {"sql": compile_sql, "oql": compile_oql, "lnra": compile_lnra}
+                result = compilers[args.language](text)
+            _print_explain(result, args.stage, args.verbose, out)
+            code = 0
+
+        else:  # pragma: no cover - argparse enforces subcommands
             return 2
-        result = compile_sql(QUERIES[args.name])
-        _print_result(result, args.show, out)
-        if args.run:
-            _run_query(result, generate(MICRO, seed=7), out)
-        return 0
 
-    return 2  # pragma: no cover - argparse enforces subcommands
+    if observing:
+        from repro.obs.export import text_report, write_chrome_trace
+
+        if args.trace:
+            try:
+                write_chrome_trace(args.trace, session.tracer, session.metrics)
+            except OSError as exc:
+                print("cannot write trace file %s: %s" % (args.trace, exc), file=out)
+                return 1
+            print("trace written to %s" % args.trace, file=out)
+        if args.profile:
+            print(text_report(session.tracer, session.metrics), file=out, end="")
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

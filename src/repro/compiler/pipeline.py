@@ -10,7 +10,9 @@ from __future__ import annotations
 import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.trace import get_tracer
 from repro.optim.defaults import optimize_nnrc, optimize_nra, optimize_nraenv
+from repro.optim.engine import OptimizeResult, ProvenanceLog
 from repro.translate.camp_to_nra import camp_to_nra
 from repro.translate.camp_to_nraenv import camp_to_nraenv
 from repro.translate.lambda_nra_to_nraenv import lnra_to_nraenv
@@ -18,13 +20,30 @@ from repro.translate.nraenv_to_nnrc import nra_to_nnrc, nraenv_to_nnrc
 from repro.translate.nraenv_to_nra import nraenv_to_nra
 
 
+class StageValue:
+    """A stage function's return carrying extra metadata.
+
+    ``run_pipeline`` unwraps it: ``value`` becomes the stage output (and
+    the next stage's input), ``meta`` lands on :attr:`Stage.meta` — how
+    optimizer stages expose their full :class:`OptimizeResult` without
+    changing the plan-in/plan-out stage contract.
+    """
+
+    __slots__ = ("value", "meta")
+
+    def __init__(self, value: Any, meta: Dict[str, Any]):
+        self.value = value
+        self.meta = meta
+
+
 class Stage:
     """One executed pipeline stage."""
 
-    def __init__(self, name: str, output: Any, seconds: float):
+    def __init__(self, name: str, output: Any, seconds: float, meta: Optional[Dict[str, Any]] = None):
         self.name = name
         self.output = output
         self.seconds = seconds
+        self.meta = meta or {}
 
     def __repr__(self) -> str:
         return "Stage(%s, %.4fs)" % (self.name, self.seconds)
@@ -49,6 +68,15 @@ class CompilationResult:
     def seconds(self, name: str) -> float:
         return self.stage(name).seconds
 
+    def optimize_result(self, name: str) -> Optional[OptimizeResult]:
+        """The full :class:`OptimizeResult` of an optimizer stage."""
+        return self.stage(name).meta.get("optimize_result")
+
+    def provenance(self, name: str) -> Optional[ProvenanceLog]:
+        """The rewrite provenance log of an optimizer stage (when traced)."""
+        result = self.optimize_result(name)
+        return result.provenance if result is not None else None
+
     @property
     def final(self) -> Any:
         return self.stages[-1].output
@@ -67,19 +95,31 @@ class CompilationResult:
 def run_pipeline(
     source: Any, stages: Sequence[Tuple[str, Callable[[Any], Any]]]
 ) -> CompilationResult:
-    """Run ``stages`` in order, timing each."""
+    """Run ``stages`` in order, timing each (and tracing, when enabled)."""
+    tracer = get_tracer()
     executed: List[Stage] = []
     current = source
-    for name, fn in stages:
-        start = time.perf_counter()
-        current = fn(current)
-        elapsed = time.perf_counter() - start
-        executed.append(Stage(name, current, elapsed))
+    with tracer.span("pipeline", category="pipeline", stages=len(stages)):
+        for name, fn in stages:
+            with tracer.span(name, category="stage"):
+                start = time.perf_counter()
+                value = fn(current)
+                elapsed = time.perf_counter() - start
+            meta = None
+            if isinstance(value, StageValue):
+                meta = value.meta
+                value = value.value
+            executed.append(Stage(name, value, elapsed, meta))
+            current = value
     return CompilationResult(source, executed)
 
 
 def _opt_plan(optimizer: Callable[[Any], Any]) -> Callable[[Any], Any]:
-    return lambda plan: optimizer(plan).plan
+    def run(plan: Any) -> StageValue:
+        result = optimizer(plan)
+        return StageValue(result.plan, {"optimize_result": result})
+
+    return run
 
 
 #: Canonical stage names (shared with the benchmarks).

@@ -9,6 +9,23 @@ from repro.nnrc import ast
 from repro.nraenv.eval import EvalError
 
 
+#: Optional observability hook (see :mod:`repro.obs`); ``None`` keeps
+#: the interpreter on its bare path.
+_OBSERVER = None
+
+
+def set_observer(observer) -> None:
+    """Install (or with ``None``, remove) the evaluation observer.
+
+    The observer receives ``on_node(expr)`` per node evaluated,
+    ``on_bag(size)`` per comprehension source, and
+    ``on_env_depth(len(env))`` whenever a binder grows the variable
+    environment (its high-water mark is the deepest environment).
+    """
+    global _OBSERVER
+    _OBSERVER = observer
+
+
 def eval_nnrc(
     expr: ast.NnrcNode,
     env: Optional[Mapping[str, Any]] = None,
@@ -23,6 +40,9 @@ def eval_nnrc(
 
 
 def _eval(expr: ast.NnrcNode, env: dict, constants: Mapping[str, Any]) -> Any:
+    observer = _OBSERVER
+    if observer is not None:
+        observer.on_node(expr)
     if isinstance(expr, ast.Var):
         if expr.name not in env:
             raise EvalError("unbound NNRC variable %r" % expr.name)
@@ -49,11 +69,16 @@ def _eval(expr: ast.NnrcNode, env: dict, constants: Mapping[str, Any]) -> Any:
         value = _eval(expr.defn, env, constants)
         inner = dict(env)
         inner[expr.var] = value
+        if observer is not None:
+            observer.on_env_depth(len(inner))
         return _eval(expr.body, inner, constants)
     if isinstance(expr, ast.For):
         source = _eval(expr.source, env, constants)
         if not isinstance(source, Bag):
             raise EvalError("comprehension source must be a bag, got %r" % (source,))
+        if observer is not None:
+            observer.on_bag(len(source))
+            observer.on_env_depth(len(env) + 1)
         out = []
         inner = dict(env)
         for item in source:

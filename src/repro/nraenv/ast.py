@@ -23,6 +23,7 @@ the rewrite engine pattern-matches on.
 
 from __future__ import annotations
 
+import operator
 from typing import Any, Callable, Iterator, Tuple
 
 from repro.data.model import is_value
@@ -95,8 +96,12 @@ class NraeNode:
         self, fn: Callable[["NraeNode"], "NraeNode"]
     ) -> "NraeNode":
         """Rebuild the plan applying ``fn`` to every node, children first."""
-        new_children = tuple(child.transform_bottom_up(fn) for child in self.children())
-        node = self if new_children == self.children() else self.rebuild(new_children)
+        children = self.children()
+        new_children = tuple(child.transform_bottom_up(fn) for child in children)
+        # Identity (not structural) comparison: untouched subtrees come
+        # back as the same objects, so an unchanged node costs O(arity)
+        # — map(is_, …) keeps the check at C speed with no deep fallback.
+        node = self if all(map(operator.is_, new_children, children)) else self.rebuild(new_children)
         return fn(node)
 
 

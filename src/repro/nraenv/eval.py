@@ -21,6 +21,24 @@ class EvalError(DataError):
     """No evaluation derivation exists for the given plan and inputs."""
 
 
+#: Optional observability hook (see :mod:`repro.obs`).  ``None`` keeps
+#: the interpreter on its bare path: the only cost is one global load
+#: and an ``is None`` test per node.
+_OBSERVER = None
+
+
+def set_observer(observer) -> None:
+    """Install (or with ``None``, remove) the evaluation observer.
+
+    The observer receives ``on_node(plan)`` for every node evaluated,
+    ``on_bag(size)`` for every intermediate bag an iterating operator
+    consumes, and ``enter_env()``/``exit_env()`` around ``∘e`` frames
+    (its high-water mark is the maximum environment-composition depth).
+    """
+    global _OBSERVER
+    _OBSERVER = observer
+
+
 def eval_nraenv(
     plan: ast.NraeNode,
     env: Any = None,
@@ -39,6 +57,9 @@ def eval_nraenv(
 
 
 def _eval(plan: ast.NraeNode, env: Any, datum: Any, constants: Mapping[str, Any]) -> Any:
+    observer = _OBSERVER
+    if observer is not None:
+        observer.on_node(plan)
     # (Constant)
     if isinstance(plan, ast.Const):
         return plan.value
@@ -72,11 +93,15 @@ def _eval(plan: ast.NraeNode, env: Any, datum: Any, constants: Mapping[str, Any]
     if isinstance(plan, ast.Map):
         source = _eval(plan.input, env, datum, constants)
         _require_bag(source, "χ")
+        if observer is not None:
+            observer.on_bag(len(source))
         return Bag(_eval(plan.body, env, item, constants) for item in source)
     # (SelT, SelF, Sel∅)
     if isinstance(plan, ast.Select):
         source = _eval(plan.input, env, datum, constants)
         _require_bag(source, "σ")
+        if observer is not None:
+            observer.on_bag(len(source))
         kept = []
         for item in source:
             verdict = _eval(plan.pred, env, item, constants)
@@ -93,11 +118,16 @@ def _eval(plan: ast.NraeNode, env: Any, datum: Any, constants: Mapping[str, Any]
             return Bag([])
         right = _eval(plan.right, env, datum, constants)
         _require_bag(right, "×")
+        if observer is not None:
+            observer.on_bag(len(left))
+            observer.on_bag(len(right))
         return _product(left, right)
     # (DJ, DJ∅)
     if isinstance(plan, ast.DepJoin):
         source = _eval(plan.input, env, datum, constants)
         _require_bag(source, "⋈d")
+        if observer is not None:
+            observer.on_bag(len(source))
         out = []
         for item in source:
             dependent = _eval(plan.body, env, item, constants)
@@ -116,11 +146,19 @@ def _eval(plan: ast.NraeNode, env: Any, datum: Any, constants: Mapping[str, Any]
     # (Compᵉ)
     if isinstance(plan, ast.AppEnv):
         new_env = _eval(plan.before, env, datum, constants)
-        return _eval(plan.after, new_env, datum, constants)
+        if observer is None:
+            return _eval(plan.after, new_env, datum, constants)
+        observer.enter_env()
+        try:
+            return _eval(plan.after, new_env, datum, constants)
+        finally:
+            observer.exit_env()
     # (Mapᵉ, Mapᵉ∅)
     if isinstance(plan, ast.MapEnv):
         if not isinstance(env, Bag):
             raise EvalError("χe requires the environment to be a bag, got %r" % (env,))
+        if observer is not None:
+            observer.on_bag(len(env))
         return Bag(_eval(plan.body, item, datum, constants) for item in env)
     raise EvalError("unknown NRAe node %r" % (plan,))
 

@@ -1,0 +1,119 @@
+"""Observability for the compiler: spans, metrics, and trace export.
+
+Three layers, all disabled by default with near-zero overhead:
+
+- :mod:`repro.obs.trace` — hierarchical :class:`Span`/:class:`Tracer`
+  (context-manager API, thread-local span stack, a true no-op
+  :data:`NULL_TRACER`);
+- :mod:`repro.obs.metrics` — counters / gauges / histograms in a
+  :class:`MetricsRegistry`;
+- :mod:`repro.obs.export` — Chrome ``trace_event`` JSON and a text
+  report.
+
+The one-call entry point is :func:`observe`, which installs a fresh
+tracer + registry globally *and* hooks the evaluators and the backend
+runtime, then tears everything down on exit::
+
+    from repro.obs import observe
+    from repro.obs.export import write_chrome_trace
+
+    with observe() as session:
+        result = compile_sql("select a from t")
+    write_chrome_trace("out.json", session.tracer, session.metrics)
+
+Used by ``repro compile --trace/--profile``, ``repro explain``, and the
+benchmark harness (``REPRO_BENCH_TRACE=1``).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.obs.export import chrome_trace, text_report, write_chrome_trace
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Counter,
+    EvalObserver,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    get_metrics,
+    set_metrics,
+    use_metrics,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "EvalObserver",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "NullMetrics",
+    "NullTracer",
+    "ObsSession",
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "get_metrics",
+    "get_tracer",
+    "observe",
+    "set_metrics",
+    "set_tracer",
+    "text_report",
+    "use_metrics",
+    "use_tracer",
+    "write_chrome_trace",
+]
+
+
+class ObsSession(object):
+    """Handle yielded by :func:`observe`: the live tracer and registry."""
+
+    __slots__ = ("tracer", "metrics")
+
+    def __init__(self, tracer: Tracer, metrics: MetricsRegistry):
+        self.tracer = tracer
+        self.metrics = metrics
+
+    def report(self) -> str:
+        return text_report(self.tracer, self.metrics)
+
+
+@contextmanager
+def observe(tracer: Tracer = None, metrics: MetricsRegistry = None):
+    """Turn full observability on for the duration of the block.
+
+    Installs the tracer and metrics registry as the process globals
+    (compiler pipeline and optimizer pick them up automatically) and
+    registers evaluator observers on the NRAe interpreter, the NNRC
+    interpreter, and the generated-code runtime library.
+    """
+    from repro.backend import runtime
+    from repro.nnrc import eval as nnrc_eval
+    from repro.nraenv import eval as nraenv_eval
+
+    tracer = tracer or Tracer()
+    metrics = metrics or MetricsRegistry()
+    session = ObsSession(tracer, metrics)
+    with use_tracer(tracer), use_metrics(metrics):
+        nraenv_eval.set_observer(EvalObserver(metrics, "eval.nraenv"))
+        nnrc_eval.set_observer(EvalObserver(metrics, "eval.nnrc"))
+        runtime.install_observer(metrics)
+        try:
+            yield session
+        finally:
+            nraenv_eval.set_observer(None)
+            nnrc_eval.set_observer(None)
+            runtime.uninstall_observer()

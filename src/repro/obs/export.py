@@ -1,0 +1,140 @@
+"""Exporters for traces and metrics.
+
+Two consumers:
+
+- :func:`chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  ``trace_event`` JSON format (open ``chrome://tracing`` or
+  https://ui.perfetto.dev and load the file).  Spans become complete
+  ("ph": "X") events with microsecond timestamps relative to the
+  tracer's epoch; instants become "ph": "i" events.
+- :func:`text_report` — a human-readable span tree plus a metrics
+  digest, for ``repro compile --profile``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.obs.trace import Instant, Span, Tracer
+
+#: trace_event files carry integer microseconds.
+_US = 1_000_000
+
+
+def chrome_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
+    """Flatten the tracer's span forest into ``traceEvents`` dicts."""
+    events: List[Dict[str, Any]] = []
+
+    def emit_span(span: Span) -> None:
+        event: Dict[str, Any] = {
+            "name": span.name,
+            "cat": span.category or "repro",
+            "ph": "X",
+            "ts": round((span.start - tracer.epoch) * _US, 3),
+            "dur": round(span.seconds * _US, 3),
+            "pid": 1,
+            "tid": span.tid,
+        }
+        if span.args:
+            event["args"] = _plain(span.args)
+        events.append(event)
+        for mark in span.instants:
+            emit_instant(mark)
+        for child in span.children:
+            emit_span(child)
+
+    def emit_instant(mark: Instant) -> None:
+        event: Dict[str, Any] = {
+            "name": mark.name,
+            "cat": mark.category or "repro",
+            "ph": "i",
+            "s": "t",
+            "ts": round((mark.at - tracer.epoch) * _US, 3),
+            "pid": 1,
+            "tid": mark.tid,
+        }
+        if mark.args:
+            event["args"] = _plain(mark.args)
+        events.append(event)
+
+    for root in tracer.roots:
+        emit_span(root)
+    for mark in tracer.orphan_instants:
+        emit_instant(mark)
+    return events
+
+
+def chrome_trace(tracer: Tracer, metrics=None) -> Dict[str, Any]:
+    """The complete trace_event document (optionally with a metrics dump)."""
+    document: Dict[str, Any] = {
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ms",
+    }
+    if metrics is not None:
+        document["otherData"] = {"metrics": metrics.snapshot()}
+    return document
+
+
+def write_chrome_trace(path: str, tracer: Tracer, metrics=None) -> None:
+    with open(path, "w") as handle:
+        json.dump(chrome_trace(tracer, metrics), handle, indent=1)
+
+
+def _plain(args: Dict[str, Any]) -> Dict[str, Any]:
+    """Make span args JSON-safe (reprs for plans and other rich objects)."""
+    out: Dict[str, Any] = {}
+    for key, value in args.items():
+        if value is None or isinstance(value, (bool, int, float, str)):
+            out[key] = value
+        else:
+            out[key] = repr(value)
+    return out
+
+
+def text_report(tracer: Optional[Tracer] = None, metrics=None) -> str:
+    """Render the span tree and metrics digest as indented text."""
+    lines: List[str] = []
+    if tracer is not None and tracer.roots:
+        lines.append("trace:")
+
+        def walk(span: Span, depth: int) -> None:
+            label = span.name
+            extras = []
+            if span.args:
+                extras = ["%s=%s" % (k, v) for k, v in span.args.items()]
+            if span.instants:
+                extras.append("%d events" % len(span.instants))
+            suffix = ("  [" + ", ".join(extras) + "]") if extras else ""
+            lines.append(
+                "  %s%-*s %9.3f ms%s"
+                % ("  " * depth, max(1, 46 - 2 * depth), label, span.seconds * 1e3, suffix)
+            )
+            for child in span.children:
+                walk(child, depth + 1)
+
+        for root in tracer.roots:
+            walk(root, 0)
+    if metrics is not None:
+        snapshot = metrics.snapshot()
+        live_counters = {n: v for n, v in snapshot["counters"].items() if v}
+        if live_counters:
+            lines.append("counters:")
+            for name, value in live_counters.items():
+                lines.append("  %-46s %12d" % (name, value))
+        live_gauges = {n: v for n, v in snapshot["gauges"].items() if v}
+        if live_gauges:
+            lines.append("gauges:")
+            for name, value in live_gauges.items():
+                lines.append("  %-46s %12s" % (name, value))
+        live_histograms = {n: s for n, s in snapshot["histograms"].items() if s["count"]}
+        if live_histograms:
+            lines.append("histograms:")
+            for name, summary in live_histograms.items():
+                lines.append(
+                    "  %-46s count=%d min=%s mean=%.1f max=%s"
+                    % (name, summary["count"], summary["min"], summary["mean"], summary["max"])
+                )
+    if not lines:
+        return "(no observability data recorded)\n"
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,270 @@
+"""Metrics registry: counters, gauges, and histograms.
+
+The companion to :mod:`repro.obs.trace` — spans say *where time went*,
+metrics say *how much work happened*: operator-application counts in
+the evaluators, per-rule fire/attempt tallies in the optimizer,
+intermediate bag-size distributions in the runtime.
+
+The same disabled-overhead discipline applies: the default global
+registry is :data:`NULL_METRICS`, whose instruments are shared no-op
+objects, and the evaluators additionally guard their hooks behind a
+single ``is None`` check (see :func:`repro.nraenv.eval.set_observer`)
+so the uninstrumented paths stay within noise.
+
+Histograms do not retain samples; they keep count/sum/min/max plus
+power-of-two bucket counts, which is enough for the "intermediate bag
+sizes" distributions without unbounded memory on large runs.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Dict, Optional
+
+
+class Counter(object):
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return "Counter(%s=%d)" % (self.name, self.value)
+
+
+class Gauge(object):
+    """A point-in-time value; ``track_max`` keeps a high-water mark."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def track_max(self, value) -> None:
+        if value > self.value:
+            self.value = value
+
+    def __repr__(self) -> str:
+        return "Gauge(%s=%r)" % (self.name, self.value)
+
+
+class Histogram(object):
+    """A distribution summary with power-of-two buckets.
+
+    Bucket ``k`` counts observations ``v`` with ``2**(k-1) < v <= 2**k``
+    (bucket 0 counts ``v <= 1``, including zero and negatives).
+    """
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum", "buckets")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+        self.buckets: Dict[int, int] = {}
+
+    def record(self, value) -> None:
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+        bucket = 0
+        bound = 1
+        while value > bound:
+            bound <<= 1
+            bucket += 1
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+            "buckets": dict(sorted(self.buckets.items())),
+        }
+
+    def __repr__(self) -> str:
+        return "Histogram(%s, n=%d, mean=%.2f)" % (self.name, self.count, self.mean)
+
+
+class MetricsRegistry(object):
+    """Named instruments, created on first use and queryable afterwards."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str) -> Counter:
+        try:
+            return self._counters[name]
+        except KeyError:
+            with self._lock:
+                return self._counters.setdefault(name, Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        try:
+            return self._gauges[name]
+        except KeyError:
+            with self._lock:
+                return self._gauges.setdefault(name, Gauge(name))
+
+    def histogram(self, name: str) -> Histogram:
+        try:
+            return self._histograms[name]
+        except KeyError:
+            with self._lock:
+                return self._histograms.setdefault(name, Histogram(name))
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """All instruments as plain data (JSON-serializable)."""
+        return {
+            "counters": {name: c.value for name, c in sorted(self._counters.items())},
+            "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
+            "histograms": {name: h.summary() for name, h in sorted(self._histograms.items())},
+        }
+
+    def __repr__(self) -> str:
+        return "MetricsRegistry(%d counters, %d gauges, %d histograms)" % (
+            len(self._counters),
+            len(self._gauges),
+            len(self._histograms),
+        )
+
+
+class _NullInstrument(object):
+    """One object standing in for disabled counters/gauges/histograms."""
+
+    __slots__ = ()
+    name = ""
+    value = 0
+    count = 0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value) -> None:
+        pass
+
+    def track_max(self, value) -> None:
+        pass
+
+    def record(self, value) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics(object):
+    """The disabled registry: instruments are shared no-ops."""
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+#: The process-wide disabled registry (also the default global one).
+NULL_METRICS = NullMetrics()
+
+_current_metrics = NULL_METRICS
+
+
+def get_metrics():
+    """The active global registry (:data:`NULL_METRICS` unless installed)."""
+    return _current_metrics
+
+
+def set_metrics(metrics) -> None:
+    """Install ``metrics`` globally; ``None`` restores the null registry."""
+    global _current_metrics
+    _current_metrics = metrics if metrics is not None else NULL_METRICS
+
+
+@contextmanager
+def use_metrics(metrics):
+    """Scoped :func:`set_metrics`: restores the previous registry on exit."""
+    previous = _current_metrics
+    set_metrics(metrics)
+    try:
+        yield metrics
+    finally:
+        set_metrics(previous)
+
+
+class EvalObserver(object):
+    """Adapter the evaluators call into; writes to a registry.
+
+    Installed via ``set_observer`` on :mod:`repro.nraenv.eval` /
+    :mod:`repro.nnrc.eval`; collects
+
+    - ``<prefix>.nodes.<NodeType>`` — operator-application counters,
+    - ``<prefix>.bag_size`` — intermediate bag-size histogram,
+    - ``<prefix>.max_env_depth`` — deepest environment seen (nested
+      ``∘e`` frames for NRAe, bound-variable count for NNRC).
+    """
+
+    __slots__ = ("metrics", "prefix", "_node_counters", "_bag_hist", "_env_gauge", "_env_depth")
+
+    def __init__(self, metrics: MetricsRegistry, prefix: str):
+        self.metrics = metrics
+        self.prefix = prefix
+        self._node_counters: Dict[type, Any] = {}
+        self._bag_hist = metrics.histogram(prefix + ".bag_size")
+        self._env_gauge = metrics.gauge(prefix + ".max_env_depth")
+        self._env_depth = 0
+
+    def on_node(self, node) -> None:
+        kind = type(node)
+        counter = self._node_counters.get(kind)
+        if counter is None:
+            counter = self.metrics.counter("%s.nodes.%s" % (self.prefix, kind.__name__))
+            self._node_counters[kind] = counter
+        counter.inc()
+
+    def on_bag(self, size: int) -> None:
+        self._bag_hist.record(size)
+
+    def enter_env(self) -> None:
+        self._env_depth += 1
+        self._env_gauge.track_max(self._env_depth)
+
+    def exit_env(self) -> None:
+        self._env_depth -= 1
+
+    def on_env_depth(self, depth: int) -> None:
+        self._env_gauge.track_max(depth)

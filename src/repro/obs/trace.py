@@ -1,0 +1,268 @@
+"""Hierarchical span tracing for the compiler (observability substrate).
+
+The paper's whole evaluation (§8, Figures 7–9) is built on measuring
+the compiler — per-stage compile times, optimizer behavior — and every
+later performance change needs the same data to justify itself.  This
+module provides the measurement primitive: a :class:`Tracer` that
+records a tree of timed :class:`Span` objects (plus zero-duration
+:class:`Instant` marks), with a context-manager API::
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        with tracer.span("optimize", category="optim", rules=62):
+            ...
+            tracer.instant("fire", rule="map_into_id")
+
+Spans nest via a *thread-local* span stack, so concurrent compilations
+on different threads produce disjoint, correctly-parented trees.
+
+Disabled overhead is a hard requirement (the benchmarks must stay
+honest when not being watched): the default global tracer is
+:data:`NULL_TRACER`, whose ``span()`` returns one shared no-op context
+manager and allocates nothing — the cost of an instrumentation point is
+a global load plus a method call.  Code on genuinely hot paths can
+check ``tracer.enabled`` and skip even that.
+
+Export to Chrome ``trace_event`` JSON and to a text report lives in
+:mod:`repro.obs.export`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+
+class Instant(object):
+    """A zero-duration mark attached to the enclosing span."""
+
+    __slots__ = ("name", "category", "args", "at", "tid")
+
+    def __init__(self, name: str, category: str, args: Dict[str, Any], at: float, tid: int):
+        self.name = name
+        self.category = category
+        self.args = args
+        self.at = at
+        self.tid = tid
+
+    def __repr__(self) -> str:
+        return "Instant(%s)" % self.name
+
+
+class Span(object):
+    """One timed region: name, category, args, children, instants."""
+
+    __slots__ = ("name", "category", "args", "start", "end", "children", "instants", "tid")
+
+    def __init__(self, name: str, category: str = "", args: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.category = category
+        self.args: Dict[str, Any] = args or {}
+        self.start: float = 0.0
+        self.end: float = 0.0
+        self.children: List["Span"] = []
+        self.instants: List[Instant] = []
+        self.tid: int = 0
+
+    @property
+    def seconds(self) -> float:
+        """Wall-clock duration (0.0 while the span is still open)."""
+        return max(0.0, self.end - self.start)
+
+    def note(self, **args: Any) -> None:
+        """Attach/overwrite args after the span was opened."""
+        self.args.update(args)
+
+    def find(self, name: str) -> Optional["Span"]:
+        """First descendant (or self) with the given name, pre-order."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and all descendants, pre-order."""
+        yield self
+        for child in self.children:
+            for span in child.walk():
+                yield span
+
+    def __repr__(self) -> str:
+        return "Span(%s, %.4fs, %d children)" % (self.name, self.seconds, len(self.children))
+
+
+class _SpanContext(object):
+    """Context manager that opens/closes one span on the tracer's stack."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        self._span.start = time.perf_counter()
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._span.end = time.perf_counter()
+        self._tracer._pop(self._span)
+        return False
+
+
+class Tracer(object):
+    """Records a forest of spans; one stack per thread.
+
+    Completed top-level spans accumulate in :attr:`roots` (guarded by a
+    lock, so threads may share one tracer).  ``epoch`` anchors the
+    relative ``perf_counter`` timestamps for export.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.roots: List[Span] = []
+        self.orphan_instants: List[Instant] = []
+        self.epoch = time.perf_counter()
+        self._local = threading.local()
+        self._lock = threading.Lock()
+
+    # -- recording ------------------------------------------------------------
+
+    def span(self, name: str, category: str = "", **args: Any) -> _SpanContext:
+        """Open a span: ``with tracer.span("stage", k=v) as s: ...``."""
+        return _SpanContext(self, Span(name, category, args or None))
+
+    def instant(self, name: str, category: str = "", **args: Any) -> None:
+        """Record a zero-duration event under the current span."""
+        mark = Instant(name, category, args, time.perf_counter(), threading.get_ident())
+        stack = self._stack()
+        if stack:
+            stack[-1].instants.append(mark)
+        else:
+            with self._lock:
+                self.orphan_instants.append(mark)
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # -- inspection -----------------------------------------------------------
+
+    def spans(self) -> Iterator[Span]:
+        """All completed spans, every root's tree pre-order."""
+        for root in self.roots:
+            for span in root.walk():
+                yield span
+
+    def find(self, name: str) -> Optional[Span]:
+        for span in self.spans():
+            if span.name == name:
+                return span
+        return None
+
+    def total_seconds(self) -> float:
+        return sum(root.seconds for root in self.roots)
+
+    # -- internals ------------------------------------------------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, span: Span) -> None:
+        span.tid = threading.get_ident()
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        # Tolerate a corrupted stack rather than masking the user's error.
+        if stack and stack[-1] is span:
+            stack.pop()
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._lock:
+                self.roots.append(span)
+
+
+class _NullSpan(object):
+    """Shared no-op stand-in for both the context manager and the span."""
+
+    __slots__ = ()
+    name = ""
+    category = ""
+    seconds = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def note(self, **args: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer(object):
+    """The disabled tracer: every operation is a constant-time no-op."""
+
+    enabled = False
+    roots: List[Span] = []
+
+    def span(self, name: str, category: str = "", **args: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def instant(self, name: str, category: str = "", **args: Any) -> None:
+        pass
+
+    @property
+    def current(self) -> None:
+        return None
+
+    def spans(self) -> Iterator[Span]:
+        return iter(())
+
+    def find(self, name: str) -> None:
+        return None
+
+    def total_seconds(self) -> float:
+        return 0.0
+
+
+#: The process-wide disabled tracer (also the default global tracer).
+NULL_TRACER = NullTracer()
+
+_current_tracer = NULL_TRACER
+
+
+def get_tracer():
+    """The active global tracer (:data:`NULL_TRACER` unless installed)."""
+    return _current_tracer
+
+
+def set_tracer(tracer) -> None:
+    """Install ``tracer`` globally; ``None`` restores the null tracer."""
+    global _current_tracer
+    _current_tracer = tracer if tracer is not None else NULL_TRACER
+
+
+@contextmanager
+def use_tracer(tracer):
+    """Scoped :func:`set_tracer`: restores the previous tracer on exit."""
+    previous = _current_tracer
+    set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

@@ -11,12 +11,23 @@ not apply (exactly the shape of the Coq ``*_fun`` definitions in the
 paper's introduction).  The engine runs passes of depth-first (bottom-up)
 application over the whole AST and keeps iterating while the plan's cost
 decreases, collecting per-rule fire counts for the experiment analyses.
+
+Observability: when the global tracer (:mod:`repro.obs.trace`) is
+enabled — or a :class:`ProvenanceLog` is passed explicitly — the engine
+records a **rewrite provenance log**: the ordered firings (rule name,
+node size before/after, pass number), the cost trajectory across
+passes, per-rule attempt counts and cumulative wall-clock time, and the
+reason the run terminated.  ``repro explain`` renders this log.  With
+the null tracer the only cost over the bare engine is one ``is None``
+check per fire.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable, Dict, Generic, List, Optional, Sequence, Tuple, TypeVar
 
+from repro.obs.trace import get_tracer
 from repro.optim.cost import Cost, size_depth_cost
 
 Plan = TypeVar("Plan")
@@ -48,14 +59,83 @@ class Rewrite:
         self.description = description
 
     def apply(self, plan: Any) -> Optional[Any]:
-        """The rewritten plan if the rule fires at the root, else None."""
+        """The rewritten plan if the rule fires at the root, else None.
+
+        The ``result is plan`` identity check comes first: rules signal
+        "did not apply" by returning the input object (or ``None``), so
+        the deep structural ``==`` only runs for rules that built a new
+        node — and counts as a fire unless that node is structurally
+        identical (a rule bug the engine must still tolerate).
+        """
         result = self.fn(plan)
-        if result is None or result == plan:
+        if result is None or result is plan:
+            return None
+        if result == plan:
             return None
         return result
 
     def __repr__(self) -> str:
         return "Rewrite(%s)" % self.name
+
+
+class RewriteEvent:
+    """One firing in the provenance log."""
+
+    __slots__ = ("rule", "pass_index", "size_before", "size_after")
+
+    def __init__(self, rule: str, pass_index: int, size_before: int, size_after: int):
+        self.rule = rule
+        self.pass_index = pass_index
+        self.size_before = size_before
+        self.size_after = size_after
+
+    def __repr__(self) -> str:
+        return "RewriteEvent(%s, pass %d, %d → %d)" % (
+            self.rule,
+            self.pass_index,
+            self.size_before,
+            self.size_after,
+        )
+
+
+class ProvenanceLog:
+    """Ordered record of what the optimizer did and why it stopped.
+
+    - :attr:`events` — every rule firing, in application order;
+    - :attr:`costs` — the cost trajectory: ``costs[0]`` is the initial
+      plan cost, ``costs[k]`` the cost after pass ``k``;
+    - :attr:`rule_attempts` / :attr:`rule_seconds` — per-rule attempt
+      counts and cumulative time in the rule function (only populated
+      when ``timing`` is on; timing doubles the engine's bookkeeping
+      cost, so it is reserved for traced runs);
+    - :attr:`termination` — ``"fixpoint"``, ``"revisit"`` (a previous
+      plan state recurred), ``"stall"`` (no best-cost improvement for 8
+      consecutive passes), or ``"pass-limit"``.
+    """
+
+    __slots__ = ("events", "costs", "rule_attempts", "rule_seconds", "termination", "timing")
+
+    def __init__(self, timing: bool = False):
+        self.events: List[RewriteEvent] = []
+        self.costs: List[int] = []
+        self.rule_attempts: Dict[str, int] = {}
+        self.rule_seconds: Dict[str, float] = {}
+        self.termination: str = ""
+        self.timing = timing
+
+    def rule_counts(self) -> Dict[str, int]:
+        """Fires per rule — by construction equal to ``fire_counts``."""
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.rule] = counts.get(event.rule, 0) + 1
+        return counts
+
+    def __repr__(self) -> str:
+        return "ProvenanceLog(%d events, %d passes, %s)" % (
+            len(self.events),
+            max(0, len(self.costs) - 1),
+            self.termination or "running",
+        )
 
 
 class OptimizeResult(Generic[Plan]):
@@ -68,12 +148,14 @@ class OptimizeResult(Generic[Plan]):
         final_cost: int,
         passes: int,
         fire_counts: Dict[str, int],
+        provenance: Optional[ProvenanceLog] = None,
     ):
         self.plan = plan
         self.initial_cost = initial_cost
         self.final_cost = final_cost
         self.passes = passes
         self.fire_counts = fire_counts
+        self.provenance = provenance
 
     def fired(self, rule_name: str) -> int:
         return self.fire_counts.get(rule_name, 0)
@@ -91,25 +173,64 @@ class OptimizeResult(Generic[Plan]):
 _MAX_LOCAL_STEPS = 64
 #: Global pass bound; the cost guard normally terminates far earlier.
 _MAX_PASSES = 64
+#: Passes without a best-cost improvement before giving up.
+_MAX_STALLED = 8
 
 
 def rewrite_once(
-    plan: Any, rules: Sequence[Rewrite], fire_counts: Optional[Dict[str, int]] = None
+    plan: Any,
+    rules: Sequence[Rewrite],
+    fire_counts: Optional[Dict[str, int]] = None,
+    provenance: Optional[ProvenanceLog] = None,
+    pass_index: int = 1,
 ) -> Any:
     """One depth-first pass: at every node, apply rules to fixpoint."""
     counts = fire_counts if fire_counts is not None else {}
 
-    def at_node(node: Any) -> Any:
-        for _ in range(_MAX_LOCAL_STEPS):
-            for rule in rules:
-                result = rule.apply(node)
-                if result is not None:
-                    counts[rule.name] = counts.get(rule.name, 0) + 1
-                    node = result
-                    break
-            else:
-                return node
-        return node
+    # Two at_node variants so the untraced hot loop carries no
+    # bookkeeping at all — provenance timing doubles the per-attempt
+    # work, and this loop runs rules × nodes × passes times.
+    if provenance is not None and provenance.timing:
+
+        def at_node(node: Any) -> Any:
+            for _ in range(_MAX_LOCAL_STEPS):
+                for rule in rules:
+                    started = time.perf_counter()
+                    result = rule.apply(node)
+                    provenance.rule_seconds[rule.name] = provenance.rule_seconds.get(
+                        rule.name, 0.0
+                    ) + (time.perf_counter() - started)
+                    provenance.rule_attempts[rule.name] = (
+                        provenance.rule_attempts.get(rule.name, 0) + 1
+                    )
+                    if result is not None:
+                        counts[rule.name] = counts.get(rule.name, 0) + 1
+                        provenance.events.append(
+                            RewriteEvent(rule.name, pass_index, node.size(), result.size())
+                        )
+                        node = result
+                        break
+                else:
+                    return node
+            return node
+
+    else:
+
+        def at_node(node: Any) -> Any:
+            for _ in range(_MAX_LOCAL_STEPS):
+                for rule in rules:
+                    result = rule.apply(node)
+                    if result is not None:
+                        counts[rule.name] = counts.get(rule.name, 0) + 1
+                        if provenance is not None:
+                            provenance.events.append(
+                                RewriteEvent(rule.name, pass_index, node.size(), result.size())
+                            )
+                        node = result
+                        break
+                else:
+                    return node
+            return node
 
     return plan.transform_bottom_up(at_node)
 
@@ -118,6 +239,7 @@ def optimize(
     plan: Plan,
     rules: Sequence[Rewrite],
     cost: Cost = size_depth_cost,
+    provenance: Optional[ProvenanceLog] = None,
 ) -> OptimizeResult:
     """Optimize ``plan`` with ``rules``, guided by ``cost``.
 
@@ -127,29 +249,60 @@ def optimize(
     plan reaches a fixpoint, revisits a previous state, or fails to
     improve the best cost for a few consecutive passes — "optimization
     proceeds as long as the cost is decreasing" (paper §8).
+
+    ``provenance``: pass a :class:`ProvenanceLog` to collect the
+    derivation explicitly; by default one is collected only when the
+    global tracer is enabled (so the untraced path stays free).
     """
+    tracer = get_tracer()
+    if provenance is None and tracer.enabled:
+        provenance = ProvenanceLog(timing=True)
     fire_counts: Dict[str, int] = {}
     initial_cost = cost(plan)
+    if provenance is not None:
+        provenance.costs.append(initial_cost)
     current = plan
     best, best_cost = plan, initial_cost
     passes = 0
     stalled = 0
     seen = {plan}
-    for _ in range(_MAX_PASSES):
-        candidate = rewrite_once(current, rules, fire_counts)
-        passes += 1
-        if candidate == current:
-            break
-        candidate_cost = cost(candidate)
-        if candidate_cost < best_cost:
-            best, best_cost = candidate, candidate_cost
-            stalled = 0
-        else:
-            stalled += 1
-            if stalled >= 8:
+    termination = "pass-limit"
+    with tracer.span("optimize", category="optim", rules=len(rules), initial_cost=initial_cost):
+        for _ in range(_MAX_PASSES):
+            with tracer.span("pass %d" % (passes + 1), category="optim") as pass_span:
+                candidate = rewrite_once(current, rules, fire_counts, provenance, passes + 1)
+            passes += 1
+            if candidate is current or candidate == current:
+                termination = "fixpoint"
+                if provenance is not None:
+                    provenance.costs.append(provenance.costs[-1])
                 break
-        if candidate in seen:
-            break
-        seen.add(candidate)
-        current = candidate
-    return OptimizeResult(best, initial_cost, best_cost, passes, fire_counts)
+            candidate_cost = cost(candidate)
+            if provenance is not None:
+                provenance.costs.append(candidate_cost)
+            pass_span.note(cost=candidate_cost)
+            if candidate_cost < best_cost:
+                best, best_cost = candidate, candidate_cost
+                stalled = 0
+            else:
+                stalled += 1
+                if stalled >= _MAX_STALLED:
+                    termination = "stall"
+                    break
+            if candidate in seen:
+                termination = "revisit"
+                break
+            seen.add(candidate)
+            current = candidate
+    if provenance is not None:
+        provenance.termination = termination
+        if tracer.enabled:
+            tracer.instant(
+                "optimize done",
+                category="optim",
+                termination=termination,
+                passes=passes,
+                fires=len(provenance.events),
+                final_cost=best_cost,
+            )
+    return OptimizeResult(best, initial_cost, best_cost, passes, fire_counts, provenance)

@@ -2,6 +2,7 @@
 
 import io
 import json
+import re
 
 import pytest
 
@@ -101,3 +102,133 @@ class TestTpch:
         code, output = run_cli(["tpch", "q99"])
         assert code == 2
         assert "unknown TPC-H query" in output
+
+
+def parse_rule_totals(section):
+    """The ``  %4dx rule_name`` lines under ``rule totals:``."""
+    return {
+        match.group(2): int(match.group(1))
+        for match in re.finditer(r"^\s+(\d+)x (\S+)$", section, re.MULTILINE)
+    }
+
+
+class TestTraceAndProfile:
+    def test_trace_writes_valid_chrome_trace(self, tmp_path):
+        path = tmp_path / "out.trace.json"
+        code, output = run_cli(
+            ["compile", "--query", "select a from t where a > 1", "--trace", str(path)]
+        )
+        assert code == 0
+        assert "trace written to" in output
+        with open(str(path)) as handle:
+            document = json.load(handle)
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        assert isinstance(events, list) and events
+        for event in events:
+            assert "name" in event and "ph" in event and "ts" in event
+        complete = [e for e in events if e["ph"] == "X"]
+        names = {e["name"] for e in complete}
+        # The pipeline and its stages appear as complete events.
+        assert "pipeline" in names
+        assert {"parse", "to_nraenv", "nraenv_opt", "to_nnrc", "nnrc_opt"} <= names
+        for event in complete:
+            assert event["dur"] >= 0
+
+    def test_trace_includes_metrics_dump(self, tmp_path):
+        path = tmp_path / "out.trace.json"
+        data = tmp_path / "db.json"
+        data.write_text(json.dumps({"t": [{"a": 1}, {"a": 5}]}))
+        code, _ = run_cli(
+            [
+                "compile",
+                "--query",
+                "select a from t where a > 2",
+                "--run",
+                "--data",
+                str(data),
+                "--trace",
+                str(path),
+            ]
+        )
+        assert code == 0
+        with open(str(path)) as handle:
+            document = json.load(handle)
+        counters = document["otherData"]["metrics"]["counters"]
+        assert any(name.startswith("runtime.calls.") and count for name, count in counters.items())
+
+    def test_profile_prints_span_tree(self):
+        code, output = run_cli(
+            ["compile", "--query", "select a from t", "--profile"]
+        )
+        assert code == 0
+        assert "trace:" in output
+        assert "pipeline" in output
+        assert "nraenv_opt" in output
+        assert "ms" in output
+
+    def test_tpch_profile_shows_runtime_metrics(self):
+        code, output = run_cli(["tpch", "q6", "--run", "--profile"])
+        assert code == 0
+        assert "counters:" in output
+        assert "runtime.calls." in output
+        assert "histograms:" in output
+
+
+class TestExplain:
+    def test_explain_prints_derivation(self):
+        code, output = run_cli(["explain", "--query", "select a from t where a > 1"])
+        assert code == 0
+        assert "== NRAe optimizer (stage nraenv_opt) ==" in output
+        assert "== NNRC optimizer (stage nnrc_opt) ==" in output
+        assert "cost trajectory:" in output
+        assert re.search(r"cost \d+ → \d+ in \d+ passes \(\w", output)
+
+    def test_rule_totals_match_fire_counts(self):
+        from repro.compiler.pipeline import compile_sql
+
+        query = "select a from t where a > 1"
+        code, output = run_cli(["explain", "--query", query, "--stage", "nraenv"])
+        assert code == 0
+        printed = parse_rule_totals(output)
+        expected = compile_sql(query).optimize_result("nraenv_opt").fire_counts
+        assert printed == expected
+        assert printed  # the derivation is not empty for this query
+
+    def test_explain_stage_filter(self):
+        code, output = run_cli(
+            ["explain", "--query", "select a from t", "--stage", "nnrc"]
+        )
+        assert code == 0
+        assert "nnrc_opt" in output
+        assert "nraenv_opt" not in output
+
+    def test_explain_verbose_lists_attempts(self):
+        code, output = run_cli(
+            ["explain", "--query", "select a from t", "--verbose"]
+        )
+        assert code == 0
+        assert "rule attempts (time):" in output
+        assert "attempts" in output
+
+    def test_explain_tpch(self):
+        code, output = run_cli(["explain", "--tpch", "q6"])
+        assert code == 0
+        assert "== NRAe optimizer" in output
+        assert "derivation" in output
+
+    def test_explain_unknown_tpch(self):
+        code, output = run_cli(["explain", "--tpch", "q99"])
+        assert code == 2
+        assert "unknown TPC-H query" in output
+
+    def test_explain_with_trace(self, tmp_path):
+        path = tmp_path / "explain.trace.json"
+        code, output = run_cli(
+            ["explain", "--query", "select a from t", "--trace", str(path)]
+        )
+        assert code == 0
+        with open(str(path)) as handle:
+            document = json.load(handle)
+        names = {e["name"] for e in document["traceEvents"]}
+        assert "optimize" in names

@@ -1,0 +1,104 @@
+"""Tests for trace/metrics export (repro.obs.export)."""
+
+import json
+
+from repro.obs.export import chrome_trace, chrome_trace_events, text_report, write_chrome_trace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+def make_tracer():
+    tracer = Tracer()
+    with tracer.span("outer", category="pipeline", stages=2):
+        with tracer.span("inner"):
+            tracer.instant("fire", rule="r1")
+    return tracer
+
+
+class TestChromeTrace:
+    def test_span_events_are_complete_events(self):
+        tracer = make_tracer()
+        events = chrome_trace_events(tracer)
+        spans = [e for e in events if e["ph"] == "X"]
+        assert [e["name"] for e in spans] == ["outer", "inner"]
+        for event in spans:
+            assert event["cat"]
+            assert event["ts"] >= 0
+            assert event["dur"] >= 0
+            assert event["pid"] == 1
+            assert event["tid"]
+        outer = spans[0]
+        assert outer["args"] == {"stages": 2}
+
+    def test_instant_events(self):
+        tracer = make_tracer()
+        events = chrome_trace_events(tracer)
+        instants = [e for e in events if e["ph"] == "i"]
+        assert len(instants) == 1
+        assert instants[0]["name"] == "fire"
+        assert instants[0]["s"] == "t"
+        assert instants[0]["args"] == {"rule": "r1"}
+        assert "dur" not in instants[0]
+
+    def test_orphan_instants_exported(self):
+        tracer = Tracer()
+        tracer.instant("lonely")
+        names = [e["name"] for e in chrome_trace_events(tracer)]
+        assert names == ["lonely"]
+
+    def test_document_shape_and_json_round_trip(self):
+        tracer = make_tracer()
+        metrics = MetricsRegistry()
+        metrics.counter("c").inc(3)
+        document = chrome_trace(tracer, metrics)
+        assert document["displayTimeUnit"] == "ms"
+        reloaded = json.loads(json.dumps(document))
+        assert [e["name"] for e in reloaded["traceEvents"]] == ["outer", "inner", "fire"]
+        assert reloaded["otherData"]["metrics"]["counters"]["c"] == 3
+
+    def test_rich_args_become_reprs(self):
+        tracer = Tracer()
+        with tracer.span("s", payload=object(), flag=True, none=None):
+            pass
+        (event,) = chrome_trace_events(tracer)
+        assert isinstance(event["args"]["payload"], str)
+        assert event["args"]["flag"] is True
+        assert event["args"]["none"] is None
+        json.dumps(event)
+
+    def test_write_chrome_trace(self, tmp_path):
+        path = tmp_path / "out.trace.json"
+        write_chrome_trace(str(path), make_tracer(), MetricsRegistry())
+        with open(str(path)) as handle:
+            document = json.load(handle)
+        assert document["traceEvents"]
+
+
+class TestTextReport:
+    def test_span_tree_and_metrics_sections(self):
+        tracer = make_tracer()
+        metrics = MetricsRegistry()
+        metrics.counter("eval.nodes.Map").inc(4)
+        metrics.gauge("eval.max_env_depth").track_max(3)
+        metrics.histogram("eval.bag_size").record(10)
+        report = text_report(tracer, metrics)
+        assert "trace:" in report
+        assert "outer" in report and "inner" in report
+        assert "ms" in report
+        assert "counters:" in report
+        assert "eval.nodes.Map" in report
+        assert "gauges:" in report
+        assert "histograms:" in report
+        assert "count=1" in report
+
+    def test_zero_instruments_are_suppressed(self):
+        metrics = MetricsRegistry()
+        metrics.counter("never.fired")  # created but zero
+        metrics.histogram("empty.hist")
+        report = text_report(None, metrics)
+        assert "never.fired" not in report
+        assert "empty.hist" not in report
+
+    def test_empty_report_placeholder(self):
+        assert "no observability data" in text_report(None, None)
+        assert "no observability data" in text_report(Tracer(), MetricsRegistry())

@@ -1,0 +1,214 @@
+"""Tests for the metrics registry (repro.obs.metrics)."""
+
+from repro.obs.metrics import (
+    NULL_METRICS,
+    EvalObserver,
+    MetricsRegistry,
+    get_metrics,
+    set_metrics,
+    use_metrics,
+)
+
+
+class TestInstruments:
+    def test_counter(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert registry.counter("hits") is counter
+
+    def test_gauge(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(3)
+        gauge.track_max(7)
+        gauge.track_max(2)
+        assert gauge.value == 7
+
+    def test_histogram_summary(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("sizes")
+        for value in (0, 1, 2, 3, 100):
+            hist.record(value)
+        summary = hist.summary()
+        assert summary["count"] == 5
+        assert summary["min"] == 0
+        assert summary["max"] == 100
+        assert summary["sum"] == 106
+        assert abs(summary["mean"] - 21.2) < 1e-9
+
+    def test_histogram_buckets_are_powers_of_two(self):
+        hist = MetricsRegistry().histogram("h")
+        hist.record(1)  # bucket 0: v <= 1
+        hist.record(2)  # bucket 1: 1 < v <= 2
+        hist.record(3)  # bucket 2: 2 < v <= 4
+        hist.record(4)  # bucket 2
+        hist.record(5)  # bucket 3: 4 < v <= 8
+        assert hist.buckets == {0: 1, 1: 1, 2: 2, 3: 1}
+
+    def test_snapshot_is_plain_data(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.gauge("g").set(2)
+        registry.histogram("h").record(3)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"c": 1}
+        assert snapshot["gauges"] == {"g": 2}
+        assert snapshot["histograms"]["h"]["count"] == 1
+        json.dumps(snapshot)  # must be JSON-serializable
+
+
+class TestNullMetrics:
+    def test_instruments_are_noop_and_shared(self):
+        counter = NULL_METRICS.counter("a")
+        assert counter is NULL_METRICS.counter("b")
+        assert counter is NULL_METRICS.gauge("c") is NULL_METRICS.histogram("d")
+        counter.inc()
+        counter.set(9)
+        counter.track_max(9)
+        counter.record(9)
+        assert counter.value == 0
+        assert NULL_METRICS.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+        assert NULL_METRICS.enabled is False
+
+
+class TestGlobalRegistry:
+    def test_default_is_null(self):
+        assert get_metrics() is NULL_METRICS
+
+    def test_use_metrics_restores(self):
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            assert get_metrics() is registry
+        assert get_metrics() is NULL_METRICS
+
+    def test_set_none_restores_null(self):
+        set_metrics(MetricsRegistry())
+        set_metrics(None)
+        assert get_metrics() is NULL_METRICS
+
+
+class TestEvalObserver:
+    def test_node_counters_by_type(self):
+        registry = MetricsRegistry()
+        observer = EvalObserver(registry, "eval.test")
+        observer.on_node(1)
+        observer.on_node(2)
+        observer.on_node("x")
+        assert registry.counter("eval.test.nodes.int").value == 2
+        assert registry.counter("eval.test.nodes.str").value == 1
+
+    def test_env_depth_high_water_mark(self):
+        registry = MetricsRegistry()
+        observer = EvalObserver(registry, "eval.test")
+        observer.enter_env()
+        observer.enter_env()
+        observer.exit_env()
+        observer.enter_env()
+        observer.exit_env()
+        observer.exit_env()
+        assert registry.gauge("eval.test.max_env_depth").value == 2
+
+    def test_bag_histogram(self):
+        registry = MetricsRegistry()
+        observer = EvalObserver(registry, "eval.test")
+        observer.on_bag(10)
+        observer.on_bag(20)
+        assert registry.histogram("eval.test.bag_size").count == 2
+
+
+class TestEvaluatorsUnderObservation:
+    def test_nraenv_eval_counts_operators(self):
+        from repro.data.model import Bag, Record
+        from repro.nraenv import builders as b
+        from repro.nraenv import eval as nraenv_eval
+
+        registry = MetricsRegistry()
+        plan = b.chi(b.dot(b.id_(), "a"), b.table("t"))
+        table = Bag([Record({"a": 1}), Record({"a": 2})])
+        nraenv_eval.set_observer(EvalObserver(registry, "eval.nraenv"))
+        try:
+            nraenv_eval.eval_nraenv(plan, constants={"t": table})
+        finally:
+            nraenv_eval.set_observer(None)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["eval.nraenv.nodes.Map"] == 1
+        # the body (dot over id) evaluates once per element
+        assert snapshot["counters"]["eval.nraenv.nodes.Unop"] == 2
+        assert snapshot["histograms"]["eval.nraenv.bag_size"]["max"] == 2
+
+    def test_nraenv_eval_unobserved_records_nothing(self):
+        from repro.data.model import Bag, Record
+        from repro.nraenv import builders as b
+        from repro.nraenv.eval import eval_nraenv
+
+        registry = MetricsRegistry()
+        plan = b.chi(b.dot(b.id_(), "a"), b.table("t"))
+        eval_nraenv(plan, constants={"t": Bag([Record({"a": 1})])})
+        assert registry.snapshot()["counters"] == {}
+
+    def test_nnrc_eval_counts_and_env_depth(self):
+        from repro.data.model import Bag
+        from repro.nnrc import ast
+        from repro.nnrc import eval as nnrc_eval
+
+        registry = MetricsRegistry()
+        # let x = {1, 2} in {y | y ∈ x}
+        expr = ast.Let(
+            "x",
+            ast.Const(Bag([1, 2])),
+            ast.For("y", ast.Var("x"), ast.Var("y")),
+        )
+        nnrc_eval.set_observer(EvalObserver(registry, "eval.nnrc"))
+        try:
+            value = nnrc_eval.eval_nnrc(expr)
+        finally:
+            nnrc_eval.set_observer(None)
+        assert value == Bag([1, 2])
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["eval.nnrc.nodes.Let"] == 1
+        assert snapshot["counters"]["eval.nnrc.nodes.For"] == 1
+        assert snapshot["gauges"]["eval.nnrc.max_env_depth"] == 2
+        assert snapshot["histograms"]["eval.nnrc.bag_size"]["max"] == 2
+
+    def test_runtime_observer_counts_calls(self):
+        from repro.backend import runtime
+        from repro.data.model import Bag, Record
+
+        registry = MetricsRegistry()
+        runtime.install_observer(registry)
+        try:
+            runtime.dot(Record({"a": 5}), "a")
+            runtime.dot(Record({"a": 6}), "a")
+            runtime.bag_items(Bag([1, 2, 3]))
+        finally:
+            runtime.uninstall_observer()
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["runtime.calls.dot"] == 2
+        assert snapshot["counters"]["runtime.calls.bag_items"] == 1
+        assert snapshot["histograms"]["runtime.bag_size"]["max"] == 3
+        # uninstalled: the bare functions are back and count nothing
+        runtime.dot(Record({"a": 7}), "a")
+        assert registry.counter("runtime.calls.dot").value == 2
+
+    def test_observe_wires_everything(self):
+        from repro.compiler.pipeline import compile_sql, compile_to_python
+        from repro.data.model import Bag, Record
+        from repro.obs import observe
+
+        with observe() as session:
+            result = compile_sql("select a from t where a > 1")
+            query = compile_to_python(result.final)
+            value = query({"t": Bag([Record({"a": 1}), Record({"a": 5})])})
+        assert value == Bag([Record({"a": 5})])
+        snapshot = session.metrics.snapshot()
+        assert any(name.startswith("runtime.calls.") for name in snapshot["counters"])
+        assert session.tracer.find("pipeline") is not None
+        # teardown: globals restored
+        from repro.obs.trace import NULL_TRACER, get_tracer
+
+        assert get_tracer() is NULL_TRACER

@@ -1,0 +1,163 @@
+"""Tests for the span tracer (repro.obs.trace)."""
+
+import threading
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+
+class TestSpans:
+    def test_nesting(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner_a"):
+                pass
+            with tracer.span("inner_b"):
+                pass
+        assert len(tracer.roots) == 1
+        outer = tracer.roots[0]
+        assert outer.name == "outer"
+        assert [c.name for c in outer.children] == ["inner_a", "inner_b"]
+
+    def test_timing_monotone(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        outer = tracer.roots[0]
+        inner = outer.children[0]
+        assert outer.seconds >= inner.seconds >= 0.0
+        assert outer.start <= inner.start <= inner.end <= outer.end
+
+    def test_args_and_note(self):
+        tracer = Tracer()
+        with tracer.span("work", category="test", items=3) as span:
+            span.note(cost=7)
+        span = tracer.roots[0]
+        assert span.category == "test"
+        assert span.args == {"items": 3, "cost": 7}
+
+    def test_instants_attach_to_current_span(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            tracer.instant("fire", rule="r1")
+        assert [i.name for i in tracer.roots[0].instants] == ["fire"]
+        assert tracer.roots[0].instants[0].args == {"rule": "r1"}
+
+    def test_orphan_instant(self):
+        tracer = Tracer()
+        tracer.instant("lonely")
+        assert [i.name for i in tracer.orphan_instants] == ["lonely"]
+
+    def test_find_and_walk(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+        assert tracer.find("c") is not None
+        assert tracer.find("missing") is None
+        assert [s.name for s in tracer.spans()] == ["a", "b", "c"]
+
+    def test_current_span(self):
+        tracer = Tracer()
+        assert tracer.current is None
+        with tracer.span("a") as a:
+            assert tracer.current is a
+        assert tracer.current is None
+
+    def test_exception_still_closes_span(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("outer"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert len(tracer.roots) == 1
+        assert tracer.roots[0].end >= tracer.roots[0].start
+        assert tracer.current is None
+
+
+class TestThreadLocality:
+    def test_threads_get_separate_roots(self):
+        tracer = Tracer()
+        done = threading.Event()
+
+        def worker():
+            with tracer.span("thread_root"):
+                with tracer.span("thread_child"):
+                    pass
+            done.set()
+
+        with tracer.span("main_root"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+            done.wait()
+        names = sorted(root.name for root in tracer.roots)
+        assert names == ["main_root", "thread_root"]
+        main = tracer.find("main_root")
+        # The worker's spans never landed inside the main thread's span.
+        assert [c.name for c in main.children] == []
+        worker_root = tracer.find("thread_root")
+        assert [c.name for c in worker_root.children] == ["thread_child"]
+        assert worker_root.tid != main.tid
+
+
+class TestNullTracer:
+    def test_disabled_flag(self):
+        assert NULL_TRACER.enabled is False
+        assert Tracer().enabled is True
+
+    def test_span_is_shared_noop(self):
+        a = NULL_TRACER.span("x", category="c", k=1)
+        b = NULL_TRACER.span("y")
+        assert a is b  # one shared object: no allocation per span
+        with a as span:
+            span.note(cost=1)
+        assert NULL_TRACER.current is None
+        assert list(NULL_TRACER.spans()) == []
+        assert NULL_TRACER.find("x") is None
+        NULL_TRACER.instant("ignored")
+        assert NULL_TRACER.total_seconds() == 0.0
+
+    def test_null_tracer_records_nothing(self):
+        tracer = NullTracer()
+        with tracer.span("a"):
+            pass
+        assert tracer.roots == []
+
+
+class TestGlobalTracer:
+    def test_default_is_null(self):
+        assert get_tracer() is NULL_TRACER
+
+    def test_set_and_reset(self):
+        tracer = Tracer()
+        set_tracer(tracer)
+        try:
+            assert get_tracer() is tracer
+        finally:
+            set_tracer(None)
+        assert get_tracer() is NULL_TRACER
+
+    def test_use_tracer_restores(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert get_tracer() is tracer
+        assert get_tracer() is NULL_TRACER
+
+    def test_use_tracer_restores_on_error(self):
+        tracer = Tracer()
+        try:
+            with use_tracer(tracer):
+                raise ValueError
+        except ValueError:
+            pass
+        assert get_tracer() is NULL_TRACER

@@ -2,8 +2,17 @@
 
 from repro.data.model import bag, rec
 from repro.nraenv import ast, builders as b
+from repro.obs.trace import Tracer, use_tracer
 from repro.optim.cost import depth_cost, size_cost, size_depth_cost
-from repro.optim.engine import OptimizeResult, Rewrite, optimize, rewrite_once
+from repro.optim.engine import (
+    _MAX_LOCAL_STEPS,
+    _MAX_STALLED,
+    OptimizeResult,
+    ProvenanceLog,
+    Rewrite,
+    optimize,
+    rewrite_once,
+)
 
 
 def make_map_id_rule():
@@ -87,6 +96,124 @@ class TestOptimize:
     def test_repr(self):
         result = OptimizeResult(b.id_(), 10, 5, 3, {})
         assert "10 → 5" in repr(result)
+
+
+def make_rename_rule(src, dst):
+    def fn(plan):
+        if isinstance(plan, ast.GetConstant) and plan.cname == src:
+            return b.table(dst)
+        return None
+
+    return Rewrite("rename_%s_%s" % (src, dst), fn)
+
+
+def make_grow_rule():
+    """Wraps every table in χ⟨In⟩(·): cost strictly increases each pass."""
+
+    def fn(plan):
+        if isinstance(plan, ast.GetConstant):
+            return b.chi(b.id_(), plan)
+        return None
+
+    return Rewrite("grow", fn)
+
+
+class TestTerminationPaths:
+    """The three ways an optimization run stops (plus the provenance log)."""
+
+    def test_fixpoint(self):
+        provenance = ProvenanceLog()
+        plan = b.chi(b.id_(), b.chi(b.id_(), b.table("T")))
+        result = optimize(plan, [make_map_id_rule()], provenance=provenance)
+        assert result.plan == b.table("T")
+        # Pass 1 collapses both redexes, pass 2 confirms the fixpoint.
+        assert result.passes == 2
+        assert provenance.termination == "fixpoint"
+        assert result.fire_counts == {"test_map_id": 2}
+        assert provenance.rule_counts() == result.fire_counts
+        # Cost trajectory: initial, after pass 1, repeated on the
+        # no-change pass.
+        assert provenance.costs == [result.initial_cost, result.final_cost, result.final_cost]
+        assert [e.pass_index for e in provenance.events] == [1, 1]
+        assert all(e.size_after < e.size_before for e in provenance.events)
+
+    def test_revisit_breaks_rename_cycle(self):
+        # T → U → V → T keeps firing at one node, so every pass burns the
+        # whole local-step budget; 64 ≡ 1 (mod 3) advances the plan one
+        # rename per pass, and pass 3 lands back on the original plan —
+        # the `seen` set must catch the cycle.
+        assert _MAX_LOCAL_STEPS % 3 == 1
+        rules = [
+            make_rename_rule("T", "U"),
+            make_rename_rule("U", "V"),
+            make_rename_rule("V", "T"),
+        ]
+        provenance = ProvenanceLog()
+        result = optimize(b.table("T"), rules, provenance=provenance)
+        assert provenance.termination == "revisit"
+        assert result.passes == 3
+        assert result.plan == b.table("T")  # best plan: cost never improved
+        assert provenance.rule_counts() == result.fire_counts
+        assert sum(result.fire_counts.values()) == 3 * _MAX_LOCAL_STEPS
+
+    def test_stall_after_eight_non_improving_passes(self):
+        provenance = ProvenanceLog()
+        result = optimize(b.table("T"), [make_grow_rule()], provenance=provenance)
+        assert provenance.termination == "stall"
+        assert result.passes == _MAX_STALLED
+        # The engine returns the best plan seen, which is the original.
+        assert result.plan == b.table("T")
+        assert result.final_cost == result.initial_cost
+        assert result.fire_counts == {"grow": _MAX_STALLED}
+        assert provenance.rule_counts() == result.fire_counts
+        # One fire per pass, each strictly worsening the cost.
+        costs = provenance.costs
+        assert len(costs) == _MAX_STALLED + 1
+        assert all(later > earlier for earlier, later in zip(costs, costs[1:]))
+
+    def test_oscillation_terminates_via_revisit(self):
+        def grow(plan):
+            if plan == b.table("T"):
+                return b.chi(b.id_(), b.table("T"))
+            return None
+
+        provenance = ProvenanceLog()
+        rules = [Rewrite("grow", grow), make_map_id_rule()]
+        optimize(b.chi(b.id_(), b.table("T")), rules, provenance=provenance)
+        assert provenance.termination in ("revisit", "stall", "fixpoint")
+        assert provenance.termination != ""
+
+
+class TestProvenance:
+    def test_untraced_runs_carry_no_provenance(self):
+        result = optimize(b.chi(b.id_(), b.table("T")), [make_map_id_rule()])
+        assert result.provenance is None
+
+    def test_enabled_tracer_collects_provenance_with_timing(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            result = optimize(b.chi(b.id_(), b.table("T")), [make_map_id_rule()])
+        provenance = result.provenance
+        assert provenance is not None and provenance.timing
+        assert provenance.termination == "fixpoint"
+        assert provenance.rule_counts() == result.fire_counts
+        assert provenance.rule_attempts["test_map_id"] >= 1
+        assert provenance.rule_seconds["test_map_id"] >= 0.0
+        # The optimizer also left spans: one per run, one per pass.
+        optimize_span = tracer.find("optimize")
+        assert optimize_span is not None
+        assert [c.name for c in optimize_span.children] == ["pass 1", "pass 2"]
+
+    def test_rewrite_once_records_events(self):
+        provenance = ProvenanceLog()
+        plan = b.chi(b.id_(), b.chi(b.id_(), b.table("T")))
+        rewrite_once(plan, [make_map_id_rule()], provenance=provenance, pass_index=7)
+        assert [e.pass_index for e in provenance.events] == [7, 7]
+        assert provenance.rule_counts() == {"test_map_id": 2}
+
+    def test_repr(self):
+        provenance = ProvenanceLog()
+        assert "running" in repr(provenance)
 
 
 class TestCostFunctions:
