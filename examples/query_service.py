@@ -1,0 +1,73 @@
+"""The query service: catalog, prepared queries, plan cache, errors.
+
+`repro.service` wraps the one-shot compiler in a long-lived serving
+layer: datasets register once, queries compile once, and parameters
+bind at execute time.  This walkthrough registers a small dataset,
+prepares a parametric query, shows a structural cache hit (a textually
+different but structurally identical query reuses the compiled plan),
+and demonstrates the structured error taxonomy — a compile error, a
+runtime error, and a timeout each come back as an outcome, and the
+service keeps serving afterwards.
+
+Run:  PYTHONPATH=src python examples/query_service.py
+"""
+
+from repro.service import QueryService
+
+
+def main() -> None:
+    service = QueryService(cache_capacity=32, workers=2, default_timeout=10.0)
+
+    # -- the catalog: named datasets with inferred schemas ---------------
+    info = service.register_table(
+        "people",
+        [
+            {"name": "ann", "age": 40, "city": "paris"},
+            {"name": "bob", "age": 20, "city": "oslo"},
+            {"name": "cyd", "age": 31, "city": "paris"},
+        ],
+    )
+    print("registered:", info.describe())
+
+    # -- prepared queries: compile once, bind $params per execution -----
+    prepared = service.prepare(
+        "sql", "select name from people where age > $min and city = $city"
+    )
+    print("\nprepared %s with params %s (compiled in %.1f ms)" % (
+        prepared.handle, prepared.params, prepared.plan.compile_seconds * 1e3,
+    ))
+    for params in ({"min": 25, "city": "paris"}, {"min": 0, "city": "oslo"}):
+        outcome = service.execute(prepared.handle, params=params)
+        print("  %s -> %s" % (params, outcome.value))
+
+    # -- the plan cache: structural, not textual -------------------------
+    variant = service.prepare(
+        "sql",
+        "SELECT name  FROM people\n  WHERE age > $min AND city = $city  -- same plan",
+    )
+    print("\ntextual variant cached: %s (same plan object: %s)" % (
+        variant.cached, variant.plan is prepared.plan,
+    ))
+    print("plan cache:", service.stats()["plan_cache"])
+
+    # -- the error taxonomy: structured outcomes, never exceptions ------
+    print("\nerror taxonomy:")
+    bad_syntax = service.query("sql", "selec oops from people")
+    print("  compile_error:", bad_syntax.error)
+    missing = service.query("sql", "select a from no_such_table")
+    print("  runtime_error:", missing.error)
+    service.register_table("n", [{"i": i} for i in range(15)])
+    slow = service.query(
+        "sql", "select a.i from n a, n b, n c, n d where a.i = 1", timeout=0.02
+    )
+    print("  timeout:      ", slow.error)
+
+    # ...and the service is still healthy:
+    alive = service.query("sql", "select name from people where age > 25")
+    print("\nstill serving:", alive.value)
+
+    service.close(wait=False)
+
+
+if __name__ == "__main__":
+    main()

@@ -10,6 +10,8 @@ constant pool so the source stays printable.
 
 from __future__ import annotations
 
+import itertools
+import linecache
 from typing import Any, Callable, Dict, List, Tuple
 
 from repro.data import operators as ops
@@ -206,6 +208,14 @@ def generate_python(
     return "\n".join(emitter.lines) + "\n", emitter.pool
 
 
+#: Process-wide compilation counter: every loaded callable gets a unique
+#: function name and pseudo-filename so that compiling many queries in one
+#: process (e.g. the query service) can never collide — not in the exec
+#: namespace, not in ``linecache``, not in tracebacks.  ``itertools.count``
+#: is atomic under CPython, so concurrent compilations are safe too.
+_COMPILE_IDS = itertools.count(1)
+
+
 def compile_nnrc_to_callable(
     expr: ast.NnrcNode,
     name: str = "query",
@@ -215,13 +225,20 @@ def compile_nnrc_to_callable(
     """Generate and load the Python function for an NNRC expression.
 
     The returned callable has signature ``fn(constants, d0=None,
-    e0=<empty record>)``; its generated source is attached as ``fn.__source__``.
+    e0=<empty record>)``; its generated source is attached as
+    ``fn.__source__``.  Each call loads the code under a unique function
+    name and filename (``<nnrc:name#N>``), registered with ``linecache``
+    so runtime tracebacks show the generated source.
     """
     from repro.backend import runtime
 
-    source, pool = generate_python(expr, name, input_var, env_var)
+    uid = next(_COMPILE_IDS)
+    unique_name = "%s__c%d" % (name, uid)
+    source, pool = generate_python(expr, unique_name, input_var, env_var)
+    filename = "<nnrc:%s#%d>" % (name, uid)
     namespace: Dict[str, Any] = {"_rt": runtime, "_pool": pool}
-    exec(compile(source, "<nnrc:%s>" % name, "exec"), namespace)
-    fn = namespace[name]
+    exec(compile(source, filename, "exec"), namespace)
+    fn = namespace[unique_name]
     fn.__source__ = source
+    linecache.cache[filename] = (len(source), None, source.splitlines(True), filename)
     return fn

@@ -7,6 +7,7 @@
     python -m repro compile --query "select a from t" --trace out.json --profile
     python -m repro tpch q6 --run
     python -m repro explain --query "select a from t where a > 1"
+    python -m repro serve --data db.json --workers 4
 
 ``--data`` takes a JSON file mapping table names to rows (arrays of
 objects; dates as ``{"$date": "YYYY-MM-DD"}`` — see
@@ -95,6 +96,23 @@ def _build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true", help="also list per-rule attempt counts and time"
     )
     _add_obs_flags(explain_cmd)
+
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="run the query service: one JSON request per stdin line, "
+        "one JSON response per stdout line (see DESIGN.md for the protocol)",
+    )
+    serve_cmd.add_argument("--data", help="JSON file of tables to preload into the catalog")
+    serve_cmd.add_argument("--workers", type=int, default=4, help="executor threads")
+    serve_cmd.add_argument(
+        "--queue-depth", type=int, default=16, help="bounded admission queue depth"
+    )
+    serve_cmd.add_argument(
+        "--cache-size", type=int, default=128, help="plan cache capacity (LRU)"
+    )
+    serve_cmd.add_argument(
+        "--timeout", type=float, default=30.0, help="default per-query timeout (seconds)"
+    )
     return parser
 
 
@@ -118,15 +136,31 @@ def _load_query(args: argparse.Namespace) -> str:
         return handle.read()
 
 
+class _DataFileError(Exception):
+    """A --data file problem, reported as one actionable line (exit 2)."""
+
+
 def _load_data(path: Optional[str]) -> dict:
     if path is None:
         return {}
-    with open(path) as handle:
-        value = json_io.loads(handle.read())
-    from repro.data.model import Record
+    try:
+        with open(path) as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise _DataFileError(
+            "cannot read --data file %r: %s" % (path, exc.strerror or exc)
+        )
+    from repro.data.model import DataError, Record
 
+    try:
+        value = json_io.loads(text)
+    except (ValueError, DataError) as exc:
+        raise _DataFileError("malformed JSON in --data file %r: %s" % (path, exc))
     if not isinstance(value, Record):
-        raise SystemExit("--data must be a JSON object mapping tables to rows")
+        raise _DataFileError(
+            "--data file %r must be a JSON object mapping table names to row arrays"
+            % (path,)
+        )
     return {name: value[name] for name in value.domain()}
 
 
@@ -232,7 +266,9 @@ def main(argv: Optional[List[str]] = None, out: Any = None) -> int:
 
     # explain always needs the provenance machinery; compile/tpch only
     # pay for it when --trace/--profile asks.
-    observing = args.command == "explain" or args.trace or args.profile
+    observing = args.command == "explain" or getattr(args, "trace", None) or getattr(
+        args, "profile", False
+    )
     if observing:
         from repro.obs import observe
 
@@ -247,8 +283,30 @@ def main(argv: Optional[List[str]] = None, out: Any = None) -> int:
             result = compilers[args.language](text)
             _print_result(result, args.show, out)
             if args.run:
-                _run_query(result, _load_data(args.data), out)
+                try:
+                    constants = _load_data(args.data)
+                except _DataFileError as exc:
+                    print("repro: %s" % exc, file=out)
+                    return 2
+                _run_query(result, constants, out)
             code = 0
+
+        elif args.command == "serve":
+            from repro.service import CatalogError, QueryService
+
+            service = QueryService(
+                cache_capacity=args.cache_size,
+                workers=args.workers,
+                queue_depth=args.queue_depth,
+                default_timeout=args.timeout,
+            )
+            if args.data:
+                try:
+                    service.load_json(args.data)
+                except CatalogError as exc:
+                    print("repro: %s" % exc, file=out)
+                    return 2
+            code = service.serve(sys.stdin, out)
 
         elif args.command == "tpch":
             from repro.tpch.datagen import MICRO, generate

@@ -228,3 +228,61 @@ def compile_to_python(nnrc_expr, name: str = "query"):
     from repro.backend.python_gen import compile_nnrc_to_callable
 
     return compile_nnrc_to_callable(nnrc_expr, name)
+
+
+# -- cacheable entry points (used by the query service) ------------------------
+#
+# ``parse_source`` and ``compile_parsed`` split the textual pipelines at
+# the parse boundary: the service parses once, fingerprints the AST for
+# its plan cache (see :mod:`repro.service.plan_key`), and only pays for
+# optimization + codegen on a cache miss.
+
+#: Languages the textual pipelines accept.
+LANGUAGES = ("sql", "oql", "lnra")
+
+
+def parse_source(language: str, text: str) -> Any:
+    """Parse query ``text`` in ``language`` to its frontend AST."""
+    if language == "sql":
+        from repro.sql.parser import parse_sql
+
+        return parse_sql(text)
+    if language == "oql":
+        from repro.oql.parser import parse_oql
+
+        return parse_oql(text)
+    if language == "lnra":
+        from repro.lambda_nra.parser import parse_lnra
+
+        return parse_lnra(text)
+    raise ValueError("unknown source language %r (have %s)" % (language, LANGUAGES))
+
+
+def compile_parsed(language: str, ast: Any) -> CompilationResult:
+    """Compile an already-parsed frontend AST down to optimized NNRC."""
+    if language == "sql":
+        from repro.sql.to_nraenv import sql_to_nraenv
+
+        to_nraenv: Callable[[Any], Any] = sql_to_nraenv
+    elif language == "oql":
+        from repro.oql.to_nraenv import oql_to_nraenv
+
+        to_nraenv = oql_to_nraenv
+    elif language == "lnra":
+        to_nraenv = lnra_to_nraenv
+    else:
+        raise ValueError("unknown source language %r (have %s)" % (language, LANGUAGES))
+    return run_pipeline(
+        ast,
+        [
+            (TO_NRAENV, to_nraenv),
+            (NRAENV_OPT, _opt_plan(optimize_nraenv)),
+            (TO_NNRC, nraenv_to_nnrc),
+            (NNRC_OPT, _opt_plan(optimize_nnrc)),
+        ],
+    )
+
+
+def compile_source(language: str, text: str) -> CompilationResult:
+    """Parse + compile: the one-shot textual entry point for any language."""
+    return compile_parsed(language, parse_source(language, text))

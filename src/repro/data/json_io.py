@@ -2,8 +2,14 @@
 
 Bags become JSON arrays, records become JSON objects, and foreign date
 values are tagged as ``{"$date": "YYYY-MM-DD"}`` so round-tripping is
-loss-free.  This is the wire format used by the examples and by the
-generated-code runtime when exchanging data with the outside world.
+loss-free.  This is the wire format used by the examples, the query
+service, and the generated-code runtime when exchanging data with the
+outside world.
+
+Records whose field set collides with a tag (a record that literally has
+a single ``$date`` or ``$record`` field) are escaped as ``{"$record":
+{...}}`` so that *every* data-model value round-trips exactly — found by
+the round-trip property test in ``tests/data/test_json_io.py``.
 """
 
 from __future__ import annotations
@@ -15,6 +21,10 @@ from repro.data.foreign import DateValue
 from repro.data.model import Bag, DataError, Record
 
 
+#: Record shapes that would be misread as a tag on the way back in.
+_AMBIGUOUS_DOMAINS = (("$date",), ("$record",))
+
+
 def to_jsonable(value: Any) -> Any:
     """Convert a data-model value to JSON-encodable Python data."""
     if value is None or isinstance(value, (bool, int, float, str)):
@@ -24,7 +34,10 @@ def to_jsonable(value: Any) -> Any:
     if isinstance(value, Bag):
         return [to_jsonable(v) for v in value]
     if isinstance(value, Record):
-        return {k: to_jsonable(v) for k, v in value.fields}
+        fields = {k: to_jsonable(v) for k, v in value.fields}
+        if value.domain() in _AMBIGUOUS_DOMAINS:
+            return {"$record": fields}
+        return fields
     raise DataError("cannot serialise %r" % (value,))
 
 
@@ -36,7 +49,15 @@ def from_jsonable(value: Any) -> Any:
         return Bag(from_jsonable(v) for v in value)
     if isinstance(value, dict):
         if set(value) == {"$date"}:
-            return DateValue.parse(value["$date"])
+            tagged = value["$date"]
+            if not isinstance(tagged, str):
+                raise DataError("$date payload must be a string, got %r" % (tagged,))
+            return DateValue.parse(tagged)
+        if set(value) == {"$record"}:
+            escaped = value["$record"]
+            if not isinstance(escaped, dict):
+                raise DataError("$record payload must be an object, got %r" % (escaped,))
+            return Record({k: from_jsonable(v) for k, v in escaped.items()})
         return Record({k: from_jsonable(v) for k, v in value.items()})
     raise DataError("cannot deserialise %r" % (value,))
 

@@ -1,0 +1,60 @@
+"""``repro.service``: the query-serving subsystem.
+
+Turns the one-shot compiler into a long-lived service, the way the
+paper's Q*cert pipeline is meant to be used: compile ahead of time,
+serve many executions.  Five pieces (see DESIGN.md for the full
+architecture):
+
+- :class:`Catalog` — named datasets with schemas and loaded data;
+- :class:`PlanCache` — LRU cache of compiled plans keyed on a
+  structural hash of the normalized source AST
+  (:func:`plan_key` / :func:`ast_fingerprint`);
+- :class:`~repro.service.prepared.PreparedQuery` — compile once,
+  execute many times, with ``$param`` bindings applied at execute time;
+- :class:`SessionExecutor` — thread-pool execution with per-query
+  timeouts and a bounded admission queue;
+- :class:`QueryService` — the facade, plus the ``repro serve``
+  JSON-lines wire protocol.
+
+All failures surface as the structured error taxonomy in
+:mod:`repro.service.errors` (compile_error / runtime_error / timeout /
+overloaded / catalog_error / bad_request) — never as a crashed loop.
+"""
+
+from repro.service.cache import PlanCache
+from repro.service.catalog import Catalog, TableInfo
+from repro.service.errors import (
+    BadRequest,
+    CatalogError,
+    CompileError,
+    Overloaded,
+    QueryTimeout,
+    RuntimeQueryError,
+    ServiceError,
+)
+from repro.service.executor import Outcome, SessionExecutor
+from repro.service.plan_key import ast_fingerprint, plan_key
+from repro.service.prepared import CompiledPlan, PreparedQuery, compile_plan, parse_query
+from repro.service.service import QueryService
+
+__all__ = [
+    "BadRequest",
+    "Catalog",
+    "CatalogError",
+    "CompileError",
+    "CompiledPlan",
+    "Outcome",
+    "Overloaded",
+    "PlanCache",
+    "PreparedQuery",
+    "QueryService",
+    "QueryTimeout",
+    "RuntimeQueryError",
+    "ServiceError",
+    "SessionExecutor",
+    "TableInfo",
+    "ast_fingerprint",
+    "compile_plan",
+    "parse_query",
+    "plan_key",
+]

@@ -1,0 +1,58 @@
+"""The service error taxonomy.
+
+Every failure a request can hit maps to exactly one of these classes,
+and the service reports them as *structured* errors — a ``{"kind",
+"message"}`` payload — rather than letting exceptions escape the serving
+loop.  The taxonomy:
+
+- ``compile_error`` — the query text failed to parse, translate, or
+  optimize; the request never produced a plan.
+- ``runtime_error`` — the compiled plan raised while executing (missing
+  table, type error in the data, division by zero, ...).
+- ``timeout`` — the query exceeded its execution deadline.  The worker
+  thread is abandoned (Python cannot interrupt it) but the slot is
+  reclaimed once it finishes; the caller gets the error immediately.
+- ``overloaded`` — the bounded admission queue was full; the request was
+  rejected before consuming any execution resources.
+- ``catalog_error`` — dataset registration/lookup failed (unknown table,
+  malformed JSON payload, schema mismatch).
+- ``bad_request`` — the request itself was malformed (unknown op,
+  unknown handle, missing fields, unbound parameter).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+
+class ServiceError(Exception):
+    """Base class: a structured, reportable service failure."""
+
+    kind = "error"
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "message": str(self)}
+
+
+class CompileError(ServiceError):
+    kind = "compile_error"
+
+
+class RuntimeQueryError(ServiceError):
+    kind = "runtime_error"
+
+
+class QueryTimeout(ServiceError):
+    kind = "timeout"
+
+
+class Overloaded(ServiceError):
+    kind = "overloaded"
+
+
+class CatalogError(ServiceError):
+    kind = "catalog_error"
+
+
+class BadRequest(ServiceError):
+    kind = "bad_request"

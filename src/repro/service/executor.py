@@ -1,0 +1,148 @@
+"""The session executor: bounded, timed execution of compiled plans.
+
+Runs query callables on a thread pool with
+
+- a **bounded admission queue**: at most ``workers + queue_depth``
+  requests are in flight; beyond that, requests are rejected immediately
+  with a structured ``overloaded`` error instead of queueing without
+  bound (the overload behavior a serving layer needs);
+- **per-query timeouts**: the caller gets a structured ``timeout`` error
+  as soon as the deadline passes.  Python cannot interrupt a running
+  thread, so the worker is *abandoned* — it keeps its admission slot
+  until it actually finishes, which is exactly the back-pressure you
+  want: a service drowning in runaway queries starts refusing work
+  rather than piling it up;
+- **structured outcomes**: :class:`Outcome` carries either a value or a
+  :class:`~repro.service.errors.ServiceError`; worker exceptions never
+  escape to the caller.
+
+Counters (``service.execute.ok`` / ``.runtime_error`` / ``.timeout`` /
+``.rejected``) land in the :mod:`repro.obs` metrics registry.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from typing import Any, Callable, Optional
+
+from repro.obs.metrics import get_metrics
+from repro.service.errors import Overloaded, QueryTimeout, RuntimeQueryError, ServiceError
+
+
+class Outcome:
+    """The structured result of one execution attempt."""
+
+    __slots__ = ("value", "error", "seconds")
+
+    def __init__(self, value: Any = None, error: Optional[ServiceError] = None, seconds: float = 0.0):
+        self.value = value
+        self.error = error
+        self.seconds = seconds
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def __repr__(self) -> str:
+        if self.ok:
+            return "Outcome(ok, %.4fs)" % self.seconds
+        return "Outcome(%s, %.4fs)" % (self.error.kind, self.seconds)
+
+
+class SessionExecutor:
+    """A thread pool with bounded admission and per-query deadlines."""
+
+    def __init__(
+        self,
+        workers: int = 4,
+        queue_depth: int = 16,
+        default_timeout: Optional[float] = 30.0,
+        metrics: Any = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("need at least one worker, got %d" % workers)
+        if queue_depth < 0:
+            raise ValueError("queue depth cannot be negative, got %d" % queue_depth)
+        self.workers = workers
+        self.queue_depth = queue_depth
+        self.default_timeout = default_timeout
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-service"
+        )
+        self._slots = threading.Semaphore(workers + queue_depth)
+        metrics = metrics if metrics is not None else get_metrics()
+        self._ok = metrics.counter("service.execute.ok")
+        self._runtime_errors = metrics.counter("service.execute.runtime_error")
+        self._timeouts = metrics.counter("service.execute.timeout")
+        self._rejected = metrics.counter("service.execute.rejected")
+        self._latency = metrics.histogram("service.execute.latency_ms")
+        self._closed = False
+
+    def submit(self, fn: Callable[[], Any], timeout: Optional[float] = None) -> Outcome:
+        """Run ``fn()`` on the pool; block until a result or the deadline.
+
+        Never raises: all failure modes come back as :class:`Outcome`
+        errors (``overloaded``, ``timeout``, ``runtime_error`` — or any
+        :class:`ServiceError` the callable itself raises, passed through
+        with its own kind, e.g. ``bad_request`` for an unbound parameter).
+        """
+        if timeout is None:
+            timeout = self.default_timeout
+        if self._closed:
+            return Outcome(error=Overloaded("service is shut down"))
+        if not self._slots.acquire(blocking=False):
+            self._rejected.inc()
+            return Outcome(
+                error=Overloaded(
+                    "admission queue full (%d running + %d queued)"
+                    % (self.workers, self.queue_depth)
+                )
+            )
+
+        def run() -> Any:
+            try:
+                return fn()
+            finally:
+                self._slots.release()
+
+        start = time.perf_counter()
+        future = self._pool.submit(run)
+        try:
+            value = future.result(timeout=timeout)
+        except FutureTimeout:
+            elapsed = time.perf_counter() - start
+            self._timeouts.inc()
+            future.cancel()  # a no-op once running; reclaims queued-only work
+            return Outcome(
+                error=QueryTimeout("query exceeded %.3fs deadline" % timeout),
+                seconds=elapsed,
+            )
+        except ServiceError as exc:
+            elapsed = time.perf_counter() - start
+            if isinstance(exc, RuntimeQueryError):
+                self._runtime_errors.inc()
+            return Outcome(error=exc, seconds=elapsed)
+        except Exception as exc:  # noqa: BLE001 - the serving loop must survive
+            elapsed = time.perf_counter() - start
+            self._runtime_errors.inc()
+            return Outcome(
+                error=RuntimeQueryError("%s: %s" % (type(exc).__name__, exc)),
+                seconds=elapsed,
+            )
+        elapsed = time.perf_counter() - start
+        self._ok.inc()
+        self._latency.record(elapsed * 1e3)
+        return Outcome(value=value, seconds=elapsed)
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._closed = True
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "SessionExecutor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()

@@ -1,0 +1,109 @@
+"""Structural plan-cache keys.
+
+The plan cache must hit whenever two query texts *parse to the same
+AST*: formatting, keyword case, comments, and redundant parentheses all
+vanish at the parse boundary, so ``SELECT a FROM t`` and ``select  a
+from t -- hi`` share one compiled plan.  The key is a SHA-256 over a
+canonical serialisation of the frontend AST, prefixed with the source
+language (the same tree means different things to different frontends).
+
+Soundness is the property that matters (and is property-tested): equal
+keys ⇒ equal ASTs ⇒ the compiled plan computes the same function.  The
+serialisation therefore writes, for every node, its concrete type name
+plus every child in a fixed field order, with type-tagged atoms (so
+``1`` ≠ ``1.0`` ≠ ``"1"``) and explicit begin/end framing (so sibling
+lists of different shape cannot collide).
+
+The walker understands every AST family in the repo: the SQL/OQL node
+kit (``_fields``), NRAλ nodes and operator payloads (``__slots__``),
+and data-model values appearing as literals (bags, records, dates).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, List
+
+from repro.data.foreign import DateValue
+from repro.data.model import Bag, Record
+
+
+def _walk(obj: Any, out: List[str]) -> None:
+    if obj is None:
+        out.append("N;")
+    elif obj is True or obj is False:
+        out.append("B%d;" % obj)
+    elif isinstance(obj, int):
+        out.append("I%d;" % obj)
+    elif isinstance(obj, float):
+        out.append("F%r;" % obj)
+    elif isinstance(obj, str):
+        out.append("S%d:%s;" % (len(obj), obj))
+    elif isinstance(obj, DateValue):
+        out.append("D%s;" % obj.isoformat())
+    elif isinstance(obj, Bag):
+        out.append("b(")
+        for item in obj.items:
+            _walk(item, out)
+        out.append(")")
+    elif isinstance(obj, Record):
+        out.append("r(")
+        for field, value in obj.fields:
+            _walk(field, out)
+            _walk(value, out)
+        out.append(")")
+    elif isinstance(obj, (list, tuple)):
+        out.append("l(")
+        for item in obj:
+            _walk(item, out)
+        out.append(")")
+    elif isinstance(obj, dict):
+        out.append("d(")
+        for key in sorted(obj):
+            _walk(key, out)
+            _walk(obj[key], out)
+        out.append(")")
+    elif hasattr(obj, "_fields"):  # the SQL/OQL node kit
+        out.append("n%s(" % type(obj).__name__)
+        for field in obj._fields:
+            _walk(getattr(obj, field), out)
+        out.append(")")
+    elif hasattr(obj, "_params"):  # operator payloads (UnaryOp/BinaryOp)
+        out.append("p%s(" % type(obj).__name__)
+        _walk(obj._params(), out)
+        out.append(")")
+    elif hasattr(obj, "__slots__"):  # NRAλ nodes, Lambda
+        out.append("o%s(" % type(obj).__name__)
+        for slot in _all_slots(type(obj)):
+            _walk(getattr(obj, slot), out)
+        out.append(")")
+    else:
+        # Last resort: the type plus its repr.  Deterministic for the
+        # payload types the frontends produce today.
+        out.append("x%s:%r;" % (type(obj).__name__, obj))
+
+
+def _all_slots(cls: type) -> List[str]:
+    slots: List[str] = []
+    for base in reversed(cls.__mro__):
+        declared = base.__dict__.get("__slots__", ())
+        if isinstance(declared, str):
+            declared = (declared,)
+        slots.extend(s for s in declared if s not in slots)
+    return slots
+
+
+def ast_fingerprint(node: Any) -> str:
+    """A canonical serialisation of a frontend AST (human-inspectable)."""
+    out: List[str] = []
+    _walk(node, out)
+    return "".join(out)
+
+
+def plan_key(language: str, node: Any) -> str:
+    """The cache key: SHA-256 of language + canonical AST serialisation."""
+    digest = hashlib.sha256()
+    digest.update(language.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(ast_fingerprint(node).encode("utf-8"))
+    return digest.hexdigest()

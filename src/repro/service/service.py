@@ -1,0 +1,284 @@
+"""``QueryService``: the long-lived serving layer over the compiler.
+
+Owns the three persistent pieces a one-shot ``compile_sql`` call cannot
+amortize — a :class:`~repro.service.catalog.Catalog` of registered
+datasets, a :class:`~repro.service.cache.PlanCache` of compiled plans
+keyed on structural AST hashes, and a
+:class:`~repro.service.executor.SessionExecutor` that runs prepared
+queries with deadlines and admission control.
+
+Programmatic use::
+
+    from repro.service import QueryService
+
+    svc = QueryService()
+    svc.register_table("people", [{"name": "ann", "age": 40}])
+    q = svc.prepare("sql", "select name from people where age > $min")
+    outcome = svc.execute(q.handle, params={"min": 30})
+    assert outcome.ok
+
+Wire use: :meth:`handle_request` maps one JSON-decodable request dict to
+one response dict, and :meth:`serve` runs the stdin/stdout JSON-lines
+loop behind ``repro serve`` (see DESIGN.md for the protocol).  Neither
+ever raises on bad input — every failure becomes a structured error
+response so one poisoned request cannot kill the loop.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+from typing import Any, Dict, IO, Iterable, List, Optional
+
+from repro.data import json_io
+from repro.data.model import DataError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import get_tracer
+from repro.service.cache import PlanCache
+from repro.service.catalog import Catalog
+from repro.service.errors import BadRequest, ServiceError
+from repro.service.executor import Outcome, SessionExecutor
+from repro.service.plan_key import plan_key
+from repro.service.prepared import PreparedQuery, compile_plan, parse_query
+
+
+class QueryService:
+    """The serving facade: catalog + plan cache + session executor."""
+
+    def __init__(
+        self,
+        cache_capacity: int = 128,
+        workers: int = 4,
+        queue_depth: int = 16,
+        default_timeout: Optional[float] = 30.0,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.catalog = Catalog()
+        self.cache = PlanCache(cache_capacity, metrics=self.metrics)
+        self.executor = SessionExecutor(
+            workers=workers,
+            queue_depth=queue_depth,
+            default_timeout=default_timeout,
+            metrics=self.metrics,
+        )
+        self._prepared: Dict[str, PreparedQuery] = {}
+        self._handles = itertools.count(1)
+        self._lock = threading.Lock()
+        self._compile_seconds = self.metrics.histogram("service.compile_ms")
+
+    # -- catalog ----------------------------------------------------------
+
+    def register_table(self, name: str, rows: Any, schema: Optional[Iterable[str]] = None):
+        return self.catalog.register_table(name, rows, schema)
+
+    def load_json(self, path: str):
+        return self.catalog.load_json(path)
+
+    # -- prepare / execute ------------------------------------------------
+
+    def prepare(self, language: str, text: str) -> PreparedQuery:
+        """Compile ``text`` once (or reuse a cached plan) and hand out a handle.
+
+        Raises :class:`~repro.service.errors.CompileError` on bad queries;
+        the wire layer turns that into a structured response.
+        """
+        tracer = get_tracer()
+        with tracer.span("service.prepare", category="service", language=language):
+            ast = parse_query(language, text)
+            key = plan_key(language, ast)
+            plan = self.cache.get(key)
+            cached = plan is not None
+            if plan is None:
+                plan = compile_plan(language, ast, key=key)
+                self._compile_seconds.record(plan.compile_seconds * 1e3)
+                self.cache.put(key, plan)
+            handle = "q%d" % next(self._handles)
+            prepared = PreparedQuery(handle, language, text, plan, cached)
+            with self._lock:
+                self._prepared[handle] = prepared
+            return prepared
+
+    def prepared(self, handle: str) -> PreparedQuery:
+        try:
+            return self._prepared[handle]
+        except KeyError:
+            raise BadRequest("unknown prepared-query handle %r" % (handle,))
+
+    def close_prepared(self, handle: str) -> None:
+        with self._lock:
+            if self._prepared.pop(handle, None) is None:
+                raise BadRequest("unknown prepared-query handle %r" % (handle,))
+
+    def execute(
+        self,
+        handle: str,
+        params: Optional[Dict[str, Any]] = None,
+        timeout: Optional[float] = None,
+    ) -> Outcome:
+        """Run a prepared query on the executor; never raises."""
+        try:
+            prepared = self.prepared(handle)
+        except ServiceError as exc:
+            return Outcome(error=exc)
+        constants = self.catalog.constants()
+        plan = prepared.plan
+        outcome = self.executor.submit(
+            lambda: plan.execute(constants, params), timeout=timeout
+        )
+        if outcome.ok:
+            prepared.executions += 1
+        return outcome
+
+    def query(
+        self,
+        language: str,
+        text: str,
+        params: Optional[Dict[str, Any]] = None,
+        timeout: Optional[float] = None,
+    ) -> Outcome:
+        """One-shot prepare + execute (still plan-cached); never raises."""
+        try:
+            prepared = self.prepare(language, text)
+        except ServiceError as exc:
+            return Outcome(error=exc)
+        try:
+            return self.execute(prepared.handle, params=params, timeout=timeout)
+        finally:
+            # One-shot handles must not accumulate for the service's lifetime.
+            self._prepared.pop(prepared.handle, None)
+
+    # -- introspection ----------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "tables": self.catalog.describe(),
+            "prepared": len(self._prepared),
+            "plan_cache": self.cache.stats(),
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def close(self, wait: bool = True) -> None:
+        self.executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- the JSON-lines wire protocol ------------------------------------
+
+    def handle_request(self, request: Any) -> Dict[str, Any]:
+        """Map one decoded request to one response dict (never raises)."""
+        try:
+            return self._dispatch(request)
+        except ServiceError as exc:
+            return {"ok": False, "error": exc.to_payload()}
+        except Exception as exc:  # noqa: BLE001 - the loop must survive
+            return {
+                "ok": False,
+                "error": {
+                    "kind": "internal_error",
+                    "message": "%s: %s" % (type(exc).__name__, exc),
+                },
+            }
+
+    def _dispatch(self, request: Any) -> Dict[str, Any]:
+        if not isinstance(request, dict):
+            raise BadRequest("request must be a JSON object")
+        op = request.get("op")
+        if op == "register":
+            info = self.register_table(
+                self._field(request, "table"),
+                request.get("rows", []),
+                request.get("schema"),
+            )
+            return {"ok": True, "table": info.describe()}
+        if op == "load":
+            tables = self.load_json(self._field(request, "path"))
+            return {"ok": True, "tables": [t.describe() for t in tables]}
+        if op == "prepare":
+            prepared = self.prepare(
+                request.get("language", "sql"), self._field(request, "query")
+            )
+            return {"ok": True, **prepared.describe()}
+        if op == "execute":
+            outcome = self.execute(
+                self._field(request, "handle"),
+                params=request.get("params"),
+                timeout=request.get("timeout"),
+            )
+            return self._outcome_response(outcome)
+        if op == "query":
+            outcome = self.query(
+                request.get("language", "sql"),
+                self._field(request, "query"),
+                params=request.get("params"),
+                timeout=request.get("timeout"),
+            )
+            return self._outcome_response(outcome)
+        if op == "close":
+            self.close_prepared(self._field(request, "handle"))
+            return {"ok": True}
+        if op == "stats":
+            return {"ok": True, "stats": self.stats()}
+        raise BadRequest("unknown op %r" % (op,))
+
+    @staticmethod
+    def _field(request: Dict[str, Any], name: str) -> Any:
+        try:
+            return request[name]
+        except KeyError:
+            raise BadRequest("request is missing field %r" % (name,))
+
+    @staticmethod
+    def _outcome_response(outcome: Outcome) -> Dict[str, Any]:
+        if not outcome.ok:
+            return {
+                "ok": False,
+                "error": outcome.error.to_payload(),
+                "seconds": outcome.seconds,
+            }
+        try:
+            result = json_io.to_jsonable(outcome.value)
+        except DataError as exc:
+            return {
+                "ok": False,
+                "error": {"kind": "internal_error", "message": str(exc)},
+                "seconds": outcome.seconds,
+            }
+        return {"ok": True, "result": result, "seconds": outcome.seconds}
+
+    def serve(self, input_stream: IO[str], output_stream: IO[str]) -> int:
+        """The ``repro serve`` loop: one JSON request per line, one JSON
+        response per line.  EOF or ``{"op": "shutdown"}`` ends the loop;
+        malformed lines produce structured errors and the loop continues.
+        """
+        served = 0
+        for line in input_stream:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line)
+            except ValueError as exc:
+                response: Dict[str, Any] = {
+                    "ok": False,
+                    "error": {"kind": "bad_request", "message": "malformed JSON: %s" % exc},
+                }
+            else:
+                if isinstance(request, dict) and request.get("op") == "shutdown":
+                    print(json.dumps({"ok": True, "served": served}), file=output_stream)
+                    output_stream.flush()
+                    break
+                response = self.handle_request(request)
+                served += 1
+            print(json.dumps(response), file=output_stream)
+            output_stream.flush()
+        self.close(wait=False)
+        return 0
+
+
+__all__ = ["QueryService"]

@@ -77,6 +77,21 @@ class Literal(SqlNode):
         self.value = value
 
 
+class Param(SqlNode):
+    """A named query parameter: ``$name``, bound at execution time.
+
+    Parameters compile to constant-environment accesses (the key is the
+    ``$``-prefixed name, which no table can shadow), so a prepared query
+    is compiled once and executed many times with different bindings —
+    see :mod:`repro.service`.
+    """
+
+    _fields = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+
 class Interval(SqlNode):
     """``interval 'n' day|month|year`` (normalised to days for day/…)."""
 

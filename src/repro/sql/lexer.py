@@ -10,7 +10,7 @@ class SqlSyntaxError(ValueError):
 
 
 class Token(NamedTuple):
-    kind: str  # "ident" | "number" | "string" | "symbol" | "end"
+    kind: str  # "ident" | "number" | "string" | "symbol" | "param" | "end"
     value: str
     position: int
 
@@ -86,6 +86,15 @@ def tokenize(text: str) -> List[Token]:
             while j < length and (text[j].isalnum() or text[j] == "_"):
                 j += 1
             tokens.append(Token("ident", text[i:j].lower(), i))
+            i = j
+            continue
+        if ch == "$":
+            j = i + 1
+            while j < length and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            if j == i + 1:
+                raise SqlSyntaxError("expected parameter name after '$' at %d" % i)
+            tokens.append(Token("param", text[i + 1 : j].lower(), i))
             i = j
             continue
         for symbol in _SYMBOLS:

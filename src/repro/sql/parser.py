@@ -323,6 +323,9 @@ def _parse_primary(stream: TokenStream) -> ast.SqlNode:
     if token.kind == "string":
         stream.next()
         return ast.Literal(token.value)
+    if token.kind == "param":
+        stream.next()
+        return ast.Param(token.value)
     if stream.accept_symbol("("):
         if stream.at_keyword("select", "with"):
             query = _parse_query(stream)

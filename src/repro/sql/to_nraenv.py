@@ -44,6 +44,8 @@ REL_PREFIX = "__rel_"
 ALIAS_PREFIX = "__t_"
 #: Output-field prefix for ORDER BY keys that are not output columns.
 SORT_PREFIX = "__sort_"
+#: Constant-environment prefix for ``$name`` query parameters.
+PARAM_PREFIX = "$"
 
 
 class SqlTranslationError(ValueError):
@@ -384,6 +386,11 @@ def _compile_expr(
     """Compile an expression to a plan reading the environment only."""
     if isinstance(expr, sql.Literal):
         return b.const(expr.value)
+    if isinstance(expr, sql.Param):
+        # Parameters live in the constant environment under their
+        # "$"-prefixed name ("$" is not an identifier character, so no
+        # table can collide); the binding happens at execution time.
+        return b.table(PARAM_PREFIX + expr.name)
     if isinstance(expr, sql.Interval):
         raise SqlTranslationError("interval literal outside date arithmetic")
     if isinstance(expr, sql.Column):

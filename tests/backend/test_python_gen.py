@@ -1,6 +1,7 @@
 """Tests for the Python backend: generated code ≡ NNRC interpreter."""
 
 import random
+import re
 
 import pytest
 from hypothesis import given, settings
@@ -89,7 +90,7 @@ class TestBasics:
 
     def test_source_attached(self):
         fn = compile_nnrc_to_callable(ast.Const(1), name="myquery")
-        assert "def myquery(" in fn.__source__
+        assert re.search(r"def myquery\S*\(", fn.__source__)
 
 
 def _representative_ops():
@@ -161,3 +162,43 @@ class TestEndToEndPipelines:
         expected = REFERENCES["q6"](tpch_db)
         assert len(rows) == 1
         assert rows.items[0]["revenue"] == pytest.approx(expected[0]["revenue"])
+
+
+class TestCompilationIsolation:
+    """Many compilations in one process must never collide (PR 3)."""
+
+    def test_unique_function_names_and_filenames(self):
+        expr = ast.Const(1)
+        a = compile_nnrc_to_callable(expr, name="query")
+        b = compile_nnrc_to_callable(expr, name="query")
+        assert a.__name__ != b.__name__
+        assert a.__code__.co_filename != b.__code__.co_filename
+        assert a({}) == b({}) == 1
+
+    def test_traceback_shows_generated_source(self):
+        import traceback
+
+        expr = ast.Unop(OpDot("missing"), ast.Const(rec(a=1)))
+        fn = compile_nnrc_to_callable(expr, name="boom")
+        try:
+            fn({})
+        except Exception:
+            rendered = "".join(traceback.format_exc())
+        else:  # pragma: no cover - the query must fail
+            raise AssertionError("expected a runtime error")
+        assert "<nnrc:boom#" in rendered
+        assert "_rt.dot" in rendered
+
+    def test_hundred_distinct_queries_concurrently(self):
+        """Compile and run 100 distinct queries across threads; each callable
+        must keep computing its own query's answer."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        def build_and_check(i):
+            expr = ast.Binop(OpAdd(), ast.Const(i), ast.Const(1000))
+            fn = compile_nnrc_to_callable(expr, name="q")
+            return all(fn({}) == i + 1000 for _ in range(5))
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(build_and_check, range(100)))
+        assert all(results)

@@ -81,10 +81,38 @@ class TestCompile:
     def test_bad_data_shape(self, tmp_path):
         data = tmp_path / "db.json"
         data.write_text("[1, 2]")
-        with pytest.raises(SystemExit):
-            run_cli(
-                ["compile", "--query", "select a from t", "--run", "--data", str(data)]
-            )
+        code, output = run_cli(
+            ["compile", "--query", "select a from t", "--run", "--data", str(data)]
+        )
+        assert code == 2
+        assert "must be a JSON object" in output
+
+    def test_missing_data_file_one_line_error(self):
+        code, output = run_cli(
+            [
+                "compile",
+                "--query",
+                "select a from t",
+                "--run",
+                "--data",
+                "/no/such/file.json",
+            ]
+        )
+        assert code == 2
+        error_lines = [l for l in output.splitlines() if l.startswith("repro:")]
+        assert len(error_lines) == 1
+        assert "cannot read --data file" in error_lines[0]
+        assert "Traceback" not in output
+
+    def test_malformed_data_file_one_line_error(self, tmp_path):
+        data = tmp_path / "bad.json"
+        data.write_text("{oops")
+        code, output = run_cli(
+            ["compile", "--query", "select a from t", "--run", "--data", str(data)]
+        )
+        assert code == 2
+        assert "malformed JSON in --data file" in output
+        assert "Traceback" not in output
 
 
 class TestTpch:
@@ -232,3 +260,58 @@ class TestExplain:
             document = json.load(handle)
         names = {e["name"] for e in document["traceEvents"]}
         assert "optimize" in names
+
+
+class TestServe:
+    def run_serve(self, monkeypatch, lines, extra_args=()):
+        import sys
+
+        monkeypatch.setattr(sys, "stdin", io.StringIO("\n".join(lines) + "\n"))
+        code, output = run_cli(["serve", *extra_args])
+        return code, [json.loads(l) for l in output.splitlines() if l.startswith("{")]
+
+    def test_register_prepare_execute(self, monkeypatch):
+        code, responses = self.run_serve(
+            monkeypatch,
+            [
+                json.dumps({"op": "register", "table": "t", "rows": [{"a": 1}, {"a": 5}]}),
+                json.dumps({"op": "prepare", "query": "select a from t where a > $x"}),
+                json.dumps({"op": "execute", "handle": "q1", "params": {"x": 2}}),
+                json.dumps({"op": "shutdown"}),
+            ],
+        )
+        assert code == 0
+        assert responses[0]["ok"] and responses[1]["ok"]
+        assert responses[2]["result"] == [{"a": 5}]
+
+    def test_preload_data(self, monkeypatch, tmp_path):
+        db = tmp_path / "db.json"
+        db.write_text(json.dumps({"t": [{"a": 7}]}))
+        code, responses = self.run_serve(
+            monkeypatch,
+            [json.dumps({"op": "query", "query": "select a from t"})],
+            extra_args=["--data", str(db)],
+        )
+        assert code == 0
+        assert responses[0]["result"] == [{"a": 7}]
+
+    def test_bad_preload_file_exits_2(self, monkeypatch):
+        import sys
+
+        monkeypatch.setattr(sys, "stdin", io.StringIO(""))
+        code, output = run_cli(["serve", "--data", "/no/such.json"])
+        assert code == 2
+        assert "cannot read" in output
+
+    def test_errors_do_not_kill_loop(self, monkeypatch):
+        code, responses = self.run_serve(
+            monkeypatch,
+            [
+                "not json",
+                json.dumps({"op": "query", "query": "selec oops"}),
+                json.dumps({"op": "query", "query": "select a from t"}),
+            ],
+        )
+        assert code == 0
+        kinds = [r.get("error", {}).get("kind") for r in responses]
+        assert kinds == ["bad_request", "compile_error", "runtime_error"]

@@ -1,0 +1,54 @@
+"""PlanCache: LRU behavior and metrics counters."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service import PlanCache
+
+
+def test_hit_miss_counters():
+    metrics = MetricsRegistry()
+    cache = PlanCache(capacity=4, metrics=metrics)
+    assert cache.get("k") is None
+    cache.put("k", "plan")
+    assert cache.get("k") == "plan"
+    counters = metrics.snapshot()["counters"]
+    assert counters["service.plan_cache.hits"] == 1
+    assert counters["service.plan_cache.misses"] == 1
+    assert counters["service.plan_cache.evictions"] == 0
+
+
+def test_lru_eviction_order():
+    metrics = MetricsRegistry()
+    cache = PlanCache(capacity=2, metrics=metrics)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1  # refresh a: b is now least-recent
+    cache.put("c", 3)
+    assert "b" not in cache
+    assert cache.get("a") == 1 and cache.get("c") == 3
+    assert metrics.snapshot()["counters"]["service.plan_cache.evictions"] == 1
+    assert metrics.snapshot()["gauges"]["service.plan_cache.size"] == 2
+
+
+def test_put_existing_key_updates_without_eviction():
+    cache = PlanCache(capacity=2, metrics=MetricsRegistry())
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.put("a", 10)
+    assert len(cache) == 2
+    assert cache.get("a") == 10
+
+
+def test_capacity_validated():
+    with pytest.raises(ValueError):
+        PlanCache(capacity=0, metrics=MetricsRegistry())
+
+
+def test_stats_shape():
+    cache = PlanCache(capacity=3, metrics=MetricsRegistry())
+    cache.put("a", 1)
+    cache.get("a")
+    cache.get("zz")
+    stats = cache.stats()
+    assert stats == {"capacity": 3, "size": 1, "hits": 1, "misses": 1, "evictions": 0}

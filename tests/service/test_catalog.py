@@ -1,0 +1,81 @@
+"""Catalog: registration, schemas, JSON ingestion, snapshots."""
+
+import pytest
+
+from repro.data.model import Bag, bag, rec
+from repro.service import Catalog, CatalogError
+
+
+class TestRegistration:
+    def test_register_plain_rows(self):
+        catalog = Catalog()
+        info = catalog.register_table("t", [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}])
+        assert info.columns == ("a", "b")
+        assert len(catalog.constants()["t"].items) == 2
+
+    def test_register_bag(self):
+        catalog = Catalog()
+        info = catalog.register_table("t", bag(rec(a=1), rec(a=2, c=3)))
+        assert info.columns == ("a", "c")
+
+    def test_declared_schema_validates(self):
+        catalog = Catalog()
+        catalog.register_table("ok", [{"a": 1}], schema=["a", "b"])
+        with pytest.raises(CatalogError, match="outside the declared schema"):
+            catalog.register_table("bad", [{"a": 1, "z": 2}], schema=["a"])
+
+    def test_non_record_rows_rejected(self):
+        catalog = Catalog()
+        with pytest.raises(CatalogError, match="records"):
+            catalog.register_table("t", [1, 2, 3])
+
+    def test_dollar_names_reserved_for_params(self):
+        with pytest.raises(CatalogError, match="invalid table name"):
+            Catalog().register_table("$t", [])
+
+    def test_replace_and_drop(self):
+        catalog = Catalog()
+        catalog.register_table("t", [{"a": 1}])
+        catalog.register_table("t", [{"a": 1}, {"a": 2}])
+        assert len(catalog.table("t").rows.items) == 2
+        catalog.drop_table("t")
+        assert "t" not in catalog
+        with pytest.raises(CatalogError):
+            catalog.drop_table("t")
+
+    def test_constants_snapshot_is_stable(self):
+        """A snapshot taken before a registration must not change."""
+        catalog = Catalog()
+        catalog.register_table("t", [{"a": 1}])
+        snapshot = catalog.constants()
+        catalog.register_table("u", [{"b": 2}])
+        assert "u" not in snapshot
+        assert "u" in catalog.constants()
+
+
+class TestJsonIngestion:
+    def test_load_json_file(self, tmp_path):
+        path = tmp_path / "db.json"
+        path.write_text('{"t": [{"a": 1}], "u": [{"d": {"$date": "1995-06-01"}}]}')
+        catalog = Catalog()
+        tables = catalog.load_json(str(path))
+        assert sorted(t.name for t in tables) == ["t", "u"]
+        from repro.data.foreign import DateValue
+
+        assert catalog.table("u").rows.items[0]["d"] == DateValue(1995, 6, 1)
+
+    def test_missing_file(self):
+        with pytest.raises(CatalogError, match="cannot read"):
+            Catalog().load_json("/no/such/file.json")
+
+    def test_malformed_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(CatalogError, match="malformed JSON"):
+            Catalog().load_json(str(path))
+
+    def test_non_object_payload(self, tmp_path):
+        path = tmp_path / "arr.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(CatalogError, match="JSON object"):
+            Catalog().load_json(str(path))

@@ -1,0 +1,83 @@
+"""SessionExecutor: structured outcomes for every failure mode."""
+
+import threading
+import time
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service import BadRequest, SessionExecutor
+
+
+def test_ok_outcome_and_latency_metric():
+    metrics = MetricsRegistry()
+    with SessionExecutor(workers=2, metrics=metrics) as executor:
+        outcome = executor.submit(lambda: 41 + 1)
+    assert outcome.ok and outcome.value == 42
+    snapshot = metrics.snapshot()
+    assert snapshot["counters"]["service.execute.ok"] == 1
+    assert snapshot["histograms"]["service.execute.latency_ms"]["count"] == 1
+
+
+def test_runtime_error_is_structured():
+    metrics = MetricsRegistry()
+    with SessionExecutor(workers=1, metrics=metrics) as executor:
+        outcome = executor.submit(lambda: 1 // 0)
+    assert not outcome.ok
+    assert outcome.error.kind == "runtime_error"
+    assert "ZeroDivisionError" in str(outcome.error)
+    assert metrics.snapshot()["counters"]["service.execute.runtime_error"] == 1
+
+
+def test_service_errors_pass_through_with_their_kind():
+    def raise_bad():
+        raise BadRequest("unbound parameters: $x")
+
+    with SessionExecutor(workers=1, metrics=MetricsRegistry()) as executor:
+        outcome = executor.submit(raise_bad)
+    assert outcome.error.kind == "bad_request"
+
+
+def test_timeout_is_structured_and_does_not_block_caller():
+    metrics = MetricsRegistry()
+    release = threading.Event()
+    executor = SessionExecutor(workers=1, metrics=metrics)
+    try:
+        start = time.perf_counter()
+        outcome = executor.submit(lambda: release.wait(5), timeout=0.05)
+        waited = time.perf_counter() - start
+        assert not outcome.ok and outcome.error.kind == "timeout"
+        assert waited < 2.0
+        assert metrics.snapshot()["counters"]["service.execute.timeout"] == 1
+    finally:
+        release.set()
+        executor.shutdown()
+
+
+def test_admission_queue_rejects_when_full():
+    metrics = MetricsRegistry()
+    gate = threading.Event()
+    executor = SessionExecutor(workers=1, queue_depth=0, metrics=metrics)
+    try:
+        results = []
+        thread = threading.Thread(
+            target=lambda: results.append(executor.submit(lambda: gate.wait(5)))
+        )
+        thread.start()
+        time.sleep(0.05)  # let the first request occupy the only slot
+        rejected = executor.submit(lambda: 1, timeout=1)
+        assert rejected.error is not None and rejected.error.kind == "overloaded"
+        assert metrics.snapshot()["counters"]["service.execute.rejected"] == 1
+        gate.set()
+        thread.join()
+        assert results[0].ok
+        # the slot is reclaimed once the worker finishes
+        assert executor.submit(lambda: 7).value == 7
+    finally:
+        gate.set()
+        executor.shutdown()
+
+
+def test_shutdown_rejects_new_work():
+    executor = SessionExecutor(workers=1, metrics=MetricsRegistry())
+    executor.shutdown()
+    outcome = executor.submit(lambda: 1)
+    assert outcome.error is not None and outcome.error.kind == "overloaded"

@@ -1,0 +1,195 @@
+"""Plan-cache keys: structural equality ⇒ equal keys ⇒ equal results.
+
+The hypothesis properties generate random WHERE-clause expression trees,
+render each tree with randomized formatting (keyword case, whitespace,
+comments, redundant parentheses), and check the two soundness directions
+the cache relies on:
+
+1. the same tree always hashes to the same key, however it is written;
+2. whenever two independently drawn queries get the same key, their
+   compiled plans compute the same function on random data.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backend.python_gen import compile_nnrc_to_callable
+from repro.compiler.pipeline import compile_parsed, parse_source
+from repro.data.model import Bag, rec
+from repro.service import ast_fingerprint, plan_key
+from repro.service.prepared import collect_params
+
+
+def key_of(text, language="sql"):
+    return plan_key(language, parse_source(language, text))
+
+
+class TestUnitCases:
+    def test_formatting_is_invisible(self):
+        assert key_of("select a from t") == key_of(
+            "SELECT  a\nFROM t   -- trailing comment\n;"
+        )
+
+    def test_structure_is_visible(self):
+        baseline = key_of("select a from t")
+        assert baseline != key_of("select b from t")
+        assert baseline != key_of("select a from u")
+        assert baseline != key_of("select a from t where a > 1")
+
+    def test_literal_types_distinguished(self):
+        assert key_of("select a from t where a > 1") != key_of(
+            "select a from t where a > 1.0"
+        )
+        assert key_of("select a from t where a > 1") != key_of(
+            "select a from t where a > '1'"
+        )
+
+    def test_params_are_part_of_the_key(self):
+        assert key_of("select a from t where a > $x") != key_of(
+            "select a from t where a > $y"
+        )
+        assert key_of("select a from t where a > $x") != key_of(
+            "select a from t where a > 1"
+        )
+
+    def test_language_is_part_of_the_key(self):
+        sql = parse_source("sql", "select a from t")
+        assert plan_key("sql", sql) != plan_key("oql", sql)
+
+    def test_fingerprint_is_deterministic_text(self):
+        node = parse_source("sql", "select a, b from t where a between 1 and 2")
+        assert ast_fingerprint(node) == ast_fingerprint(
+            parse_source("sql", "SELECT a, b FROM t WHERE a BETWEEN 1 AND 2")
+        )
+
+    def test_other_languages_fingerprint(self):
+        assert key_of("select p.name from p in people", "oql") == key_of(
+            "SELECT p.name FROM p IN people", "oql"
+        )
+        assert key_of(r"map(\x -> x.a)(t)", "lnra") == key_of(
+            r"map( \x  ->  x.a )( t )", "lnra"
+        )
+
+
+# -- random expression trees -------------------------------------------------
+
+_ARITH_OPS = ["+", "*", "-"]
+_CMP_OPS = [">", "<", "=", ">=", "<="]
+_BOOL_OPS = ["and", "or"]
+
+arith = st.recursive(
+    st.one_of(
+        st.sampled_from([("col", "a"), ("col", "b")]),
+        st.integers(min_value=0, max_value=3).map(lambda n: ("int", n)),
+    ),
+    lambda children: st.tuples(
+        st.just("bin"), st.sampled_from(_ARITH_OPS), children, children
+    ),
+    max_leaves=4,
+)
+
+predicate = st.recursive(
+    st.tuples(st.just("cmp"), st.sampled_from(_CMP_OPS), arith, arith),
+    lambda children: st.tuples(
+        st.just("bool"), st.sampled_from(_BOOL_OPS), children, children
+    ),
+    max_leaves=3,
+)
+
+
+def render(tree, rng=None):
+    """Render an expression tree, optionally with noisy formatting."""
+
+    def pad(text):
+        if rng is None:
+            return text
+        return "%s%s%s" % (" " * rng.randrange(3), text, " " * rng.randrange(2))
+
+    def wrap(text):
+        if rng is not None and rng.random() < 0.4:
+            return "(%s)" % pad(text)
+        return text
+
+    def caseit(word):
+        if rng is not None and rng.random() < 0.5:
+            return word.upper()
+        return word
+
+    kind = tree[0]
+    if kind == "col":
+        return pad(tree[1])
+    if kind == "int":
+        return pad(str(tree[1]))
+    if kind == "bin":
+        # Always parenthesised, so `*`/`+` precedence cannot reassociate
+        # the canonical rendering away from the generated tree.
+        _, op, left, right = tree
+        return "(%s %s %s)" % (render(left, rng), op, render(right, rng))
+    if kind == "cmp":
+        _, op, left, right = tree
+        return wrap("%s %s %s" % (render(left, rng), op, render(right, rng)))
+    if kind == "bool":
+        _, op, left, right = tree
+        # 'and'/'or' binding: parenthesise both sides so the canonical and
+        # noisy renderings share one parse regardless of precedence.
+        return wrap(
+            "(%s) %s (%s)" % (render(left, rng), caseit(op), render(right, rng))
+        )
+    raise AssertionError(tree)
+
+
+def query_text(tree, rng=None):
+    head = "select a, b from t where" if rng is None else (
+        "%s a, b %s t %s" % (
+            "SELECT" if rng.random() < 0.5 else "select",
+            "FROM" if rng.random() < 0.5 else "from",
+            "WHERE" if rng.random() < 0.5 else "where",
+        )
+    )
+    text = "%s %s" % (head, render(tree, rng))
+    if rng is not None and rng.random() < 0.5:
+        text += "  -- noise %d" % rng.randrange(10)
+    return text
+
+
+def run_query(text, table):
+    result = compile_parsed("sql", parse_source("sql", text))
+    fn = compile_nnrc_to_callable(result.final)
+    return fn({"t": table})
+
+
+@given(predicate, st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=80, deadline=None)
+def test_formatting_never_changes_the_key(tree, seed):
+    rng = random.Random(seed)
+    canonical = query_text(tree)
+    noisy = query_text(tree, rng)
+    assert key_of(canonical) == key_of(noisy), (canonical, noisy)
+
+
+@given(
+    predicate,
+    predicate,
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3), st.integers(min_value=0, max_value=3)
+        ),
+        max_size=5,
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_equal_keys_imply_equal_results(tree1, tree2, rows):
+    """Cache-key soundness: a key collision must mean the plans agree."""
+    q1, q2 = query_text(tree1), query_text(tree2)
+    if key_of(q1) != key_of(q2):
+        return
+    table = Bag([rec(a=a, b=b) for a, b in rows])
+    assert run_query(q1, table) == run_query(q2, table), (q1, q2)
+
+
+def test_collect_params():
+    node = parse_source("sql", "select a from t where a > $lo and a < $hi")
+    assert collect_params(node) == ("hi", "lo")
+    assert collect_params(parse_source("sql", "select a from t")) == ()

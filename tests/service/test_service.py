@@ -1,0 +1,179 @@
+"""QueryService: the facade and the JSON-lines wire protocol.
+
+The acceptance-critical property: compile errors, runtime errors, and
+timeouts all come back as structured error responses, and the serving
+loop keeps answering afterwards.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.service import QueryService
+
+
+@pytest.fixture
+def service():
+    svc = QueryService(cache_capacity=8, workers=2, queue_depth=4, default_timeout=10.0)
+    svc.register_table(
+        "people",
+        [
+            {"name": "ann", "age": 40},
+            {"name": "bob", "age": 20},
+            {"name": "cyd", "age": 31},
+        ],
+    )
+    yield svc
+    svc.close(wait=False)
+
+
+class TestFacade:
+    def test_prepare_execute_repeatedly(self, service):
+        prepared = service.prepare("sql", "select name from people where age > $min")
+        for expected_min, names in ((25, ["ann", "cyd"]), (35, ["ann"])):
+            outcome = service.execute(prepared.handle, params={"min": expected_min})
+            assert outcome.ok
+            assert sorted(row["name"] for row in outcome.value.items) == names
+        assert service.prepared(prepared.handle).executions == 2
+
+    def test_structural_cache_hit(self, service):
+        first = service.prepare("sql", "select name from people")
+        second = service.prepare("sql", "SELECT  name\nFROM people  -- same plan")
+        assert not first.cached and second.cached
+        assert first.plan is second.plan
+        assert service.stats()["plan_cache"]["hits"] == 1
+
+    def test_lru_eviction_recompiles(self):
+        svc = QueryService(cache_capacity=1, workers=1)
+        try:
+            svc.register_table("t", [{"a": 1}])
+            svc.prepare("sql", "select a from t")
+            svc.prepare("sql", "select a from t where a > 0")  # evicts the first
+            again = svc.prepare("sql", "select a from t")
+            assert not again.cached
+            assert svc.stats()["plan_cache"]["evictions"] == 2
+        finally:
+            svc.close(wait=False)
+
+    def test_compile_error_outcome(self, service):
+        outcome = service.query("sql", "selec nonsense")
+        assert not outcome.ok and outcome.error.kind == "compile_error"
+
+    def test_runtime_error_outcome(self, service):
+        outcome = service.query("sql", "select a from no_such_table")
+        assert not outcome.ok and outcome.error.kind == "runtime_error"
+        assert "no_such_table" in str(outcome.error)
+
+    def test_timeout_outcome(self, service):
+        service.register_table("n", [{"i": i} for i in range(15)])
+        cross = "select a.i from n a, n b, n c, n d where a.i = 1"
+        outcome = service.query("sql", cross, timeout=0.02)
+        assert not outcome.ok and outcome.error.kind == "timeout"
+
+    def test_unknown_handle(self, service):
+        outcome = service.execute("q999")
+        assert not outcome.ok and outcome.error.kind == "bad_request"
+
+    def test_close_prepared(self, service):
+        prepared = service.prepare("sql", "select name from people")
+        service.close_prepared(prepared.handle)
+        assert not service.execute(prepared.handle).ok
+
+    def test_service_survives_all_error_classes(self, service):
+        """One facade instance keeps serving after every failure mode."""
+        service.query("sql", "selec nonsense")
+        service.query("sql", "select a from missing")
+        ok = service.query("sql", "select name from people where age > 30")
+        assert ok.ok and len(ok.value.items) == 2
+
+    def test_one_shot_handles_do_not_accumulate(self, service):
+        for _ in range(5):
+            assert service.query("sql", "select name from people").ok
+        assert service.stats()["prepared"] == 0
+
+
+class TestWireProtocol:
+    def run_lines(self, service, requests):
+        stdin = io.StringIO("\n".join(json.dumps(r) if isinstance(r, dict) else r for r in requests) + "\n")
+        stdout = io.StringIO()
+        code = service.serve(stdin, stdout)
+        assert code == 0
+        return [json.loads(line) for line in stdout.getvalue().splitlines()]
+
+    def test_full_session(self, service):
+        responses = self.run_lines(
+            service,
+            [
+                {"op": "register", "table": "t", "rows": [{"a": 1}, {"a": 5}]},
+                {"op": "prepare", "query": "select a from t where a > $x"},
+                {"op": "execute", "handle": "q1", "params": {"x": 2}},
+                {"op": "query", "query": "select a from t where a > 0"},
+                {"op": "stats"},
+                {"op": "shutdown"},
+            ],
+        )
+        register, prepare, execute, one_shot, stats, goodbye = responses
+        assert register["ok"] and register["table"]["columns"] == ["a"]
+        assert prepare["ok"] and prepare["params"] == ["x"]
+        assert execute["ok"] and execute["result"] == [{"a": 5}]
+        assert one_shot["ok"] and len(one_shot["result"]) == 2
+        assert stats["stats"]["plan_cache"]["misses"] == 2
+        assert goodbye["ok"] and goodbye["served"] == 5
+
+    def test_loop_survives_error_classes(self, service):
+        """Malformed JSON, compile errors, runtime errors, and timeouts are
+        answered in place and the loop keeps going."""
+        service.register_table("n", [{"i": i} for i in range(15)])
+        responses = self.run_lines(
+            service,
+            [
+                "this is not json",
+                {"op": "query", "query": "selec nonsense"},
+                {"op": "query", "query": "select a from missing"},
+                {
+                    "op": "query",
+                    "query": "select a.i from n a, n b, n c, n d where a.i = 1",
+                    "timeout": 0.02,
+                },
+                {"op": "execute", "handle": "q404"},
+                {"nonsense": True},
+                {"op": "query", "query": "select name from people where age = 20"},
+            ],
+        )
+        kinds = [
+            r["error"]["kind"] if not r["ok"] else "ok" for r in responses
+        ]
+        assert kinds == [
+            "bad_request",       # malformed JSON
+            "compile_error",
+            "runtime_error",
+            "timeout",
+            "bad_request",       # unknown handle
+            "bad_request",       # missing op
+            "ok",                # ...and the loop still works
+        ]
+        assert responses[-1]["result"] == [{"name": "bob"}]
+
+    def test_missing_fields_reported(self, service):
+        responses = self.run_lines(service, [{"op": "prepare"}, {"op": "register"}])
+        assert all(not r["ok"] and r["error"]["kind"] == "bad_request" for r in responses)
+        assert "query" in responses[0]["error"]["message"]
+
+    def test_date_values_cross_the_wire(self, service):
+        responses = self.run_lines(
+            service,
+            [
+                {
+                    "op": "register",
+                    "table": "events",
+                    "rows": [{"d": {"$date": "1995-06-01"}}],
+                },
+                {
+                    "op": "query",
+                    "query": "select d from events where d > date '1995-01-01'",
+                },
+            ],
+        )
+        assert responses[1]["ok"]
+        assert responses[1]["result"] == [{"d": {"$date": "1995-06-01"}}]
