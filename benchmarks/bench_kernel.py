@@ -1,0 +1,165 @@
+"""Keyed-kernel bench: dict-based multiset ops vs the seed's naive loops.
+
+Every evaluator, the join engine, and the generated-code runtime now run
+bag operations through :mod:`repro.data.kernel`, which keys each bag
+once (a cached tuple of canonical keys plus a ``Counter`` index) and
+does ``minus``/``intersection``/``distinct``/``contains``/equality as
+dict work — O(n+m) where the seed's per-element ``values_equal`` loops
+were O(n·m).  This bench times the kernel against those original loops,
+preserved verbatim in :mod:`tests.kernel_oracles`, on bags of records
+with realistic key duplication (~20 rows per distinct key) so the
+quadratic oracle finishes in CI.
+
+The quick mode is wired into the CI bench-smoke job with a *hard*
+threshold: at n = 10,000 the kernel must be at least 10x faster than
+the oracle on ``distinct`` and ``minus``, or the job fails.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py
+    PYTHONPATH=src python benchmarks/bench_kernel.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from repro.data.model import Bag, rec
+
+from tables import emit, format_table
+from tests.kernel_oracles import (
+    naive_contains,
+    naive_distinct,
+    naive_equal,
+    naive_minus,
+)
+from repro.data import kernel
+
+#: Hard floor for the CI smoke check (quick mode).
+REQUIRED_SPEEDUP = 10.0
+
+
+def make_bag(n: int, distinct: int, offset: int = 0) -> Bag:
+    """``n`` records over ``distinct`` distinct keys (nested payloads)."""
+    return Bag(
+        rec(k=(i % distinct) + offset, pay=rec(a=i % 7, b="row"))
+        for i in range(n)
+    )
+
+
+def timed(fn, *args) -> float:
+    start = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - start
+
+
+def bench_case(n: int):
+    """One size: (rows, case results).  Caches are rebuilt per run."""
+    distinct = max(1, n // 20)
+    cases = []
+
+    def run(label, kernel_fn, oracle_fn, make_args):
+        # fresh bags per side so neither run sees the other's caches
+        k_secs = timed(kernel_fn, *make_args())
+        o_secs = timed(oracle_fn, *make_args())
+        cases.append((label, o_secs, k_secs, o_secs / k_secs))
+
+    run(
+        "distinct",
+        kernel.distinct,
+        naive_distinct,
+        lambda: (make_bag(n, distinct),),
+    )
+    def minus_right():
+        # half the subtrahend misses entirely and the matching half sits
+        # at the *end*, so the naive scan walks the whole list per row —
+        # the generic case; aligned bags would let it match at index 0.
+        misses = make_bag(n // 20, distinct, offset=distinct)
+        hits = make_bag(n // 20, distinct)
+        return Bag(misses.items + hits.items)
+
+    run(
+        "minus",
+        kernel.minus,
+        naive_minus,
+        lambda: (make_bag(n, distinct), minus_right()),
+    )
+    run(
+        "intersection",
+        kernel.intersection,
+        lambda a, b: naive_minus(a, naive_minus(a, b)),
+        lambda: (make_bag(n, distinct), minus_right()),
+    )
+    run(
+        "equality",
+        kernel.multiset_equal,
+        naive_equal,
+        lambda: (make_bag(n, distinct), make_bag(n, distinct)),
+    )
+
+    def many_contains(bag_value, probes):
+        return [kernel.contains(bag_value, p) for p in probes]
+
+    def many_naive_contains(bag_value, probes):
+        return [naive_contains(bag_value, p) for p in probes]
+
+    # probes that miss: the naive scan reads the whole bag every time,
+    # the kernel answers each from the (once-built) key index
+    probes = [rec(k=i + distinct, pay=rec(a=i % 7, b="row")) for i in range(100)]
+    run(
+        "member x100",
+        many_contains,
+        many_naive_contains,
+        lambda: (make_bag(n, distinct), probes),
+    )
+    return cases
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="single 10k-row smoke run with a hard ≥%.0fx gate (CI)"
+        % REQUIRED_SPEEDUP,
+    )
+    args = parser.parse_args(argv)
+    sizes = [10_000] if args.quick else [1_000, 5_000, 10_000, 20_000]
+
+    failures = []
+    for n in sizes:
+        cases = bench_case(n)
+        emit(
+            "kernel_%d" % n,
+            format_table(
+                "Keyed kernel vs naive loops — %d rows" % n,
+                ["operation", "naive s", "kernel s", "speedup"],
+                [
+                    (label, o_secs, k_secs, "%.1fx" % speedup)
+                    for label, o_secs, k_secs, speedup in cases
+                ],
+            ),
+        )
+        if n == 10_000:
+            for label, _, _, speedup in cases:
+                if label in ("distinct", "minus") and speedup < REQUIRED_SPEEDUP:
+                    failures.append((label, speedup))
+
+    if failures:
+        for label, speedup in failures:
+            print(
+                "FAIL: kernel %s only %.1fx faster than the naive loop "
+                "(need >= %.0fx at 10k rows)" % (label, speedup, REQUIRED_SPEEDUP)
+            )
+        return 1
+    print("OK: kernel beats the naive loops >= %.0fx at 10k rows" % REQUIRED_SPEEDUP)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

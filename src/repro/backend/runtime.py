@@ -4,16 +4,68 @@
 implements core operations over the data model (e.g., record
 construction/access, collection operations such as flatten, distinct,
 etc.)" — this is that library for the Python backend.  Generated code
-calls these functions by name; they delegate to the single source of
-operator semantics in :mod:`repro.data.operators`.
+calls these functions by name; multiset operations go straight to the
+keyed kernel (:mod:`repro.data.kernel`) — the same one every evaluator
+runs on — and everything else delegates to pre-instantiated operators
+from :mod:`repro.data.operators`, so generated code allocates no
+operator objects per call.
 """
 
 from __future__ import annotations
 
 from typing import Any, Iterable, List, Sequence, Tuple
 
+from repro.data import kernel
 from repro.data import operators as ops
 from repro.data.model import Bag, DataError, Record
+
+
+def _bag_arg(value: Any, op: str) -> Bag:
+    if not isinstance(value, Bag):
+        raise DataError("%s expects a bag, got %r" % (op, value))
+    return value
+
+
+def _record_arg(value: Any, op: str) -> Record:
+    if not isinstance(value, Record):
+        raise DataError("%s expects a record, got %r" % (op, value))
+    return value
+
+
+# Parameterless operators are singletons here: generated code calls these
+# functions millions of times, so no per-call operator allocation.
+_FLATTEN = ops.OpFlatten()
+_NEG = ops.OpNeg()
+_COUNT = ops.OpCount()
+_SUM = ops.OpSum()
+_AVG = ops.OpAvg()
+_MIN = ops.OpMin()
+_MAX = ops.OpMax()
+_SINGLETON = ops.OpSingleton()
+_TOSTRING = ops.OpToString()
+_NUMNEG = ops.OpNumNeg()
+_DATE_YEAR = ops.OpDateYear()
+_DATE_MONTH = ops.OpDateMonth()
+_DATE_DAY = ops.OpDateDay()
+_EQ = ops.OpEq()
+_CONCAT = ops.OpConcat()
+_LT = ops.OpLt()
+_LE = ops.OpLe()
+_GT = ops.OpGt()
+_GE = ops.OpGe()
+_AND = ops.OpAnd()
+_OR = ops.OpOr()
+_ADD = ops.OpAdd()
+_SUB = ops.OpSub()
+_MULT = ops.OpMult()
+_DIV = ops.OpDiv()
+_STR_CONCAT = ops.OpStrConcat()
+_DATE_PLUS_DAYS = ops.OpDatePlusDays()
+_DATE_MINUS_DAYS = ops.OpDateMinusDays()
+_DATE_PLUS_MONTHS = ops.OpDatePlusMonths()
+_DATE_MINUS_MONTHS = ops.OpDateMinusMonths()
+_DATE_PLUS_YEARS = ops.OpDatePlusYears()
+_DATE_MINUS_YEARS = ops.OpDateMinusYears()
 
 
 #: Default value for the generated functions' environment parameter.
@@ -42,47 +94,47 @@ def coll(value: Any) -> Bag:
 
 
 def flatten(value: Any) -> Bag:
-    return ops.OpFlatten().apply(value)
+    return _FLATTEN.apply(value)
 
 
 def distinct(value: Any) -> Bag:
-    return ops.OpDistinct().apply(value)
+    return kernel.distinct(_bag_arg(value, "distinct"))
 
 
 def neg(value: Any) -> bool:
-    return ops.OpNeg().apply(value)
+    return _NEG.apply(value)
 
 
 def count(value: Any) -> int:
-    return ops.OpCount().apply(value)
+    return _COUNT.apply(value)
 
 
 def agg_sum(value: Any) -> Any:
-    return ops.OpSum().apply(value)
+    return _SUM.apply(value)
 
 
 def agg_avg(value: Any) -> Any:
-    return ops.OpAvg().apply(value)
+    return _AVG.apply(value)
 
 
 def agg_min(value: Any) -> Any:
-    return ops.OpMin().apply(value)
+    return _MIN.apply(value)
 
 
 def agg_max(value: Any) -> Any:
-    return ops.OpMax().apply(value)
+    return _MAX.apply(value)
 
 
 def singleton(value: Any) -> Any:
-    return ops.OpSingleton().apply(value)
+    return _SINGLETON.apply(value)
 
 
 def tostring(value: Any) -> str:
-    return ops.OpToString().apply(value)
+    return _TOSTRING.apply(value)
 
 
 def numneg(value: Any) -> Any:
-    return ops.OpNumNeg().apply(value)
+    return _NUMNEG.apply(value)
 
 
 def sort_by(value: Any, keys: Sequence[Tuple[str, bool]]) -> Any:
@@ -98,114 +150,116 @@ def substring(value: Any, start: int, length: Any) -> str:
 
 
 def date_year(value: Any) -> int:
-    return ops.OpDateYear().apply(value)
+    return _DATE_YEAR.apply(value)
 
 
 def date_month(value: Any) -> int:
-    return ops.OpDateMonth().apply(value)
+    return _DATE_MONTH.apply(value)
 
 
 def date_day(value: Any) -> int:
-    return ops.OpDateDay().apply(value)
+    return _DATE_DAY.apply(value)
 
 
 # -- binary -------------------------------------------------------------------
 
 
 def eq(left: Any, right: Any) -> bool:
-    return ops.OpEq().apply(left, right)
+    return _EQ.apply(left, right)
 
 
 def member(left: Any, right: Any) -> bool:
-    return ops.OpIn().apply(left, right)
+    return kernel.contains(_bag_arg(right, "member"), left)
 
 
 def union(left: Any, right: Any) -> Bag:
-    return ops.OpUnion().apply(left, right)
+    return kernel.union(_bag_arg(left, "union"), _bag_arg(right, "union"))
 
 
 def bag_diff(left: Any, right: Any) -> Bag:
-    return ops.OpBagDiff().apply(left, right)
+    return kernel.minus(_bag_arg(left, "bag_diff"), _bag_arg(right, "bag_diff"))
 
 
 def bag_inter(left: Any, right: Any) -> Bag:
-    return ops.OpBagInter().apply(left, right)
+    return kernel.intersection(_bag_arg(left, "bag_inter"), _bag_arg(right, "bag_inter"))
 
 
 def concat(left: Any, right: Any) -> Record:
-    return ops.OpConcat().apply(left, right)
+    return _CONCAT.apply(left, right)
 
 
 def merge_concat(left: Any, right: Any) -> Bag:
-    return ops.OpMergeConcat().apply(left, right)
+    return kernel.merge_concat(
+        _record_arg(left, "merge_concat"), _record_arg(right, "merge_concat")
+    )
 
 
 def lt(left: Any, right: Any) -> bool:
-    return ops.OpLt().apply(left, right)
+    return _LT.apply(left, right)
 
 
 def le(left: Any, right: Any) -> bool:
-    return ops.OpLe().apply(left, right)
+    return _LE.apply(left, right)
 
 
 def gt(left: Any, right: Any) -> bool:
-    return ops.OpGt().apply(left, right)
+    return _GT.apply(left, right)
 
 
 def ge(left: Any, right: Any) -> bool:
-    return ops.OpGe().apply(left, right)
+    return _GE.apply(left, right)
 
 
 def and_(left: Any, right: Any) -> bool:
-    return ops.OpAnd().apply(left, right)
+    return _AND.apply(left, right)
 
 
 def or_(left: Any, right: Any) -> bool:
-    return ops.OpOr().apply(left, right)
+    return _OR.apply(left, right)
 
 
 def add(left: Any, right: Any) -> Any:
-    return ops.OpAdd().apply(left, right)
+    return _ADD.apply(left, right)
 
 
 def sub(left: Any, right: Any) -> Any:
-    return ops.OpSub().apply(left, right)
+    return _SUB.apply(left, right)
 
 
 def mult(left: Any, right: Any) -> Any:
-    return ops.OpMult().apply(left, right)
+    return _MULT.apply(left, right)
 
 
 def div(left: Any, right: Any) -> Any:
-    return ops.OpDiv().apply(left, right)
+    return _DIV.apply(left, right)
 
 
 def str_concat(left: Any, right: Any) -> str:
-    return ops.OpStrConcat().apply(left, right)
+    return _STR_CONCAT.apply(left, right)
 
 
 def date_plus_days(left: Any, right: Any) -> Any:
-    return ops.OpDatePlusDays().apply(left, right)
+    return _DATE_PLUS_DAYS.apply(left, right)
 
 
 def date_minus_days(left: Any, right: Any) -> Any:
-    return ops.OpDateMinusDays().apply(left, right)
+    return _DATE_MINUS_DAYS.apply(left, right)
 
 
 def date_plus_months(left: Any, right: Any) -> Any:
-    return ops.OpDatePlusMonths().apply(left, right)
+    return _DATE_PLUS_MONTHS.apply(left, right)
 
 
 def date_minus_months(left: Any, right: Any) -> Any:
-    return ops.OpDateMinusMonths().apply(left, right)
+    return _DATE_MINUS_MONTHS.apply(left, right)
 
 
 def date_plus_years(left: Any, right: Any) -> Any:
-    return ops.OpDatePlusYears().apply(left, right)
+    return _DATE_PLUS_YEARS.apply(left, right)
 
 
 def date_minus_years(left: Any, right: Any) -> Any:
-    return ops.OpDateMinusYears().apply(left, right)
+    return _DATE_MINUS_YEARS.apply(left, right)
 
 
 def limit(value: Any, n: int) -> Any:

@@ -95,6 +95,12 @@ def _build_parser() -> argparse.ArgumentParser:
     explain_cmd.add_argument(
         "--verbose", action="store_true", help="also list per-rule attempt counts and time"
     )
+    explain_cmd.add_argument(
+        "--data",
+        help="JSON data file; when given (or with --tpch, which uses the "
+        "micro database), explain also runs the join engine and reports "
+        "hash joins vs fallbacks to the reference semantics",
+    )
     _add_obs_flags(explain_cmd)
 
     serve_cmd = sub.add_parser(
@@ -251,6 +257,59 @@ def _print_explain(result: CompilationResult, stage_choice: str, verbose: bool, 
         print("", file=out)
 
 
+def _print_engine(result: CompilationResult, args: argparse.Namespace, out) -> None:
+    """Run the join engine on the optimized plan and report its decisions.
+
+    The engine's shape analysis is data-dependent, so the report is only
+    produced when data is available: the TPC-H micro database for
+    ``--tpch``, or a ``--data`` file.  Counters come from the active
+    :mod:`repro.obs` session (``engine.join`` / ``engine.fallback.*`` —
+    the formerly *silent* fallbacks to the reference semantics).
+    """
+    from repro.obs.metrics import get_metrics
+
+    print("== Join engine ==", file=out)
+    if args.tpch is not None:
+        from repro.tpch.datagen import MICRO, generate
+
+        constants = generate(MICRO, seed=7)
+    elif args.data:
+        constants = _load_data(args.data)
+    else:
+        print(
+            "not exercised (pass --data, or use --tpch for the micro database)",
+            file=out,
+        )
+        print("", file=out)
+        return
+    from repro.data.model import Record
+    from repro.nraenv.eval import EvalError
+    from repro.nraenv.exec import eval_fast
+
+    plan = result.output("nraenv_opt")
+    try:
+        rows = eval_fast(plan, Record({}), None, constants)
+    except EvalError as exc:
+        print("execution failed: %s" % exc, file=out)
+    else:
+        print("executed optimized NRAe plan: %d rows" % len(rows), file=out)
+    counters = get_metrics().snapshot()["counters"]
+    print("hash joins executed: %d" % counters.get("engine.join", 0), file=out)
+    prefix = "engine.fallback."
+    fallbacks = sorted(
+        (name[len(prefix):], count)
+        for name, count in counters.items()
+        if name.startswith(prefix)
+    )
+    if fallbacks:
+        print("fallbacks to reference semantics:", file=out)
+        for reason, count in fallbacks:
+            print("  %4dx %s" % (count, reason), file=out)
+    else:
+        print("fallbacks to reference semantics: none", file=out)
+    print("", file=out)
+
+
 def _tpch_query(name: str, out) -> Optional[str]:
     from repro.tpch.queries import QUERIES
 
@@ -331,6 +390,11 @@ def main(argv: Optional[List[str]] = None, out: Any = None) -> int:
                 compilers = {"sql": compile_sql, "oql": compile_oql, "lnra": compile_lnra}
                 result = compilers[args.language](text)
             _print_explain(result, args.stage, args.verbose, out)
+            try:
+                _print_engine(result, args, out)
+            except _DataFileError as exc:
+                print("repro: %s" % exc, file=out)
+                return 2
             code = 0
 
         else:  # pragma: no cover - argparse enforces subcommands

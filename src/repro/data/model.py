@@ -38,13 +38,23 @@ class Bag:
     and iteration, but equality is *multiset* equality: two bags are
     equal iff they contain the same values with the same multiplicities,
     regardless of order.
+
+    All multiset operations delegate to :mod:`repro.data.kernel`, which
+    lazily builds and caches (immutability makes the caches permanent):
+
+    - ``_elem_keys`` — per-element canonical keys, aligned with ``_items``;
+    - ``_index`` — a ``Counter`` mapping canonical key → multiplicity;
+    - ``_key`` / ``_hash`` — the bag's own canonical key and hash.
     """
 
-    __slots__ = ("_items", "_key")
+    __slots__ = ("_items", "_key", "_hash", "_elem_keys", "_index")
 
     def __init__(self, items: Iterable[Any] = ()):
         self._items: Tuple[Any, ...] = tuple(items)
         self._key: Optional[tuple] = None
+        self._hash: Optional[int] = None
+        self._elem_keys: Optional[Tuple[tuple, ...]] = None
+        self._index = None  # lazily a collections.Counter (see kernel)
 
     @property
     def items(self) -> Tuple[Any, ...]:
@@ -62,9 +72,7 @@ class Bag:
     def __eq__(self, other: Any) -> bool:
         if not isinstance(other, Bag):
             return NotImplemented
-        if len(self._items) != len(other._items):
-            return False
-        return canonical_key(self) == canonical_key(other)
+        return _kernel.multiset_equal(self, other)
 
     def __ne__(self, other: Any) -> bool:
         result = self.__eq__(other)
@@ -73,57 +81,37 @@ class Bag:
         return not result
 
     def __hash__(self) -> int:
-        return hash(canonical_key(self))
+        value = self._hash
+        if value is None:
+            value = hash(canonical_key(self))
+            self._hash = value
+        return value
 
     def __repr__(self) -> str:
         return "Bag([%s])" % ", ".join(repr(v) for v in self._items)
 
     def union(self, other: "Bag") -> "Bag":
         """Multiset (additive) union: ``{1} ∪ {1}`` is ``{1, 1}``."""
-        return Bag(self._items + other._items)
+        return _kernel.union(self, other)
 
     def minus(self, other: "Bag") -> "Bag":
         """Multiset difference: removes one occurrence per match."""
-        remaining = list(other._items)
-        kept: List[Any] = []
-        for item in self._items:
-            for i, candidate in enumerate(remaining):
-                if values_equal(item, candidate):
-                    del remaining[i]
-                    break
-            else:
-                kept.append(item)
-        return Bag(kept)
+        return _kernel.minus(self, other)
 
     def intersection(self, other: "Bag") -> "Bag":
         """Multiset intersection (minimum of multiplicities)."""
-        remaining = list(other._items)
-        kept: List[Any] = []
-        for item in self._items:
-            for i, candidate in enumerate(remaining):
-                if values_equal(item, candidate):
-                    del remaining[i]
-                    kept.append(item)
-                    break
-        return Bag(kept)
+        return _kernel.intersection(self, other)
 
     def contains(self, value: Any) -> bool:
-        return any(values_equal(value, item) for item in self._items)
+        return _kernel.contains(self, value)
 
     def distinct(self) -> "Bag":
         """Duplicate elimination; keeps the first occurrence of each value."""
-        seen: List[tuple] = []
-        kept: List[Any] = []
-        for item in self._items:
-            key = canonical_key(item)
-            if key not in seen:
-                seen.append(key)
-                kept.append(item)
-        return Bag(kept)
+        return _kernel.distinct(self)
 
     def sorted(self) -> "Bag":
         """A bag with the same contents in canonical order."""
-        return Bag(sorted(self._items, key=canonical_key))
+        return _kernel.sort(self)
 
 
 class Record:
@@ -131,9 +119,14 @@ class Record:
 
     Attribute order is normalised (sorted by name) so that two records
     with the same field/value pairs are interchangeable everywhere.
+
+    Like :class:`Bag`, a record caches its canonical key (``_key``,
+    which embeds every field value's key — the join engine reads field
+    keys out of it, see :func:`repro.data.kernel.field_key`) and its
+    hash (``_hash``); immutability makes the caches permanent.
     """
 
-    __slots__ = ("_fields",)
+    __slots__ = ("_fields", "_key", "_hash")
 
     def __init__(self, fields: Optional[Mapping[str, Any]] = None, **kwargs: Any):
         merged: Dict[str, Any] = {}
@@ -143,6 +136,8 @@ class Record:
         self._fields: Tuple[Tuple[str, Any], ...] = tuple(
             sorted(merged.items(), key=lambda kv: kv[0])
         )
+        self._key: Optional[tuple] = None
+        self._hash: Optional[int] = None
 
     @property
     def fields(self) -> Tuple[Tuple[str, Any], ...]:
@@ -176,6 +171,8 @@ class Record:
     def __eq__(self, other: Any) -> bool:
         if not isinstance(other, Record):
             return NotImplemented
+        if self is other:
+            return True
         return canonical_key(self) == canonical_key(other)
 
     def __ne__(self, other: Any) -> bool:
@@ -185,7 +182,11 @@ class Record:
         return not result
 
     def __hash__(self) -> int:
-        return hash(canonical_key(self))
+        value = self._hash
+        if value is None:
+            value = hash(canonical_key(self))
+            self._hash = value
+        return value
 
     def __repr__(self) -> str:
         body = ", ".join("%s: %r" % (k, v) for k, v in self._fields)
@@ -216,17 +217,11 @@ class Record:
 
     def compatible_with(self, other: "Record") -> bool:
         """True iff common attributes agree (natural-join compatibility)."""
-        mine = dict(self._fields)
-        for name, value in other._fields:
-            if name in mine and not values_equal(mine[name], value):
-                return False
-        return True
+        return _kernel.compatible(self, other)
 
     def merge_concat(self, other: "Record") -> Bag:
         """``⊗``: singleton bag of the concatenation if compatible, else ∅."""
-        if self.compatible_with(other):
-            return Bag([self.concat(other)])
-        return Bag([])
+        return _kernel.merge_concat(self, other)
 
 
 # Type ranks used to build a total order across heterogeneous values.
@@ -246,32 +241,50 @@ def canonical_key(value: Any) -> tuple:
     ``distinct``/``sort`` operators.  The key embeds a type rank so that
     values of different kinds never compare equal (in particular
     ``True`` is distinct from ``1``, unlike plain Python equality).
-    Ints and floats share a rank so ``1`` and ``1.0`` denote the same
-    number, as in most query data models.
+    Ints and floats share a rank, and the number itself is the key —
+    Python's cross-type numeric equality, hashing, and ordering are
+    exact, so ``1`` and ``1.0`` denote the same number while big
+    integers beyond 2**53 are *not* collapsed onto the nearest float.
+
+    Keys of bags and records are cached on the value (see
+    :mod:`repro.data.kernel` for the caching contract).
     """
     if value is None:
         return (_RANK_NULL,)
     if isinstance(value, bool):
         return (_RANK_BOOL, value)
     if isinstance(value, (int, float)):
-        return (_RANK_NUMBER, float(value))
+        return (_RANK_NUMBER, value)
     if isinstance(value, str):
         return (_RANK_STRING, value)
     if isinstance(value, Bag):
         key = value._key
         if key is None:
-            key = (_RANK_BAG, tuple(sorted(canonical_key(v) for v in value.items)))
+            key = (_RANK_BAG, tuple(sorted(elem_keys(value))))
             value._key = key
         return key
     if isinstance(value, Record):
-        return (
-            _RANK_RECORD,
-            tuple((name, canonical_key(v)) for name, v in value.fields),
-        )
+        key = value._key
+        if key is None:
+            key = (
+                _RANK_RECORD,
+                tuple((name, canonical_key(v)) for name, v in value._fields),
+            )
+            value._key = key
+        return key
     foreign_key = _foreign_canonical_key(value)
     if foreign_key is not None:
         return (_RANK_FOREIGN,) + foreign_key
     raise DataError("not a data-model value: %r" % (value,))
+
+
+def elem_keys(bag: "Bag") -> Tuple[tuple, ...]:
+    """The bag's per-element canonical keys, cached and aligned with items."""
+    keys = bag._elem_keys
+    if keys is None:
+        keys = tuple(canonical_key(v) for v in bag._items)
+        bag._elem_keys = keys
+    return keys
 
 
 def _foreign_canonical_key(value: Any) -> Optional[tuple]:
@@ -337,3 +350,9 @@ def to_python(value: Any) -> Any:
     if isinstance(value, Record):
         return {k: to_python(v) for k, v in value.fields}
     return value
+
+
+# The kernel holds every multiset algorithm; the Bag/Record methods above
+# delegate to it.  Imported last so the classes it needs already exist
+# (kernel imports this module; the cycle is safe in this order).
+from repro.data import kernel as _kernel  # noqa: E402

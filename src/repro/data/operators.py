@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Tuple
 
+from repro.data import kernel
 from repro.data.foreign import DateValue
 from repro.data.model import (
     Bag,
@@ -219,7 +220,7 @@ class OpDistinct(UnaryOp):
     name = "distinct"
 
     def apply(self, value: Any) -> Any:
-        return _require_bag(value, "distinct").distinct()
+        return kernel.distinct(_require_bag(value, "distinct"))
 
 
 class OpCount(UnaryOp):
@@ -486,7 +487,7 @@ class OpIn(BinaryOp):
     name = "in"
 
     def apply(self, left: Any, right: Any) -> Any:
-        return _require_bag(right, "∈").contains(left)
+        return kernel.contains(_require_bag(right, "∈"), left)
 
 
 class OpUnion(BinaryOp):
@@ -495,7 +496,7 @@ class OpUnion(BinaryOp):
     name = "union"
 
     def apply(self, left: Any, right: Any) -> Any:
-        return _require_bag(left, "∪").union(_require_bag(right, "∪"))
+        return kernel.union(_require_bag(left, "∪"), _require_bag(right, "∪"))
 
 
 class OpBagDiff(BinaryOp):
@@ -504,7 +505,7 @@ class OpBagDiff(BinaryOp):
     name = "bag_diff"
 
     def apply(self, left: Any, right: Any) -> Any:
-        return _require_bag(left, "\\").minus(_require_bag(right, "\\"))
+        return kernel.minus(_require_bag(left, "\\"), _require_bag(right, "\\"))
 
 
 class OpBagInter(BinaryOp):
@@ -513,7 +514,7 @@ class OpBagInter(BinaryOp):
     name = "bag_inter"
 
     def apply(self, left: Any, right: Any) -> Any:
-        return _require_bag(left, "∩").intersection(_require_bag(right, "∩"))
+        return kernel.intersection(_require_bag(left, "∩"), _require_bag(right, "∩"))
 
 
 class OpConcat(BinaryOp):
@@ -535,7 +536,7 @@ class OpMergeConcat(BinaryOp):
     name = "merge_concat"
 
     def apply(self, left: Any, right: Any) -> Any:
-        return _require_record(left, "⊗").merge_concat(_require_record(right, "⊗"))
+        return kernel.merge_concat(_require_record(left, "⊗"), _require_record(right, "⊗"))
 
 
 # ---------------------------------------------------------------------------

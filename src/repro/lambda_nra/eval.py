@@ -8,6 +8,7 @@ from __future__ import annotations
 
 from typing import Any, Mapping, Optional
 
+from repro.data import kernel
 from repro.data.model import Bag, DataError, Record
 from repro.lambda_nra import ast
 from repro.nraenv.eval import EvalError
@@ -67,24 +68,21 @@ def _eval(expr: ast.LnraNode, env: dict, constants: Mapping[str, Any]) -> Any:
             if not isinstance(item, Record):
                 raise EvalError("d-join expects records, got %r" % (item,))
             dependent = _bag(_apply(expr.fn, item, env, constants), "d-join body")
-            for other in dependent:
-                if not isinstance(other, Record):
-                    raise EvalError("d-join body expects records, got %r" % (other,))
-                out.append(item.concat(other))
+            out.extend(_product(Bag([item]), dependent).items)
         return Bag(out)
     if isinstance(expr, ast.LProduct):
         left = _bag(_eval(expr.left, env, constants), "×")
         right = _bag(_eval(expr.right, env, constants), "×")
-        out = []
-        for a in left:
-            if not isinstance(a, Record):
-                raise EvalError("× expects records, got %r" % (a,))
-            for b in right:
-                if not isinstance(b, Record):
-                    raise EvalError("× expects records, got %r" % (b,))
-                out.append(a.concat(b))
-        return Bag(out)
+        return _product(left, right)
     raise EvalError("unknown NRAλ node %r" % (expr,))
+
+
+def _product(left: Bag, right: Bag) -> Bag:
+    # The cartesian loop is the kernel's (one executable definition).
+    try:
+        return kernel.product(left, right)
+    except DataError as exc:
+        raise EvalError(str(exc)) from exc
 
 
 def _apply(fn: ast.Lambda, argument: Any, env: dict, constants: Mapping[str, Any]) -> Any:

@@ -11,7 +11,8 @@ from __future__ import annotations
 
 from typing import Any, Mapping, Optional
 
-from repro.data.model import Bag, DataError, Record
+from repro.data import kernel
+from repro.data.model import Bag, DataError
 from repro.nraenv import ast
 from repro.nraenv.eval import EvalError
 
@@ -91,12 +92,10 @@ def _bag(value: Any, op: str) -> Bag:
 
 
 def _product(left: Bag, right: Bag) -> Bag:
-    out = []
-    for a in left:
-        if not isinstance(a, Record):
-            raise EvalError("× expects bags of records, got %r" % (a,))
-        for b in right:
-            if not isinstance(b, Record):
-                raise EvalError("× expects bags of records, got %r" % (b,))
-            out.append(a.concat(b))
-    return Bag(out)
+    # Shared kernel loop (this evaluator stays an independent *semantics*
+    # oracle for the translations, but bag/record primitives are the
+    # kernel's — there is exactly one executable definition of them).
+    try:
+        return kernel.product(left, right)
+    except DataError as exc:
+        raise EvalError(str(exc)) from exc

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Any, Mapping, Optional
 
+from repro.data import kernel
 from repro.data.model import Bag, DataError, Record
 from repro.nraenv import ast
 
@@ -169,12 +170,9 @@ def _require_bag(value: Any, op: str) -> None:
 
 
 def _product(left: Bag, right: Bag) -> Bag:
-    out = []
-    for a in left:
-        if not isinstance(a, Record):
-            raise EvalError("× expects bags of records, got %r" % (a,))
-        for b in right:
-            if not isinstance(b, Record):
-                raise EvalError("× expects bags of records, got %r" % (b,))
-            out.append(a.concat(b))
-    return Bag(out)
+    # The cartesian loop itself lives in the kernel, shared by every
+    # evaluator; this wrapper only converts the failure type.
+    try:
+        return kernel.product(left, right)
+    except DataError as exc:
+        raise EvalError(str(exc)) from exc

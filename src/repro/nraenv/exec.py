@@ -30,10 +30,34 @@ from __future__ import annotations
 
 from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
+from repro.data import kernel
 from repro.data import operators as ops
-from repro.data.model import Bag, Record, canonical_key
+from repro.data.model import Bag, DataError, Record
 from repro.nraenv import ast
 from repro.nraenv.eval import EvalError, eval_nraenv
+from repro.obs.metrics import get_metrics
+
+
+#: Fallback reasons the engine can report (see :func:`_fallback`); kept
+#: as a tuple so tests and ``repro explain`` can enumerate them.
+FALLBACK_REASONS = (
+    "single_factor",
+    "env_not_record",
+    "ambiguous_field",
+    "unresolved_field",
+)
+
+
+def _fallback(reason: str) -> None:
+    """Record one engine→reference fallback under ``engine.fallback.<reason>``.
+
+    The engine used to fall back *silently*; now every ``return None``
+    out of :func:`_execute_join` is counted (with its reason) in the
+    active :mod:`repro.obs` metrics registry, and ``repro explain``
+    surfaces the totals.  With no registry installed this is a no-op.
+    """
+    get_metrics().counter("engine.fallback." + reason).inc()
+    return None
 
 
 def eval_fast(
@@ -263,7 +287,7 @@ def _execute_join(
     """Execute ``σ⟨p⟩(q1 × … × qk)`` as a join, or None to fall back."""
     factors = _flatten_product(select.input)
     if len(factors) < 2:
-        return None
+        return _fallback("single_factor")
     predicate = select.pred
     env_mode = False
     if (
@@ -277,7 +301,7 @@ def _execute_join(
         env_mode = True
         predicate = predicate.after
         if not isinstance(env, Record):
-            return None
+            return _fallback("env_not_record")
     conjuncts = [_Conjunct(pred, env_mode) for pred in _conjuncts(predicate)]
 
     relations = [_materialise(f, env, datum, constants) for f in factors]
@@ -297,12 +321,12 @@ def _execute_join(
                     and field not in relations[i].domain
                     for i in range(len(relations))
                 ):
-                    return None
+                    return _fallback("ambiguous_field")
             elif env_mode and field in outer_fields and field not in union_fields:
                 # an outer-environment read, constant across rows — fine
                 pass
             else:
-                return None
+                return _fallback("unresolved_field")
         if conjunct.equality is not None:
             f_path, g_path = conjunct.equality
             if f_path[0] not in owners or g_path[0] not in owners:
@@ -352,16 +376,16 @@ def _execute_join(
         for index, relation in enumerate(relations)
     }
 
-    def field_value(partial: _Partial, row: Tuple[Record, ...], path: Path):
-        # value the full row will have: the last joined factor's value
-        # (readiness guarantees the global last owner is joined).
+    def field_key(partial: _Partial, row: Tuple[Record, ...], path: Path):
+        # canonical key of the value the full row will have: the last
+        # joined factor's (readiness guarantees the global last owner is
+        # joined).  Read through the kernel so a record whose key is
+        # already cached never re-keys its fields.
         position = partial.indices.index(owners[path[0]])
-        value = row[position][path[0]]
-        for step in path[1:]:
-            if not isinstance(value, Record):
-                raise EvalError("join key %r is not a record" % (path,))
-            value = value[step]
-        return value
+        try:
+            return kernel.path_key(row[position], path)
+        except DataError as exc:
+            raise EvalError("join key %r: %s" % (path, exc)) from exc
 
     def merge(left: _Partial, right: _Partial, rows) -> _Partial:
         # interleave the two index tuples, keeping original order
@@ -380,11 +404,11 @@ def _execute_join(
     def hash_join(left: _Partial, right: _Partial, keys) -> _Partial:
         index: Dict[tuple, List[Tuple[Record, ...]]] = {}
         for row in right.rows:
-            key = tuple(canonical_key(field_value(right, row, g)) for _, g in keys)
+            key = tuple(field_key(right, row, g) for _, g in keys)
             index.setdefault(key, []).append(row)
         pairs = []
         for row in left.rows:
-            key = tuple(canonical_key(field_value(left, row, f)) for f, _ in keys)
+            key = tuple(field_key(left, row, f) for f, _ in keys)
             for match in index.get(key, ()):
                 pairs.append((row, match))
         return merge(left, right, pairs)
@@ -433,6 +457,7 @@ def _execute_join(
                 for row in records
                 if _check(conjunct.pred, row, env, constants, env_mode)
             ]
+    get_metrics().counter("engine.join").inc()
     return Bag(records)
 
 
@@ -491,30 +516,17 @@ def _eval(plan: ast.NraeNode, env: Any, datum: Any, constants: Mapping[str, Any]
         right = _eval(plan.right, env, datum, constants)
         if not isinstance(right, Bag):
             raise EvalError("× expects a bag, got %r" % (right,))
-        out = []
-        for a in left:
-            if not isinstance(a, Record):
-                raise EvalError("× expects bags of records, got %r" % (a,))
-            for b_item in right:
-                if not isinstance(b_item, Record):
-                    raise EvalError("× expects bags of records, got %r" % (b_item,))
-                out.append(a.concat(b_item))
-        return Bag(out)
+        return _product(left, right)
     if isinstance(plan, ast.DepJoin):
         source = _eval(plan.input, env, datum, constants)
         if not isinstance(source, Bag):
             raise EvalError("⋈d expects a bag, got %r" % (source,))
         out = []
         for item in source:
-            if not isinstance(item, Record):
-                raise EvalError("⋈d expects records, got %r" % (item,))
             dependent = _eval(plan.body, env, item, constants)
             if not isinstance(dependent, Bag):
                 raise EvalError("⋈d body expects a bag, got %r" % (dependent,))
-            for other in dependent:
-                if not isinstance(other, Record):
-                    raise EvalError("⋈d expects records, got %r" % (other,))
-                out.append(item.concat(other))
+            out.extend(_product(Bag([item]), dependent).items)
         return Bag(out)
     if isinstance(plan, ast.Default):
         left = _eval(plan.left, env, datum, constants)
@@ -527,3 +539,10 @@ def _eval(plan: ast.NraeNode, env: Any, datum: Any, constants: Mapping[str, Any]
         return Bag(_eval(plan.body, item, datum, constants) for item in env)
     # leaves: delegate to the reference evaluator
     return eval_nraenv(plan, env, datum, constants)
+
+
+def _product(left: Bag, right: Bag) -> Bag:
+    try:
+        return kernel.product(left, right)
+    except DataError as exc:
+        raise EvalError(str(exc)) from exc

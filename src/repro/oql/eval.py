@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Any, Dict, Mapping, Optional
 
 from repro.data.model import Bag, DataError, Record
-from repro.data.operators import OpAvg, OpMax, OpMin, _like_match  # noqa: F401
+from repro.data.operators import OpAvg, OpMax, OpMin, OpSum, _like_match  # noqa: F401
 from repro.nraenv.eval import EvalError
 from repro.oql import ast
 
@@ -91,10 +91,7 @@ def _eval(
             if expr.func == "count":
                 return len(value)
             if expr.func == "sum":
-                total: Any = 0
-                for item in value:
-                    total += item
-                return total
+                return OpSum().apply(value)
             if expr.func == "avg":
                 return OpAvg().apply(value)
             if expr.func == "min":

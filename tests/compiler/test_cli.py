@@ -245,6 +245,18 @@ class TestExplain:
         assert "== NRAe optimizer" in output
         assert "derivation" in output
 
+    def test_explain_tpch_runs_join_engine(self):
+        code, output = run_cli(["explain", "--tpch", "q3"])
+        assert code == 0
+        assert "== Join engine ==" in output
+        assert re.search(r"hash joins executed: [1-9]", output)
+        assert "fallbacks to reference semantics: none" in output
+
+    def test_explain_without_data_skips_engine(self):
+        code, output = run_cli(["explain", "--query", "select a from t"])
+        assert code == 0
+        assert "not exercised" in output
+
     def test_explain_unknown_tpch(self):
         code, output = run_cli(["explain", "--tpch", "q99"])
         assert code == 2

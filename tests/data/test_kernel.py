@@ -1,0 +1,201 @@
+"""Unit tests for the keyed multiset kernel (`repro.data.kernel`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import kernel
+from repro.data.model import (
+    Bag,
+    DataError,
+    Record,
+    bag,
+    canonical_key,
+    elem_keys,
+    rec,
+    values_equal,
+)
+
+
+# ---------------------------------------------------------------------------
+# Satellite regression: exact integer keys (2**53 + 1 must stay itself)
+# ---------------------------------------------------------------------------
+
+
+class TestExactNumberKeys:
+    def test_big_ints_are_not_collapsed_onto_floats(self):
+        assert not values_equal(2**53, 2**53 + 1)
+        assert not values_equal(2**60, 2**60 + 1)
+
+    def test_int_float_cross_type_equality_is_kept(self):
+        assert values_equal(1, 1.0)
+        assert values_equal(0, -0.0)
+        assert values_equal(2**53, float(2**53))
+        assert hash(bag(1)) == hash(bag(1.0))
+
+    def test_big_int_bag_membership(self):
+        b = bag(2**53)
+        assert b.contains(2**53)
+        assert not b.contains(2**53 + 1)
+
+    def test_big_int_distinct_keeps_both(self):
+        b = Bag([2**53, 2**53 + 1, 2**53])
+        assert len(b.distinct()) == 2
+
+    def test_big_int_bag_equality(self):
+        assert Bag([2**53]) != Bag([2**53 + 1])
+        assert Bag([2**53, 1.0]) == Bag([1, 2**53])
+
+    def test_big_int_record_keys(self):
+        assert rec(a=2**53) != rec(a=2**53 + 1)
+        assert rec(a=1) == rec(a=1.0)
+        assert canonical_key(rec(a=2**53)) != canonical_key(rec(a=2**53 + 1))
+
+    def test_mixed_numbers_sort_exactly(self):
+        b = Bag([2**53 + 1, 1.5, 2**53, -3])
+        assert b.sorted().items == (-3, 1.5, 2**53, 2**53 + 1)
+
+    def test_minus_distinguishes_adjacent_big_ints(self):
+        left = Bag([2**53, 2**53 + 1])
+        assert left.minus(Bag([2**53 + 1])).items == (2**53,)
+
+
+# ---------------------------------------------------------------------------
+# Kernel operations
+# ---------------------------------------------------------------------------
+
+
+class TestKernelOps:
+    def test_minus_removes_one_occurrence_per_match(self):
+        assert bag(1, 2, 2, 3).minus(bag(2, 3, 4)).items == (1, 2)
+
+    def test_intersection_minimum_multiplicity(self):
+        assert bag(1, 2, 2, 2).intersection(bag(2, 2, 5)).items == (2, 2)
+
+    def test_union_is_additive(self):
+        assert bag(1).union(bag(1)).items == (1, 1)
+
+    def test_distinct_keeps_first_occurrence_order(self):
+        assert bag(3, 1, 3, 2, 1).distinct().items == (3, 1, 2)
+
+    def test_contains_uses_data_model_equality(self):
+        assert bag(1, 2).contains(2.0)
+        assert not bag(1, 2).contains(True)  # bool is not a number
+
+    def test_ops_work_on_nested_values(self):
+        nested = Bag([rec(a=bag(1, 2)), rec(a=bag(2, 1)), rec(a=bag(1))])
+        assert len(nested.distinct()) == 2
+        assert nested.contains(rec(a=bag(2, 1)))
+        assert nested.minus(Bag([rec(a=bag(1, 2))])).items == (
+            rec(a=bag(2, 1)),
+            rec(a=bag(1)),
+        )
+
+    def test_product_concatenates_records(self):
+        out = kernel.product(Bag([rec(a=1)]), Bag([rec(b=2), rec(b=3)]))
+        assert out == Bag([rec(a=1, b=2), rec(a=1, b=3)])
+
+    def test_product_rejects_non_records(self):
+        with pytest.raises(DataError):
+            kernel.product(Bag([1]), Bag([rec(a=1)]))
+
+    def test_merge_concat_compatible(self):
+        assert rec(a=1, b=2).merge_concat(rec(a=1.0, c=3)) == Bag(
+            [rec(a=1, b=2, c=3)]
+        )
+
+    def test_merge_concat_incompatible(self):
+        assert rec(a=1).merge_concat(rec(a=2)) == Bag([])
+
+    def test_multiset_equality_ignores_order(self):
+        assert Bag([rec(a=1), rec(a=2)]) == Bag([rec(a=2), rec(a=1)])
+        assert Bag([1, 1, 2]) != Bag([1, 2, 2])
+
+
+# ---------------------------------------------------------------------------
+# The caching contract (see DESIGN.md §8)
+# ---------------------------------------------------------------------------
+
+
+class TestKeyCaching:
+    def test_elem_keys_cached(self):
+        b = bag(1, 2, 3)
+        first = elem_keys(b)
+        assert elem_keys(b) is first
+
+    def test_key_index_cached(self):
+        b = bag(1, 2, 2)
+        first = kernel.key_index(b)
+        assert kernel.key_index(b) is first
+        assert first[canonical_key(2)] == 2
+
+    def test_bag_canonical_key_cached(self):
+        b = bag(2, 1)
+        first = canonical_key(b)
+        assert canonical_key(b) is first
+
+    def test_record_canonical_key_cached(self):
+        r = rec(a=1, b=bag(1, 2))
+        first = canonical_key(r)
+        assert canonical_key(r) is first
+
+    def test_hashes_cached(self):
+        b, r = bag(1, 2), rec(a=1)
+        assert hash(b) == hash(b) and b._hash is not None
+        assert hash(r) == hash(r) and r._hash is not None
+
+    def test_union_propagates_caches(self):
+        left, right = bag(1, 2), bag(3)
+        kernel.key_index(left), kernel.key_index(right)
+        out = left.union(right)
+        assert out._elem_keys == elem_keys(left) + elem_keys(right)
+        assert out._index is not None
+        assert out._index == kernel.key_index(Bag([1, 2, 3]))
+
+    def test_union_without_caches_stays_lazy(self):
+        out = bag(1).union(bag(2))
+        assert out._elem_keys is None and out._index is None
+
+    def test_minus_and_distinct_preseed_result_keys(self):
+        out = bag(1, 2, 2).distinct()
+        assert out._elem_keys is not None
+        out = bag(1, 2).minus(bag(2))
+        assert out._elem_keys == (canonical_key(1),)
+
+    def test_distinct_of_duplicate_free_bag_returns_same_bag(self):
+        b = bag(1, 2, 3)
+        assert b.distinct() is b
+
+
+# ---------------------------------------------------------------------------
+# Field/path keys (what the hash-join engine consumes)
+# ---------------------------------------------------------------------------
+
+
+class TestFieldKeys:
+    def test_field_key_without_cached_record_key(self):
+        r = rec(a=1, b="x")
+        assert kernel.field_key(r, "a") == canonical_key(1)
+
+    def test_field_key_reads_cached_record_key(self):
+        r = rec(a=1, b="x")
+        canonical_key(r)  # force + cache
+        assert r._key is not None
+        assert kernel.field_key(r, "b") == canonical_key("x")
+
+    def test_field_key_missing_attribute(self):
+        r = rec(a=1)
+        with pytest.raises(DataError):
+            kernel.field_key(r, "zz")
+        canonical_key(r)
+        with pytest.raises(DataError):
+            kernel.field_key(r, "zz")
+
+    def test_path_key_two_steps(self):
+        r = rec(t=rec(f=7))
+        assert kernel.path_key(r, ("t", "f")) == canonical_key(7)
+        assert kernel.path_key(r, ("t",)) == canonical_key(rec(f=7))
+
+    def test_path_key_non_record_chain(self):
+        with pytest.raises(DataError):
+            kernel.path_key(rec(t=5), ("t", "f"))

@@ -1,0 +1,141 @@
+"""Hypothesis law suite: the kernel against the seed's naive oracles.
+
+Two kinds of properties over random *nested* values (including dates,
+via ``tests.strategies``):
+
+- algebraic multiset laws (union commutes/associates, minus/union size
+  laws, distinct idempotence);
+- operation-for-operation agreement between :mod:`repro.data.kernel`
+  and the quadratic loop implementations preserved in
+  :mod:`tests.kernel_oracles` — the kernel must be a pure speedup.
+
+Oracles reconstruct fresh ``Bag``/``Record`` wrappers so no cached key
+or index can leak from the kernel side into the oracle side.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import kernel
+from repro.data.model import Bag, Record
+from tests.kernel_oracles import (
+    naive_contains,
+    naive_distinct,
+    naive_equal,
+    naive_intersection,
+    naive_merge_concat,
+    naive_minus,
+    naive_union,
+)
+from tests.strategies import values
+
+bags = st.lists(values(max_leaves=6), max_size=6).map(Bag)
+records = st.dictionaries(
+    st.sampled_from(["a", "b", "c", "d"]), values(max_leaves=4), max_size=4
+).map(Record)
+
+
+def fresh(bag_value: Bag) -> Bag:
+    """A structurally identical bag with every cache cold."""
+    return Bag(bag_value.items)
+
+
+# ---------------------------------------------------------------------------
+# Algebraic laws
+# ---------------------------------------------------------------------------
+
+
+@given(bags, bags)
+@settings(max_examples=120)
+def test_union_commutes_as_multiset(a, b):
+    assert a.union(b) == b.union(a)
+
+
+@given(bags, bags, bags)
+@settings(max_examples=80)
+def test_union_associates(a, b, c):
+    assert a.union(b).union(c) == a.union(b.union(c))
+
+
+@given(bags, bags)
+@settings(max_examples=120)
+def test_minus_union_size_laws(a, b):
+    assert len(a.union(b)) == len(a) + len(b)
+    assert len(a.minus(b)) + len(a.intersection(b)) == len(a)
+    assert a.union(b).minus(b) == a
+
+
+@given(bags)
+@settings(max_examples=120)
+def test_distinct_idempotent(a):
+    assert a.distinct() == a.distinct().distinct()
+
+
+@given(bags, bags)
+@settings(max_examples=80)
+def test_intersection_bounded_by_both(a, b):
+    inter = a.intersection(b)
+    assert len(inter) <= min(len(a), len(b))
+    assert all(a.contains(v) and b.contains(v) for v in inter)
+
+
+# ---------------------------------------------------------------------------
+# Kernel ≡ naive oracle
+# ---------------------------------------------------------------------------
+
+
+@given(bags, bags)
+@settings(max_examples=120)
+def test_minus_matches_oracle(a, b):
+    assert kernel.minus(a, b) == naive_minus(fresh(a), fresh(b))
+
+
+@given(bags, bags)
+@settings(max_examples=120)
+def test_intersection_matches_oracle(a, b):
+    assert kernel.intersection(a, b) == naive_intersection(fresh(a), fresh(b))
+
+
+@given(bags, bags)
+@settings(max_examples=80)
+def test_union_matches_oracle(a, b):
+    assert kernel.union(a, b) == naive_union(fresh(a), fresh(b))
+
+
+@given(bags)
+@settings(max_examples=120)
+def test_distinct_matches_oracle(a):
+    assert kernel.distinct(a) == naive_distinct(fresh(a))
+
+
+@given(bags, values(max_leaves=6))
+@settings(max_examples=120)
+def test_contains_matches_oracle(a, value):
+    assert kernel.contains(a, value) == naive_contains(fresh(a), value)
+
+
+@given(bags, bags)
+@settings(max_examples=120)
+def test_equality_matches_oracle(a, b):
+    assert kernel.multiset_equal(a, b) == naive_equal(fresh(a), fresh(b))
+    assert kernel.multiset_equal(a, Bag(reversed(a.items)))
+
+
+@given(records, records)
+@settings(max_examples=120)
+def test_merge_concat_matches_oracle(left, right):
+    expected = naive_merge_concat(
+        Record(dict(left.fields)), Record(dict(right.fields))
+    )
+    assert kernel.merge_concat(left, right) == expected
+
+
+@given(bags)
+@settings(max_examples=60)
+def test_sort_matches_oracle_canonical_order(a):
+    from repro.data.model import canonical_key
+
+    expected = Bag(sorted(fresh(a).items, key=canonical_key))
+    assert kernel.sort(a).items == expected.items

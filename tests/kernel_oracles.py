@@ -1,0 +1,86 @@
+"""The seed's naive multiset loops, kept as *test-only* oracles.
+
+These are the O(n·m) / O(n²) implementations the repository shipped
+with before :mod:`repro.data.kernel` replaced them with keyed dict
+operations.  They are deliberately slow and deliberately simple — a
+bag-semantics specification by nested ``values_equal`` loops — and they
+live under ``tests/`` only: the hypothesis law suite checks the kernel
+against them, and ``benchmarks/bench_kernel.py`` times the kernel's
+asymptotic win over them.  Nothing in ``src/`` may import this module.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.data.model import Bag, Record, canonical_key, values_equal
+
+
+def naive_union(left: Bag, right: Bag) -> Bag:
+    return Bag(left.items + right.items)
+
+
+def naive_minus(left: Bag, right: Bag) -> Bag:
+    """Multiset difference by one-at-a-time linear matching."""
+    remaining = list(right.items)
+    kept: List[Any] = []
+    for item in left.items:
+        for i, candidate in enumerate(remaining):
+            if values_equal(item, candidate):
+                del remaining[i]
+                break
+        else:
+            kept.append(item)
+    return Bag(kept)
+
+
+def naive_intersection(left: Bag, right: Bag) -> Bag:
+    """Multiset intersection by one-at-a-time linear matching."""
+    remaining = list(right.items)
+    kept: List[Any] = []
+    for item in left.items:
+        for i, candidate in enumerate(remaining):
+            if values_equal(item, candidate):
+                del remaining[i]
+                kept.append(item)
+                break
+    return Bag(kept)
+
+
+def naive_contains(bag: Bag, value: Any) -> bool:
+    return any(values_equal(value, item) for item in bag.items)
+
+
+def naive_distinct(bag: Bag) -> Bag:
+    """Duplicate elimination with a *list* of seen keys (O(n²))."""
+    seen: List[tuple] = []
+    kept: List[Any] = []
+    for item in bag.items:
+        key = canonical_key(item)
+        if key not in seen:
+            seen.append(key)
+            kept.append(item)
+    return Bag(kept)
+
+
+def naive_equal(left: Bag, right: Bag) -> bool:
+    """Multiset equality by sorted canonical-key comparison."""
+    if len(left.items) != len(right.items):
+        return False
+    left_keys = sorted(canonical_key(v) for v in left.items)
+    right_keys = sorted(canonical_key(v) for v in right.items)
+    return left_keys == right_keys
+
+
+def naive_compatible(left: Record, right: Record) -> bool:
+    mine = dict(left.fields)
+    for name, value in right.fields:
+        if name in mine and not values_equal(mine[name], value):
+            return False
+    return True
+
+
+def naive_merge_concat(left: Record, right: Record) -> Bag:
+    if naive_compatible(left, right):
+        return Bag([left.concat(right)])
+    return Bag([])
