@@ -97,9 +97,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     explain_cmd.add_argument(
         "--data",
-        help="JSON data file; when given (or with --tpch, which uses the "
-        "micro database), explain also runs the join engine and reports "
-        "hash joins vs fallbacks to the reference semantics",
+        help="JSON data file; when given (or with --tpch, where it names a "
+        "generated scale: micro or small, default micro), explain also runs "
+        "the join engine and reports hash joins vs fallbacks to the "
+        "reference semantics",
+    )
+    explain_cmd.add_argument(
+        "--analyze",
+        action="store_true",
+        help="EXPLAIN ANALYZE: execute the optimized plan with per-node "
+        "statistics and print the annotated tree plus the cost-model "
+        "calibration report (needs data: --data, or --tpch's generated scale)",
     )
     _add_obs_flags(explain_cmd)
 
@@ -118,6 +126,20 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve_cmd.add_argument(
         "--timeout", type=float, default=30.0, help="default per-query timeout (seconds)"
+    )
+    serve_cmd.add_argument(
+        "--slow-query",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="log queries whose execute phase takes at least this long "
+        "(kept in the telemetry ring; see the 'telemetry' op)",
+    )
+    serve_cmd.add_argument(
+        "--telemetry-capacity",
+        type=int,
+        default=256,
+        help="per-query telemetry ring-buffer capacity",
     )
     return parser
 
@@ -257,42 +279,92 @@ def _print_explain(result: CompilationResult, stage_choice: str, verbose: bool, 
         print("", file=out)
 
 
-def _print_engine(result: CompilationResult, args: argparse.Namespace, out) -> None:
-    """Run the join engine on the optimized plan and report its decisions.
+def _explain_constants(args: argparse.Namespace) -> Optional[dict]:
+    """The database ``explain`` should execute against, or None.
+
+    With ``--tpch``, ``--data`` names a generated scale (``micro``, the
+    default, or ``small``); otherwise it is a JSON file path.
+    """
+    if args.tpch is not None:
+        from repro.tpch.datagen import MICRO, SMALL, generate
+
+        scales = {"micro": MICRO, "small": SMALL}
+        name = args.data or "micro"
+        if name not in scales:
+            raise _DataFileError(
+                "--data with --tpch names a generated scale: micro or small "
+                "(got %r)" % (name,)
+            )
+        return generate(scales[name], seed=7)
+    if args.data:
+        return _load_data(args.data)
+    return None
+
+
+def _print_analyze(result: CompilationResult, constants: dict, out) -> Optional[int]:
+    """EXPLAIN ANALYZE: run the optimized plan instrumented; print the tree.
+
+    Returns the result cardinality (so the join-engine section can skip
+    re-executing), or None when execution failed.
+    """
+    from repro.data.model import Bag, Record
+    from repro.nraenv.eval import EvalError
+    from repro.nraenv.exec import eval_fast
+    from repro.obs.analyze import analyze_execution, calibration_report, render_analyze
+
+    plan = result.output("nraenv_opt")
+    print("== EXPLAIN ANALYZE (optimized NRAe, join engine) ==", file=out)
+    try:
+        with analyze_execution() as collector:
+            value = eval_fast(plan, Record({}), None, constants)
+    except EvalError as exc:
+        print("execution failed: %s" % exc, file=out)
+        print("", file=out)
+        return None
+    print(render_analyze(plan, collector), file=out, end="")
+    print("", file=out)
+    print(calibration_report(plan, collector), file=out, end="")
+    print("", file=out)
+    return len(value) if isinstance(value, Bag) else 0
+
+
+def _print_engine(
+    result: CompilationResult, constants: Optional[dict], out, rows: Optional[int] = None
+) -> None:
+    """Report the join engine's decisions on the optimized plan.
 
     The engine's shape analysis is data-dependent, so the report is only
-    produced when data is available: the TPC-H micro database for
+    produced when data is available: a generated TPC-H scale for
     ``--tpch``, or a ``--data`` file.  Counters come from the active
     :mod:`repro.obs` session (``engine.join`` / ``engine.fallback.*`` —
-    the formerly *silent* fallbacks to the reference semantics).
+    the formerly *silent* fallbacks to the reference semantics).  When
+    ``rows`` is given the plan already ran (EXPLAIN ANALYZE) and is not
+    re-executed — the counters reflect that single run.
     """
     from repro.obs.metrics import get_metrics
 
     print("== Join engine ==", file=out)
-    if args.tpch is not None:
-        from repro.tpch.datagen import MICRO, generate
-
-        constants = generate(MICRO, seed=7)
-    elif args.data:
-        constants = _load_data(args.data)
-    else:
+    if constants is None:
         print(
             "not exercised (pass --data, or use --tpch for the micro database)",
             file=out,
         )
         print("", file=out)
         return
-    from repro.data.model import Record
-    from repro.nraenv.eval import EvalError
-    from repro.nraenv.exec import eval_fast
+    if rows is None:
+        from repro.data.model import Record
+        from repro.nraenv.eval import EvalError
+        from repro.nraenv.exec import eval_fast
 
-    plan = result.output("nraenv_opt")
-    try:
-        rows = eval_fast(plan, Record({}), None, constants)
-    except EvalError as exc:
-        print("execution failed: %s" % exc, file=out)
+        plan = result.output("nraenv_opt")
+        try:
+            value = eval_fast(plan, Record({}), None, constants)
+        except EvalError as exc:
+            print("execution failed: %s" % exc, file=out)
+        else:
+            print("executed optimized NRAe plan: %d rows" % len(value), file=out)
     else:
-        print("executed optimized NRAe plan: %d rows" % len(rows), file=out)
+        print("executed optimized NRAe plan: %d rows" % rows, file=out)
     counters = get_metrics().snapshot()["counters"]
     print("hash joins executed: %d" % counters.get("engine.join", 0), file=out)
     prefix = "engine.fallback."
@@ -358,6 +430,8 @@ def main(argv: Optional[List[str]] = None, out: Any = None) -> int:
                 workers=args.workers,
                 queue_depth=args.queue_depth,
                 default_timeout=args.timeout,
+                telemetry_capacity=args.telemetry_capacity,
+                slow_query_seconds=args.slow_query,
             )
             if args.data:
                 try:
@@ -391,10 +465,21 @@ def main(argv: Optional[List[str]] = None, out: Any = None) -> int:
                 result = compilers[args.language](text)
             _print_explain(result, args.stage, args.verbose, out)
             try:
-                _print_engine(result, args, out)
+                constants = _explain_constants(args)
             except _DataFileError as exc:
                 print("repro: %s" % exc, file=out)
                 return 2
+            rows = None
+            if args.analyze:
+                if constants is None:
+                    print(
+                        "repro: --analyze needs data to execute against "
+                        "(pass --data, or use --tpch for a generated scale)",
+                        file=out,
+                    )
+                    return 2
+                rows = _print_analyze(result, constants, out)
+            _print_engine(result, constants, out, rows=rows)
             code = 0
 
         else:  # pragma: no cover - argparse enforces subcommands

@@ -28,6 +28,7 @@ makes for rewrites.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
 from repro.data import kernel
@@ -47,17 +48,44 @@ FALLBACK_REASONS = (
     "unresolved_field",
 )
 
+#: Human-readable fallback reasons, for the EXPLAIN ANALYZE tree.
+FALLBACK_LABELS = {
+    "single_factor": "single factor (no product to join)",
+    "env_not_record": "environment is not a record",
+    "ambiguous_field": "ambiguous field across factors",
+    "unresolved_field": "unresolved field in predicate",
+}
 
-def _fallback(reason: str) -> None:
+
+def _fallback(select: ast.Select, reason: str) -> None:
     """Record one engine→reference fallback under ``engine.fallback.<reason>``.
 
     The engine used to fall back *silently*; now every ``return None``
     out of :func:`_execute_join` is counted (with its reason) in the
     active :mod:`repro.obs` metrics registry, and ``repro explain``
     surfaces the totals.  With no registry installed this is a no-op.
+    When an EXPLAIN ANALYZE collector is active, the reason is also
+    pinned to the ``select`` node so the annotated tree can show *why*
+    that node fell back, inline.
     """
     get_metrics().counter("engine.fallback." + reason).inc()
+    analyzer = _ANALYZER
+    if analyzer is not None:
+        analyzer.on_join(select, reason)
     return None
+
+
+#: EXPLAIN ANALYZE collector (see :mod:`repro.obs.analyze` and the
+#: twin hook in :mod:`repro.nraenv.eval`).  Enabling swaps the engine's
+#: ``_eval`` dispatcher; disabled, the hot path is untouched.
+_ANALYZER = None
+
+
+def set_analyzer(analyzer) -> None:
+    """Install (or with ``None``, remove) the EXPLAIN ANALYZE collector."""
+    global _ANALYZER, _eval
+    _ANALYZER = analyzer
+    _eval = _eval_plain if analyzer is None else _eval_analyzed
 
 
 def eval_fast(
@@ -287,7 +315,7 @@ def _execute_join(
     """Execute ``σ⟨p⟩(q1 × … × qk)`` as a join, or None to fall back."""
     factors = _flatten_product(select.input)
     if len(factors) < 2:
-        return _fallback("single_factor")
+        return _fallback(select, "single_factor")
     predicate = select.pred
     env_mode = False
     if (
@@ -301,7 +329,7 @@ def _execute_join(
         env_mode = True
         predicate = predicate.after
         if not isinstance(env, Record):
-            return _fallback("env_not_record")
+            return _fallback(select, "env_not_record")
     conjuncts = [_Conjunct(pred, env_mode) for pred in _conjuncts(predicate)]
 
     relations = [_materialise(f, env, datum, constants) for f in factors]
@@ -321,12 +349,12 @@ def _execute_join(
                     and field not in relations[i].domain
                     for i in range(len(relations))
                 ):
-                    return _fallback("ambiguous_field")
+                    return _fallback(select, "ambiguous_field")
             elif env_mode and field in outer_fields and field not in union_fields:
                 # an outer-environment read, constant across rows — fine
                 pass
             else:
-                return _fallback("unresolved_field")
+                return _fallback(select, "unresolved_field")
         if conjunct.equality is not None:
             f_path, g_path = conjunct.equality
             if f_path[0] not in owners or g_path[0] not in owners:
@@ -458,6 +486,13 @@ def _execute_join(
                 if _check(conjunct.pred, row, env, constants, env_mode)
             ]
     get_metrics().counter("engine.join").inc()
+    analyzer = _ANALYZER
+    if analyzer is not None:
+        # The join consumed the factors directly (the Product node never
+        # ran): report the hash-join path and the true input cardinality
+        # on the Select node itself.
+        analyzer.on_join(select, None)
+        analyzer.add_input(select, sum(len(r.rows) for r in relations))
     return Bag(records)
 
 
@@ -466,7 +501,9 @@ def _execute_join(
 # ---------------------------------------------------------------------------
 
 
-def _eval(plan: ast.NraeNode, env: Any, datum: Any, constants: Mapping[str, Any]) -> Any:
+def _eval_plain(
+    plan: ast.NraeNode, env: Any, datum: Any, constants: Mapping[str, Any]
+) -> Any:
     if isinstance(plan, ast.Select) and isinstance(plan.input, ast.Product):
         result = _execute_join(plan, env, datum, constants)
         if result is not None:
@@ -539,6 +576,26 @@ def _eval(plan: ast.NraeNode, env: Any, datum: Any, constants: Mapping[str, Any]
         return Bag(_eval(plan.body, item, datum, constants) for item in env)
     # leaves: delegate to the reference evaluator
     return eval_nraenv(plan, env, datum, constants)
+
+
+def _eval_analyzed(
+    plan: ast.NraeNode, env: Any, datum: Any, constants: Mapping[str, Any]
+) -> Any:
+    """The dispatcher installed by :func:`set_analyzer`: times every node."""
+    analyzer = _ANALYZER
+    stats = analyzer.enter(plan)
+    start = time.perf_counter()
+    try:
+        result = _eval_plain(plan, env, datum, constants)
+    except BaseException:
+        analyzer.exit_error(stats, time.perf_counter() - start)
+        raise
+    analyzer.exit(stats, time.perf_counter() - start, result)
+    return result
+
+
+#: The active dispatcher; rebound by :func:`set_analyzer`.
+_eval = _eval_plain
 
 
 def _product(left: Bag, right: Bag) -> Bag:

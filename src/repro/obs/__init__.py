@@ -7,8 +7,11 @@ Three layers, all disabled by default with near-zero overhead:
   :data:`NULL_TRACER`);
 - :mod:`repro.obs.metrics` — counters / gauges / histograms in a
   :class:`MetricsRegistry`;
-- :mod:`repro.obs.export` — Chrome ``trace_event`` JSON and a text
-  report.
+- :mod:`repro.obs.export` — Chrome ``trace_event`` JSON, a text
+  report, and Prometheus text exposition;
+- :mod:`repro.obs.analyze` — EXPLAIN ANALYZE: per-plan-node runtime
+  statistics (cardinalities, timings, join-engine outcomes) and the
+  cost-model calibration report.
 
 The one-call entry point is :func:`observe`, which installs a fresh
 tracer + registry globally *and* hooks the evaluators and the backend
@@ -29,7 +32,15 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 
-from repro.obs.export import chrome_trace, text_report, write_chrome_trace
+from repro.obs.analyze import (
+    AnalyzeCollector,
+    NodeStats,
+    analysis_summary,
+    analyze_execution,
+    calibration_report,
+    render_analyze,
+)
+from repro.obs.export import chrome_trace, prometheus_text, text_report, write_chrome_trace
 from repro.obs.metrics import (
     NULL_METRICS,
     Counter,
@@ -53,6 +64,7 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "AnalyzeCollector",
     "Counter",
     "EvalObserver",
     "Gauge",
@@ -60,15 +72,21 @@ __all__ = [
     "MetricsRegistry",
     "NULL_METRICS",
     "NULL_TRACER",
+    "NodeStats",
     "NullMetrics",
     "NullTracer",
     "ObsSession",
     "Span",
     "Tracer",
+    "analysis_summary",
+    "analyze_execution",
+    "calibration_report",
     "chrome_trace",
     "get_metrics",
     "get_tracer",
     "observe",
+    "prometheus_text",
+    "render_analyze",
     "set_metrics",
     "set_tracer",
     "text_report",

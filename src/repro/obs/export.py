@@ -9,6 +9,12 @@ Two consumers:
   tracer's epoch; instants become "ph": "i" events.
 - :func:`text_report` — a human-readable span tree plus a metrics
   digest, for ``repro compile --profile``.
+- :func:`prometheus_text` — the Prometheus text exposition format
+  (version 0.0.4), so a long-lived ``repro serve`` session can be
+  scraped.  Counters become ``repro_<name>_total``; histograms are
+  exposed as summaries with interpolated ``quantile`` labels (the
+  power-of-two buckets do not match Prometheus's cumulative ``le``
+  histogram contract, and quantiles are what dashboards want anyway).
 """
 
 from __future__ import annotations
@@ -132,9 +138,81 @@ def text_report(tracer: Optional[Tracer] = None, metrics=None) -> str:
             lines.append("histograms:")
             for name, summary in live_histograms.items():
                 lines.append(
-                    "  %-46s count=%d min=%s mean=%.1f max=%s"
-                    % (name, summary["count"], summary["min"], summary["mean"], summary["max"])
+                    "  %-46s count=%d min=%s mean=%.1f p50=%s p95=%s p99=%s max=%s"
+                    % (
+                        name,
+                        summary["count"],
+                        summary["min"],
+                        summary["mean"],
+                        _quantile_text(summary.get("p50")),
+                        _quantile_text(summary.get("p95")),
+                        _quantile_text(summary.get("p99")),
+                        summary["max"],
+                    )
                 )
     if not lines:
         return "(no observability data recorded)\n"
+    return "\n".join(lines) + "\n"
+
+
+def _quantile_text(value) -> str:
+    if value is None:
+        return "-"
+    return "%.1f" % value
+
+
+def _prom_name(name: str) -> str:
+    """Sanitize an instrument name into a Prometheus metric name."""
+    sanitized = []
+    for char in name:
+        if char.isalnum() or char in "_:":
+            sanitized.append(char)
+        else:
+            sanitized.append("_")
+    candidate = "".join(sanitized)
+    if candidate and candidate[0].isdigit():
+        candidate = "_" + candidate
+    return "repro_" + candidate
+
+
+def _prom_value(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        return repr(value)
+    return "0"
+
+
+def prometheus_text(metrics) -> str:
+    """Render a registry in the Prometheus text exposition format.
+
+    Output is deterministic (instruments sorted by name) and ends with
+    a trailing newline, as the format requires.  Non-numeric gauge
+    values are skipped — Prometheus samples are floats only.
+    """
+    snapshot = metrics.snapshot()
+    lines: List[str] = []
+    for name, value in snapshot["counters"].items():
+        metric = _prom_name(name) + "_total"
+        lines.append("# TYPE %s counter" % metric)
+        lines.append("%s %s" % (metric, _prom_value(value)))
+    for name, value in snapshot["gauges"].items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        metric = _prom_name(name)
+        lines.append("# TYPE %s gauge" % metric)
+        lines.append("%s %s" % (metric, _prom_value(value)))
+    for name, summary in snapshot["histograms"].items():
+        metric = _prom_name(name)
+        lines.append("# TYPE %s summary" % metric)
+        for label, key in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")):
+            value = summary.get(key)
+            if value is not None:
+                lines.append('%s{quantile="%s"} %s' % (metric, label, _prom_value(float(value))))
+        lines.append("%s_sum %s" % (metric, _prom_value(summary["sum"])))
+        lines.append("%s_count %s" % (metric, _prom_value(summary["count"])))
+    if not lines:
+        return "# (no metrics recorded)\n"
     return "\n".join(lines) + "\n"

@@ -13,7 +13,14 @@ so the uninstrumented paths stay within noise.
 
 Histograms do not retain samples; they keep count/sum/min/max plus
 power-of-two bucket counts, which is enough for the "intermediate bag
-sizes" distributions without unbounded memory on large runs.
+sizes" distributions (and interpolated p50/p95/p99 estimates) without
+unbounded memory on large runs.
+
+Instruments are thread-safe: the service's thread-pool executor hits
+the same counters and histograms from many workers at once, and an
+unguarded ``self.value += n`` loses updates under preemption.  Each
+instrument carries its own lock; the disabled path (:data:`NULL_METRICS`)
+stays lock-free.
 """
 
 from __future__ import annotations
@@ -26,14 +33,16 @@ from typing import Any, Dict, Optional
 class Counter(object):
     """A monotonically increasing count."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def __repr__(self) -> str:
         return "Counter(%s=%d)" % (self.name, self.value)
@@ -42,18 +51,21 @@ class Counter(object):
 class Gauge(object):
     """A point-in-time value; ``track_max`` keeps a high-water mark."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def set(self, value) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def track_max(self, value) -> None:
-        if value > self.value:
-            self.value = value
+        with self._lock:
+            if value > self.value:
+                self.value = value
 
     def __repr__(self) -> str:
         return "Gauge(%s=%r)" % (self.name, self.value)
@@ -66,7 +78,10 @@ class Histogram(object):
     (bucket 0 counts ``v <= 1``, including zero and negatives).
     """
 
-    __slots__ = ("name", "count", "total", "minimum", "maximum", "buckets")
+    __slots__ = ("name", "count", "total", "minimum", "maximum", "buckets", "_lock")
+
+    #: The quantiles rendered by reports and the Prometheus exporter.
+    QUANTILES = (0.5, 0.95, 0.99)
 
     def __init__(self, name: str):
         self.name = name
@@ -75,24 +90,62 @@ class Histogram(object):
         self.minimum: Optional[float] = None
         self.maximum: Optional[float] = None
         self.buckets: Dict[int, int] = {}
+        self._lock = threading.Lock()
 
     def record(self, value) -> None:
-        self.count += 1
-        self.total += value
-        if self.minimum is None or value < self.minimum:
-            self.minimum = value
-        if self.maximum is None or value > self.maximum:
-            self.maximum = value
-        bucket = 0
-        bound = 1
-        while value > bound:
-            bound <<= 1
-            bucket += 1
-        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.minimum is None or value < self.minimum:
+                self.minimum = value
+            if self.maximum is None or value > self.maximum:
+                self.maximum = value
+            bucket = 0
+            bound = 1
+            while value > bound:
+                bound <<= 1
+                bucket += 1
+            self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the ``q``-quantile from the power-of-two buckets.
+
+        Walks the cumulative bucket counts to the one holding the target
+        rank ``q * count`` and interpolates linearly inside it.  Bucket
+        bounds are clamped to the observed ``[min, max]`` so estimates
+        never stray outside the recorded range (bucket 0 would otherwise
+        have an unbounded lower edge, and the top bucket's upper power of
+        two can be far past the true maximum).  Returns ``None`` when
+        nothing has been recorded.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1], got %r" % (q,))
+        if self.count == 0:
+            return None
+        target = q * self.count
+        cumulative = 0
+        for bucket, tally in sorted(self.buckets.items()):
+            if cumulative + tally < target:
+                cumulative += tally
+                continue
+            lower = float(1 << (bucket - 1)) if bucket > 0 else float(self.minimum)
+            upper = float(1 << bucket) if bucket > 0 else 1.0
+            lower = max(lower, float(self.minimum))
+            upper = min(upper, float(self.maximum))
+            if upper <= lower or tally == 0:
+                return min(max(lower, float(self.minimum)), float(self.maximum))
+            fraction = (target - cumulative) / tally
+            estimate = lower + fraction * (upper - lower)
+            return min(max(estimate, float(self.minimum)), float(self.maximum))
+        return float(self.maximum)
+
+    def quantiles(self) -> Dict[float, Optional[float]]:
+        """The standard report quantiles (:data:`QUANTILES`) as a dict."""
+        return {q: self.quantile(q) for q in self.QUANTILES}
 
     def summary(self) -> Dict[str, Any]:
         return {
@@ -101,6 +154,9 @@ class Histogram(object):
             "min": self.minimum,
             "max": self.maximum,
             "mean": self.mean,
+            "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
             "buckets": dict(sorted(self.buckets.items())),
         }
 
@@ -175,6 +231,12 @@ class _NullInstrument(object):
 
     def record(self, value) -> None:
         pass
+
+    def quantile(self, q: float) -> None:
+        return None
+
+    def quantiles(self) -> Dict[float, Any]:
+        return {}
 
 
 _NULL_INSTRUMENT = _NullInstrument()

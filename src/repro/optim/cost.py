@@ -4,11 +4,17 @@
 implement exactly that, plus the individual components for metrics
 reporting.  The cost function is a parameter of the engine, so richer
 models can be plugged in (the paper notes the same).
+
+:func:`node_costs` and :func:`spearman_rank_correlation` support the
+EXPLAIN ANALYZE calibration report (:mod:`repro.obs.analyze`): scoring
+every subtree with the structural model and checking how well that
+ordering tracks measured cardinalities is the groundwork for replacing
+the structural model with a data-driven one.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 Cost = Callable[[Any], int]
 
@@ -26,3 +32,54 @@ def depth_cost(plan: Any) -> int:
 def size_depth_cost(plan: Any) -> int:
     """The paper's default: size plus depth."""
     return plan.size() + plan.depth()
+
+
+def node_costs(plan: Any, cost: Cost = size_depth_cost) -> Dict[int, int]:
+    """Score every subtree of ``plan``, keyed by node identity.
+
+    The key is ``id(node)`` — the same keying EXPLAIN ANALYZE uses for
+    its per-node stats, so the two tables join directly.  The returned
+    dict is only valid while ``plan`` (which owns every node) is alive.
+    """
+    return {id(node): cost(node) for node in plan.walk()}
+
+
+def _average_ranks(values: Sequence[float]) -> List[float]:
+    """Ranks (1-based), ties getting the average of their positions."""
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    i = 0
+    while i < len(order):
+        j = i
+        while j + 1 < len(order) and values[order[j + 1]] == values[order[i]]:
+            j += 1
+        average = (i + j) / 2.0 + 1.0
+        for k in range(i, j + 1):
+            ranks[order[k]] = average
+        i = j + 1
+    return ranks
+
+
+def spearman_rank_correlation(
+    xs: Sequence[float], ys: Sequence[float]
+) -> Optional[float]:
+    """Spearman's ρ: Pearson correlation of the (tie-averaged) ranks.
+
+    Returns ``None`` when undefined — fewer than two pairs, or either
+    side constant (zero rank variance).
+    """
+    if len(xs) != len(ys):
+        raise ValueError("length mismatch: %d vs %d" % (len(xs), len(ys)))
+    n = len(xs)
+    if n < 2:
+        return None
+    rx = _average_ranks(xs)
+    ry = _average_ranks(ys)
+    mean_x = sum(rx) / n
+    mean_y = sum(ry) / n
+    cov = sum((a - mean_x) * (b - mean_y) for a, b in zip(rx, ry))
+    var_x = sum((a - mean_x) ** 2 for a in rx)
+    var_y = sum((b - mean_y) ** 2 for b in ry)
+    if var_x == 0.0 or var_y == 0.0:
+        return None
+    return cov / (var_x * var_y) ** 0.5

@@ -36,6 +36,7 @@ from repro.service.executor import Outcome, SessionExecutor
 from repro.service.plan_key import ast_fingerprint, plan_key
 from repro.service.prepared import CompiledPlan, PreparedQuery, compile_plan, parse_query
 from repro.service.service import QueryService
+from repro.service.telemetry import QueryTelemetry, TelemetryLog
 
 __all__ = [
     "BadRequest",
@@ -48,11 +49,13 @@ __all__ = [
     "PlanCache",
     "PreparedQuery",
     "QueryService",
+    "QueryTelemetry",
     "QueryTimeout",
     "RuntimeQueryError",
     "ServiceError",
     "SessionExecutor",
     "TableInfo",
+    "TelemetryLog",
     "ast_fingerprint",
     "compile_plan",
     "parse_query",

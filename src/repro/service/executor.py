@@ -33,14 +33,19 @@ from repro.service.errors import Overloaded, QueryTimeout, RuntimeQueryError, Se
 
 
 class Outcome:
-    """The structured result of one execution attempt."""
+    """The structured result of one execution attempt.
 
-    __slots__ = ("value", "error", "seconds")
+    ``analysis`` is filled only for EXPLAIN ANALYZE executions: the
+    JSON-safe summary from :func:`repro.obs.analyze.analysis_summary`.
+    """
+
+    __slots__ = ("value", "error", "seconds", "analysis")
 
     def __init__(self, value: Any = None, error: Optional[ServiceError] = None, seconds: float = 0.0):
         self.value = value
         self.error = error
         self.seconds = seconds
+        self.analysis: Optional[Any] = None
 
     @property
     def ok(self) -> bool:

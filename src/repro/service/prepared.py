@@ -42,7 +42,16 @@ def collect_params(node: Any) -> Tuple[str, ...]:
 class CompiledPlan:
     """The shareable compiled artifact for one structural plan key."""
 
-    __slots__ = ("language", "key", "nnrc", "callable", "params", "compile_seconds", "timings")
+    __slots__ = (
+        "language",
+        "key",
+        "nnrc",
+        "nraenv",
+        "callable",
+        "params",
+        "compile_seconds",
+        "timings",
+    )
 
     def __init__(
         self,
@@ -53,10 +62,12 @@ class CompiledPlan:
         params: Tuple[str, ...],
         compile_seconds: float,
         timings: Dict[str, float],
+        nraenv: Any = None,
     ):
         self.language = language
         self.key = key
         self.nnrc = nnrc
+        self.nraenv = nraenv
         self.callable = fn
         self.params = params
         self.compile_seconds = compile_seconds
@@ -97,6 +108,27 @@ class CompiledPlan:
         """Run the compiled callable against a constants snapshot."""
         return self.callable(self.bind(constants, params))
 
+    def execute_analyzed(
+        self, constants: Dict[str, Any], params: Optional[Dict[str, Any]] = None
+    ) -> Tuple[Any, Dict[str, Any]]:
+        """Run with EXPLAIN ANALYZE: (result, analysis summary).
+
+        Executes the *optimized NRAe plan* through the join engine with
+        per-node statistics collection — slower than the compiled
+        callable (and serialized process-wide), so strictly an opt-in
+        diagnostic path.  The summary includes the annotated plan tree.
+        """
+        from repro.data.model import Record
+        from repro.nraenv.exec import eval_fast
+        from repro.obs.analyze import analysis_summary, analyze_execution
+
+        if self.nraenv is None:
+            raise BadRequest("plan was compiled without its NRAe stage; cannot analyze")
+        bound = self.bind(constants, params)
+        with analyze_execution() as collector:
+            value = eval_fast(self.nraenv, Record({}), None, bound)
+        return value, analysis_summary(collector, self.nraenv)
+
 
 def parse_query(language: str, text: str) -> Any:
     """Parse, mapping all frontend failures to :class:`CompileError`."""
@@ -109,6 +141,7 @@ def parse_query(language: str, text: str) -> Any:
 def compile_plan(language: str, ast: Any, key: Optional[str] = None) -> CompiledPlan:
     """Compile a parsed AST into a :class:`CompiledPlan` (the slow path)."""
     from repro.backend.python_gen import compile_nnrc_to_callable
+    from repro.compiler.pipeline import NRAENV_OPT
 
     if key is None:
         key = plan_key(language, ast)
@@ -119,6 +152,10 @@ def compile_plan(language: str, ast: Any, key: Optional[str] = None) -> Compiled
     except (ValueError, TypeError, DataError) as exc:
         raise CompileError(str(exc))
     elapsed = time.perf_counter() - start
+    try:
+        nraenv = result.output(NRAENV_OPT)
+    except (KeyError, ValueError):
+        nraenv = None  # pipelines without an NRAe stage cannot be analyzed
     return CompiledPlan(
         language,
         key,
@@ -127,6 +164,7 @@ def compile_plan(language: str, ast: Any, key: Optional[str] = None) -> Compiled
         collect_params(ast),
         elapsed,
         result.timings(),
+        nraenv=nraenv,
     )
 
 

@@ -41,6 +41,7 @@ from repro.service.errors import BadRequest, ServiceError
 from repro.service.executor import Outcome, SessionExecutor
 from repro.service.plan_key import plan_key
 from repro.service.prepared import PreparedQuery, compile_plan, parse_query
+from repro.service.telemetry import QueryTelemetry, TelemetryLog
 
 
 class QueryService:
@@ -53,6 +54,8 @@ class QueryService:
         queue_depth: int = 16,
         default_timeout: Optional[float] = 30.0,
         metrics: Optional[MetricsRegistry] = None,
+        telemetry_capacity: int = 256,
+        slow_query_seconds: Optional[float] = None,
     ) -> None:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.catalog = Catalog()
@@ -61,6 +64,11 @@ class QueryService:
             workers=workers,
             queue_depth=queue_depth,
             default_timeout=default_timeout,
+            metrics=self.metrics,
+        )
+        self.telemetry = TelemetryLog(
+            capacity=telemetry_capacity,
+            slow_query_seconds=slow_query_seconds,
             metrics=self.metrics,
         )
         self._prepared: Dict[str, PreparedQuery] = {}
@@ -116,19 +124,36 @@ class QueryService:
         handle: str,
         params: Optional[Dict[str, Any]] = None,
         timeout: Optional[float] = None,
+        analyze: bool = False,
     ) -> Outcome:
-        """Run a prepared query on the executor; never raises."""
+        """Run a prepared query on the executor; never raises.
+
+        ``analyze=True`` runs the slower EXPLAIN ANALYZE path (the
+        optimized NRAe plan through the join engine with per-node
+        statistics) and attaches the summary to ``outcome.analysis``.
+        Every execution — either path — lands one
+        :class:`~repro.service.telemetry.QueryTelemetry` record in
+        :attr:`telemetry`.
+        """
         try:
             prepared = self.prepared(handle)
         except ServiceError as exc:
             return Outcome(error=exc)
         constants = self.catalog.constants()
         plan = prepared.plan
-        outcome = self.executor.submit(
-            lambda: plan.execute(constants, params), timeout=timeout
-        )
+        if analyze:
+            outcome = self.executor.submit(
+                lambda: plan.execute_analyzed(constants, params), timeout=timeout
+            )
+            if outcome.ok:
+                outcome.value, outcome.analysis = outcome.value
+        else:
+            outcome = self.executor.submit(
+                lambda: plan.execute(constants, params), timeout=timeout
+            )
         if outcome.ok:
             prepared.executions += 1
+        self._record_telemetry(prepared, outcome, analyzed=analyze)
         return outcome
 
     def query(
@@ -137,6 +162,7 @@ class QueryService:
         text: str,
         params: Optional[Dict[str, Any]] = None,
         timeout: Optional[float] = None,
+        analyze: bool = False,
     ) -> Outcome:
         """One-shot prepare + execute (still plan-cached); never raises."""
         try:
@@ -144,10 +170,38 @@ class QueryService:
         except ServiceError as exc:
             return Outcome(error=exc)
         try:
-            return self.execute(prepared.handle, params=params, timeout=timeout)
+            return self.execute(
+                prepared.handle, params=params, timeout=timeout, analyze=analyze
+            )
         finally:
             # One-shot handles must not accumulate for the service's lifetime.
             self._prepared.pop(prepared.handle, None)
+
+    def _record_telemetry(
+        self, prepared: PreparedQuery, outcome: Outcome, analyzed: bool
+    ) -> None:
+        rows = None
+        if outcome.ok:
+            try:
+                rows = len(outcome.value)
+            except TypeError:
+                rows = None
+        analysis = outcome.analysis if isinstance(outcome.analysis, dict) else {}
+        self.telemetry.record(
+            QueryTelemetry(
+                handle=prepared.handle,
+                language=prepared.language,
+                cache_hit=prepared.cached,
+                compile_seconds=0.0 if prepared.cached else prepared.plan.compile_seconds,
+                execute_seconds=outcome.seconds,
+                ok=outcome.ok,
+                error_kind=None if outcome.ok else outcome.error.kind,
+                rows=rows,
+                peak_rows=analysis.get("peak_rows"),
+                hot_operators=analysis.get("hot"),
+                analyzed=analyzed,
+            )
+        )
 
     # -- introspection ----------------------------------------------------
 
@@ -157,6 +211,7 @@ class QueryService:
             "prepared": len(self._prepared),
             "plan_cache": self.cache.stats(),
             "metrics": self.metrics.snapshot(),
+            "telemetry": self.telemetry.describe(),
         }
 
     def close(self, wait: bool = True) -> None:
@@ -209,6 +264,7 @@ class QueryService:
                 self._field(request, "handle"),
                 params=request.get("params"),
                 timeout=request.get("timeout"),
+                analyze=bool(request.get("analyze", False)),
             )
             return self._outcome_response(outcome)
         if op == "query":
@@ -217,6 +273,7 @@ class QueryService:
                 self._field(request, "query"),
                 params=request.get("params"),
                 timeout=request.get("timeout"),
+                analyze=bool(request.get("analyze", False)),
             )
             return self._outcome_response(outcome)
         if op == "close":
@@ -224,6 +281,22 @@ class QueryService:
             return {"ok": True}
         if op == "stats":
             return {"ok": True, "stats": self.stats()}
+        if op == "metrics":
+            from repro.obs.export import prometheus_text
+
+            return {
+                "ok": True,
+                "prometheus": prometheus_text(self.metrics),
+                "metrics": self.metrics.snapshot(),
+            }
+        if op == "telemetry":
+            count = request.get("n")
+            ring = self.telemetry.slow if request.get("slow") else self.telemetry.recent
+            return {
+                "ok": True,
+                "telemetry": self.telemetry.describe(),
+                "queries": [t.describe() for t in ring(count)],
+            }
         raise BadRequest("unknown op %r" % (op,))
 
     @staticmethod
@@ -249,7 +322,10 @@ class QueryService:
                 "error": {"kind": "internal_error", "message": str(exc)},
                 "seconds": outcome.seconds,
             }
-        return {"ok": True, "result": result, "seconds": outcome.seconds}
+        response = {"ok": True, "result": result, "seconds": outcome.seconds}
+        if outcome.analysis is not None:
+            response["analysis"] = outcome.analysis
+        return response
 
     def serve(self, input_stream: IO[str], output_stream: IO[str]) -> int:
         """The ``repro serve`` loop: one JSON request per line, one JSON

@@ -1,0 +1,159 @@
+"""Per-query telemetry: what every query the service ran actually did.
+
+The :mod:`repro.obs` metrics registry aggregates (how many executions,
+latency distribution); this module keeps the *per-query* records a
+production debugging session needs — did this query hit the plan cache,
+how long did compile vs execute take, how big did its intermediates
+get, which operators were hottest — in a bounded ring buffer, plus a
+separate ring of queries that crossed a configurable slow-query
+threshold.
+
+Both rings are capped (:class:`TelemetryLog` drops the oldest record
+on overflow), so a long-lived service's memory stays bounded no matter
+how many queries it serves.  Records are plain data
+(:meth:`QueryTelemetry.describe` is JSON-safe) so the ``telemetry``
+wire op can return them directly.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+
+class QueryTelemetry:
+    """One query's life: cache behaviour, phase timings, data volume."""
+
+    __slots__ = (
+        "handle",
+        "language",
+        "cache_hit",
+        "compile_seconds",
+        "execute_seconds",
+        "ok",
+        "error_kind",
+        "rows",
+        "peak_rows",
+        "hot_operators",
+        "analyzed",
+        "slow",
+    )
+
+    def __init__(
+        self,
+        handle: str,
+        language: str,
+        cache_hit: bool,
+        compile_seconds: float,
+        execute_seconds: float,
+        ok: bool,
+        error_kind: Optional[str] = None,
+        rows: Optional[int] = None,
+        peak_rows: Optional[int] = None,
+        hot_operators: Optional[List[Dict[str, Any]]] = None,
+        analyzed: bool = False,
+    ):
+        self.handle = handle
+        self.language = language
+        self.cache_hit = cache_hit
+        self.compile_seconds = compile_seconds
+        self.execute_seconds = execute_seconds
+        self.ok = ok
+        self.error_kind = error_kind
+        self.rows = rows
+        self.peak_rows = peak_rows
+        self.hot_operators = hot_operators
+        self.analyzed = analyzed
+        self.slow = False
+
+    def describe(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "handle": self.handle,
+            "language": self.language,
+            "cache_hit": self.cache_hit,
+            "compile_seconds": self.compile_seconds,
+            "execute_seconds": self.execute_seconds,
+            "ok": self.ok,
+        }
+        if self.error_kind is not None:
+            out["error_kind"] = self.error_kind
+        if self.rows is not None:
+            out["rows"] = self.rows
+        if self.analyzed:
+            out["analyzed"] = True
+            out["peak_rows"] = self.peak_rows
+            out["hot_operators"] = self.hot_operators
+        if self.slow:
+            out["slow"] = True
+        return out
+
+    def __repr__(self) -> str:
+        return "QueryTelemetry(%s, %s, %.4fs)" % (
+            self.handle,
+            "ok" if self.ok else self.error_kind,
+            self.execute_seconds,
+        )
+
+
+class TelemetryLog:
+    """Bounded rings of recent and slow query records (thread-safe).
+
+    ``slow_query_seconds=None`` disables the slow ring entirely; any
+    other value marks and retains queries whose execute phase met or
+    exceeded it.  Counters ``service.telemetry.recorded`` and
+    ``service.slow_queries`` land in the given metrics registry.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        slow_query_seconds: Optional[float] = None,
+        metrics: Any = None,
+    ):
+        if capacity < 1:
+            raise ValueError("telemetry capacity must be positive, got %d" % capacity)
+        self.capacity = capacity
+        self.slow_query_seconds = slow_query_seconds
+        self._recent: deque = deque(maxlen=capacity)
+        self._slow: deque = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._recorded = 0
+        self._metrics = metrics
+
+    def record(self, telemetry: QueryTelemetry) -> None:
+        threshold = self.slow_query_seconds
+        if threshold is not None and telemetry.execute_seconds >= threshold:
+            telemetry.slow = True
+        with self._lock:
+            self._recorded += 1
+            self._recent.append(telemetry)
+            if telemetry.slow:
+                self._slow.append(telemetry)
+        if self._metrics is not None:
+            self._metrics.counter("service.telemetry.recorded").inc()
+            if telemetry.slow:
+                self._metrics.counter("service.slow_queries").inc()
+
+    def recent(self, n: Optional[int] = None) -> List[QueryTelemetry]:
+        with self._lock:
+            records = list(self._recent)
+        return records if n is None else records[-n:]
+
+    def slow(self, n: Optional[int] = None) -> List[QueryTelemetry]:
+        with self._lock:
+            records = list(self._slow)
+        return records if n is None else records[-n:]
+
+    def describe(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "recorded": self._recorded,
+                "capacity": self.capacity,
+                "recent": len(self._recent),
+                "slow": len(self._slow),
+                "slow_query_seconds": self.slow_query_seconds,
+            }
+
+
+__all__ = ["QueryTelemetry", "TelemetryLog"]

@@ -262,6 +262,46 @@ class TestExplain:
         assert code == 2
         assert "unknown TPC-H query" in output
 
+    def test_explain_analyze_tpch(self):
+        code, output = run_cli(["explain", "--tpch", "q3", "--analyze"])
+        assert code == 0
+        assert "== EXPLAIN ANALYZE (optimized NRAe, join engine) ==" in output
+        assert "calls=" in output and "out=" in output and "self=" in output
+        assert re.search(r"hash join x[1-9]", output)
+        assert "== Cost-model calibration" in output
+        assert "rank correlation" in output
+        # the join-engine section reuses the analyzed run instead of
+        # re-executing, so its counters reflect exactly one execution
+        assert re.search(r"executed optimized NRAe plan: [1-9]\d* rows", output)
+        assert re.search(r"hash joins executed: [1-9]", output)
+
+    def test_explain_analyze_with_data_file(self, tmp_path):
+        data = tmp_path / "db.json"
+        data.write_text(json.dumps({"t": [{"a": 1}, {"a": 5}]}))
+        code, output = run_cli(
+            [
+                "explain",
+                "--query",
+                "select a from t where a > 2",
+                "--analyze",
+                "--data",
+                str(data),
+            ]
+        )
+        assert code == 0
+        assert "== EXPLAIN ANALYZE" in output
+        assert "table(t)" in output
+
+    def test_explain_analyze_without_data_exits_2(self):
+        code, output = run_cli(["explain", "--query", "select a from t", "--analyze"])
+        assert code == 2
+        assert "--analyze needs data" in output
+
+    def test_explain_tpch_bad_scale_name_exits_2(self):
+        code, output = run_cli(["explain", "--tpch", "q6", "--data", "huge"])
+        assert code == 2
+        assert "names a generated scale" in output
+
     def test_explain_with_trace(self, tmp_path):
         path = tmp_path / "explain.trace.json"
         code, output = run_cli(
@@ -314,6 +354,37 @@ class TestServe:
         code, output = run_cli(["serve", "--data", "/no/such.json"])
         assert code == 2
         assert "cannot read" in output
+
+    def test_metrics_op_over_the_wire(self, monkeypatch):
+        code, responses = self.run_serve(
+            monkeypatch,
+            [
+                json.dumps({"op": "register", "table": "t", "rows": [{"a": 1}]}),
+                json.dumps({"op": "query", "query": "select a from t"}),
+                json.dumps({"op": "metrics"}),
+            ],
+        )
+        assert code == 0
+        metrics = responses[2]
+        assert metrics["ok"]
+        assert "repro_service_execute_ok_total" in metrics["prometheus"]
+
+    def test_slow_query_flag_feeds_telemetry(self, monkeypatch):
+        code, responses = self.run_serve(
+            monkeypatch,
+            [
+                json.dumps({"op": "register", "table": "t", "rows": [{"a": 1}]}),
+                json.dumps({"op": "query", "query": "select a from t"}),
+                json.dumps({"op": "telemetry", "slow": True}),
+            ],
+            extra_args=["--slow-query", "0", "--telemetry-capacity", "4"],
+        )
+        assert code == 0
+        telemetry = responses[2]
+        assert telemetry["ok"]
+        assert telemetry["telemetry"]["capacity"] == 4
+        assert len(telemetry["queries"]) == 1
+        assert telemetry["queries"][0]["slow"] is True
 
     def test_errors_do_not_kill_loop(self, monkeypatch):
         code, responses = self.run_serve(

@@ -100,9 +100,14 @@ class TestFallbackCounters:
         source = inspect.getsource(engine._execute_join)
         called = set()
         for reason in FALLBACK_REASONS:
-            if '_fallback("%s")' % reason in source:
+            if '_fallback(select, "%s")' % reason in source:
                 called.add(reason)
         assert called == set(FALLBACK_REASONS)
+
+    def test_labels_cover_all_reasons(self):
+        from repro.nraenv.exec import FALLBACK_LABELS
+
+        assert set(FALLBACK_LABELS) == set(FALLBACK_REASONS)
 
     def test_no_registry_means_no_op(self):
         plan = b.sigma(

@@ -1,0 +1,311 @@
+"""Tests for EXPLAIN ANALYZE collection (repro.obs.analyze).
+
+Two families: unit tests for the collector/renderers on hand-built
+plans, and hypothesis properties pinning the two invariants that make
+the numbers trustworthy — an analyzed execution returns the *same
+multiset* as a plain one, and a parent's reported input cardinality
+equals its input children's reported output cardinality.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.model import Bag, Record, bag, rec
+from repro.nraenv import builders as b
+from repro.nraenv import eval as nraenv_eval
+from repro.nraenv import exec as engine
+from repro.nraenv.eval import EvalError, eval_nraenv
+from repro.nraenv.exec import eval_fast
+from repro.obs.analyze import (
+    AnalyzeCollector,
+    NodeStats,
+    analysis_summary,
+    analyze_execution,
+    calibration_report,
+    node_label,
+    render_analyze,
+)
+from repro.optim.verify import gen_plan, random_constants, random_datum, random_environment
+
+DB = {
+    "R": bag(rec(a=1, b=10), rec(a=2, b=20), rec(a=3, b=30)),
+    "S": bag(rec(c=1, d="x"), rec(c=2, d="y"), rec(c=2, d="z")),
+}
+
+
+def join_plan():
+    return b.sigma(
+        b.eq(b.dot(b.id_(), "a"), b.dot(b.id_(), "c")),
+        b.product(b.table("R"), b.table("S")),
+    )
+
+
+class TestNodeLabel:
+    def test_table_shows_constant_name(self):
+        assert node_label(b.table("R")) == "table(R)"
+
+    def test_ops_show_class_name(self):
+        assert node_label(b.dot(b.id_(), "a")) == "OpDot"
+
+    def test_const_shows_value(self):
+        assert node_label(b.const(5)) == "$5"
+
+    def test_combinators_show_symbols(self):
+        assert node_label(b.sigma(b.const(True), b.table("R"))) == "σ"
+        assert node_label(b.product(b.table("R"), b.table("S"))) == "×"
+
+
+class TestCollector:
+    def test_enter_exit_accumulates(self):
+        node = b.table("R")
+        collector = AnalyzeCollector()
+        stats = collector.enter(node)
+        collector.exit(stats, 0.5, DB["R"])
+        stats = collector.enter(node)
+        collector.exit(stats, 0.25, DB["R"])
+        stats = collector.stats_for(node)
+        assert stats.calls == 2
+        assert stats.out_bags == 2
+        assert stats.out_rows == 6
+        assert stats.max_rows == 3
+        assert abs(stats.seconds - 0.75) < 1e-9
+
+    def test_non_bag_results_leave_out_stats_zero(self):
+        node = b.const(5)
+        collector = AnalyzeCollector()
+        stats = collector.enter(node)
+        collector.exit(stats, 0.1, 5)
+        stats = collector.stats_for(node)
+        assert stats.out_bags == 0 and stats.out_rows == 0 and stats.max_rows == 0
+
+    def test_child_time_and_input_rows_attributed_to_parent(self):
+        source = b.table("R")
+        select = b.sigma(b.const(True), source)
+        collector = AnalyzeCollector()
+        outer = collector.enter(select)
+        inner = collector.enter(source)
+        collector.exit(inner, 0.2, DB["R"])
+        collector.exit(outer, 0.5, DB["R"])
+        stats = collector.stats_for(select)
+        assert stats.in_rows == 3  # source is an input child: its bag is consumed
+        assert abs(stats.child_seconds - 0.2) < 1e-9
+        assert abs(stats.self_seconds - 0.3) < 1e-9
+
+    def test_non_input_children_do_not_count_as_input(self):
+        pred = b.const(True)
+        select = b.sigma(pred, b.table("R"))
+        collector = AnalyzeCollector()
+        outer = collector.enter(select)
+        inner = collector.enter(pred)
+        collector.exit(inner, 0.0, DB["R"])  # a bag, but not from an input child
+        collector.exit(outer, 0.0, DB["R"])
+        assert collector.stats_for(select).in_rows == 0
+
+    def test_exit_error_counts_and_unwinds(self):
+        node = b.table("R")
+        collector = AnalyzeCollector()
+        stats = collector.enter(node)
+        collector.exit_error(stats, 0.1)
+        stats = collector.stats_for(node)
+        assert stats.errors == 1
+        assert stats.out_bags == 0
+        assert collector._stack == []
+
+    def test_on_join_and_add_input(self):
+        select = join_plan()
+        collector = AnalyzeCollector()
+        collector.on_join(select, None)
+        collector.on_join(select, "ambiguous_field")
+        collector.add_input(select, 6)
+        stats = collector.stats_for(select)
+        assert stats.hash_joins == 1
+        assert stats.fallbacks == {"ambiguous_field": 1}
+        assert stats.in_rows == 6
+
+    def test_peak_rows_and_hot_operators(self):
+        small, big = b.table("R"), b.table("S")
+        collector = AnalyzeCollector()
+        stats = collector.enter(small)
+        collector.exit(stats, 0.1, Bag([1]))
+        stats = collector.enter(big)
+        collector.exit(stats, 0.9, Bag([1, 2, 3, 4]))
+        assert collector.peak_rows() == 4
+        hot = collector.hot_operators(1)
+        assert len(hot) == 1
+        assert hot[0]["label"] == "table(S)"
+        assert hot[0]["self_seconds"] > 0.5
+
+
+class TestAnalyzedExecution:
+    def test_hash_join_reported_inline(self):
+        plan = join_plan()
+        with analyze_execution() as collector:
+            result = eval_fast(plan, Record({}), None, DB)
+        assert len(result) == 3
+        select = collector.stats_for(plan)
+        assert select.hash_joins == 1
+        assert select.in_rows == 6  # both factors, 3 rows each
+        assert select.out_rows == 3
+        rendering = render_analyze(plan, collector)
+        assert "hash join x1" in rendering
+        assert "(not executed)" in rendering  # the fused × never runs
+
+    def test_fallback_reason_reported_inline(self):
+        # ``b`` comes from R always but from H only sometimes — the
+        # engine cannot attribute it, so it falls back (and still gets
+        # the right answer through the reference semantics)
+        constants = dict(DB, H=bag(rec(c=1, b=2), rec(c=2)))
+        plan = b.sigma(
+            b.gt(b.dot(b.id_(), "b"), b.const(1)),
+            b.product(b.table("R"), b.table("H")),
+        )
+        with analyze_execution() as collector:
+            result = eval_fast(plan, Record({}), None, constants)
+        assert len(result) == 6
+        stats = collector.stats_for(plan)
+        assert stats.fallbacks == {"ambiguous_field": 1}
+        assert stats.hash_joins == 0
+        rendering = render_analyze(plan, collector)
+        assert "fallback: 1x ambiguous field across factors" in rendering
+
+    def test_reference_evaluator_mode(self):
+        plan = b.chi(b.dot(b.id_(), "a"), b.table("R"))
+        with analyze_execution(engine=False) as collector:
+            result = eval_nraenv(plan, Record({}), None, DB)
+        assert result == Bag([1, 2, 3])
+        stats = collector.stats_for(plan)
+        assert stats.calls == 1
+        assert stats.in_rows == 3
+        assert stats.out_rows == 3
+        # the body ran once per row
+        body = collector.stats_for(plan.body)
+        assert body.calls == 3
+
+    def test_dispatchers_restored_after_error(self):
+        plan = b.dot(b.const(5), "a")  # Dot over a non-record raises
+        with analyze_execution() as collector:
+            with pytest.raises(EvalError):
+                eval_fast(plan, Record({}), None, DB)
+        assert engine._eval is engine._eval_plain
+        assert nraenv_eval._eval is nraenv_eval._eval_plain
+        assert collector.stats_for(plan).errors == 1
+
+    def test_disabled_by_default(self):
+        assert engine._eval is engine._eval_plain
+        assert nraenv_eval._eval is nraenv_eval._eval_plain
+
+
+class TestRendering:
+    def run_analyzed(self, plan):
+        with analyze_execution() as collector:
+            eval_fast(plan, Record({}), None, DB)
+        return collector
+
+    def test_render_covers_every_node(self):
+        plan = join_plan()
+        collector = self.run_analyzed(plan)
+        rendering = render_analyze(plan, collector)
+        assert rendering.count("\n") == len(list(plan.walk()))
+        assert "table(R)" in rendering and "table(S)" in rendering
+        assert "calls=" in rendering and "time=" in rendering and "self=" in rendering
+
+    def test_calibration_report_table_and_rho(self):
+        plan = join_plan()
+        collector = self.run_analyzed(plan)
+        report = calibration_report(plan, collector)
+        assert "Cost-model calibration" in report
+        assert "operator" in report and "cost" in report and "out_rows" in report
+        assert "rank correlation" in report
+
+    def test_calibration_report_without_execution(self):
+        plan = join_plan()
+        report = calibration_report(plan, AnalyzeCollector())
+        assert "(no nodes executed)" in report
+
+    def test_analysis_summary_shape(self):
+        import json
+
+        plan = join_plan()
+        collector = self.run_analyzed(plan)
+        summary = analysis_summary(collector, plan)
+        assert summary["peak_rows"] == 3
+        assert summary["nodes"] >= 1
+        assert len(summary["hot"]) <= 3
+        assert "σ" in summary["tree"]
+        json.dumps(summary)  # must be wire-safe
+
+    def test_analysis_summary_without_plan_has_no_tree(self):
+        collector = self.run_analyzed(join_plan())
+        assert "tree" not in analysis_summary(collector)
+
+
+class TestProperties:
+    """The two invariants that make EXPLAIN ANALYZE numbers trustworthy."""
+
+    @given(st.integers(min_value=0, max_value=1_000_000))
+    @settings(max_examples=120, deadline=None)
+    def test_analyzed_engine_matches_plain(self, seed):
+        rng = random.Random(seed)
+        plan = gen_plan(rng, "any", depth=3)
+        env = random_environment(rng)
+        datum = random_datum(rng)
+        constants = random_constants(rng)
+        try:
+            expected = eval_fast(plan, env, datum, constants)
+        except EvalError:
+            with analyze_execution():
+                with pytest.raises(EvalError):
+                    eval_fast(plan, env, datum, constants)
+            return
+        with analyze_execution() as collector:
+            analyzed = eval_fast(plan, env, datum, constants)
+        assert analyzed == expected
+        assert collector.stats_for(plan).calls >= 1
+
+    @given(st.integers(min_value=0, max_value=1_000_000))
+    @settings(max_examples=120, deadline=None)
+    def test_analyzed_reference_matches_plain(self, seed):
+        rng = random.Random(seed)
+        plan = gen_plan(rng, "any", depth=3)
+        env = random_environment(rng)
+        datum = random_datum(rng)
+        constants = random_constants(rng)
+        try:
+            expected = eval_nraenv(plan, env, datum, constants)
+        except EvalError:
+            return
+        with analyze_execution(engine=False):
+            analyzed = eval_nraenv(plan, env, datum, constants)
+        assert analyzed == expected
+
+    @given(st.integers(min_value=0, max_value=1_000_000))
+    @settings(max_examples=120, deadline=None)
+    def test_parent_input_equals_child_output(self, seed):
+        """in_rows a parent reports == out_rows its input children report.
+
+        Checked under the reference evaluator, where every input bag
+        flows through the frame protocol (the join engine credits the
+        fused σ(×) input via add_input instead, bypassing the frames).
+        """
+        rng = random.Random(seed)
+        plan = gen_plan(rng, "bag", depth=3)
+        env = random_environment(rng)
+        datum = random_datum(rng)
+        constants = random_constants(rng)
+        try:
+            with analyze_execution(engine=False) as collector:
+                eval_nraenv(plan, env, datum, constants)
+        except EvalError:
+            return
+        for stats in collector.stats.values():
+            if not stats.input_ids:
+                continue
+            reported = sum(
+                collector.stats[child_id].out_rows
+                for child_id in stats.input_ids
+                if child_id in collector.stats
+            )
+            assert stats.in_rows == reported, node_label(stats.node)

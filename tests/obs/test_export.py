@@ -2,7 +2,13 @@
 
 import json
 
-from repro.obs.export import chrome_trace, chrome_trace_events, text_report, write_chrome_trace
+from repro.obs.export import (
+    chrome_trace,
+    chrome_trace_events,
+    prometheus_text,
+    text_report,
+    write_chrome_trace,
+)
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
 
@@ -102,3 +108,79 @@ class TestTextReport:
     def test_empty_report_placeholder(self):
         assert "no observability data" in text_report(None, None)
         assert "no observability data" in text_report(Tracer(), MetricsRegistry())
+
+    def test_histogram_line_carries_quantiles(self):
+        metrics = MetricsRegistry()
+        hist = metrics.histogram("eval.bag_size")
+        for value in range(1, 101):
+            hist.record(value)
+        report = text_report(None, metrics)
+        (line,) = [l for l in report.splitlines() if "eval.bag_size" in l]
+        assert "p50=" in line and "p95=" in line and "p99=" in line
+        # quantiles are rendered as numbers, not the "-" placeholder
+        assert "p50=-" not in line
+
+
+class TestPrometheus:
+    def test_counter_becomes_total_with_type_line(self):
+        metrics = MetricsRegistry()
+        metrics.counter("engine.join").inc(3)
+        text = prometheus_text(metrics)
+        assert "# TYPE repro_engine_join_total counter\n" in text
+        assert "\nrepro_engine_join_total 3\n" in "\n" + text
+
+    def test_gauge_exported_numeric_only(self):
+        metrics = MetricsRegistry()
+        metrics.gauge("depth").set(4)
+        metrics.gauge("label").set("q3")  # non-numeric: skipped
+        text = prometheus_text(metrics)
+        assert "repro_depth 4" in text
+        assert "label" not in text
+
+    def test_histogram_becomes_summary(self):
+        metrics = MetricsRegistry()
+        hist = metrics.histogram("service.execute.seconds")
+        for value in (1, 2, 3, 4, 100):
+            hist.record(value)
+        text = prometheus_text(metrics)
+        metric = "repro_service_execute_seconds"
+        assert "# TYPE %s summary" % metric in text
+        for label in ("0.5", "0.95", "0.99"):
+            assert '%s{quantile="%s"} ' % (metric, label) in text
+        assert "%s_sum 110" % metric in text
+        assert "%s_count 5" % metric in text
+
+    def test_names_are_sanitized(self):
+        metrics = MetricsRegistry()
+        metrics.counter("engine.fallback.env-not-record").inc()
+        text = prometheus_text(metrics)
+        assert "repro_engine_fallback_env_not_record_total 1" in text
+
+    def test_empty_registry_placeholder(self):
+        assert prometheus_text(MetricsRegistry()) == "# (no metrics recorded)\n"
+
+    def test_exposition_lines_parse(self):
+        import re
+
+        metrics = MetricsRegistry()
+        metrics.counter("c").inc()
+        metrics.gauge("g").set(2)
+        metrics.histogram("h").record(3)
+        text = prometheus_text(metrics)
+        assert text.endswith("\n")
+        sample = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{quantile=\"[0-9.]+\"\})? [0-9.eE+-]+$"
+        )
+        for line in text.rstrip("\n").splitlines():
+            if line.startswith("#"):
+                assert re.match(r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|summary)$", line)
+            else:
+                assert sample.match(line), line
+
+    def test_output_is_deterministic(self):
+        metrics = MetricsRegistry()
+        metrics.counter("b").inc()
+        metrics.counter("a").inc()
+        text = prometheus_text(metrics)
+        assert text.index("repro_a_total") < text.index("repro_b_total")
+        assert text == prometheus_text(metrics)

@@ -62,6 +62,121 @@ class TestInstruments:
         json.dumps(snapshot)  # must be JSON-serializable
 
 
+class TestQuantiles:
+    def test_empty_histogram_has_no_quantiles(self):
+        hist = MetricsRegistry().histogram("h")
+        assert hist.quantile(0.5) is None
+        summary = hist.summary()
+        assert summary["p50"] is None and summary["p95"] is None and summary["p99"] is None
+
+    def test_single_value(self):
+        hist = MetricsRegistry().histogram("h")
+        hist.record(7)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert hist.quantile(q) == 7.0
+
+    def test_quantiles_clamped_to_observed_range(self):
+        hist = MetricsRegistry().histogram("h")
+        for value in (3, 5, 6, 100):
+            hist.record(value)
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            estimate = hist.quantile(q)
+            assert 3.0 <= estimate <= 100.0
+
+    def test_quantiles_are_monotone(self):
+        import random
+
+        rng = random.Random(11)
+        hist = MetricsRegistry().histogram("h")
+        for _ in range(500):
+            hist.record(rng.randint(0, 10_000))
+        estimates = [hist.quantile(q) for q in (0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99)]
+        assert estimates == sorted(estimates)
+
+    def test_interpolation_accuracy_on_uniform_data(self):
+        # p50 of 1..1024 uniform is ~512; power-of-two buckets plus linear
+        # interpolation should land in the right bucket's neighbourhood
+        hist = MetricsRegistry().histogram("h")
+        for value in range(1, 1025):
+            hist.record(value)
+        p50 = hist.quantile(0.5)
+        assert 256 < p50 <= 1024  # within the right order of magnitude
+        assert hist.quantile(0.99) > hist.quantile(0.5)
+
+    def test_out_of_range_quantile_rejected(self):
+        import pytest
+
+        hist = MetricsRegistry().histogram("h")
+        hist.record(1)
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_standard_quantiles_dict(self):
+        from repro.obs.metrics import Histogram
+
+        hist = MetricsRegistry().histogram("h")
+        hist.record(4)
+        assert set(hist.quantiles()) == set(Histogram.QUANTILES)
+
+
+class TestThreadSafety:
+    def test_counter_hammered_from_8_threads(self):
+        import threading
+
+        registry = MetricsRegistry()
+        counter = registry.counter("hammered")
+        increments = 10_000
+
+        def hammer():
+            for _ in range(increments):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8 * increments
+
+    def test_histogram_hammered_from_8_threads(self):
+        import threading
+
+        registry = MetricsRegistry()
+        hist = registry.histogram("hammered")
+        records = 5_000
+
+        def hammer(seed):
+            for i in range(records):
+                hist.record((seed + i) % 100)
+
+        threads = [threading.Thread(target=hammer, args=(t,)) for t in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert hist.count == 8 * records
+        assert sum(hist.buckets.values()) == 8 * records
+
+    def test_gauge_track_max_from_8_threads(self):
+        import threading
+
+        registry = MetricsRegistry()
+        gauge = registry.gauge("peak")
+
+        def hammer(values):
+            for value in values:
+                gauge.track_max(value)
+
+        threads = [
+            threading.Thread(target=hammer, args=(range(t, 4000, 8),)) for t in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert gauge.value == 3999
+
+
 class TestNullMetrics:
     def test_instruments_are_noop_and_shared(self):
         counter = NULL_METRICS.counter("a")

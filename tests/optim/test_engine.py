@@ -226,3 +226,48 @@ class TestCostFunctions:
     def test_size_depth_cost_is_sum(self):
         plan = b.chi(b.id_(), b.table("T"))
         assert size_depth_cost(plan) == size_cost(plan) + depth_cost(plan)
+
+    def test_node_costs_covers_every_subtree(self):
+        from repro.optim.cost import node_costs
+
+        plan = b.sigma(b.const(True), b.chi(b.id_(), b.table("T")))
+        costs = node_costs(plan)
+        nodes = list(plan.walk())
+        assert set(costs) == {id(node) for node in nodes}
+        assert costs[id(plan)] == size_depth_cost(plan)
+        # a subtree's cost never exceeds its parent's
+        assert costs[id(plan.input)] < costs[id(plan)]
+
+
+class TestSpearman:
+    def test_perfect_agreement(self):
+        from repro.optim.cost import spearman_rank_correlation
+
+        assert spearman_rank_correlation([1, 2, 3], [10, 20, 30]) == 1.0
+
+    def test_perfect_disagreement(self):
+        from repro.optim.cost import spearman_rank_correlation
+
+        assert spearman_rank_correlation([1, 2, 3], [30, 20, 10]) == -1.0
+
+    def test_ties_get_average_ranks(self):
+        from repro.optim.cost import spearman_rank_correlation
+
+        # monotone up to a tie: still strongly positive, not 1.0 exactly
+        rho = spearman_rank_correlation([1, 2, 2, 4], [5, 6, 7, 8])
+        assert 0.9 < rho < 1.0
+
+    def test_degenerate_inputs_return_none(self):
+        from repro.optim.cost import spearman_rank_correlation
+
+        assert spearman_rank_correlation([], []) is None
+        assert spearman_rank_correlation([1], [2]) is None
+        assert spearman_rank_correlation([1, 1, 1], [1, 2, 3]) is None
+
+    def test_length_mismatch_rejected(self):
+        import pytest
+
+        from repro.optim.cost import spearman_rank_correlation
+
+        with pytest.raises(ValueError):
+            spearman_rank_correlation([1, 2], [1])

@@ -93,6 +93,77 @@ class TestFacade:
         assert service.stats()["prepared"] == 0
 
 
+class TestAnalyze:
+    def test_execute_analyzed_attaches_analysis(self, service):
+        prepared = service.prepare("sql", "select name from people where age > $min")
+        outcome = service.execute(prepared.handle, params={"min": 25}, analyze=True)
+        assert outcome.ok
+        assert sorted(row["name"] for row in outcome.value.items) == ["ann", "cyd"]
+        assert outcome.analysis["peak_rows"] >= 2
+        assert outcome.analysis["nodes"] >= 1
+        assert "tree" in outcome.analysis
+
+    def test_analyzed_matches_plain(self, service):
+        text = "select name from people where age > 25"
+        plain = service.query("sql", text)
+        analyzed = service.query("sql", text, analyze=True)
+        assert plain.ok and analyzed.ok
+        assert plain.value == analyzed.value
+        assert plain.analysis is None
+        assert analyzed.analysis is not None
+
+    def test_runtime_error_still_structured(self, service):
+        outcome = service.query("sql", "select a from missing", analyze=True)
+        assert not outcome.ok and outcome.error.kind == "runtime_error"
+
+
+class TestTelemetry:
+    def test_every_execution_is_recorded(self, service):
+        service.query("sql", "select name from people")
+        service.query("sql", "select a from missing")  # errors are recorded too
+        records = service.telemetry.recent()
+        assert len(records) == 2
+        assert records[0].ok and records[0].rows == 3
+        assert not records[1].ok and records[1].error_kind == "runtime_error"
+        assert service.stats()["telemetry"]["recorded"] == 2
+
+    def test_cache_hit_and_compile_seconds(self, service):
+        text = "select name from people"
+        service.query("sql", text)
+        service.query("sql", text)
+        first, second = service.telemetry.recent()
+        assert not first.cache_hit and first.compile_seconds > 0
+        assert second.cache_hit and second.compile_seconds == 0.0
+
+    def test_analyzed_record_carries_cardinality(self, service):
+        service.query("sql", "select name from people where age > 25", analyze=True)
+        (record,) = service.telemetry.recent()
+        assert record.analyzed
+        assert record.peak_rows >= 2
+        assert record.hot_operators
+
+    def test_slow_query_log(self):
+        svc = QueryService(workers=1, slow_query_seconds=0.0)
+        try:
+            svc.register_table("t", [{"a": 1}])
+            svc.query("sql", "select a from t")
+            assert len(svc.telemetry.slow()) == 1
+            assert svc.metrics.snapshot()["counters"]["service.slow_queries"] == 1
+        finally:
+            svc.close(wait=False)
+
+    def test_telemetry_ring_capacity(self):
+        svc = QueryService(workers=1, telemetry_capacity=2)
+        try:
+            svc.register_table("t", [{"a": 1}])
+            for _ in range(5):
+                svc.query("sql", "select a from t")
+            described = svc.stats()["telemetry"]
+            assert described["recorded"] == 5 and described["recent"] == 2
+        finally:
+            svc.close(wait=False)
+
+
 class TestWireProtocol:
     def run_lines(self, service, requests):
         stdin = io.StringIO("\n".join(json.dumps(r) if isinstance(r, dict) else r for r in requests) + "\n")
@@ -159,6 +230,55 @@ class TestWireProtocol:
         responses = self.run_lines(service, [{"op": "prepare"}, {"op": "register"}])
         assert all(not r["ok"] and r["error"]["kind"] == "bad_request" for r in responses)
         assert "query" in responses[0]["error"]["message"]
+
+    def test_analyze_flag_returns_analysis_over_the_wire(self, service):
+        responses = self.run_lines(
+            service,
+            [
+                {
+                    "op": "query",
+                    "query": "select name from people where age > 25",
+                    "analyze": True,
+                },
+            ],
+        )
+        (response,) = responses
+        assert response["ok"] and len(response["result"]) == 2
+        analysis = response["analysis"]
+        assert analysis["peak_rows"] >= 2
+        assert isinstance(analysis["tree"], str)
+
+    def test_metrics_op_returns_prometheus_text(self, service):
+        responses = self.run_lines(
+            service,
+            [
+                {"op": "query", "query": "select name from people"},
+                {"op": "metrics"},
+            ],
+        )
+        metrics = responses[1]
+        assert metrics["ok"]
+        assert "repro_service_execute_ok_total" in metrics["prometheus"]
+        assert metrics["prometheus"].endswith("\n")
+        assert metrics["metrics"]["counters"]["service.execute.ok"] >= 1
+
+    def test_telemetry_op(self, service):
+        responses = self.run_lines(
+            service,
+            [
+                {"op": "query", "query": "select name from people"},
+                {"op": "query", "query": "select age from people"},
+                {"op": "telemetry", "n": 1},
+                {"op": "telemetry", "slow": True},
+            ],
+        )
+        recent = responses[2]
+        assert recent["ok"]
+        assert recent["telemetry"]["recorded"] == 2
+        assert len(recent["queries"]) == 1
+        assert recent["queries"][0]["ok"] is True
+        slow = responses[3]
+        assert slow["ok"] and slow["queries"] == []
 
     def test_date_values_cross_the_wire(self, service):
         responses = self.run_lines(

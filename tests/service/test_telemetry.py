@@ -1,0 +1,123 @@
+"""Tests for per-query service telemetry (repro.service.telemetry)."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service.telemetry import QueryTelemetry, TelemetryLog
+
+
+def make_record(handle="q", execute_seconds=0.01, ok=True, **kwargs):
+    return QueryTelemetry(
+        handle=handle,
+        language="sql",
+        cache_hit=False,
+        compile_seconds=0.005,
+        execute_seconds=execute_seconds,
+        ok=ok,
+        **kwargs
+    )
+
+
+class TestQueryTelemetry:
+    def test_describe_base_fields(self):
+        record = make_record(rows=4)
+        described = record.describe()
+        assert described["handle"] == "q"
+        assert described["language"] == "sql"
+        assert described["cache_hit"] is False
+        assert described["ok"] is True
+        assert described["rows"] == 4
+        assert "error_kind" not in described
+        assert "analyzed" not in described
+        assert "slow" not in described
+        json.dumps(described)
+
+    def test_describe_error(self):
+        described = make_record(ok=False, error_kind="EvalError").describe()
+        assert described["ok"] is False
+        assert described["error_kind"] == "EvalError"
+
+    def test_describe_analyzed_fields(self):
+        record = make_record(
+            analyzed=True,
+            peak_rows=120,
+            hot_operators=[{"label": "σ", "self_seconds": 0.001}],
+        )
+        described = record.describe()
+        assert described["analyzed"] is True
+        assert described["peak_rows"] == 120
+        assert described["hot_operators"][0]["label"] == "σ"
+        json.dumps(described)
+
+
+class TestTelemetryLog:
+    def test_recent_ring_is_bounded(self):
+        log = TelemetryLog(capacity=3)
+        for i in range(10):
+            log.record(make_record(handle="q%d" % i))
+        records = log.recent()
+        assert [r.handle for r in records] == ["q7", "q8", "q9"]
+        assert log.describe()["recorded"] == 10
+        assert log.describe()["recent"] == 3
+
+    def test_recent_n_takes_newest(self):
+        log = TelemetryLog(capacity=8)
+        for i in range(5):
+            log.record(make_record(handle="q%d" % i))
+        assert [r.handle for r in log.recent(2)] == ["q3", "q4"]
+
+    def test_slow_marking_and_ring(self):
+        log = TelemetryLog(capacity=8, slow_query_seconds=0.1)
+        log.record(make_record(handle="fast", execute_seconds=0.01))
+        log.record(make_record(handle="slow", execute_seconds=0.5))
+        log.record(make_record(handle="at-threshold", execute_seconds=0.1))
+        assert [r.handle for r in log.slow()] == ["slow", "at-threshold"]
+        assert all(r.slow for r in log.slow())
+        assert log.recent()[0].slow is False
+        assert log.describe()["slow"] == 2
+        assert "slow" in log.recent()[1].describe()
+
+    def test_slow_ring_disabled_by_default(self):
+        log = TelemetryLog(capacity=8)
+        log.record(make_record(execute_seconds=1e9))
+        assert log.slow() == []
+        assert log.describe()["slow_query_seconds"] is None
+
+    def test_counters_land_in_registry(self):
+        registry = MetricsRegistry()
+        log = TelemetryLog(capacity=8, slow_query_seconds=0.1, metrics=registry)
+        log.record(make_record(execute_seconds=0.01))
+        log.record(make_record(execute_seconds=0.2))
+        counters = registry.snapshot()["counters"]
+        assert counters["service.telemetry.recorded"] == 2
+        assert counters["service.slow_queries"] == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TelemetryLog(capacity=0)
+
+    def test_describe_is_json_safe(self):
+        log = TelemetryLog(capacity=2, slow_query_seconds=0.5)
+        log.record(make_record())
+        json.dumps(log.describe())
+
+    def test_thread_safety_under_concurrent_records(self):
+        import threading
+
+        log = TelemetryLog(capacity=64)
+        per_thread = 500
+
+        def hammer(tag):
+            for i in range(per_thread):
+                log.record(make_record(handle="%s-%d" % (tag, i)))
+
+        threads = [threading.Thread(target=hammer, args=(t,)) for t in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        described = log.describe()
+        assert described["recorded"] == 8 * per_thread
+        assert described["recent"] == 64
