@@ -367,6 +367,13 @@ def _print_engine(
         print("executed optimized NRAe plan: %d rows" % rows, file=out)
     counters = get_metrics().snapshot()["counters"]
     print("hash joins executed: %d" % counters.get("engine.join", 0), file=out)
+    print(
+        "physical group-bys executed: %d" % counters.get("engine.group_by", 0),
+        file=out,
+    )
+    hoisted = counters.get("engine.hoisted_in", 0)
+    if hoisted:
+        print("uncorrelated IN subqueries hoisted: %d" % hoisted, file=out)
     prefix = "engine.fallback."
     fallbacks = sorted(
         (name[len(prefix):], count)

@@ -1,0 +1,124 @@
+"""Batch (column-at-a-time) operators over bags of records.
+
+The evaluators in this compiler are row-at-a-time: every operator
+dispatches through the AST once per element.  For the handful of shapes
+the execution engine recognises — hash joins, the derived group-by of
+paper §3.2, equality/membership filters against constants, and pure
+field projections — the per-row work is the *same* key computation
+repeated, which the keyed kernel (:mod:`repro.data.kernel`) has usually
+already cached on the immutable values.  This module is the batch
+layer the engine calls instead: each function makes one pass over a
+row sequence, reads canonical keys through the kernel cache, and does
+the rest as plain list/dict work with no AST dispatch inside the loop.
+
+Everything here is *semantics-free*: the functions compute exactly what
+the corresponding per-row evaluation would (same values, same
+:class:`~repro.data.model.DataError` on ill-shaped rows), so the engine
+can use them wherever its shape analysis says the pattern applies and
+fall back to the reference semantics everywhere else.  See DESIGN.md
+§10 for the contract.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+from repro.data import kernel
+from repro.data.model import Bag, DataError, Record
+
+__all__ = [
+    "path_keys",
+    "group_rows",
+    "filter_member",
+    "filter_equal",
+    "project_records",
+]
+
+
+def path_keys(rows: Sequence[Record], path: Sequence[str]) -> List[tuple]:
+    """The canonical-key column for ``row.path`` across ``rows``.
+
+    One pass of :func:`repro.data.kernel.path_key`; raises
+    :class:`DataError` exactly where per-row evaluation of the ``.``
+    chain would (missing field, non-record step).
+    """
+    if len(path) == 1:
+        field = path[0]
+        return [kernel.field_key(row, field) for row in rows]
+    return [kernel.path_key(row, path) for row in rows]
+
+
+def group_rows(
+    rows: Iterable[Record], fields: Sequence[str]
+) -> "Dict[Tuple[tuple, ...], List[Record]]":
+    """One-pass hash bucketing of ``rows`` by canonical field keys.
+
+    Returns an insertion-ordered dict mapping the key tuple (one
+    canonical key per field, in ``fields`` order) to the rows carrying
+    it, in input order.  Because bucketing uses canonical keys, rows
+    whose key values are data-model equal (``1`` and ``1.0``, records
+    up to field order) share a bucket — exactly the equality the
+    derived group-by's ``σ⟨key(In) = Env.__key⟩`` applies.  Buckets
+    appear in first-occurrence order, matching ``♯distinct``.
+
+    Raises :class:`DataError` if a row is not a record or misses one of
+    the key fields (the shapes on which the reference encoding errors).
+    """
+    buckets: Dict[Tuple[tuple, ...], List[Record]] = {}
+    for row in rows:
+        if not isinstance(row, Record):
+            raise DataError("group-by expects a bag of records, got %r" % (row,))
+        key = tuple(kernel.field_key(row, field) for field in fields)
+        bucket = buckets.get(key)
+        if bucket is None:
+            buckets[key] = [row]
+        else:
+            bucket.append(row)
+    return buckets
+
+
+def filter_member(
+    rows: Sequence[Any], keys: Sequence[tuple], members: "Dict[tuple, Any]"
+) -> List[Any]:
+    """Batch semi-join select: rows whose aligned key is in ``members``.
+
+    ``keys`` is a key column aligned with ``rows`` (:func:`path_keys`
+    over the probe path); ``members`` is a key index of the IN-list bag
+    (:func:`repro.data.kernel.key_index`).  Equivalent to evaluating
+    ``row.path ∈ bag`` per row, at one dict probe per row.
+    """
+    return [row for row, key in zip(rows, keys) if key in members]
+
+
+def filter_equal(
+    rows: Sequence[Any], keys: Sequence[tuple], key: tuple
+) -> List[Any]:
+    """Batch equality select: rows whose aligned key equals ``key``.
+
+    Equivalent to ``row.path = constant`` per row (data-model equality
+    is canonical-key equality), with the constant keyed once.
+    """
+    return [row for row, k in zip(rows, keys) if k == key]
+
+
+def project_records(
+    rows: Iterable[Any], fields: Sequence[Tuple[str, str]]
+) -> List[Record]:
+    """Columnar projection: ``[n1: row.f1, ..., nk: row.fk]`` per row.
+
+    ``fields`` are ``(output name, source field)`` pairs in record-
+    construction order; a repeated output name keeps the last pair
+    (⊕'s right bias).  Raises :class:`DataError` on non-record rows or
+    missing source fields, like the per-row ``OpDot`` chain.
+    """
+    out: List[Record] = []
+    for row in rows:
+        if not isinstance(row, Record):
+            raise DataError("project expects records, got %r" % (row,))
+        out.append(Record({name: row[field] for name, field in fields}))
+    return out
+
+
+def partition_bag(rows: Sequence[Record]) -> Bag:
+    """A bag over already-bucketed rows (partition view, no copy)."""
+    return Bag(rows)

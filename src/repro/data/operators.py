@@ -395,7 +395,14 @@ def _like_match(pattern: str, text: str) -> bool:
 
 
 class OpSubstring(UnaryOp):
-    """``substring(d, start, length)`` with 1-based SQL indexing."""
+    """``substring(d, start, length)`` with 1-based SQL indexing.
+
+    SQL semantics, not Python slicing: the window is the character
+    positions ``[start, start + length)`` on the 1-based axis, so a
+    non-positive ``start`` shifts the window left off the string rather
+    than clamping (``substring('abc' from -1 for 3)`` covers positions
+    -1..1 and yields ``'a'``), and a negative ``length`` is an error.
+    """
 
     name = "substring"
 
@@ -409,17 +416,25 @@ class OpSubstring(UnaryOp):
     def apply(self, value: Any) -> Any:
         if not isinstance(value, str):
             raise DataError("substring expects a string, got %r" % (value,))
-        begin = max(self.start - 1, 0)
         if self.length is None:
-            return value[begin:]
-        return value[begin : begin + self.length]
+            return value[max(self.start - 1, 0):]
+        if self.length < 0:
+            raise DataError(
+                "substring length must be non-negative, got %r" % (self.length,)
+            )
+        end = self.start + self.length  # one past the window, 1-based
+        begin = max(self.start, 1)
+        if end <= begin:
+            return ""
+        return value[begin - 1 : end - 1]
 
 
 class OpLimit(UnaryOp):
     """``limit n``: the first ``n`` elements of a bag (in item order).
 
     Meaningful after :class:`OpSortBy`; implements SQL's LIMIT / the
-    TPC-H "top N" result convention.
+    TPC-H "top N" result convention.  A negative ``n`` yields the empty
+    bag (Python's negative slicing would silently drop from the end).
     """
 
     name = "limit"
@@ -431,7 +446,7 @@ class OpLimit(UnaryOp):
         return (self.n,)
 
     def apply(self, value: Any) -> Any:
-        return Bag(_require_bag(value, "limit").items[: self.n])
+        return Bag(_require_bag(value, "limit").items[: max(self.n, 0)])
 
 
 class OpDateYear(UnaryOp):

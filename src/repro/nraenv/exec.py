@@ -18,6 +18,26 @@ is not a bag of records, …) the engine falls back to the reference
 semantics for that node, so the engine is *total* on whatever the
 semantics accepts.
 
+On top of the join executor this module carries three batch fast paths
+(DESIGN.md §10), all under the same fallback contract:
+
+- **physical group-by** — the derived group-by of paper §3.2
+  (``χ⟨(In ⊕ [partition: σ⟨key(In)=Env.k⟩(q)]) ∘e (Env ⊕ [k: In])⟩
+  (♯distinct(χ⟨key(In)⟩(q)))``, what :func:`repro.nraenv.builders.group_by`
+  and the SQL translator emit) re-evaluates ``q`` and re-scans it with
+  a fresh σ once per distinct key — O(groups·n) plan evaluations.
+  :func:`_execute_group_by` recognises the shape and runs it as one
+  hash-bucketing pass over a single evaluation of ``q``;
+- **uncorrelated-subquery hoisting** — an ``x ∈ (subquery)`` conjunct
+  whose right side provably cannot read the row (:func:`_analyse_dependence`)
+  is evaluated once and replaced by its constant value, so the IN list
+  is built once instead of once per candidate row (and the kernel's
+  key index makes each remaining membership probe O(1));
+- **batch select/project** — filters of the shape ``row.path ∈ constant``
+  / ``row.path = constant`` and maps whose body is a pure field
+  projection run as one-pass column operations
+  (:mod:`repro.data.batch`) instead of per-row AST dispatch.
+
 Correctness contract (property-tested): on any plan and inputs where
 the reference evaluator succeeds, the engine returns the same bag.  On
 ill-typed inputs the engine may fail where the semantics succeeds or
@@ -31,21 +51,25 @@ from __future__ import annotations
 import time
 from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
-from repro.data import kernel
+from repro.data import batch, kernel
 from repro.data import operators as ops
-from repro.data.model import Bag, DataError, Record
+from repro.data.model import Bag, DataError, Record, canonical_key
 from repro.nraenv import ast
 from repro.nraenv.eval import EvalError, eval_nraenv
 from repro.obs.metrics import get_metrics
 
 
 #: Fallback reasons the engine can report (see :func:`_fallback`); kept
-#: as a tuple so tests and ``repro explain`` can enumerate them.
+#: as a tuple so tests and ``repro explain`` can enumerate them.  The
+#: first four belong to the join executor, the last two to the physical
+#: group-by (:func:`_execute_group_by`).
 FALLBACK_REASONS = (
     "single_factor",
     "env_not_record",
     "ambiguous_field",
     "unresolved_field",
+    "group_pattern",
+    "group_shape",
 )
 
 #: Human-readable fallback reasons, for the EXPLAIN ANALYZE tree.
@@ -54,6 +78,8 @@ FALLBACK_LABELS = {
     "env_not_record": "environment is not a record",
     "ambiguous_field": "ambiguous field across factors",
     "unresolved_field": "unresolved field in predicate",
+    "group_pattern": "group-by candidate did not match the derived pattern",
+    "group_shape": "group-by source failed shape analysis",
 }
 
 
@@ -72,6 +98,15 @@ def _fallback(select: ast.Select, reason: str) -> None:
     analyzer = _ANALYZER
     if analyzer is not None:
         analyzer.on_join(select, reason)
+    return None
+
+
+def _group_fallback(plan: ast.Map, reason: str) -> None:
+    """The group-by twin of :func:`_fallback`, pinned to the χ node."""
+    get_metrics().counter("engine.fallback." + reason).inc()
+    analyzer = _ANALYZER
+    if analyzer is not None:
+        analyzer.on_group(plan, reason)
     return None
 
 
@@ -217,7 +252,121 @@ class _Conjunct:
         self.pred = pred
         self.fields, self.whole_row = _analyse_conjunct(pred, env_mode)
         self.equality = _equality_key(pred, env_mode)
+        self.batch: Optional[Tuple[Path, Any, str]] = None
         self.applied = False
+
+
+# ---------------------------------------------------------------------------
+# Dependence analysis
+# ---------------------------------------------------------------------------
+
+
+class _Dependence:
+    """What a plan may read from its *ambient* evaluation context.
+
+    ``reads_input`` — the ambient datum (``In``) is consulted anywhere
+    it is still visible.  ``whole_env`` — the ambient environment is
+    exposed as a whole value (bare ``Env``, or flows into a ``χe``).
+    ``env_reads`` — ambient environment fields read as ``Env.f`` where
+    ``f`` is not certainly shadowed by an intervening ``∘e`` builder.
+    All three are *may* facts (conservative over-approximations): if the
+    walker reports none, evaluating the plan under a different ambient
+    datum / a differently-extended ambient environment provably yields
+    the same value.
+    """
+
+    __slots__ = ("env_reads", "whole_env", "reads_input")
+
+    def __init__(self) -> None:
+        self.env_reads: set = set()
+        self.whole_env = False
+        self.reads_input = False
+
+
+def _analyse_dependence(plan: ast.NraeNode) -> _Dependence:
+    """Conservative ambient-context dependence of ``plan``.
+
+    The walker tracks, per subexpression, whether the ambient ``In`` is
+    still visible (rebound by χ/σ/⋈d bodies and by ∘'s left operand),
+    whether ``Env`` still chains to the *ambient* environment, and which
+    ambient fields an ``∘e`` builder chain has certainly shadowed.  A
+    builder of the translator's shape ``Env ⊕ … ⊕ [f: _]`` keeps the
+    ambient chain alive but binds ``f``; any other builder installs a
+    fresh environment (its own ambient reads are still recorded).
+    """
+    info = _Dependence()
+
+    def walk(
+        node: ast.NraeNode,
+        in_visible: bool,
+        env_live: bool,
+        shadowed: FrozenSet[str],
+    ) -> None:
+        if isinstance(node, ast.ID):
+            if in_visible:
+                info.reads_input = True
+            return
+        if isinstance(node, ast.Env):
+            if env_live:
+                info.whole_env = True
+            return
+        if isinstance(node, ast.Unop):
+            if isinstance(node.op, ops.OpDot):
+                if isinstance(node.arg, ast.Env):
+                    if env_live and node.op.field not in shadowed:
+                        info.env_reads.add(node.op.field)
+                    return
+                if isinstance(node.arg, ast.ID):
+                    if in_visible:
+                        info.reads_input = True
+                    return
+            walk(node.arg, in_visible, env_live, shadowed)
+            return
+        if isinstance(node, (ast.Map, ast.Select, ast.DepJoin)):
+            body, source = node.children()[0], node.children()[1]
+            walk(source, in_visible, env_live, shadowed)
+            walk(body, False, env_live, shadowed)
+            return
+        if isinstance(node, ast.App):
+            walk(node.before, in_visible, env_live, shadowed)
+            walk(node.after, False, env_live, shadowed)
+            return
+        if isinstance(node, ast.AppEnv):
+            live, bound = builder(node.before, in_visible, env_live, shadowed)
+            walk(node.after, in_visible, live, (shadowed | bound) if live else frozenset())
+            return
+        if isinstance(node, ast.MapEnv):
+            if env_live:
+                # the ambient environment is iterated as a bag: whole use
+                info.whole_env = True
+                return
+            walk(node.body, in_visible, False, frozenset())
+            return
+        for child in node.children():
+            walk(child, in_visible, env_live, shadowed)
+
+    def builder(
+        node: ast.NraeNode,
+        in_visible: bool,
+        env_live: bool,
+        shadowed: FrozenSet[str],
+    ) -> Tuple[bool, FrozenSet[str]]:
+        """(still chains to ambient env?, fields certainly bound) of an ∘e builder."""
+        if isinstance(node, ast.Env):
+            return env_live, frozenset()
+        if isinstance(node, ast.Binop) and isinstance(node.op, ops.OpConcat):
+            live, bound = builder(node.left, in_visible, env_live, shadowed)
+            right = node.right
+            if isinstance(right, ast.Unop) and isinstance(right.op, ops.OpRec):
+                walk(right.arg, in_visible, env_live, shadowed)
+                return live, bound | frozenset((right.op.field,))
+            walk(right, in_visible, env_live, shadowed)
+            return live, bound
+        walk(node, in_visible, env_live, shadowed)
+        return False, frozenset()
+
+    walk(plan, True, True, frozenset())
+    return info
 
 
 # ---------------------------------------------------------------------------
@@ -309,6 +458,78 @@ def _owner_map(relations: List[_Relation]) -> Dict[str, int]:
     return owners
 
 
+def _hoist_uncorrelated(
+    pred: ast.NraeNode,
+    env: Any,
+    datum: Any,
+    constants: Mapping[str, Any],
+    env_mode: bool,
+    env_domain: FrozenSet[str],
+    union_fields: FrozenSet[str],
+) -> Optional[ast.NraeNode]:
+    """Rewrite ``lhs ∈ rhs`` to ``lhs ∈ Const(bag)`` when ``rhs`` is row-free.
+
+    The reference evaluates the IN subquery once per candidate row;
+    when :func:`_analyse_dependence` proves ``rhs`` cannot read the row
+    — no visible ``In``, and in env-mode no whole-env exposure and no
+    unshadowed ``Env.f`` read that the row could shadow (``f`` both in
+    the outer environment and possibly provided by a factor) — its
+    value is the same for every row, so it is evaluated once here.
+    Reads of fields only rows provide raise on the row-free environment
+    and are caught: a correlated subquery simply stays per-row.
+    """
+    if not (isinstance(pred, ast.Binop) and isinstance(pred.op, ops.OpIn)):
+        return None
+    rhs = pred.right
+    if isinstance(rhs, (ast.Const, ast.ID, ast.Env)):
+        return None  # already constant / trivially per-row
+    info = _analyse_dependence(rhs)
+    if info.reads_input:
+        return None
+    if env_mode:
+        if info.whole_env:
+            return None
+        for field in info.env_reads:
+            if field in env_domain and field in union_fields:
+                return None  # the row may shadow an outer field: correlated
+    try:
+        value = _eval(rhs, env, datum, constants)
+    except (EvalError, DataError):
+        return None
+    if not isinstance(value, Bag):
+        return None
+    get_metrics().counter("engine.hoisted_in").inc()
+    return ast.Binop(pred.op, pred.left, ast.Const(value))
+
+
+def _batch_filter(
+    conjunct: _Conjunct, env_mode: bool
+) -> Optional[Tuple[Path, Any, str]]:
+    """(path, payload, kind) for conjuncts runnable as column filters.
+
+    ``row.path ∈ Const(bag)`` becomes one kernel key-index probe per
+    row (kind ``"in"``); ``row.path = Const(v)`` one canonical-key
+    comparison (kind ``"eq"``).  Anything else stays per-row.
+    """
+    pred = conjunct.pred
+    if conjunct.whole_row or not isinstance(pred, ast.Binop):
+        return None
+    if isinstance(pred.op, ops.OpIn):
+        path = _row_path(pred.left, env_mode)
+        if (
+            path is not None
+            and isinstance(pred.right, ast.Const)
+            and isinstance(pred.right.value, Bag)
+        ):
+            return (path, kernel.key_index(pred.right.value), "in")
+    if isinstance(pred.op, ops.OpEq):
+        for side, other in ((pred.left, pred.right), (pred.right, pred.left)):
+            path = _row_path(side, env_mode)
+            if path is not None and isinstance(other, ast.Const):
+                return (path, canonical_key(other.value), "eq")
+    return None
+
+
 def _execute_join(
     select: ast.Select, env: Any, datum: Any, constants: Mapping[str, Any]
 ) -> Optional[Bag]:
@@ -336,6 +557,14 @@ def _execute_join(
     owners = _owner_map(relations)
     union_fields = frozenset().union(*(r.union_domain for r in relations))
     outer_fields = frozenset(env.domain()) if isinstance(env, Record) else frozenset()
+    for position, conjunct in enumerate(conjuncts):
+        hoisted = _hoist_uncorrelated(
+            conjunct.pred, env, datum, constants, env_mode, outer_fields, union_fields
+        )
+        if hoisted is not None:
+            # re-analyse: the Const right side frees the conjunct from
+            # its whole-row classification, enabling pushdown
+            conjuncts[position] = _Conjunct(hoisted, env_mode)
     for conjunct in conjuncts:
         if conjunct.whole_row:
             # runs on fully assembled rows — exactly like the reference
@@ -359,8 +588,27 @@ def _execute_join(
             f_path, g_path = conjunct.equality
             if f_path[0] not in owners or g_path[0] not in owners:
                 conjunct.equality = None  # outer-env side: plain filter
+        conjunct.batch = _batch_filter(conjunct, env_mode)
+
+    def key_column(partial: _Partial, rows, path: Path) -> List[tuple]:
+        # canonical keys of the value the full row will have: the last
+        # joined factor's (readiness guarantees the global last owner is
+        # joined).  One batch pass through the kernel key cache.
+        position = partial.indices.index(owners[path[0]])
+        try:
+            return batch.path_keys([row[position] for row in rows], path)
+        except DataError as exc:
+            raise EvalError("join key %r: %s" % (path, exc)) from exc
 
     def check_rows(partial: _Partial, conjunct: _Conjunct) -> _Partial:
+        if conjunct.batch is not None and conjunct.batch[0][0] in owners:
+            path, payload, kind = conjunct.batch
+            keys = key_column(partial, partial.rows, path)
+            if kind == "in":
+                kept = batch.filter_member(partial.rows, keys, payload)
+            else:
+                kept = batch.filter_equal(partial.rows, keys, payload)
+            return _Partial(partial.indices, kept)
         kept = [
             row
             for row in partial.rows
@@ -404,17 +652,6 @@ def _execute_join(
         for index, relation in enumerate(relations)
     }
 
-    def field_key(partial: _Partial, row: Tuple[Record, ...], path: Path):
-        # canonical key of the value the full row will have: the last
-        # joined factor's (readiness guarantees the global last owner is
-        # joined).  Read through the kernel so a record whose key is
-        # already cached never re-keys its fields.
-        position = partial.indices.index(owners[path[0]])
-        try:
-            return kernel.path_key(row[position], path)
-        except DataError as exc:
-            raise EvalError("join key %r: %s" % (path, exc)) from exc
-
     def merge(left: _Partial, right: _Partial, rows) -> _Partial:
         # interleave the two index tuples, keeping original order
         indices = tuple(sorted(left.indices + right.indices))
@@ -429,14 +666,16 @@ def _execute_join(
             merged_rows.append(tuple(sides[side][pos] for _, side, pos in slots))
         return _Partial(indices, merged_rows)
 
-    def hash_join(left: _Partial, right: _Partial, keys) -> _Partial:
+    def hash_join(
+        left: _Partial, right: _Partial, keys: Sequence[Tuple[Path, Path]]
+    ) -> _Partial:
+        right_columns = [key_column(right, right.rows, g) for _, g in keys]
         index: Dict[tuple, List[Tuple[Record, ...]]] = {}
-        for row in right.rows:
-            key = tuple(field_key(right, row, g) for _, g in keys)
+        for row, key in zip(right.rows, zip(*right_columns)):
             index.setdefault(key, []).append(row)
+        left_columns = [key_column(left, left.rows, f) for f, _ in keys]
         pairs = []
-        for row in left.rows:
-            key = tuple(field_key(left, row, f) for f, _ in keys)
+        for row, key in zip(left.rows, zip(*left_columns)):
             for match in index.get(key, ()):
                 pairs.append((row, match))
         return merge(left, right, pairs)
@@ -449,7 +688,7 @@ def _execute_join(
     while remaining:
         joined = set(current.indices)
         best_index: Optional[int] = None
-        best_keys: List[Tuple[str, str]] = []
+        best_keys: List[Tuple[Path, Path]] = []
         for index in remaining:
             candidate = set(partials[index].indices)
             keys: List[Tuple[Path, Path]] = []
@@ -497,6 +736,186 @@ def _execute_join(
 
 
 # ---------------------------------------------------------------------------
+# The physical group-by
+# ---------------------------------------------------------------------------
+
+
+def _key_record_fields(node: ast.NraeNode) -> Optional[List[Tuple[str, str]]]:
+    """Parse ``[n1: In.f1] ⊕ … ⊕ [nk: In.fk]`` into ``(name, field)`` pairs.
+
+    This is the shape :func:`repro.nraenv.builders.record` folds ``⊕``
+    into for a pure field projection; pairs come back in ⊕ order, so a
+    repeated output name must be resolved right-biased by the caller.
+    """
+    pairs: List[Tuple[str, str]] = []
+
+    def parse(n: ast.NraeNode) -> bool:
+        if isinstance(n, ast.Binop) and isinstance(n.op, ops.OpConcat):
+            return parse(n.left) and parse(n.right)
+        if (
+            isinstance(n, ast.Unop)
+            and isinstance(n.op, ops.OpRec)
+            and isinstance(n.arg, ast.Unop)
+            and isinstance(n.arg.op, ops.OpDot)
+            and isinstance(n.arg.arg, ast.ID)
+        ):
+            pairs.append((n.op.field, n.arg.op.field))
+            return True
+        return False
+
+    if parse(node):
+        return pairs
+    return None
+
+
+class _GroupBy:
+    """A matched derived group-by: bucket ``source`` by ``key_fields``."""
+
+    __slots__ = ("source", "key_fields", "partition_field", "key_env_field")
+
+    def __init__(
+        self,
+        source: ast.NraeNode,
+        key_fields: List[Tuple[str, str]],
+        partition_field: str,
+        key_env_field: str,
+    ):
+        self.source = source
+        self.key_fields = key_fields
+        self.partition_field = partition_field
+        self.key_env_field = key_env_field
+
+
+def _is_group_candidate(plan: ast.Map) -> bool:
+    """Cheap guard: the only χ shape worth running the full match on."""
+    return (
+        isinstance(plan.input, ast.Unop)
+        and isinstance(plan.input.op, ops.OpDistinct)
+        and isinstance(plan.body, ast.AppEnv)
+    )
+
+
+def _match_group_by(plan: ast.Map) -> Optional[_GroupBy]:
+    """Match the derived group-by (paper §3.2 / ``builders.group_by``).
+
+        χ⟨(In ⊕ [P: σ⟨K(In) = Env.G⟩(q)]) ∘e (Env ⊕ [G: In])⟩(♯distinct(χ⟨K(In)⟩(q)))
+
+    where ``K`` is a pure field-projection record.  Purely syntactic;
+    the soundness conditions on ``q`` are checked by
+    :func:`_execute_group_by` (reason ``group_shape``), so a near-miss
+    here counts as ``group_pattern``.
+    """
+    keys_map = plan.input.arg
+    if not isinstance(keys_map, ast.Map):
+        return None
+    key_record, source = keys_map.body, keys_map.input
+    pairs = _key_record_fields(key_record)
+    if pairs is None:
+        return None
+    body = plan.body
+    before = body.before
+    if not (
+        isinstance(before, ast.Binop)
+        and isinstance(before.op, ops.OpConcat)
+        and isinstance(before.left, ast.Env)
+        and isinstance(before.right, ast.Unop)
+        and isinstance(before.right.op, ops.OpRec)
+        and isinstance(before.right.arg, ast.ID)
+    ):
+        return None
+    key_env_field = before.right.op.field
+    after = body.after
+    if not (
+        isinstance(after, ast.Binop)
+        and isinstance(after.op, ops.OpConcat)
+        and isinstance(after.left, ast.ID)
+        and isinstance(after.right, ast.Unop)
+        and isinstance(after.right.op, ops.OpRec)
+    ):
+        return None
+    partition_field = after.right.op.field
+    select = after.right.arg
+    if not isinstance(select, ast.Select) or select.input != source:
+        return None
+    pred = select.pred
+    if not (isinstance(pred, ast.Binop) and isinstance(pred.op, ops.OpEq)):
+        return None
+    env_key = ast.Unop(ops.OpDot(key_env_field), ast.Env())
+    if not (
+        (pred.left == key_record and pred.right == env_key)
+        or (pred.right == key_record and pred.left == env_key)
+    ):
+        return None
+    return _GroupBy(source, pairs, partition_field, key_env_field)
+
+
+def _execute_group_by(
+    plan: ast.Map,
+    spec: _GroupBy,
+    env: Any,
+    datum: Any,
+    constants: Mapping[str, Any],
+) -> Optional[Bag]:
+    """One-pass physical group-by for a matched derived encoding.
+
+    Evaluates ``q`` once, buckets its rows by the canonical keys of the
+    projected fields (the exact equality ``σ⟨K(In) = Env.G⟩`` applies,
+    since record equality over fixed names is per-field canonical-key
+    equality), and emits ``K(first) ⊕ [partition: bucket]`` per bucket
+    in first-occurrence order (``♯distinct`` keeps first occurrences).
+
+    Soundness: the encoding evaluates the partition's ``q`` with the
+    group key as datum, under ``Env ⊕ [G: key]`` — whereas we evaluate
+    ``q`` once in the *original* context.  So ``q`` must not read the
+    ambient ``In``, must not read ``Env.G`` unshadowed, and must not
+    expose the ambient environment whole (:func:`_analyse_dependence`).
+    Returns ``None`` (after counting ``group_shape``) if that analysis
+    or the runtime data shape (not a bag of records carrying every key
+    field) fails.
+    """
+    info = _analyse_dependence(spec.source)
+    if (
+        info.reads_input
+        or info.whole_env
+        or spec.key_env_field in info.env_reads
+    ):
+        return _group_fallback(plan, "group_shape")
+    source = _eval(spec.source, env, datum, constants)
+    if not isinstance(source, Bag):
+        return _group_fallback(plan, "group_shape")
+    # right-biased effective key: a repeated output name keeps the last
+    # source field, but the shadowed fields must still exist on every
+    # row (the reference key projection reads them before ⊕ drops them)
+    effective: Dict[str, str] = {}
+    for name, field in spec.key_fields:
+        effective[name] = field
+    bucket_fields = list(effective.values())
+    last = {name: i for i, (name, _) in enumerate(spec.key_fields)}
+    extra = [f for i, (name, f) in enumerate(spec.key_fields) if last[name] != i]
+    try:
+        if extra:
+            for row in source.items:
+                for field in extra:
+                    kernel.field_key(row, field)
+        buckets = batch.group_rows(source.items, bucket_fields)
+    except DataError:
+        return _group_fallback(plan, "group_shape")
+    partition = spec.partition_field
+    out = []
+    for rows in buckets.values():
+        first = rows[0]
+        group = {name: first[field] for name, field in spec.key_fields}
+        group[partition] = Bag(rows)
+        out.append(Record(group))
+    get_metrics().counter("engine.group_by").inc()
+    analyzer = _ANALYZER
+    if analyzer is not None:
+        analyzer.on_group(plan, None)
+        analyzer.add_input(plan, len(source.items))
+    return Bag(out)
+
+
+# ---------------------------------------------------------------------------
 # The evaluator: reference semantics + the join fast path
 # ---------------------------------------------------------------------------
 
@@ -528,9 +947,30 @@ def _eval_plain(
         except Exception as exc:
             raise EvalError(str(exc)) from exc
     if isinstance(plan, ast.Map):
+        if _is_group_candidate(plan):
+            spec = _match_group_by(plan)
+            if spec is None:
+                _group_fallback(plan, "group_pattern")
+            else:
+                result = _execute_group_by(plan, spec, env, datum, constants)
+                if result is not None:
+                    return result
         source = _eval(plan.input, env, datum, constants)
         if not isinstance(source, Bag):
             raise EvalError("χ expects a bag, got %r" % (source,))
+        body = plan.body
+        if isinstance(body, ast.Unop) and isinstance(body.arg, ast.ID):
+            # batch map: a pure unary over the row needs no dispatch
+            try:
+                return Bag([body.op.apply(item) for item in source.items])
+            except DataError as exc:
+                raise EvalError(str(exc)) from exc
+        projection = _key_record_fields(body)
+        if projection is not None:
+            try:
+                return Bag(batch.project_records(source.items, projection))
+            except DataError as exc:
+                raise EvalError(str(exc)) from exc
         return Bag(_eval(plan.body, env, item, constants) for item in source)
     if isinstance(plan, ast.Select):
         source = _eval(plan.input, env, datum, constants)

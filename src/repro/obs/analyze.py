@@ -96,8 +96,9 @@ class NodeStats(object):
       cardinality of bag results (non-bag results leave these at 0);
     - ``seconds`` — inclusive wall time; ``self_seconds`` subtracts
       time spent in child frames;
-    - ``hash_joins`` / ``fallbacks`` — join-engine outcomes for this
-      node (``fallbacks`` maps reason → count);
+    - ``hash_joins`` / ``group_bys`` / ``fallbacks`` — engine outcomes
+      for this node: hash-join path taken, physical group-by taken, or
+      reference fallback (``fallbacks`` maps reason → count);
     - ``errors`` — evaluations that raised.
     """
 
@@ -111,6 +112,7 @@ class NodeStats(object):
         "seconds",
         "child_seconds",
         "hash_joins",
+        "group_bys",
         "fallbacks",
         "errors",
         "input_ids",
@@ -126,6 +128,7 @@ class NodeStats(object):
         self.seconds = 0.0
         self.child_seconds = 0.0
         self.hash_joins = 0
+        self.group_bys = 0
         self.fallbacks: Dict[str, int] = {}
         self.errors = 0
         self.input_ids = frozenset(id(child) for child in _input_children(node))
@@ -150,6 +153,8 @@ class NodeStats(object):
         }
         if self.hash_joins:
             out["hash_joins"] = self.hash_joins
+        if self.group_bys:
+            out["group_bys"] = self.group_bys
         if self.fallbacks:
             out["fallbacks"] = dict(self.fallbacks)
         if self.errors:
@@ -218,6 +223,17 @@ class AnalyzeCollector(object):
         else:
             stats.fallbacks[reason] = stats.fallbacks.get(reason, 0) + 1
 
+    def on_group(self, node, reason: Optional[str]) -> None:
+        """Group-by outcome for a candidate ``χ`` node: physical or fallback."""
+        stats = self.stats.get(id(node))
+        if stats is None:
+            stats = NodeStats(node)
+            self.stats[id(node)] = stats
+        if reason is None:
+            stats.group_bys += 1
+        else:
+            stats.fallbacks[reason] = stats.fallbacks.get(reason, 0) + 1
+
     def add_input(self, node, rows: int) -> None:
         """Credit input rows consumed outside the frame protocol (joins)."""
         stats = self.stats.get(id(node))
@@ -232,6 +248,22 @@ class AnalyzeCollector(object):
     def peak_rows(self) -> int:
         """The largest intermediate bag any node produced."""
         return max((s.max_rows for s in self.stats.values()), default=0)
+
+    def join_engine(self) -> Dict[str, Any]:
+        """Aggregate engine outcomes across all nodes, JSON-safe."""
+        hash_joins = 0
+        group_bys = 0
+        fallbacks: Dict[str, int] = {}
+        for stats in self.stats.values():
+            hash_joins += stats.hash_joins
+            group_bys += stats.group_bys
+            for reason, count in stats.fallbacks.items():
+                fallbacks[reason] = fallbacks.get(reason, 0) + count
+        return {
+            "hash_joins": hash_joins,
+            "group_bys": group_bys,
+            "fallbacks": fallbacks,
+        }
 
     def hot_operators(self, n: int = 3) -> List[Dict[str, Any]]:
         """The top-``n`` nodes by self time, as plain dicts."""
@@ -309,6 +341,8 @@ def _node_annotation(stats: Optional[NodeStats]) -> str:
     parts.append("self=%s" % _ms(stats.self_seconds))
     if stats.hash_joins:
         parts.append("hash join x%d" % stats.hash_joins)
+    if stats.group_bys:
+        parts.append("physical group-by x%d" % stats.group_bys)
     for reason, count in sorted(stats.fallbacks.items()):
         parts.append(
             "fallback: %dx %s" % (count, FALLBACK_LABELS.get(reason, reason))
@@ -391,6 +425,7 @@ def analysis_summary(collector: AnalyzeCollector, plan=None) -> Dict[str, Any]:
         "peak_rows": collector.peak_rows(),
         "hot": collector.hot_operators(),
         "nodes": len(collector.stats),
+        "join_engine": collector.join_engine(),
     }
     if plan is not None:
         summary["tree"] = render_analyze(plan, collector)

@@ -199,6 +199,7 @@ class QueryService:
                 rows=rows,
                 peak_rows=analysis.get("peak_rows"),
                 hot_operators=analysis.get("hot"),
+                join_engine=analysis.get("join_engine"),
                 analyzed=analyzed,
             )
         )

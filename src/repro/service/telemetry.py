@@ -36,6 +36,7 @@ class QueryTelemetry:
         "rows",
         "peak_rows",
         "hot_operators",
+        "join_engine",
         "analyzed",
         "slow",
     )
@@ -52,6 +53,7 @@ class QueryTelemetry:
         rows: Optional[int] = None,
         peak_rows: Optional[int] = None,
         hot_operators: Optional[List[Dict[str, Any]]] = None,
+        join_engine: Optional[Dict[str, Any]] = None,
         analyzed: bool = False,
     ):
         self.handle = handle
@@ -64,6 +66,7 @@ class QueryTelemetry:
         self.rows = rows
         self.peak_rows = peak_rows
         self.hot_operators = hot_operators
+        self.join_engine = join_engine
         self.analyzed = analyzed
         self.slow = False
 
@@ -84,6 +87,8 @@ class QueryTelemetry:
             out["analyzed"] = True
             out["peak_rows"] = self.peak_rows
             out["hot_operators"] = self.hot_operators
+            if self.join_engine is not None:
+                out["join_engine"] = self.join_engine
         if self.slow:
             out["slow"] = True
         return out

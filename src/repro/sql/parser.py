@@ -165,6 +165,8 @@ def _parse_select(stream: TokenStream) -> ast.Select:
             order_by.append(_parse_order_item(stream))
     limit = None
     if stream.accept_keyword("limit"):
+        if stream.at_symbol("-"):
+            raise SqlSyntaxError("LIMIT requires a non-negative integer literal")
         limit = int(stream.expect_number())
     return ast.Select(
         items,
@@ -378,10 +380,10 @@ def _parse_primary(stream: TokenStream) -> ast.SqlNode:
         stream.expect_symbol("(")
         expr = _parse_expr(stream)
         stream.expect_keyword("from")
-        start = int(stream.expect_number())
+        start = _parse_signed_int(stream)
         length = None
         if stream.accept_keyword("for"):
-            length = int(stream.expect_number())
+            length = _parse_signed_int(stream)
         stream.expect_symbol(")")
         return ast.Substring(expr, start, length)
     if word in _AGGREGATES and stream.peek(1).kind == "symbol" and stream.peek(1).value == "(":
@@ -399,6 +401,14 @@ def _parse_primary(stream: TokenStream) -> ast.SqlNode:
         column = stream.expect_ident()
         return ast.Column(column, table=word)
     return ast.Column(word)
+
+
+def _parse_signed_int(stream: TokenStream) -> int:
+    """An integer literal with an optional leading ``-`` (the lexer
+    emits ``-`` as a symbol, so negative literals arrive in two tokens)."""
+    negative = bool(stream.accept_symbol("-"))
+    number = int(stream.expect_number())
+    return -number if negative else number
 
 
 def _parse_case(stream: TokenStream) -> ast.Case:

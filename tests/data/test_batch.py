@@ -1,0 +1,92 @@
+"""Unit tests for the batch (column-at-a-time) operator layer."""
+
+import pytest
+
+from repro.data import batch, kernel
+from repro.data.model import Bag, DataError, Record, bag, canonical_key, rec
+
+
+class TestGroupRows:
+    def test_buckets_in_first_occurrence_order(self):
+        rows = [rec(a=2, b=1), rec(a=1, b=2), rec(a=2, b=3)]
+        buckets = batch.group_rows(rows, ["a"])
+        assert [len(v) for v in buckets.values()] == [2, 1]
+        assert list(buckets.values())[0] == [rec(a=2, b=1), rec(a=2, b=3)]
+
+    def test_data_model_equality_not_python_equality(self):
+        # 1 and 1.0 are the same datum; True is not 1
+        rows = [rec(a=1), rec(a=1.0), rec(a=True)]
+        buckets = batch.group_rows(rows, ["a"])
+        assert [len(v) for v in buckets.values()] == [2, 1]
+
+    def test_multi_field_keys(self):
+        rows = [rec(a=1, b=1), rec(a=1, b=2), rec(a=1, b=1)]
+        buckets = batch.group_rows(rows, ["a", "b"])
+        assert [len(v) for v in buckets.values()] == [2, 1]
+
+    def test_nested_key_values(self):
+        inner = bag(rec(x=1))
+        rows = [rec(a=inner), rec(a=bag(rec(x=1)))]
+        assert len(batch.group_rows(rows, ["a"])) == 1
+
+    def test_non_record_raises(self):
+        with pytest.raises(DataError):
+            batch.group_rows([rec(a=1), 42], ["a"])
+
+    def test_missing_field_raises(self):
+        with pytest.raises(DataError):
+            batch.group_rows([rec(a=1), rec(b=2)], ["a"])
+
+    def test_empty(self):
+        assert batch.group_rows([], ["a"]) == {}
+
+
+class TestFilters:
+    def test_filter_member_matches_op_in(self):
+        rows = [rec(a=1), rec(a=2), rec(a=3)]
+        keys = batch.path_keys(rows, ("a",))
+        members = kernel.key_index(bag(1.0, 3))
+        assert batch.filter_member(rows, keys, members) == [rec(a=1), rec(a=3)]
+
+    def test_filter_equal_matches_op_eq(self):
+        rows = [rec(a=1), rec(a=2), rec(a=1.0)]
+        keys = batch.path_keys(rows, ("a",))
+        assert batch.filter_equal(rows, keys, canonical_key(1)) == [
+            rec(a=1),
+            rec(a=1.0),
+        ]
+
+    def test_path_keys_two_step(self):
+        rows = [rec(t=rec(f=1)), rec(t=rec(f=2))]
+        keys = batch.path_keys(rows, ("t", "f"))
+        assert keys == [canonical_key(1), canonical_key(2)]
+
+    def test_path_keys_missing_field_raises(self):
+        with pytest.raises(DataError):
+            batch.path_keys([rec(b=1)], ("a",))
+
+
+class TestProjectRecords:
+    def test_projects_and_renames(self):
+        rows = [rec(a=1, b=2)]
+        assert batch.project_records(rows, [("x", "a"), ("y", "b")]) == [
+            rec(x=1, y=2)
+        ]
+
+    def test_duplicate_output_name_keeps_last(self):
+        # ⊕ is right-biased
+        rows = [rec(a=1, b=2)]
+        assert batch.project_records(rows, [("x", "a"), ("x", "b")]) == [rec(x=2)]
+
+    def test_non_record_raises(self):
+        with pytest.raises(DataError):
+            batch.project_records([1], [("x", "a")])
+
+    def test_missing_source_field_raises(self):
+        with pytest.raises(DataError):
+            batch.project_records([rec(a=1)], [("x", "nope")])
+
+
+def test_partition_bag_round_trip():
+    rows = (rec(a=1), rec(a=1))
+    assert batch.partition_bag(rows) == Bag([rec(a=1), rec(a=1)])

@@ -89,6 +89,12 @@ class TestAggregates:
         assert ops.OpLimit(2).apply(Bag([3, 1, 2])) == bag(3, 1)
         assert ops.OpLimit(9).apply(bag(1)) == bag(1)
 
+    def test_limit_negative_is_empty(self):
+        # regression: Python's negative slicing returned all-but-last
+        assert ops.OpLimit(-1).apply(Bag([3, 1, 2])) == Bag([])
+        assert ops.OpLimit(-9).apply(Bag([3, 1, 2])) == Bag([])
+        assert ops.OpLimit(0).apply(Bag([3, 1, 2])) == Bag([])
+
 
 class TestStringsAndSort:
     def test_tostring(self):
@@ -120,6 +126,27 @@ class TestStringsAndSort:
         assert ops.OpSubstring(1, 2).apply("12345") == "12"
         assert ops.OpSubstring(3, None).apply("12345") == "345"
         assert ops.OpSubstring(2, 2).apply("12345") == "23"
+
+    def test_substring_negative_start_shifts_window(self):
+        # regression: the window covers 1-based positions
+        # [start, start+length), so a non-positive start eats into the
+        # length instead of clamping to the string head
+        assert ops.OpSubstring(-1, 3).apply("abc") == "a"
+        assert ops.OpSubstring(0, 2).apply("abc") == "a"
+        assert ops.OpSubstring(-5, 3).apply("abc") == ""
+        assert ops.OpSubstring(-2, None).apply("abc") == "abc"
+
+    def test_substring_degenerate_windows(self):
+        assert ops.OpSubstring(2, 0).apply("abc") == ""
+        assert ops.OpSubstring(5, 2).apply("abc") == ""
+        assert ops.OpSubstring(3, 9).apply("abc") == "c"
+
+    def test_substring_negative_length_raises(self):
+        # regression: Python slicing silently returned 'ab'
+        with pytest.raises(DataError):
+            ops.OpSubstring(1, -1).apply("abc")
+        with pytest.raises(DataError):
+            ops.OpSubstring(-1, -2).apply("abc")
 
     def test_sort_by_multi_key_directions(self):
         rows = bag(rec(a=1, b=2), rec(a=1, b=1), rec(a=0, b=9))

@@ -92,17 +92,25 @@ class TestFallbackCounters:
         assert counters(registry) == {"engine.fallback.unresolved_field": 1}
 
     def test_reasons_enumeration_is_exact(self):
-        # keep FALLBACK_REASONS in sync with the _fallback call sites
+        # keep FALLBACK_REASONS in sync with the _fallback call sites:
+        # join reasons fire in _execute_join, group reasons in the
+        # physical group-by path (_eval_plain / _execute_group_by)
         import inspect
 
         from repro.nraenv import exec as engine
 
-        source = inspect.getsource(engine._execute_join)
+        source = inspect.getsource(engine)
         called = set()
         for reason in FALLBACK_REASONS:
-            if '_fallback(select, "%s")' % reason in source:
+            if (
+                '_fallback(select, "%s")' % reason in source
+                or '_group_fallback(plan, "%s")' % reason in source
+            ):
                 called.add(reason)
         assert called == set(FALLBACK_REASONS)
+        join_source = inspect.getsource(engine._execute_join)
+        for reason in ("group_pattern", "group_shape"):
+            assert '_fallback(select, "%s")' % reason not in join_source
 
     def test_labels_cover_all_reasons(self):
         from repro.nraenv.exec import FALLBACK_LABELS

@@ -1,0 +1,205 @@
+"""The physical group-by ≡ the derived environment encoding (paper §3.2).
+
+The engine recognises the translator's derived group-by shape and runs
+it as one bucketing pass (:func:`repro.nraenv.exec._execute_group_by`);
+the reference evaluator executes the encoding literally, re-scanning
+the source once per distinct key.  These properties pin the rewrite to
+the semantics: multiset-equal output over nested and heterogeneous
+bags, empty key lists and empty inputs, and a *counted* fallback to the
+reference on every shape the fast path cannot prove sound.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.model import Bag, Record, bag, rec
+from repro.nraenv import builders as b
+from repro.nraenv.eval import EvalError, eval_nraenv
+from repro.nraenv.exec import eval_fast
+from repro.obs.metrics import MetricsRegistry, use_metrics
+from tests.strategies import values
+
+# records that always carry the key fields a, b (arbitrary nested
+# values) plus optional extra fields — so rows are heterogeneous but
+# both evaluators succeed
+keyed_records = st.builds(
+    lambda a, b_, extra: Record(dict(extra, a=a, b=b_)),
+    values(max_leaves=4),
+    values(max_leaves=4),
+    st.dictionaries(st.sampled_from(["c", "d"]), values(max_leaves=3), max_size=2),
+)
+
+keyed_bags = st.lists(keyed_records, max_size=6).map(Bag)
+
+
+def run_counted(plan, env=None, datum=None, constants=None):
+    registry = MetricsRegistry()
+    with use_metrics(registry):
+        result = eval_fast(plan, env if env is not None else Record({}), datum, constants or {})
+    return result, registry.snapshot()["counters"]
+
+
+class TestEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(rows=keyed_bags, fields=st.sampled_from([["a"], ["b"], ["a", "b"]]))
+    def test_physical_equals_derived_encoding(self, rows, fields):
+        plan = b.group_by(fields, b.table("R"))
+        db = {"R": rows}
+        result, counts = run_counted(plan, constants=db)
+        assert result == eval_nraenv(plan, Record({}), None, db)
+        # the fast path actually ran (this shape always matches)
+        assert counts.get("engine.group_by") == 1
+        assert not any(name.startswith("engine.fallback.group") for name in counts)
+
+    @settings(max_examples=30, deadline=None)
+    @given(rows=keyed_bags)
+    def test_empty_key_list(self, rows):
+        # builders.group_by([]) emits the single-partition shape, which
+        # is not a candidate — answers must still agree
+        plan = b.group_by([], b.table("R"))
+        db = {"R": rows}
+        result, _ = run_counted(plan, constants=db)
+        assert result == eval_nraenv(plan, Record({}), None, db)
+
+    def test_empty_input(self):
+        plan = b.group_by(["a"], b.table("R"))
+        db = {"R": Bag([])}
+        result, counts = run_counted(plan, constants=db)
+        assert result == eval_nraenv(plan, Record({}), None, db) == Bag([])
+        assert counts.get("engine.group_by") == 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(rows=keyed_bags)
+    def test_group_by_under_outer_environment(self, rows):
+        # an outer environment the source reads (Env.x) is stable across
+        # the encoding's two contexts: still physical, still equal
+        source = b.sigma(b.eq(b.dot(b.id_(), "a"), b.dot(b.env(), "x")), b.table("R"))
+        plan = b.group_by(["b"], source)
+        env = Record({"x": 1})
+        db = {"R": rows}
+        result, counts = run_counted(plan, env=env, constants=db)
+        assert result == eval_nraenv(plan, env, None, db)
+        assert counts.get("engine.group_by") == 1
+
+
+class TestFallbacks:
+    def test_non_matching_candidate_is_counted_and_correct(self):
+        # χ⟨… ∘e …⟩(♯distinct(…)) that is *not* a group-by: candidate
+        # shape, pattern mismatch → counted fallback, right answer
+        plan = b.chi(
+            b.appenv(b.id_(), b.env()),
+            b.distinct(b.chi(b.record({"a": b.dot(b.id_(), "a")}), b.table("R"))),
+        )
+        db = {"R": bag(rec(a=1), rec(a=2), rec(a=1))}
+        result, counts = run_counted(plan, constants=db)
+        assert result == eval_nraenv(plan, Record({}), None, db)
+        assert counts.get("engine.fallback.group_pattern") == 1
+        assert "engine.group_by" not in counts
+
+    @settings(max_examples=25, deadline=None)
+    @given(rows=keyed_bags, body=st.sampled_from(["env", "count", "key_env"]))
+    def test_fallback_shapes_never_change_answers(self, rows, body):
+        # a family of near-miss candidates: each falls back (counted)
+        # and must agree with the reference wherever it succeeds
+        inner = b.distinct(b.chi(b.record({"a": b.dot(b.id_(), "a")}), b.table("R")))
+        bodies = {
+            "env": b.appenv(b.env(), b.concat(b.env(), b.rec_field("__key", b.id_()))),
+            "count": b.appenv(b.count(b.table("R")), b.env()),
+            "key_env": b.appenv(b.dot(b.env(), "__key"), b.concat(b.env(), b.rec_field("__key", b.id_()))),
+        }
+        plan = b.chi(bodies[body], inner)
+        db = {"R": rows}
+        try:
+            expected = eval_nraenv(plan, Record({}), None, db)
+        except EvalError:
+            with pytest.raises(EvalError):
+                eval_fast(plan, Record({}), None, db)
+            return
+        result, counts = run_counted(plan, constants=db)
+        assert result == expected
+        assert counts.get("engine.fallback.group_pattern", 0) >= 1
+        assert "engine.group_by" not in counts
+
+    def test_unstable_source_reading_group_key_falls_back(self):
+        # q reads Env.__key, which the encoding rebinds per group: the
+        # physical rewrite would be unsound, so the engine must take the
+        # reference path (group_shape) — and match it
+        source = b.sigma(
+            b.eq(b.dot(b.id_(), "a"), b.dot(b.env(), "__key")), b.table("R")
+        )
+        plan = b.group_by(["a"], source)
+        env = Record({"__key": 1})
+        db = {"R": bag(rec(a=1), rec(a=2))}
+        result, counts = run_counted(plan, env=env, constants=db)
+        assert result == eval_nraenv(plan, env, None, db)
+        assert counts.get("engine.fallback.group_shape") == 1
+        assert "engine.group_by" not in counts
+
+    def test_source_reading_ambient_datum_falls_back(self):
+        # q = In: the encoding evaluates the partition's q with the
+        # group key as datum, so both evaluators raise — the engine via
+        # its counted fallback, never via a wrong physical answer
+        plan = b.group_by(["a"], b.id_())
+        datum = bag(rec(a=1), rec(a=2))
+        with pytest.raises(EvalError):
+            eval_nraenv(plan, Record({}), datum, {})
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            with pytest.raises(EvalError):
+                eval_fast(plan, Record({}), datum, {})
+        counts = registry.snapshot()["counters"]
+        assert counts.get("engine.fallback.group_shape") == 1
+
+    def test_non_record_rows_fall_back(self):
+        plan = b.group_by(["a"], b.table("R"))
+        db = {"R": bag(1, 2, 3)}
+        with pytest.raises(EvalError):
+            eval_nraenv(plan, Record({}), None, db)
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            with pytest.raises(EvalError):
+                eval_fast(plan, Record({}), None, db)
+        assert registry.snapshot()["counters"].get("engine.fallback.group_shape") == 1
+
+
+class TestHoistedIn:
+    def test_uncorrelated_in_subquery_runs_once(self):
+        # the subquery contains a group-by; if the IN were evaluated per
+        # candidate row the engine.group_by counter would exceed 1
+        from repro.sql.parser import parse_sql
+        from repro.sql.to_nraenv import sql_to_nraenv
+
+        sql = (
+            "select r1.a from rel r1, st s1 where r1.a = s1.c "
+            "and r1.a in (select c from hx group by c)"
+        )
+        plan = sql_to_nraenv(parse_sql(sql))
+        db = {
+            "rel": bag(rec(a=1), rec(a=2), rec(a=3)),
+            "st": bag(rec(c=1), rec(c=2), rec(c=3)),
+            "hx": bag(rec(c=1), rec(c=2), rec(c=1)),
+        }
+        result, counts = run_counted(plan, constants=db)
+        assert result == eval_nraenv(plan, Record({}), None, db)
+        assert counts.get("engine.hoisted_in") == 1
+        assert counts.get("engine.group_by") == 1  # once, not per row
+        assert counts.get("engine.join") == 1
+
+    def test_correlated_in_stays_per_row(self):
+        from repro.sql.parser import parse_sql
+        from repro.sql.to_nraenv import sql_to_nraenv
+
+        sql = (
+            "select r1.a from rel r1, st s1 where r1.a = s1.c "
+            "and r1.b in (select h1.c from hx h1 where h1.c = r1.a)"
+        )
+        plan = sql_to_nraenv(parse_sql(sql))
+        db = {
+            "rel": bag(rec(a=1, b=1), rec(a=2, b=9)),
+            "st": bag(rec(c=1), rec(c=2)),
+            "hx": bag(rec(c=1), rec(c=2)),
+        }
+        result, counts = run_counted(plan, constants=db)
+        assert result == eval_nraenv(plan, Record({}), None, db)
+        assert "engine.hoisted_in" not in counts

@@ -141,6 +141,22 @@ class TestExpressions:
         assert isinstance(expr, ast.Substring)
         assert (expr.start, expr.length) == (1, 2)
 
+    def test_substring_negative_literals(self):
+        # a negative start/length is two tokens ('-' then the number);
+        # SQL allows both (the operator errors on the negative length)
+        expr = parse_query(
+            "select substring(p from -1 for 3) from t"
+        ).body.items[0].expr
+        assert (expr.start, expr.length) == (-1, 3)
+        expr = parse_query(
+            "select substring(p from 2 for -2) from t"
+        ).body.items[0].expr
+        assert (expr.start, expr.length) == (2, -2)
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_query("select a from t limit -1")
+
     def test_scalar_subquery(self):
         select = parse_query("select a from t where a = (select max(b) from u)").body
         assert isinstance(select.where.right, ast.ScalarQuery)
