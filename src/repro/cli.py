@@ -109,6 +109,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "statistics and print the annotated tree plus the cost-model "
         "calibration report (needs data: --data, or --tpch's generated scale)",
     )
+    explain_cmd.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format; json (requires --analyze) emits one machine-"
+        "readable document: the annotated plan tree, the analyze summary, "
+        "the cost-model calibration data, and the join-engine counters",
+    )
     _add_obs_flags(explain_cmd)
 
     serve_cmd = sub.add_parser(
@@ -140,6 +148,37 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=256,
         help="per-query telemetry ring-buffer capacity",
+    )
+    serve_cmd.add_argument(
+        "--obs-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="start the HTTP observability sidecar on this port "
+        "(/metrics /healthz /stats /telemetry /slow; 0 = ephemeral). "
+        "The bound address is announced on stderr (stdout is the wire)",
+    )
+    serve_cmd.add_argument(
+        "--query-log",
+        metavar="PATH",
+        help="append one JSON-lines audit event per query to this file "
+        "(size-bounded rotation; see repro.obs.log)",
+    )
+    serve_cmd.add_argument(
+        "--query-log-max-bytes",
+        type=int,
+        default=10_000_000,
+        metavar="BYTES",
+        help="rotate the query log when it exceeds this size",
+    )
+    serve_cmd.add_argument(
+        "--trace-sample",
+        type=float,
+        default=0.05,
+        metavar="RATE",
+        help="tail-sampling head rate in [0, 1] for per-query traces "
+        "(slow and errored queries are always kept; a negative rate "
+        "disables per-query tracing entirely)",
     )
     return parser
 
@@ -389,6 +428,64 @@ def _print_engine(
     print("", file=out)
 
 
+def _engine_counters() -> dict:
+    """The join-engine counters of the active obs session, as JSON."""
+    from repro.obs.metrics import get_metrics
+
+    counters = get_metrics().snapshot()["counters"]
+    prefix = "engine.fallback."
+    return {
+        "joins": counters.get("engine.join", 0),
+        "group_bys": counters.get("engine.group_by", 0),
+        "hoisted_in": counters.get("engine.hoisted_in", 0),
+        "fallbacks": {
+            name[len(prefix):]: count
+            for name, count in counters.items()
+            if name.startswith(prefix)
+        },
+    }
+
+
+def _explain_json(result: CompilationResult, constants: dict, language: str, text: str, out) -> int:
+    """``explain --analyze --format json``: one machine-readable document.
+
+    Executes the optimized plan once under the analyze collector and
+    emits the annotated plan tree (:func:`repro.obs.analyze.analyze_json`),
+    the summary digest, the cost-model calibration data, and the
+    join-engine counters for that run.
+    """
+    import json as _json
+
+    from repro.data.model import Bag, Record
+    from repro.nraenv.eval import EvalError
+    from repro.nraenv.exec import eval_fast
+    from repro.obs.analyze import (
+        analysis_summary,
+        analyze_execution,
+        analyze_json,
+        calibration_data,
+    )
+
+    plan = result.output("nraenv_opt")
+    doc: dict = {"language": language, "query": text}
+    try:
+        with analyze_execution() as collector:
+            value = eval_fast(plan, Record({}), None, constants)
+    except EvalError as exc:
+        doc["ok"] = False
+        doc["error"] = str(exc)
+        print(_json.dumps(doc, indent=2), file=out)
+        return 1
+    doc["ok"] = True
+    doc["rows"] = len(value) if isinstance(value, Bag) else 0
+    doc["analyze"] = analysis_summary(collector)
+    doc["plan"] = analyze_json(plan, collector)
+    doc["calibration"] = calibration_data(plan, collector)
+    doc["engine"] = _engine_counters()
+    print(_json.dumps(doc, indent=2), file=out)
+    return 0
+
+
 def _tpch_query(name: str, out) -> Optional[str]:
     from repro.tpch.queries import QUERIES
 
@@ -430,8 +527,12 @@ def main(argv: Optional[List[str]] = None, out: Any = None) -> int:
             code = 0
 
         elif args.command == "serve":
-            from repro.service import CatalogError, QueryService
+            from repro.obs.log import QueryLog
+            from repro.service import CatalogError, ObsHttpServer, QueryService
 
+            query_log = None
+            if args.query_log:
+                query_log = QueryLog(args.query_log, max_bytes=args.query_log_max_bytes)
             service = QueryService(
                 cache_capacity=args.cache_size,
                 workers=args.workers,
@@ -439,6 +540,8 @@ def main(argv: Optional[List[str]] = None, out: Any = None) -> int:
                 default_timeout=args.timeout,
                 telemetry_capacity=args.telemetry_capacity,
                 slow_query_seconds=args.slow_query,
+                trace_sample_rate=None if args.trace_sample < 0 else args.trace_sample,
+                query_log=query_log,
             )
             if args.data:
                 try:
@@ -446,7 +549,22 @@ def main(argv: Optional[List[str]] = None, out: Any = None) -> int:
                 except CatalogError as exc:
                     print("repro: %s" % exc, file=out)
                     return 2
-            code = service.serve(sys.stdin, out)
+            obs_server = None
+            if args.obs_port is not None:
+                # Announcements go to stderr: stdout is the JSON-lines wire.
+                obs_server = ObsHttpServer(service, port=args.obs_port).start()
+                print(
+                    "repro: obs endpoint on http://%s:%d "
+                    "(/metrics /healthz /stats /telemetry /slow)"
+                    % (obs_server.host, obs_server.port),
+                    file=sys.stderr,
+                )
+                sys.stderr.flush()
+            try:
+                code = service.serve(sys.stdin, out)
+            finally:
+                if obs_server is not None:
+                    obs_server.close()
 
         elif args.command == "tpch":
             from repro.tpch.datagen import MICRO, generate
@@ -461,33 +579,41 @@ def main(argv: Optional[List[str]] = None, out: Any = None) -> int:
             code = 0
 
         elif args.command == "explain":
+            if args.format == "json" and not args.analyze:
+                print("repro: --format json requires --analyze", file=out)
+                return 2
             if args.tpch is not None:
                 text = _tpch_query(args.tpch, out)
                 if text is None:
                     return 2
+                language = "sql"
                 result = compile_sql(text)
             else:
                 text = _load_query(args)
+                language = args.language
                 compilers = {"sql": compile_sql, "oql": compile_oql, "lnra": compile_lnra}
-                result = compilers[args.language](text)
-            _print_explain(result, args.stage, args.verbose, out)
+                result = compilers[language](text)
             try:
                 constants = _explain_constants(args)
             except _DataFileError as exc:
                 print("repro: %s" % exc, file=out)
                 return 2
-            rows = None
-            if args.analyze:
-                if constants is None:
-                    print(
-                        "repro: --analyze needs data to execute against "
-                        "(pass --data, or use --tpch for a generated scale)",
-                        file=out,
-                    )
-                    return 2
-                rows = _print_analyze(result, constants, out)
-            _print_engine(result, constants, out, rows=rows)
-            code = 0
+            if args.analyze and constants is None:
+                print(
+                    "repro: --analyze needs data to execute against "
+                    "(pass --data, or use --tpch for a generated scale)",
+                    file=out,
+                )
+                return 2
+            if args.format == "json":
+                code = _explain_json(result, constants, language, text, out)
+            else:
+                _print_explain(result, args.stage, args.verbose, out)
+                rows = None
+                if args.analyze:
+                    rows = _print_analyze(result, constants, out)
+                _print_engine(result, constants, out, rows=rows)
+                code = 0
 
         else:  # pragma: no cover - argparse enforces subcommands
             return 2

@@ -10,6 +10,7 @@ from __future__ import annotations
 import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.context import current_query_id
 from repro.obs.trace import get_tracer
 from repro.optim.defaults import optimize_nnrc, optimize_nra, optimize_nraenv
 from repro.optim.engine import OptimizeResult, ProvenanceLog
@@ -99,7 +100,11 @@ def run_pipeline(
     tracer = get_tracer()
     executed: List[Stage] = []
     current = source
-    with tracer.span("pipeline", category="pipeline", stages=len(stages)):
+    span_args: Dict[str, Any] = {"stages": len(stages)}
+    query_id = current_query_id()
+    if query_id is not None:
+        span_args["query_id"] = query_id
+    with tracer.span("pipeline", category="pipeline", **span_args):
         for name, fn in stages:
             with tracer.span(name, category="stage"):
                 start = time.perf_counter()

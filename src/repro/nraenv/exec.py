@@ -56,7 +56,9 @@ from repro.data import operators as ops
 from repro.data.model import Bag, DataError, Record, canonical_key
 from repro.nraenv import ast
 from repro.nraenv.eval import EvalError, eval_nraenv
+from repro.obs.context import current_query_id
 from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
 
 
 #: Fallback reasons the engine can report (see :func:`_fallback`); kept
@@ -133,7 +135,15 @@ def eval_fast(
     if env is None:
         env = Record({})
     constants = constants or {}
-    return _eval(plan, env, datum, constants)
+    tracer = get_tracer()
+    if not tracer.enabled:
+        return _eval(plan, env, datum, constants)
+    span_args: Dict[str, Any] = {}
+    query_id = current_query_id()
+    if query_id is not None:
+        span_args["query_id"] = query_id
+    with tracer.span("engine.execute", category="engine", **span_args):
+        return _eval(plan, env, datum, constants)
 
 
 # ---------------------------------------------------------------------------

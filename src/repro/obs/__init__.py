@@ -1,17 +1,27 @@
-"""Observability for the compiler: spans, metrics, and trace export.
+"""Observability for the compiler and the service: spans, metrics,
+correlation, logging, and trace export.
 
-Three layers, all disabled by default with near-zero overhead:
+The layers, all disabled by default with near-zero overhead:
 
+- :mod:`repro.obs.context` — the request-scoped :class:`QueryContext`:
+  a ``contextvars``-based current-query identity (``query_id``) that
+  every span, telemetry record, log event, and analyze report for one
+  service request shares, across the executor's thread hop;
 - :mod:`repro.obs.trace` — hierarchical :class:`Span`/:class:`Tracer`
   (context-manager API, thread-local span stack, a true no-op
-  :data:`NULL_TRACER`);
+  :data:`NULL_TRACER`), plus tail-based trace sampling
+  (:class:`SamplingPolicy`, keep decided at completion) and the bounded
+  :class:`TraceRing` of kept fragments;
 - :mod:`repro.obs.metrics` — counters / gauges / histograms in a
-  :class:`MetricsRegistry`;
+  :class:`MetricsRegistry`, plus the time-bucketed :class:`RateRing`
+  behind the obs endpoint's QPS/latency ``/stats``;
+- :mod:`repro.obs.log` — the durable structured query log: JSON-lines
+  events with size-bounded rotation and a reader API;
 - :mod:`repro.obs.export` — Chrome ``trace_event`` JSON, a text
   report, and Prometheus text exposition;
 - :mod:`repro.obs.analyze` — EXPLAIN ANALYZE: per-plan-node runtime
   statistics (cardinalities, timings, join-engine outcomes) and the
-  cost-model calibration report.
+  cost-model calibration report, as text or JSON.
 
 The one-call entry point is :func:`observe`, which installs a fresh
 tracer + registry globally *and* hooks the evaluators and the backend
@@ -37,10 +47,20 @@ from repro.obs.analyze import (
     NodeStats,
     analysis_summary,
     analyze_execution,
+    analyze_json,
+    calibration_data,
     calibration_report,
     render_analyze,
 )
+from repro.obs.context import (
+    QueryContext,
+    current_query,
+    current_query_id,
+    new_query_id,
+    query_context,
+)
 from repro.obs.export import chrome_trace, prometheus_text, text_report, write_chrome_trace
+from repro.obs.log import QueryLog, iter_events, read_events
 from repro.obs.metrics import (
     NULL_METRICS,
     Counter,
@@ -49,6 +69,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     NullMetrics,
+    RateRing,
     get_metrics,
     set_metrics,
     use_metrics,
@@ -56,7 +77,9 @@ from repro.obs.metrics import (
 from repro.obs.trace import (
     NULL_TRACER,
     NullTracer,
+    SamplingPolicy,
     Span,
+    TraceRing,
     Tracer,
     get_tracer,
     set_tracer,
@@ -76,16 +99,29 @@ __all__ = [
     "NullMetrics",
     "NullTracer",
     "ObsSession",
+    "QueryContext",
+    "QueryLog",
+    "RateRing",
+    "SamplingPolicy",
     "Span",
+    "TraceRing",
     "Tracer",
     "analysis_summary",
     "analyze_execution",
+    "analyze_json",
+    "calibration_data",
     "calibration_report",
     "chrome_trace",
+    "current_query",
+    "current_query_id",
     "get_metrics",
     "get_tracer",
+    "iter_events",
+    "new_query_id",
     "observe",
     "prometheus_text",
+    "query_context",
+    "read_events",
     "render_analyze",
     "set_metrics",
     "set_tracer",

@@ -39,6 +39,7 @@ from contextlib import contextmanager
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.data.model import Bag
+from repro.obs.context import current_query_id
 
 #: Node-class name → (paper symbol, names of input-bag children).  The
 #: "input" children are the ones whose output bag the node consumes
@@ -420,6 +421,10 @@ def analysis_summary(collector: AnalyzeCollector, plan=None) -> Dict[str, Any]:
 
     With ``plan`` given, also includes the rendered tree (one string) —
     the wire-level ``execute {"analyze": true}`` response uses this.
+    Inside a service request the digest carries the request's
+    ``query_id``, so an archived analyze report joins against the
+    telemetry record, query-log audit event, and kept trace fragment
+    for the same execution.
     """
     summary: Dict[str, Any] = {
         "peak_rows": collector.peak_rows(),
@@ -427,6 +432,67 @@ def analysis_summary(collector: AnalyzeCollector, plan=None) -> Dict[str, Any]:
         "nodes": len(collector.stats),
         "join_engine": collector.join_engine(),
     }
+    query_id = current_query_id()
+    if query_id is not None:
+        summary["query_id"] = query_id
     if plan is not None:
         summary["tree"] = render_analyze(plan, collector)
     return summary
+
+
+def analyze_json(plan, collector: AnalyzeCollector) -> Dict[str, Any]:
+    """The annotated plan tree as nested JSON-safe dicts.
+
+    The machine-readable twin of :func:`render_analyze`: one dict per
+    plan node with the operator label, the measured stats (``None`` for
+    nodes that never executed), and the node's children in plan order —
+    what ``repro explain --analyze --format json`` emits for the query
+    log and external tooling.
+    """
+    def walk(node) -> Dict[str, Any]:
+        stats = collector.stats_for(node)
+        return {
+            "label": node_label(node),
+            "stats": stats.describe() if stats is not None and stats.calls else None,
+            "children": [walk(child) for child in node.children()],
+        }
+
+    return walk(plan)
+
+
+def calibration_data(plan, collector: AnalyzeCollector, cost_fn=None) -> Dict[str, Any]:
+    """The cost-model calibration as JSON-safe data.
+
+    The machine-readable twin of :func:`calibration_report`: per
+    executed node the structural cost, measured output rows, and self
+    time, plus the tie-averaged Spearman ρ over the (cost, out_rows)
+    pairs (``None`` with fewer than two distinct points).
+    """
+    from repro.optim.cost import node_costs, size_depth_cost, spearman_rank_correlation
+
+    if cost_fn is None:
+        cost_fn = size_depth_cost
+    costs = node_costs(plan, cost_fn)
+    rows: List[Dict[str, Any]] = []
+    seen: set = set()
+    for node in plan.walk():
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        stats = collector.stats_for(node)
+        if stats is None or stats.calls == 0:
+            continue
+        rows.append(
+            {
+                "operator": node_label(node),
+                "cost": costs[id(node)],
+                "out_rows": stats.out_rows,
+                "self_seconds": stats.self_seconds,
+            }
+        )
+    xs = [float(row["cost"]) for row in rows]
+    ys = [float(row["out_rows"]) for row in rows]
+    return {
+        "rows": sorted(rows, key=lambda row: row["cost"], reverse=True),
+        "spearman_rho": spearman_rank_correlation(xs, ys),
+    }

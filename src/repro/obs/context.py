@@ -1,0 +1,110 @@
+"""The current-query context: one identity for everything a request does.
+
+A long-lived ``repro serve`` process interleaves many queries across a
+thread pool; spans, telemetry records, log events, and EXPLAIN ANALYZE
+reports are useless for debugging one request unless they all carry the
+same identity.  This module provides that identity: a
+:class:`QueryContext` holding a ``query_id`` (assigned once, at service
+ingress) plus the per-query :class:`~repro.obs.trace.Tracer` the
+tail-sampling layer records into.
+
+The context is stored in a :mod:`contextvars` variable, not a thread
+local, because one request *crosses threads*: the service accepts it on
+the wire thread and executes it on a pool worker.  The executor
+propagates the submitter's context into the worker with
+``contextvars.copy_context()`` (see
+:meth:`repro.service.executor.SessionExecutor.submit`), so
+:func:`current_query` answers the same on both sides of the hop.
+
+Deliberately import-light (stdlib only): :mod:`repro.obs.trace`,
+:mod:`repro.compiler.pipeline`, and :mod:`repro.nraenv.exec` all read
+the context from their hot-path entry points.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import time
+import uuid
+from contextlib import contextmanager
+from typing import Any, Optional
+
+
+def new_query_id() -> str:
+    """A fresh, globally unique query id (16 hex chars)."""
+    return uuid.uuid4().hex[:16]
+
+
+class QueryContext:
+    """Everything request-scoped the observability layer threads along.
+
+    - ``query_id`` — the correlation id every span, telemetry record,
+      log event, and analyze report for this request carries;
+    - ``tracer`` — the per-query tracer tail sampling records into
+      (``None`` when per-query tracing is disabled; spans then go to
+      whatever global tracer is installed);
+    - ``started_at`` — wall-clock ingress time (``time.time()``);
+    - ``head_sampled`` — the probabilistic head-sampling decision, made
+      at ingress; the final keep decision (head ∨ slow ∨ error) happens
+      at completion (:meth:`repro.obs.trace.SamplingPolicy.keep`).
+    """
+
+    __slots__ = ("query_id", "tracer", "started_at", "head_sampled")
+
+    def __init__(
+        self,
+        query_id: Optional[str] = None,
+        tracer: Any = None,
+        started_at: Optional[float] = None,
+        head_sampled: bool = False,
+    ):
+        self.query_id = query_id if query_id is not None else new_query_id()
+        self.tracer = tracer
+        self.started_at = time.time() if started_at is None else started_at
+        self.head_sampled = head_sampled
+
+    def __repr__(self) -> str:
+        return "QueryContext(%s%s)" % (
+            self.query_id,
+            ", traced" if self.tracer is not None else "",
+        )
+
+
+_CURRENT_QUERY: "contextvars.ContextVar[Optional[QueryContext]]" = contextvars.ContextVar(
+    "repro_current_query", default=None
+)
+
+
+def current_query() -> Optional[QueryContext]:
+    """The active :class:`QueryContext`, or ``None`` outside a request."""
+    return _CURRENT_QUERY.get()
+
+
+def current_query_id() -> Optional[str]:
+    """The active query id, or ``None`` outside a request."""
+    context = _CURRENT_QUERY.get()
+    return context.query_id if context is not None else None
+
+
+@contextmanager
+def query_context(context: QueryContext):
+    """Install ``context`` as the current query for the block.
+
+    Uses set/reset tokens, so nested scopes restore correctly and
+    concurrent tasks (threads via ``copy_context``) never see each
+    other's context.
+    """
+    token = _CURRENT_QUERY.set(context)
+    try:
+        yield context
+    finally:
+        _CURRENT_QUERY.reset(token)
+
+
+__all__ = [
+    "QueryContext",
+    "current_query",
+    "current_query_id",
+    "new_query_id",
+    "query_context",
+]

@@ -11,10 +11,17 @@ Two consumers:
   digest, for ``repro compile --profile``.
 - :func:`prometheus_text` — the Prometheus text exposition format
   (version 0.0.4), so a long-lived ``repro serve`` session can be
-  scraped.  Counters become ``repro_<name>_total``; histograms are
-  exposed as summaries with interpolated ``quantile`` labels (the
-  power-of-two buckets do not match Prometheus's cumulative ``le``
-  histogram contract, and quantiles are what dashboards want anyway).
+  scraped (directly over HTTP via ``repro serve --obs-port``, or
+  through the ``metrics`` wire op).  Counters become
+  ``repro_<name>_total``; each histogram is exposed twice: as a summary
+  with interpolated ``quantile`` labels (what dashboards want) and as a
+  proper cumulative ``le``-bucket histogram under ``<name>_buckets``
+  (the registry's power-of-two buckets cumulate exactly, and the
+  histogram form is what PromQL's ``histogram_quantile`` needs).
+  Every family gets ``# HELP``/``# TYPE`` lines, and family names are
+  collision-safe: two instrument names that sanitize to the same metric
+  name get deterministic ``_2``, ``_3``… suffixes instead of emitting
+  one family twice (which scrapers reject).
 """
 
 from __future__ import annotations
@@ -185,34 +192,78 @@ def _prom_value(value) -> str:
     return "0"
 
 
+def _prom_family(base: str, origin: str, used: Dict[str, str]) -> str:
+    """Claim a unique metric-family name for instrument ``origin``.
+
+    Sanitizing is lossy ("a.b" and "a_b" both become ``repro_a_b``), and
+    the exposition format forbids emitting one family twice, so later
+    claimants of a taken name get a deterministic ``_2``, ``_3``…
+    suffix (stable because instruments render in sorted order).
+    """
+    candidate = base
+    suffix = 2
+    while candidate in used and used[candidate] != origin:
+        candidate = "%s_%d" % (base, suffix)
+        suffix += 1
+    used[candidate] = origin
+    return candidate
+
+
+def _bucket_upper_bound(bucket: int) -> int:
+    """The inclusive upper bound of power-of-two bucket ``bucket``."""
+    return 1 if bucket == 0 else 1 << bucket
+
+
 def prometheus_text(metrics) -> str:
     """Render a registry in the Prometheus text exposition format.
 
     Output is deterministic (instruments sorted by name) and ends with
     a trailing newline, as the format requires.  Non-numeric gauge
-    values are skipped — Prometheus samples are floats only.
+    values are skipped — Prometheus samples are floats only.  Each
+    registry histogram renders as both a quantile summary (under its
+    own name) and a cumulative ``le``-bucket histogram (under
+    ``<name>_buckets``): the registry's bucket ``k`` counts values in
+    ``(2**(k-1), 2**k]``, so the running total over ascending ``k`` is
+    exactly the count of values ``<= 2**k`` the ``le`` contract wants.
     """
     snapshot = metrics.snapshot()
     lines: List[str] = []
+    used: Dict[str, str] = {}
+
+    def header(metric: str, origin: str, kind: str) -> None:
+        lines.append("# HELP %s repro instrument %s" % (metric, origin))
+        lines.append("# TYPE %s %s" % (metric, kind))
+
     for name, value in snapshot["counters"].items():
-        metric = _prom_name(name) + "_total"
-        lines.append("# TYPE %s counter" % metric)
+        metric = _prom_family(_prom_name(name) + "_total", name, used)
+        header(metric, name, "counter")
         lines.append("%s %s" % (metric, _prom_value(value)))
     for name, value in snapshot["gauges"].items():
         if not isinstance(value, (int, float)) or isinstance(value, bool):
             continue
-        metric = _prom_name(name)
-        lines.append("# TYPE %s gauge" % metric)
+        metric = _prom_family(_prom_name(name), name, used)
+        header(metric, name, "gauge")
         lines.append("%s %s" % (metric, _prom_value(value)))
     for name, summary in snapshot["histograms"].items():
-        metric = _prom_name(name)
-        lines.append("# TYPE %s summary" % metric)
+        metric = _prom_family(_prom_name(name), name, used)
+        header(metric, name, "summary")
         for label, key in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")):
             value = summary.get(key)
             if value is not None:
                 lines.append('%s{quantile="%s"} %s' % (metric, label, _prom_value(float(value))))
         lines.append("%s_sum %s" % (metric, _prom_value(summary["sum"])))
         lines.append("%s_count %s" % (metric, _prom_value(summary["count"])))
+        histogram = _prom_family(_prom_name(name) + "_buckets", name, used)
+        header(histogram, name, "histogram")
+        cumulative = 0
+        for bucket, tally in sorted(summary["buckets"].items()):
+            cumulative += tally
+            lines.append(
+                '%s_bucket{le="%d"} %d' % (histogram, _bucket_upper_bound(bucket), cumulative)
+            )
+        lines.append('%s_bucket{le="+Inf"} %d' % (histogram, summary["count"]))
+        lines.append("%s_sum %s" % (histogram, _prom_value(summary["sum"])))
+        lines.append("%s_count %s" % (histogram, _prom_value(summary["count"])))
     if not lines:
         return "# (no metrics recorded)\n"
     return "\n".join(lines) + "\n"

@@ -1,0 +1,180 @@
+"""The structured query log: JSON-lines events with bounded rotation.
+
+Telemetry rings and metrics live in process memory and die with it;
+the query log is the *durable* half of observability — one JSON object
+per line, appended as queries complete, so a service crash still leaves
+the evidence on disk and external tooling (or the experiment harness)
+can replay what happened.  Three event kinds are emitted by the service
+(:meth:`repro.service.service.QueryService._finish_query`):
+
+- ``query`` — the audit event, one per execute: ``query_id``, handle,
+  language, cache hit, compile/execute seconds, row count, outcome
+  (plus join-engine counters when the execution was analyzed);
+- ``error`` — a failed execute, with the error kind and message;
+- ``slow_query`` — an execute that crossed the slow-query threshold.
+
+Every event gets a wall-clock ``ts`` (ISO-8601 UTC) stamped at emit
+time; the ``query_id`` matches the telemetry record and any kept trace
+fragment for the same request, which is what makes the log joinable
+with the in-memory views.
+
+Rotation is size-bounded, not time-bounded: when the active file would
+exceed ``max_bytes`` the writer renames ``path`` → ``path.1`` (shifting
+existing backups up, discarding the oldest beyond ``backups``), so the
+total footprint is capped at roughly ``(backups + 1) * max_bytes`` no
+matter how long the service runs.  :func:`read_events` is the reader
+API: it walks the rotated generations oldest-first and yields parsed
+events, skipping any torn trailing line a crash may have left.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import threading
+import time
+from datetime import datetime, timezone
+from typing import Any, Dict, Iterator, List, Optional
+
+
+def _timestamp(now: Optional[float] = None) -> str:
+    """Wall-clock time as ISO-8601 UTC with millisecond precision."""
+    if now is None:
+        now = time.time()
+    stamp = datetime.fromtimestamp(now, tz=timezone.utc)
+    return stamp.isoformat(timespec="milliseconds").replace("+00:00", "Z")
+
+
+class QueryLog:
+    """A thread-safe JSON-lines event writer with size-bounded rotation.
+
+    One :meth:`emit` call appends one line and flushes it (a crash loses
+    at most the event being written).  Events must be JSON-serializable
+    plain data; non-serializable values are ``repr()``-ed rather than
+    poisoning the log.
+    """
+
+    def __init__(self, path: str, max_bytes: int = 10_000_000, backups: int = 3):
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be positive, got %d" % max_bytes)
+        if backups < 0:
+            raise ValueError("backups cannot be negative, got %d" % backups)
+        self.path = path
+        self.max_bytes = max_bytes
+        self.backups = backups
+        self._lock = threading.Lock()
+        self._handle: Optional[io.TextIOBase] = open(path, "a", encoding="utf-8")
+        self._size = self._handle.tell()
+        self._emitted = 0
+        self._rotations = 0
+
+    def emit(self, event: Dict[str, Any]) -> Dict[str, Any]:
+        """Stamp, serialize, and append one event; returns the stamped dict."""
+        stamped = dict(event)
+        stamped.setdefault("ts", _timestamp())
+        try:
+            line = json.dumps(stamped, sort_keys=True)
+        except (TypeError, ValueError):
+            stamped = {
+                key: value
+                if isinstance(value, (str, int, float, bool, type(None)))
+                else repr(value)
+                for key, value in stamped.items()
+            }
+            line = json.dumps(stamped, sort_keys=True)
+        encoded = line + "\n"
+        with self._lock:
+            if self._handle is None:
+                raise ValueError("query log %r is closed" % (self.path,))
+            if self._size and self._size + len(encoded) > self.max_bytes:
+                self._rotate_locked()
+            self._handle.write(encoded)
+            self._handle.flush()
+            self._size += len(encoded)
+            self._emitted += 1
+        return stamped
+
+    def _rotate_locked(self) -> None:
+        self._handle.close()
+        if self.backups == 0:
+            os.remove(self.path)
+        else:
+            oldest = "%s.%d" % (self.path, self.backups)
+            if os.path.exists(oldest):
+                os.remove(oldest)
+            for index in range(self.backups - 1, 0, -1):
+                source = "%s.%d" % (self.path, index)
+                if os.path.exists(source):
+                    os.replace(source, "%s.%d" % (self.path, index + 1))
+            os.replace(self.path, self.path + ".1")
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._size = 0
+        self._rotations += 1
+
+    def describe(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "path": self.path,
+                "max_bytes": self.max_bytes,
+                "backups": self.backups,
+                "emitted": self._emitted,
+                "rotations": self._rotations,
+            }
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "QueryLog":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def _generations(path: str, backups: Optional[int] = None) -> List[str]:
+    """Existing log files for ``path``, oldest generation first."""
+    if backups is None:
+        backups = 0
+        while os.path.exists("%s.%d" % (path, backups + 1)):
+            backups += 1
+    files = []
+    for index in range(backups, 0, -1):
+        candidate = "%s.%d" % (path, index)
+        if os.path.exists(candidate):
+            files.append(candidate)
+    if os.path.exists(path):
+        files.append(path)
+    return files
+
+
+def iter_events(path: str, include_rotated: bool = True) -> Iterator[Dict[str, Any]]:
+    """Yield parsed events, oldest first, across rotated generations.
+
+    A torn final line (a crash mid-write) is skipped rather than raised:
+    the reader's job is recovering evidence, not validating the writer.
+    """
+    files = _generations(path) if include_rotated else ([path] if os.path.exists(path) else [])
+    for name in files:
+        with open(name, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(event, dict):
+                    yield event
+
+
+def read_events(path: str, include_rotated: bool = True) -> List[Dict[str, Any]]:
+    """All events for ``path`` as a list (see :func:`iter_events`)."""
+    return list(iter_events(path, include_rotated=include_rotated))
+
+
+__all__ = ["QueryLog", "iter_events", "read_events"]

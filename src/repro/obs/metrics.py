@@ -26,6 +26,7 @@ stays lock-free.
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from typing import Any, Dict, Optional
 
@@ -210,6 +211,77 @@ class MetricsRegistry(object):
             len(self._gauges),
             len(self._histograms),
         )
+
+
+class RateRing(object):
+    """A sliding-window QPS/latency ring: one bucket per second.
+
+    ``window`` one-second buckets indexed by ``int(now) % window``; a
+    bucket is lazily reset when its stored epoch second goes stale, so
+    there is no background thread and memory is a fixed ``window``-sized
+    array no matter how long the service runs.  :meth:`snapshot`
+    aggregates the buckets still inside the asked-for window into
+    request rate and latency figures — the data behind the obs
+    endpoint's ``/stats``.
+
+    ``now`` parameters exist for deterministic tests; production calls
+    leave them to ``time.time()``.  Thread-safe (one lock; observations
+    are O(1)).
+    """
+
+    __slots__ = ("window", "_buckets", "_lock")
+
+    def __init__(self, window: int = 60):
+        if window < 1:
+            raise ValueError("rate window must be positive, got %d" % window)
+        self.window = window
+        # bucket = [epoch_second, count, total_seconds, max_seconds]
+        self._buckets = [[-1, 0, 0.0, 0.0] for _ in range(window)]
+        self._lock = threading.Lock()
+
+    def observe(self, seconds: float, now: Optional[float] = None) -> None:
+        """Record one completed request with the given latency."""
+        epoch = int(time.time() if now is None else now)
+        bucket = self._buckets[epoch % self.window]
+        with self._lock:
+            if bucket[0] != epoch:
+                bucket[0] = epoch
+                bucket[1] = 0
+                bucket[2] = 0.0
+                bucket[3] = 0.0
+            bucket[1] += 1
+            bucket[2] += seconds
+            if seconds > bucket[3]:
+                bucket[3] = seconds
+
+    def snapshot(self, window: Optional[int] = None, now: Optional[float] = None) -> Dict[str, Any]:
+        """Rate and latency over the trailing ``window`` seconds.
+
+        The current (partial) second is included; buckets whose epoch
+        fell out of the window are ignored even though they still sit in
+        the array — that is the lazy-reset contract.
+        """
+        if window is None:
+            window = self.window
+        window = max(1, min(window, self.window))
+        epoch = int(time.time() if now is None else now)
+        count = 0
+        total = 0.0
+        worst = 0.0
+        with self._lock:
+            for bucket in self._buckets:
+                if epoch - window < bucket[0] <= epoch:
+                    count += bucket[1]
+                    total += bucket[2]
+                    if bucket[3] > worst:
+                        worst = bucket[3]
+        return {
+            "window_seconds": window,
+            "count": count,
+            "qps": count / float(window),
+            "mean_latency_ms": (total / count) * 1e3 if count else 0.0,
+            "max_latency_ms": worst * 1e3,
+        }
 
 
 class _NullInstrument(object):

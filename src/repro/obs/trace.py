@@ -29,10 +29,14 @@ Export to Chrome ``trace_event`` JSON and to a text report lives in
 
 from __future__ import annotations
 
+import random
 import threading
 import time
+from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional
+
+from repro.obs.context import current_query
 
 
 class Instant(object):
@@ -247,7 +251,17 @@ _current_tracer = NULL_TRACER
 
 
 def get_tracer():
-    """The active global tracer (:data:`NULL_TRACER` unless installed)."""
+    """The active tracer: the current query's, else the process global.
+
+    A live :class:`~repro.obs.context.QueryContext` with a tracer wins —
+    that is what routes pipeline/engine/service spans into the per-query
+    trace the tail-sampling layer keeps or drops at completion.  Outside
+    a request (or when per-query tracing is off) this degrades to the
+    installed global tracer (:data:`NULL_TRACER` by default).
+    """
+    context = current_query()
+    if context is not None and context.tracer is not None:
+        return context.tracer
     return _current_tracer
 
 
@@ -266,3 +280,121 @@ def use_tracer(tracer):
         yield tracer
     finally:
         set_tracer(previous)
+
+
+# ---------------------------------------------------------------------------
+# Tail-based trace sampling
+# ---------------------------------------------------------------------------
+
+
+class SamplingPolicy:
+    """Which per-query traces to keep, decided *at completion*.
+
+    Tail-based sampling: every request records its (small) span tree,
+    and the keep/drop decision happens once the outcome is known —
+
+    - **head**: a probabilistic coin flipped at ingress (``rate`` in
+      ``[0, 1]``); ``0.0`` keeps nothing by chance, ``1.0`` keeps
+      everything, exactly (no float-comparison edge cases);
+    - **slow**: a query the telemetry layer marked slow is always kept
+      (``keep_slow``);
+    - **errors**: a failed query is always kept (``keep_errors``).
+
+    The point of deciding late is that the interesting traces — slow
+    ones, failing ones — are precisely the ones a head-only sampler at
+    a low rate would usually throw away.
+
+    ``seed`` pins the head coin for deterministic tests; by default the
+    module-level :mod:`random` generator is used.
+    """
+
+    __slots__ = ("rate", "keep_slow", "keep_errors", "_random")
+
+    def __init__(
+        self,
+        rate: float = 0.05,
+        keep_slow: bool = True,
+        keep_errors: bool = True,
+        seed: Optional[int] = None,
+    ):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("sampling rate must be in [0, 1], got %r" % (rate,))
+        self.rate = rate
+        self.keep_slow = keep_slow
+        self.keep_errors = keep_errors
+        self._random = random.Random(seed) if seed is not None else random
+
+    def head(self) -> bool:
+        """The ingress-time coin: keep this trace regardless of outcome?"""
+        if self.rate <= 0.0:
+            return False
+        if self.rate >= 1.0:
+            return True
+        return self._random.random() < self.rate
+
+    def keep(self, head_sampled: bool, slow: bool, ok: bool) -> bool:
+        """The completion-time decision: head ∨ (slow) ∨ (errored)."""
+        if head_sampled:
+            return True
+        if slow and self.keep_slow:
+            return True
+        if not ok and self.keep_errors:
+            return True
+        return False
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "rate": self.rate,
+            "keep_slow": self.keep_slow,
+            "keep_errors": self.keep_errors,
+        }
+
+
+class TraceRing:
+    """A bounded ring of kept trace fragments, keyed by ``query_id``.
+
+    Fragments are the JSON-safe chrome-trace documents the service
+    attaches to telemetry records.  The ring holds at most ``capacity``
+    of them (oldest evicted first), so a service keeping every slow
+    trace under sustained load still has flat memory.  Thread-safe.
+    """
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise ValueError("trace ring capacity must be positive, got %d" % capacity)
+        self.capacity = capacity
+        self._fragments: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.kept = 0
+        self.dropped = 0
+
+    def add(self, query_id: str, fragment: Dict[str, Any]) -> None:
+        with self._lock:
+            self.kept += 1
+            self._fragments[query_id] = fragment
+            self._fragments.move_to_end(query_id)
+            while len(self._fragments) > self.capacity:
+                self._fragments.popitem(last=False)
+
+    def drop(self) -> None:
+        """Record that a trace was discarded (sampling said no)."""
+        with self._lock:
+            self.dropped += 1
+
+    def get(self, query_id: str) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            return self._fragments.get(query_id)
+
+    def recent(self, n: Optional[int] = None) -> List[Dict[str, Any]]:
+        with self._lock:
+            fragments = list(self._fragments.values())
+        return fragments if n is None else fragments[-n:]
+
+    def describe(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "held": len(self._fragments),
+                "kept": self.kept,
+                "dropped": self.dropped,
+            }

@@ -14,7 +14,10 @@ architecture):
 - :class:`SessionExecutor` — thread-pool execution with per-query
   timeouts and a bounded admission queue;
 - :class:`QueryService` — the facade, plus the ``repro serve``
-  JSON-lines wire protocol.
+  JSON-lines wire protocol;
+- :class:`ObsHttpServer` — the read-only HTTP observability sidecar
+  (``/metrics``, ``/healthz``, ``/stats``, ``/telemetry``, ``/slow``)
+  behind ``repro serve --obs-port``.
 
 All failures surface as the structured error taxonomy in
 :mod:`repro.service.errors` (compile_error / runtime_error / timeout /
@@ -33,6 +36,7 @@ from repro.service.errors import (
     ServiceError,
 )
 from repro.service.executor import Outcome, SessionExecutor
+from repro.service.http import ObsHttpServer
 from repro.service.plan_key import ast_fingerprint, plan_key
 from repro.service.prepared import CompiledPlan, PreparedQuery, compile_plan, parse_query
 from repro.service.service import QueryService
@@ -44,6 +48,7 @@ __all__ = [
     "CatalogError",
     "CompileError",
     "CompiledPlan",
+    "ObsHttpServer",
     "Outcome",
     "Overloaded",
     "PlanCache",

@@ -22,6 +22,7 @@ Counters (``service.execute.ok`` / ``.runtime_error`` / ``.timeout`` /
 
 from __future__ import annotations
 
+import contextvars
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -29,6 +30,7 @@ from concurrent.futures import TimeoutError as FutureTimeout
 from typing import Any, Callable, Optional
 
 from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
 from repro.service.errors import Overloaded, QueryTimeout, RuntimeQueryError, ServiceError
 
 
@@ -108,13 +110,23 @@ class SessionExecutor:
             )
 
         def run() -> Any:
+            # The submitter's contextvars (the current QueryContext, see
+            # repro.obs.context) were captured below; inside them the
+            # worker's get_tracer() resolves to the request's tracer, so
+            # this span lands in the same per-query trace as the
+            # ingress-side spans — and its start offset exposes queue wait.
             try:
-                return fn()
+                with get_tracer().span("executor.run", category="service"):
+                    return fn()
             finally:
                 self._slots.release()
 
         start = time.perf_counter()
-        future = self._pool.submit(run)
+        # Thread pools run callables in the *worker's* context; copying the
+        # submitter's context keeps the query_id correlation intact across
+        # the thread hop.
+        context = contextvars.copy_context()
+        future = self._pool.submit(context.run, run)
         try:
             value = future.result(timeout=timeout)
         except FutureTimeout:

@@ -1,0 +1,150 @@
+"""The HTTP observability sidecar for a running ``QueryService``.
+
+``repro serve`` speaks its JSON-lines protocol on stdin/stdout; that
+channel belongs to the one client driving it.  Operators need a second,
+read-only window onto the same service — for Prometheus scrapes, health
+probes, and ad-hoc ``curl`` debugging — so ``--obs-port N`` starts this
+sidecar: a stdlib :class:`~http.server.ThreadingHTTPServer` on a daemon
+thread serving
+
+- ``/healthz``    — liveness: ``ok`` and 200 while the service is up;
+- ``/metrics``    — Prometheus text exposition (version 0.0.4) of the
+  service's metrics registry, including cumulative ``le`` histograms;
+- ``/stats``      — the full ``stats`` document as JSON: catalog, plan
+  cache, telemetry ring, trace ring, QPS/latency over the rate ring;
+- ``/telemetry``  — recent per-query records; query parameters ``n``
+  (count), ``slow`` (slow ring), ``outcome=ok|error`` and ``handle``
+  (filters);
+- ``/slow``       — shorthand for ``/telemetry?slow=1``.
+
+Everything is read-only GETs over data structures that are already
+thread-safe, so the sidecar needs no coordination with the serving
+loop.  Port 0 binds an ephemeral port (the bound port is on
+:attr:`ObsHttpServer.port`), which the tests use.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.obs.export import prometheus_text
+
+_PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _make_handler(service: Any):
+    """Build a request-handler class closed over ``service``."""
+
+    class ObsHandler(BaseHTTPRequestHandler):
+        # The sidecar must not spray access logs onto the service's stderr.
+        def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+            pass
+
+        def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+            parsed = urlparse(self.path)
+            route = parsed.path.rstrip("/") or "/"
+            params = parse_qs(parsed.query)
+            try:
+                if route == "/healthz":
+                    self._send(200, "text/plain; charset=utf-8", "ok\n")
+                elif route == "/metrics":
+                    self._send(200, _PROM_CONTENT_TYPE, prometheus_text(service.metrics))
+                elif route == "/stats":
+                    self._send_json(200, service.stats())
+                elif route == "/telemetry":
+                    self._send_telemetry(params, slow=_flag(params, "slow"))
+                elif route == "/slow":
+                    self._send_telemetry(params, slow=True)
+                else:
+                    self._send_json(404, {"error": "unknown path %r" % parsed.path})
+            except ValueError as exc:
+                self._send_json(400, {"error": str(exc)})
+            except Exception as exc:  # noqa: BLE001 - a probe must not kill the thread
+                self._send_json(
+                    500, {"error": "%s: %s" % (type(exc).__name__, exc)}
+                )
+
+        def _send_telemetry(self, params: Dict[str, Any], slow: bool) -> None:
+            n = params.get("n", [None])[0]
+            records = service.telemetry.select(
+                n=int(n) if n is not None else None,
+                slow=slow,
+                outcome=params.get("outcome", [None])[0],
+                handle=params.get("handle", [None])[0],
+            )
+            self._send_json(
+                200,
+                {
+                    "telemetry": service.telemetry.describe(),
+                    "queries": [record.describe() for record in records],
+                },
+            )
+
+        def _send_json(self, status: int, payload: Any) -> None:
+            self._send(
+                status, "application/json; charset=utf-8", json.dumps(payload) + "\n"
+            )
+
+        def _send(self, status: int, content_type: str, body: str) -> None:
+            data = body.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+
+    return ObsHandler
+
+
+def _flag(params: Dict[str, Any], name: str) -> bool:
+    value = params.get(name, ["0"])[0]
+    return value not in ("", "0", "false", "no")
+
+
+class ObsHttpServer:
+    """The sidecar: a threading HTTP server on a daemon thread.
+
+    ``port=0`` binds an ephemeral port; read the actual one from
+    :attr:`port` after construction.  :meth:`close` shuts the listener
+    down and joins the serving thread.
+    """
+
+    def __init__(self, service: Any, port: int = 0, host: str = "127.0.0.1"):
+        self._httpd = ThreadingHTTPServer((host, port), _make_handler(service))
+        self._httpd.daemon_threads = True
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-obs-http",
+            daemon=True,
+        )
+
+    def start(self) -> "ObsHttpServer":
+        self._thread.start()
+        return self
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    def url(self, path: str = "/") -> str:
+        return "http://%s:%d%s" % (self.host, self.port, path)
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread.is_alive():
+            self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "ObsHttpServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+__all__ = ["ObsHttpServer"]

@@ -29,12 +29,18 @@ from __future__ import annotations
 import itertools
 import json
 import threading
+import time as _time
 from typing import Any, Dict, IO, Iterable, List, Optional
+
+from contextlib import contextmanager
 
 from repro.data import json_io
 from repro.data.model import DataError
-from repro.obs.metrics import MetricsRegistry
-from repro.obs.trace import get_tracer
+from repro.obs.context import QueryContext, current_query, query_context
+from repro.obs.export import chrome_trace_events
+from repro.obs.log import QueryLog
+from repro.obs.metrics import MetricsRegistry, RateRing
+from repro.obs.trace import SamplingPolicy, TraceRing, Tracer, get_tracer
 from repro.service.cache import PlanCache
 from repro.service.catalog import Catalog
 from repro.service.errors import BadRequest, ServiceError
@@ -56,7 +62,15 @@ class QueryService:
         metrics: Optional[MetricsRegistry] = None,
         telemetry_capacity: int = 256,
         slow_query_seconds: Optional[float] = None,
+        trace_sample_rate: Optional[float] = 0.05,
+        trace_capacity: int = 64,
+        query_log: Optional[Any] = None,
     ) -> None:
+        """``trace_sample_rate`` is the tail-sampling head rate (``None``
+        disables per-query tracing entirely; ``0.0`` still keeps slow and
+        errored queries).  ``query_log`` is a
+        :class:`~repro.obs.log.QueryLog` or a path for one (``None``
+        disables the durable log)."""
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.catalog = Catalog()
         self.cache = PlanCache(cache_capacity, metrics=self.metrics)
@@ -71,6 +85,13 @@ class QueryService:
             slow_query_seconds=slow_query_seconds,
             metrics=self.metrics,
         )
+        self.sampling = (
+            None if trace_sample_rate is None else SamplingPolicy(rate=trace_sample_rate)
+        )
+        self.traces = TraceRing(trace_capacity)
+        self.query_log = QueryLog(query_log) if isinstance(query_log, str) else query_log
+        self.rates = RateRing(window=60)
+        self._started_at = _time.time()
         self._prepared: Dict[str, PreparedQuery] = {}
         self._handles = itertools.count(1)
         self._lock = threading.Lock()
@@ -119,6 +140,31 @@ class QueryService:
             if self._prepared.pop(handle, None) is None:
                 raise BadRequest("unknown prepared-query handle %r" % (handle,))
 
+    @contextmanager
+    def _query_scope(self):
+        """Ensure a :class:`~repro.obs.context.QueryContext` is active.
+
+        This is the ingress point of the correlation layer: a request
+        arriving without a context (the wire loop, or a direct API call)
+        gets a fresh ``query_id``, its wall-clock start time, the head
+        sampling coin, and — when tail sampling is enabled — a private
+        tracer that every span downstream (service, pipeline, executor,
+        join engine) lands in via the context-aware ``get_tracer``.
+        Nested scopes reuse the enclosing request's context, so one wire
+        request is one ``query_id`` end to end.
+        """
+        existing = current_query()
+        if existing is not None:
+            yield existing
+            return
+        tracer = Tracer() if self.sampling is not None else None
+        context = QueryContext(
+            tracer=tracer,
+            head_sampled=self.sampling.head() if self.sampling is not None else False,
+        )
+        with query_context(context):
+            yield context
+
     def execute(
         self,
         handle: str,
@@ -133,27 +179,59 @@ class QueryService:
         statistics) and attaches the summary to ``outcome.analysis``.
         Every execution — either path — lands one
         :class:`~repro.service.telemetry.QueryTelemetry` record in
-        :attr:`telemetry`.
+        :attr:`telemetry`, one audit event in the query log (when
+        configured), and its trace in :attr:`traces` when sampling
+        keeps it — all under the request's ``query_id``.
         """
+        with self._query_scope() as context:
+            return self._execute(context, handle, params, timeout, analyze)
+
+    def _execute(
+        self,
+        context: QueryContext,
+        handle: str,
+        params: Optional[Dict[str, Any]],
+        timeout: Optional[float],
+        analyze: bool,
+    ) -> Outcome:
         try:
             prepared = self.prepared(handle)
         except ServiceError as exc:
+            if self.query_log is not None:
+                self.query_log.emit(
+                    {
+                        "event": "error",
+                        "query_id": context.query_id,
+                        "handle": handle,
+                        "error_kind": exc.kind,
+                        "message": str(exc),
+                    }
+                )
             return Outcome(error=exc)
         constants = self.catalog.constants()
         plan = prepared.plan
-        if analyze:
-            outcome = self.executor.submit(
-                lambda: plan.execute_analyzed(constants, params), timeout=timeout
-            )
-            if outcome.ok:
-                outcome.value, outcome.analysis = outcome.value
-        else:
-            outcome = self.executor.submit(
-                lambda: plan.execute(constants, params), timeout=timeout
-            )
+        tracer = get_tracer()
+        with tracer.span(
+            "service.execute",
+            category="service",
+            handle=handle,
+            query_id=context.query_id,
+            analyze=analyze,
+        ):
+            if analyze:
+                outcome = self.executor.submit(
+                    lambda: plan.execute_analyzed(constants, params), timeout=timeout
+                )
+                if outcome.ok:
+                    outcome.value, outcome.analysis = outcome.value
+            else:
+                outcome = self.executor.submit(
+                    lambda: plan.execute(constants, params), timeout=timeout
+                )
         if outcome.ok:
             prepared.executions += 1
-        self._record_telemetry(prepared, outcome, analyzed=analyze)
+        telemetry = self._record_telemetry(context, prepared, outcome, analyzed=analyze)
+        self._finish_query(context, telemetry, outcome)
         return outcome
 
     def query(
@@ -165,21 +243,26 @@ class QueryService:
         analyze: bool = False,
     ) -> Outcome:
         """One-shot prepare + execute (still plan-cached); never raises."""
-        try:
-            prepared = self.prepare(language, text)
-        except ServiceError as exc:
-            return Outcome(error=exc)
-        try:
-            return self.execute(
-                prepared.handle, params=params, timeout=timeout, analyze=analyze
-            )
-        finally:
-            # One-shot handles must not accumulate for the service's lifetime.
-            self._prepared.pop(prepared.handle, None)
+        with self._query_scope():
+            try:
+                prepared = self.prepare(language, text)
+            except ServiceError as exc:
+                return Outcome(error=exc)
+            try:
+                return self.execute(
+                    prepared.handle, params=params, timeout=timeout, analyze=analyze
+                )
+            finally:
+                # One-shot handles must not accumulate for the service's lifetime.
+                self._prepared.pop(prepared.handle, None)
 
     def _record_telemetry(
-        self, prepared: PreparedQuery, outcome: Outcome, analyzed: bool
-    ) -> None:
+        self,
+        context: QueryContext,
+        prepared: PreparedQuery,
+        outcome: Outcome,
+        analyzed: bool,
+    ) -> QueryTelemetry:
         rows = None
         if outcome.ok:
             try:
@@ -187,36 +270,121 @@ class QueryService:
             except TypeError:
                 rows = None
         analysis = outcome.analysis if isinstance(outcome.analysis, dict) else {}
-        self.telemetry.record(
-            QueryTelemetry(
-                handle=prepared.handle,
-                language=prepared.language,
-                cache_hit=prepared.cached,
-                compile_seconds=0.0 if prepared.cached else prepared.plan.compile_seconds,
-                execute_seconds=outcome.seconds,
-                ok=outcome.ok,
-                error_kind=None if outcome.ok else outcome.error.kind,
-                rows=rows,
-                peak_rows=analysis.get("peak_rows"),
-                hot_operators=analysis.get("hot"),
-                join_engine=analysis.get("join_engine"),
-                analyzed=analyzed,
-            )
+        telemetry = QueryTelemetry(
+            handle=prepared.handle,
+            language=prepared.language,
+            cache_hit=prepared.cached,
+            compile_seconds=0.0 if prepared.cached else prepared.plan.compile_seconds,
+            execute_seconds=outcome.seconds,
+            ok=outcome.ok,
+            error_kind=None if outcome.ok else outcome.error.kind,
+            rows=rows,
+            peak_rows=analysis.get("peak_rows"),
+            hot_operators=analysis.get("hot"),
+            join_engine=analysis.get("join_engine"),
+            analyzed=analyzed,
+            query_id=context.query_id,
+            started_at=context.started_at,
         )
+        self.telemetry.record(telemetry)
+        return telemetry
+
+    def _finish_query(
+        self, context: QueryContext, telemetry: QueryTelemetry, outcome: Outcome
+    ) -> None:
+        """Completion-time observability: rates, tail sampling, query log.
+
+        Runs once per execute, after the telemetry record exists (so the
+        slow-query mark is already decided).  The trace keep/drop
+        decision happens here — this is the "tail" of tail-based
+        sampling — and a kept chrome-trace fragment is attached to the
+        telemetry record and retained in the bounded :attr:`traces`
+        ring.
+        """
+        self.rates.observe(telemetry.execute_seconds)
+        if self.sampling is not None and context.tracer is not None:
+            if self.sampling.keep(context.head_sampled, telemetry.slow, telemetry.ok):
+                fragment = {
+                    "query_id": context.query_id,
+                    "events": chrome_trace_events(context.tracer),
+                }
+                self.traces.add(context.query_id, fragment)
+                telemetry.trace = fragment
+                self.metrics.counter("obs.trace.kept").inc()
+            else:
+                self.traces.drop()
+                self.metrics.counter("obs.trace.dropped").inc()
+        if self.query_log is not None:
+            audit: Dict[str, Any] = {
+                "event": "query",
+                "query_id": context.query_id,
+                "handle": telemetry.handle,
+                "language": telemetry.language,
+                "cache_hit": telemetry.cache_hit,
+                "compile_seconds": telemetry.compile_seconds,
+                "execute_seconds": telemetry.execute_seconds,
+                "rows": telemetry.rows,
+                "outcome": "ok" if telemetry.ok else "error",
+            }
+            if telemetry.error_kind is not None:
+                audit["error_kind"] = telemetry.error_kind
+            if telemetry.slow:
+                audit["slow"] = True
+            if telemetry.join_engine is not None:
+                audit["join_engine"] = telemetry.join_engine
+            if telemetry.trace is not None:
+                audit["trace_kept"] = True
+            self.query_log.emit(audit)
+            self.metrics.counter("obs.log.events").inc()
+            if not telemetry.ok:
+                self.query_log.emit(
+                    {
+                        "event": "error",
+                        "query_id": context.query_id,
+                        "handle": telemetry.handle,
+                        "error_kind": telemetry.error_kind,
+                        "message": str(outcome.error),
+                    }
+                )
+                self.metrics.counter("obs.log.events").inc()
+            elif telemetry.slow:
+                self.query_log.emit(
+                    {
+                        "event": "slow_query",
+                        "query_id": context.query_id,
+                        "handle": telemetry.handle,
+                        "execute_seconds": telemetry.execute_seconds,
+                        "threshold_seconds": self.telemetry.slow_query_seconds,
+                    }
+                )
+                self.metrics.counter("obs.log.events").inc()
 
     # -- introspection ----------------------------------------------------
 
     def stats(self) -> Dict[str, Any]:
-        return {
+        stats: Dict[str, Any] = {
             "tables": self.catalog.describe(),
             "prepared": len(self._prepared),
             "plan_cache": self.cache.stats(),
             "metrics": self.metrics.snapshot(),
             "telemetry": self.telemetry.describe(),
+            "uptime_seconds": _time.time() - self._started_at,
+            "traces": self.traces.describe(),
+            "rates": {
+                "last_10s": self.rates.snapshot(window=10),
+                "last_60s": self.rates.snapshot(window=60),
+            },
         }
+        if self.sampling is not None:
+            stats["sampling"] = self.sampling.describe()
+        if self.query_log is not None:
+            stats["query_log"] = self.query_log.describe()
+        return stats
 
     def close(self, wait: bool = True) -> None:
         self.executor.shutdown(wait=wait)
+        if self.query_log is not None:
+            self.query_log.close()
 
     def __enter__(self) -> "QueryService":
         return self
@@ -227,19 +395,28 @@ class QueryService:
     # -- the JSON-lines wire protocol ------------------------------------
 
     def handle_request(self, request: Any) -> Dict[str, Any]:
-        """Map one decoded request to one response dict (never raises)."""
-        try:
-            return self._dispatch(request)
-        except ServiceError as exc:
-            return {"ok": False, "error": exc.to_payload()}
-        except Exception as exc:  # noqa: BLE001 - the loop must survive
-            return {
-                "ok": False,
-                "error": {
-                    "kind": "internal_error",
-                    "message": "%s: %s" % (type(exc).__name__, exc),
-                },
-            }
+        """Map one decoded request to one response dict (never raises).
+
+        Every response carries the request's ``query_id`` — the same id
+        the telemetry record, the query-log audit event, and any kept
+        trace fragment use — so a wire client can correlate its call
+        with everything the service recorded about it.
+        """
+        with self._query_scope() as context:
+            try:
+                response = self._dispatch(request)
+            except ServiceError as exc:
+                response = {"ok": False, "error": exc.to_payload()}
+            except Exception as exc:  # noqa: BLE001 - the loop must survive
+                response = {
+                    "ok": False,
+                    "error": {
+                        "kind": "internal_error",
+                        "message": "%s: %s" % (type(exc).__name__, exc),
+                    },
+                }
+            response["query_id"] = context.query_id
+            return response
 
     def _dispatch(self, request: Any) -> Dict[str, Any]:
         if not isinstance(request, dict):
@@ -291,13 +468,22 @@ class QueryService:
                 "metrics": self.metrics.snapshot(),
             }
         if op == "telemetry":
-            count = request.get("n")
-            ring = self.telemetry.slow if request.get("slow") else self.telemetry.recent
+            try:
+                records = self.telemetry.select(
+                    n=request.get("n"),
+                    slow=bool(request.get("slow")),
+                    outcome=request.get("outcome"),
+                    handle=request.get("filter_handle"),
+                )
+            except ValueError as exc:
+                raise BadRequest(str(exc))
             return {
                 "ok": True,
                 "telemetry": self.telemetry.describe(),
-                "queries": [t.describe() for t in ring(count)],
+                "queries": [t.describe() for t in records],
             }
+        if op == "traces":
+            return {"ok": True, **self.traces.describe(), "traces": self.traces.recent(request.get("n"))}
         raise BadRequest("unknown op %r" % (op,))
 
     @staticmethod

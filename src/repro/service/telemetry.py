@@ -18,12 +18,22 @@ wire op can return them directly.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from typing import Any, Dict, List, Optional
 
 
 class QueryTelemetry:
-    """One query's life: cache behaviour, phase timings, data volume."""
+    """One query's life: cache behaviour, phase timings, data volume.
+
+    ``query_id`` is the correlation id assigned at service ingress (see
+    :mod:`repro.obs.context`) — the same id appears in the query-log
+    audit event, any kept trace fragment, and the analyze report for
+    this execution.  ``started_at`` is the wall-clock ingress time
+    (``time.time()``), stamped at construction unless supplied.  When
+    tail sampling keeps this query's trace, the chrome-trace fragment
+    lands on ``trace``.
+    """
 
     __slots__ = (
         "handle",
@@ -39,6 +49,9 @@ class QueryTelemetry:
         "join_engine",
         "analyzed",
         "slow",
+        "query_id",
+        "started_at",
+        "trace",
     )
 
     def __init__(
@@ -55,6 +68,8 @@ class QueryTelemetry:
         hot_operators: Optional[List[Dict[str, Any]]] = None,
         join_engine: Optional[Dict[str, Any]] = None,
         analyzed: bool = False,
+        query_id: Optional[str] = None,
+        started_at: Optional[float] = None,
     ):
         self.handle = handle
         self.language = language
@@ -69,16 +84,22 @@ class QueryTelemetry:
         self.join_engine = join_engine
         self.analyzed = analyzed
         self.slow = False
+        self.query_id = query_id
+        self.started_at = time.time() if started_at is None else started_at
+        self.trace: Optional[Dict[str, Any]] = None
 
     def describe(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {
             "handle": self.handle,
             "language": self.language,
+            "started_at": self.started_at,
             "cache_hit": self.cache_hit,
             "compile_seconds": self.compile_seconds,
             "execute_seconds": self.execute_seconds,
             "ok": self.ok,
         }
+        if self.query_id is not None:
+            out["query_id"] = self.query_id
         if self.error_kind is not None:
             out["error_kind"] = self.error_kind
         if self.rows is not None:
@@ -91,6 +112,8 @@ class QueryTelemetry:
                 out["join_engine"] = self.join_engine
         if self.slow:
             out["slow"] = True
+        if self.trace is not None:
+            out["trace"] = self.trace
         return out
 
     def __repr__(self) -> str:
@@ -148,6 +171,29 @@ class TelemetryLog:
     def slow(self, n: Optional[int] = None) -> List[QueryTelemetry]:
         with self._lock:
             records = list(self._slow)
+        return records if n is None else records[-n:]
+
+    def select(
+        self,
+        n: Optional[int] = None,
+        slow: bool = False,
+        outcome: Optional[str] = None,
+        handle: Optional[str] = None,
+    ) -> List[QueryTelemetry]:
+        """Filtered view of a ring: by outcome (``ok``/``error``), handle.
+
+        Filters apply before the ``n`` cut, so asking for the last 5
+        errors returns 5 errors (if that many are retained), not
+        whatever errors happen to sit in the last 5 records.
+        """
+        if outcome not in (None, "ok", "error"):
+            raise ValueError("outcome filter must be 'ok' or 'error', got %r" % (outcome,))
+        records = self.slow(None) if slow else self.recent(None)
+        if outcome is not None:
+            wanted = outcome == "ok"
+            records = [record for record in records if record.ok is wanted]
+        if handle is not None:
+            records = [record for record in records if record.handle == handle]
         return records if n is None else records[-n:]
 
     def describe(self) -> Dict[str, Any]:

@@ -302,6 +302,53 @@ class TestExplain:
         assert code == 2
         assert "names a generated scale" in output
 
+    def test_explain_analyze_json(self):
+        code, output = run_cli(
+            ["explain", "--tpch", "q6", "--analyze", "--format", "json"]
+        )
+        assert code == 0
+        doc = json.loads(output)
+        assert doc["ok"] is True
+        assert doc["language"] == "sql"
+        assert "lineitem" in doc["query"]
+        assert doc["rows"] >= 1
+        assert doc["analyze"]["nodes"] >= 1
+        assert doc["analyze"]["peak_rows"] >= 1
+        # the plan tree mirrors the operator tree with per-node stats
+        assert "label" in doc["plan"] and "children" in doc["plan"]
+        calibration = doc["calibration"]
+        assert -1.0 <= calibration["spearman_rho"] <= 1.0
+        for row in calibration["rows"]:
+            assert {"operator", "cost", "out_rows", "self_seconds"} <= set(row)
+        assert "joins" in doc["engine"]
+
+    def test_explain_json_requires_analyze(self):
+        code, output = run_cli(
+            ["explain", "--tpch", "q6", "--format", "json"]
+        )
+        assert code == 2
+        assert "--format json requires --analyze" in output
+
+    def test_explain_json_runtime_error_is_structured(self, tmp_path):
+        data = tmp_path / "db.json"
+        data.write_text(json.dumps({"t": [{"a": 1}]}))
+        code, output = run_cli(
+            [
+                "explain",
+                "--query",
+                "select a from missing",
+                "--analyze",
+                "--format",
+                "json",
+                "--data",
+                str(data),
+            ]
+        )
+        assert code == 1
+        doc = json.loads(output)
+        assert doc["ok"] is False
+        assert "missing" in doc["error"]
+
     def test_explain_with_trace(self, tmp_path):
         path = tmp_path / "explain.trace.json"
         code, output = run_cli(
@@ -385,6 +432,87 @@ class TestServe:
         assert telemetry["telemetry"]["capacity"] == 4
         assert len(telemetry["queries"]) == 1
         assert telemetry["queries"][0]["slow"] is True
+
+    def test_query_log_flag_writes_audit_events(self, monkeypatch, tmp_path):
+        from repro.obs.log import read_events
+
+        log_path = tmp_path / "query.log"
+        code, responses = self.run_serve(
+            monkeypatch,
+            [
+                json.dumps({"op": "register", "table": "t", "rows": [{"a": 1}]}),
+                json.dumps({"op": "query", "query": "select a from t"}),
+                json.dumps({"op": "query", "query": "select a from missing"}),
+            ],
+            extra_args=["--query-log", str(log_path)],
+        )
+        assert code == 0
+        events = read_events(str(log_path))
+        kinds = [e["event"] for e in events]
+        assert kinds.count("query") == 2
+        assert kinds.count("error") == 1
+        audits = [e for e in events if e["event"] == "query"]
+        # each audit event correlates with its wire response by query_id
+        wire_ids = [r["query_id"] for r in responses[1:]]
+        assert [a["query_id"] for a in audits] == wire_ids
+
+    def test_trace_sample_flag(self, monkeypatch):
+        code, responses = self.run_serve(
+            monkeypatch,
+            [
+                json.dumps({"op": "register", "table": "t", "rows": [{"a": 1}]}),
+                json.dumps({"op": "query", "query": "select a from t"}),
+                json.dumps({"op": "traces"}),
+            ],
+            extra_args=["--trace-sample", "1.0"],
+        )
+        assert code == 0
+        traces = responses[2]
+        assert traces["ok"] and traces["kept"] == 1
+
+    def test_negative_trace_sample_disables_tracing(self, monkeypatch):
+        code, responses = self.run_serve(
+            monkeypatch,
+            [
+                json.dumps({"op": "register", "table": "t", "rows": [{"a": 1}]}),
+                json.dumps({"op": "query", "query": "select a from t"}),
+                json.dumps({"op": "traces"}),
+            ],
+            extra_args=["--trace-sample", "-1"],
+        )
+        assert code == 0
+        traces = responses[2]
+        assert traces["kept"] == 0 and traces["dropped"] == 0
+
+    def test_obs_port_serves_while_loop_runs(self, monkeypatch, capsys):
+        """--obs-port 0 binds an ephemeral sidecar announced on stderr;
+        it answers probes while the JSON-lines loop is live."""
+        import re
+        import sys
+        import urllib.request
+
+        probed = {}
+
+        class ProbingStdin:
+            """Feeds the wire loop, probing the sidecar between lines."""
+
+            def __iter__(self):
+                yield json.dumps({"op": "register", "table": "t", "rows": [{"a": 1}]}) + "\n"
+                yield json.dumps({"op": "query", "query": "select a from t"}) + "\n"
+                banner = capsys.readouterr().err
+                match = re.search(r"obs endpoint on http://127\.0\.0\.1:(\d+)", banner)
+                assert match, banner
+                base = "http://127.0.0.1:%s" % match.group(1)
+                for path in ("/healthz", "/metrics"):
+                    with urllib.request.urlopen(base + path, timeout=10.0) as response:
+                        probed[path] = response.read().decode("utf-8")
+                yield json.dumps({"op": "shutdown"}) + "\n"
+
+        monkeypatch.setattr(sys, "stdin", ProbingStdin())
+        code, output = run_cli(["serve", "--obs-port", "0"])
+        assert code == 0
+        assert probed["/healthz"] == "ok\n"
+        assert "repro_service_execute_ok_total" in probed["/metrics"]
 
     def test_errors_do_not_kill_loop(self, monkeypatch):
         code, responses = self.run_serve(

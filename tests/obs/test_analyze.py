@@ -309,3 +309,83 @@ class TestProperties:
                 if child_id in collector.stats
             )
             assert stats.in_rows == reported, node_label(stats.node)
+
+
+class TestJsonViews:
+    def run_collected(self):
+        plan = join_plan()
+        with analyze_execution() as collector:
+            eval_fast(plan, Record({}), None, DB)
+        return plan, collector
+
+    def test_analyze_json_mirrors_plan_shape(self):
+        import json
+
+        from repro.obs.analyze import analyze_json
+
+        plan, collector = self.run_collected()
+        document = analyze_json(plan, collector)
+        json.dumps(document)  # JSON-safe throughout
+        assert document["label"] == "σ"
+        assert document["stats"]["calls"] >= 1
+        # a=1 matches c=1 once; a=2 matches c=2 twice
+        assert document["stats"]["out_rows"] == 3
+
+        def labels(node):
+            return [node["label"]] + [l for c in node["children"] for l in labels(c)]
+
+        rendered = render_analyze(plan, collector)
+        for label in set(labels(document)):
+            assert label in rendered
+
+    def test_analyze_json_unexecuted_nodes_have_none_stats(self):
+        from repro.obs.analyze import analyze_json
+
+        # σ⟨false⟩ short-circuits nothing here, but an unexecuted branch
+        # comes from a plan whose subtree never runs: default(table, const)
+        plan = b.sigma(b.const(False), b.table("R"))
+        with analyze_execution() as collector:
+            eval_fast(plan, Record({}), None, DB)
+        document = analyze_json(plan, collector)
+        stats = [document["stats"]] + [child["stats"] for child in document["children"]]
+        assert any(s is not None for s in stats)
+
+    def test_calibration_data_rows_and_rho(self):
+        import json
+
+        from repro.obs.analyze import calibration_data
+
+        plan, collector = self.run_collected()
+        data = calibration_data(plan, collector)
+        json.dumps(data)
+        assert data["rows"], "executed nodes must appear"
+        costs = [row["cost"] for row in data["rows"]]
+        assert costs == sorted(costs, reverse=True)
+        for row in data["rows"]:
+            assert set(row) == {"operator", "cost", "out_rows", "self_seconds"}
+        assert data["spearman_rho"] is None or -1.0 <= data["spearman_rho"] <= 1.0
+
+    def test_calibration_data_agrees_with_report(self):
+        from repro.obs.analyze import calibration_data
+
+        plan, collector = self.run_collected()
+        report = calibration_report(plan, collector)
+        data = calibration_data(plan, collector)
+        rho = data["spearman_rho"]
+        if rho is not None:
+            assert ("%+.3f" % rho) in report
+
+
+class TestQueryIdCorrelation:
+    def test_summary_carries_query_id_inside_a_request(self):
+        from repro.obs.context import QueryContext, query_context
+
+        plan, collector = TestJsonViews().run_collected()
+        with query_context(QueryContext(query_id="deadbeefcafe0123")):
+            summary = analysis_summary(collector)
+        assert summary["query_id"] == "deadbeefcafe0123"
+
+    def test_summary_has_no_query_id_outside_a_request(self):
+        plan, collector = TestJsonViews().run_collected()
+        summary = analysis_summary(collector)
+        assert "query_id" not in summary

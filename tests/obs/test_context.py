@@ -1,0 +1,122 @@
+"""Tests for the current-query context (repro.obs.context)."""
+
+import contextvars
+import threading
+
+from repro.obs.context import (
+    QueryContext,
+    current_query,
+    current_query_id,
+    new_query_id,
+    query_context,
+)
+from repro.obs.trace import NULL_TRACER, Tracer, get_tracer, use_tracer
+
+
+class TestQueryId:
+    def test_ids_are_unique_hex(self):
+        ids = {new_query_id() for _ in range(100)}
+        assert len(ids) == 100
+        for query_id in ids:
+            assert len(query_id) == 16
+            int(query_id, 16)
+
+    def test_context_assigns_id_and_start_time(self):
+        context = QueryContext()
+        assert len(context.query_id) == 16
+        assert context.started_at > 0
+        assert context.tracer is None
+        assert context.head_sampled is False
+
+    def test_explicit_fields_kept(self):
+        tracer = Tracer()
+        context = QueryContext(
+            query_id="abc", tracer=tracer, started_at=123.0, head_sampled=True
+        )
+        assert context.query_id == "abc"
+        assert context.tracer is tracer
+        assert context.started_at == 123.0
+        assert context.head_sampled is True
+
+
+class TestScoping:
+    def test_default_is_none(self):
+        assert current_query() is None
+        assert current_query_id() is None
+
+    def test_enter_and_exit(self):
+        context = QueryContext()
+        with query_context(context) as active:
+            assert active is context
+            assert current_query() is context
+            assert current_query_id() == context.query_id
+        assert current_query() is None
+
+    def test_nested_scopes_restore(self):
+        outer, inner = QueryContext(), QueryContext()
+        with query_context(outer):
+            with query_context(inner):
+                assert current_query() is inner
+            assert current_query() is outer
+        assert current_query() is None
+
+    def test_restored_on_exception(self):
+        try:
+            with query_context(QueryContext()):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert current_query() is None
+
+    def test_plain_thread_does_not_inherit(self):
+        # contextvars do not leak into a raw Thread (which starts with a
+        # fresh context copy of the *spawning* moment only via copy at
+        # thread start in 3.12+? no — threads start empty contexts).
+        seen = []
+
+        def worker():
+            seen.append(current_query())
+
+        with query_context(QueryContext()):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen == [None]
+
+    def test_copy_context_carries_query_across_threads(self):
+        # The executor's propagation contract: copy_context() at submit
+        # time makes the worker see the submitter's QueryContext.
+        context = QueryContext()
+        seen = []
+
+        def worker():
+            seen.append(current_query())
+
+        with query_context(context):
+            snapshot = contextvars.copy_context()
+        thread = threading.Thread(target=lambda: snapshot.run(worker))
+        thread.start()
+        thread.join()
+        assert seen == [context]
+
+
+class TestTracerResolution:
+    def test_context_tracer_wins_over_global(self):
+        per_query = Tracer()
+        with query_context(QueryContext(tracer=per_query)):
+            assert get_tracer() is per_query
+
+    def test_context_without_tracer_falls_back_to_global(self):
+        global_tracer = Tracer()
+        with use_tracer(global_tracer):
+            with query_context(QueryContext(tracer=None)):
+                assert get_tracer() is global_tracer
+        with query_context(QueryContext(tracer=None)):
+            assert get_tracer() is NULL_TRACER
+
+    def test_spans_land_in_the_query_tracer(self):
+        per_query = Tracer()
+        with query_context(QueryContext(tracer=per_query)):
+            with get_tracer().span("request_work"):
+                pass
+        assert [root.name for root in per_query.roots] == ["request_work"]

@@ -159,23 +159,68 @@ class TestPrometheus:
     def test_empty_registry_placeholder(self):
         assert prometheus_text(MetricsRegistry()) == "# (no metrics recorded)\n"
 
+    def test_every_family_has_help_and_type(self):
+        from tests.promtext import parse_prometheus
+
+        metrics = MetricsRegistry()
+        metrics.counter("service.execute.ok").inc()
+        metrics.gauge("depth").set(2)
+        metrics.histogram("latency_ms").record(3)
+        families = parse_prometheus(prometheus_text(metrics))
+        for family in families.values():
+            assert family.help is not None
+        # the HELP line names the originating instrument
+        assert "service.execute.ok" in families["repro_service_execute_ok_total"].help
+
+    def test_histogram_renders_cumulative_le_buckets(self):
+        from tests.promtext import parse_prometheus
+
+        metrics = MetricsRegistry()
+        hist = metrics.histogram("sizes")
+        for value in (1, 2, 3, 4, 100):
+            hist.record(value)
+        families = parse_prometheus(prometheus_text(metrics))
+        buckets = families["repro_sizes_buckets"]
+        assert buckets.kind == "histogram"
+        # power-of-two buckets cumulate exactly: ≤1:1, ≤2:2, ≤4:4, ≤128:5
+        assert buckets.sample_value("_bucket", le="1") == 1
+        assert buckets.sample_value("_bucket", le="2") == 2
+        assert buckets.sample_value("_bucket", le="4") == 4
+        assert buckets.sample_value("_bucket", le="128") == 5
+        assert buckets.sample_value("_bucket", le="+Inf") == 5
+        assert buckets.sample_value("_sum") == 110
+        assert buckets.sample_value("_count") == 5
+
+    def test_colliding_sanitized_names_stay_distinct(self):
+        from tests.promtext import parse_prometheus
+
+        metrics = MetricsRegistry()
+        metrics.counter("a.b").inc(1)
+        metrics.counter("a_b").inc(2)
+        text = prometheus_text(metrics)
+        families = parse_prometheus(text)
+        assert "repro_a_b_total" in families
+        assert "repro_a_b_total_2" in families
+        values = sorted(
+            family.sample_value() for name, family in families.items() if name.startswith("repro_a_b")
+        )
+        assert values == [1, 2]
+        # deterministic: same registry renders identically
+        assert text == prometheus_text(metrics)
+
     def test_exposition_lines_parse(self):
-        import re
+        from tests.promtext import parse_prometheus
 
         metrics = MetricsRegistry()
         metrics.counter("c").inc()
         metrics.gauge("g").set(2)
         metrics.histogram("h").record(3)
-        text = prometheus_text(metrics)
-        assert text.endswith("\n")
-        sample = re.compile(
-            r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{quantile=\"[0-9.]+\"\})? [0-9.eE+-]+$"
-        )
-        for line in text.rstrip("\n").splitlines():
-            if line.startswith("#"):
-                assert re.match(r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|summary)$", line)
-            else:
-                assert sample.match(line), line
+        families = parse_prometheus(prometheus_text(metrics))
+        assert families["repro_c_total"].sample_value() == 1
+        assert families["repro_g"].sample_value() == 2
+        assert families["repro_h"].kind == "summary"
+        assert families["repro_h"].sample_value("_count") == 1
+        assert families["repro_h_buckets"].kind == "histogram"
 
     def test_output_is_deterministic(self):
         metrics = MetricsRegistry()

@@ -1,0 +1,169 @@
+"""Tests for the structured query log (repro.obs.log)."""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.obs.log import QueryLog, iter_events, read_events
+
+
+class TestEmit:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "q.jsonl")
+        with QueryLog(path) as log:
+            stamped = log.emit({"event": "query", "query_id": "abc", "rows": 3})
+        events = read_events(path)
+        assert len(events) == 1
+        assert events[0]["event"] == "query"
+        assert events[0]["query_id"] == "abc"
+        assert events[0]["rows"] == 3
+        assert events[0]["ts"] == stamped["ts"]
+
+    def test_ts_is_iso_utc(self, tmp_path):
+        path = str(tmp_path / "q.jsonl")
+        with QueryLog(path) as log:
+            stamped = log.emit({"event": "query"})
+        assert stamped["ts"].endswith("Z")
+        assert "T" in stamped["ts"]
+
+    def test_caller_supplied_ts_kept(self, tmp_path):
+        path = str(tmp_path / "q.jsonl")
+        with QueryLog(path) as log:
+            log.emit({"event": "query", "ts": "2026-01-01T00:00:00.000Z"})
+        assert read_events(path)[0]["ts"] == "2026-01-01T00:00:00.000Z"
+
+    def test_events_are_one_json_object_per_line(self, tmp_path):
+        path = str(tmp_path / "q.jsonl")
+        with QueryLog(path) as log:
+            for index in range(5):
+                log.emit({"event": "query", "n": index})
+        with open(path) as handle:
+            lines = [line for line in handle if line.strip()]
+        assert len(lines) == 5
+        assert [json.loads(line)["n"] for line in lines] == list(range(5))
+
+    def test_non_serializable_values_become_reprs(self, tmp_path):
+        path = str(tmp_path / "q.jsonl")
+        with QueryLog(path) as log:
+            log.emit({"event": "query", "payload": object(), "ok": True})
+        (event,) = read_events(path)
+        assert event["ok"] is True
+        assert "object" in event["payload"]
+
+    def test_closed_log_rejects_emit(self, tmp_path):
+        log = QueryLog(str(tmp_path / "q.jsonl"))
+        log.close()
+        with pytest.raises(ValueError):
+            log.emit({"event": "query"})
+
+    def test_describe(self, tmp_path):
+        path = str(tmp_path / "q.jsonl")
+        with QueryLog(path, max_bytes=100, backups=2) as log:
+            log.emit({"event": "query"})
+            description = log.describe()
+        assert description["path"] == path
+        assert description["max_bytes"] == 100
+        assert description["backups"] == 2
+        assert description["emitted"] == 1
+
+
+class TestRotation:
+    def test_rotation_bounds_total_footprint(self, tmp_path):
+        path = str(tmp_path / "q.jsonl")
+        max_bytes = 500
+        backups = 2
+        with QueryLog(path, max_bytes=max_bytes, backups=backups) as log:
+            for index in range(200):
+                log.emit({"event": "query", "n": index, "pad": "x" * 40})
+            assert log.describe()["rotations"] > 0
+        generations = [path] + ["%s.%d" % (path, i) for i in range(1, backups + 2)]
+        existing = [g for g in generations if os.path.exists(g)]
+        # never more than the active file + `backups` rotated ones
+        assert len(existing) <= backups + 1
+        assert not os.path.exists("%s.%d" % (path, backups + 1))
+        for generation in existing:
+            # each file stays within one event of the cap
+            assert os.path.getsize(generation) <= max_bytes + 100
+
+    def test_reader_walks_generations_oldest_first(self, tmp_path):
+        path = str(tmp_path / "q.jsonl")
+        with QueryLog(path, max_bytes=300, backups=3) as log:
+            for index in range(30):
+                log.emit({"event": "query", "n": index, "pad": "x" * 20})
+        sequence = [event["n"] for event in read_events(path)]
+        # rotation may discard the oldest events, but whatever survives
+        # must be a contiguous, ordered tail ending at the newest
+        assert sequence == sorted(sequence)
+        assert sequence[-1] == 29
+        assert sequence == list(range(sequence[0], 30))
+
+    def test_zero_backups_discards_on_rotation(self, tmp_path):
+        path = str(tmp_path / "q.jsonl")
+        with QueryLog(path, max_bytes=200, backups=0) as log:
+            for index in range(50):
+                log.emit({"event": "query", "n": index, "pad": "y" * 30})
+        assert not os.path.exists(path + ".1")
+        events = read_events(path)
+        assert events[-1]["n"] == 49
+
+    def test_include_rotated_false_reads_active_only(self, tmp_path):
+        path = str(tmp_path / "q.jsonl")
+        with QueryLog(path, max_bytes=300, backups=3) as log:
+            for index in range(30):
+                log.emit({"event": "query", "n": index, "pad": "x" * 20})
+        active_only = read_events(path, include_rotated=False)
+        everything = read_events(path)
+        assert len(active_only) < len(everything)
+
+
+class TestReader:
+    def test_missing_file_yields_nothing(self, tmp_path):
+        assert read_events(str(tmp_path / "absent.jsonl")) == []
+
+    def test_torn_trailing_line_skipped(self, tmp_path):
+        path = str(tmp_path / "q.jsonl")
+        with QueryLog(path) as log:
+            log.emit({"event": "query", "n": 1})
+        with open(path, "a") as handle:
+            handle.write('{"event": "query", "n": 2, "tr')  # crash mid-write
+        events = read_events(path)
+        assert [event["n"] for event in events] == [1]
+
+    def test_blank_and_non_object_lines_skipped(self, tmp_path):
+        path = str(tmp_path / "q.jsonl")
+        with open(path, "w") as handle:
+            handle.write('{"event": "a"}\n\n[1, 2]\n"str"\n{"event": "b"}\n')
+        assert [event["event"] for event in read_events(path)] == ["a", "b"]
+
+    def test_iter_events_is_lazy_equivalent(self, tmp_path):
+        path = str(tmp_path / "q.jsonl")
+        with QueryLog(path) as log:
+            for index in range(3):
+                log.emit({"event": "query", "n": index})
+        assert list(iter_events(path)) == read_events(path)
+
+
+class TestThreadSafety:
+    def test_concurrent_emitters_produce_parseable_lines(self, tmp_path):
+        path = str(tmp_path / "q.jsonl")
+        events_per_thread = 200
+        with QueryLog(path, max_bytes=20_000, backups=5) as log:
+            def hammer(worker):
+                for index in range(events_per_thread):
+                    log.emit({"event": "query", "worker": worker, "n": index})
+
+            threads = [threading.Thread(target=hammer, args=(t,)) for t in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            emitted = log.describe()["emitted"]
+        assert emitted == 8 * events_per_thread
+        events = read_events(path)
+        # every surviving line parses, and no line was interleaved/torn
+        assert events
+        for event in events:
+            assert event["event"] == "query"
+            assert 0 <= event["worker"] < 8

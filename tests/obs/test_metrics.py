@@ -4,6 +4,7 @@ from repro.obs.metrics import (
     NULL_METRICS,
     EvalObserver,
     MetricsRegistry,
+    RateRing,
     get_metrics,
     set_metrics,
     use_metrics,
@@ -175,6 +176,80 @@ class TestThreadSafety:
         for thread in threads:
             thread.join()
         assert gauge.value == 3999
+
+
+class TestRateRing:
+    def test_window_validation(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            RateRing(0)
+
+    def test_empty_snapshot(self):
+        snapshot = RateRing(60).snapshot(now=1000.0)
+        assert snapshot["count"] == 0
+        assert snapshot["qps"] == 0.0
+        assert snapshot["mean_latency_ms"] == 0.0
+        assert snapshot["max_latency_ms"] == 0.0
+
+    def test_counts_and_latency_within_window(self):
+        ring = RateRing(60)
+        ring.observe(0.010, now=1000.0)
+        ring.observe(0.030, now=1000.5)
+        ring.observe(0.020, now=1005.0)
+        snapshot = ring.snapshot(window=10, now=1005.0)
+        assert snapshot["count"] == 3
+        assert snapshot["qps"] == 0.3
+        assert abs(snapshot["mean_latency_ms"] - 20.0) < 1e-9
+        assert abs(snapshot["max_latency_ms"] - 30.0) < 1e-9
+
+    def test_old_buckets_fall_out_of_the_window(self):
+        ring = RateRing(60)
+        ring.observe(0.010, now=1000.0)
+        ring.observe(0.020, now=1030.0)
+        snapshot = ring.snapshot(window=10, now=1035.0)
+        assert snapshot["count"] == 1
+        assert abs(snapshot["max_latency_ms"] - 20.0) < 1e-9
+
+    def test_stale_bucket_lazily_reset_on_wraparound(self):
+        ring = RateRing(10)
+        ring.observe(0.010, now=1000.0)
+        # 1010 maps to the same bucket index as 1000 a full cycle later
+        ring.observe(0.050, now=1010.0)
+        snapshot = ring.snapshot(window=10, now=1010.0)
+        assert snapshot["count"] == 1
+        assert abs(snapshot["max_latency_ms"] - 50.0) < 1e-9
+
+    def test_snapshot_window_clamped_to_ring_size(self):
+        ring = RateRing(10)
+        ring.observe(0.010, now=1000.0)
+        snapshot = ring.snapshot(window=3600, now=1000.0)
+        assert snapshot["window_seconds"] == 10
+        assert snapshot["count"] == 1
+
+    def test_many_observations_in_one_second(self):
+        ring = RateRing(60)
+        for index in range(100):
+            ring.observe(0.001 * index, now=1000.0 + index / 1000.0)
+        snapshot = ring.snapshot(window=1, now=1000.0)
+        assert snapshot["count"] == 100
+        assert snapshot["qps"] == 100.0
+
+    def test_thread_safety(self):
+        import threading
+
+        ring = RateRing(60)
+
+        def hammer():
+            for _ in range(5000):
+                ring.observe(0.001, now=1000.0)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert ring.snapshot(window=1, now=1000.0)["count"] == 40_000
 
 
 class TestNullMetrics:

@@ -2,9 +2,13 @@
 
 import threading
 
+import pytest
+
 from repro.obs.trace import (
     NULL_TRACER,
     NullTracer,
+    SamplingPolicy,
+    TraceRing,
     Tracer,
     get_tracer,
     set_tracer,
@@ -161,3 +165,101 @@ class TestGlobalTracer:
         except ValueError:
             pass
         assert get_tracer() is NULL_TRACER
+
+
+class TestSamplingPolicy:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            SamplingPolicy(rate=-0.1)
+        with pytest.raises(ValueError):
+            SamplingPolicy(rate=1.5)
+
+    def test_rate_zero_head_is_exactly_never(self):
+        policy = SamplingPolicy(rate=0.0)
+        assert not any(policy.head() for _ in range(1000))
+
+    def test_rate_one_head_is_exactly_always(self):
+        policy = SamplingPolicy(rate=1.0)
+        assert all(policy.head() for _ in range(1000))
+
+    def test_fractional_rate_is_probabilistic(self):
+        policy = SamplingPolicy(rate=0.5, seed=42)
+        kept = sum(policy.head() for _ in range(2000))
+        assert 800 < kept < 1200
+
+    def test_seed_pins_the_coin(self):
+        flips = lambda: [SamplingPolicy(rate=0.3, seed=7).head() for _ in range(50)]
+        assert flips() == flips()
+
+    def test_slow_always_kept_regardless_of_head(self):
+        policy = SamplingPolicy(rate=0.0)
+        assert policy.keep(head_sampled=False, slow=True, ok=True)
+
+    def test_errors_always_kept_regardless_of_head(self):
+        policy = SamplingPolicy(rate=0.0)
+        assert policy.keep(head_sampled=False, slow=False, ok=False)
+
+    def test_head_sampled_kept_even_when_fast_and_ok(self):
+        policy = SamplingPolicy(rate=0.0)
+        assert policy.keep(head_sampled=True, slow=False, ok=True)
+
+    def test_unsampled_fast_ok_dropped(self):
+        policy = SamplingPolicy(rate=1.0)
+        assert not policy.keep(head_sampled=False, slow=False, ok=True)
+
+    def test_keep_slow_and_keep_errors_can_be_disabled(self):
+        policy = SamplingPolicy(rate=0.0, keep_slow=False, keep_errors=False)
+        assert not policy.keep(head_sampled=False, slow=True, ok=True)
+        assert not policy.keep(head_sampled=False, slow=False, ok=False)
+
+    def test_describe(self):
+        assert SamplingPolicy(rate=0.25).describe() == {
+            "rate": 0.25,
+            "keep_slow": True,
+            "keep_errors": True,
+        }
+
+
+class TestTraceRing:
+    def fragment(self, query_id):
+        return {"query_id": query_id, "events": []}
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            TraceRing(0)
+
+    def test_add_get_recent(self):
+        ring = TraceRing(4)
+        for index in range(3):
+            ring.add("q%d" % index, self.fragment("q%d" % index))
+        assert ring.get("q1")["query_id"] == "q1"
+        assert ring.get("missing") is None
+        assert [f["query_id"] for f in ring.recent()] == ["q0", "q1", "q2"]
+        assert [f["query_id"] for f in ring.recent(2)] == ["q1", "q2"]
+
+    def test_eviction_is_oldest_first(self):
+        ring = TraceRing(2)
+        for index in range(4):
+            ring.add("q%d" % index, self.fragment("q%d" % index))
+        assert ring.get("q0") is None
+        assert ring.get("q1") is None
+        assert [f["query_id"] for f in ring.recent()] == ["q2", "q3"]
+
+    def test_counters(self):
+        ring = TraceRing(2)
+        ring.add("a", self.fragment("a"))
+        ring.drop()
+        ring.drop()
+        description = ring.describe()
+        assert description["kept"] == 1
+        assert description["dropped"] == 2
+        assert description["held"] == 1
+        assert description["capacity"] == 2
+
+    def test_kept_counts_survive_eviction(self):
+        ring = TraceRing(1)
+        ring.add("a", self.fragment("a"))
+        ring.add("b", self.fragment("b"))
+        description = ring.describe()
+        assert description["kept"] == 2
+        assert description["held"] == 1

@@ -1,0 +1,151 @@
+"""A strict test-side parser for the Prometheus text exposition format.
+
+The obs endpoint's ``/metrics`` promises scrapeable output; these tests
+must not take the exporter's word for it.  :func:`parse_prometheus`
+validates the structural rules of exposition format 0.0.4 that real
+scrapers enforce and returns the parsed families so tests can assert on
+values:
+
+- the document ends with a newline ("the last line must end with a line
+  feed character");
+- every ``# TYPE``/``# HELP`` line is well-formed, and no family is
+  declared twice;
+- every sample belongs to a declared family: the sample name is the
+  family name itself, or — for summaries and histograms — the family
+  name plus ``_sum``/``_count``/``_bucket``;
+- sample names are legal metric names, label values are quoted, sample
+  values parse as floats;
+- histogram ``le`` buckets appear in increasing bound order with
+  non-decreasing cumulative counts, end at ``+Inf``, and the ``+Inf``
+  count equals the family's ``_count``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Tuple
+
+_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_HELP_RE = re.compile(r"^# HELP (%s) (.*)$" % _NAME)
+_TYPE_RE = re.compile(r"^# TYPE (%s) (counter|gauge|summary|histogram|untyped)$" % _NAME)
+_SAMPLE_RE = re.compile(
+    r"^(%s)(?:\{([a-zA-Z_][a-zA-Z0-9_]*=\"[^\"\\]*\"(?:,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"\\]*\")*)\})? (\S+)$"
+    % _NAME
+)
+
+
+class Family:
+    """One declared metric family and its samples."""
+
+    def __init__(self, name: str, kind: str):
+        self.name = name
+        self.kind = kind
+        self.help = None
+        #: [(sample_name, {label: value}, float_value)]
+        self.samples: List[Tuple[str, Dict[str, str], float]] = []
+
+    def sample_value(self, suffix: str = "", **labels) -> float:
+        """The unique sample ``<name><suffix>`` with exactly these labels."""
+        wanted = {key: str(value) for key, value in labels.items()}
+        matches = [
+            value
+            for sample_name, sample_labels, value in self.samples
+            if sample_name == self.name + suffix and sample_labels == wanted
+        ]
+        assert len(matches) == 1, (self.name + suffix, wanted, self.samples)
+        return matches[0]
+
+
+def _parse_labels(text) -> Dict[str, str]:
+    if not text:
+        return {}
+    labels = {}
+    for pair in text.split(","):
+        key, _, value = pair.partition("=")
+        labels[key] = value.strip('"')
+    return labels
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)
+
+
+def _owning_family(sample_name: str, families: Dict[str, Family]) -> Family:
+    family = families.get(sample_name)
+    if family is not None:
+        return family
+    for suffix in ("_sum", "_count", "_bucket"):
+        if sample_name.endswith(suffix):
+            family = families.get(sample_name[: -len(suffix)])
+            if family is not None:
+                assert family.kind in ("summary", "histogram"), (
+                    "suffix sample %r under non-distribution family %r (%s)"
+                    % (sample_name, family.name, family.kind)
+                )
+                if suffix == "_bucket":
+                    assert family.kind == "histogram", sample_name
+                return family
+    raise AssertionError("sample %r belongs to no declared family" % sample_name)
+
+
+def parse_prometheus(text: str) -> Dict[str, Family]:
+    """Parse and validate an exposition document; returns families by name."""
+    assert text.endswith("\n"), "exposition must end with a line feed"
+    families: Dict[str, Family] = {}
+    helps: Dict[str, str] = {}
+    for line in text.rstrip("\n").splitlines():
+        assert line == line.strip(), "stray whitespace in %r" % line
+        if line.startswith("# HELP "):
+            match = _HELP_RE.match(line)
+            assert match, "malformed HELP line %r" % line
+            name = match.group(1)
+            assert name not in helps, "HELP declared twice for %r" % name
+            helps[name] = match.group(2)
+        elif line.startswith("# TYPE "):
+            match = _TYPE_RE.match(line)
+            assert match, "malformed TYPE line %r" % line
+            name, kind = match.group(1), match.group(2)
+            assert name not in families, "family %r declared twice" % name
+            families[name] = Family(name, kind)
+            families[name].help = helps.get(name)
+        elif line.startswith("#"):
+            continue  # free-form comment
+        else:
+            match = _SAMPLE_RE.match(line)
+            assert match, "malformed sample line %r" % line
+            sample_name, label_text, value_text = match.groups()
+            family = _owning_family(sample_name, families)
+            family.samples.append(
+                (sample_name, _parse_labels(label_text), _parse_value(value_text))
+            )
+    for family in families.values():
+        _check_family(family)
+    return families
+
+
+def _check_family(family: Family) -> None:
+    if family.kind == "histogram":
+        buckets = [
+            (_parse_value(labels["le"]), value)
+            for name, labels, value in family.samples
+            if name == family.name + "_bucket"
+        ]
+        assert buckets, "histogram %r has no buckets" % family.name
+        bounds = [bound for bound, _ in buckets]
+        counts = [count for _, count in buckets]
+        assert bounds == sorted(bounds), "le bounds out of order in %r" % family.name
+        assert counts == sorted(counts), (
+            "cumulative counts decrease in %r: %r" % (family.name, counts)
+        )
+        assert bounds[-1] == math.inf, "histogram %r must end at +Inf" % family.name
+        assert counts[-1] == family.sample_value("_count"), (
+            "+Inf bucket != _count in %r" % family.name
+        )
+    if family.kind == "counter":
+        for _, _, value in family.samples:
+            assert value >= 0, "negative counter in %r" % family.name

@@ -1,0 +1,221 @@
+"""Tests for the HTTP observability sidecar (repro.service.http).
+
+The sidecar promises a second, read-only window onto a live service:
+Prometheus scrapes must parse, probes must answer while the service is
+executing queries, and bad requests must come back as 4xx JSON rather
+than killing the serving thread.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import ObsHttpServer, QueryService
+from tests.promtext import parse_prometheus
+
+
+@pytest.fixture
+def service():
+    svc = QueryService(
+        cache_capacity=8,
+        workers=2,
+        trace_sample_rate=1.0,
+        slow_query_seconds=60.0,
+    )
+    svc.register_table(
+        "people",
+        [
+            {"name": "ann", "age": 40},
+            {"name": "bob", "age": 20},
+            {"name": "cyd", "age": 31},
+        ],
+    )
+    yield svc
+    svc.close(wait=False)
+
+
+@pytest.fixture
+def server(service):
+    with ObsHttpServer(service, port=0) as srv:
+        yield srv
+
+
+def fetch(server, path):
+    """GET a path; returns (status, content_type, body_text)."""
+    try:
+        with urllib.request.urlopen(server.url(path), timeout=10.0) as response:
+            return response.status, response.headers["Content-Type"], response.read().decode("utf-8")
+    except urllib.error.HTTPError as error:
+        return error.code, error.headers["Content-Type"], error.read().decode("utf-8")
+
+
+class TestEndpoints:
+    def test_ephemeral_port_is_bound(self, server):
+        assert server.port > 0
+        assert server.url("/healthz").startswith("http://127.0.0.1:")
+
+    def test_healthz(self, server):
+        status, content_type, body = fetch(server, "/healthz")
+        assert status == 200
+        assert body == "ok\n"
+        assert content_type.startswith("text/plain")
+
+    def test_metrics_parses_as_prometheus_exposition(self, service, server):
+        assert service.query("sql", "select name from people").ok
+        status, content_type, body = fetch(server, "/metrics")
+        assert status == 200
+        assert content_type == "text/plain; version=0.0.4; charset=utf-8"
+        families = parse_prometheus(body)
+        assert families["repro_service_execute_ok_total"].sample_value() >= 1
+        assert families["repro_service_execute_latency_ms"].kind == "summary"
+        assert families["repro_service_execute_latency_ms_buckets"].kind == "histogram"
+
+    def test_stats_document(self, service, server):
+        service.query("sql", "select name from people")
+        status, _, body = fetch(server, "/stats")
+        assert status == 200
+        stats = json.loads(body)
+        assert stats["telemetry"]["recorded"] == 1
+        assert stats["traces"]["kept"] == 1
+        assert stats["uptime_seconds"] >= 0
+        assert "last_60s" in stats["rates"]
+        assert stats["sampling"]["rate"] == 1.0
+
+    def test_telemetry_and_params(self, service, server):
+        service.query("sql", "select name from people")
+        service.query("sql", "select a from missing")  # runtime error
+        status, _, body = fetch(server, "/telemetry")
+        assert status == 200
+        document = json.loads(body)
+        assert document["telemetry"]["recorded"] == 2
+        assert len(document["queries"]) == 2
+        assert document["queries"][0]["query_id"]
+
+        _, _, body = fetch(server, "/telemetry?n=1")
+        assert len(json.loads(body)["queries"]) == 1
+
+        _, _, body = fetch(server, "/telemetry?outcome=error")
+        errors = json.loads(body)["queries"]
+        assert len(errors) == 1 and errors[0]["ok"] is False
+
+        _, _, body = fetch(server, "/telemetry?outcome=ok&n=5")
+        assert all(q["ok"] for q in json.loads(body)["queries"])
+
+    def test_telemetry_handle_filter(self, service, server):
+        prepared = service.prepare("sql", "select name from people")
+        service.execute(prepared.handle)
+        service.query("sql", "select age from people")
+        _, _, body = fetch(server, "/telemetry?handle=%s" % prepared.handle)
+        queries = json.loads(body)["queries"]
+        assert len(queries) == 1
+        assert queries[0]["handle"] == prepared.handle
+
+    def test_slow_is_telemetry_slow_shorthand(self, service, server):
+        service.query("sql", "select name from people")
+        status, _, body = fetch(server, "/slow")
+        assert status == 200
+        assert json.loads(body)["queries"] == []  # threshold is 60s
+
+    def test_unknown_path_is_404(self, server):
+        status, _, body = fetch(server, "/nope")
+        assert status == 404
+        assert "unknown path" in json.loads(body)["error"]
+
+    def test_bad_params_are_400(self, server):
+        status, _, body = fetch(server, "/telemetry?outcome=weird")
+        assert status == 400
+        assert "outcome" in json.loads(body)["error"]
+
+        status, _, _ = fetch(server, "/telemetry?n=abc")
+        assert status == 400
+
+    def test_trailing_slash_routes(self, server):
+        status, _, _ = fetch(server, "/healthz/")
+        assert status == 200
+
+
+class TestAcceptanceCorrelation:
+    def test_one_id_across_telemetry_http_log_and_trace(self, tmp_path):
+        """The PR's acceptance property: one executed query yields the
+        same query_id in its telemetry record, query-log audit event,
+        kept trace fragment, and /telemetry HTTP response."""
+        from repro.obs.log import read_events
+
+        svc = QueryService(
+            workers=1,
+            trace_sample_rate=1.0,
+            query_log=str(tmp_path / "query.log"),
+        )
+        svc.register_table("t", [{"a": 1}, {"a": 5}])
+        try:
+            with ObsHttpServer(svc, port=0) as server:
+                assert svc.query("sql", "select a from t where a > 2").ok
+                _, _, body = fetch(server, "/telemetry")
+                (http_record,) = json.loads(body)["queries"]
+                query_id = http_record["query_id"]
+                assert query_id
+
+                (telemetry_record,) = svc.telemetry.recent()
+                assert telemetry_record.query_id == query_id
+                assert svc.traces.get(query_id)["query_id"] == query_id
+                (audit,) = [
+                    e
+                    for e in read_events(svc.query_log.path)
+                    if e["event"] == "query"
+                ]
+                assert audit["query_id"] == query_id
+        finally:
+            svc.close(wait=False)
+
+
+class TestConcurrency:
+    def test_scrapes_during_concurrent_executes(self, service, server):
+        """Probes answer correctly while the service is running queries."""
+        errors = []
+        stop = threading.Event()
+
+        def scrape(path):
+            while not stop.is_set():
+                try:
+                    status, _, body = fetch(server, path)
+                    assert status == 200
+                    if path == "/metrics":
+                        parse_prometheus(body)
+                    elif path == "/healthz":
+                        assert body == "ok\n"
+                    else:
+                        json.loads(body)
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+                    return
+
+        scrapers = [
+            threading.Thread(target=scrape, args=(path,))
+            for path in ("/metrics", "/telemetry", "/stats", "/healthz")
+        ]
+        for thread in scrapers:
+            thread.start()
+        try:
+            for _ in range(20):
+                assert service.query("sql", "select name from people where age > 25").ok
+        finally:
+            stop.set()
+            for thread in scrapers:
+                thread.join(timeout=10.0)
+        assert not errors
+        assert not any(thread.is_alive() for thread in scrapers)
+        # and the scrape after the dust settles sees every execution
+        _, _, body = fetch(server, "/metrics")
+        families = parse_prometheus(body)
+        assert families["repro_service_execute_ok_total"].sample_value() == 20
+
+    def test_close_is_idempotent_and_joins(self, service):
+        server = ObsHttpServer(service, port=0).start()
+        status, _, _ = fetch(server, "/healthz")
+        assert status == 200
+        server.close()
+        with pytest.raises((urllib.error.URLError, ConnectionError, OSError)):
+            urllib.request.urlopen(server.url("/healthz"), timeout=2.0)

@@ -10,6 +10,7 @@ import json
 
 import pytest
 
+from repro.obs.log import read_events
 from repro.service import QueryService
 
 
@@ -164,6 +165,209 @@ class TestTelemetry:
             svc.close(wait=False)
 
 
+class TestCorrelation:
+    """The tentpole acceptance property: one request is one ``query_id``
+    end to end — telemetry record, kept trace fragment, query-log audit
+    event, and wire response all carry the same id."""
+
+    def make_service(self, tmp_path, **kwargs):
+        svc = QueryService(
+            workers=1,
+            trace_sample_rate=kwargs.pop("trace_sample_rate", 1.0),
+            query_log=str(tmp_path / "query.log"),
+            **kwargs
+        )
+        svc.register_table("t", [{"a": 1}, {"a": 2}])
+        return svc
+
+    def test_one_query_one_id_everywhere(self, tmp_path):
+        svc = self.make_service(tmp_path)
+        try:
+            outcome = svc.query("sql", "select a from t where a > 1")
+            assert outcome.ok
+            (record,) = svc.telemetry.recent()
+            query_id = record.query_id
+            assert query_id
+
+            fragment = svc.traces.get(query_id)
+            assert fragment is not None
+            assert fragment["query_id"] == query_id
+            span_names = {e["name"] for e in fragment["events"]}
+            assert "service.execute" in span_names
+            assert "pipeline" in span_names
+            assert "executor.run" in span_names
+
+            assert record.trace is fragment
+
+            events = read_events(svc.query_log.path)
+            audits = [e for e in events if e["event"] == "query"]
+            assert len(audits) == 1
+            assert audits[0]["query_id"] == query_id
+            assert audits[0]["outcome"] == "ok"
+        finally:
+            svc.close(wait=False)
+
+    def test_wire_response_id_matches_telemetry(self, tmp_path):
+        svc = self.make_service(tmp_path)
+        try:
+            response = svc.handle_request(
+                {"op": "query", "query": "select a from t"}
+            )
+            assert response["ok"]
+            (record,) = svc.telemetry.recent()
+            assert response["query_id"] == record.query_id
+        finally:
+            svc.close(wait=False)
+
+    def test_each_request_gets_a_fresh_id(self, tmp_path):
+        svc = self.make_service(tmp_path)
+        try:
+            ids = set()
+            for _ in range(5):
+                response = svc.handle_request({"op": "query", "query": "select a from t"})
+                ids.add(response["query_id"])
+            assert len(ids) == 5
+        finally:
+            svc.close(wait=False)
+
+    def test_non_query_ops_are_correlated_too(self, tmp_path):
+        svc = self.make_service(tmp_path)
+        try:
+            response = svc.handle_request({"op": "stats"})
+            assert response["ok"] and response["query_id"]
+        finally:
+            svc.close(wait=False)
+
+    def test_error_event_shares_the_id(self, tmp_path):
+        svc = self.make_service(tmp_path)
+        try:
+            outcome = svc.query("sql", "select a from missing")
+            assert not outcome.ok
+            (record,) = svc.telemetry.recent()
+            events = read_events(svc.query_log.path)
+            kinds = {e["event"] for e in events}
+            assert kinds == {"query", "error"}
+            for event in events:
+                assert event["query_id"] == record.query_id
+            error = next(e for e in events if e["event"] == "error")
+            assert "missing" in error["message"]
+        finally:
+            svc.close(wait=False)
+
+    def test_log_lines_up_with_telemetry_under_load(self, tmp_path):
+        """Events written under concurrent load parse back and match the
+        telemetry records one-to-one by query_id."""
+        import threading
+
+        svc = QueryService(
+            workers=4,
+            telemetry_capacity=256,
+            trace_sample_rate=1.0,
+            query_log=str(tmp_path / "query.log"),
+        )
+        svc.register_table("t", [{"a": i} for i in range(5)])
+        try:
+            def hammer():
+                for _ in range(10):
+                    assert svc.query("sql", "select a from t where a > 1").ok
+
+            threads = [threading.Thread(target=hammer) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+            telemetry_ids = {r.query_id for r in svc.telemetry.recent()}
+            assert len(telemetry_ids) == 40
+            audits = [
+                e for e in read_events(svc.query_log.path) if e["event"] == "query"
+            ]
+            assert len(audits) == 40
+            assert {e["query_id"] for e in audits} == telemetry_ids
+        finally:
+            svc.close(wait=False)
+
+    def test_slow_query_event(self, tmp_path):
+        svc = self.make_service(tmp_path, slow_query_seconds=0.0)
+        try:
+            svc.query("sql", "select a from t")
+            events = read_events(svc.query_log.path)
+            slow = [e for e in events if e["event"] == "slow_query"]
+            assert len(slow) == 1
+            assert slow[0]["threshold_seconds"] == 0.0
+        finally:
+            svc.close(wait=False)
+
+
+class TestTailSampling:
+    def make_service(self, **kwargs):
+        svc = QueryService(workers=1, **kwargs)
+        svc.register_table("t", [{"a": 1}])
+        return svc
+
+    def test_rate_one_keeps_every_trace(self):
+        svc = self.make_service(trace_sample_rate=1.0)
+        try:
+            for _ in range(3):
+                svc.query("sql", "select a from t")
+            assert svc.traces.describe()["kept"] == 3
+            assert svc.metrics.snapshot()["counters"]["obs.trace.kept"] == 3
+        finally:
+            svc.close(wait=False)
+
+    def test_rate_zero_drops_fast_ok_queries(self):
+        svc = self.make_service(trace_sample_rate=0.0)
+        try:
+            svc.query("sql", "select a from t")
+            description = svc.traces.describe()
+            assert description["kept"] == 0 and description["dropped"] == 1
+            assert svc.metrics.snapshot()["counters"]["obs.trace.dropped"] == 1
+        finally:
+            svc.close(wait=False)
+
+    def test_rate_zero_still_keeps_errors(self):
+        svc = self.make_service(trace_sample_rate=0.0)
+        try:
+            svc.query("sql", "select a from missing")
+            assert svc.traces.describe()["kept"] == 1
+            (fragment,) = svc.traces.recent()
+            assert fragment["events"]
+        finally:
+            svc.close(wait=False)
+
+    def test_rate_zero_still_keeps_slow_queries(self):
+        svc = self.make_service(trace_sample_rate=0.0, slow_query_seconds=0.0)
+        try:
+            svc.query("sql", "select a from t")
+            assert svc.traces.describe()["kept"] == 1
+        finally:
+            svc.close(wait=False)
+
+    def test_none_disables_tracing_entirely(self):
+        svc = self.make_service(trace_sample_rate=None)
+        try:
+            svc.query("sql", "select a from t")
+            description = svc.traces.describe()
+            assert description["kept"] == 0 and description["dropped"] == 0
+            assert "sampling" not in svc.stats()
+            (record,) = svc.telemetry.recent()
+            assert record.trace is None
+        finally:
+            svc.close(wait=False)
+
+    def test_stats_surface_obs_state(self):
+        svc = self.make_service(trace_sample_rate=1.0)
+        try:
+            svc.query("sql", "select a from t")
+            stats = svc.stats()
+            assert stats["sampling"]["rate"] == 1.0
+            assert stats["traces"]["kept"] == 1
+            assert stats["uptime_seconds"] >= 0
+            assert stats["rates"]["last_60s"]["count"] == 1
+        finally:
+            svc.close(wait=False)
+
+
 class TestWireProtocol:
     def run_lines(self, service, requests):
         stdin = io.StringIO("\n".join(json.dumps(r) if isinstance(r, dict) else r for r in requests) + "\n")
@@ -279,6 +483,66 @@ class TestWireProtocol:
         assert recent["queries"][0]["ok"] is True
         slow = responses[3]
         assert slow["ok"] and slow["queries"] == []
+
+    def test_telemetry_op_outcome_and_handle_filters(self, service):
+        responses = self.run_lines(
+            service,
+            [
+                {"op": "query", "query": "select name from people"},
+                {"op": "query", "query": "select a from missing"},
+                {"op": "telemetry", "outcome": "error"},
+                {"op": "telemetry", "outcome": "ok"},
+                {"op": "telemetry", "filter_handle": "q999"},
+                {"op": "telemetry", "outcome": "weird"},
+            ],
+        )
+        errors = responses[2]
+        assert errors["ok"] and len(errors["queries"]) == 1
+        assert errors["queries"][0]["error_kind"] == "runtime_error"
+        oks = responses[3]
+        assert len(oks["queries"]) == 1 and oks["queries"][0]["ok"]
+        assert responses[4]["queries"] == []
+        bad = responses[5]
+        assert not bad["ok"] and bad["error"]["kind"] == "bad_request"
+
+    def test_traces_op(self):
+        svc = QueryService(workers=1, trace_sample_rate=1.0)
+        try:
+            svc.register_table("t", [{"a": 1}])
+            responses = self.run_lines(
+                svc,
+                [
+                    {"op": "query", "query": "select a from t"},
+                    {"op": "query", "query": "select a from t where a > 0"},
+                    {"op": "traces"},
+                    {"op": "traces", "n": 1},
+                ],
+            )
+            traces = responses[2]
+            assert traces["ok"] and traces["kept"] == 2
+            assert [f["query_id"] for f in traces["traces"]] == [
+                responses[0]["query_id"],
+                responses[1]["query_id"],
+            ]
+            assert any(
+                e["name"] == "service.execute" for e in traces["traces"][0]["events"]
+            )
+            newest = responses[3]["traces"]
+            assert len(newest) == 1
+            assert newest[0]["query_id"] == responses[1]["query_id"]
+        finally:
+            svc.close(wait=False)
+
+    def test_every_response_carries_a_query_id(self, service):
+        responses = self.run_lines(
+            service,
+            [
+                {"op": "query", "query": "select name from people"},
+                {"op": "stats"},
+                {"op": "nope"},  # even structured errors are correlated
+            ],
+        )
+        assert all(r.get("query_id") for r in responses)
 
     def test_date_values_cross_the_wire(self, service):
         responses = self.run_lines(

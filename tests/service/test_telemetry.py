@@ -103,6 +103,58 @@ class TestTelemetryLog:
         log.record(make_record())
         json.dumps(log.describe())
 
+    def test_select_outcome_filter(self):
+        log = TelemetryLog(capacity=8)
+        log.record(make_record(handle="good", ok=True))
+        log.record(make_record(handle="bad", ok=False, error_kind="timeout"))
+        log.record(make_record(handle="good2", ok=True))
+        assert [r.handle for r in log.select(outcome="error")] == ["bad"]
+        assert [r.handle for r in log.select(outcome="ok")] == ["good", "good2"]
+        with pytest.raises(ValueError):
+            log.select(outcome="weird")
+
+    def test_select_handle_filter(self):
+        log = TelemetryLog(capacity=8)
+        for handle in ("a", "b", "a"):
+            log.record(make_record(handle=handle))
+        assert len(log.select(handle="a")) == 2
+        assert log.select(handle="zzz") == []
+
+    def test_select_filters_apply_before_n_cut(self):
+        """Asking for the last 2 errors returns 2 errors, not whatever
+        errors sit in the last 2 records."""
+        log = TelemetryLog(capacity=16)
+        log.record(make_record(handle="e1", ok=False))
+        log.record(make_record(handle="e2", ok=False))
+        for i in range(5):
+            log.record(make_record(handle="ok%d" % i, ok=True))
+        assert [r.handle for r in log.select(outcome="error", n=2)] == ["e1", "e2"]
+
+    def test_select_slow_ring(self):
+        log = TelemetryLog(capacity=8, slow_query_seconds=0.1)
+        log.record(make_record(handle="fast", execute_seconds=0.01))
+        log.record(make_record(handle="slow", execute_seconds=0.5))
+        assert [r.handle for r in log.select(slow=True)] == ["slow"]
+
+    def test_query_id_and_started_at_in_describe(self):
+        record = make_record(query_id="abc123", started_at=1700000000.0)
+        described = record.describe()
+        assert described["query_id"] == "abc123"
+        assert described["started_at"] == 1700000000.0
+        json.dumps(described)
+
+    def test_query_id_omitted_when_absent(self):
+        described = make_record().describe()
+        assert "query_id" not in described
+        assert described["started_at"] > 0  # stamped at construction
+
+    def test_trace_fragment_in_describe(self):
+        record = make_record()
+        assert "trace" not in record.describe()
+        record.trace = {"query_id": "abc", "events": []}
+        assert record.describe()["trace"]["query_id"] == "abc"
+        json.dumps(record.describe())
+
     def test_thread_safety_under_concurrent_records(self):
         import threading
 
