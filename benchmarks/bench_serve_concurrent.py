@@ -1,0 +1,481 @@
+"""Concurrent serving bench: multi-worker scale-out under HTTP load.
+
+Not a paper figure; this bench measures the network front end
+(``repro serve --http --workers N``, see ``repro.service.net``).  A
+load generator opens many persistent HTTP connections, ramps the
+concurrency level, and reports client-side p50/p99 latency and the
+saturation throughput (the best ok-QPS any level reached), alongside
+the server's own view read off ``GET /stats``.  Every response must be
+one of the structured taxonomy kinds — a shed request is an
+``overloaded`` error with a valid ``query_id``, never a connection
+reset — and the results a worker returns must equal (as a multiset)
+what a local single-process ``QueryService`` produces for the same
+query.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_serve_concurrent.py            # full ramp, 4 vs 1 workers
+    PYTHONPATH=src python benchmarks/bench_serve_concurrent.py --smoke    # small load, strict protocol checks
+    PYTHONPATH=src python benchmarks/bench_serve_concurrent.py --gate     # CI: 2 workers must beat 1 by >= 1.5x
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import os
+import re
+import socket
+import subprocess
+import sys
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from tables import emit, format_table
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_DIR = os.path.join(REPO_ROOT, "src")
+
+#: Error kinds a client may legitimately see (plus "ok").
+TAXONOMY = ("ok", "overloaded", "timeout", "runtime_error", "bad_request")
+
+#: The served workload: an aggregate over a few thousand rows, so one
+#: execution costs real worker CPU (~ms) and IPC overhead stays small.
+TABLE = "sales"
+N_ROWS = 3000
+QUERY = "select sum(price) as revenue from sales where qty > $min"
+PARAMS = {"min": 10}
+
+_QUERY_ID = re.compile(r"^[0-9a-f]{16}$")
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually use (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def make_rows(n: int = N_ROWS) -> List[Dict[str, Any]]:
+    return [
+        {"id": i, "qty": i % 50, "price": float((i * 7) % 100) / 4.0}
+        for i in range(n)
+    ]
+
+
+# -- server under test -----------------------------------------------------
+
+
+class Server:
+    """A ``repro serve --http`` subprocess plus its parsed endpoint."""
+
+    def __init__(self, workers: int, queue_depth: int = 16):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [SRC_DIR] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        self.proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--http",
+                "0",
+                "--workers",
+                str(workers),
+                "--queue-depth",
+                str(queue_depth),
+                "--trace-sample",
+                "-1",
+            ],
+            stdin=subprocess.DEVNULL,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+            cwd=REPO_ROOT,
+            env=env,
+            text=True,
+        )
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+        deadline = time.time() + 120.0
+        assert self.proc.stderr is not None
+        for line in self.proc.stderr:
+            match = re.search(r"http endpoint on http://([\d.]+):(\d+)", line)
+            if match:
+                self.host, self.port = match.group(1), int(match.group(2))
+                break
+            if time.time() > deadline:  # pragma: no cover - hang guard
+                break
+        if self.port is None:
+            self.proc.kill()
+            raise RuntimeError("server did not announce an http endpoint")
+        # Keep draining stderr so the server can never block on the pipe.
+        threading.Thread(
+            target=lambda: [None for _ in self.proc.stderr], daemon=True
+        ).start()
+
+    def request(self, payload: Dict[str, Any], timeout: float = 60.0) -> Dict[str, Any]:
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=timeout)
+        try:
+            conn.request("POST", "/", body=json.dumps(payload))
+            return json.loads(conn.getresponse().read().decode("utf-8"))
+        finally:
+            conn.close()
+
+    def get_json(self, path: str) -> Dict[str, Any]:
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=30.0)
+        try:
+            conn.request("GET", path)
+            return json.loads(conn.getresponse().read().decode("utf-8"))
+        finally:
+            conn.close()
+
+    def prepare_workload(self, rows: List[Dict[str, Any]]) -> str:
+        response = self.request({"op": "register", "table": TABLE, "rows": rows})
+        assert response.get("ok"), response
+        response = self.request({"op": "prepare", "query": QUERY})
+        assert response.get("ok"), response
+        return response["handle"]
+
+    def stop(self) -> None:
+        try:
+            self.request({"op": "shutdown"}, timeout=10.0)
+        except (OSError, http.client.HTTPException, ValueError):
+            pass
+        try:
+            self.proc.wait(timeout=30.0)
+        except subprocess.TimeoutExpired:  # pragma: no cover - wedged server
+            self.proc.kill()
+            self.proc.wait(timeout=10.0)
+
+    def __enter__(self) -> "Server":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+# -- load generation -------------------------------------------------------
+
+
+class LevelResult:
+    """One concurrency level's outcome: latencies and response kinds."""
+
+    def __init__(self, concurrency: int, seconds: float):
+        self.concurrency = concurrency
+        self.seconds = seconds
+        self.latencies: List[float] = []  # ok responses only
+        self.kinds: Dict[str, int] = {}
+        self.bad_responses: List[Any] = []  # taxonomy/protocol violations
+
+    @property
+    def ok(self) -> int:
+        return self.kinds.get("ok", 0)
+
+    @property
+    def ok_qps(self) -> float:
+        return self.ok / self.seconds if self.seconds > 0 else 0.0
+
+    def p(self, fraction: float) -> float:
+        if not self.latencies:
+            return float("nan")
+        ordered = sorted(self.latencies)
+        index = min(len(ordered) - 1, int(round((len(ordered) - 1) * fraction)))
+        return ordered[index]
+
+
+def _client_loop(
+    server: Server, handle: str, stop_at: float, result: LevelResult, lock: threading.Lock
+) -> None:
+    """One persistent keep-alive connection issuing executes until the bell."""
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=60.0)
+    payload = json.dumps({"op": "execute", "handle": handle, "params": PARAMS})
+    try:
+        while time.perf_counter() < stop_at:
+            started = time.perf_counter()
+            try:
+                conn.request("POST", "/", body=payload)
+                body = conn.getresponse().read()
+                response = json.loads(body.decode("utf-8"))
+            except (OSError, http.client.HTTPException, ValueError) as exc:
+                with lock:
+                    result.kinds["protocol_error"] = (
+                        result.kinds.get("protocol_error", 0) + 1
+                    )
+                    result.bad_responses.append("%s: %s" % (type(exc).__name__, exc))
+                conn.close()
+                conn = http.client.HTTPConnection(
+                    server.host, server.port, timeout=60.0
+                )
+                continue
+            elapsed = time.perf_counter() - started
+            kind = (
+                "ok"
+                if response.get("ok")
+                else (response.get("error") or {}).get("kind", "missing_kind")
+            )
+            with lock:
+                result.kinds[kind] = result.kinds.get(kind, 0) + 1
+                if kind == "ok":
+                    result.latencies.append(elapsed)
+                if kind not in TAXONOMY or not _QUERY_ID.match(
+                    str(response.get("query_id", ""))
+                ):
+                    result.bad_responses.append(response)
+    finally:
+        conn.close()
+
+
+def run_level(server: Server, handle: str, concurrency: int, seconds: float) -> LevelResult:
+    result = LevelResult(concurrency, seconds)
+    lock = threading.Lock()
+    stop_at = time.perf_counter() + seconds
+    threads = [
+        threading.Thread(
+            target=_client_loop, args=(server, handle, stop_at, result, lock)
+        )
+        for _ in range(concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return result
+
+
+def ramp(
+    server: Server, handle: str, levels: List[int], seconds: float
+) -> List[LevelResult]:
+    results = []
+    for level in levels:
+        results.append(run_level(server, handle, level, seconds))
+    return results
+
+
+def saturation_qps(results: List[LevelResult]) -> float:
+    return max((r.ok_qps for r in results), default=0.0)
+
+
+# -- checks ----------------------------------------------------------------
+
+
+def reference_result(rows: List[Dict[str, Any]]) -> List[str]:
+    """The same workload on a local single-process service, canonicalized."""
+    from repro.data import json_io
+    from repro.service import QueryService
+
+    with QueryService(trace_sample_rate=None) as service:
+        service.register_table(TABLE, rows)
+        outcome = service.query("sql", QUERY, params=PARAMS)
+        assert outcome.ok, outcome.error
+        value = json_io.to_jsonable(outcome.value)
+    return sorted(json.dumps(row, sort_keys=True) for row in value)
+
+
+def check_results_match(server: Server, handle: str, rows: List[Dict[str, Any]]) -> None:
+    """Worker answers must be multiset-equal to single-process execution."""
+    expected = reference_result(rows)
+    response = server.request({"op": "execute", "handle": handle, "params": PARAMS})
+    assert response.get("ok"), response
+    got = sorted(json.dumps(row, sort_keys=True) for row in response["result"])
+    assert got == expected, "worker result diverged from single-process execution"
+
+
+def check_taxonomy(results: List[LevelResult]) -> List[Any]:
+    violations: List[Any] = []
+    for result in results:
+        violations.extend(result.bad_responses)
+    return violations
+
+
+def force_sheds(server: Server, handle: str) -> Tuple[int, List[Any]]:
+    """Hammer far past the admission bound; return (sheds seen, violations)."""
+    result = run_level(server, handle, concurrency=32, seconds=1.5)
+    sheds = result.kinds.get("overloaded", 0)
+    return sheds, result.bad_responses
+
+
+# -- reporting -------------------------------------------------------------
+
+
+def report(title: str, results: List[LevelResult], server_qps: float) -> None:
+    rows = []
+    for r in results:
+        rows.append(
+            (
+                r.concurrency,
+                r.ok,
+                "%.1f" % r.ok_qps,
+                "%.1f" % (r.p(0.50) * 1e3),
+                "%.1f" % (r.p(0.99) * 1e3),
+                r.kinds.get("overloaded", 0),
+                r.kinds.get("protocol_error", 0),
+            )
+        )
+    emit(
+        "serve_concurrent",
+        format_table(
+            title,
+            ["clients", "ok", "ok QPS", "p50 ms", "p99 ms", "shed", "proto err"],
+            rows,
+        ),
+    )
+    print("server-side last-10s QPS (/stats): %.1f" % server_qps)
+
+
+def measure(workers: int, levels: List[int], seconds: float, queue_depth: int = 16):
+    """Start a server, run the ramp, pull /stats, return everything."""
+    rows = make_rows()
+    with Server(workers, queue_depth=queue_depth) as server:
+        handle = server.prepare_workload(rows)
+        check_results_match(server, handle, rows)
+        results = ramp(server, handle, levels, seconds)
+        stats = server.get_json("/stats")
+        server_qps = stats.get("rates", {}).get("last_10s", {}).get("qps", 0.0)
+        counters = stats.get("metrics", {}).get("counters", {})
+    return results, server_qps, counters
+
+
+# -- modes -----------------------------------------------------------------
+
+
+def run_smoke(seconds: float) -> int:
+    """CI smoke: modest load, strict protocol checks, generous p99 bound."""
+    results, server_qps, _ = measure(workers=2, levels=[2, 4], seconds=seconds)
+    report("serve --http smoke (2 workers)", results, server_qps)
+    violations = check_taxonomy(results)
+    if violations:
+        print("FAIL: %d protocol/taxonomy violations, e.g. %r" % (len(violations), violations[0]))
+        return 1
+    protocol_errors = sum(r.kinds.get("protocol_error", 0) for r in results)
+    if protocol_errors:
+        print("FAIL: %d protocol errors (connection drops / non-JSON)" % protocol_errors)
+        return 1
+    worst_p99 = max(r.p(0.99) for r in results)
+    if not worst_p99 < 2.0:
+        print("FAIL: p99 %.3fs exceeds the 2s smoke bound" % worst_p99)
+        return 1
+    print("OK: %d ok responses, p99 %.1f ms, zero protocol errors"
+          % (sum(r.ok for r in results), worst_p99 * 1e3))
+    return 0
+
+
+def run_gate(seconds: float) -> int:
+    """CI gate: 2-worker saturation QPS must be >= 1.5x single-worker."""
+    results_1, qps_s1, _ = measure(workers=1, levels=[2, 4], seconds=seconds)
+    report("1 worker", results_1, qps_s1)
+    results_2, qps_s2, _ = measure(workers=2, levels=[4, 8], seconds=seconds)
+    report("2 workers", results_2, qps_s2)
+
+    violations = check_taxonomy(results_1) + check_taxonomy(results_2)
+    if violations:
+        print("FAIL: %d protocol/taxonomy violations, e.g. %r" % (len(violations), violations[0]))
+        return 1
+
+    # Overload a tightly-bounded server: sheds must happen and every one
+    # must be a structured `overloaded` response with a valid query_id.
+    rows = make_rows()
+    with Server(workers=1, queue_depth=1) as server:
+        handle = server.prepare_workload(rows)
+        sheds, shed_violations = force_sheds(server, handle)
+        stats = server.get_json("/stats")
+        counted = stats.get("metrics", {}).get("counters", {}).get("service.shed", 0)
+    if shed_violations:
+        print("FAIL: shed produced %d malformed responses, e.g. %r"
+              % (len(shed_violations), shed_violations[0]))
+        return 1
+    if sheds == 0:
+        print("FAIL: hammering a queue-depth-1 server produced no sheds")
+        return 1
+    if counted < sheds:
+        print("FAIL: clients saw %d sheds but service.shed counted %d" % (sheds, counted))
+        return 1
+    print("shed check: %d overloaded responses, all structured; service.shed=%d"
+          % (sheds, counted))
+
+    qps1, qps2 = saturation_qps(results_1), saturation_qps(results_2)
+    ratio = qps2 / qps1 if qps1 > 0 else float("inf")
+    print("saturation: 1 worker %.1f QPS, 2 workers %.1f QPS (%.2fx)"
+          % (qps1, qps2, ratio))
+    cpus = available_cpus()
+    if cpus < 2:
+        # Two worker processes cannot run in parallel on one core; the
+        # protocol, shed, and result-equality checks above still gate.
+        print("SKIP: scale-out ratio needs >= 2 CPUs (have %d); "
+              "protocol and shed checks passed" % cpus)
+        return 0
+    if ratio < 1.5:
+        print("FAIL: 2-worker saturation only %.2fx the single-worker QPS" % ratio)
+        return 1
+    print("OK: scale-out gate passed (%.2fx >= 1.5x)" % ratio)
+    return 0
+
+
+def run_full(workers: int, levels: List[int], seconds: float) -> int:
+    results_1, qps_s1, _ = measure(workers=1, levels=levels, seconds=seconds)
+    report("1 worker", results_1, qps_s1)
+    results_n, qps_sn, counters = measure(workers=workers, levels=levels, seconds=seconds)
+    report("%d workers" % workers, results_n, qps_sn)
+
+    per_worker = sorted(
+        (name, count)
+        for name, count in counters.items()
+        if re.match(r"service\.worker\.w\d+\.ok$", name)
+    )
+    if per_worker:
+        print("per-worker ok counts: "
+              + ", ".join("%s=%d" % (name.split(".")[2], count) for name, count in per_worker))
+
+    violations = check_taxonomy(results_1) + check_taxonomy(results_n)
+    if violations:
+        print("FAIL: %d protocol/taxonomy violations, e.g. %r" % (len(violations), violations[0]))
+        return 1
+    qps1, qpsn = saturation_qps(results_1), saturation_qps(results_n)
+    ratio = qpsn / qps1 if qps1 > 0 else float("inf")
+    print("saturation: 1 worker %.1f QPS, %d workers %.1f QPS (%.2fx)"
+          % (qps1, workers, qpsn, ratio))
+    cpus = available_cpus()
+    if cpus < 2:
+        print("SKIP: scale-out ratio needs >= 2 CPUs (have %d); "
+              "protocol checks passed" % cpus)
+        return 0
+    if ratio < 1.5:
+        print("FAIL: %d-worker saturation only %.2fx the single-worker QPS"
+              % (workers, ratio))
+        return 1
+    print("OK: %d workers scale %.2fx over one" % (workers, ratio))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small-scale CI smoke: strict protocol checks")
+    parser.add_argument("--gate", action="store_true",
+                        help="CI gate: 2-worker saturation >= 1.5x single-worker")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="worker count for the full run (compared to 1)")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="seconds per concurrency level")
+    parser.add_argument("--levels", default=None,
+                        help="comma-separated concurrency levels for the full run")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        return run_smoke(args.duration or 2.0)
+    if args.gate:
+        return run_gate(args.duration or 3.0)
+    levels = (
+        [int(part) for part in args.levels.split(",")]
+        if args.levels
+        else [1, 2, 4, 8, 16]
+    )
+    return run_full(args.workers, levels, args.duration or 3.0)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -122,10 +122,53 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_cmd = sub.add_parser(
         "serve",
         help="run the query service: one JSON request per stdin line, "
-        "one JSON response per stdout line (see DESIGN.md for the protocol)",
+        "one JSON response per stdout line (see DESIGN.md for the protocol); "
+        "--http/--tcp serve the same protocol over the network with "
+        "multi-process scale-out and admission control",
     )
     serve_cmd.add_argument("--data", help="JSON file of tables to preload into the catalog")
-    serve_cmd.add_argument("--workers", type=int, default=4, help="executor threads")
+    serve_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="network mode (--http/--tcp): worker *processes*, each with its "
+        "own catalog snapshot and plan cache (0 = run in-process on the "
+        "leader's thread pool); stdin mode: executor threads",
+    )
+    serve_cmd.add_argument(
+        "--http",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve the wire protocol over HTTP on this port (POST / with a "
+        "JSON request body; GET serves /metrics /healthz /stats /telemetry "
+        "/slow on the same port; 0 = ephemeral, announced on stderr)",
+    )
+    serve_cmd.add_argument(
+        "--tcp",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve persistent JSON-lines connections on this TCP port "
+        "(the stdin protocol verbatim; 0 = ephemeral)",
+    )
+    serve_cmd.add_argument(
+        "--host", default="127.0.0.1", help="bind address for --http/--tcp"
+    )
+    serve_cmd.add_argument(
+        "--mp-start",
+        choices=("spawn", "fork", "forkserver"),
+        default="spawn",
+        help="multiprocessing start method for worker processes",
+    )
+    serve_cmd.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="graceful-shutdown budget for in-flight requests (SIGTERM/"
+        "SIGINT/shutdown op stop admission, then wait up to this long)",
+    )
     serve_cmd.add_argument(
         "--queue-depth", type=int, default=16, help="bounded admission queue depth"
     )
@@ -425,6 +468,9 @@ def _print_engine(
             print("  %4dx %s" % (count, reason), file=out)
     else:
         print("fallbacks to reference semantics: none", file=out)
+    shed = counters.get("service.shed", 0)
+    if shed:
+        print("load-shed requests (service.shed): %d" % shed, file=out)
     print("", file=out)
 
 
@@ -438,6 +484,7 @@ def _engine_counters() -> dict:
         "joins": counters.get("engine.join", 0),
         "group_bys": counters.get("engine.group_by", 0),
         "hoisted_in": counters.get("engine.hoisted_in", 0),
+        "shed": counters.get("service.shed", 0),
         "fallbacks": {
             name[len(prefix):]: count
             for name, count in counters.items()
@@ -495,6 +542,115 @@ def _tpch_query(name: str, out) -> Optional[str]:
     return QUERIES[name]
 
 
+class _GracefulExit(Exception):
+    """A termination signal arrived; carries the drain reason."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+def _serve_stdin(
+    args: argparse.Namespace, service: Any, obs_server: Any, out: Any
+) -> int:
+    """The stdin/stdout JSON-lines loop with graceful signal handling.
+
+    SIGTERM and SIGINT go through the same shutdown path as the network
+    mode and the wire ``shutdown`` op: stop reading, drain the executor
+    (in-flight queries finish), flush the final ``shutdown`` audit event,
+    close the query log and the obs sidecar.
+    """
+    import signal
+    import threading
+
+    installed = []
+    if threading.current_thread() is threading.main_thread():
+
+        def _on_signal(signum: int, frame: Any) -> None:
+            raise _GracefulExit(
+                "sigterm" if signum == getattr(signal, "SIGTERM", None) else "sigint"
+            )
+
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                installed.append((signum, signal.signal(signum, _on_signal)))
+            except (ValueError, OSError):  # pragma: no cover - exotic platform
+                pass
+    try:
+        code = service.serve(sys.stdin, out)
+    except _GracefulExit as exc:
+        service.drain(reason=exc.reason, wait=True)
+        code = 0
+    except KeyboardInterrupt:  # pragma: no cover - ^C without our handler
+        service.drain(reason="sigint", wait=False)
+        code = 0
+    finally:
+        for signum, previous in installed:
+            signal.signal(signum, previous)
+        # Idempotent: only closes the sidecar if serve() already drained.
+        service.drain(reason="shutdown", wait=False, obs_server=obs_server)
+    return code
+
+
+def _serve_net(args: argparse.Namespace, service: Any, obs_server: Any) -> int:
+    """The asyncio network front end behind ``serve --http/--tcp``."""
+    import asyncio
+
+    from repro.service import ServeNetServer, WorkerPool, catalog_snapshot
+
+    pool = None
+    if args.workers > 0:
+        print(
+            "repro: starting %d worker process%s (%s)"
+            % (args.workers, "" if args.workers == 1 else "es", args.mp_start),
+            file=sys.stderr,
+        )
+        sys.stderr.flush()
+        pool = WorkerPool(
+            args.workers,
+            lambda: catalog_snapshot(service),
+            mp_start=args.mp_start,
+            options={
+                "cache_capacity": args.cache_size,
+                "default_timeout": args.timeout,
+            },
+            metrics=service.metrics,
+        ).start()
+    server = ServeNetServer(
+        service,
+        pool=pool,
+        http_port=args.http,
+        tcp_port=args.tcp,
+        host=args.host,
+        queue_depth=args.queue_depth,
+        default_timeout=args.timeout,
+        drain_timeout=args.drain_timeout,
+        obs_server=obs_server,
+    )
+
+    async def _run() -> int:
+        await server.start()
+        # Announced on stderr in a stable format: the concurrent-load
+        # benchmark and the CI smoke step parse these lines.
+        endpoints = server.endpoints()
+        if "http" in endpoints:
+            print(
+                "repro: http endpoint on http://%s:%d "
+                "(POST / with a JSON request; GET /metrics /healthz /stats "
+                "/telemetry /slow)" % endpoints["http"],
+                file=sys.stderr,
+            )
+        if "tcp" in endpoints:
+            print(
+                "repro: tcp endpoint on %s:%d (JSON lines)" % endpoints["tcp"],
+                file=sys.stderr,
+            )
+        sys.stderr.flush()
+        return await server.run()
+
+    return asyncio.run(_run())
+
+
 def main(argv: Optional[List[str]] = None, out: Any = None) -> int:
     out = out or sys.stdout
     args = _build_parser().parse_args(argv)
@@ -530,12 +686,20 @@ def main(argv: Optional[List[str]] = None, out: Any = None) -> int:
             from repro.obs.log import QueryLog
             from repro.service import CatalogError, ObsHttpServer, QueryService
 
+            net_mode = args.http is not None or args.tcp is not None
+            # In network mode with worker processes the leader's thread
+            # pool only runs control ops and obs requests — keep it small.
+            # Everywhere else `--workers` sizes the executor itself.
+            if net_mode and args.workers > 0:
+                service_workers = 2
+            else:
+                service_workers = args.workers if args.workers > 0 else 4
             query_log = None
             if args.query_log:
                 query_log = QueryLog(args.query_log, max_bytes=args.query_log_max_bytes)
             service = QueryService(
                 cache_capacity=args.cache_size,
-                workers=args.workers,
+                workers=service_workers,
                 queue_depth=args.queue_depth,
                 default_timeout=args.timeout,
                 telemetry_capacity=args.telemetry_capacity,
@@ -560,11 +724,10 @@ def main(argv: Optional[List[str]] = None, out: Any = None) -> int:
                     file=sys.stderr,
                 )
                 sys.stderr.flush()
-            try:
-                code = service.serve(sys.stdin, out)
-            finally:
-                if obs_server is not None:
-                    obs_server.close()
+            if net_mode:
+                code = _serve_net(args, service, obs_server)
+            else:
+                code = _serve_stdin(args, service, obs_server, out)
 
         elif args.command == "tpch":
             from repro.tpch.datagen import MICRO, generate

@@ -17,13 +17,19 @@ architecture):
   JSON-lines wire protocol;
 - :class:`ObsHttpServer` — the read-only HTTP observability sidecar
   (``/metrics``, ``/healthz``, ``/stats``, ``/telemetry``, ``/slow``)
-  behind ``repro serve --obs-port``.
+  behind ``repro serve --obs-port``;
+- :class:`ServeNetServer` — the asyncio network front end
+  (``repro serve --http/--tcp``): the same wire protocol over HTTP and
+  persistent TCP JSON-lines, with :class:`AdmissionController`
+  load-shedding in front and an optional :class:`WorkerPool` of worker
+  *processes* (``--workers N``) for multi-core scale-out.
 
 All failures surface as the structured error taxonomy in
 :mod:`repro.service.errors` (compile_error / runtime_error / timeout /
 overloaded / catalog_error / bad_request) — never as a crashed loop.
 """
 
+from repro.service.admission import AdmissionController
 from repro.service.cache import PlanCache
 from repro.service.catalog import Catalog, TableInfo
 from repro.service.errors import (
@@ -37,12 +43,15 @@ from repro.service.errors import (
 )
 from repro.service.executor import Outcome, SessionExecutor
 from repro.service.http import ObsHttpServer
+from repro.service.net import ServeNetServer
 from repro.service.plan_key import ast_fingerprint, plan_key
 from repro.service.prepared import CompiledPlan, PreparedQuery, compile_plan, parse_query
 from repro.service.service import QueryService
 from repro.service.telemetry import QueryTelemetry, TelemetryLog
+from repro.service.worker import WorkerCrashed, WorkerPool, catalog_snapshot
 
 __all__ = [
+    "AdmissionController",
     "BadRequest",
     "Catalog",
     "CatalogError",
@@ -57,11 +66,15 @@ __all__ = [
     "QueryTelemetry",
     "QueryTimeout",
     "RuntimeQueryError",
+    "ServeNetServer",
     "ServiceError",
     "SessionExecutor",
     "TableInfo",
     "TelemetryLog",
+    "WorkerCrashed",
+    "WorkerPool",
     "ast_fingerprint",
+    "catalog_snapshot",
     "compile_plan",
     "parse_query",
     "plan_key",

@@ -1,0 +1,129 @@
+"""Admission control for the network front end: bound, shed, drain.
+
+A serving layer that accepts everything eventually answers nothing: an
+unbounded accept queue turns overload into unbounded latency for every
+client.  The :class:`AdmissionController` is the front end's first
+gate — a fixed in-flight capacity checked in O(1), *before* the request
+touches the catalog, the plan cache, parameter binding, or a worker —
+so a saturated server spends almost nothing per rejected request and
+keeps answering the requests it already admitted.
+
+Three states per work-bearing request:
+
+- **admitted** — an in-flight slot was free; the request proceeds to a
+  worker (or the leader's thread pool) and releases the slot when its
+  response is written;
+- **shed** — no slot free; the caller must answer with the structured
+  ``overloaded`` error.  Counted in the ``service.shed`` metric — the
+  same counter the thread-pool executor's reject path increments — so
+  ``/metrics`` exposes one load-shedding total for the whole stack;
+- **draining** — :meth:`start_drain` was called (SIGTERM, shutdown op):
+  every new work request is shed with a "draining" message while
+  requests already in flight run to completion.  :meth:`wait_idle`
+  blocks until the last in-flight request releases (or a deadline
+  passes), which is the barrier the graceful-drain sequence waits on
+  before stopping workers and flushing the query log.
+
+Thread-safe: the asyncio loop admits, but worker-IO threads and
+executor callbacks release.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Optional
+
+
+class AdmissionController:
+    """A bounded in-flight gate with load-shedding and drain support."""
+
+    def __init__(self, capacity: int, metrics: Any = None):
+        if capacity < 1:
+            raise ValueError("admission capacity must be positive, got %d" % capacity)
+        self.capacity = capacity
+        self._inflight = 0
+        self._draining = False
+        self._lock = threading.Lock()
+        # set while no request is in flight; cleared by the first admit
+        self._idle = threading.Event()
+        self._idle.set()
+        if metrics is not None:
+            self._admitted = metrics.counter("service.admitted")
+            self._shed = metrics.counter("service.shed")
+            self._inflight_gauge = metrics.gauge("service.inflight")
+        else:
+            self._admitted = self._shed = self._inflight_gauge = None
+
+    def try_admit(self) -> bool:
+        """Take an in-flight slot if one is free; O(1), never blocks.
+
+        Returns ``False`` (and counts the shed) when the controller is
+        at capacity or draining — the caller owes the client a
+        structured ``overloaded`` response and must *not* call
+        :meth:`release`.
+        """
+        with self._lock:
+            if self._draining or self._inflight >= self.capacity:
+                if self._shed is not None:
+                    self._shed.inc()
+                return False
+            self._inflight += 1
+            self._idle.clear()
+            inflight = self._inflight
+        if self._admitted is not None:
+            self._admitted.inc()
+        if self._inflight_gauge is not None:
+            self._inflight_gauge.track_max(inflight)
+        return True
+
+    def release(self) -> None:
+        """Give back a slot taken by a successful :meth:`try_admit`."""
+        with self._lock:
+            if self._inflight <= 0:
+                raise RuntimeError("release() without a matching try_admit()")
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._idle.set()
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    def start_drain(self) -> None:
+        """Stop admitting; requests already in flight keep their slots."""
+        with self._lock:
+            self._draining = True
+
+    def shed_message(self) -> str:
+        """The message for the structured ``overloaded`` error."""
+        if self.draining:
+            return "server is draining; not accepting new queries"
+        return "admission queue full (capacity %d in flight)" % self.capacity
+
+    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until nothing is in flight; ``True`` iff that happened."""
+        return self._idle.wait(timeout)
+
+    def describe(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "inflight": self._inflight,
+                "draining": self._draining,
+            }
+
+    def __repr__(self) -> str:
+        return "AdmissionController(%d/%d%s)" % (
+            self.inflight,
+            self.capacity,
+            ", draining" if self.draining else "",
+        )
+
+
+__all__ = ["AdmissionController"]

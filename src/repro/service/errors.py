@@ -56,3 +56,34 @@ class CatalogError(ServiceError):
 
 class BadRequest(ServiceError):
     kind = "bad_request"
+
+
+#: kind string → error class, for rehydrating wire payloads.
+ERROR_KINDS = {
+    cls.kind: cls
+    for cls in (
+        CompileError,
+        RuntimeQueryError,
+        QueryTimeout,
+        Overloaded,
+        CatalogError,
+        BadRequest,
+    )
+}
+
+
+def error_from_payload(payload: Dict[str, Any]) -> ServiceError:
+    """Rebuild a :class:`ServiceError` from a ``{"kind", "message"}`` dict.
+
+    The leader process uses this to turn a worker's wire error back into
+    the taxonomy so telemetry and the query log record the same kind the
+    worker reported.  Unknown kinds degrade to the base class (kind
+    ``error``) rather than raising.
+    """
+    kind = payload.get("kind") if isinstance(payload, dict) else None
+    message = payload.get("message", "") if isinstance(payload, dict) else str(payload)
+    cls = ERROR_KINDS.get(kind, ServiceError)
+    error = cls(message)
+    if cls is ServiceError and isinstance(kind, str):
+        error.kind = kind  # preserve e.g. internal_error verbatim
+    return error

@@ -85,6 +85,10 @@ class SessionExecutor:
         self._runtime_errors = metrics.counter("service.execute.runtime_error")
         self._timeouts = metrics.counter("service.execute.timeout")
         self._rejected = metrics.counter("service.execute.rejected")
+        # service.shed is the cross-layer load-shedding count: the same
+        # name the network front end's AdmissionController increments, so
+        # /metrics shows one total no matter which layer refused the work.
+        self._shed = metrics.counter("service.shed")
         self._latency = metrics.histogram("service.execute.latency_ms")
         self._closed = False
 
@@ -99,9 +103,11 @@ class SessionExecutor:
         if timeout is None:
             timeout = self.default_timeout
         if self._closed:
+            self._shed.inc()
             return Outcome(error=Overloaded("service is shut down"))
         if not self._slots.acquire(blocking=False):
             self._rejected.inc()
+            self._shed.inc()
             return Outcome(
                 error=Overloaded(
                     "admission queue full (%d running + %d queued)"

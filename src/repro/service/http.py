@@ -28,12 +28,70 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from repro.obs.export import prometheus_text
 
 _PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+_JSON_CONTENT_TYPE = "application/json; charset=utf-8"
+
+#: The read-only observability surface, shared by the sidecar and the
+#: network front end (``repro serve --http`` serves these same GET
+#: routes on the query port; see :mod:`repro.service.net`).
+OBS_ROUTES = ("/healthz", "/metrics", "/stats", "/telemetry", "/slow")
+
+
+def obs_route(service: Any, path: str, query: str = "") -> Optional[Tuple[int, str, str]]:
+    """Answer one GET against the obs surface.
+
+    Returns ``(status, content_type, body)`` for a known route, ``None``
+    for an unknown one.  Raises nothing route-specific: parameter
+    problems come back as a 400 tuple, unexpected failures as a 500 —
+    the caller just writes the tuple out.  Both the threaded sidecar
+    (:class:`ObsHttpServer`) and the asyncio front end
+    (:class:`repro.service.net.ServeNetServer`) route through here, so
+    operators see one identical surface on either port.
+    """
+    route = path.rstrip("/") or "/"
+    params = parse_qs(query)
+    try:
+        if route == "/healthz":
+            return 200, "text/plain; charset=utf-8", "ok\n"
+        if route == "/metrics":
+            return 200, _PROM_CONTENT_TYPE, prometheus_text(service.metrics)
+        if route == "/stats":
+            return 200, _JSON_CONTENT_TYPE, json.dumps(service.stats()) + "\n"
+        if route == "/telemetry":
+            return _telemetry_route(service, params, slow=_flag(params, "slow"))
+        if route == "/slow":
+            return _telemetry_route(service, params, slow=True)
+        return None
+    except ValueError as exc:
+        return 400, _JSON_CONTENT_TYPE, json.dumps({"error": str(exc)}) + "\n"
+    except Exception as exc:  # noqa: BLE001 - a probe must not kill the server
+        return (
+            500,
+            _JSON_CONTENT_TYPE,
+            json.dumps({"error": "%s: %s" % (type(exc).__name__, exc)}) + "\n",
+        )
+
+
+def _telemetry_route(
+    service: Any, params: Dict[str, Any], slow: bool
+) -> Tuple[int, str, str]:
+    n = params.get("n", [None])[0]
+    records = service.telemetry.select(
+        n=int(n) if n is not None else None,
+        slow=slow,
+        outcome=params.get("outcome", [None])[0],
+        handle=params.get("handle", [None])[0],
+    )
+    payload = {
+        "telemetry": service.telemetry.describe(),
+        "queries": [record.describe() for record in records],
+    }
+    return 200, _JSON_CONTENT_TYPE, json.dumps(payload) + "\n"
 
 
 def _make_handler(service: Any):
@@ -46,48 +104,14 @@ def _make_handler(service: Any):
 
         def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
             parsed = urlparse(self.path)
-            route = parsed.path.rstrip("/") or "/"
-            params = parse_qs(parsed.query)
-            try:
-                if route == "/healthz":
-                    self._send(200, "text/plain; charset=utf-8", "ok\n")
-                elif route == "/metrics":
-                    self._send(200, _PROM_CONTENT_TYPE, prometheus_text(service.metrics))
-                elif route == "/stats":
-                    self._send_json(200, service.stats())
-                elif route == "/telemetry":
-                    self._send_telemetry(params, slow=_flag(params, "slow"))
-                elif route == "/slow":
-                    self._send_telemetry(params, slow=True)
-                else:
-                    self._send_json(404, {"error": "unknown path %r" % parsed.path})
-            except ValueError as exc:
-                self._send_json(400, {"error": str(exc)})
-            except Exception as exc:  # noqa: BLE001 - a probe must not kill the thread
-                self._send_json(
-                    500, {"error": "%s: %s" % (type(exc).__name__, exc)}
+            answer = obs_route(service, parsed.path, parsed.query)
+            if answer is None:
+                answer = (
+                    404,
+                    _JSON_CONTENT_TYPE,
+                    json.dumps({"error": "unknown path %r" % parsed.path}) + "\n",
                 )
-
-        def _send_telemetry(self, params: Dict[str, Any], slow: bool) -> None:
-            n = params.get("n", [None])[0]
-            records = service.telemetry.select(
-                n=int(n) if n is not None else None,
-                slow=slow,
-                outcome=params.get("outcome", [None])[0],
-                handle=params.get("handle", [None])[0],
-            )
-            self._send_json(
-                200,
-                {
-                    "telemetry": service.telemetry.describe(),
-                    "queries": [record.describe() for record in records],
-                },
-            )
-
-        def _send_json(self, status: int, payload: Any) -> None:
-            self._send(
-                status, "application/json; charset=utf-8", json.dumps(payload) + "\n"
-            )
+            self._send(*answer)
 
         def _send(self, status: int, content_type: str, body: str) -> None:
             data = body.encode("utf-8")
@@ -147,4 +171,4 @@ class ObsHttpServer:
         self.close()
 
 
-__all__ = ["ObsHttpServer"]
+__all__ = ["OBS_ROUTES", "ObsHttpServer", "obs_route"]

@@ -65,6 +65,7 @@ class QueryService:
         trace_sample_rate: Optional[float] = 0.05,
         trace_capacity: int = 64,
         query_log: Optional[Any] = None,
+        handle_prefix: str = "q",
     ) -> None:
         """``trace_sample_rate`` is the tail-sampling head rate (``None``
         disables per-query tracing entirely; ``0.0`` still keeps slow and
@@ -94,7 +95,13 @@ class QueryService:
         self._started_at = _time.time()
         self._prepared: Dict[str, PreparedQuery] = {}
         self._handles = itertools.count(1)
+        # Worker processes use a distinct prefix ("w3t") so their
+        # transient one-shot handles can never collide with the handles
+        # the leader broadcasts (see repro.service.worker).
+        self._handle_prefix = handle_prefix
         self._lock = threading.Lock()
+        self._drain_guard = threading.Lock()
+        self._drained = False
         self._compile_seconds = self.metrics.histogram("service.compile_ms")
 
     # -- catalog ----------------------------------------------------------
@@ -107,11 +114,17 @@ class QueryService:
 
     # -- prepare / execute ------------------------------------------------
 
-    def prepare(self, language: str, text: str) -> PreparedQuery:
+    def prepare(
+        self, language: str, text: str, handle: Optional[str] = None
+    ) -> PreparedQuery:
         """Compile ``text`` once (or reuse a cached plan) and hand out a handle.
 
         Raises :class:`~repro.service.errors.CompileError` on bad queries;
-        the wire layer turns that into a structured response.
+        the wire layer turns that into a structured response.  ``handle``
+        forces a specific handle name instead of drawing from the
+        counter — the warm-up-replay hook worker processes use to mirror
+        the leader's handle space exactly (a forced handle replaces any
+        existing entry under that name).
         """
         tracer = get_tracer()
         with tracer.span("service.prepare", category="service", language=language):
@@ -123,7 +136,8 @@ class QueryService:
                 plan = compile_plan(language, ast, key=key)
                 self._compile_seconds.record(plan.compile_seconds * 1e3)
                 self.cache.put(key, plan)
-            handle = "q%d" % next(self._handles)
+            if handle is None:
+                handle = "%s%d" % (self._handle_prefix, next(self._handles))
             prepared = PreparedQuery(handle, language, text, plan, cached)
             with self._lock:
                 self._prepared[handle] = prepared
@@ -134,6 +148,11 @@ class QueryService:
             return self._prepared[handle]
         except KeyError:
             raise BadRequest("unknown prepared-query handle %r" % (handle,))
+
+    def prepared_queries(self) -> List[PreparedQuery]:
+        """All live prepared queries, in creation order (dict order)."""
+        with self._lock:
+            return list(self._prepared.values())
 
     def close_prepared(self, handle: str) -> None:
         with self._lock:
@@ -157,13 +176,22 @@ class QueryService:
         if existing is not None:
             yield existing
             return
+        with query_context(self.ingress_context()) as context:
+            yield context
+
+    def ingress_context(self) -> QueryContext:
+        """A fresh request context configured like :meth:`_query_scope`.
+
+        The network front end calls this at its own ingress point so the
+        ``query_id`` (and the tail-sampling coin) exists *before*
+        admission control — a shed response carries a real id even
+        though it never reaches the executor.
+        """
         tracer = Tracer() if self.sampling is not None else None
-        context = QueryContext(
+        return QueryContext(
             tracer=tracer,
             head_sampled=self.sampling.head() if self.sampling is not None else False,
         )
-        with query_context(context):
-            yield context
 
     def execute(
         self,
@@ -289,6 +317,59 @@ class QueryService:
         self.telemetry.record(telemetry)
         return telemetry
 
+    def record_remote(
+        self,
+        context: QueryContext,
+        response: Dict[str, Any],
+        handle: Optional[str] = None,
+        language: Optional[str] = None,
+        cache_hit: bool = False,
+        worker: Optional[str] = None,
+    ) -> QueryTelemetry:
+        """Record an execution that ran in a *worker process*.
+
+        The leader never sees the worker's ``Outcome`` object — only the
+        wire response — so this rebuilds the telemetry record (and the
+        rates/query-log/trace bookkeeping of :meth:`_finish_query`) from
+        the response dict, labelled with the worker id.  Per-worker
+        counters (``service.worker.<id>.ok`` / ``.error``) and a
+        latency histogram land in the metrics registry so ``/metrics``
+        exposes each worker's share of the load.
+        """
+        from repro.service.errors import error_from_payload
+
+        ok = bool(response.get("ok"))
+        seconds = float(response.get("seconds") or 0.0)
+        error_payload = response.get("error") or {}
+        result = response.get("result")
+        telemetry = QueryTelemetry(
+            handle=handle,
+            language=language,
+            cache_hit=cache_hit,
+            compile_seconds=0.0,
+            execute_seconds=seconds,
+            ok=ok,
+            error_kind=None if ok else error_payload.get("kind", "internal_error"),
+            rows=len(result) if isinstance(result, list) else None,
+            analyzed=response.get("analysis") is not None,
+            query_id=context.query_id,
+            started_at=context.started_at,
+            worker=worker,
+        )
+        self.telemetry.record(telemetry)
+        outcome = Outcome(seconds=seconds)
+        if not ok:
+            outcome.error = error_from_payload(error_payload)
+        self._finish_query(context, telemetry, outcome)
+        if worker is not None:
+            self.metrics.counter(
+                "service.worker.%s.%s" % (worker, "ok" if ok else "error")
+            ).inc()
+            self.metrics.histogram("service.worker.%s.latency_ms" % worker).record(
+                seconds * 1e3
+            )
+        return telemetry
+
     def _finish_query(
         self, context: QueryContext, telemetry: QueryTelemetry, outcome: Outcome
     ) -> None:
@@ -326,6 +407,8 @@ class QueryService:
                 "rows": telemetry.rows,
                 "outcome": "ok" if telemetry.ok else "error",
             }
+            if telemetry.worker is not None:
+                audit["worker"] = telemetry.worker
             if telemetry.error_kind is not None:
                 audit["error_kind"] = telemetry.error_kind
             if telemetry.slow:
@@ -381,10 +464,43 @@ class QueryService:
             stats["query_log"] = self.query_log.describe()
         return stats
 
+    def drain(
+        self, reason: str = "shutdown", wait: bool = True, obs_server: Any = None
+    ) -> None:
+        """The one graceful-shutdown path every serve mode goes through.
+
+        Sequence: stop the executor (``wait=True`` lets in-flight queries
+        finish; abandoned/timed-out workers are waited out too), emit a
+        final ``shutdown`` audit event, close the query log, and stop the
+        obs sidecar when one is passed.  Idempotent — the stdin loop, the
+        network front end, and the CLI's signal handlers can all call it;
+        only the first call drains (later calls still close ``obs_server``
+        so no caller leaks the sidecar thread).
+        """
+        with self._drain_guard:
+            already = self._drained
+            self._drained = True
+        if not already:
+            self.executor.shutdown(wait=wait)
+            if self.query_log is not None:
+                try:
+                    self.query_log.emit(
+                        {
+                            "event": "shutdown",
+                            "reason": reason,
+                            "served": self.telemetry.describe()["recorded"],
+                            "shed": self.metrics.counter("service.shed").value,
+                            "uptime_seconds": _time.time() - self._started_at,
+                        }
+                    )
+                except ValueError:
+                    pass  # the log was closed by an earlier caller
+                self.query_log.close()
+        if obs_server is not None:
+            obs_server.close()
+
     def close(self, wait: bool = True) -> None:
-        self.executor.shutdown(wait=wait)
-        if self.query_log is not None:
-            self.query_log.close()
+        self.drain(reason="close", wait=wait)
 
     def __enter__(self) -> "QueryService":
         return self
@@ -518,8 +634,15 @@ class QueryService:
         """The ``repro serve`` loop: one JSON request per line, one JSON
         response per line.  EOF or ``{"op": "shutdown"}`` ends the loop;
         malformed lines produce structured errors and the loop continues.
+
+        Ends through :meth:`drain` — the same graceful-shutdown path the
+        network front end uses — so the executor is drained and the query
+        log gets its final ``shutdown`` audit event no matter how the
+        loop terminated (EOF, wire shutdown op, or a signal the CLI
+        translated; see ``repro serve``'s SIGTERM handling).
         """
         served = 0
+        reason = "eof"
         for line in input_stream:
             line = line.strip()
             if not line:
@@ -535,12 +658,13 @@ class QueryService:
                 if isinstance(request, dict) and request.get("op") == "shutdown":
                     print(json.dumps({"ok": True, "served": served}), file=output_stream)
                     output_stream.flush()
+                    reason = "shutdown_op"
                     break
                 response = self.handle_request(request)
                 served += 1
             print(json.dumps(response), file=output_stream)
             output_stream.flush()
-        self.close(wait=False)
+        self.drain(reason=reason, wait=False)
         return 0
 
 

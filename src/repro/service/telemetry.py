@@ -51,6 +51,7 @@ class QueryTelemetry:
         "slow",
         "query_id",
         "started_at",
+        "worker",
         "trace",
     )
 
@@ -70,6 +71,7 @@ class QueryTelemetry:
         analyzed: bool = False,
         query_id: Optional[str] = None,
         started_at: Optional[float] = None,
+        worker: Optional[str] = None,
     ):
         self.handle = handle
         self.language = language
@@ -86,6 +88,9 @@ class QueryTelemetry:
         self.slow = False
         self.query_id = query_id
         self.started_at = time.time() if started_at is None else started_at
+        # The worker-process label ("w0", "w1", ...) when the execution
+        # ran in a scale-out worker rather than the leader's thread pool.
+        self.worker = worker
         self.trace: Optional[Dict[str, Any]] = None
 
     def describe(self) -> Dict[str, Any]:
@@ -100,6 +105,8 @@ class QueryTelemetry:
         }
         if self.query_id is not None:
             out["query_id"] = self.query_id
+        if self.worker is not None:
+            out["worker"] = self.worker
         if self.error_kind is not None:
             out["error_kind"] = self.error_kind
         if self.rows is not None:

@@ -1,0 +1,123 @@
+"""Tests for the admission controller (repro.service.admission).
+
+The contract: a fixed in-flight capacity checked in O(1); over-capacity
+and draining requests are shed (counted in ``service.shed``); releases
+re-open slots; ``wait_idle`` is the drain barrier.
+"""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service import AdmissionController
+
+
+def test_admits_up_to_capacity_then_sheds():
+    gate = AdmissionController(capacity=3)
+    assert [gate.try_admit() for _ in range(3)] == [True, True, True]
+    assert gate.try_admit() is False
+    assert gate.inflight == 3
+
+
+def test_release_reopens_a_slot():
+    gate = AdmissionController(capacity=1)
+    assert gate.try_admit()
+    assert not gate.try_admit()
+    gate.release()
+    assert gate.try_admit()
+
+
+def test_unbalanced_release_raises():
+    gate = AdmissionController(capacity=1)
+    with pytest.raises(RuntimeError):
+        gate.release()
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        AdmissionController(capacity=0)
+
+
+def test_draining_sheds_everything_new():
+    gate = AdmissionController(capacity=4)
+    assert gate.try_admit()
+    gate.start_drain()
+    assert gate.try_admit() is False
+    assert gate.draining
+    # The in-flight request keeps its slot until it releases.
+    assert gate.inflight == 1
+    gate.release()
+    assert gate.inflight == 0
+
+
+def test_shed_message_distinguishes_full_from_draining():
+    gate = AdmissionController(capacity=1)
+    assert gate.try_admit()
+    assert "full" in gate.shed_message()
+    gate.start_drain()
+    assert "draining" in gate.shed_message()
+
+
+def test_wait_idle_blocks_until_last_release():
+    gate = AdmissionController(capacity=2)
+    assert gate.wait_idle(timeout=0.01)  # idle at birth
+    assert gate.try_admit()
+    assert not gate.wait_idle(timeout=0.05)
+    released = threading.Event()
+
+    def releaser():
+        released.wait(5.0)
+        gate.release()
+
+    thread = threading.Thread(target=releaser)
+    thread.start()
+    released.set()
+    assert gate.wait_idle(timeout=5.0)
+    thread.join()
+
+
+def test_metrics_count_admits_and_sheds():
+    metrics = MetricsRegistry()
+    gate = AdmissionController(capacity=1, metrics=metrics)
+    gate.try_admit()
+    gate.try_admit()  # shed
+    gate.try_admit()  # shed
+    counters = metrics.snapshot()["counters"]
+    assert counters["service.admitted"] == 1
+    assert counters["service.shed"] == 2
+    assert metrics.snapshot()["gauges"]["service.inflight"] == 1
+
+
+def test_describe_and_repr():
+    gate = AdmissionController(capacity=2)
+    gate.try_admit()
+    doc = gate.describe()
+    assert doc == {"capacity": 2, "inflight": 1, "draining": False}
+    assert "1/2" in repr(gate)
+    gate.start_drain()
+    assert "draining" in repr(gate)
+
+
+def test_concurrent_admits_never_exceed_capacity():
+    gate = AdmissionController(capacity=8)
+    admitted = []
+    lock = threading.Lock()
+    peak = [0]
+
+    def worker():
+        for _ in range(200):
+            if gate.try_admit():
+                with lock:
+                    admitted.append(1)
+                    peak[0] = max(peak[0], gate.inflight)
+                gate.release()
+
+    threads = [threading.Thread(target=worker) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert peak[0] <= 8
+    assert gate.inflight == 0
+    assert gate.wait_idle(timeout=0.1)
