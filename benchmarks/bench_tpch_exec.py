@@ -12,7 +12,11 @@ the physical group-by and batch operators landed): q18 — once a 6.6s
 outlier, the derived group-by re-evaluating its source per distinct
 key — must finish under 0.5s, the full sweep must be at least 2x
 faster than the seed total, and every query must still match its
-independent reference implementation.
+independent reference implementation.  Since the fused columnar chains
+landed the gate also pins q19 and q20 (the two queries the columnar
+pass speeds up most) at 5x their pre-columnar times and re-runs the
+sweep with the columnar path disabled to prove the fused chains beat
+row-at-a-time execution by a real margin.
 
 Run with::
 
@@ -32,7 +36,7 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 from repro.data.foreign import DateValue
 from repro.data.model import Record, to_python
 from repro.nraenv.eval import eval_nraenv
-from repro.nraenv.exec import eval_fast
+from repro.nraenv.exec import eval_fast, set_columnar_enabled
 from repro.sql.parser import parse_sql
 from repro.sql.to_nraenv import sql_to_nraenv
 from repro.tpch.datagen import MICRO, generate
@@ -46,9 +50,20 @@ from tables import emit, format_table
 SEED_TOTAL_SECONDS = 7.3841
 SEED_Q18_SECONDS = 6.6277
 
+#: The recorded sweep before the fused columnar chains landed: q19's
+#: disjunctive predicate stack and q20's correlated membership filters
+#: were the two slowest row-at-a-time queries left.
+SEED_Q19_SECONDS = 0.1238
+SEED_Q20_SECONDS = 0.0796
+
 #: Hard gates for CI (``--gate``).
 Q18_BUDGET_SECONDS = 0.5
 REQUIRED_SWEEP_SPEEDUP = 2.0
+REQUIRED_Q19_SPEEDUP = 5.0
+REQUIRED_Q20_SPEEDUP = 5.0
+#: The columnar path must actually pay for itself: the same sweep with
+#: the fused chains disabled must be at least this much slower.
+REQUIRED_COLUMNAR_RATIO = 1.5
 
 
 def _normalise(rows):
@@ -98,8 +113,14 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--gate",
         action="store_true",
-        help="enforce the CI thresholds (q18 < %.1fs, sweep >= %.0fx vs seed)"
-        % (Q18_BUDGET_SECONDS, REQUIRED_SWEEP_SPEEDUP),
+        help="enforce the CI thresholds (q18 < %.1fs, sweep >= %.0fx vs seed, "
+        "q19/q20 >= %.0fx vs the pre-columnar sweep, columnar >= %.1fx row)"
+        % (
+            Q18_BUDGET_SECONDS,
+            REQUIRED_SWEEP_SPEEDUP,
+            REQUIRED_Q19_SPEEDUP,
+            REQUIRED_COLUMNAR_RATIO,
+        ),
     )
     args = parser.parse_args(argv)
 
@@ -107,11 +128,25 @@ def main(argv=None) -> int:
     table = run_sweep(db, check=True)
     emit_table(table)
     total = sum(elapsed for _, _, elapsed in table)
-    q18 = dict((name, elapsed) for name, _, elapsed in table)["q18"]
+    per_query = dict((name, elapsed) for name, _, elapsed in table)
+    q18 = per_query["q18"]
     speedup = SEED_TOTAL_SECONDS / total
+    q19_speedup = SEED_Q19_SECONDS / per_query["q19"]
+    q20_speedup = SEED_Q20_SECONDS / per_query["q20"]
     print(
         "sweep: %.4fs over %d queries (seed %.4fs, %.1fx); q18 %.4fs (seed %.4fs)"
         % (total, len(table), SEED_TOTAL_SECONDS, speedup, q18, SEED_Q18_SECONDS)
+    )
+    print(
+        "q19 %.4fs (%.1fx vs row-at-a-time %.4fs); q20 %.4fs (%.1fx vs %.4fs)"
+        % (
+            per_query["q19"],
+            q19_speedup,
+            SEED_Q19_SECONDS,
+            per_query["q20"],
+            q20_speedup,
+            SEED_Q20_SECONDS,
+        )
     )
     print("all 20 queries match their reference implementations")
     if args.gate:
@@ -125,13 +160,52 @@ def main(argv=None) -> int:
                 "sweep speedup %.2fx vs seed, need >= %.1fx"
                 % (speedup, REQUIRED_SWEEP_SPEEDUP)
             )
+        if q19_speedup < REQUIRED_Q19_SPEEDUP:
+            failures.append(
+                "q19 speedup %.2fx vs pre-columnar seed, need >= %.1fx"
+                % (q19_speedup, REQUIRED_Q19_SPEEDUP)
+            )
+        if q20_speedup < REQUIRED_Q20_SPEEDUP:
+            failures.append(
+                "q20 speedup %.2fx vs pre-columnar seed, need >= %.1fx"
+                % (q20_speedup, REQUIRED_Q20_SPEEDUP)
+            )
+        # Columnar-vs-row ratio: re-run the sweep with fused chains
+        # disabled, then warm-re-run the columnar sweep so both sides
+        # see the same cache state.  Answers were already checked above.
+        set_columnar_enabled(False)
+        try:
+            row_total = sum(t for _, _, t in run_sweep(db, check=False))
+        finally:
+            set_columnar_enabled(True)
+        columnar_total = sum(t for _, _, t in run_sweep(db, check=False))
+        ratio = row_total / columnar_total
+        print(
+            "columnar sweep %.4fs vs row sweep %.4fs (%.2fx)"
+            % (columnar_total, row_total, ratio)
+        )
+        if ratio < REQUIRED_COLUMNAR_RATIO:
+            failures.append(
+                "columnar sweep only %.2fx faster than row sweep, need >= %.1fx"
+                % (ratio, REQUIRED_COLUMNAR_RATIO)
+            )
         if failures:
             for failure in failures:
                 print("GATE FAILED: %s" % failure)
             return 1
         print(
-            "gate passed: q18 < %.1fs and sweep %.1fx >= %.1fx"
-            % (Q18_BUDGET_SECONDS, speedup, REQUIRED_SWEEP_SPEEDUP)
+            "gate passed: q18 < %.1fs, sweep %.1fx >= %.1fx, "
+            "q19 %.1fx / q20 %.1fx >= %.1fx, columnar ratio %.2fx >= %.1fx"
+            % (
+                Q18_BUDGET_SECONDS,
+                speedup,
+                REQUIRED_SWEEP_SPEEDUP,
+                q19_speedup,
+                q20_speedup,
+                REQUIRED_Q19_SPEEDUP,
+                ratio,
+                REQUIRED_COLUMNAR_RATIO,
+            )
         )
     return 0
 

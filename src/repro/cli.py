@@ -453,6 +453,10 @@ def _print_engine(
         "physical group-bys executed: %d" % counters.get("engine.group_by", 0),
         file=out,
     )
+    fused = counters.get("engine.columnar", 0) + counters.get(
+        "engine.columnar_filter", 0
+    )
+    print("fused columnar passes: %d" % fused, file=out)
     hoisted = counters.get("engine.hoisted_in", 0)
     if hoisted:
         print("uncorrelated IN subqueries hoisted: %d" % hoisted, file=out)
@@ -483,6 +487,8 @@ def _engine_counters() -> dict:
     return {
         "joins": counters.get("engine.join", 0),
         "group_bys": counters.get("engine.group_by", 0),
+        "columnar": counters.get("engine.columnar", 0)
+        + counters.get("engine.columnar_filter", 0),
         "hoisted_in": counters.get("engine.hoisted_in", 0),
         "shed": counters.get("service.shed", 0),
         "fallbacks": {

@@ -1,5 +1,6 @@
 """The data model shared by every language in the compiler."""
 
+from repro.data.columnar import ColumnarBag, cached_columnar, ensure_columnar
 from repro.data.foreign import DateValue, register_foreign
 from repro.data.model import (
     Bag,
@@ -17,11 +18,14 @@ from repro.data.model import (
 
 __all__ = [
     "Bag",
+    "ColumnarBag",
     "DataError",
     "DateValue",
     "Record",
     "bag",
+    "cached_columnar",
     "canonical_key",
+    "ensure_columnar",
     "flatten",
     "from_python",
     "is_value",

@@ -11,19 +11,27 @@ layer the engine calls instead: each function makes one pass over a
 row sequence, reads canonical keys through the kernel cache, and does
 the rest as plain list/dict work with no AST dispatch inside the loop.
 
+Since the columnar representation landed (:mod:`repro.data.columnar`),
+the entry points that scan rows also accept a :class:`ColumnarBag`
+directly: keys then come from the bag's cached key columns and
+projections from column selection, with no :class:`Record` access at
+all.
+
 Everything here is *semantics-free*: the functions compute exactly what
 the corresponding per-row evaluation would (same values, same
-:class:`~repro.data.model.DataError` on ill-shaped rows), so the engine
-can use them wherever its shape analysis says the pattern applies and
-fall back to the reference semantics everywhere else.  See DESIGN.md
-§10 for the contract.
+:class:`~repro.data.model.DataError` on ill-shaped rows — up to the
+evaluation-order caveat DESIGN.md §13 spells out for columnar inputs),
+so the engine can use them wherever its shape analysis says the pattern
+applies and fall back to the reference semantics everywhere else.  See
+DESIGN.md §10 for the contract.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Sequence, Tuple, Union
 
 from repro.data import kernel
+from repro.data.columnar import MISSING, ColumnarBag
 from repro.data.model import Bag, DataError, Record
 
 __all__ = [
@@ -32,16 +40,40 @@ __all__ = [
     "filter_member",
     "filter_equal",
     "project_records",
+    "partition_bag",
 ]
 
+Rows = Union[Sequence[Record], ColumnarBag]
 
-def path_keys(rows: Sequence[Record], path: Sequence[str]) -> List[tuple]:
+
+def path_keys(rows: Rows, path: Sequence[str]) -> List[tuple]:
     """The canonical-key column for ``row.path`` across ``rows``.
 
     One pass of :func:`repro.data.kernel.path_key`; raises
     :class:`DataError` exactly where per-row evaluation of the ``.``
-    chain would (missing field, non-record step).
+    chain would (missing field, non-record step).  An empty ``path`` is
+    a caller bug, not a data shape: it is rejected eagerly.  On a
+    :class:`ColumnarBag` the single-field case is the bag's cached key
+    column; deeper paths chain through the first field's value column.
     """
+    if not path:
+        raise DataError("path_keys requires a non-empty field path")
+    if isinstance(rows, ColumnarBag):
+        if len(path) == 1:
+            return list(rows.key_column(path[0]))
+        head, rest = path[0], path[1:]
+        keys: List[tuple] = []
+        for value in rows.column(head):
+            if value is MISSING:
+                raise DataError("record has no attribute %r (columnar)" % (head,))
+            if not isinstance(value, Record):
+                raise DataError(
+                    "path %r: %r is not a record" % (".".join(path), value)
+                )
+            keys.append(kernel.path_key(value, rest))
+        return keys
+    if not rows:
+        return []
     if len(path) == 1:
         field = path[0]
         return [kernel.field_key(row, field) for row in rows]
@@ -49,7 +81,7 @@ def path_keys(rows: Sequence[Record], path: Sequence[str]) -> List[tuple]:
 
 
 def group_rows(
-    rows: Iterable[Record], fields: Sequence[str]
+    rows: Union[Iterable[Record], ColumnarBag], fields: Sequence[str]
 ) -> "Dict[Tuple[tuple, ...], List[Record]]":
     """One-pass hash bucketing of ``rows`` by canonical field keys.
 
@@ -61,10 +93,22 @@ def group_rows(
     derived group-by's ``σ⟨key(In) = Env.__key⟩`` applies.  Buckets
     appear in first-occurrence order, matching ``♯distinct``.
 
+    On a :class:`ColumnarBag` the bucket keys are read straight from
+    the cached key columns (one zip, no per-row field scans).
+
     Raises :class:`DataError` if a row is not a record or misses one of
     the key fields (the shapes on which the reference encoding errors).
     """
     buckets: Dict[Tuple[tuple, ...], List[Record]] = {}
+    if isinstance(rows, ColumnarBag):
+        key_columns = [rows.key_column(field) for field in fields]
+        for row, key in zip(rows.rows(), zip(*key_columns)):
+            bucket = buckets.get(key)
+            if bucket is None:
+                buckets[key] = [row]
+            else:
+                bucket.append(row)
+        return buckets
     for row in rows:
         if not isinstance(row, Record):
             raise DataError("group-by expects a bag of records, got %r" % (row,))
@@ -78,7 +122,9 @@ def group_rows(
 
 
 def filter_member(
-    rows: Sequence[Any], keys: Sequence[tuple], members: "Dict[tuple, Any]"
+    rows: Union[Sequence[Any], ColumnarBag],
+    keys: Sequence[tuple],
+    members: "Dict[tuple, Any]",
 ) -> List[Any]:
     """Batch semi-join select: rows whose aligned key is in ``members``.
 
@@ -87,31 +133,48 @@ def filter_member(
     (:func:`repro.data.kernel.key_index`).  Equivalent to evaluating
     ``row.path ∈ bag`` per row, at one dict probe per row.
     """
+    if isinstance(rows, ColumnarBag):
+        rows = rows.rows()
     return [row for row, key in zip(rows, keys) if key in members]
 
 
 def filter_equal(
-    rows: Sequence[Any], keys: Sequence[tuple], key: tuple
+    rows: Union[Sequence[Any], ColumnarBag], keys: Sequence[tuple], key: tuple
 ) -> List[Any]:
     """Batch equality select: rows whose aligned key equals ``key``.
 
     Equivalent to ``row.path = constant`` per row (data-model equality
     is canonical-key equality), with the constant keyed once.
     """
+    if isinstance(rows, ColumnarBag):
+        rows = rows.rows()
     return [row for row, k in zip(rows, keys) if k == key]
 
 
 def project_records(
-    rows: Iterable[Any], fields: Sequence[Tuple[str, str]]
+    rows: Union[Iterable[Any], ColumnarBag], fields: Sequence[Tuple[str, str]]
 ) -> List[Record]:
     """Columnar projection: ``[n1: row.f1, ..., nk: row.fk]`` per row.
 
     ``fields`` are ``(output name, source field)`` pairs in record-
     construction order; a repeated output name keeps the last pair
     (⊕'s right bias).  Raises :class:`DataError` on non-record rows or
-    missing source fields, like the per-row ``OpDot`` chain.
+    missing source fields, like the per-row ``OpDot`` chain.  On a
+    :class:`ColumnarBag` this is pure column selection: one zip over
+    the source columns, one record build per row.
     """
     out: List[Record] = []
+    if isinstance(rows, ColumnarBag):
+        columns = []
+        for name, field in fields:
+            if not rows.has_field(field) or rows.has_missing(field):
+                raise DataError(
+                    "record has no attribute %r (columnar projection)" % (field,)
+                )
+            columns.append((name, rows.column(field)))
+        for position in range(len(rows)):
+            out.append(Record({name: column[position] for name, column in columns}))
+        return out
     for row in rows:
         if not isinstance(row, Record):
             raise DataError("project expects records, got %r" % (row,))
@@ -120,5 +183,20 @@ def project_records(
 
 
 def partition_bag(rows: Sequence[Record]) -> Bag:
-    """A bag over already-bucketed rows (partition view, no copy)."""
-    return Bag(rows)
+    """A bag over already-bucketed rows (partition view, no copy).
+
+    When every row already carries its cached canonical key (the
+    kernel computed it while bucketing or joining), the keys are
+    propagated into the partition bag's element-key cache so group-by
+    aggregates over the partition (distinct, membership, equality)
+    don't re-key the same rows.
+    """
+    out = Bag(rows)
+    keys: List[tuple] = []
+    for row in rows:
+        key = row._key if isinstance(row, Record) else None
+        if key is None:
+            return out
+        keys.append(key)
+    out._elem_keys = tuple(keys)
+    return out

@@ -44,10 +44,12 @@ class Bag:
 
     - ``_elem_keys`` — per-element canonical keys, aligned with ``_items``;
     - ``_index`` — a ``Counter`` mapping canonical key → multiplicity;
-    - ``_key`` / ``_hash`` — the bag's own canonical key and hash.
+    - ``_key`` / ``_hash`` — the bag's own canonical key and hash;
+    - ``_columnar`` — the bag's column-wise twin, when someone has built
+      it (see :mod:`repro.data.columnar`).
     """
 
-    __slots__ = ("_items", "_key", "_hash", "_elem_keys", "_index")
+    __slots__ = ("_items", "_key", "_hash", "_elem_keys", "_index", "_columnar")
 
     def __init__(self, items: Iterable[Any] = ()):
         self._items: Tuple[Any, ...] = tuple(items)
@@ -55,6 +57,7 @@ class Bag:
         self._hash: Optional[int] = None
         self._elem_keys: Optional[Tuple[tuple, ...]] = None
         self._index = None  # lazily a collections.Counter (see kernel)
+        self._columnar = None  # lazily a columnar.ColumnarBag
 
     @property
     def items(self) -> Tuple[Any, ...]:

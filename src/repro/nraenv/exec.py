@@ -36,7 +36,18 @@ On top of the join executor this module carries three batch fast paths
 - **batch select/project** — filters of the shape ``row.path ∈ constant``
   / ``row.path = constant`` and maps whose body is a pure field
   projection run as one-pass column operations
-  (:mod:`repro.data.batch`) instead of per-row AST dispatch.
+  (:mod:`repro.data.batch`) instead of per-row AST dispatch;
+- **fused columnar chains** — a chain of σ/χ stages over a registered
+  dataset (``GetConstant``/constant-bag base) compiles into one pass
+  over the base's columns (:mod:`repro.data.columnar`): predicate
+  conjuncts become column-at-a-time masks, alias/projection stages
+  become column selection, and rows materialise only where results
+  escape the fused region (or a conjunct resists compilation and runs
+  per-row on the survivors).  The same mask compiler accelerates the
+  join executor's residual (non-equi) conjuncts.  Counted
+  ``columnar_shape``/``columnar_fallback`` fallbacks return the node to
+  the reference row path; :func:`set_columnar_enabled` is the kill
+  switch (benchmarks use it for the columnar-vs-row ratio gate).
 
 Correctness contract (property-tested): on any plan and inputs where
 the reference evaluator succeeds, the engine returns the same bag.  On
@@ -51,8 +62,9 @@ from __future__ import annotations
 import time
 from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
-from repro.data import batch, kernel
+from repro.data import batch, columnar, kernel
 from repro.data import operators as ops
+from repro.data.columnar import MISSING, ColumnarBag
 from repro.data.model import Bag, DataError, Record, canonical_key
 from repro.nraenv import ast
 from repro.nraenv.eval import EvalError, eval_nraenv
@@ -63,8 +75,9 @@ from repro.obs.trace import get_tracer
 
 #: Fallback reasons the engine can report (see :func:`_fallback`); kept
 #: as a tuple so tests and ``repro explain`` can enumerate them.  The
-#: first four belong to the join executor, the last two to the physical
-#: group-by (:func:`_execute_group_by`).
+#: first four belong to the join executor, the next two to the physical
+#: group-by (:func:`_execute_group_by`), and the last two to the fused
+#: columnar chain executor (:func:`_execute_fused`).
 FALLBACK_REASONS = (
     "single_factor",
     "env_not_record",
@@ -72,6 +85,8 @@ FALLBACK_REASONS = (
     "unresolved_field",
     "group_pattern",
     "group_shape",
+    "columnar_shape",
+    "columnar_fallback",
 )
 
 #: Human-readable fallback reasons, for the EXPLAIN ANALYZE tree.
@@ -82,6 +97,8 @@ FALLBACK_LABELS = {
     "unresolved_field": "unresolved field in predicate",
     "group_pattern": "group-by candidate did not match the derived pattern",
     "group_shape": "group-by source failed shape analysis",
+    "columnar_shape": "columnar chain failed shape analysis",
+    "columnar_fallback": "no predicate conjunct compiled to column masks",
 }
 
 
@@ -110,6 +127,39 @@ def _group_fallback(plan: ast.Map, reason: str) -> None:
     if analyzer is not None:
         analyzer.on_group(plan, reason)
     return None
+
+
+def _columnar_fallback(plan: ast.NraeNode, reason: str) -> None:
+    """The fused-chain twin of :func:`_fallback`, pinned to the chain root."""
+    get_metrics().counter("engine.fallback." + reason).inc()
+    analyzer = _ANALYZER
+    if analyzer is not None:
+        analyzer.on_columnar(plan, reason)
+    return None
+
+
+#: Kill switch for the fused columnar executor (chains *and* the join
+#: engine's columnar residual masks).  The benchmark ratio gate flips
+#: it to compare fused-columnar against the row-at-a-time engine.
+_COLUMNAR_ENABLED = True
+
+#: Fused outputs at or above this cardinality get a derived columnar
+#: view attached (lazy column slices), so a downstream group-by or
+#: chain can keep working column-wise; smaller outputs are not worth
+#: the bookkeeping.
+_COLUMNAR_ATTACH_MIN = 32
+
+
+def set_columnar_enabled(enabled: bool) -> bool:
+    """Enable/disable fused columnar execution; returns the old value."""
+    global _COLUMNAR_ENABLED
+    previous = _COLUMNAR_ENABLED
+    _COLUMNAR_ENABLED = bool(enabled)
+    return previous
+
+
+def columnar_enabled() -> bool:
+    return _COLUMNAR_ENABLED
 
 
 #: EXPLAIN ANALYZE collector (see :mod:`repro.obs.analyze` and the
@@ -257,12 +307,18 @@ def _equality_key(
     return None
 
 
+#: "Not compiled yet" marker for :attr:`_Conjunct.columnar` (``None``
+#: means "tried and not compilable", so a third state is needed).
+_UNSET = object()
+
+
 class _Conjunct:
     def __init__(self, pred: ast.NraeNode, env_mode: bool):
         self.pred = pred
         self.fields, self.whole_row = _analyse_conjunct(pred, env_mode)
         self.equality = _equality_key(pred, env_mode)
         self.batch: Optional[Tuple[Path, Any, str]] = None
+        self.columnar: Any = _UNSET  # lazily a compiled mask entry
         self.applied = False
 
 
@@ -377,6 +433,503 @@ def _analyse_dependence(plan: ast.NraeNode) -> _Dependence:
 
     walk(plan, True, True, frozenset())
     return info
+
+
+# ---------------------------------------------------------------------------
+# Column-at-a-time predicate masks (shared by fused chains and the join
+# executor's residual conjuncts)
+# ---------------------------------------------------------------------------
+
+#: Binary operators safe to apply element-wise over columns: scalar in,
+#: scalar out, no environment or input sensitivity beyond their
+#: operands.  The reference evaluates both operands of every ``Binop``
+#: (no short-circuit), so element-wise evaluation raises on exactly the
+#: rows per-row evaluation would (modulo the engine's documented
+#: freedom to reorder/skip predicate work).
+_MASK_BINOPS = (
+    ops.OpEq,
+    ops.OpIn,
+    ops.OpLt,
+    ops.OpLe,
+    ops.OpGt,
+    ops.OpGe,
+    ops.OpAnd,
+    ops.OpOr,
+    ops.OpAdd,
+    ops.OpSub,
+    ops.OpMult,
+    ops.OpDiv,
+    ops.OpStrConcat,
+    ops.OpDatePlusDays,
+    ops.OpDateMinusDays,
+    ops.OpDatePlusMonths,
+    ops.OpDateMinusMonths,
+    ops.OpDatePlusYears,
+    ops.OpDateMinusYears,
+)
+
+#: Unary operators safe to apply element-wise (same criterion).
+_MASK_UNOPS = (
+    ops.OpLike,
+    ops.OpNeg,
+    ops.OpNumNeg,
+    ops.OpToString,
+    ops.OpSubstring,
+    ops.OpDateYear,
+    ops.OpDateMonth,
+    ops.OpDateDay,
+)
+
+
+def _mask_row_free(
+    expr: ast.NraeNode, env_mode: bool, visible_fields: FrozenSet[str]
+) -> bool:
+    """True iff ``expr`` provably evaluates the same for every row.
+
+    No visible ``In`` reads; in env-mode (where the row rides in the
+    environment as ``γ ⊕ row``) additionally no whole-env exposure and
+    no ``Env.f`` read of a field the row could shadow (``f`` among the
+    chain's visible fields).  Such an expression can be evaluated once
+    per σ application instead of once per row.
+    """
+    info = _analyse_dependence(expr)
+    if info.reads_input:
+        return False
+    if env_mode:
+        if info.whole_env:
+            return False
+        for field in info.env_reads:
+            if field in visible_fields:
+                return False
+    return True
+
+
+def _compile_mask(
+    pred: ast.NraeNode,
+    env_mode: bool,
+    resolve,
+    visible_fields: FrozenSet[str],
+):
+    """Compile a conjunct into a column-mask entry tree, or None.
+
+    ``resolve(path)`` maps a row path to a column getter (a callable of
+    the executor's carrier — a selection for fused chains, a partial
+    for the join engine) or None when the path has no sound column.
+    Leaves are resolved paths and row-free subexpressions; interior
+    nodes are the element-wise-safe operators above.  A None anywhere
+    means the conjunct stays on the per-row path.
+    """
+
+    def compile_expr(expr: ast.NraeNode):
+        path = _row_path(expr, env_mode)
+        if path is not None:
+            getter = resolve(path)
+            if getter is not None:
+                return ("col", getter)
+            # fall through: an Env.f that is not a column may still be
+            # a row-free outer-environment read
+        if _mask_row_free(expr, env_mode, visible_fields):
+            return ("const", expr)
+        if isinstance(expr, ast.Binop) and isinstance(expr.op, _MASK_BINOPS):
+            left = compile_expr(expr.left)
+            if left is None:
+                return None
+            right = compile_expr(expr.right)
+            if right is None:
+                return None
+            return ("bin", expr.op, left, right)
+        if isinstance(expr, ast.Unop) and isinstance(expr.op, _MASK_UNOPS):
+            arg = compile_expr(expr.arg)
+            if arg is None:
+                return None
+            return ("un", expr.op, arg)
+        return None
+
+    return compile_expr(pred)
+
+
+def _mask_eval(entry, carrier, env, datum, constants):
+    """Evaluate a compiled mask entry; returns ``(is_column, payload)``.
+
+    ``payload`` is a value list aligned with the carrier's rows when
+    ``is_column``, else one scalar (a row-free subresult, broadcast by
+    the binary/unary cases).  Equality and membership against a scalar
+    side go through canonical keys — the same comparison ``OpEq``/
+    ``OpIn`` apply, with the scalar keyed once per column instead of
+    once per row.  Operator errors wrap into :class:`EvalError` exactly
+    like the reference dispatcher's ``op.apply`` calls.
+    """
+    tag = entry[0]
+    if tag == "col":
+        return True, entry[1](carrier)
+    if tag == "const":
+        return False, _eval(entry[1], env, datum, constants)
+    if tag == "un":
+        op = entry[1]
+        is_column, value = _mask_eval(entry[2], carrier, env, datum, constants)
+        try:
+            if is_column:
+                return True, [op.apply(v) for v in value]
+            return False, op.apply(value)
+        except EvalError:
+            raise
+        except Exception as exc:  # DataError
+            raise EvalError(str(exc)) from exc
+    op = entry[1]
+    lcol, left = _mask_eval(entry[2], carrier, env, datum, constants)
+    rcol, right = _mask_eval(entry[3], carrier, env, datum, constants)
+    try:
+        if isinstance(op, ops.OpEq) and lcol != rcol:
+            if lcol:
+                key = canonical_key(right)
+                return True, [canonical_key(v) == key for v in left]
+            key = canonical_key(left)
+            return True, [canonical_key(v) == key for v in right]
+        if isinstance(op, ops.OpIn) and lcol and not rcol and isinstance(right, Bag):
+            index = kernel.key_index(right)
+            return True, [canonical_key(v) in index for v in left]
+        if lcol and rcol:
+            return True, [op.apply(a, b) for a, b in zip(left, right)]
+        if lcol:
+            return True, [op.apply(a, right) for a in left]
+        if rcol:
+            return True, [op.apply(left, b) for b in right]
+        return False, op.apply(left, right)
+    except EvalError:
+        raise
+    except Exception as exc:  # DataError
+        raise EvalError(str(exc)) from exc
+
+
+# ---------------------------------------------------------------------------
+# Fused columnar chains
+# ---------------------------------------------------------------------------
+
+#: Column-map marker: the visible field holds the whole base row (the
+#: translator's scan alias ``χ⟨In ⊕ [t: In]⟩``).
+_ROW = object()
+
+
+class _Absent:
+    """Column-map marker: a projection names a field no row can have.
+
+    The reference raises per surviving row; the fused executor raises
+    at materialisation iff any row survives (an empty selection never
+    evaluates the projection body, exactly like ``χ`` over no rows).
+    """
+
+    __slots__ = ("field",)
+
+    def __init__(self, field: str):
+        self.field = field
+
+
+def _match_alias(body: ast.NraeNode) -> Optional[str]:
+    """Match the scan-alias body ``In ⊕ [t: In]``; return ``t``."""
+    if (
+        isinstance(body, ast.Binop)
+        and isinstance(body.op, ops.OpConcat)
+        and isinstance(body.left, ast.ID)
+        and isinstance(body.right, ast.Unop)
+        and isinstance(body.right.op, ops.OpRec)
+        and isinstance(body.right.arg, ast.ID)
+    ):
+        return body.right.op.field
+    return None
+
+
+def _match_chain(plan: ast.NraeNode):
+    """Match a fusable σ/χ chain down to a dataset base.
+
+    Stages, root→base order: ``("filter", pred, env_mode)`` for σ
+    (unwrapping the translator's ``p ∘e (Env ⊕ In)`` row shape),
+    ``("alias", t)`` for the scan alias χ, ``("project", pairs)`` for a
+    pure field-projection χ.  The base must be a ``GetConstant`` or a
+    constant bag, and the chain must contain at least one filter
+    (pure projections already have the batch path).  Returns
+    ``(base, stages)`` or None.
+    """
+    stages: List[tuple] = []
+    filters = 0
+    node = plan
+    while True:
+        if isinstance(node, ast.Select):
+            pred = node.pred
+            env_mode = False
+            if (
+                isinstance(pred, ast.AppEnv)
+                and isinstance(pred.before, ast.Binop)
+                and isinstance(pred.before.op, ops.OpConcat)
+                and isinstance(pred.before.left, ast.Env)
+                and isinstance(pred.before.right, ast.ID)
+            ):
+                env_mode = True
+                pred = pred.after
+            stages.append(("filter", pred, env_mode))
+            filters += 1
+            node = node.input
+            continue
+        if isinstance(node, ast.Map):
+            alias = _match_alias(node.body)
+            if alias is not None:
+                stages.append(("alias", alias))
+                node = node.input
+                continue
+            pairs = _key_record_fields(node.body)
+            if pairs is not None:
+                stages.append(("project", pairs))
+                node = node.input
+                continue
+            return None
+        if isinstance(node, ast.GetConstant):
+            break
+        if isinstance(node, ast.Const) and isinstance(node.value, Bag):
+            break
+        return None
+    if not filters:
+        return None
+    return node, stages
+
+
+def _fused_resolver(cb: ColumnarBag, base_rows, colmap: Dict[str, Any]):
+    """Path → column getter for a chain state (carrier: a selection).
+
+    Paths over columns with missing values resolve to None — those rows
+    would error (``In.f``) or read the outer environment (``Env.f``)
+    per row, so the conjunct must stay on the exact per-row path.
+    """
+
+    def resolve(path: Path):
+        src = colmap.get(path[0])
+        if src is None or isinstance(src, _Absent):
+            return None
+        if src is _ROW:
+            if len(path) == 1:
+                return lambda selection: [base_rows[i] for i in selection]
+            field = path[1]
+            if not cb.has_field(field) or cb.has_missing(field):
+                return None
+
+            def row_getter(selection, field=field):
+                column = cb.column(field)
+                return [column[i] for i in selection]
+
+            return row_getter
+        if cb.has_missing(src):
+            return None
+        if len(path) == 1:
+
+            def getter(selection, src=src):
+                column = cb.column(src)
+                return [column[i] for i in selection]
+
+            return getter
+        field = path[1]
+
+        def nested_getter(selection, src=src, field=field, path=path):
+            column = cb.column(src)
+            out = []
+            for i in selection:
+                value = column[i]
+                if not isinstance(value, Record):
+                    raise EvalError(
+                        "path %s: %r is not a record" % (".".join(path), value)
+                    )
+                try:
+                    out.append(value[field])
+                except DataError as exc:
+                    raise EvalError(str(exc)) from exc
+            return out
+
+        return nested_getter
+
+    return resolve
+
+
+def _fused_row(
+    index: int,
+    colmap: Dict[str, Any],
+    identity: bool,
+    cb: ColumnarBag,
+    base_rows,
+) -> Record:
+    """Materialise the visible record for base row ``index``.
+
+    Scan shapes (identity/alias) skip missing column positions — the
+    row simply lacks the field, matching ``row ⊕ [t: row]``; projection
+    shapes validated their sources before the column map was installed,
+    so no selected position is missing there.
+    """
+    if identity:
+        return base_rows[index]
+    data = {}
+    for name, src in colmap.items():
+        if isinstance(src, _Absent):
+            raise EvalError("record has no attribute %r" % (src.field,))
+        if src is _ROW:
+            data[name] = base_rows[index]
+        else:
+            value = cb.column(src)[index]
+            if value is not MISSING:
+                data[name] = value
+    return Record(data)
+
+
+def _execute_fused(
+    plan: ast.NraeNode, env: Any, datum: Any, constants: Mapping[str, Any]
+) -> Optional[Bag]:
+    """Execute a matched σ/χ chain as one fused pass over columns.
+
+    Two passes.  The *static* pass walks the stages base→root keeping a
+    column map (visible field → base column, whole-row marker, or
+    absent) and compiles every filter conjunct against it — masks where
+    the compiler succeeds, per-row residuals otherwise.  The *dynamic*
+    pass then runs the steps over a shrinking index selection into the
+    base columns: masks element-wise, projections as (validated) column
+    map rewrites, residuals by materialising only the surviving rows.
+    Returns None after counting ``columnar_shape`` (base/env shape
+    unsuitable) or ``columnar_fallback`` (no conjunct compiled), and
+    the caller re-runs the node on the reference row path.
+    """
+    matched = _match_chain(plan)
+    if matched is None:
+        return None
+    base_node, stages = matched
+    base_bag = _eval(base_node, env, datum, constants)
+    if not isinstance(base_bag, Bag):
+        return None  # let the reference raise its σ/χ shape error
+    try:
+        cb = columnar.ensure_columnar(base_bag)
+    except DataError:
+        return _columnar_fallback(plan, "columnar_shape")
+    base_rows = base_bag.items
+
+    # -- static pass: column maps + mask compilation -----------------------
+    colmap: Dict[str, Any] = {name: name for name in cb.fields()}
+    identity = True
+    steps: List[tuple] = []
+    compiled_any = False
+    for stage in reversed(stages):
+        kind = stage[0]
+        if kind == "alias":
+            if not identity:
+                return _columnar_fallback(plan, "columnar_shape")
+            colmap = dict(colmap)
+            colmap[stage[1]] = _ROW
+            identity = False
+            continue
+        if kind == "project":
+            resolved = []
+            new_map: Dict[str, Any] = {}
+            for name, field in stage[1]:
+                src = colmap[field] if field in colmap else _Absent(field)
+                resolved.append((name, src))
+                new_map[name] = src
+            steps.append(("project", tuple(resolved)))
+            colmap = new_map
+            identity = False
+            continue
+        _, pred, env_mode = stage
+        if env_mode and not isinstance(env, Record):
+            return _columnar_fallback(plan, "columnar_shape")
+        resolve = _fused_resolver(cb, base_rows, colmap)
+        visible = frozenset(colmap)
+        masks: List[Any] = []
+        residual: List[ast.NraeNode] = []
+        for conj in _conjuncts(pred):
+            entry = _compile_mask(conj, env_mode, resolve, visible)
+            if entry is None:
+                residual.append(conj)
+            else:
+                masks.append(entry)
+                compiled_any = True
+        steps.append(("filter", masks, residual, env_mode, colmap, identity))
+    if not compiled_any:
+        return _columnar_fallback(plan, "columnar_fallback")
+
+    # -- dynamic pass: one shrinking selection over the base columns -------
+    selection = list(range(len(base_rows)))
+    row_cache: Dict[int, Record] = {}
+    for step in steps:
+        if not selection:
+            break
+        if step[0] == "project":
+            for _, src in step[1]:
+                if isinstance(src, _Absent):
+                    raise EvalError(
+                        "record has no attribute %r" % (src.field,)
+                    )
+                if src is not _ROW and cb.has_missing(src):
+                    column = cb.column(src)
+                    for i in selection:
+                        if column[i] is MISSING:
+                            raise EvalError(
+                                "record has no attribute %r" % (src,)
+                            )
+            row_cache = {}
+            continue
+        _, masks, residual, env_mode, step_map, step_identity = step
+        for entry in masks:
+            if not selection:
+                break
+            is_column, verdicts = _mask_eval(entry, selection, env, datum, constants)
+            if not is_column:
+                if not isinstance(verdicts, bool):
+                    raise EvalError(
+                        "σ predicate returned non-boolean %r" % (verdicts,)
+                    )
+                if not verdicts:
+                    selection = []
+                continue
+            kept = []
+            for index, verdict in zip(selection, verdicts):
+                if not isinstance(verdict, bool):
+                    raise EvalError(
+                        "σ predicate returned non-boolean %r" % (verdict,)
+                    )
+                if verdict:
+                    kept.append(index)
+            selection = kept
+        if residual and selection:
+            kept = []
+            for index in selection:
+                row = row_cache.get(index)
+                if row is None:
+                    row = _fused_row(index, step_map, step_identity, cb, base_rows)
+                    row_cache[index] = row
+                if all(
+                    _check(pred, row, env, constants, env_mode)
+                    for pred in residual
+                ):
+                    kept.append(index)
+            selection = kept
+
+    # -- materialise the escape ---------------------------------------------
+    if identity and len(selection) == len(base_rows):
+        result = base_bag
+    else:
+        if identity:
+            out_rows = [base_rows[i] for i in selection]
+        else:
+            out_rows = []
+            for i in selection:
+                row = row_cache.get(i)
+                if row is None:
+                    row = _fused_row(i, colmap, identity, cb, base_rows)
+                out_rows.append(row)
+        result = Bag(out_rows)
+        if len(out_rows) >= _COLUMNAR_ATTACH_MIN and not any(
+            isinstance(src, _Absent) for src in colmap.values()
+        ):
+            result._columnar = ColumnarBag.derived(
+                cb, tuple(selection), colmap, tuple(out_rows)
+            )
+    get_metrics().counter("engine.columnar").inc()
+    analyzer = _ANALYZER
+    if analyzer is not None:
+        analyzer.on_columnar(plan, None)
+        analyzer.add_input(plan, len(base_rows))
+    return result
 
 
 # ---------------------------------------------------------------------------
@@ -610,6 +1163,42 @@ def _execute_join(
         except DataError as exc:
             raise EvalError("join key %r: %s" % (path, exc)) from exc
 
+    def join_resolve(path: Path):
+        # a column getter over a _Partial: the owning factor's values.
+        # Readiness (apply_ready) guarantees the owner is joined, and
+        # ⊕'s right bias makes the last owner's value the row's value —
+        # but only certainly-present fields qualify (a sometimes-absent
+        # field must error per row, on exactly the rows lacking it).
+        head = path[0]
+        owner = owners.get(head)
+        if owner is None or head not in relations[owner].domain:
+            return None
+        if len(path) == 1:
+
+            def getter(partial, owner=owner, head=head):
+                position = partial.indices.index(owner)
+                return [row[position][head] for row in partial.rows]
+
+            return getter
+        field = path[1]
+
+        def nested_getter(partial, owner=owner, head=head, field=field, path=path):
+            position = partial.indices.index(owner)
+            out = []
+            for row in partial.rows:
+                value = row[position][head]
+                if not isinstance(value, Record):
+                    raise EvalError(
+                        "path %s: %r is not a record" % (".".join(path), value)
+                    )
+                try:
+                    out.append(value[field])
+                except DataError as exc:
+                    raise EvalError(str(exc)) from exc
+            return out
+
+        return nested_getter
+
     def check_rows(partial: _Partial, conjunct: _Conjunct) -> _Partial:
         if conjunct.batch is not None and conjunct.batch[0][0] in owners:
             path, payload, kind = conjunct.batch
@@ -619,6 +1208,37 @@ def _execute_join(
             else:
                 kept = batch.filter_equal(partial.rows, keys, payload)
             return _Partial(partial.indices, kept)
+        if _COLUMNAR_ENABLED and not conjunct.whole_row and partial.rows:
+            entry = conjunct.columnar
+            if entry is _UNSET:
+                entry = _compile_mask(
+                    conjunct.pred, env_mode, join_resolve, union_fields
+                )
+                conjunct.columnar = entry
+            if entry is not None:
+                is_column, verdicts = _mask_eval(
+                    entry, partial, env, datum, constants
+                )
+                if not is_column:
+                    if not isinstance(verdicts, bool):
+                        raise EvalError(
+                            "σ predicate returned non-boolean %r" % (verdicts,)
+                        )
+                    kept = list(partial.rows) if verdicts else []
+                else:
+                    kept = []
+                    for row, verdict in zip(partial.rows, verdicts):
+                        if not isinstance(verdict, bool):
+                            raise EvalError(
+                                "σ predicate returned non-boolean %r" % (verdict,)
+                            )
+                        if verdict:
+                            kept.append(row)
+                get_metrics().counter("engine.columnar_filter").inc()
+                analyzer = _ANALYZER
+                if analyzer is not None:
+                    analyzer.on_columnar(select, None)
+                return _Partial(partial.indices, kept)
         kept = [
             row
             for row in partial.rows
@@ -902,12 +1522,21 @@ def _execute_group_by(
     bucket_fields = list(effective.values())
     last = {name: i for i, (name, _) in enumerate(spec.key_fields)}
     extra = [f for i, (name, f) in enumerate(spec.key_fields) if last[name] != i]
+    cb = columnar.cached_columnar(source) if _COLUMNAR_ENABLED else None
     try:
-        if extra:
-            for row in source.items:
-                for field in extra:
-                    kernel.field_key(row, field)
-        buckets = batch.group_rows(source.items, bucket_fields)
+        if cb is not None and all(
+            cb.has_field(f) and not cb.has_missing(f)
+            for f in set(bucket_fields) | set(extra)
+        ):
+            # the source is already columnar (a registered dataset or a
+            # fused-chain output): bucket by its cached key columns
+            buckets = batch.group_rows(cb, bucket_fields)
+        else:
+            if extra:
+                for row in source.items:
+                    for field in extra:
+                        kernel.field_key(row, field)
+            buckets = batch.group_rows(source.items, bucket_fields)
     except DataError:
         return _group_fallback(plan, "group_shape")
     partition = spec.partition_field
@@ -915,7 +1544,7 @@ def _execute_group_by(
     for rows in buckets.values():
         first = rows[0]
         group = {name: first[field] for name, field in spec.key_fields}
-        group[partition] = Bag(rows)
+        group[partition] = batch.partition_bag(rows)
         out.append(Record(group))
     get_metrics().counter("engine.group_by").inc()
     analyzer = _ANALYZER
@@ -935,6 +1564,10 @@ def _eval_plain(
 ) -> Any:
     if isinstance(plan, ast.Select) and isinstance(plan.input, ast.Product):
         result = _execute_join(plan, env, datum, constants)
+        if result is not None:
+            return result
+    elif _COLUMNAR_ENABLED and isinstance(plan, ast.Select):
+        result = _execute_fused(plan, env, datum, constants)
         if result is not None:
             return result
     # Structural recursion mirroring the reference semantics but looping
@@ -965,6 +1598,11 @@ def _eval_plain(
                 result = _execute_group_by(plan, spec, env, datum, constants)
                 if result is not None:
                     return result
+        elif _COLUMNAR_ENABLED and isinstance(plan.input, (ast.Select, ast.Map)):
+            # a χ rooting a fusable chain (projection/alias over σ stages)
+            result = _execute_fused(plan, env, datum, constants)
+            if result is not None:
+                return result
         source = _eval(plan.input, env, datum, constants)
         if not isinstance(source, Bag):
             raise EvalError("χ expects a bag, got %r" % (source,))

@@ -97,9 +97,10 @@ class NodeStats(object):
       cardinality of bag results (non-bag results leave these at 0);
     - ``seconds`` — inclusive wall time; ``self_seconds`` subtracts
       time spent in child frames;
-    - ``hash_joins`` / ``group_bys`` / ``fallbacks`` — engine outcomes
-      for this node: hash-join path taken, physical group-by taken, or
-      reference fallback (``fallbacks`` maps reason → count);
+    - ``hash_joins`` / ``group_bys`` / ``columnar`` / ``fallbacks`` —
+      engine outcomes for this node: hash-join path taken, physical
+      group-by taken, fused columnar pass taken, or reference fallback
+      (``fallbacks`` maps reason → count);
     - ``errors`` — evaluations that raised.
     """
 
@@ -114,6 +115,7 @@ class NodeStats(object):
         "child_seconds",
         "hash_joins",
         "group_bys",
+        "columnar",
         "fallbacks",
         "errors",
         "input_ids",
@@ -130,6 +132,7 @@ class NodeStats(object):
         self.child_seconds = 0.0
         self.hash_joins = 0
         self.group_bys = 0
+        self.columnar = 0
         self.fallbacks: Dict[str, int] = {}
         self.errors = 0
         self.input_ids = frozenset(id(child) for child in _input_children(node))
@@ -156,6 +159,8 @@ class NodeStats(object):
             out["hash_joins"] = self.hash_joins
         if self.group_bys:
             out["group_bys"] = self.group_bys
+        if self.columnar:
+            out["columnar"] = self.columnar
         if self.fallbacks:
             out["fallbacks"] = dict(self.fallbacks)
         if self.errors:
@@ -235,6 +240,17 @@ class AnalyzeCollector(object):
         else:
             stats.fallbacks[reason] = stats.fallbacks.get(reason, 0) + 1
 
+    def on_columnar(self, node, reason: Optional[str]) -> None:
+        """Fused-columnar outcome for a chain root (or a join's σ node)."""
+        stats = self.stats.get(id(node))
+        if stats is None:
+            stats = NodeStats(node)
+            self.stats[id(node)] = stats
+        if reason is None:
+            stats.columnar += 1
+        else:
+            stats.fallbacks[reason] = stats.fallbacks.get(reason, 0) + 1
+
     def add_input(self, node, rows: int) -> None:
         """Credit input rows consumed outside the frame protocol (joins)."""
         stats = self.stats.get(id(node))
@@ -254,15 +270,18 @@ class AnalyzeCollector(object):
         """Aggregate engine outcomes across all nodes, JSON-safe."""
         hash_joins = 0
         group_bys = 0
+        columnar = 0
         fallbacks: Dict[str, int] = {}
         for stats in self.stats.values():
             hash_joins += stats.hash_joins
             group_bys += stats.group_bys
+            columnar += stats.columnar
             for reason, count in stats.fallbacks.items():
                 fallbacks[reason] = fallbacks.get(reason, 0) + count
         return {
             "hash_joins": hash_joins,
             "group_bys": group_bys,
+            "columnar": columnar,
             "fallbacks": fallbacks,
         }
 
@@ -344,6 +363,8 @@ def _node_annotation(stats: Optional[NodeStats]) -> str:
         parts.append("hash join x%d" % stats.hash_joins)
     if stats.group_bys:
         parts.append("physical group-by x%d" % stats.group_bys)
+    if stats.columnar:
+        parts.append("fused columnar x%d" % stats.columnar)
     for reason, count in sorted(stats.fallbacks.items()):
         parts.append(
             "fallback: %dx %s" % (count, FALLBACK_LABELS.get(reason, reason))

@@ -19,26 +19,97 @@ import threading
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from repro.data import json_io
+from repro.data.columnar import MISSING, ColumnarBag, cached_columnar, ensure_columnar
 from repro.data.model import Bag, DataError, Record
 from repro.service.errors import CatalogError
 
+#: Tables at or above this row count are stored columnar at
+#: registration: the engine's fused chains then find the column cache
+#: already built, and worker snapshots ship columns instead of
+#: re-encoding rows.  Smaller tables aren't worth the decomposition.
+COLUMNAR_MIN_ROWS = 32
+
 
 class TableInfo:
-    """One registered table: its data plus the inferred/declared schema."""
+    """One registered table: its data plus the inferred/declared schema.
 
-    __slots__ = ("name", "rows", "columns")
+    ``columnar`` is True when the table's bag carries its column-wise
+    twin (built at registration for large tables); ``wire_payload``
+    lazily builds — and caches, so every snapshot shares it — the
+    picklable form workers rebuild the table from.
+    """
+
+    __slots__ = ("name", "rows", "columns", "columnar", "_wire")
 
     def __init__(self, name: str, rows: Bag, columns: Sequence[str]):
         self.name = name
         self.rows = rows
         self.columns = tuple(columns)
+        self.columnar = cached_columnar(rows) is not None
+        self._wire: Optional[Dict[str, Any]] = None
 
     def describe(self) -> Dict[str, Any]:
         return {
             "name": self.name,
             "rows": len(self.rows.items),
             "columns": list(self.columns),
+            "columnar": self.columnar,
         }
+
+    def wire_payload(self) -> Dict[str, Any]:
+        """The table as JSON-wire data for worker snapshots, cached.
+
+        Columnar tables whose columns have no missing positions ship
+        column-oriented (``{"columns": {...}, "count": n}``) — one
+        encode per registration, shared by reference across every
+        snapshot since the payload is never mutated.  Everything else
+        ships the classic row list.  :func:`rows_from_wire` inverts
+        both forms.
+        """
+        payload = self._wire
+        if payload is not None:
+            return payload
+        columnar = cached_columnar(self.rows)
+        if columnar is not None and not any(
+            columnar.has_missing(field) for field in columnar.fields()
+        ):
+            payload = {
+                "columns": {
+                    field: [
+                        json_io.to_jsonable(value)
+                        for value in columnar.column(field)
+                    ]
+                    for field in columnar.fields()
+                },
+                "count": len(columnar),
+                "schema": list(self.columns),
+            }
+        else:
+            payload = {
+                "rows": json_io.to_jsonable(self.rows),
+                "schema": list(self.columns),
+            }
+        self._wire = payload
+        return payload
+
+
+def rows_from_wire(payload: Dict[str, Any]) -> Bag:
+    """Rebuild a table bag from a :meth:`TableInfo.wire_payload` dict.
+
+    The column-oriented form rebuilds a :class:`ColumnarBag` first and
+    returns its row bag — which keeps the back-link, so the receiving
+    catalog registers a table that is *already* columnar.
+    """
+    if "columns" in payload:
+        columns = {
+            name: [json_io.from_jsonable(value) for value in column]
+            for name, column in payload["columns"].items()
+        }
+        return ColumnarBag.from_columns(columns, int(payload["count"])).to_bag()
+    return Bag(
+        row if isinstance(row, Record) else json_io.from_jsonable(row)
+        for row in payload["rows"]
+    )
 
 
 def _coerce_rows(name: str, rows: Any) -> Bag:
@@ -98,6 +169,10 @@ class Catalog:
             raise CatalogError("invalid table name %r" % (name,))
         bag_rows = _coerce_rows(name, rows)
         columns = _infer_columns(name, bag_rows)
+        if len(bag_rows.items) >= COLUMNAR_MIN_ROWS:
+            # store large datasets columnar: the engine's fused chains
+            # (and repeat queries) find the cache already on the bag
+            ensure_columnar(bag_rows)
         if schema is not None:
             declared = sorted(schema)
             extra = sorted(set(columns) - set(declared))

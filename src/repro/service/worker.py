@@ -49,19 +49,19 @@ class WorkerCrashed(Exception):
 def catalog_snapshot(service: Any) -> Dict[str, Any]:
     """The read-only state a new worker needs, as plain picklable data.
 
-    Tables go through :func:`repro.data.json_io.to_jsonable` (the same
-    wire format registrations arrive in), prepared queries as
-    ``(handle, language, text)`` triples in creation order so warm-up
-    replay assigns identical handles.
+    Tables ship as each :class:`~repro.service.catalog.TableInfo`'s
+    cached :meth:`wire_payload` — column-oriented for columnar tables
+    (one list per field), the classic row list otherwise.  The payload
+    is built once per registration and shared *by reference* across
+    every snapshot (copy-on-write: respawns after new registrations
+    pick up the new tables' payloads, unchanged tables re-use theirs),
+    so respawning a worker does not re-encode the whole catalog.
+    Prepared queries ride along as ``(handle, language, text)`` triples
+    in creation order so warm-up replay assigns identical handles.
     """
-    from repro.data import json_io
-
     tables = {}
     for info in service.catalog.tables():
-        tables[info.name] = {
-            "rows": json_io.to_jsonable(info.rows),
-            "schema": list(info.columns),
-        }
+        tables[info.name] = info.wire_payload()
     prepared = [
         {"handle": p.handle, "language": p.language, "text": p.text}
         for p in service.prepared_queries()
@@ -84,6 +84,7 @@ def worker_main(
     crash surfaces as a structured error.
     """
     from repro.obs.context import QueryContext, query_context
+    from repro.service.catalog import rows_from_wire
     from repro.service.errors import ServiceError
     from repro.service.service import QueryService
 
@@ -98,7 +99,9 @@ def worker_main(
     )
     try:
         for name, table in snapshot.get("tables", {}).items():
-            service.register_table(name, table["rows"], table.get("schema"))
+            # both wire forms (columns / rows) are accepted, so a newer
+            # leader can drive an older worker snapshot and vice versa
+            service.register_table(name, rows_from_wire(table), table.get("schema"))
         for entry in snapshot.get("prepared", []):
             service.prepare(entry["language"], entry["text"], handle=entry["handle"])
     except Exception as exc:  # noqa: BLE001 - report, then die visibly

@@ -1,0 +1,203 @@
+"""The columnar bag representation and its batch-operator integration.
+
+Covers the ColumnarBag round-trip contract (multiset-equal both ways,
+including heterogeneous and nested values), the lazily-built key
+columns, the MISSING sentinel behaviour, derived views, and the batch
+satellite fixes that ride with the columnar layer: ``path_keys``'s
+empty-path rejection and empty-rows short-circuit, and
+``partition_bag``'s key-cache propagation.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import batch, kernel
+from repro.data.columnar import (
+    MISSING,
+    ColumnarBag,
+    cached_columnar,
+    ensure_columnar,
+)
+from repro.data.foreign import DateValue
+from repro.data.model import Bag, DataError, Record, bag, canonical_key, rec
+
+from tests.strategies import values
+
+
+class TestRoundTrip:
+    def test_from_bag_to_bag_identity(self):
+        rows = bag(rec(a=1, b="x"), rec(a=2, b="y"), rec(a=1, b="x"))
+        cb = ColumnarBag.from_bag(rows)
+        assert cb.to_bag() is rows  # the source bag is retained
+        assert len(cb) == 3
+        assert cb.fields() == ("a", "b")
+        assert cb.column("a") == [1, 2, 1]
+
+    def test_rebuilt_rows_multiset_equal(self):
+        rows = bag(rec(a=1, b="x"), rec(a=2))
+        cb = ColumnarBag.from_columns(
+            {"a": [1, 2], "b": ["x", MISSING]}, 2
+        )
+        assert cb.to_bag() == rows
+
+    def test_heterogeneous_fields_pad_missing(self):
+        cb = ColumnarBag.from_bag(bag(rec(a=1), rec(b=2)))
+        assert cb.column("a") == [1, MISSING]
+        assert cb.column("b") == [MISSING, 2]
+        assert cb.has_missing("a") and cb.has_missing("b")
+        # rows rebuild without the missing fields
+        rebuilt = ColumnarBag.from_columns(
+            {"a": [1, MISSING], "b": [MISSING, 2]}, 2
+        )
+        assert rebuilt.to_bag() == bag(rec(a=1), rec(b=2))
+
+    def test_non_record_elements_rejected(self):
+        with pytest.raises(DataError):
+            ColumnarBag.from_bag(bag(rec(a=1), 42))
+
+    def test_from_columns_length_mismatch(self):
+        with pytest.raises(DataError):
+            ColumnarBag.from_columns({"a": [1, 2], "b": [3]}, 2)
+
+    def test_unknown_column(self):
+        cb = ensure_columnar(bag(rec(a=1)))
+        with pytest.raises(DataError):
+            cb.column("nope")
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.dictionaries(st.sampled_from(["a", "b", "c"]), values(6), max_size=3), max_size=6))
+    def test_round_trip_nested_values(self, dicts):
+        rows = Bag(Record(d) for d in dicts)
+        cb = ColumnarBag.from_bag(rows)
+        # decompose → recompose from raw columns only (drop retained rows)
+        raw = ColumnarBag.from_columns(
+            {name: list(cb.column(name)) for name in cb.fields()}, len(cb)
+        )
+        assert raw.to_bag() == rows
+
+
+class TestKeyColumns:
+    def test_number_keys_collapse_int_float(self):
+        cb = ensure_columnar(bag(rec(a=1), rec(a=1.0), rec(a=2)))
+        keys = cb.key_column("a")
+        assert keys[0] == keys[1] != keys[2]
+        assert keys == [canonical_key(v) for v in (1, 1.0, 2)]
+
+    def test_key_column_cached(self):
+        cb = ensure_columnar(bag(rec(a=DateValue(1995, 1, 1))))
+        assert cb.key_column("a") is cb.key_column("a")
+
+    def test_key_column_missing_field_raises(self):
+        cb = ensure_columnar(bag(rec(a=1), rec(b=2)))
+        with pytest.raises(DataError):
+            cb.key_column("a")
+
+
+class TestCache:
+    def test_ensure_columnar_caches_on_bag(self):
+        rows = bag(rec(a=1))
+        assert cached_columnar(rows) is None
+        cb = ensure_columnar(rows)
+        assert cached_columnar(rows) is cb
+        assert ensure_columnar(rows) is cb
+
+    def test_cached_columnar_non_bag(self):
+        assert cached_columnar(42) is None
+        assert cached_columnar(rec(a=1)) is None
+
+    def test_derived_view_slices_lazily(self):
+        base = ensure_columnar(bag(rec(a=1, b=10), rec(a=2, b=20), rec(a=3, b=30)))
+        out_rows = (rec(a=1, b=10), rec(a=3, b=30))
+        view = ColumnarBag.derived(base, (0, 2), {"a": "a", "b": "b"}, out_rows)
+        assert len(view) == 2
+        assert view.column("a") == [1, 3]
+        assert view.rows() == out_rows
+        assert view.to_bag() == bag(*out_rows)
+
+    def test_derived_whole_row_marker(self):
+        base = ensure_columnar(bag(rec(a=1), rec(a=2)))
+        marker = object()
+        view = ColumnarBag.derived(
+            base, (1,), {"t": marker}, (rec(t=rec(a=2)),)
+        )
+        assert view.column("t") == [rec(a=2)]
+
+
+class TestBatchColumnarOperators:
+    def test_path_keys_single_field(self):
+        cb = ensure_columnar(bag(rec(a=1), rec(a=1.0)))
+        assert batch.path_keys(cb, ("a",)) == cb.key_column("a")
+
+    def test_path_keys_two_level(self):
+        cb = ensure_columnar(bag(rec(t=rec(a=5)), rec(t=rec(a=6))))
+        assert batch.path_keys(cb, ("t", "a")) == [
+            canonical_key(5),
+            canonical_key(6),
+        ]
+
+    def test_path_keys_two_level_non_record(self):
+        cb = ensure_columnar(bag(rec(t=3)))
+        with pytest.raises(DataError):
+            batch.path_keys(cb, ("t", "a"))
+
+    def test_group_rows_columnar_matches_rows(self):
+        rows = bag(rec(a=1, b="x"), rec(a=1.0, b="y"), rec(a=2, b="z"))
+        cb = ensure_columnar(rows)
+        assert batch.group_rows(cb, ("a",)) == batch.group_rows(rows.items, ("a",))
+
+    def test_filter_member_and_equal_accept_columnar(self):
+        rows = bag(rec(a=1), rec(a=2), rec(a=1))
+        cb = ensure_columnar(rows)
+        keys = batch.path_keys(cb, ("a",))
+        members = kernel.key_index(bag(1))
+        assert batch.filter_member(cb, keys, members) == [rec(a=1), rec(a=1)]
+        assert batch.filter_equal(cb, keys, canonical_key(2)) == [rec(a=2)]
+
+    def test_project_records_columnar(self):
+        cb = ensure_columnar(bag(rec(a=1, b=10), rec(a=2, b=20)))
+        assert batch.project_records(cb, [("x", "b")]) == [rec(x=10), rec(x=20)]
+
+    def test_project_records_columnar_missing_field_raises(self):
+        cb = ensure_columnar(bag(rec(a=1), rec(b=2)))
+        with pytest.raises(DataError):
+            batch.project_records(cb, [("x", "a")])
+        with pytest.raises(DataError):
+            batch.project_records(cb, [("x", "nope")])
+
+
+class TestPathKeysSatellites:
+    def test_empty_path_rejected(self):
+        with pytest.raises(DataError, match="non-empty field path"):
+            batch.path_keys([rec(a=1)], ())
+        with pytest.raises(DataError, match="non-empty field path"):
+            batch.path_keys(ensure_columnar(bag(rec(a=1))), ())
+
+    def test_empty_rows_short_circuit(self):
+        # must not probe the kernel at all on an empty row sequence
+        assert batch.path_keys([], ("a",)) == []
+        assert batch.path_keys((), ("a", "b")) == []
+
+
+class TestPartitionBag:
+    def test_propagates_cached_keys(self):
+        rows = [rec(a=1), rec(a=2)]
+        for row in rows:
+            canonical_key(row)  # caches row._key as a side effect
+        assert all(row._key is not None for row in rows)
+        out = batch.partition_bag(rows)
+        assert out._elem_keys == tuple(row._key for row in rows)
+        assert out == bag(*rows)
+
+    def test_uncached_keys_yield_plain_bag(self):
+        rows = [rec(a=1), rec(a=2)]
+        assert all(row._key is None for row in rows)
+        out = batch.partition_bag(rows)
+        assert out._elem_keys is None
+        assert out == bag(*rows)
+
+    def test_mixed_cache_state_yields_plain_bag(self):
+        cached, uncached = rec(a=1), rec(a=2)
+        canonical_key(cached)
+        out = batch.partition_bag([cached, uncached])
+        assert out._elem_keys is None

@@ -94,7 +94,8 @@ class TestFallbackCounters:
     def test_reasons_enumeration_is_exact(self):
         # keep FALLBACK_REASONS in sync with the _fallback call sites:
         # join reasons fire in _execute_join, group reasons in the
-        # physical group-by path (_eval_plain / _execute_group_by)
+        # physical group-by path (_eval_plain / _execute_group_by), and
+        # columnar reasons in the fused chain executor (_execute_fused)
         import inspect
 
         from repro.nraenv import exec as engine
@@ -105,6 +106,7 @@ class TestFallbackCounters:
             if (
                 '_fallback(select, "%s")' % reason in source
                 or '_group_fallback(plan, "%s")' % reason in source
+                or '_columnar_fallback(plan, "%s")' % reason in source
             ):
                 called.add(reason)
         assert called == set(FALLBACK_REASONS)
