@@ -142,7 +142,8 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PORT",
         help="serve the wire protocol over HTTP on this port (POST / with a "
         "JSON request body; GET serves /metrics /healthz /stats /telemetry "
-        "/slow on the same port; 0 = ephemeral, announced on stderr)",
+        "/slow /workers /trace/<query_id> on the same port; 0 = ephemeral, "
+        "announced on stderr)",
     )
     serve_cmd.add_argument(
         "--tcp",
@@ -222,6 +223,34 @@ def _build_parser() -> argparse.ArgumentParser:
         help="tail-sampling head rate in [0, 1] for per-query traces "
         "(slow and errored queries are always kept; a negative rate "
         "disables per-query tracing entirely)",
+    )
+    serve_cmd.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="worker resource-heartbeat cadence in network mode "
+        "(feeds /workers and the per-worker gauges on /metrics; "
+        "0 disables heartbeats)",
+    )
+
+    trace_cmd = sub.add_parser(
+        "trace",
+        help="fetch one kept merged trace from a running service "
+        "(GET /trace/<query_id> on a --http port or the obs sidecar) "
+        "and render it as a per-process span tree",
+    )
+    trace_cmd.add_argument("query_id", help="the query id to look up (16 hex chars)")
+    trace_cmd.add_argument(
+        "--url",
+        default="http://127.0.0.1:8080",
+        help="base URL of the service's --http port or --obs-port sidecar",
+    )
+    trace_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw trace fragment JSON (per-process span trees "
+        "plus chrome events) instead of the rendered tree",
     )
     return parser
 
@@ -598,6 +627,41 @@ def _serve_stdin(
     return code
 
 
+def _cmd_trace(args: argparse.Namespace, out: Any) -> int:
+    """``repro trace <query_id>``: fetch and render a merged trace."""
+    import json as _json
+    import urllib.error
+    import urllib.request
+
+    from repro.obs.export import render_trace_tree
+
+    url = args.url.rstrip("/") + "/trace/" + args.query_id
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            body = response.read().decode("utf-8")
+    except urllib.error.HTTPError as exc:
+        detail = ""
+        try:
+            detail = _json.loads(exc.read().decode("utf-8")).get("error", "")
+        except Exception:  # noqa: BLE001 - non-JSON error body
+            pass
+        print("repro: %s" % (detail or exc), file=out)
+        return 1
+    except (urllib.error.URLError, OSError) as exc:
+        print("repro: cannot reach %s: %s" % (url, exc), file=out)
+        return 1
+    try:
+        fragment = _json.loads(body)
+    except ValueError as exc:
+        print("repro: malformed trace document from %s: %s" % (url, exc), file=out)
+        return 1
+    if args.json:
+        print(_json.dumps(fragment, indent=1), file=out)
+    else:
+        print(render_trace_tree(fragment), file=out, end="")
+    return 0
+
+
 def _serve_net(args: argparse.Namespace, service: Any, obs_server: Any) -> int:
     """The asyncio network front end behind ``serve --http/--tcp``."""
     import asyncio
@@ -632,6 +696,7 @@ def _serve_net(args: argparse.Namespace, service: Any, obs_server: Any) -> int:
         default_timeout=args.timeout,
         drain_timeout=args.drain_timeout,
         obs_server=obs_server,
+        heartbeat_interval=getattr(args, "heartbeat_interval", 2.0),
     )
 
     async def _run() -> int:
@@ -643,7 +708,7 @@ def _serve_net(args: argparse.Namespace, service: Any, obs_server: Any) -> int:
             print(
                 "repro: http endpoint on http://%s:%d "
                 "(POST / with a JSON request; GET /metrics /healthz /stats "
-                "/telemetry /slow)" % endpoints["http"],
+                "/telemetry /slow /workers /trace/<query_id>)" % endpoints["http"],
                 file=sys.stderr,
             )
         if "tcp" in endpoints:
@@ -725,8 +790,8 @@ def main(argv: Optional[List[str]] = None, out: Any = None) -> int:
                 obs_server = ObsHttpServer(service, port=args.obs_port).start()
                 print(
                     "repro: obs endpoint on http://%s:%d "
-                    "(/metrics /healthz /stats /telemetry /slow)"
-                    % (obs_server.host, obs_server.port),
+                    "(/metrics /healthz /stats /telemetry /slow /workers "
+                    "/trace/<query_id>)" % (obs_server.host, obs_server.port),
                     file=sys.stderr,
                 )
                 sys.stderr.flush()
@@ -734,6 +799,9 @@ def main(argv: Optional[List[str]] = None, out: Any = None) -> int:
                 code = _serve_net(args, service, obs_server)
             else:
                 code = _serve_stdin(args, service, obs_server, out)
+
+        elif args.command == "trace":
+            code = _cmd_trace(args, out)
 
         elif args.command == "tpch":
             from repro.tpch.datagen import MICRO, generate

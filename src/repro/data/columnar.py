@@ -31,6 +31,7 @@ the layout and the fusion contract built on top of it.
 
 from __future__ import annotations
 
+import sys
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.data.model import Bag, DataError, Record, canonical_key
@@ -198,6 +199,28 @@ class ColumnarBag:
                 keys.append(canonical_key(value))
             self._key_columns[name] = keys
         return keys
+
+    def approx_bytes(self) -> int:
+        """Rough resident size of the *realised* columns, in bytes.
+
+        Counts list headers plus a shallow ``sys.getsizeof`` per value
+        (sampled: at most 64 values per column, scaled by length), so a
+        fleet heartbeat can report cache pressure without walking every
+        cell of every table.  Pending (un-realised) columns cost nothing
+        and are counted as nothing — this measures what is resident.
+        """
+        total = 0
+        for column in self._columns.values():
+            total += sys.getsizeof(column)
+            n = len(column)
+            if n == 0:
+                continue
+            sample = column if n <= 64 else column[:: max(1, n // 64)][:64]
+            per_value = sum(sys.getsizeof(v) for v in sample) / len(sample)
+            total += int(per_value * n)
+        for keys in self._key_columns.values():
+            total += sys.getsizeof(keys) + 64 * len(keys)
+        return total
 
     # -- row interop -------------------------------------------------------
 

@@ -59,7 +59,14 @@ from repro.obs.context import (
     new_query_id,
     query_context,
 )
-from repro.obs.export import chrome_trace, prometheus_text, text_report, write_chrome_trace
+from repro.obs.export import (
+    chrome_trace,
+    merged_chrome_events,
+    prometheus_text,
+    render_trace_tree,
+    text_report,
+    write_chrome_trace,
+)
 from repro.obs.log import QueryLog, iter_events, read_events
 from repro.obs.metrics import (
     NULL_METRICS,
@@ -70,8 +77,10 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullMetrics,
     RateRing,
+    delta_is_empty,
     get_metrics,
     set_metrics,
+    snapshot_delta,
     use_metrics,
 )
 from repro.obs.trace import (
@@ -83,6 +92,8 @@ from repro.obs.trace import (
     Tracer,
     get_tracer,
     set_tracer,
+    span_to_wire,
+    spans_to_wire,
     use_tracer,
 )
 
@@ -114,17 +125,23 @@ __all__ = [
     "chrome_trace",
     "current_query",
     "current_query_id",
+    "delta_is_empty",
     "get_metrics",
     "get_tracer",
     "iter_events",
+    "merged_chrome_events",
     "new_query_id",
     "observe",
     "prometheus_text",
     "query_context",
     "read_events",
     "render_analyze",
+    "render_trace_tree",
     "set_metrics",
     "set_tracer",
+    "snapshot_delta",
+    "span_to_wire",
+    "spans_to_wire",
     "text_report",
     "use_metrics",
     "use_tracer",

@@ -63,6 +63,40 @@ class QueryContext:
         self.started_at = time.time() if started_at is None else started_at
         self.head_sampled = head_sampled
 
+    def to_wire(self, record_trace: Optional[bool] = None) -> dict:
+        """The context as plain data for the leader→worker pipe.
+
+        ``record_trace`` tells the receiving worker whether to record
+        spans at all; it defaults to "this context has a tracer", which
+        is exactly the leader's tail-sampling configuration (a tracer
+        exists whenever sampling is enabled — the keep/drop decision
+        happens back on the leader, at completion, over the *merged*
+        trace).
+        """
+        return {
+            "query_id": self.query_id,
+            "started_at": self.started_at,
+            "head_sampled": self.head_sampled,
+            "record_trace": (
+                self.tracer is not None if record_trace is None else record_trace
+            ),
+        }
+
+    @classmethod
+    def from_wire(cls, payload: dict, tracer: Any = None) -> "QueryContext":
+        """Rebuild the propagated context in a worker process.
+
+        ``tracer`` is the worker-local tracer to record into (the caller
+        creates one when ``payload["record_trace"]`` asks for it; this
+        module stays import-light and never constructs tracers itself).
+        """
+        return cls(
+            query_id=payload.get("query_id"),
+            tracer=tracer,
+            started_at=payload.get("started_at"),
+            head_sampled=bool(payload.get("head_sampled", False)),
+        )
+
     def __repr__(self) -> str:
         return "QueryContext(%s%s)" % (
             self.query_id,

@@ -94,6 +94,115 @@ def write_chrome_trace(path: str, tracer: Tracer, metrics=None) -> None:
         json.dump(chrome_trace(tracer, metrics), handle, indent=1)
 
 
+def merged_chrome_events(processes: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Chrome trace_event dicts for a *merged*, multi-process trace.
+
+    ``processes`` is the merged-fragment shape the service builds:
+    ``[{"process": "leader", "spans": [wire span trees]}, {"process":
+    "w0", ...}]`` with wall-clock span times (see
+    :func:`repro.obs.trace.span_to_wire`).  Each process gets its own
+    ``pid`` lane plus a ``process_name`` metadata event, so Perfetto /
+    ``chrome://tracing`` renders leader and worker spans as labelled
+    parallel tracks of one trace.  Timestamps are rebased to the
+    earliest span start across all processes.
+    """
+    events: List[Dict[str, Any]] = []
+    epoch = None
+    for entry in processes:
+        for span in entry.get("spans", ()):
+            start = span.get("start", 0.0)
+            if epoch is None or start < epoch:
+                epoch = start
+    if epoch is None:
+        epoch = 0.0
+
+    def emit(span: Dict[str, Any], pid: int) -> None:
+        event: Dict[str, Any] = {
+            "name": span.get("name", ""),
+            "cat": span.get("cat") or "repro",
+            "ph": "X",
+            "ts": round((span.get("start", 0.0) - epoch) * _US, 3),
+            "dur": round(max(0.0, span.get("end", 0.0) - span.get("start", 0.0)) * _US, 3),
+            "pid": pid,
+            "tid": span.get("tid", 0),
+        }
+        if span.get("args"):
+            event["args"] = span["args"]
+        events.append(event)
+        for mark in span.get("instants", ()):
+            instant: Dict[str, Any] = {
+                "name": mark.get("name", ""),
+                "cat": mark.get("cat") or "repro",
+                "ph": "i",
+                "s": "t",
+                "ts": round((mark.get("at", 0.0) - epoch) * _US, 3),
+                "pid": pid,
+                "tid": span.get("tid", 0),
+            }
+            if mark.get("args"):
+                instant["args"] = mark["args"]
+            events.append(instant)
+        for child in span.get("children", ()):
+            emit(child, pid)
+
+    for index, entry in enumerate(processes):
+        pid = index + 1
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": entry.get("process", "p%d" % pid)},
+            }
+        )
+        for span in entry.get("spans", ()):
+            emit(span, pid)
+    return events
+
+
+def render_trace_tree(fragment: Dict[str, Any]) -> str:
+    """A merged trace fragment as an indented per-process text tree.
+
+    This is what ``repro trace <query_id>`` prints: one lane per
+    process (leader first, then each worker), spans indented by depth
+    with millisecond durations and their args.  Works on the fragment
+    shape ``GET /trace/<query_id>`` returns.
+    """
+    lines: List[str] = []
+    query_id = fragment.get("query_id")
+    processes = fragment.get("processes", [])
+    lines.append(
+        "trace %s (%d process%s)"
+        % (query_id or "?", len(processes), "" if len(processes) == 1 else "es")
+    )
+
+    def walk(span: Dict[str, Any], depth: int) -> None:
+        extras = ["%s=%s" % (k, v) for k, v in (span.get("args") or {}).items()]
+        if span.get("instants"):
+            extras.append("%d events" % len(span["instants"]))
+        suffix = ("  [" + ", ".join(extras) + "]") if extras else ""
+        seconds = max(0.0, span.get("end", 0.0) - span.get("start", 0.0))
+        lines.append(
+            "  %s%-*s %9.3f ms%s"
+            % (
+                "  " * depth,
+                max(1, 44 - 2 * depth),
+                span.get("name", ""),
+                seconds * 1e3,
+                suffix,
+            )
+        )
+        for child in span.get("children", ()):
+            walk(child, depth + 1)
+
+    for entry in processes:
+        lines.append("  [%s]" % entry.get("process", "?"))
+        for span in entry.get("spans", ()):
+            walk(span, 1)
+    return "\n".join(lines) + "\n"
+
+
 def _plain(args: Dict[str, Any]) -> Dict[str, Any]:
     """Make span args JSON-safe (reprs for plans and other rich objects)."""
     out: Dict[str, Any] = {}
@@ -214,7 +323,7 @@ def _bucket_upper_bound(bucket: int) -> int:
     return 1 if bucket == 0 else 1 << bucket
 
 
-def prometheus_text(metrics) -> str:
+def prometheus_text(metrics, fleet=None) -> str:
     """Render a registry in the Prometheus text exposition format.
 
     Output is deterministic (instruments sorted by name) and ends with
@@ -225,6 +334,16 @@ def prometheus_text(metrics) -> str:
     ``<name>_buckets``): the registry's bucket ``k`` counts values in
     ``(2**(k-1), 2**k]``, so the running total over ascending ``k`` is
     exactly the count of values ``<= 2**k`` the ``le`` contract wants.
+
+    ``fleet`` (a :class:`repro.service.fleet.Fleet`, or anything with a
+    ``worker_snapshots()`` method) adds the per-worker series: each
+    worker-registry instrument becomes one ``repro_worker_*`` family —
+    HELP/TYPE emitted once — with one sample per worker carrying a
+    ``worker`` label.  The ``worker_`` prefix keeps fleet families
+    collision-safe against the leader's own families (the leader runs
+    the same instruments under their unprefixed names), and the shared
+    ``used`` map still deduplicates lossy sanitizations inside the
+    fleet section itself.
     """
     snapshot = metrics.snapshot()
     lines: List[str] = []
@@ -264,6 +383,86 @@ def prometheus_text(metrics) -> str:
         lines.append('%s_bucket{le="+Inf"} %d' % (histogram, summary["count"]))
         lines.append("%s_sum %s" % (histogram, _prom_value(summary["sum"])))
         lines.append("%s_count %s" % (histogram, _prom_value(summary["count"])))
+    if fleet is not None:
+        _fleet_lines(fleet, lines, used, header)
     if not lines:
         return "# (no metrics recorded)\n"
     return "\n".join(lines) + "\n"
+
+
+def _fleet_lines(fleet, lines: List[str], used: Dict[str, str], header) -> None:
+    """Worker-labeled families: one family per instrument, one sample
+    per worker.  Regrouped so HELP/TYPE appear exactly once per family
+    even with many workers (scrapers reject duplicate declarations)."""
+    snapshots = fleet.worker_snapshots()
+    if not snapshots:
+        return
+    workers = sorted(snapshots)
+    by_kind: Dict[str, Dict[str, Dict[str, Any]]] = {
+        "counters": {},
+        "gauges": {},
+        "histograms": {},
+    }
+    for worker in workers:
+        snapshot = snapshots[worker]
+        for kind in by_kind:
+            for name, value in snapshot.get(kind, {}).items():
+                by_kind[kind].setdefault(name, {})[worker] = value
+    for name in sorted(by_kind["counters"]):
+        origin = "worker." + name
+        metric = _prom_family(_prom_name(origin) + "_total", origin, used)
+        header(metric, origin, "counter")
+        for worker, value in sorted(by_kind["counters"][name].items()):
+            lines.append('%s{worker="%s"} %s' % (metric, worker, _prom_value(value)))
+    for name in sorted(by_kind["gauges"]):
+        origin = "worker." + name
+        metric = None
+        for worker, value in sorted(by_kind["gauges"][name].items()):
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                continue
+            if metric is None:
+                metric = _prom_family(_prom_name(origin), origin, used)
+                header(metric, origin, "gauge")
+            lines.append('%s{worker="%s"} %s' % (metric, worker, _prom_value(value)))
+    for name in sorted(by_kind["histograms"]):
+        origin = "worker." + name
+        per_worker = by_kind["histograms"][name]
+        metric = _prom_family(_prom_name(origin), origin, used)
+        header(metric, origin, "summary")
+        for worker, summary in sorted(per_worker.items()):
+            for label, key in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")):
+                value = summary.get(key)
+                if value is not None:
+                    lines.append(
+                        '%s{worker="%s",quantile="%s"} %s'
+                        % (metric, worker, label, _prom_value(float(value)))
+                    )
+            lines.append(
+                '%s_sum{worker="%s"} %s' % (metric, worker, _prom_value(summary["sum"]))
+            )
+            lines.append(
+                '%s_count{worker="%s"} %s'
+                % (metric, worker, _prom_value(summary["count"]))
+            )
+        histogram = _prom_family(_prom_name(origin) + "_buckets", origin, used)
+        header(histogram, origin, "histogram")
+        for worker, summary in sorted(per_worker.items()):
+            cumulative = 0
+            for bucket, tally in sorted(summary["buckets"].items()):
+                cumulative += tally
+                lines.append(
+                    '%s_bucket{worker="%s",le="%d"} %d'
+                    % (histogram, worker, _bucket_upper_bound(bucket), cumulative)
+                )
+            lines.append(
+                '%s_bucket{worker="%s",le="+Inf"} %d'
+                % (histogram, worker, summary["count"])
+            )
+            lines.append(
+                '%s_sum{worker="%s"} %s'
+                % (histogram, worker, _prom_value(summary["sum"]))
+            )
+            lines.append(
+                '%s_count{worker="%s"} %s'
+                % (histogram, worker, _prom_value(summary["count"]))
+            )

@@ -148,6 +148,39 @@ class Histogram(object):
         """The standard report quantiles (:data:`QUANTILES`) as a dict."""
         return {q: self.quantile(q) for q in self.QUANTILES}
 
+    def merge(self, delta: Dict[str, Any]) -> None:
+        """Fold a summary-shaped delta (from another process) into this
+        histogram.
+
+        ``delta`` carries ``count``/``sum``/``min``/``max`` plus a
+        power-of-two ``buckets`` map — the shape
+        :func:`snapshot_delta` produces and :meth:`summary` reports.
+        Buckets merge by bucket-wise sum, ``count``/``sum`` add, and
+        ``min``/``max`` combine, so a histogram built by merging
+        per-worker deltas is *sample-equivalent* to one histogram that
+        recorded every observation directly: identical count, sum,
+        bucket counts, extrema — and therefore identical interpolated
+        p50/p95/p99 (the property tests in
+        ``tests/obs/test_metrics_merge.py`` pin this down).  Bucket keys
+        are accepted as ints or strings (JSON round trips stringify
+        them).
+        """
+        count = int(delta.get("count") or 0)
+        if count <= 0:
+            return
+        with self._lock:
+            self.count += count
+            self.total += delta.get("sum") or 0
+            low = delta.get("min")
+            if low is not None and (self.minimum is None or low < self.minimum):
+                self.minimum = low
+            high = delta.get("max")
+            if high is not None and (self.maximum is None or high > self.maximum):
+                self.maximum = high
+            for bucket, tally in (delta.get("buckets") or {}).items():
+                bucket = int(bucket)
+                self.buckets[bucket] = self.buckets.get(bucket, 0) + tally
+
     def summary(self) -> Dict[str, Any]:
         return {
             "count": self.count,
@@ -205,12 +238,88 @@ class MetricsRegistry(object):
             "histograms": {name: h.summary() for name, h in sorted(self._histograms.items())},
         }
 
+    def apply_delta(self, delta: Dict[str, Any]) -> None:
+        """Fold a :func:`snapshot_delta` document into this registry.
+
+        The leader's fleet aggregation uses this: each worker ships the
+        delta of its own registry since the last shipment, and applying
+        deltas in arrival order reconstructs the worker's registry
+        exactly (counters sum, gauges last-write-wins, histograms merge
+        sample-equivalently via :meth:`Histogram.merge`).
+        """
+        for name, value in (delta.get("counters") or {}).items():
+            if value:
+                self.counter(name).inc(value)
+        for name, value in (delta.get("gauges") or {}).items():
+            self.gauge(name).set(value)
+        for name, summary in (delta.get("histograms") or {}).items():
+            self.histogram(name).merge(summary)
+
     def __repr__(self) -> str:
         return "MetricsRegistry(%d counters, %d gauges, %d histograms)" % (
             len(self._counters),
             len(self._gauges),
             len(self._histograms),
         )
+
+
+def snapshot_delta(
+    previous: Dict[str, Dict[str, Any]], current: Dict[str, Dict[str, Any]]
+) -> Dict[str, Any]:
+    """The change between two registry snapshots, as a mergeable delta.
+
+    This is the worker side of the delta-metrics contract (DESIGN.md
+    §15): a worker snapshots its registry after each request, diffs
+    against the last shipped snapshot, and piggybacks the (usually tiny)
+    delta on the wire reply.  Counters diff numerically; gauges ship
+    their current value (the leader treats them last-write-wins);
+    histograms diff ``count``/``sum`` and bucket-wise counts.  A
+    histogram delta's ``min``/``max`` are the *lifetime* extrema — safe
+    because the leader combines extrema with min/max, and a worker's
+    lifetime extremum is by definition the extremum of all deltas it
+    ever shipped.  Instruments with no change are omitted, so an idle
+    worker's delta is three empty maps.
+    """
+    prev_counters = previous.get("counters", {})
+    counters = {
+        name: value - prev_counters.get(name, 0)
+        for name, value in current.get("counters", {}).items()
+        if value != prev_counters.get(name, 0)
+    }
+    prev_gauges = previous.get("gauges", {})
+    gauges = {
+        name: value
+        for name, value in current.get("gauges", {}).items()
+        if value != prev_gauges.get(name)
+    }
+    histograms: Dict[str, Any] = {}
+    prev_histograms = previous.get("histograms", {})
+    for name, summary in current.get("histograms", {}).items():
+        before = prev_histograms.get(name)
+        prev_count = before["count"] if before else 0
+        if summary["count"] == prev_count:
+            continue
+        prev_buckets = before["buckets"] if before else {}
+        buckets = {
+            bucket: tally - prev_buckets.get(bucket, 0)
+            for bucket, tally in summary["buckets"].items()
+            if tally != prev_buckets.get(bucket, 0)
+        }
+        histograms[name] = {
+            "count": summary["count"] - prev_count,
+            "sum": summary["sum"] - (before["sum"] if before else 0),
+            "min": summary["min"],
+            "max": summary["max"],
+            "buckets": buckets,
+        }
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+
+def delta_is_empty(delta: Dict[str, Any]) -> bool:
+    """True when a :func:`snapshot_delta` document carries no change."""
+    return not (
+        delta.get("counters") or delta.get("gauges") or delta.get("histograms")
+    )
 
 
 class RateRing(object):

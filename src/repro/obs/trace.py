@@ -131,6 +131,11 @@ class Tracer(object):
         self.roots: List[Span] = []
         self.orphan_instants: List[Instant] = []
         self.epoch = time.perf_counter()
+        # Wall-clock anchor for the same instant as `epoch`: spans cross
+        # process boundaries (worker -> leader) as absolute wall-clock
+        # times, because perf_counter readings from two processes share
+        # no origin.  See span_to_wire / spans_to_wire.
+        self.wall_epoch = time.time()
         self._local = threading.local()
         self._lock = threading.Lock()
 
@@ -280,6 +285,62 @@ def use_tracer(tracer):
         yield tracer
     finally:
         set_tracer(previous)
+
+
+# ---------------------------------------------------------------------------
+# Span wire form: shipping span trees across process boundaries
+# ---------------------------------------------------------------------------
+#
+# A worker's tracer and the leader's tracer have unrelated perf_counter
+# epochs, so a span fragment crosses the pipe in *wall-clock* time: each
+# span's start/end is rebased to `tracer.wall_epoch + (t - tracer.epoch)`.
+# Wall clocks of processes on one box agree to well under a millisecond,
+# which is plenty for per-query lanes; the merged-trace exporter
+# re-anchors everything to the earliest span anyway, so modest skew only
+# shifts lanes relative to each other, never corrupts durations.
+
+
+def span_to_wire(span: Span, tracer: Tracer) -> Dict[str, Any]:
+    """One span tree as JSON-safe data with wall-clock timestamps."""
+    offset = tracer.wall_epoch - tracer.epoch
+    out: Dict[str, Any] = {
+        "name": span.name,
+        "start": span.start + offset,
+        "end": span.end + offset,
+        "tid": span.tid,
+    }
+    if span.category:
+        out["cat"] = span.category
+    if span.args:
+        out["args"] = _wire_args(span.args)
+    if span.instants:
+        out["instants"] = [
+            {
+                "name": mark.name,
+                "at": mark.at + offset,
+                "cat": mark.category,
+                "args": _wire_args(mark.args),
+            }
+            for mark in span.instants
+        ]
+    if span.children:
+        out["children"] = [span_to_wire(child, tracer) for child in span.children]
+    return out
+
+
+def spans_to_wire(tracer: Tracer) -> List[Dict[str, Any]]:
+    """Every completed root span of ``tracer``, in wire form."""
+    return [span_to_wire(root, tracer) for root in tracer.roots]
+
+
+def _wire_args(args: Dict[str, Any]) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for key, value in args.items():
+        if value is None or isinstance(value, (bool, int, float, str)):
+            out[key] = value
+        else:
+            out[key] = repr(value)
+    return out
 
 
 # ---------------------------------------------------------------------------

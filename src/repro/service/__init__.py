@@ -22,7 +22,12 @@ architecture):
   (``repro serve --http/--tcp``): the same wire protocol over HTTP and
   persistent TCP JSON-lines, with :class:`AdmissionController`
   load-shedding in front and an optional :class:`WorkerPool` of worker
-  *processes* (``--workers N``) for multi-core scale-out.
+  *processes* (``--workers N``) for multi-core scale-out;
+- :class:`Fleet` — leader-side per-worker observability: metric deltas
+  workers piggyback on replies merge into labeled ``/metrics`` series,
+  heartbeat resource gauges and pool liveness feed ``/workers``, and
+  worker span fragments stitch into one merged per-query trace
+  (``/trace/<query_id>``, ``repro trace``).
 
 All failures surface as the structured error taxonomy in
 :mod:`repro.service.errors` (compile_error / runtime_error / timeout /
@@ -42,6 +47,7 @@ from repro.service.errors import (
     ServiceError,
 )
 from repro.service.executor import Outcome, SessionExecutor
+from repro.service.fleet import Fleet
 from repro.service.http import ObsHttpServer
 from repro.service.net import ServeNetServer
 from repro.service.plan_key import ast_fingerprint, plan_key
@@ -57,6 +63,7 @@ __all__ = [
     "CatalogError",
     "CompileError",
     "CompiledPlan",
+    "Fleet",
     "ObsHttpServer",
     "Outcome",
     "Overloaded",

@@ -240,6 +240,20 @@ class Catalog:
     def describe(self) -> List[Dict[str, Any]]:
         return [info.describe() for info in self.tables()]
 
+    def columnar_bytes(self) -> int:
+        """Approximate resident bytes of every table's columnar cache.
+
+        Sums :meth:`~repro.data.columnar.ColumnarBag.approx_bytes` over
+        the tables that carry a columnar twin — the number a worker
+        heartbeat reports as ``columnar_cache_bytes``.
+        """
+        total = 0
+        for info in self.tables():
+            columnar = cached_columnar(info.rows)
+            if columnar is not None:
+                total += columnar.approx_bytes()
+        return total
+
     def __contains__(self, name: str) -> bool:
         return name in self._tables
 

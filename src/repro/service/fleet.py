@@ -1,0 +1,169 @@
+"""Fleet-wide worker observability for the multi-process front end.
+
+PR 8 gave the leader N worker processes; their metrics registries,
+resource footprints, and health lived and died inside each process.
+This module is the leader-side aggregation point that makes the fleet
+observable as one system:
+
+- **per-worker metric series** — each worker piggybacks a
+  :func:`repro.obs.metrics.snapshot_delta` of its own registry on every
+  wire reply; :meth:`Fleet.apply_delta` folds it into a leader-side
+  per-worker :class:`~repro.obs.metrics.MetricsRegistry` (counters sum,
+  gauges last-write-wins, histograms merge bucket-wise and stay
+  sample-equivalent to the worker's own).  ``/metrics`` exposes these as
+  ``repro_worker_*`` families with a ``worker`` label (see
+  :func:`repro.obs.export.prometheus_text`).
+- **resource gauges** — collected in the worker on the leader's
+  heartbeat (``_heartbeat`` pipe op): RSS via ``resource.getrusage``,
+  columnar-cache bytes, catalog-snapshot bytes, plan-cache size and
+  hit rate, executor inflight.  :meth:`set_resources` stores the raw
+  document for ``GET /workers`` and mirrors the numeric values into the
+  worker's registry as gauges so they ride the same labeled exposition.
+- **health** — :meth:`describe` joins the pool's liveness view
+  (``pool.describe()``) with per-worker pending counts, heartbeat ages,
+  and respawn totals into the ``GET /workers`` document.
+
+A worker's series survive its death (a respawned replacement gets a new
+``wN`` name); the totals therefore never go backwards, which is what
+Prometheus counters require.  Thread-safe: deltas arrive from the
+asyncio loop, heartbeats from the loop's executor, scrapes from the
+sidecar's threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry, delta_is_empty
+
+#: Resource-document keys mirrored into per-worker gauges for /metrics.
+RESOURCE_GAUGES = (
+    "rss_bytes",
+    "columnar_cache_bytes",
+    "catalog_bytes",
+    "plan_cache_entries",
+    "plan_cache_hit_rate",
+    "inflight",
+    "uptime_seconds",
+)
+
+
+class Fleet:
+    """Leader-side per-worker registries, resources, and health."""
+
+    def __init__(self, metrics: Any = None):
+        self._registries: Dict[str, MetricsRegistry] = {}
+        self._resources: Dict[str, Dict[str, Any]] = {}
+        self._heartbeats: Dict[str, float] = {}
+        self._lock = threading.Lock()
+        self._pool_describe: Optional[Callable[[], Dict[str, Any]]] = None
+        self._pending: Optional[Callable[[], Dict[str, int]]] = None
+        if metrics is not None:
+            self._deltas = metrics.counter("service.fleet.deltas")
+            self._heartbeat_counter = metrics.counter("service.fleet.heartbeats")
+        else:
+            self._deltas = self._heartbeat_counter = None
+
+    def attach_pool(
+        self,
+        describe: Callable[[], Dict[str, Any]],
+        pending: Optional[Callable[[], Dict[str, int]]] = None,
+    ) -> None:
+        """Wire the pool's health view in (the net server calls this)."""
+        self._pool_describe = describe
+        self._pending = pending
+
+    # -- metric deltas ------------------------------------------------------
+
+    def registry(self, worker: str) -> MetricsRegistry:
+        """The leader-side registry mirroring ``worker``'s instruments."""
+        with self._lock:
+            registry = self._registries.get(worker)
+            if registry is None:
+                registry = self._registries[worker] = MetricsRegistry()
+            return registry
+
+    def apply_delta(self, worker: str, delta: Optional[Dict[str, Any]]) -> None:
+        """Fold one shipped metrics delta into ``worker``'s registry."""
+        if not delta or delta_is_empty(delta):
+            return
+        self.registry(worker).apply_delta(delta)
+        if self._deltas is not None:
+            self._deltas.inc()
+
+    def worker_snapshots(self) -> Dict[str, Dict[str, Any]]:
+        """Every worker's registry snapshot — the /metrics fleet source."""
+        with self._lock:
+            registries = dict(self._registries)
+        return {worker: registry.snapshot() for worker, registry in registries.items()}
+
+    # -- resources ----------------------------------------------------------
+
+    def set_resources(
+        self, worker: str, resources: Optional[Dict[str, Any]], now: Optional[float] = None
+    ) -> None:
+        """Store a heartbeat's resource document and mirror it to gauges."""
+        if not isinstance(resources, dict):
+            return
+        stamp = time.time() if now is None else now
+        with self._lock:
+            self._resources[worker] = resources
+            self._heartbeats[worker] = stamp
+        registry = self.registry(worker)
+        for key in RESOURCE_GAUGES:
+            value = resources.get(key)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                registry.gauge("resource.%s" % key).set(value)
+        if self._heartbeat_counter is not None:
+            self._heartbeat_counter.inc()
+
+    def resources(self, worker: str) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            return self._resources.get(worker)
+
+    # -- the /workers document ---------------------------------------------
+
+    def describe(self) -> Dict[str, Any]:
+        """Per-worker health, inflight, respawns, and resources.
+
+        Workers currently in the pool come from the attached pool's
+        ``describe()``; workers that only ever shipped deltas (e.g. dead
+        predecessors after a respawn) still appear, flagged
+        ``alive: False``, so their counted work remains attributable.
+        """
+        pool_view = self._pool_describe() if self._pool_describe is not None else {}
+        pending = self._pending() if self._pending is not None else {}
+        now = time.time()
+        with self._lock:
+            resources = dict(self._resources)
+            heartbeats = dict(self._heartbeats)
+            known = set(self._registries)
+        entries: List[Dict[str, Any]] = []
+        listed = set()
+        for info in pool_view.get("workers", []):
+            name = info.get("name")
+            listed.add(name)
+            entry: Dict[str, Any] = {
+                "name": name,
+                "alive": bool(info.get("alive")),
+                "pending": pending.get(name, 0),
+            }
+            if name in heartbeats:
+                entry["heartbeat_age_seconds"] = max(0.0, now - heartbeats[name])
+            if name in resources:
+                entry["resources"] = resources[name]
+            entries.append(entry)
+        for name in sorted(known - listed):
+            entry = {"name": name, "alive": False, "pending": 0, "retired": True}
+            if name in resources:
+                entry["resources"] = resources[name]
+            entries.append(entry)
+        return {
+            "count": pool_view.get("count", len(entries)),
+            "workers": entries,
+        }
+
+
+__all__ = ["Fleet", "RESOURCE_GAUGES"]

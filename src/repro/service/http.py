@@ -15,7 +15,13 @@ thread serving
 - ``/telemetry``  — recent per-query records; query parameters ``n``
   (count), ``slow`` (slow ring), ``outcome=ok|error`` and ``handle``
   (filters);
-- ``/slow``       — shorthand for ``/telemetry?slow=1``.
+- ``/slow``       — shorthand for ``/telemetry?slow=1``;
+- ``/workers``    — fleet health: one entry per worker process with
+  liveness, pending depth, heartbeat age, and resource gauges (RSS,
+  columnar-cache bytes, catalog snapshot bytes, plan-cache hit rate);
+- ``/trace/<query_id>`` — the kept merged trace for one query: the
+  per-process span trees plus ready-to-load chrome ``events`` (404
+  when sampling dropped it, the ring evicted it, or the id is unknown).
 
 Everything is read-only GETs over data structures that are already
 thread-safe, so the sidecar needs no coordination with the serving
@@ -39,7 +45,15 @@ _JSON_CONTENT_TYPE = "application/json; charset=utf-8"
 #: The read-only observability surface, shared by the sidecar and the
 #: network front end (``repro serve --http`` serves these same GET
 #: routes on the query port; see :mod:`repro.service.net`).
-OBS_ROUTES = ("/healthz", "/metrics", "/stats", "/telemetry", "/slow")
+OBS_ROUTES = (
+    "/healthz",
+    "/metrics",
+    "/stats",
+    "/telemetry",
+    "/slow",
+    "/workers",
+    "/trace/<query_id>",
+)
 
 
 def obs_route(service: Any, path: str, query: str = "") -> Optional[Tuple[int, str, str]]:
@@ -59,13 +73,38 @@ def obs_route(service: Any, path: str, query: str = "") -> Optional[Tuple[int, s
         if route == "/healthz":
             return 200, "text/plain; charset=utf-8", "ok\n"
         if route == "/metrics":
-            return 200, _PROM_CONTENT_TYPE, prometheus_text(service.metrics)
+            return (
+                200,
+                _PROM_CONTENT_TYPE,
+                prometheus_text(service.metrics, fleet=getattr(service, "fleet", None)),
+            )
         if route == "/stats":
             return 200, _JSON_CONTENT_TYPE, json.dumps(service.stats()) + "\n"
         if route == "/telemetry":
             return _telemetry_route(service, params, slow=_flag(params, "slow"))
         if route == "/slow":
             return _telemetry_route(service, params, slow=True)
+        if route == "/workers":
+            fleet = getattr(service, "fleet", None)
+            if fleet is None:
+                return 200, _JSON_CONTENT_TYPE, json.dumps({"count": 0, "workers": []}) + "\n"
+            return 200, _JSON_CONTENT_TYPE, json.dumps(fleet.describe()) + "\n"
+        if route.startswith("/trace/"):
+            wanted = route[len("/trace/") :]
+            fragment = service.traces.get(wanted) if wanted else None
+            if fragment is None:
+                return (
+                    404,
+                    _JSON_CONTENT_TYPE,
+                    json.dumps(
+                        {
+                            "error": "no kept trace for query id %r "
+                            "(sampled out, evicted, or never seen)" % wanted
+                        }
+                    )
+                    + "\n",
+                )
+            return 200, _JSON_CONTENT_TYPE, json.dumps(fragment) + "\n"
         return None
     except ValueError as exc:
         return 400, _JSON_CONTENT_TYPE, json.dumps({"error": str(exc)}) + "\n"
@@ -86,6 +125,7 @@ def _telemetry_route(
         slow=slow,
         outcome=params.get("outcome", [None])[0],
         handle=params.get("handle", [None])[0],
+        worker=params.get("worker", [None])[0],
     )
     payload = {
         "telemetry": service.telemetry.describe(),

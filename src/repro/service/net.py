@@ -108,11 +108,21 @@ class ServeNetServer:
         default_timeout: Optional[float] = 30.0,
         drain_timeout: float = 10.0,
         obs_server: Any = None,
+        heartbeat_interval: float = 2.0,
     ):
         if http_port is None and tcp_port is None:
             raise ValueError("serve over the network needs --http and/or --tcp")
         self.service = service
         self.pool = pool
+        self.heartbeat_interval = heartbeat_interval
+        self._heartbeat_task: Optional[Any] = None
+        if pool is not None:
+            # Fleet wiring: /workers joins the pool's liveness view with
+            # the heartbeat resources, and crash/respawn supervision
+            # events land in the query log under the victim's query_id.
+            service.fleet.attach_pool(pool.describe, pool.pending)
+            if pool.on_event is None:
+                pool.on_event = self._worker_event
         self.host = host
         self.http_port = http_port
         self.tcp_port = tcp_port
@@ -171,6 +181,9 @@ class ServeNetServer:
             # The load-shedding fast path: O(1), before the catalog, the
             # plan cache, parameter binding, or any worker is touched.
             if not self.admission.try_admit():
+                if context.tracer is not None:
+                    with context.tracer.span("serve.admission", category="serve", shed=True):
+                        pass
                 response = _error_response("overloaded", self.admission.shed_message())
                 response["shed"] = True
                 return response
@@ -225,8 +238,20 @@ class ServeNetServer:
         timeout = request.get("timeout", self.default_timeout)
         loop = asyncio.get_running_loop()
         deadline = None if timeout is None else loop.time() + timeout
+        tracer = context.tracer
+        # Leader-side spans close *before* record_remote stitches the
+        # merged trace — only completed spans are in the tracer's roots.
+        acquire_span = (
+            tracer.span("serve.acquire", category="serve") if tracer is not None else None
+        )
         try:
-            worker = await self.pool.acquire(timeout)
+            if acquire_span is not None:
+                acquire_span.__enter__()
+            try:
+                worker = await self.pool.acquire(timeout)
+            finally:
+                if acquire_span is not None:
+                    acquire_span.__exit__(None, None, None)
         except asyncio.TimeoutError:
             return _error_response(
                 "timeout",
@@ -234,26 +259,43 @@ class ServeNetServer:
             )
         remaining = None if deadline is None else max(0.001, deadline - loop.time())
         msg = dict(request)
-        msg["_query_id"] = context.query_id
+        msg["_query_id"] = context.query_id  # legacy field; _obs supersedes it
+        msg["_obs"] = context.to_wire()
         if remaining is not None:
             # The worker's own executor enforces the remaining budget —
             # deadline propagation, not a fresh full-size timeout.
             msg["timeout"] = remaining
+        dispatch_span = (
+            tracer.span("serve.dispatch", category="serve", worker=worker.name)
+            if tracer is not None
+            else None
+        )
         try:
-            reply = await self.pool.request(worker, msg, timeout=remaining)
+            if dispatch_span is not None:
+                dispatch_span.__enter__()
+            try:
+                reply = await self.pool.request(worker, msg, timeout=remaining)
+            finally:
+                if dispatch_span is not None:
+                    dispatch_span.__exit__(None, None, None)
         except asyncio.TimeoutError:
             return _error_response(
                 "timeout",
                 "query exceeded its %.3fs deadline on worker %s" % (timeout, worker.name),
             )
         except WorkerCrashed:
-            return _error_response(
+            crashed = _error_response(
                 "runtime_error",
                 "worker %s crashed mid-query; it was restarted" % worker.name,
             )
+            # Satellite of the crash audit trail: the client's error and
+            # the query-log event both carry the in-flight query_id.
+            crashed["query_id"] = context.query_id
+            return crashed
         if not isinstance(reply, dict):  # pragma: no cover - defensive
             return _error_response("internal_error", "worker sent a non-dict reply")
         worker_name = reply.pop("_worker", worker.name)
+        obs = reply.pop("_obs", None)
         self.service.record_remote(
             context,
             reply,
@@ -261,6 +303,7 @@ class ServeNetServer:
             language=language,
             cache_hit=cache_hit,
             worker=worker_name,
+            obs=obs,
         )
         return reply
 
@@ -285,6 +328,54 @@ class ServeNetServer:
                     msg["_handle"] = response.get("handle")
                 await self.pool.broadcast(msg)
             return response
+
+    # -- fleet supervision -------------------------------------------------
+
+    def _worker_event(self, event: Dict[str, Any]) -> None:
+        """Pool supervision hook (runs on a worker IO thread).
+
+        ``worker_crash`` events carry the in-flight ``query_id`` when a
+        query was on the pipe, so the audit trail ties the restart to
+        the request the client saw fail.
+        """
+        kind = event.get("event", "worker_event")
+        self.service.metrics.counter("service.worker.events.%s" % kind).inc()
+        if self.service.query_log is not None:
+            try:
+                self.service.query_log.emit(dict(event))
+            except ValueError:
+                pass  # the log closed mid-drain
+
+    async def _heartbeat_loop(self) -> None:
+        """Poll every worker for resource gauges on a fixed cadence.
+
+        Heartbeats ride the same per-worker FIFO pipes as queries, so a
+        busy worker answers after its current query — the gauges are
+        eventually fresh, never racing a query on the pipe.  Each reply
+        also carries any metrics delta accrued since the last ship, so
+        idle-period activity (e.g. broadcasts) reaches /metrics too.
+        """
+        assert self.pool is not None
+        while not self._shutdown_requested:
+            try:
+                replies = await self.pool.broadcast(
+                    {"op": "_heartbeat"}, timeout=max(5.0, self.heartbeat_interval * 4)
+                )
+            except (asyncio.TimeoutError, RuntimeError):
+                replies = []
+            for reply in replies:
+                if not isinstance(reply, dict):
+                    continue
+                worker = reply.get("_worker")
+                obs = reply.get("_obs")
+                if worker is None or not isinstance(obs, dict):
+                    continue
+                self.service.fleet.set_resources(worker, obs.get("resources"))
+                self.service.fleet.apply_delta(worker, obs.get("metrics"))
+            try:
+                await asyncio.sleep(self.heartbeat_interval)
+            except asyncio.CancelledError:
+                return
 
     @staticmethod
     def status_for(response: Dict[str, Any]) -> int:
@@ -448,6 +539,8 @@ class ServeNetServer:
             self._shutdown_event.set()
         if self.pool is not None:
             self.pool.bind(self._loop)
+            if self.heartbeat_interval and self.heartbeat_interval > 0:
+                self._heartbeat_task = self._loop.create_task(self._heartbeat_loop())
         if self.http_port is not None:
             self._http_server = await asyncio.start_server(
                 self._serve_http, self.host, self.http_port
@@ -520,6 +613,12 @@ class ServeNetServer:
             return
         self._drained = True
         loop = asyncio.get_running_loop()
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+            try:
+                await self._heartbeat_task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
         self.admission.start_drain()
         for server in (self._http_server, self._tcp_server):
             if server is not None:

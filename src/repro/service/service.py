@@ -37,14 +37,15 @@ from contextlib import contextmanager
 from repro.data import json_io
 from repro.data.model import DataError
 from repro.obs.context import QueryContext, current_query, query_context
-from repro.obs.export import chrome_trace_events
+from repro.obs.export import merged_chrome_events
 from repro.obs.log import QueryLog
 from repro.obs.metrics import MetricsRegistry, RateRing
-from repro.obs.trace import SamplingPolicy, TraceRing, Tracer, get_tracer
+from repro.obs.trace import SamplingPolicy, TraceRing, Tracer, get_tracer, spans_to_wire
 from repro.service.cache import PlanCache
 from repro.service.catalog import Catalog
 from repro.service.errors import BadRequest, ServiceError
 from repro.service.executor import Outcome, SessionExecutor
+from repro.service.fleet import Fleet
 from repro.service.plan_key import plan_key
 from repro.service.prepared import PreparedQuery, compile_plan, parse_query
 from repro.service.telemetry import QueryTelemetry, TelemetryLog
@@ -90,6 +91,10 @@ class QueryService:
             None if trace_sample_rate is None else SamplingPolicy(rate=trace_sample_rate)
         )
         self.traces = TraceRing(trace_capacity)
+        # Per-worker registries/resources when this service fronts a
+        # worker pool; empty (but present, so /metrics and /workers can
+        # always consult it) when serving single-process.
+        self.fleet = Fleet(metrics=self.metrics)
         self.query_log = QueryLog(query_log) if isinstance(query_log, str) else query_log
         self.rates = RateRing(window=60)
         self._started_at = _time.time()
@@ -325,6 +330,7 @@ class QueryService:
         language: Optional[str] = None,
         cache_hit: bool = False,
         worker: Optional[str] = None,
+        obs: Optional[Dict[str, Any]] = None,
     ) -> QueryTelemetry:
         """Record an execution that ran in a *worker process*.
 
@@ -335,13 +341,23 @@ class QueryService:
         counters (``service.worker.<id>.ok`` / ``.error``) and a
         latency histogram land in the metrics registry so ``/metrics``
         exposes each worker's share of the load.
+
+        ``obs`` is the worker's piggybacked observability payload (the
+        ``_obs`` reply field): its ``spans`` join the leader's own spans
+        in the merged trace :meth:`_finish_query` builds, its
+        ``metrics`` delta folds into the :attr:`fleet` under the
+        worker's label, and its ``resources`` snapshot (when present)
+        refreshes the worker's gauges.
         """
         from repro.service.errors import error_from_payload
 
+        obs = obs if isinstance(obs, dict) else {}
         ok = bool(response.get("ok"))
         seconds = float(response.get("seconds") or 0.0)
         error_payload = response.get("error") or {}
         result = response.get("result")
+        analysis = response.get("analysis")
+        analysis = analysis if isinstance(analysis, dict) else {}
         telemetry = QueryTelemetry(
             handle=handle,
             language=language,
@@ -351,6 +367,9 @@ class QueryService:
             ok=ok,
             error_kind=None if ok else error_payload.get("kind", "internal_error"),
             rows=len(result) if isinstance(result, list) else None,
+            peak_rows=analysis.get("peak_rows"),
+            hot_operators=analysis.get("hot"),
+            join_engine=analysis.get("join_engine"),
             analyzed=response.get("analysis") is not None,
             query_id=context.query_id,
             started_at=context.started_at,
@@ -360,7 +379,14 @@ class QueryService:
         outcome = Outcome(seconds=seconds)
         if not ok:
             outcome.error = error_from_payload(error_payload)
-        self._finish_query(context, telemetry, outcome)
+        remote = None
+        if worker is not None and obs.get("spans"):
+            remote = [{"process": worker, "spans": obs["spans"]}]
+        self._finish_query(context, telemetry, outcome, remote=remote)
+        if worker is not None:
+            self.fleet.apply_delta(worker, obs.get("metrics"))
+            if obs.get("resources") is not None:
+                self.fleet.set_resources(worker, obs.get("resources"))
         if worker is not None:
             self.metrics.counter(
                 "service.worker.%s.%s" % (worker, "ok" if ok else "error")
@@ -371,23 +397,37 @@ class QueryService:
         return telemetry
 
     def _finish_query(
-        self, context: QueryContext, telemetry: QueryTelemetry, outcome: Outcome
+        self,
+        context: QueryContext,
+        telemetry: QueryTelemetry,
+        outcome: Outcome,
+        remote: Optional[List[Dict[str, Any]]] = None,
     ) -> None:
         """Completion-time observability: rates, tail sampling, query log.
 
         Runs once per execute, after the telemetry record exists (so the
         slow-query mark is already decided).  The trace keep/drop
         decision happens here — this is the "tail" of tail-based
-        sampling — and a kept chrome-trace fragment is attached to the
-        telemetry record and retained in the bounded :attr:`traces`
-        ring.
+        sampling — over the *merged* trace: the leader's own spans plus
+        any ``remote`` process fragments (``[{"process": "w0", "spans":
+        [...]}, ...]``) a worker shipped back.  A kept fragment carries
+        per-process span trees *and* ready-to-load chrome events with
+        one ``pid`` lane per process; it is attached to the telemetry
+        record and retained in the bounded :attr:`traces` ring, keyed by
+        ``query_id`` (what ``GET /trace/<query_id>`` serves).
         """
         self.rates.observe(telemetry.execute_seconds)
         if self.sampling is not None and context.tracer is not None:
             if self.sampling.keep(context.head_sampled, telemetry.slow, telemetry.ok):
+                processes = [
+                    {"process": "leader", "spans": spans_to_wire(context.tracer)}
+                ]
+                if remote:
+                    processes.extend(remote)
                 fragment = {
                     "query_id": context.query_id,
-                    "events": chrome_trace_events(context.tracer),
+                    "processes": processes,
+                    "events": merged_chrome_events(processes),
                 }
                 self.traces.add(context.query_id, fragment)
                 telemetry.trace = fragment
@@ -580,7 +620,7 @@ class QueryService:
 
             return {
                 "ok": True,
-                "prometheus": prometheus_text(self.metrics),
+                "prometheus": prometheus_text(self.metrics, fleet=self.fleet),
                 "metrics": self.metrics.snapshot(),
             }
         if op == "telemetry":
@@ -590,6 +630,7 @@ class QueryService:
                     slow=bool(request.get("slow")),
                     outcome=request.get("outcome"),
                     handle=request.get("filter_handle"),
+                    worker=request.get("filter_worker"),
                 )
             except ValueError as exc:
                 raise BadRequest(str(exc))
@@ -600,6 +641,17 @@ class QueryService:
             }
         if op == "traces":
             return {"ok": True, **self.traces.describe(), "traces": self.traces.recent(request.get("n"))}
+        if op == "trace":
+            wanted = self._field(request, "query_id")
+            fragment = self.traces.get(wanted)
+            if fragment is None:
+                raise BadRequest(
+                    "no kept trace for query id %r (sampled out, evicted, or never seen)"
+                    % (wanted,)
+                )
+            return {"ok": True, "trace": fragment}
+        if op == "workers":
+            return {"ok": True, **self.fleet.describe()}
         raise BadRequest("unknown op %r" % (op,))
 
     @staticmethod

@@ -186,8 +186,10 @@ class TelemetryLog:
         slow: bool = False,
         outcome: Optional[str] = None,
         handle: Optional[str] = None,
+        worker: Optional[str] = None,
     ) -> List[QueryTelemetry]:
-        """Filtered view of a ring: by outcome (``ok``/``error``), handle.
+        """Filtered view of a ring: by outcome (``ok``/``error``),
+        handle, or the worker process that executed the query.
 
         Filters apply before the ``n`` cut, so asking for the last 5
         errors returns 5 errors (if that many are retained), not
@@ -201,6 +203,8 @@ class TelemetryLog:
             records = [record for record in records if record.ok is wanted]
         if handle is not None:
             records = [record for record in records if record.handle == handle]
+        if worker is not None:
+            records = [record for record in records if record.worker == worker]
         return records if n is None else records[-n:]
 
     def describe(self) -> Dict[str, Any]:

@@ -37,7 +37,9 @@ from __future__ import annotations
 import asyncio
 import os
 import queue
+import sys
 import threading
+import time
 from concurrent.futures import Future
 from typing import Any, Callable, Dict, List, Optional
 
@@ -69,6 +71,42 @@ def catalog_snapshot(service: Any) -> Dict[str, Any]:
     return {"tables": tables, "prepared": prepared}
 
 
+def worker_resources(service: Any, catalog_bytes: int, started_at: float) -> Dict[str, Any]:
+    """The resource document a worker reports on every heartbeat.
+
+    RSS comes from ``resource.getrusage`` (``ru_maxrss`` is KiB on
+    Linux, bytes on macOS); columnar-cache bytes from the catalog's
+    :meth:`~repro.service.catalog.Catalog.columnar_bytes`; plan-cache
+    size and hit rate from the worker's own
+    :meth:`~repro.service.cache.PlanCache.stats`.  ``catalog_bytes`` is
+    the pickled size of the warm-up snapshot — what this worker's copy
+    of the catalog actually cost to ship.
+    """
+    doc: Dict[str, Any] = {
+        "pid": os.getpid(),
+        "catalog_bytes": catalog_bytes,
+        "uptime_seconds": time.time() - started_at,
+    }
+    try:
+        import resource as _resource
+
+        usage = _resource.getrusage(_resource.RUSAGE_SELF)
+        scale = 1 if sys.platform == "darwin" else 1024
+        doc["rss_bytes"] = usage.ru_maxrss * scale
+    except (ImportError, OSError):  # pragma: no cover - non-POSIX
+        pass
+    try:
+        doc["columnar_cache_bytes"] = service.catalog.columnar_bytes()
+    except Exception:  # noqa: BLE001 - resources must never kill the loop
+        pass
+    stats = service.cache.stats()
+    hits = stats.get("hits", 0)
+    misses = stats.get("misses", 0)
+    doc["plan_cache_entries"] = stats.get("size", 0)
+    doc["plan_cache_hit_rate"] = (hits / (hits + misses)) if (hits + misses) else 0.0
+    return doc
+
+
 def worker_main(
     worker_id: int, conn: Any, snapshot: Dict[str, Any], options: Dict[str, Any]
 ) -> None:
@@ -76,14 +114,24 @@ def worker_main(
 
     Runs a private :class:`~repro.service.service.QueryService` (own
     plan cache, own executor) and loops over the pipe: one request dict
-    in, one response dict out.  The leader's ``_query_id`` rides along
-    so the worker's internal spans and (leader-side) audit events all
-    share the request's correlation id.  ``{"op": "_shutdown"}`` ends
-    the loop; fault injection (``_inject: "crash"``) is honored only
-    when the pool opted in — it exists so tests can prove a worker
-    crash surfaces as a structured error.
+    in, one response dict out.  The leader's ``_obs`` envelope (or the
+    legacy bare ``_query_id``) rides along so the worker's internal
+    spans, telemetry, and (leader-side) audit events all share the
+    request's correlation id; when it asks for trace recording the
+    worker records its spans into a private tracer and ships them back
+    — wall-clock anchored — in the reply's ``_obs`` field, together
+    with a mergeable metrics delta, for the leader to stitch into the
+    request's single merged trace.  ``{"op": "_heartbeat"}`` answers
+    with the worker's resource gauges; ``{"op": "_shutdown"}`` ends the
+    loop; fault injection (``_inject: "crash"``) is honored only when
+    the pool opted in — it exists so tests can prove a worker crash
+    surfaces as a structured error.
     """
+    import pickle
+
     from repro.obs.context import QueryContext, query_context
+    from repro.obs.metrics import delta_is_empty, snapshot_delta
+    from repro.obs.trace import Tracer, spans_to_wire
     from repro.service.catalog import rows_from_wire
     from repro.service.errors import ServiceError
     from repro.service.service import QueryService
@@ -120,6 +168,14 @@ def worker_main(
             pass
         return
     fault_injection = bool(options.get("fault_injection"))
+    started_at = time.time()
+    try:
+        catalog_bytes = len(pickle.dumps(snapshot, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:  # noqa: BLE001 - sizing is best-effort
+        catalog_bytes = 0
+    # Delta baseline: everything warm-up recorded is the worker's own
+    # startup cost, not any query's — start shipping changes from here.
+    metrics_prev = service.metrics.snapshot()
     while True:
         try:
             msg = conn.recv()
@@ -131,10 +187,30 @@ def worker_main(
             except (BrokenPipeError, OSError):
                 pass
             break
+        if msg.get("op") == "_heartbeat":
+            metrics_cur = service.metrics.snapshot()
+            delta = snapshot_delta(metrics_prev, metrics_cur)
+            metrics_prev = metrics_cur
+            beat: Dict[str, Any] = {
+                "ok": True,
+                "_worker": "w%d" % worker_id,
+                "_obs": {
+                    "resources": worker_resources(service, catalog_bytes, started_at),
+                },
+            }
+            if not delta_is_empty(delta):
+                beat["_obs"]["metrics"] = delta
+            try:
+                conn.send(beat)
+            except (BrokenPipeError, OSError):
+                break
+            continue
         if fault_injection and msg.pop("_inject", None) == "crash":
             os._exit(23)
+        obs_in = msg.pop("_obs", None)
         query_id = msg.pop("_query_id", None)
         forced_handle = msg.pop("_handle", None)
+        tracer = None
         try:
             if forced_handle is not None and msg.get("op") == "prepare":
                 try:
@@ -145,7 +221,13 @@ def worker_main(
                 except ServiceError as exc:
                     response = {"ok": False, "error": exc.to_payload()}
             else:
-                with query_context(QueryContext(query_id=query_id)):
+                if isinstance(obs_in, dict):
+                    if obs_in.get("record_trace"):
+                        tracer = Tracer()
+                    context = QueryContext.from_wire(obs_in, tracer=tracer)
+                else:
+                    context = QueryContext(query_id=query_id)
+                with query_context(context):
                     response = service.handle_request(msg)
         except Exception as exc:  # noqa: BLE001 - the worker loop must survive
             response = {
@@ -156,6 +238,16 @@ def worker_main(
                 },
             }
         response["_worker"] = "w%d" % worker_id
+        obs_out: Dict[str, Any] = {}
+        if tracer is not None and tracer.roots:
+            obs_out["spans"] = spans_to_wire(tracer)
+        metrics_cur = service.metrics.snapshot()
+        delta = snapshot_delta(metrics_prev, metrics_cur)
+        metrics_prev = metrics_cur
+        if not delta_is_empty(delta):
+            obs_out["metrics"] = delta
+        if obs_out:
+            response["_obs"] = obs_out
         try:
             conn.send(response)
         except (BrokenPipeError, OSError):
@@ -186,6 +278,9 @@ class WorkerHandle:
         self._on_crash = on_crash
         self._outbox: "queue.Queue" = queue.Queue()
         self._crashed = False
+        #: query id of the request currently on the pipe (None when
+        #: idle) — what the crash audit event names as the casualty.
+        self.in_flight_query_id: Optional[str] = None
         self._thread = threading.Thread(
             target=self._io_loop, name="repro-worker-io-%d" % worker_id, daemon=True
         )
@@ -212,6 +307,10 @@ class WorkerHandle:
                 self._conn.close()
                 return
             msg, future = item
+            obs = msg.get("_obs")
+            self.in_flight_query_id = (
+                obs.get("query_id") if isinstance(obs, dict) else msg.get("_query_id")
+            )
             try:
                 self._conn.send(msg)
                 reply = self._conn.recv()
@@ -230,6 +329,7 @@ class WorkerHandle:
                 if self._on_crash is not None:
                     self._on_crash(self)
                 return
+            self.in_flight_query_id = None
             self._safe_result(future, reply)
 
     def _fail_pending(self, crash: WorkerCrashed) -> None:
@@ -285,6 +385,7 @@ class WorkerPool:
         options: Optional[Dict[str, Any]] = None,
         metrics: Any = None,
         grace: float = 2.0,
+        on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
     ):
         import multiprocessing
 
@@ -292,6 +393,10 @@ class WorkerPool:
             raise ValueError("worker pool needs at least one worker, got %d" % count)
         self.count = count
         self.grace = grace
+        #: Audit hook: called with ``worker_crash`` / ``worker_respawn``
+        #: event dicts (the serve layer routes them to the query log).
+        #: Assignable after construction; exceptions are swallowed.
+        self.on_event = on_event
         self._snapshot_fn = snapshot_fn
         self._options = dict(options or {})
         self._ctx = multiprocessing.get_context(mp_start)
@@ -346,6 +451,19 @@ class WorkerPool:
                     {"name": h.name, "alive": h.alive} for h in self._handles
                 ],
             }
+
+    def pending(self) -> Dict[str, int]:
+        """Per-worker queued-message depth (the /workers pending column)."""
+        with self._lock:
+            return {h.name: h._outbox.qsize() for h in self._handles}
+
+    def _emit(self, event: Dict[str, Any]) -> None:
+        if self.on_event is None:
+            return
+        try:
+            self.on_event(event)
+        except Exception:  # noqa: BLE001 - audit must never break supervision
+            pass
 
     # -- request path -----------------------------------------------------
 
@@ -431,6 +549,10 @@ class WorkerPool:
             return
         if self._respawns is not None:
             self._respawns.inc()
+        crash_event: Dict[str, Any] = {"event": "worker_crash", "worker": dead.name}
+        if dead.in_flight_query_id is not None:
+            crash_event["query_id"] = dead.in_flight_query_id
+        self._emit(crash_event)
         try:
             dead.process.join(timeout=1.0)
         except (OSError, ValueError):  # pragma: no cover - already reaped
@@ -439,6 +561,13 @@ class WorkerPool:
             replacement = self._spawn(next(self._ids))
         except Exception:  # noqa: BLE001 - pragma: no cover - spawn failed
             return
+        self._emit(
+            {
+                "event": "worker_respawn",
+                "worker": replacement.name,
+                "replaced": dead.name,
+            }
+        )
         with self._lock:
             for index, handle in enumerate(self._handles):
                 if handle is dead:
@@ -459,4 +588,11 @@ class WorkerPool:
             handle.shutdown(timeout=timeout)
 
 
-__all__ = ["WorkerCrashed", "WorkerHandle", "WorkerPool", "catalog_snapshot", "worker_main"]
+__all__ = [
+    "WorkerCrashed",
+    "WorkerHandle",
+    "WorkerPool",
+    "catalog_snapshot",
+    "worker_main",
+    "worker_resources",
+]

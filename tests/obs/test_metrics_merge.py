@@ -1,0 +1,174 @@
+"""Property tests for the delta-metrics merge contract.
+
+The fleet layer's claim (DESIGN.md §15): a leader-side histogram built
+by merging per-worker deltas is *sample-equivalent* to one histogram
+that recorded every observation directly — identical count, sum,
+bucket-wise counts, extrema, and therefore identical interpolated
+p50/p95/p99.  These tests pin the claim down with Hypothesis: arbitrary
+sample sets, arbitrary partitions into workers, arbitrary ship points
+within each worker's stream.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    delta_is_empty,
+    snapshot_delta,
+)
+
+#: Positive latencies-in-ms-like values: exercise sub-1 (bucket 0),
+#: bucket boundaries, and large magnitudes.
+_values = st.one_of(
+    st.integers(min_value=0, max_value=2**20),
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+)
+
+
+def _merged_equals_direct(direct: Histogram, merged: Histogram) -> None:
+    assert merged.count == direct.count
+    assert math.isclose(merged.total, direct.total, rel_tol=1e-9, abs_tol=1e-9)
+    assert merged.buckets == direct.buckets
+    assert merged.minimum == direct.minimum
+    assert merged.maximum == direct.maximum
+    for q in (0.5, 0.95, 0.99):
+        left, right = merged.quantile(q), direct.quantile(q)
+        if left is None or right is None:
+            assert left == right
+        else:
+            assert math.isclose(left, right, rel_tol=1e-9, abs_tol=1e-9)
+
+
+class TestHistogramMerge:
+    @given(
+        samples=st.lists(_values, min_size=1, max_size=200),
+        cuts=st.lists(st.integers(min_value=0, max_value=199), max_size=6),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_partitioned_merge_is_sample_equivalent(self, samples, cuts):
+        """Split the sample stream at arbitrary points into per-worker
+        segments; each segment merges into the leader as one delta."""
+        direct = Histogram("h")
+        for value in samples:
+            direct.record(value)
+        bounds = sorted({c for c in cuts if c < len(samples)} | {0, len(samples)})
+        merged = Histogram("h")
+        for start, end in zip(bounds, bounds[1:]):
+            worker = Histogram("h")
+            for value in samples[start:end]:
+                worker.record(value)
+            merged.merge(worker.summary())
+        _merged_equals_direct(direct, merged)
+
+    @given(
+        samples=st.lists(_values, min_size=1, max_size=120),
+        ship_every=st.integers(min_value=1, max_value=7),
+        workers=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_registry_delta_stream_reconstructs_worker_registries(
+        self, samples, ship_every, workers
+    ):
+        """The full wire contract: round-robin samples over N workers,
+        each snapshotting and shipping a delta every ``ship_every``
+        records; the leader applies deltas in arrival order."""
+        direct = Histogram("latency_ms")
+        leader = MetricsRegistry()
+        registries = [MetricsRegistry() for _ in range(workers)]
+        baselines = [registry.snapshot() for registry in registries]
+
+        def ship(index):
+            current = registries[index].snapshot()
+            delta = snapshot_delta(baselines[index], current)
+            baselines[index] = current
+            if not delta_is_empty(delta):
+                leader.apply_delta(delta)
+
+        for position, value in enumerate(samples):
+            index = position % workers
+            direct.record(value)
+            registries[index].histogram("latency_ms").record(value)
+            registries[index].counter("requests").inc()
+            if (position // workers) % ship_every == 0:
+                ship(index)
+        for index in range(workers):
+            ship(index)  # final flush
+
+        _merged_equals_direct(direct, leader.histogram("latency_ms"))
+        assert leader.counter("requests").value == len(samples)
+
+    @given(samples=st.lists(_values, min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_merge_accepts_json_round_tripped_deltas(self, samples):
+        """Bucket keys survive JSON stringification (the wire path)."""
+        import json
+
+        worker = Histogram("h")
+        for value in samples:
+            worker.record(value)
+        wire = json.loads(json.dumps(worker.summary()))
+        merged = Histogram("h")
+        merged.merge(wire)
+        _merged_equals_direct(worker, merged)
+
+    def test_empty_delta_is_a_no_op(self):
+        histogram = Histogram("h")
+        histogram.record(5)
+        before = histogram.summary()
+        histogram.merge({"count": 0, "sum": 0, "buckets": {}})
+        assert histogram.summary() == before
+
+    def test_lifetime_extrema_are_safe_under_min_max_combine(self):
+        """A delta ships *lifetime* min/max; merging with min/max keeps
+        the leader's extrema exact even when a later delta's lifetime
+        minimum predates the shipped window."""
+        worker = Histogram("h")
+        leader = Histogram("h")
+        worker.record(1)
+        worker.record(100)
+        first = worker.summary()
+        leader.merge(first)
+        worker.record(50)  # window delta: only the 50; lifetime min/max 1/100
+        second = snapshot_delta(
+            {"histograms": {"h": first}},
+            {"histograms": {"h": worker.summary()}},
+        )["histograms"]["h"]
+        assert second["count"] == 1
+        assert second["min"] == 1 and second["max"] == 100
+        leader.merge(second)
+        assert leader.minimum == worker.minimum == 1
+        assert leader.maximum == worker.maximum == 100
+        assert leader.count == worker.count == 3
+
+
+class TestSnapshotDelta:
+    def test_counters_diff_and_unchanged_are_omitted(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(3)
+        registry.counter("b").inc(1)
+        first = registry.snapshot()
+        registry.counter("a").inc(2)
+        delta = snapshot_delta(first, registry.snapshot())
+        assert delta["counters"] == {"a": 2}
+        assert delta["histograms"] == {}
+
+    def test_gauges_ship_current_value_when_changed(self):
+        registry = MetricsRegistry()
+        registry.gauge("depth").set(4)
+        first = registry.snapshot()
+        delta = snapshot_delta(first, registry.snapshot())
+        assert delta_is_empty(delta)
+        registry.gauge("depth").set(9)
+        delta = snapshot_delta(first, registry.snapshot())
+        assert delta["gauges"] == {"depth": 9}
+
+    def test_idle_worker_delta_is_empty(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.histogram("h").record(1)
+        snapshot = registry.snapshot()
+        assert delta_is_empty(snapshot_delta(snapshot, snapshot))

@@ -1,0 +1,134 @@
+"""Tests for cross-process span shipping and merged trace export.
+
+Covers the wire form (wall-clock anchored span trees), the merged
+chrome-trace exporter (one pid lane per process), the text renderer
+behind ``repro trace``, and the ``QueryContext`` wire round trip.
+"""
+
+import json
+import time
+
+from repro.obs.context import QueryContext
+from repro.obs.export import merged_chrome_events, render_trace_tree
+from repro.obs.trace import Tracer, span_to_wire, spans_to_wire
+
+
+def _sample_tracer():
+    tracer = Tracer()
+    with tracer.span("parent", category="svc", handle="q1"):
+        with tracer.span("child"):
+            tracer.instant("mark", detail=3)
+    return tracer
+
+
+class TestSpanWire:
+    def test_wire_spans_carry_wall_clock_times(self):
+        before = time.time()
+        tracer = _sample_tracer()
+        after = time.time()
+        (wire,) = spans_to_wire(tracer)
+        assert wire["name"] == "parent"
+        assert before <= wire["start"] <= wire["end"] <= after + 1.0
+        (child,) = wire["children"]
+        assert wire["start"] <= child["start"] <= child["end"] <= wire["end"]
+        (mark,) = child["instants"]
+        assert child["start"] <= mark["at"] <= child["end"]
+
+    def test_wire_form_is_json_safe(self):
+        tracer = Tracer()
+        with tracer.span("s", plan=object(), rows=5, label="x"):
+            pass
+        wire = span_to_wire(tracer.roots[0], tracer)
+        round_tripped = json.loads(json.dumps(wire))
+        assert round_tripped["args"]["rows"] == 5
+        assert round_tripped["args"]["label"] == "x"
+        assert isinstance(round_tripped["args"]["plan"], str)  # repr'd
+
+    def test_category_and_args_ride_along(self):
+        tracer = _sample_tracer()
+        (wire,) = spans_to_wire(tracer)
+        assert wire["cat"] == "svc"
+        assert wire["args"] == {"handle": "q1"}
+
+
+class TestMergedChromeEvents:
+    def _processes(self):
+        leader = _sample_tracer()
+        worker = Tracer()
+        with worker.span("service.execute", category="service"):
+            pass
+        return [
+            {"process": "leader", "spans": spans_to_wire(leader)},
+            {"process": "w0", "spans": spans_to_wire(worker)},
+        ]
+
+    def test_one_pid_lane_per_process_with_names(self):
+        events = merged_chrome_events(self._processes())
+        metadata = [e for e in events if e["ph"] == "M"]
+        assert [m["args"]["name"] for m in metadata] == ["leader", "w0"]
+        assert [m["pid"] for m in metadata] == [1, 2]
+        pids = {e["name"]: e["pid"] for e in events if e["ph"] == "X"}
+        assert pids["parent"] == pids["child"] == 1
+        assert pids["service.execute"] == 2
+
+    def test_timestamps_rebase_to_earliest_span(self):
+        events = merged_chrome_events(self._processes())
+        xs = [e for e in events if e["ph"] in ("X", "i")]
+        assert min(e["ts"] for e in xs) == 0.0
+        assert all(e["ts"] >= 0.0 for e in xs)
+
+    def test_instants_become_i_events_in_their_lane(self):
+        events = merged_chrome_events(self._processes())
+        (mark,) = [e for e in events if e["ph"] == "i"]
+        assert mark["name"] == "mark"
+        assert mark["pid"] == 1
+
+    def test_empty_processes_render_nothing_but_metadata(self):
+        events = merged_chrome_events([{"process": "leader", "spans": []}])
+        assert [e["ph"] for e in events] == ["M"]
+
+
+class TestRenderTraceTree:
+    def test_renders_per_process_lanes(self):
+        processes = [
+            {"process": "leader", "spans": spans_to_wire(_sample_tracer())},
+        ]
+        worker = Tracer()
+        with worker.span("service.execute"):
+            pass
+        processes.append({"process": "w3", "spans": spans_to_wire(worker)})
+        text = render_trace_tree(
+            {"query_id": "abcd1234abcd1234", "processes": processes}
+        )
+        assert text.startswith("trace abcd1234abcd1234 (2 processes)")
+        lines = text.splitlines()
+        assert "  [leader]" in lines
+        assert "  [w3]" in lines
+        assert any("parent" in line and "ms" in line for line in lines)
+        # the child is indented one level deeper than the parent
+        parent_line = next(line for line in lines if "parent" in line)
+        child_line = next(line for line in lines if "child" in line)
+        assert len(child_line) - len(child_line.lstrip()) > len(parent_line) - len(
+            parent_line.lstrip()
+        )
+
+    def test_singular_process_header(self):
+        text = render_trace_tree({"query_id": "x", "processes": [{"process": "leader", "spans": []}]})
+        assert text.startswith("trace x (1 process)")
+
+
+class TestQueryContextWire:
+    def test_round_trip_preserves_identity(self):
+        context = QueryContext(tracer=Tracer(), head_sampled=True)
+        wire = json.loads(json.dumps(context.to_wire()))
+        assert wire["record_trace"] is True
+        rebuilt = QueryContext.from_wire(wire, tracer=Tracer())
+        assert rebuilt.query_id == context.query_id
+        assert rebuilt.started_at == context.started_at
+        assert rebuilt.head_sampled is True
+        assert rebuilt.tracer is not None
+
+    def test_record_trace_defaults_to_tracer_presence(self):
+        assert QueryContext().to_wire()["record_trace"] is False
+        assert QueryContext(tracer=Tracer()).to_wire()["record_trace"] is True
+        assert QueryContext().to_wire(record_trace=True)["record_trace"] is True

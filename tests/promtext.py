@@ -17,7 +17,10 @@ values:
   values parse as floats;
 - histogram ``le`` buckets appear in increasing bound order with
   non-decreasing cumulative counts, end at ``+Inf``, and the ``+Inf``
-  count equals the family's ``_count``.
+  count equals the family's ``_count`` — checked *per label set*: a
+  labeled family (e.g. one series per ``worker``) is validated as one
+  independent bucket ladder per distinct non-``le`` label combination,
+  which is exactly how Prometheus models labeled histograms.
 """
 
 from __future__ import annotations
@@ -130,22 +133,32 @@ def parse_prometheus(text: str) -> Dict[str, Family]:
 
 def _check_family(family: Family) -> None:
     if family.kind == "histogram":
-        buckets = [
-            (_parse_value(labels["le"]), value)
-            for name, labels, value in family.samples
-            if name == family.name + "_bucket"
-        ]
-        assert buckets, "histogram %r has no buckets" % family.name
-        bounds = [bound for bound, _ in buckets]
-        counts = [count for _, count in buckets]
-        assert bounds == sorted(bounds), "le bounds out of order in %r" % family.name
-        assert counts == sorted(counts), (
-            "cumulative counts decrease in %r: %r" % (family.name, counts)
-        )
-        assert bounds[-1] == math.inf, "histogram %r must end at +Inf" % family.name
-        assert counts[-1] == family.sample_value("_count"), (
-            "+Inf bucket != _count in %r" % family.name
-        )
+        # Group buckets by their non-`le` labels: each distinct label
+        # set (e.g. each worker) is its own independent bucket ladder.
+        ladders: Dict[Tuple[Tuple[str, str], ...], List[Tuple[float, float]]] = {}
+        for name, labels, value in family.samples:
+            if name != family.name + "_bucket":
+                continue
+            assert "le" in labels, "bucket sample without le label in %r" % family.name
+            series = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+            ladders.setdefault(series, []).append((_parse_value(labels["le"]), value))
+        assert ladders, "histogram %r has no buckets" % family.name
+        for series, buckets in ladders.items():
+            bounds = [bound for bound, _ in buckets]
+            counts = [count for _, count in buckets]
+            assert bounds == sorted(bounds), (
+                "le bounds out of order in %r%r" % (family.name, series)
+            )
+            assert counts == sorted(counts), (
+                "cumulative counts decrease in %r%r: %r"
+                % (family.name, series, counts)
+            )
+            assert bounds[-1] == math.inf, (
+                "histogram %r%r must end at +Inf" % (family.name, series)
+            )
+            assert counts[-1] == family.sample_value("_count", **dict(series)), (
+                "+Inf bucket != _count in %r%r" % (family.name, series)
+            )
     if family.kind == "counter":
         for _, _, value in family.samples:
             assert value >= 0, "negative counter in %r" % family.name

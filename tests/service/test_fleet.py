@@ -1,0 +1,197 @@
+"""Tests for leader-side fleet aggregation and its /metrics exposition.
+
+The :class:`~repro.service.fleet.Fleet` is the leader's view of the
+worker processes: per-worker metric registries fed by shipped deltas,
+resource gauges fed by heartbeats, and the ``/workers`` health join.
+The second half validates the worker-labeled Prometheus families
+through the strict test-side parser — one HELP/TYPE per family, one
+sample per worker, an independent bucket ladder per worker.
+"""
+
+import math
+
+from repro.obs.export import prometheus_text
+from repro.obs.metrics import MetricsRegistry, snapshot_delta
+from repro.service.fleet import RESOURCE_GAUGES, Fleet
+from tests.promtext import parse_prometheus
+
+
+def _delta(build):
+    """A shipped delta: what ``build`` records on a fresh registry."""
+    registry = MetricsRegistry()
+    baseline = registry.snapshot()
+    build(registry)
+    return snapshot_delta(baseline, registry.snapshot())
+
+
+class TestFleetDeltas:
+    def test_deltas_accumulate_per_worker(self):
+        fleet = Fleet()
+        fleet.apply_delta("w0", _delta(lambda r: r.counter("queries").inc(2)))
+        fleet.apply_delta("w0", _delta(lambda r: r.counter("queries").inc(3)))
+        fleet.apply_delta("w1", _delta(lambda r: r.counter("queries").inc(7)))
+        snapshots = fleet.worker_snapshots()
+        assert snapshots["w0"]["counters"]["queries"] == 5
+        assert snapshots["w1"]["counters"]["queries"] == 7
+
+    def test_empty_or_missing_delta_is_ignored(self):
+        metrics = MetricsRegistry()
+        fleet = Fleet(metrics=metrics)
+        fleet.apply_delta("w0", None)
+        fleet.apply_delta("w0", {"counters": {}, "gauges": {}, "histograms": {}})
+        assert fleet.worker_snapshots() == {}
+        assert metrics.snapshot()["counters"].get("service.fleet.deltas", 0) == 0
+        fleet.apply_delta("w0", _delta(lambda r: r.counter("c").inc()))
+        assert metrics.snapshot()["counters"]["service.fleet.deltas"] == 1
+
+    def test_histogram_deltas_merge_sample_equivalently(self):
+        fleet = Fleet()
+        direct = MetricsRegistry()
+        for chunk in ([1, 5, 9], [200, 3], [70]):
+            fleet.apply_delta(
+                "w0",
+                _delta(lambda r, c=chunk: [r.histogram("lat").record(v) for v in c]),
+            )
+            for value in chunk:
+                direct.histogram("lat").record(value)
+        merged = fleet.registry("w0").histogram("lat")
+        assert merged.count == 6
+        assert merged.buckets == direct.histogram("lat").buckets
+        assert merged.quantile(0.5) == direct.histogram("lat").quantile(0.5)
+
+
+class TestFleetResources:
+    def test_resources_mirror_to_gauges_and_survive_lookup(self):
+        metrics = MetricsRegistry()
+        fleet = Fleet(metrics=metrics)
+        doc = {key: index + 1.0 for index, key in enumerate(RESOURCE_GAUGES)}
+        doc["pid"] = 1234  # not in RESOURCE_GAUGES: stored, not mirrored
+        fleet.set_resources("w0", doc, now=100.0)
+        assert fleet.resources("w0") == doc
+        gauges = fleet.worker_snapshots()["w0"]["gauges"]
+        for key in RESOURCE_GAUGES:
+            assert gauges["resource.%s" % key] == doc[key]
+        assert "resource.pid" not in gauges
+        assert metrics.snapshot()["counters"]["service.fleet.heartbeats"] == 1
+
+    def test_non_dict_resources_are_ignored(self):
+        fleet = Fleet()
+        fleet.set_resources("w0", None)
+        fleet.set_resources("w0", "oops")
+        assert fleet.resources("w0") is None
+        assert fleet.worker_snapshots() == {}
+
+
+class TestFleetDescribe:
+    def test_join_of_pool_liveness_pending_and_heartbeats(self):
+        fleet = Fleet()
+        fleet.attach_pool(
+            lambda: {
+                "count": 2,
+                "workers": [
+                    {"name": "w0", "alive": True},
+                    {"name": "w1", "alive": False},
+                ],
+            },
+            lambda: {"w0": 3},
+        )
+        fleet.set_resources("w0", {"rss_bytes": 1}, now=0.0)
+        view = fleet.describe()
+        assert view["count"] == 2
+        w0, w1 = view["workers"]
+        assert w0["name"] == "w0" and w0["alive"] and w0["pending"] == 3
+        assert w0["resources"] == {"rss_bytes": 1}
+        assert w0["heartbeat_age_seconds"] >= 0.0
+        assert w1["name"] == "w1" and not w1["alive"] and w1["pending"] == 0
+        assert "heartbeat_age_seconds" not in w1
+
+    def test_retired_workers_stay_listed_after_respawn(self):
+        fleet = Fleet()
+        fleet.apply_delta("w0", _delta(lambda r: r.counter("queries").inc(9)))
+        fleet.attach_pool(lambda: {"count": 1, "workers": [{"name": "w2", "alive": True}]})
+        names = {entry["name"]: entry for entry in fleet.describe()["workers"]}
+        assert names["w2"]["alive"] and "retired" not in names["w2"]
+        assert names["w0"]["retired"] and not names["w0"]["alive"]
+
+    def test_describe_without_pool_lists_known_workers(self):
+        fleet = Fleet()
+        fleet.apply_delta("w5", _delta(lambda r: r.counter("c").inc()))
+        view = fleet.describe()
+        assert view == {
+            "count": 1,
+            "workers": [{"name": "w5", "alive": False, "pending": 0, "retired": True}],
+        }
+
+
+class TestFleetExposition:
+    """The worker-labeled families in /metrics, via the strict parser."""
+
+    def _scrape(self):
+        leader = MetricsRegistry()
+        leader.counter("service.queries").inc(10)
+        leader.histogram("service.latency_ms").record(4)
+        fleet = Fleet()
+        for worker, latencies in (("w0", [1, 3, 900]), ("w1", [250])):
+            fleet.apply_delta(
+                worker,
+                _delta(
+                    lambda r, ls=latencies: (
+                        r.counter("service.queries").inc(len(ls)),
+                        [r.histogram("service.latency_ms").record(v) for v in ls],
+                    )
+                ),
+            )
+        fleet.set_resources("w0", {"rss_bytes": 2048, "plan_cache_hit_rate": 0.5})
+        return parse_prometheus(prometheus_text(leader, fleet=fleet))
+
+    def test_worker_counter_family_has_one_labeled_sample_per_worker(self):
+        families = self._scrape()
+        family = families["repro_worker_service_queries_total"]
+        assert family.kind == "counter"
+        assert family.sample_value(worker="w0") == 3
+        assert family.sample_value(worker="w1") == 1
+        # the leader's own unlabeled family coexists under its own name
+        assert families["repro_service_queries_total"].sample_value() == 10
+
+    def test_resource_gauges_ride_the_same_labeled_exposition(self):
+        families = self._scrape()
+        assert families["repro_worker_resource_rss_bytes"].sample_value(worker="w0") == 2048
+        assert (
+            families["repro_worker_resource_plan_cache_hit_rate"].sample_value(worker="w0")
+            == 0.5
+        )
+
+    def test_worker_histograms_have_independent_bucket_ladders(self):
+        families = self._scrape()
+        buckets = families["repro_worker_service_latency_ms_buckets"]
+        assert buckets.kind == "histogram"
+        assert buckets.sample_value("_count", worker="w0") == 3
+        assert buckets.sample_value("_count", worker="w1") == 1
+        assert buckets.sample_value("_bucket", worker="w0", le="+Inf") == 3
+        assert buckets.sample_value("_bucket", worker="w1", le="+Inf") == 1
+        # w1's single 250ms sample is <= 256 but not <= 4
+        assert buckets.sample_value("_bucket", worker="w1", le="256") == 1
+        summary = families["repro_worker_service_latency_ms"]
+        assert summary.kind == "summary"
+        assert summary.sample_value("_sum", worker="w0") == 1 + 3 + 900
+
+    def test_help_and_type_once_per_family_across_workers(self):
+        # parse_prometheus already rejects duplicate declarations; this
+        # pins that every fleet family actually carries a HELP string.
+        for name, family in self._scrape().items():
+            assert family.help, "family %r missing HELP" % name
+            if name.startswith("repro_worker_"):
+                for _, labels, _ in family.samples:
+                    assert "worker" in labels, (name, labels)
+
+    def test_fleetless_scrape_is_unchanged(self):
+        leader = MetricsRegistry()
+        leader.counter("c").inc()
+        assert prometheus_text(leader) == prometheus_text(leader, fleet=None)
+        families = parse_prometheus(prometheus_text(leader, fleet=Fleet()))
+        assert set(families) == {"repro_c_total"}
+
+    def test_values_are_finite_floats(self):
+        for family in self._scrape().values():
+            for _, _, value in family.samples:
+                assert not math.isnan(value)

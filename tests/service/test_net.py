@@ -440,3 +440,205 @@ def test_stop_background_is_idempotent(tmp_path):
     server = ServeNetServer(service, http_port=0).start_background()
     server.stop_background()
     server.stop_background()
+
+
+# -- distributed tracing and fleet observability ---------------------------
+#
+# One query = one trace across processes: the leader ships QueryContext
+# over the pipe, the worker spans under the same id and piggybacks its
+# fragment on the reply, the leader stitches and tail-samples the merged
+# trace.  These tests need head sampling at 1.0 and a fast heartbeat, so
+# they run on their own module-scoped stack.
+
+
+@pytest.fixture(scope="module")
+def traced_stack(tmp_path_factory):
+    log_path = str(tmp_path_factory.mktemp("traced") / "query_log.jsonl")
+    service = QueryService(trace_sample_rate=1.0, query_log=log_path)
+    service.register_table("people", ROWS)
+    service.prepare("sql", "select name from people where age > $min")
+    pool = WorkerPool(
+        2,
+        lambda: catalog_snapshot(service),
+        options={"fault_injection": True},
+        metrics=service.metrics,
+    ).start()
+    server = ServeNetServer(
+        service, pool=pool, http_port=0, queue_depth=4, heartbeat_interval=0.2
+    ).start_background()
+    yield service, server, log_path
+    server.stop_background()
+
+
+def _wait_for(predicate, timeout=20.0, interval=0.1):
+    import time
+
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(interval)
+    return predicate()
+
+
+def test_merged_trace_has_leader_and_worker_lanes(traced_stack):
+    _, server, _ = traced_stack
+    status, body = post(
+        server, {"op": "execute", "handle": "q1", "params": {"min": 25}}
+    )
+    assert status == 200 and body["ok"]
+    query_id = body["query_id"]
+    status, text = get(server, "/trace/" + query_id)
+    assert status == 200, text
+    fragment = json.loads(text)
+    assert fragment["query_id"] == query_id
+    lanes = {p["process"]: p["spans"] for p in fragment["processes"]}
+    assert "leader" in lanes
+    worker_lanes = [name for name in lanes if re.match(r"^w\d+$", name)]
+    assert worker_lanes, lanes.keys()
+    leader_names = [span["name"] for span in lanes["leader"]]
+    assert "serve.acquire" in leader_names
+    assert "serve.dispatch" in leader_names
+    assert lanes[worker_lanes[0]], "worker lane shipped no spans"
+    # The pre-merged chrome events place each process in its own pid lane.
+    metadata = [e for e in fragment["events"] if e["ph"] == "M"]
+    assert {m["args"]["name"] for m in metadata} >= {"leader", worker_lanes[0]}
+    pids = {e["pid"] for e in fragment["events"] if e["ph"] == "X"}
+    assert len(pids) >= 2, "spans all landed in one lane"
+
+
+def test_trace_available_over_wire_op_and_404_when_unknown(traced_stack):
+    _, server, _ = traced_stack
+    status, body = post(
+        server, {"op": "execute", "handle": "q1", "params": {"min": 25}}
+    )
+    assert status == 200
+    status, reply = post(server, {"op": "trace", "query_id": body["query_id"]})
+    assert status == 200 and reply["ok"]
+    assert reply["trace"]["query_id"] == body["query_id"]
+    status, text = get(server, "/trace/" + "f" * 16)
+    assert status == 404
+    assert "no kept trace" in json.loads(text)["error"]
+
+
+def test_workers_route_reports_fleet_health_and_resources(traced_stack):
+    _, server, _ = traced_stack
+
+    def resourced_view():
+        status, text = get(server, "/workers")
+        assert status == 200
+        view = json.loads(text)
+        if all("resources" in w for w in view["workers"]):
+            return view
+        return None
+
+    view = _wait_for(resourced_view)
+    assert view is not None, "heartbeats never delivered resources"
+    assert view["count"] == 2
+    live = [w for w in view["workers"] if not w.get("retired")]
+    assert len(live) == 2
+    for worker in live:
+        assert re.match(r"^w\d+$", worker["name"])
+        assert worker["alive"] is True
+        assert worker["heartbeat_age_seconds"] < 30.0
+        resources = worker["resources"]
+        assert resources["rss_bytes"] > 0
+        assert resources["catalog_bytes"] > 0
+        assert resources["uptime_seconds"] >= 0.0
+        assert "plan_cache_entries" in resources
+
+
+def test_worker_labeled_series_reach_metrics_exposition(traced_stack):
+    from tests.promtext import parse_prometheus
+
+    _, server, _ = traced_stack
+    for _ in range(3):
+        post(server, {"op": "execute", "handle": "q1", "params": {"min": 25}})
+
+    def scraped():
+        status, text = get(server, "/metrics")
+        assert status == 200
+        families = parse_prometheus(text)
+        if "repro_worker_resource_rss_bytes" in families:
+            return families
+        return None
+
+    families = _wait_for(scraped)
+    assert families is not None, "no fleet families in /metrics"
+    rss = families["repro_worker_resource_rss_bytes"]
+    workers = {labels["worker"] for _, labels, _ in rss.samples}
+    assert workers and all(re.match(r"^w\d+$", w) for w in workers)
+    assert all(value > 0 for _, _, value in rss.samples)
+    # Query work shipped as deltas: some repro_worker_* counter family
+    # must carry per-worker execution counts.
+    executed = [
+        family
+        for name, family in families.items()
+        if name.startswith("repro_worker_") and family.kind == "counter"
+        and any(value > 0 for _, _, value in family.samples)
+    ]
+    assert executed, "no non-zero per-worker counters"
+
+
+def test_crash_audit_event_carries_in_flight_query_id(traced_stack):
+    service, server, log_path = traced_stack
+    status, body = post(
+        server,
+        {"op": "execute", "handle": "q1", "params": {"min": 25}, "_inject": "crash"},
+        timeout=60.0,
+    )
+    assert status == 500
+    assert body["error"]["kind"] == "runtime_error"
+    query_id = body["query_id"]
+    assert _QUERY_ID.match(query_id)
+
+    def audited():
+        crashes = [
+            e for e in read_events(log_path) if e["event"] == "worker_crash"
+        ]
+        return crashes if crashes else None
+
+    crashes = _wait_for(audited, timeout=30.0)
+    assert crashes, "no worker_crash audit event in the query log"
+    assert any(e.get("query_id") == query_id for e in crashes), crashes
+    assert re.match(r"^w\d+$", crashes[-1]["worker"])
+    respawns = _wait_for(
+        lambda: [e for e in read_events(log_path) if e["event"] == "worker_respawn"]
+        or None,
+        timeout=30.0,
+    )
+    assert respawns, "no worker_respawn audit event in the query log"
+    assert respawns[-1]["replaced"]
+    counters = service.metrics.snapshot()["counters"]
+    assert counters.get("service.worker.events.worker_crash", 0) >= 1
+    assert counters.get("service.worker.events.worker_respawn", 0) >= 1
+
+
+def test_repro_trace_cli_renders_the_merged_tree(traced_stack):
+    from repro.cli import main
+
+    _, server, _ = traced_stack
+    status, body = post(
+        server, {"op": "execute", "handle": "q1", "params": {"min": 25}}
+    )
+    assert status == 200 and body["ok"]
+    host, port = server.endpoints()["http"]
+    url = "http://%s:%d" % (host, port)
+    import io
+
+    out = io.StringIO()
+    code = main(["trace", body["query_id"], "--url", url], out=out)
+    assert code == 0, out.getvalue()
+    rendered = out.getvalue()
+    assert body["query_id"] in rendered
+    assert "[leader]" in rendered
+    assert re.search(r"\[w\d+\]", rendered)
+    out = io.StringIO()
+    code = main(["trace", "f" * 16, "--url", url], out=out)
+    assert code != 0
+    # --json mode emits the raw fragment
+    out = io.StringIO()
+    code = main(["trace", body["query_id"], "--url", url, "--json"], out=out)
+    assert code == 0
+    assert json.loads(out.getvalue())["query_id"] == body["query_id"]

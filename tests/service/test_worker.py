@@ -191,3 +191,18 @@ def test_handle_submit_is_threadsafe_sync_api(pool):
     for future in futures:
         reply = future.result(timeout=30.0)
         assert reply["ok"], reply
+
+
+def test_worker_resources_document_shape(leader):
+    from repro.service.worker import worker_resources
+
+    doc = worker_resources(leader, catalog_bytes=4096, started_at=time.time() - 2.0)
+    assert doc["pid"] > 0
+    assert doc["catalog_bytes"] == 4096
+    assert doc["uptime_seconds"] >= 2.0
+    assert doc["rss_bytes"] > 0
+    assert doc["columnar_cache_bytes"] >= 0
+    assert doc["plan_cache_entries"] >= 0
+    assert 0.0 <= doc["plan_cache_hit_rate"] <= 1.0
+    # JSON-serializable: it ships on the heartbeat reply.
+    json.dumps(doc)
